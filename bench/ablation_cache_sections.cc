@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation of the data-cache organisation (§2.4, §3.2.4): the KCM
+ * zone-sectioned cache (8 sections of 1K selected by the zone field)
+ * against a plain direct-mapped cache of the same total size, and
+ * against a 2x larger plain cache — quantifying what the split-stack +
+ * zone-section design buys.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+#include "bench_support/harness.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+struct CacheVariant
+{
+    const char *name;
+    DataCacheConfig config;
+};
+
+double
+run(const PlmBenchmark &bench, const DataCacheConfig &cache,
+    uint64_t &cycles)
+{
+    KcmOptions options;
+    options.compiler.ioAsUnitClauses = true;
+    options.machine.mem.dataCache = cache;
+    KcmSystem system(options);
+    system.consult(bench.program);
+    auto result = system.query(bench.queryIo);
+    cycles = result.cycles;
+    return system.machine().mem().dataCache().hitRatio();
+}
+
+} // namespace
+
+int
+main()
+{
+    setLoggingEnabled(false);
+
+    CacheVariant variants[3];
+    variants[0].name = "KCM 8x1K zoned";
+    variants[0].config = DataCacheConfig{1024, 8, true, true};
+    variants[1].name = "plain 8K";
+    variants[1].config = DataCacheConfig{1024, 8, false, true};
+    variants[2].name = "plain 16K";
+    variants[2].config = DataCacheConfig{2048, 8, false, true};
+
+    TablePrinter table({"Program", "zoned hit%", "plain-8K hit%",
+                        "plain-16K hit%", "zoned cyc", "plain-8K cyc"});
+
+    for (const auto &bench : plmSuite()) {
+        double hits[3];
+        uint64_t cycles[3];
+        for (int v = 0; v < 3; ++v)
+            hits[v] = run(bench, variants[v].config, cycles[v]);
+        table.addRow({bench.name, cellFixed(hits[0] * 100, 2),
+                      cellFixed(hits[1] * 100, 2),
+                      cellFixed(hits[2] * 100, 2), cellInt(cycles[0]),
+                      cellInt(cycles[1])});
+    }
+
+    printf("Ablation: zone-sectioned vs plain direct-mapped data cache "
+           "(§3.2.4).\n\n%s\n"
+           "Expected shape: at the default (well separated) stack "
+           "layout both organisations\nperform similarly; the zoned "
+           "design's advantage is that its behaviour cannot\ndegrade "
+           "when stack tops drift to colliding cache indices (see "
+           "cache_collision).\n",
+           table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: shallow backtracking (§3.1.5) on vs off.
+ *
+ * With delayed choice points, a clause whose head or guard fails
+ * costs only the three shadow registers; the standard WAM pushes and
+ * restores a ~10-word frame. The paper motivates the feature with
+ * Tick's observation that choice point saving/restoring amounts to
+ * about 50% of all memory references in a standard WAM.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+#include "bench_support/harness.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+struct AblationRow
+{
+    BenchRun shallow;
+    BenchRun standard;
+    double cpTrafficShare = 0; ///< CP words / data refs (standard WAM)
+};
+
+AblationRow
+runBoth(const PlmBenchmark &bench)
+{
+    AblationRow row;
+
+    KcmOptions shallow_options;
+    shallow_options.compiler.ioAsUnitClauses = true;
+    row.shallow = runPlmBenchmark(bench, false, shallow_options);
+
+    KcmOptions wam_options;
+    wam_options.compiler.ioAsUnitClauses = true;
+    wam_options.machine.shallowBacktracking = false;
+    {
+        KcmSystem system(wam_options);
+        system.consult(bench.program);
+        system.query(bench.queryIo);
+        Machine &machine = system.machine();
+        row.standard.name = bench.name;
+        row.standard.cycles = machine.cycles();
+        row.standard.ms = machine.seconds() * 1e3;
+        row.standard.inferences = machine.inferences();
+        row.standard.choicePointsCreated =
+            machine.choicePointsCreated.value();
+        uint64_t cp_words = machine.cpWordsWritten.value() +
+                            machine.cpWordsRead.value();
+        DataCache &dcache = machine.mem().dataCache();
+        uint64_t refs = dcache.totalAccesses();
+        row.cpTrafficShare = refs ? double(cp_words) / double(refs) : 0;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLoggingEnabled(false);
+
+    TablePrinter table({"Program", "WAM CPs", "KCM CPs", "CPs avoided%",
+                        "WAM ms", "KCM ms", "speedup",
+                        "CP traffic share (WAM)"});
+
+    double total_wam_ms = 0;
+    double total_kcm_ms = 0;
+
+    for (const auto &bench : plmSuite()) {
+        AblationRow row = runBoth(bench);
+        double avoided =
+            row.standard.choicePointsCreated
+                ? 100.0 *
+                      (1.0 - double(row.shallow.choicePointsCreated) /
+                                 double(row.standard.choicePointsCreated))
+                : 0.0;
+        total_wam_ms += row.standard.ms;
+        total_kcm_ms += row.shallow.ms;
+        table.addRow({bench.name,
+                      cellInt(row.standard.choicePointsCreated),
+                      cellInt(row.shallow.choicePointsCreated),
+                      cellFixed(avoided, 1),
+                      cellFixed(row.standard.ms, 3),
+                      cellFixed(row.shallow.ms, 3),
+                      cellRatio(row.standard.ms / row.shallow.ms),
+                      cellFixed(row.cpTrafficShare * 100, 1)});
+    }
+
+    table.addRow({"total", "", "", "", cellFixed(total_wam_ms, 3),
+                  cellFixed(total_kcm_ms, 3),
+                  cellRatio(total_wam_ms / total_kcm_ms), ""});
+
+    printf("Ablation: shallow backtracking (delayed choice points, "
+           "§3.1.5)\nvs standard WAM (immediate choice points).\n\n%s\n"
+           "Expected shape: shallow backtracking eliminates most choice "
+           "point creation\non deterministic-by-guard predicates "
+           "(partition, deriv, arithmetic loops),\ncutting control-stack "
+           "traffic and time.\n",
+           table.render().c_str());
+    return 0;
+}

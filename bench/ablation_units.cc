@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation of KCM's specialized hardware units — the §5 evaluation
+ * study ("the influence of each specialized unit (trail,
+ * dereferencing, RAC, double port register file...) on the overall
+ * performance"), run here over the PLM suite.
+ *
+ * Each run disables one unit, replacing it with a plausible
+ * non-specialized implementation:
+ *   - trail comparators: serialized boundary checks (2 cycles/bind)
+ *   - dereference path:  no speculative cache start (2 cycles/ref)
+ *   - RAC block moves:   per-word address setup (2 cycles/word)
+ *   - dual-port regfile: register moves cost a cycle
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "bench_support/harness.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+uint64_t
+suiteCycles(const MachineConfig &machine_config)
+{
+    uint64_t total = 0;
+    for (const auto &bench : plmSuite()) {
+        KcmOptions options;
+        options.compiler.ioAsUnitClauses = true;
+        options.machine = machine_config;
+        KcmSystem system(options);
+        system.consult(bench.program);
+        auto result = system.query(bench.queryIo);
+        if (!result.success)
+            fatal("benchmark failed: ", bench.name);
+        total += result.cycles;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLoggingEnabled(false);
+
+    struct Variant
+    {
+        const char *name;
+        void (*disable)(MachineConfig &);
+    };
+    const Variant variants[] = {
+        {"full KCM (all units)", [](MachineConfig &) {}},
+        {"- trail comparators",
+         [](MachineConfig &c) { c.parallelTrailCheck = false; }},
+        {"- dereference path",
+         [](MachineConfig &c) { c.fastDereference = false; }},
+        {"- RAC block moves",
+         [](MachineConfig &c) { c.racBlockMoves = false; }},
+        {"- dual-port regfile",
+         [](MachineConfig &c) { c.dualPortRegisterFile = false; }},
+        {"- shallow backtracking",
+         [](MachineConfig &c) { c.shallowBacktracking = false; }},
+        {"none of the above", [](MachineConfig &c) {
+             c.parallelTrailCheck = false;
+             c.fastDereference = false;
+             c.racBlockMoves = false;
+             c.dualPortRegisterFile = false;
+             c.shallowBacktracking = false;
+         }},
+    };
+
+    MachineConfig baseline_config;
+    uint64_t baseline = suiteCycles(baseline_config);
+
+    TablePrinter table({"Configuration", "suite cycles", "slowdown"});
+    for (const auto &variant : variants) {
+        MachineConfig config;
+        variant.disable(config);
+        uint64_t cycles = suiteCycles(config);
+        table.addRow({variant.name, cellInt(cycles),
+                      cellRatio(double(cycles) / double(baseline))});
+    }
+
+    printf("Ablation of the specialized units (§5) over the whole PLM "
+           "suite\n(Table 2 measurement conventions).\n\n%s\n"
+           "Expected shape: each unit contributes a measurable share, "
+           "shallow\nbacktracking being the largest single win; removing "
+           "everything costs\naround 2x — the gap between KCM and a "
+           "conventional microcoded WAM.\n",
+           table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces the cache experiment of §3.2.4.
+ *
+ * "We ran a number of small programs in a simulator of a direct
+ *  mapped cache with two different initialisations; In the first run
+ *  the top-of-stack pointers were initialised to values such that
+ *  they used different cache locations. For the second run the
+ *  top-of-stack pointers were initialised such that they all pointed
+ *  to the same cache cell. The hit ratios were very good in the first
+ *  run and dropped quite dramatically in the second."
+ *
+ * This bench runs small PLM programs on a plain (non-zone-indexed)
+ * direct-mapped data cache under both initialisations, and on the
+ * actual KCM design (8 sections of 1K selected by the zone field),
+ * which makes stack collisions impossible by construction.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+#include "bench_support/harness.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/** Run one program/query under a given layout/cache config. */
+double
+hitRatio(const std::string &program, const std::string &goal,
+         const DataLayout &layout, bool zone_indexed,
+         unsigned section_words)
+{
+    KcmOptions options;
+    options.compiler.ioAsUnitClauses = true;
+    options.machine.mem.layout = layout;
+    options.machine.mem.dataCache.zoneIndexed = zone_indexed;
+    options.machine.mem.dataCache.sectionWords = section_words;
+    options.machine.mem.dataCache.sections = 8;
+
+    KcmSystem system(options);
+    system.consult(program);
+    system.query(goal);
+    return system.machine().mem().dataCache().hitRatio();
+}
+
+/**
+ * A worst-case small program: sum/2 walks a global-stack list while
+ * pushing one environment per element on the local stack, so the two
+ * stack tops advance in lockstep — exactly the access pattern that
+ * ping-pongs between colliding cache lines.
+ */
+const char *lockstepProgram = R"PL(
+build(0, []) :- !.
+build(N, [N|T]) :- M is N - 1, build(M, T).
+sum([], 0).
+sum([H|T], S) :- sum(T, S1), S is S1 + H.
+main(N) :- build(N, L), sum(L, _).
+)PL";
+
+} // namespace
+
+int
+main()
+{
+    setLoggingEnabled(false);
+
+    // Total cache size in the unified runs: 8 x 128 = 1K words — a
+    // small cache so the effect is pronounced, as in the paper's
+    // simulator study.
+    constexpr unsigned sectionWords = 256;
+    constexpr unsigned totalWords = 8 * sectionWords;
+
+    // Separated: stack bases fall into different cache locations.
+    DataLayout separated;
+    separated.globalStart = 0x0100000;
+    separated.localStart = 0x0200000 + 1 * (totalWords / 4);
+    separated.controlStart = 0x0300000 + 2 * (totalWords / 4);
+    separated.trailStart = 0x0400000 + 3 * (totalWords / 4);
+    separated.globalEnd = 0x0200000;
+    separated.localEnd = 0x0300000;
+    separated.controlEnd = 0x0380000;
+    separated.trailEnd = 0x0480000;
+
+    // Colliding: every top-of-stack pointer maps to the same cell
+    // (all bases are multiples of the cache size).
+    DataLayout colliding; // the default bases are all 0 mod 1K
+
+    struct Workload
+    {
+        std::string name;
+        std::string program;
+        std::string goal;
+    };
+    std::vector<Workload> workloads;
+    for (const char *name : {"nrev1", "qs4", "ops8", "queens"}) {
+        const PlmBenchmark &bench = plmBenchmark(name);
+        workloads.push_back({name, bench.program, bench.queryIo});
+    }
+    workloads.push_back({"lockstep", lockstepProgram, "main(60)"});
+
+    TablePrinter table({"Program", "separated hit%", "colliding hit%",
+                        "drop", "KCM zoned hit%"});
+
+    for (const auto &w : workloads) {
+        double separated_hits =
+            hitRatio(w.program, w.goal, separated, false, sectionWords);
+        double colliding_hits =
+            hitRatio(w.program, w.goal, colliding, false, sectionWords);
+        double zoned_hits =
+            hitRatio(w.program, w.goal, colliding, true, sectionWords);
+        table.addRow({w.name, cellFixed(separated_hits * 100, 2),
+                      cellFixed(colliding_hits * 100, 2),
+                      cellFixed((separated_hits - colliding_hits) * 100, 2),
+                      cellFixed(zoned_hits * 100, 2)});
+    }
+
+    printf("Cache-collision experiment (§3.2.4): plain direct-mapped "
+           "data cache (1K words)\nwith separated vs colliding "
+           "top-of-stack initialisations, vs the KCM\nzone-sectioned "
+           "design (8 x 128 words, section selected by zone field).\n\n"
+           "%s\n"
+           "Expected shape: separated hit ratios are very good; the "
+           "colliding run drops\ndramatically; the zone-sectioned KCM "
+           "cache matches the separated case by\nconstruction "
+           "regardless of stack placement.\n",
+           table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the specialized units the
+ * paper proposes to evaluate individually in §5: dereferencing, trail
+ * checks, unification dispatch, and choice point save/restore — plus
+ * the host-side speed of the simulator and compiler themselves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support/plm_suite.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/** Build a system with a consulted program, ready to run queries. */
+QueryResult
+runOn(const char *program, const std::string &goal)
+{
+    KcmSystem system;
+    if (*program)
+        system.consult(program);
+    return system.query(goal);
+}
+
+void
+BM_DerefChain(benchmark::State &state)
+{
+    // Long reference chains: X1 = X2, X2 = X3, ... then touch X1.
+    std::string goal;
+    int n = int(state.range(0));
+    for (int i = 0; i < n; ++i)
+        goal += "X" + std::to_string(i) + " = X" + std::to_string(i + 1) +
+                ", ";
+    goal += "X" + std::to_string(n) + " = end, atom(X0)";
+    for (auto _ : state) {
+        auto result = runOn("", goal);
+        benchmark::DoNotOptimize(result.success);
+    }
+}
+BENCHMARK(BM_DerefChain)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_UnifyGroundLists(benchmark::State &state)
+{
+    std::string list = "[";
+    for (int i = 0; i < state.range(0); ++i)
+        list += (i ? "," : "") + std::to_string(i);
+    list += "]";
+    std::string goal = list + " = " + list;
+    for (auto _ : state) {
+        auto result = runOn("", goal);
+        benchmark::DoNotOptimize(result.success);
+    }
+}
+BENCHMARK(BM_UnifyGroundLists)->Arg(8)->Arg(64);
+
+void
+BM_ChoicePointChurn(benchmark::State &state)
+{
+    const char *program =
+        "p(1). p(2). p(3). p(4). p(5). p(6). p(7). p(8).\n"
+        "churn(0).\n"
+        "churn(N) :- p(_), M is N - 1, churn(M).\n";
+    for (auto _ : state) {
+        auto result =
+            runOn(program, "churn(" + std::to_string(state.range(0)) + ")");
+        benchmark::DoNotOptimize(result.success);
+    }
+}
+BENCHMARK(BM_ChoicePointChurn)->Arg(64);
+
+void
+BM_CompileNrev(benchmark::State &state)
+{
+    const PlmBenchmark &bench = plmBenchmark("nrev1");
+    for (auto _ : state) {
+        KcmSystem system;
+        system.consult(bench.program);
+        CodeImage image = system.compileOnly(bench.queryPure);
+        benchmark::DoNotOptimize(image.words.size());
+    }
+}
+BENCHMARK(BM_CompileNrev);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Host-side speed: simulated cycles per wall second on nrev(30).
+    const PlmBenchmark &bench = plmBenchmark("nrev1");
+    KcmSystem system;
+    system.consult(bench.pureProgram());
+    CodeImage image = system.compileOnly(bench.queryPure);
+    uint64_t simulated = 0;
+    for (auto _ : state) {
+        Machine machine;
+        machine.load(image);
+        machine.run();
+        simulated += machine.cycles();
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        double(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

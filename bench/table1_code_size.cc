@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Table 1: static code size comparison (KCM vs PLM vs
+ * SPUR) over the PLM suite, compiled with integer arithmetic and
+ * static linking, runtime library excluded (§4.1).
+ *
+ * The PLM and SPUR columns are the published figures (Dobry et al.,
+ * Borriello et al.), exactly as in the paper; the KCM columns are
+ * measured from our compiler's linked image. KCM instructions are 8
+ * bytes; switch instructions are the only multi-word ones.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+#include "bench_support/harness.hh"
+#include "bench_support/paper_data.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+
+    TablePrinter table({"Program", "PLM i", "PLM B", "SPUR i", "SPUR B",
+                        "KCM i", "KCM w", "KCM B", "KCM/PLM i",
+                        "KCM/PLM B", "SPUR/KCM i", "SPUR/KCM B",
+                        "KCM i(paper)", "KCM w(paper)"});
+
+    double sum_kcm_plm_i = 0;
+    double sum_kcm_plm_b = 0;
+    double sum_spur_kcm_i = 0;
+    double sum_spur_kcm_b = 0;
+    int rows = 0;
+
+    for (const auto &paper : paperTable1()) {
+        const PlmBenchmark &bench = plmBenchmark(paper.program);
+
+        KcmOptions options;
+        options.compiler.ioAsUnitClauses = true;
+        KcmSystem system(options);
+        system.consult(bench.program);
+        CodeImage image = system.compileOnly(bench.queryIo);
+
+        size_t instr = 0;
+        size_t words = 0;
+        image.programSize(instr, words);
+        size_t bytes = words * 8;
+
+        double kcm_plm_i = double(instr) / paper.plmInstr;
+        double kcm_plm_b = double(bytes) / paper.plmBytes;
+        double spur_kcm_i = double(paper.spurInstr) / double(instr);
+        double spur_kcm_b = double(paper.spurBytes) / double(bytes);
+        sum_kcm_plm_i += kcm_plm_i;
+        sum_kcm_plm_b += kcm_plm_b;
+        sum_spur_kcm_i += spur_kcm_i;
+        sum_spur_kcm_b += spur_kcm_b;
+        ++rows;
+
+        table.addRow({paper.program, cellInt(paper.plmInstr),
+                      cellInt(paper.plmBytes), cellInt(paper.spurInstr),
+                      cellInt(paper.spurBytes), cellInt(instr),
+                      cellInt(words), cellInt(bytes),
+                      cellRatio(kcm_plm_i), cellRatio(kcm_plm_b),
+                      cellRatio(spur_kcm_i), cellRatio(spur_kcm_b),
+                      cellInt(paper.kcmInstrPaper),
+                      cellInt(paper.kcmWordsPaper)});
+    }
+
+    table.addRow({"average", "", "", "", "", "", "", "",
+                  cellRatio(sum_kcm_plm_i / rows),
+                  cellRatio(sum_kcm_plm_b / rows),
+                  cellRatio(sum_spur_kcm_i / rows),
+                  cellRatio(sum_spur_kcm_b / rows), "", ""});
+
+    printf("Table 1: Static code size comparison "
+           "(paper's average ratios: KCM/PLM instr 1.10, bytes 2.96; "
+           "SPUR/KCM instr 13.61, bytes 6.43)\n\n%s\n",
+           table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A look under the hood: compile a predicate and disassemble the KCM
+ * code the compiler produced — switch_on_term indexing, the
+ * try/retry/trust chain, the neck instruction where a delayed choice
+ * point would materialize, and the unify_list cells of a static list.
+ */
+
+#include <cstdio>
+
+#include "isa/disasm.hh"
+#include "kcm/kcm.hh"
+
+int
+main()
+{
+    kcm::KcmSystem system;
+    system.consult(R"PL(
+        part([], _, [], []).
+        part([X|L], Y, [X|L1], L2) :- X =< Y, part(L, Y, L1, L2).
+        part([X|L], Y, L1, [X|L2]) :- X > Y, part(L, Y, L1, L2).
+    )PL");
+    kcm::CodeImage image = system.compileOnly("part([3,1,4], 2, A, B)");
+
+    const kcm::PredicateInfo *info =
+        image.find({kcm::internAtom("part"), 4});
+
+    printf("KCM code of part/4 (%zu instructions, %zu words):\n\n",
+           info->instructions, info->words);
+    printf("%s\n",
+           kcm::disasmRange(image.words, info->entry - image.base,
+                            info->entry - image.base + info->words)
+               .c_str());
+
+    printf("query code (list built with a unify_list chain):\n\n");
+    printf("%s",
+           kcm::disasmRange(image.words, image.queryEntry - image.base,
+                            image.words.size())
+               .c_str());
+
+    // Run it and show what the guard-based clause selection did.
+    auto result = system.query("part([3,1,4], 2, A, B)");
+    printf("\nresult: %s\n", result.solutions[0].toString().c_str());
+    kcm::Machine &machine = system.machine();
+    printf("choice points created: %llu (every partition step decided "
+           "by its guard)\n",
+           (unsigned long long)machine.choicePointsCreated.value());
+    return 0;
+}

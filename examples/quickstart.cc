@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: embed the KCM system, consult a program, run queries,
+ * and read the machine's measurements.
+ *
+ * Build tree: build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "kcm/kcm.hh"
+
+int
+main()
+{
+    // A KCM installation: host-side compiler plus the simulated
+    // back-end processor (Fig. 1 of the paper).
+    kcm::KcmSystem system;
+
+    // Consult a program, exactly as Prolog source text.
+    system.consult(R"PL(
+        append([], L, L).
+        append([H|T], L, [H|R]) :- append(T, L, R).
+
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+    )PL");
+
+    // Run a query; the first solution is collected by default.
+    kcm::QueryResult result = system.query("append([1,2], [3,4], X)");
+    printf("append([1,2], [3,4], X)  =>  %s\n",
+           result.solutions[0].toString().c_str());
+
+    // Every run is measured in KCM cycles (80 ns each).
+    printf("  %llu inferences in %llu cycles = %.3f us simulated "
+           "(%.0f Klips)\n",
+           (unsigned long long)result.inferences,
+           (unsigned long long)result.cycles, result.seconds * 1e6,
+           result.klips);
+
+    // Enumerate multiple solutions by raising maxSolutions.
+    kcm::KcmOptions options;
+    options.maxSolutions = 16;
+    kcm::KcmSystem enumerator(options);
+    enumerator.consult("color(red). color(green). color(blue).");
+    for (const auto &solution : enumerator.query("color(C)").solutions)
+        printf("color: %s\n", solution.toString().c_str());
+
+    // Failure is a normal outcome, not an error.
+    kcm::QueryResult no = system.query("member(5, [1,2,3])");
+    printf("member(5, [1,2,3]) => %s\n", no.success ? "true" : "false");
+
+    return 0;
+}

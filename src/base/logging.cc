@@ -1,0 +1,33 @@
+#include "base/logging.hh"
+
+#include <iostream>
+
+namespace kcm
+{
+
+namespace
+{
+bool loggingEnabled = true;
+} // namespace
+
+void
+setLoggingEnabled(bool enabled)
+{
+    loggingEnabled = enabled;
+}
+
+void
+warnMessage(const std::string &msg)
+{
+    if (loggingEnabled)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informMessage(const std::string &msg)
+{
+    if (loggingEnabled)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace kcm

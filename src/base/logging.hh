@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Error reporting and status messages.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this codebase); fatal() is for conditions caused
+ * by user input (bad programs, bad configuration); warn()/inform() are
+ * non-terminating status channels.
+ */
+
+#ifndef KCM_BASE_LOGGING_HH
+#define KCM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kcm
+{
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user's input or configuration is unusable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    detail::formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Concatenate the arguments into a std::string via operator<<. */
+template <typename... Args>
+std::string
+cat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+/**
+ * Report an internal error that should never happen regardless of user
+ * input. Throws PanicError so tests can assert on misbehaviour instead
+ * of aborting the process.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(cat("panic: ", args...));
+}
+
+/** Report an unrecoverable user-level error (bad program, bad config). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(cat("fatal: ", args...));
+}
+
+/** Emit a warning to stderr; execution continues. */
+void warnMessage(const std::string &msg);
+
+/** Emit an informational message to stderr; execution continues. */
+void informMessage(const std::string &msg);
+
+/** Globally enable/disable warn()/inform() output (quiet benchmarks). */
+void setLoggingEnabled(bool enabled);
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnMessage(cat(args...));
+}
+
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informMessage(cat(args...));
+}
+
+} // namespace kcm
+
+#endif // KCM_BASE_LOGGING_HH

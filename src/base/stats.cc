@@ -1,0 +1,48 @@
+#include "base/stats.hh"
+
+#include "base/logging.hh"
+
+namespace kcm
+{
+
+void
+StatGroup::reset()
+{
+    for (auto &entry : entries_)
+        entry.counter->reset();
+    for (auto *child : children_)
+        child->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string here = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &entry : entries_)
+        os << here << "." << entry.name << " " << entry.counter->value()
+           << "\n";
+    for (const auto *child : children_)
+        child->dump(os, here);
+}
+
+uint64_t
+StatGroup::lookup(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &entry : entries_) {
+            if (entry.name == path)
+                return entry.counter->value();
+        }
+        fatal("no such statistic: ", _name, ".", path);
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const auto *child : children_) {
+        if (child->name() == head)
+            return child->lookup(rest);
+    }
+    fatal("no such statistic group: ", _name, ".", head);
+}
+
+} // namespace kcm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight statistics counters.
+ *
+ * Every hardware unit in the simulator owns a StatGroup and registers
+ * named counters in it. Groups nest, so the Machine can dump one tree
+ * of every statistic in the system (cache hits, trail pushes, choice
+ * points created, pipeline breaks, ...).
+ */
+
+#ifndef KCM_BASE_STATS_HH
+#define KCM_BASE_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kcm
+{
+
+/** A single named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++_value; }
+    void operator++(int) { ++_value; }
+    void operator+=(uint64_t n) { _value += n; }
+
+    uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    uint64_t _value = 0;
+};
+
+/**
+ * A named collection of counters and sub-groups. Non-owning: the
+ * counters live inside the component objects; the group only holds
+ * pointers for enumeration and reset.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Register a counter under this group. */
+    void
+    add(const std::string &name, Counter &counter)
+    {
+        entries_.push_back({name, &counter});
+    }
+
+    /** Register a child group (e.g. machine -> dcache). */
+    void addChild(StatGroup &child) { children_.push_back(&child); }
+
+    /** Reset every counter in this group and all children. */
+    void reset();
+
+    /** Dump "group.counter value" lines, one per counter. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Find a counter value by dotted path ("dcache.readHits"). */
+    uint64_t lookup(const std::string &path) const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Counter *counter;
+    };
+
+    std::string _name;
+    std::vector<Entry> entries_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace kcm
+
+#endif // KCM_BASE_STATS_HH

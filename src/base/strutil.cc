@@ -1,0 +1,68 @@
+#include "base/strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace kcm
+{
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::string
+padLeft(const std::string &s, size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return s + std::string(w - s.size(), ' ');
+}
+
+std::string
+fixed(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+} // namespace kcm

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small string helpers shared by the front end and the table printers.
+ */
+
+#ifndef KCM_BASE_STRUTIL_HH
+#define KCM_BASE_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace kcm
+{
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Split @p s on character @p sep (empty pieces kept). */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Left-pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, size_t w);
+
+/** Right-pad @p s with spaces to width @p w. */
+std::string padRight(const std::string &s, size_t w);
+
+/** Format a double with @p digits decimal places. */
+std::string fixed(double value, int digits);
+
+} // namespace kcm
+
+#endif // KCM_BASE_STRUTIL_HH

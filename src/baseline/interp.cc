@@ -1,0 +1,744 @@
+#include "baseline/interp.hh"
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "prolog/writer.hh"
+
+namespace kcm::baseline
+{
+
+namespace
+{
+
+/** Dereference a cell through its binding chain. */
+Cell *
+deref(Cell *c)
+{
+    while (c->kind == Cell::Kind::Var && c->ref)
+        c = c->ref;
+    return c;
+}
+
+} // namespace
+
+std::string
+InterpSolution::toString() const
+{
+    std::string out;
+    bool first = true;
+    for (const auto &[name, term] : bindings) {
+        if (!first)
+            out += ", ";
+        out += name + " = " + writeTerm(term);
+        first = false;
+    }
+    if (bindings.empty())
+        out = "true";
+    return out;
+}
+
+struct Interpreter::Impl
+{
+    // --- storage ---
+
+    std::deque<Cell> arena;
+    std::vector<Cell *> trail;
+    OperatorTable ops;
+
+    struct StoredClause
+    {
+        TermRef head;
+        TermRef body; ///< null for facts
+    };
+    std::map<Functor, std::vector<StoredClause>> database;
+
+    uint64_t inferences = 0;
+    std::string output;
+    /** Monotone id per call-like region (predicate invocation,
+     *  disjunction, negation); used to scope cuts. */
+    uint64_t nextCallId = 1;
+    /** Id of the region whose alternatives a fired cut prunes
+     *  (UINT64_MAX = no cut pending). */
+    uint64_t cutBarrier = UINT64_MAX;
+    size_t maxSolutions = 1;
+    std::vector<InterpSolution> solutions;
+    std::vector<std::pair<std::string, Cell *>> queryVars;
+
+    // --- cell building ---
+
+    Cell *
+    newCell()
+    {
+        arena.emplace_back();
+        return &arena.back();
+    }
+
+    Cell *
+    newVar()
+    {
+        Cell *c = newCell();
+        c->kind = Cell::Kind::Var;
+        return c;
+    }
+
+    /** Instantiate a source term with a per-activation variable map. */
+    Cell *
+    instantiate(const TermRef &t,
+                std::unordered_map<const Term *, Cell *> &vars)
+    {
+        switch (t->kind()) {
+          case TermKind::Var: {
+            auto it = vars.find(t.get());
+            if (it != vars.end())
+                return it->second;
+            Cell *v = newVar();
+            vars.emplace(t.get(), v);
+            return v;
+          }
+          case TermKind::Atom: {
+            Cell *c = newCell();
+            c->kind = Cell::Kind::Atom;
+            c->functor = t->atom();
+            return c;
+          }
+          case TermKind::Int: {
+            Cell *c = newCell();
+            c->kind = Cell::Kind::Int;
+            c->intValue = t->intValue();
+            return c;
+          }
+          case TermKind::Float: {
+            Cell *c = newCell();
+            c->kind = Cell::Kind::Float;
+            c->floatValue = t->floatValue();
+            return c;
+          }
+          case TermKind::Struct: {
+            Cell *c = newCell();
+            c->kind = Cell::Kind::Struct;
+            c->functor = t->functorName();
+            for (const auto &arg : t->args())
+                c->args.push_back(instantiate(arg, vars));
+            return c;
+          }
+        }
+        panic("instantiate: unreachable");
+    }
+
+    /** Convert a runtime cell back into a source term. */
+    TermRef
+    exportCell(Cell *c, std::unordered_map<Cell *, TermRef> &vars,
+               int depth = 0)
+    {
+        if (depth > 4000)
+            return Term::makeAtom("...");
+        c = deref(c);
+        switch (c->kind) {
+          case Cell::Kind::Var: {
+            auto it = vars.find(c);
+            if (it != vars.end())
+                return it->second;
+            TermRef v = Term::makeVar("_B");
+            vars.emplace(c, v);
+            return v;
+          }
+          case Cell::Kind::Atom:
+            return Term::makeAtom(c->functor);
+          case Cell::Kind::Int:
+            return Term::makeInt(c->intValue);
+          case Cell::Kind::Float:
+            return Term::makeFloat(c->floatValue);
+          case Cell::Kind::Struct: {
+            std::vector<TermRef> args;
+            for (Cell *arg : c->args)
+                args.push_back(exportCell(arg, vars, depth + 1));
+            return Term::makeStruct(c->functor, std::move(args));
+          }
+        }
+        panic("exportCell: unreachable");
+    }
+
+    // --- unification ---
+
+    void
+    bindVar(Cell *var, Cell *value)
+    {
+        var->ref = value;
+        trail.push_back(var);
+    }
+
+    size_t trailMark() const { return trail.size(); }
+
+    void
+    undoTrail(size_t mark)
+    {
+        while (trail.size() > mark) {
+            trail.back()->ref = nullptr;
+            trail.pop_back();
+        }
+    }
+
+    bool
+    unify(Cell *a, Cell *b)
+    {
+        a = deref(a);
+        b = deref(b);
+        if (a == b)
+            return true;
+        if (a->kind == Cell::Kind::Var) {
+            bindVar(a, b);
+            return true;
+        }
+        if (b->kind == Cell::Kind::Var) {
+            bindVar(b, a);
+            return true;
+        }
+        if (a->kind != b->kind)
+            return false;
+        switch (a->kind) {
+          case Cell::Kind::Atom:
+            return a->functor == b->functor;
+          case Cell::Kind::Int:
+            return a->intValue == b->intValue;
+          case Cell::Kind::Float:
+            return a->floatValue == b->floatValue;
+          case Cell::Kind::Struct:
+            if (a->functor != b->functor ||
+                a->args.size() != b->args.size()) {
+                return false;
+            }
+            for (size_t i = 0; i < a->args.size(); ++i) {
+                if (!unify(a->args[i], b->args[i]))
+                    return false;
+            }
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    // --- arithmetic ---
+
+    bool
+    evalArith(Cell *c, double &out, bool &is_float)
+    {
+        c = deref(c);
+        switch (c->kind) {
+          case Cell::Kind::Int:
+            out = double(c->intValue);
+            return true;
+          case Cell::Kind::Float:
+            out = c->floatValue;
+            is_float = true;
+            return true;
+          case Cell::Kind::Struct:
+            break;
+          default:
+            return false;
+        }
+        const std::string &name = atomText(c->functor);
+        if (c->args.size() == 1) {
+            double a;
+            if (!evalArith(c->args[0], a, is_float))
+                return false;
+            if (name == "-") { out = -a; return true; }
+            if (name == "+") { out = a; return true; }
+            if (name == "abs") { out = std::fabs(a); return true; }
+            return false;
+        }
+        if (c->args.size() == 2) {
+            double a;
+            double b;
+            if (!evalArith(c->args[0], a, is_float) ||
+                !evalArith(c->args[1], b, is_float)) {
+                return false;
+            }
+            if (name == "+") { out = a + b; return true; }
+            if (name == "-") { out = a - b; return true; }
+            if (name == "*") { out = a * b; return true; }
+            if (name == "//" || (name == "/" && !is_float)) {
+                if (int64_t(b) == 0)
+                    return false;
+                out = double(int64_t(a) / int64_t(b));
+                return true;
+            }
+            if (name == "/") {
+                if (b == 0)
+                    return false;
+                out = a / b;
+                return true;
+            }
+            if (name == "mod") {
+                if (int64_t(b) == 0)
+                    return false;
+                out = double(int64_t(a) % int64_t(b));
+                return true;
+            }
+            if (name == "min") { out = std::min(a, b); return true; }
+            if (name == "max") { out = std::max(a, b); return true; }
+            return false;
+        }
+        return false;
+    }
+
+    Cell *
+    arithCell(double v, bool is_float)
+    {
+        Cell *c = newCell();
+        if (is_float) {
+            c->kind = Cell::Kind::Float;
+            c->floatValue = v;
+        } else {
+            c->kind = Cell::Kind::Int;
+            c->intValue = int64_t(v);
+        }
+        return c;
+    }
+
+    // --- structural comparison ---
+
+    int
+    compareCells(Cell *a, Cell *b)
+    {
+        a = deref(a);
+        b = deref(b);
+        auto klass = [](Cell *c) {
+            switch (c->kind) {
+              case Cell::Kind::Var: return 0;
+              case Cell::Kind::Int:
+              case Cell::Kind::Float: return 1;
+              case Cell::Kind::Atom: return 2;
+              default: return 3;
+            }
+        };
+        int ka = klass(a);
+        int kb = klass(b);
+        if (ka != kb)
+            return ka < kb ? -1 : 1;
+        switch (ka) {
+          case 0:
+            return a == b ? 0 : (a < b ? -1 : 1);
+          case 1: {
+            double va = a->kind == Cell::Kind::Int ? double(a->intValue)
+                                                   : a->floatValue;
+            double vb = b->kind == Cell::Kind::Int ? double(b->intValue)
+                                                   : b->floatValue;
+            return va == vb ? 0 : (va < vb ? -1 : 1);
+          }
+          case 2: {
+            int c = atomText(a->functor).compare(atomText(b->functor));
+            return c < 0 ? -1 : c > 0 ? 1 : 0;
+          }
+          default: {
+            if (a->args.size() != b->args.size())
+                return a->args.size() < b->args.size() ? -1 : 1;
+            int c = atomText(a->functor).compare(atomText(b->functor));
+            if (c)
+                return c < 0 ? -1 : 1;
+            for (size_t i = 0; i < a->args.size(); ++i) {
+                int r = compareCells(a->args[i], b->args[i]);
+                if (r)
+                    return r;
+            }
+            return 0;
+          }
+        }
+    }
+
+    // --- the solver ---
+
+    /** Continuation: returns true to stop the whole search. */
+    using Cont = std::function<bool()>;
+
+    /**
+     * After a region (call id @p my_id) finished exploring one
+     * alternative, decide whether a fired cut prunes the remaining
+     * ones. Returns true if the loop must stop.
+     */
+    bool
+    cutPrunes(uint64_t my_id)
+    {
+        if (cutBarrier == UINT64_MAX)
+            return false;
+        if (cutBarrier == my_id) {
+            cutBarrier = UINT64_MAX; // consumed at its own region
+            return true;
+        }
+        return cutBarrier < my_id; // keep propagating outwards
+    }
+
+    /**
+     * Solve @p goal then continue with @p k.
+     * @param cut_id the call id of the enclosing clause's predicate
+     *        invocation — the region a '!' in this goal prunes.
+     * @return true to stop the whole search (enough solutions).
+     */
+    bool
+    solve(Cell *goal, uint64_t cut_id, const Cont &k)
+    {
+        goal = deref(goal);
+
+        if (goal->kind == Cell::Kind::Var) {
+            warn("baseline: unbound goal");
+            return false;
+        }
+        if (goal->kind != Cell::Kind::Atom &&
+            goal->kind != Cell::Kind::Struct) {
+            return false;
+        }
+
+        const std::string &name = atomText(goal->functor);
+        size_t arity = goal->args.size();
+        auto arg = [&](size_t i) { return goal->args[i]; };
+
+        ++inferences;
+
+        // Control constructs.
+        if (name == "true" && arity == 0)
+            return k();
+        if ((name == "fail" || name == "false") && arity == 0)
+            return false;
+        if (name == "!" && arity == 0) {
+            if (k())
+                return true;
+            // Backtracking into the cut prunes everything up to the
+            // enclosing clause's invocation.
+            cutBarrier = std::min(cutBarrier, cut_id);
+            return false;
+        }
+        if (name == "," && arity == 2) {
+            --inferences; // conjunctions are not goals
+            return solve(arg(0), cut_id, [&]() {
+                return solve(arg(1), cut_id, k);
+            });
+        }
+        if (name == ";" && arity == 2) {
+            --inferences;
+            Cell *lhs = deref(arg(0));
+            uint64_t my_id = nextCallId++;
+            if (lhs->kind == Cell::Kind::Struct &&
+                atomText(lhs->functor) == "->" && lhs->args.size() == 2) {
+                // If-then-else: commit to the first solution of the
+                // condition.
+                size_t mark = trailMark();
+                bool cond_ok = false;
+                solve(lhs->args[0], my_id, [&]() {
+                    cond_ok = true;
+                    return true; // keep bindings, stop the search
+                });
+                if (cond_ok)
+                    return solve(lhs->args[1], my_id, k);
+                undoTrail(mark);
+                return solve(arg(1), my_id, k);
+            }
+            // Note: like the KCM compiler (which realizes control
+            // constructs as auxiliary predicates), a cut inside a
+            // disjunction is local to the disjunction.
+            size_t mark = trailMark();
+            bool stop = solve(arg(0), my_id, k);
+            if (stop)
+                return true;
+            if (cutPrunes(my_id))
+                return false;
+            undoTrail(mark);
+            return solve(arg(1), my_id, k);
+        }
+        if (name == "->" && arity == 2) {
+            --inferences;
+            size_t mark = trailMark();
+            uint64_t my_id = nextCallId++;
+            bool cond_ok = false;
+            solve(arg(0), my_id, [&]() {
+                cond_ok = true;
+                return true;
+            });
+            if (cond_ok)
+                return solve(arg(1), my_id, k);
+            undoTrail(mark);
+            return false;
+        }
+        if (name == "\\+" && arity == 1) {
+            size_t mark = trailMark();
+            uint64_t my_id = nextCallId++;
+            bool found = false;
+            solve(arg(0), my_id, [&]() {
+                found = true;
+                return true;
+            });
+            undoTrail(mark);
+            return found ? false : k();
+        }
+        if (name == "call" && arity == 1) {
+            uint64_t my_id = nextCallId++;
+            return solve(arg(0), my_id, k);
+        }
+
+        // Builtins.
+        if (name == "=" && arity == 2) {
+            size_t mark = trailMark();
+            if (unify(arg(0), arg(1))) {
+                if (k())
+                    return true;
+            }
+            undoTrail(mark);
+            return false;
+        }
+        if (name == "is" && arity == 2) {
+            double v;
+            bool is_float = false;
+            if (!evalArith(arg(1), v, is_float))
+                return false;
+            size_t mark = trailMark();
+            if (unify(arg(0), arithCell(v, is_float)) && k())
+                return true;
+            undoTrail(mark);
+            return false;
+        }
+        {
+            static const std::map<std::string, int> cmps = {
+                {"<", 0}, {">", 1}, {"=<", 2},
+                {">=", 3}, {"=:=", 4}, {"=\\=", 5}};
+            auto it = cmps.find(name);
+            if (it != cmps.end() && arity == 2) {
+                double a;
+                double b;
+                bool fa = false;
+                bool fb = false;
+                if (!evalArith(arg(0), a, fa) || !evalArith(arg(1), b, fb))
+                    return false;
+                bool ok = false;
+                switch (it->second) {
+                  case 0: ok = a < b; break;
+                  case 1: ok = a > b; break;
+                  case 2: ok = a <= b; break;
+                  case 3: ok = a >= b; break;
+                  case 4: ok = a == b; break;
+                  case 5: ok = a != b; break;
+                }
+                return ok ? k() : false;
+            }
+        }
+        if (name == "==" && arity == 2)
+            return compareCells(arg(0), arg(1)) == 0 ? k() : false;
+        if (name == "\\==" && arity == 2)
+            return compareCells(arg(0), arg(1)) != 0 ? k() : false;
+        if (name == "@<" && arity == 2)
+            return compareCells(arg(0), arg(1)) < 0 ? k() : false;
+        if (name == "@>" && arity == 2)
+            return compareCells(arg(0), arg(1)) > 0 ? k() : false;
+        if (name == "@=<" && arity == 2)
+            return compareCells(arg(0), arg(1)) <= 0 ? k() : false;
+        if (name == "@>=" && arity == 2)
+            return compareCells(arg(0), arg(1)) >= 0 ? k() : false;
+        if (name == "var" && arity == 1)
+            return deref(arg(0))->kind == Cell::Kind::Var ? k() : false;
+        if (name == "nonvar" && arity == 1)
+            return deref(arg(0))->kind != Cell::Kind::Var ? k() : false;
+        if (name == "atom" && arity == 1)
+            return deref(arg(0))->kind == Cell::Kind::Atom ? k() : false;
+        if (name == "integer" && arity == 1)
+            return deref(arg(0))->kind == Cell::Kind::Int ? k() : false;
+        if (name == "float" && arity == 1)
+            return deref(arg(0))->kind == Cell::Kind::Float ? k() : false;
+        if (name == "number" && arity == 1) {
+            Cell *c = deref(arg(0));
+            return (c->kind == Cell::Kind::Int ||
+                    c->kind == Cell::Kind::Float)
+                       ? k()
+                       : false;
+        }
+        if (name == "atomic" && arity == 1) {
+            Cell *c = deref(arg(0));
+            return (c->kind != Cell::Kind::Var &&
+                    c->kind != Cell::Kind::Struct)
+                       ? k()
+                       : false;
+        }
+        if (name == "compound" && arity == 1)
+            return deref(arg(0))->kind == Cell::Kind::Struct ? k() : false;
+        if ((name == "write" || name == "writeq" || name == "print") &&
+            arity == 1) {
+            std::unordered_map<Cell *, TermRef> vars;
+            WriteOptions options;
+            options.quoted = name == "writeq";
+            output += writeTerm(exportCell(arg(0), vars), ops, options);
+            return k();
+        }
+        if (name == "nl" && arity == 0) {
+            output += "\n";
+            return k();
+        }
+        if (name == "functor" && arity == 3) {
+            Cell *t = deref(arg(0));
+            if (t->kind != Cell::Kind::Var) {
+                Cell *nm = newCell();
+                Cell *ar = newCell();
+                ar->kind = Cell::Kind::Int;
+                if (t->kind == Cell::Kind::Struct) {
+                    nm->kind = Cell::Kind::Atom;
+                    nm->functor = t->functor;
+                    ar->intValue = int64_t(t->args.size());
+                } else {
+                    *nm = *t;
+                    ar->intValue = 0;
+                }
+                size_t mark = trailMark();
+                if (unify(arg(1), nm) && unify(arg(2), ar) && k())
+                    return true;
+                undoTrail(mark);
+                return false;
+            }
+            Cell *nm = deref(arg(1));
+            Cell *ar = deref(arg(2));
+            if (ar->kind != Cell::Kind::Int)
+                return false;
+            Cell *built;
+            if (ar->intValue == 0) {
+                built = nm;
+            } else {
+                if (nm->kind != Cell::Kind::Atom)
+                    return false;
+                built = newCell();
+                built->kind = Cell::Kind::Struct;
+                built->functor = nm->functor;
+                for (int64_t i = 0; i < ar->intValue; ++i)
+                    built->args.push_back(newVar());
+            }
+            size_t mark = trailMark();
+            if (unify(t, built) && k())
+                return true;
+            undoTrail(mark);
+            return false;
+        }
+        if (name == "arg" && arity == 3) {
+            Cell *n = deref(arg(0));
+            Cell *t = deref(arg(1));
+            if (n->kind != Cell::Kind::Int ||
+                t->kind != Cell::Kind::Struct) {
+                return false;
+            }
+            if (n->intValue < 1 ||
+                size_t(n->intValue) > t->args.size()) {
+                return false;
+            }
+            size_t mark = trailMark();
+            if (unify(arg(2), t->args[size_t(n->intValue) - 1]) && k())
+                return true;
+            undoTrail(mark);
+            return false;
+        }
+
+        // User predicates.
+        Functor f{goal->functor, uint32_t(arity)};
+        auto it = database.find(f);
+        if (it == database.end()) {
+            warn("baseline: undefined predicate ", name, "/", arity);
+            return false;
+        }
+
+        uint64_t my_id = nextCallId++;
+        for (const auto &clause : it->second) {
+            size_t mark = trailMark();
+            std::unordered_map<const Term *, Cell *> vars;
+            Cell *head = instantiate(clause.head, vars);
+            bool heads_match = true;
+            if (goal->kind == Cell::Kind::Struct) {
+                for (size_t i = 0; i < arity && heads_match; ++i)
+                    heads_match = unify(arg(i), head->args[i]);
+            }
+            if (heads_match) {
+                bool stop;
+                if (clause.body) {
+                    Cell *body = instantiate(clause.body, vars);
+                    stop = solve(body, my_id, k);
+                } else {
+                    stop = k();
+                }
+                if (stop)
+                    return true;
+            }
+            undoTrail(mark);
+            if (cutPrunes(my_id))
+                return false;
+        }
+        return false;
+    }
+};
+
+Interpreter::Interpreter() : impl_(std::make_unique<Impl>()) {}
+
+Interpreter::~Interpreter() = default;
+
+void
+Interpreter::consult(const std::string &source)
+{
+    Parser parser(source, impl_->ops);
+    ReadClause read;
+    while (parser.readClause(read)) {
+        const TermRef &term = read.term;
+        if (term->isStruct() && term->arity() == 1 &&
+            (atomText(term->functorName()) == ":-" ||
+             atomText(term->functorName()) == "?-")) {
+            continue; // directives: op/3 handled by the reader
+        }
+        Impl::StoredClause clause;
+        if (term->isStruct() && term->arity() == 2 &&
+            atomText(term->functorName()) == ":-") {
+            clause.head = term->arg(0);
+            clause.body = term->arg(1);
+        } else {
+            clause.head = term;
+        }
+        impl_->database[clause.head->functor()].push_back(clause);
+    }
+}
+
+InterpResult
+Interpreter::query(const std::string &goal, size_t max_solutions)
+{
+    Parser parser(goal + " .", impl_->ops);
+    ReadClause read;
+    if (!parser.readClause(read))
+        fatal("baseline: empty query");
+
+    impl_->inferences = 0;
+    impl_->output.clear();
+    impl_->solutions.clear();
+    impl_->maxSolutions = max_solutions;
+
+    std::unordered_map<const Term *, Cell *> vars;
+    Cell *body = impl_->instantiate(read.term, vars);
+
+    std::vector<std::pair<std::string, Cell *>> named;
+    for (const auto &[name, var] : read.varNames)
+        named.emplace_back(name, vars.at(var.get()));
+
+    auto start = std::chrono::steady_clock::now();
+    impl_->cutBarrier = UINT64_MAX;
+    uint64_t top_id = impl_->nextCallId++;
+    impl_->solve(body, top_id, [&]() {
+        InterpSolution solution;
+        std::unordered_map<Cell *, TermRef> export_vars;
+        for (const auto &[name, cell] : named) {
+            solution.bindings.emplace_back(
+                name, impl_->exportCell(cell, export_vars));
+        }
+        impl_->solutions.push_back(std::move(solution));
+        return impl_->solutions.size() >= impl_->maxSolutions;
+    });
+    auto end = std::chrono::steady_clock::now();
+
+    InterpResult result;
+    result.success = !impl_->solutions.empty();
+    result.solutions = std::move(impl_->solutions);
+    result.output = impl_->output;
+    result.inferences = impl_->inferences;
+    result.seconds = std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+} // namespace kcm::baseline

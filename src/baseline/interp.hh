@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reference Prolog interpreter (the software baseline).
+ *
+ * A straightforward structure-copying SLD-resolution interpreter over
+ * the front end's term representation. It plays two roles:
+ *
+ *  - a differential-testing oracle: the KCM simulator and this
+ *    interpreter must agree on every solution;
+ *  - a "portable software system on a general-purpose CPU" comparison
+ *    point, measured in wall-clock time (the role QUINTUS/SUN3 plays
+ *    in Table 3).
+ *
+ * It is deliberately *not* a WAM: no compilation, no argument
+ * registers, no clause indexing — just clause renaming, unification
+ * with a trail, and chronological backtracking.
+ */
+
+#ifndef KCM_BASELINE_INTERP_HH
+#define KCM_BASELINE_INTERP_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prolog/operators.hh"
+#include "prolog/parser.hh"
+#include "prolog/term.hh"
+
+namespace kcm::baseline
+{
+
+/** A runtime term cell. Variables are mutable bindable cells. */
+struct Cell
+{
+    enum class Kind
+    {
+        Var,
+        Atom,
+        Int,
+        Float,
+        Struct,
+    };
+
+    Kind kind = Kind::Var;
+    Cell *ref = nullptr; ///< Var: binding (null = unbound)
+    AtomId functor = 0;  ///< Atom / Struct
+    int64_t intValue = 0;
+    double floatValue = 0;
+    std::vector<Cell *> args;
+};
+
+/** One solution from the interpreter. */
+struct InterpSolution
+{
+    std::vector<std::pair<std::string, TermRef>> bindings;
+
+    std::string toString() const;
+};
+
+struct InterpResult
+{
+    bool success = false;
+    std::vector<InterpSolution> solutions;
+    std::string output;
+    uint64_t inferences = 0;
+    double seconds = 0; ///< wall-clock
+};
+
+/** The interpreter: consult sources, then run queries. */
+class Interpreter
+{
+  public:
+    Interpreter();
+    ~Interpreter();
+
+    void consult(const std::string &source);
+
+    /** Run @p goal; collect up to @p max_solutions. */
+    InterpResult query(const std::string &goal, size_t max_solutions = 1);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace kcm::baseline
+
+#endif // KCM_BASELINE_INTERP_HH

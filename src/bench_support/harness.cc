@@ -1,0 +1,132 @@
+#include "bench_support/harness.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace kcm
+{
+
+BenchRun
+runPlmBenchmark(const PlmBenchmark &bench, bool pure,
+                const KcmOptions &base_options)
+{
+    KcmOptions options = base_options;
+    // Table 2 convention: write/1 and nl/0 compiled as unit clauses so
+    // that a call costs exactly the 5-cycle call/return pair (§4.2).
+    options.compiler.ioAsUnitClauses = !pure;
+    options.maxSolutions = 1;
+
+    KcmSystem system(options);
+    system.consult(pure ? bench.pureProgram() : bench.program);
+    CodeImage image =
+        system.compileOnly(pure ? bench.queryPure : bench.queryIo);
+
+    // The paper's protocol: "the figure given here is the best figure
+    // obtained on 4 successive runs on a quiet system". A warm-up run
+    // loads the caches; the measured run re-executes warm.
+    Machine machine(options.machine);
+    machine.load(image);
+    machine.run(); // warm-up (cold caches)
+    machine.load(image, /*cold_caches=*/false);
+    machine.resetMeasurement();
+    RunStatus status = machine.run();
+
+    BenchRun run;
+    run.name = bench.name;
+    run.success = status == RunStatus::SolutionFound;
+    run.cycles = machine.cycles();
+    run.instructions = machine.instructions();
+    run.inferences = machine.inferences();
+    run.ms = machine.seconds() * 1e3;
+    run.klips = machine.klips();
+    run.choicePointsCreated = machine.choicePointsCreated.value();
+    run.choicePointsAvoided = machine.choicePointsAvoided.value();
+    run.shallowFails = machine.shallowFails.value();
+    run.deepFails = machine.deepFails.value();
+    run.trailPushes = machine.trailPushes.value();
+
+    DataCache &dcache = machine.mem().dataCache();
+    run.dataReads = dcache.readHits.value() + dcache.readMisses.value();
+    run.dataWrites = dcache.writeHits.value() + dcache.writeMisses.value();
+    run.dcacheHitRatio = dcache.hitRatio();
+    run.icacheHitRatio = machine.mem().codeCache().hitRatio();
+    run.memoryWords = machine.mem().memory().readWords.value() +
+                      machine.mem().memory().writtenWords.value();
+
+    machine.image().programSize(run.staticInstructions, run.staticWords);
+    return run;
+}
+
+std::vector<BenchRun>
+runPlmSuite(bool pure, const KcmOptions &base_options)
+{
+    std::vector<BenchRun> runs;
+    for (const auto &bench : plmSuite())
+        runs.push_back(runPlmBenchmark(bench, pure, base_options));
+    return runs;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("table row has wrong cell count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << (i ? "  " : "");
+            os << (i == 0 ? padRight(cells[i], widths[i])
+                          : padLeft(cells[i], widths[i]));
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w;
+    os << std::string(total + 2 * (widths.size() - 1), '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+cellInt(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+cellFixed(double v, int digits)
+{
+    return fixed(v, digits);
+}
+
+std::string
+cellRatio(double v)
+{
+    return fixed(v, 2);
+}
+
+} // namespace kcm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Benchmark harness: compiles and runs PLM-suite programs on the
+ * simulated KCM under the paper's measurement conventions, and
+ * formats the result tables.
+ */
+
+#ifndef KCM_BENCH_SUPPORT_HARNESS_HH
+#define KCM_BENCH_SUPPORT_HARNESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_support/plm_suite.hh"
+#include "kcm/kcm.hh"
+
+namespace kcm
+{
+
+/** Measurements of one benchmark run on the simulated KCM. */
+struct BenchRun
+{
+    std::string name;
+    bool success = false;
+
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t inferences = 0;
+    double ms = 0;
+    double klips = 0;
+
+    // Engine events.
+    uint64_t choicePointsCreated = 0;
+    uint64_t choicePointsAvoided = 0;
+    uint64_t shallowFails = 0;
+    uint64_t deepFails = 0;
+    uint64_t trailPushes = 0;
+
+    // Memory behaviour.
+    uint64_t dataReads = 0;
+    uint64_t dataWrites = 0;
+    double dcacheHitRatio = 1.0;
+    double icacheHitRatio = 1.0;
+    uint64_t memoryWords = 0; ///< physical traffic (words moved)
+
+    // Static sizes of the program predicates (library excluded).
+    size_t staticInstructions = 0;
+    size_t staticWords = 0;
+};
+
+/**
+ * Run one PLM benchmark.
+ * @param pure use the Table 3 form (I/O removed); otherwise the
+ *        Table 2 form with write/nl compiled as unit clauses.
+ */
+BenchRun runPlmBenchmark(const PlmBenchmark &bench, bool pure,
+                         const KcmOptions &base_options = {});
+
+/** Run every benchmark of the suite. */
+std::vector<BenchRun> runPlmSuite(bool pure,
+                                  const KcmOptions &base_options = {});
+
+// --- table formatting ---
+
+/** Simple fixed-width table printer. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /** Render with a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers for table cells. */
+std::string cellInt(uint64_t v);
+std::string cellFixed(double v, int digits);
+std::string cellRatio(double v);
+
+} // namespace kcm
+
+#endif // KCM_BENCH_SUPPORT_HARNESS_HH

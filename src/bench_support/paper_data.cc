@@ -1,0 +1,94 @@
+#include "bench_support/paper_data.hh"
+
+namespace kcm
+{
+
+const std::vector<Table1Row> &
+paperTable1()
+{
+    static const std::vector<Table1Row> rows = {
+        // program    PLM i/B    SPUR i/B     KCM i/w/B (paper)
+        {"con1",      28,  87,   414,  1656,   33,  31,  248},
+        {"con6",      32, 106,   430,  1720,   39,  41,  328},
+        {"divide10", 213, 661,  3988, 15952,  214, 234, 1872},
+        {"hanoi",     52, 183,   385,  1540,   56,  59,  472},
+        {"log10",    207, 625,  4040, 16160,  198, 208, 1664},
+        {"mutest",   141, 468,  1703,  6812,  162, 172, 1376},
+        {"nrev1",     71, 260,   761,  3044,   64,  70,  560},
+        {"ops8",     205, 633,  3804, 15216,  206, 216, 1728},
+        {"palin25",  178, 565,  2556, 10224,  230, 240, 1920},
+        {"pri2",     132, 383,  1933,  7732,  141, 151, 1208},
+        {"qs4",      121, 456,  1230,  4920,  184, 192, 1536},
+        {"queens",   242, 723,  3636, 14544,  212, 224, 1792},
+        {"query",    273, 1138, 3942, 15768,  305, 357, 2856},
+        {"times10",  213, 661,  3988, 15952,  214, 224, 1792},
+    };
+    return rows;
+}
+
+const std::vector<Table2Row> &
+paperTable2()
+{
+    static const std::vector<Table2Row> rows = {
+        // program   inf    PLM ms/Klips   KCM ms/Klips (paper)
+        {"con1",        6,  0.023, 261,  0.007, 857},
+        {"con6",       42,  0.137, 307,  0.059, 712},
+        {"divide10",   22,  0.380,  58,  0.091, 242},
+        {"hanoi",    1787,  7.323, 244,  2.795, 639},
+        {"log10",      14,  0.109, 128,  0.039, 359},
+        {"mutest",   1365, 12.407, 110,  4.644, 294},
+        {"nrev1",     499,  2.660, 188,  0.650, 768},
+        {"ops8",       20,  0.214,  93,  0.059, 339},
+        {"palin25",   325,  3.152, 103,  1.221, 266},
+        {"pri2",     1235, 10.000, 124,  5.240, 236},
+        {"qs4",       612,  4.854, 126,  1.316, 465},
+        {"queens",    687,  4.222, 163,  1.205, 570},
+        {"query",    2893, 17.342, 167, 12.610, 229},
+        {"times10",    22,  0.330,  67,  0.082, 268},
+    };
+    return rows;
+}
+
+const std::vector<Table3Row> &
+paperTable3()
+{
+    static const std::vector<Table3Row> rows = {
+        // program    inf   QUINTUS ms/Klips     KCM ms/Klips (paper)
+        {"con1",        4, std::nullopt, std::nullopt,  0.006, 666},
+        {"con6",       12, std::nullopt, std::nullopt,  0.046, 261},
+        {"divide10",   20, std::nullopt, std::nullopt,  0.090, 222},
+        {"hanoi",     767, 11.600, 66,                  1.264, 607},
+        {"log10",      12, std::nullopt, std::nullopt,  0.039, 308},
+        {"mutest",   1365, 41.500, 33,                  4.644, 294},
+        {"nrev1",     497,  3.300, 151,                 0.649, 766},
+        {"ops8",       18, std::nullopt, std::nullopt,  0.058, 310},
+        {"palin25",   323,  9.330, 35,                  1.220, 265},
+        {"pri2",     1233, 30.500, 40,                  5.239, 235},
+        {"qs4",       610, 11.000, 55,                  1.315, 464},
+        {"queens",    657,  9.010, 73,                  1.182, 556},
+        {"query",    2888, 128.170, 23,                12.605, 229},
+        {"times10",    20, std::nullopt, std::nullopt,  0.081, 247},
+    };
+    return rows;
+}
+
+const std::vector<Table4Row> &
+paperTable4()
+{
+    static const std::vector<Table4Row> rows = {
+        {"CHI-II", "NEC C&C", 490, std::nullopt, 40,
+         "Back-end - multi-processing"},
+        {"DLM-1", "BAe", 800, std::nullopt, 38,
+         "Back-end - physical memory"},
+        {"IPP", "Hitachi", 1360, 1197, 32,
+         "Integrated in super-mini (ECL)"},
+        {"AIP", "Toshiba", std::nullopt, 620, 32, "Back-end"},
+        {"KCM", "ECRC", 833, 760, 64, "Back-end"},
+        {"PSI-II", "ICOT", 400, 320, 40,
+         "Stand-alone - multi-processing"},
+        {"X-1", "Xenologic", 400, std::nullopt, 32, "SUN co-processor"},
+    };
+    return rows;
+}
+
+} // namespace kcm

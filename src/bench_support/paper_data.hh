@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The published numbers of the paper's evaluation section — the
+ * comparison columns of Tables 1-4. These play the same role as in
+ * the paper itself: the PLM figures come from Dobry et al. [4], the
+ * SPUR figures from Borriello et al. [2], the QUINTUS timings from
+ * the authors' own measurements on a SUN3/280, and the Table 4 peak
+ * figures from each machine's publications.
+ */
+
+#ifndef KCM_BENCH_SUPPORT_PAPER_DATA_HH
+#define KCM_BENCH_SUPPORT_PAPER_DATA_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kcm
+{
+
+/** Table 1 row: published static code sizes plus KCM's own. */
+struct Table1Row
+{
+    std::string program;
+    int plmInstr;
+    int plmBytes;
+    int spurInstr;
+    int spurBytes;
+    int kcmInstrPaper; ///< the paper's measured KCM instruction count
+    int kcmWordsPaper;
+    int kcmBytesPaper;
+};
+
+/** Table 2 row: PLM vs KCM timings (I/O as unit clauses). */
+struct Table2Row
+{
+    std::string program;
+    int inferences;    ///< the paper's inference count
+    double plmMs;
+    int plmKlips;
+    double kcmMsPaper;
+    int kcmKlipsPaper;
+};
+
+/** Table 3 row: QUINTUS vs KCM (I/O removed; holes = too small). */
+struct Table3Row
+{
+    std::string program;
+    int inferences;
+    std::optional<double> quintusMs;
+    std::optional<int> quintusKlips;
+    double kcmMsPaper;
+    int kcmKlipsPaper;
+};
+
+/** Table 4 row: peak Klips of dedicated Prolog machines. */
+struct Table4Row
+{
+    std::string machine;
+    std::string builder;
+    std::optional<int> concatKlips; ///< con1-like peak
+    std::optional<int> nrevKlips;   ///< nrev1-like peak
+    int wordBits;
+    std::string comment;
+};
+
+const std::vector<Table1Row> &paperTable1();
+const std::vector<Table2Row> &paperTable2();
+const std::vector<Table3Row> &paperTable3();
+const std::vector<Table4Row> &paperTable4();
+
+} // namespace kcm
+
+#endif // KCM_BENCH_SUPPORT_PAPER_DATA_HH

@@ -1,0 +1,248 @@
+#include "bench_support/plm_suite.hh"
+
+#include "base/logging.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+// Shared auxiliary sources.
+
+const char *concatSource = R"PL(
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+)PL";
+
+const char *derivSource = R"PL(
+d(U+V, X, DU+DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U-V, X, DU-DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U*V, X, DU*V+U*DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U/V, X, (DU*V-U*DV)/(V*V)) :- !, d(U, X, DU), d(V, X, DV).
+d(pow(U,N), X, DU*N*pow(U,N1)) :- !, integer(N), N1 is N-1, d(U, X, DU).
+d(-U, X, -DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U)*DU) :- !, d(U, X, DU).
+d(log(U), X, DU/U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+)PL";
+
+const char *hanoiSource = R"PL(
+hanoi(N) :- move(N, left, center, right).
+move(0, _, _, _) :- !.
+move(N, A, B, C) :-
+    M is N-1, move(M, A, C, B), inform(A, B), move(M, C, B, A).
+inform(A, B) :- write(A), write(B), nl.
+)PL";
+
+const char *hanoiPureSource = R"PL(
+hanoi(N) :- move(N, left, center, right).
+move(0, _, _, _) :- !.
+move(N, A, B, C) :-
+    M is N-1, move(M, A, C, B), move(M, C, B, A).
+)PL";
+
+const char *muSource = R"PL(
+theorem(_, [m,i]).
+theorem(Depth, R) :-
+    Depth > 0, D is Depth-1, theorem(D, S), rule(S, R).
+rule(S, R) :- rule1(S, R).
+rule(S, R) :- rule2(S, R).
+rule(S, R) :- rule3(S, R).
+rule(S, R) :- rule4(S, R).
+rule1(S, R) :- append(X, [i], S), append(X, [i,u], R).
+rule2([m|T], [m|R]) :- append(T, T, R).
+rule3(S, R) :- append(X, [i,i,i|T], S), append(X, [u|T], R).
+rule4(S, R) :- append(X, [u,u|T], S), append(X, T, R).
+append([], X, X).
+append([A|B], X, [A|Y]) :- append(B, X, Y).
+)PL";
+
+const char *nrevSource = R"PL(
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+list30([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,
+        21,22,23,24,25,26,27,28,29,30]).
+)PL";
+
+// A palindrome recognizer in the Warren style: a list is a palindrome
+// if it naive-reverses onto itself.
+const char *palin25Source = R"PL(
+palin25(L) :- nrev(L, L).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+list25([a,b,c,d,e,f,g,h,i,j,k,l,m,l,k,j,i,h,g,f,e,d,c,b,a]).
+)PL";
+
+const char *pri2Source = R"PL(
+primes(Limit, Ps) :- integers(2, Limit, Is), sift(Is, Ps).
+integers(Low, High, [Low|Rest]) :-
+    Low =< High, !, M is Low+1, integers(M, High, Rest).
+integers(_, _, []).
+sift([], []).
+sift([I|Is], [I|Ps]) :- remove(I, Is, New), sift(New, Ps).
+remove(_, [], []).
+remove(P, [I|Is], Nis) :- I mod P =:= 0, !, remove(P, Is, Nis).
+remove(P, [I|Is], [I|Nis]) :- remove(P, Is, Nis).
+)PL";
+
+const char *qs4Source = R"PL(
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qsort(L2, R1, R0),
+    qsort(L1, R, [X|R1]).
+qsort([], R, R).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+partition([], _, [], []).
+list50([27,74,17,33,94,18,46,83,65,2,
+        32,53,28,85,99,47,28,82,6,11,
+        55,29,39,81,90,37,10,0,66,51,
+        7,21,85,27,31,63,75,4,95,99,
+        11,28,61,74,18,92,40,53,59,8]).
+)PL";
+
+// The classic Warren 8-queens: place queens one by one, rejecting
+// attacked squares by negation as failure.
+const char *queensSource = R"PL(
+queens(N, Qs) :- range(1, N, Ns), queens(Ns, [], Qs).
+queens([], Qs, Qs).
+queens(UnplacedQs, SafeQs, Qs) :-
+    selectq(UnplacedQs, UnplacedQs1, Q),
+    \+ attack(Q, SafeQs),
+    queens(UnplacedQs1, [Q|SafeQs], Qs).
+attack(X, Xs) :- attack(X, 1, Xs).
+attack(X, N, [Y|_]) :- X =:= Y + N.
+attack(X, N, [Y|_]) :- X =:= Y - N.
+attack(X, N, [_|Ys]) :- N1 is N + 1, attack(X, N1, Ys).
+selectq([X|Xs], Xs, X).
+selectq([Y|Ys], [Y|Zs], X) :- selectq(Ys, Zs, X).
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+)PL";
+
+const char *querySource = R"PL(
+query([C1, D1, C2, D2]) :-
+    density(C1, D1), density(C2, D2),
+    D1 > D2,
+    T1 is 20 * D1, T2 is 21 * D2, T1 < T2.
+density(C, D) :- pop(C, P), area(C, A), D is P * 100 // A.
+pop(china,      8250).    area(china,      3380).
+pop(india,      5863).    area(india,      1139).
+pop(ussr,       2521).    area(ussr,       8708).
+pop(usa,        2119).    area(usa,        3609).
+pop(indonesia,  1276).    area(indonesia,   570).
+pop(japan,      1097).    area(japan,       148).
+pop(brazil,     1042).    area(brazil,     3288).
+pop(bangladesh,  750).    area(bangladesh,   55).
+pop(pakistan,    682).    area(pakistan,    311).
+pop(w_germany,   620).    area(w_germany,    96).
+pop(nigeria,     613).    area(nigeria,     373).
+pop(mexico,      581).    area(mexico,      764).
+pop(uk,          559).    area(uk,           86).
+pop(italy,       554).    area(italy,       116).
+pop(france,      525).    area(france,      213).
+pop(philippines, 415).    area(philippines, 90).
+pop(thailand,    410).    area(thailand,    200).
+pop(turkey,      383).    area(turkey,      296).
+pop(egypt,       364).    area(egypt,       386).
+pop(spain,       352).    area(spain,       190).
+pop(poland,      337).    area(poland,      121).
+pop(s_korea,     335).    area(s_korea,      37).
+pop(iran,        320).    area(iran,        628).
+pop(ethiopia,    272).    area(ethiopia,    350).
+pop(argentina,   251).    area(argentina,  1080).
+)PL";
+
+std::vector<PlmBenchmark>
+buildSuite()
+{
+    std::vector<PlmBenchmark> suite;
+
+    suite.push_back({"con1", concatSource,
+                     "concat([a,b,c], [d,e], L), write(L), nl",
+                     "concat([a,b,c], [d,e], _)", ""});
+
+    // Nondeterministic concatenation: enumerate every split of a
+    // five-element list by failure-driven backtracking.
+    suite.push_back({"con6", concatSource,
+                     "(concat(X, Y, [a,b,c,d,e]), write(X), write(Y), nl, fail ; "
+         "true)",
+                     "(concat(_, _, [a,b,c,d,e]), fail ; true)", ""});
+
+    suite.push_back({"divide10", derivSource,
+                     "d(((((((((x/x)/x)/x)/x)/x)/x)/x)/x)/x, x, D), write(D), nl",
+                     "d(((((((((x/x)/x)/x)/x)/x)/x)/x)/x)/x, x, _)", ""});
+
+    suite.push_back({"hanoi", hanoiSource, "hanoi(8)", "hanoi(8)",
+                     hanoiPureSource});
+
+    suite.push_back({"log10", derivSource,
+                     "d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, D), "
+         "write(D), nl",
+                     "d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, _)", ""});
+
+    suite.push_back({"mutest", muSource,
+                     "theorem(5, [m,u,i,i,u]), write(yes), nl",
+                     "theorem(5, [m,u,i,i,u])", ""});
+
+    suite.push_back({"nrev1", nrevSource,
+                     "list30(L), nrev(L, R), write(R), nl",
+                     "list30(L), nrev(L, _)", ""});
+
+    suite.push_back({"ops8", derivSource,
+                     "d((x+1) * ((pow(x,2)+2) * (pow(x,3)+3)), x, D), write(D), nl",
+                     "d((x+1) * ((pow(x,2)+2) * (pow(x,3)+3)), x, _)", ""});
+
+    suite.push_back({"palin25", palin25Source,
+                     "list25(L), palin25(L), write(L), nl",
+                     "list25(L), palin25(L)", ""});
+
+    suite.push_back({"pri2", pri2Source,
+                     "primes(98, Ps), write(Ps), nl",
+                     "primes(98, _)", ""});
+
+    suite.push_back({"qs4", qs4Source,
+                     "list50(L), qsort(L, R, []), write(R), nl",
+                     "list50(L), qsort(L, _, [])", ""});
+
+    suite.push_back({"queens", queensSource,
+                     "queens(8, Qs), write(Qs), nl",
+                     "queens(8, _)", ""});
+
+    suite.push_back({"query", querySource,
+                     "(query(S), write(S), nl, fail ; true)",
+                     "(query(_), fail ; true)", ""});
+
+    suite.push_back({"times10", derivSource,
+                     "d(((((((((x*x)*x)*x)*x)*x)*x)*x)*x)*x, x, D), write(D), nl",
+                     "d(((((((((x*x)*x)*x)*x)*x)*x)*x)*x)*x, x, _)", ""});
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<PlmBenchmark> &
+plmSuite()
+{
+    static const std::vector<PlmBenchmark> suite = buildSuite();
+    return suite;
+}
+
+const PlmBenchmark &
+plmBenchmark(const std::string &name)
+{
+    for (const auto &bench : plmSuite()) {
+        if (bench.name == name)
+            return bench;
+    }
+    fatal("unknown PLM benchmark: ", name);
+}
+
+} // namespace kcm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The PLM benchmark suite (§4): the programs gathered by the PLM team
+ * at U.C. Berkeley, an extension of D.H.D. Warren's benchmark set.
+ *
+ * The original sources are reconstructed from the published
+ * descriptions of the Warren/PLM suite. Each benchmark carries two
+ * queries: the Table 2 form (I/O included, compiled as unit clauses)
+ * and the Table 3 form (I/O removed — the starred programs of the
+ * paper). The assert/retract benchmark of the original suite is
+ * omitted, exactly as in the paper.
+ */
+
+#ifndef KCM_BENCH_SUPPORT_PLM_SUITE_HH
+#define KCM_BENCH_SUPPORT_PLM_SUITE_HH
+
+#include <string>
+#include <vector>
+
+namespace kcm
+{
+
+struct PlmBenchmark
+{
+    std::string name;
+    std::string program;  ///< Prolog source
+    std::string queryIo;  ///< Table 2 query (with I/O)
+    std::string queryPure; ///< Table 3 query (I/O stripped)
+    /** Alternative source for the pure run (hanoi strips the inform
+     *  calls from the program itself); empty = same as program. */
+    std::string programPure;
+
+    const std::string &
+    pureProgram() const
+    {
+        return programPure.empty() ? program : programPure;
+    }
+};
+
+/** All fourteen programs of §4. */
+const std::vector<PlmBenchmark> &plmSuite();
+
+/** Lookup by name; fatal if unknown. */
+const PlmBenchmark &plmBenchmark(const std::string &name);
+
+} // namespace kcm
+
+#endif // KCM_BENCH_SUPPORT_PLM_SUITE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The builtin predicate registry shared between the compiler (which
+ * emits Escape stubs and counts inferences) and the machine (which
+ * dispatches Escape instructions to C++ implementations via the host
+ * interface, §2.1).
+ */
+
+#ifndef KCM_COMPILER_BUILTIN_DEFS_HH
+#define KCM_COMPILER_BUILTIN_DEFS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prolog/atom_table.hh"
+
+namespace kcm
+{
+
+/** Identifiers of escape builtins. */
+enum class BuiltinId : uint32_t
+{
+    Write = 0,      ///< write/1
+    Writeq,         ///< writeq/1
+    Nl,             ///< nl/0
+    Halt,           ///< halt/0
+    Var,            ///< var/1
+    NonVar,         ///< nonvar/1
+    AtomP,          ///< atom/1
+    AtomicP,        ///< atomic/1
+    IntegerP,       ///< integer/1
+    FloatP,         ///< float/1
+    NumberP,        ///< number/1
+    CompoundP,      ///< compound/1
+    FunctorB,       ///< functor/3
+    ArgB,           ///< arg/3
+    Univ,           ///< =../2
+    StructEq,       ///< ==/2
+    StructNe,       ///< \==/2
+    CompareB,       ///< compare/3
+    TermLt,         ///< @</2
+    TermGt,         ///< @>/2
+    TermLe,         ///< @=</2
+    TermGe,         ///< @>=/2
+    IsGeneric,      ///< is/2 (generic arithmetic mode)
+    CmpGenericLt,   ///< </2 generic
+    CmpGenericGt,   ///< >/2
+    CmpGenericLe,   ///< =</2
+    CmpGenericGe,   ///< >=/2
+    CmpGenericEq,   ///< =:=/2
+    CmpGenericNe,   ///< =\=/2
+    CallGoal,       ///< call/1 (meta-call)
+    CollectSolution, ///< internal: record query bindings
+    NameB,          ///< name/2
+    AtomLength,     ///< atom_length/2
+    TabB,           ///< tab/1
+    WriteCanonical, ///< write_canonical/1
+    NumBuiltins,
+};
+
+/** How a source goal is realized by the compiler. */
+enum class GoalKind
+{
+    UserCall,     ///< call/execute a compiled predicate
+    EscapeCall,   ///< call a library stub that escapes to C++
+    InlineOp,     ///< compiled inline (is/2, comparisons, =/2, true...)
+};
+
+/** Static description of one escape builtin. */
+struct BuiltinDef
+{
+    const char *name;
+    uint32_t arity;
+    BuiltinId id;
+    /** Extra cycles the escape costs beyond the Escape opcode's base
+     *  (models microcode + host interaction). */
+    unsigned extraCycles;
+};
+
+/** All registered builtins. */
+const std::vector<BuiltinDef> &builtinTable();
+
+/** Find a builtin by functor. */
+std::optional<BuiltinDef> findBuiltin(const Functor &f);
+
+/** Find a builtin by id. */
+const BuiltinDef &builtinById(BuiltinId id);
+
+} // namespace kcm
+
+#endif // KCM_COMPILER_BUILTIN_DEFS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The output of compilation: a linked image of 64-bit code words plus
+ * the symbol table and per-predicate size bookkeeping (used both by
+ * the loader and by the Table 1 static-size measurements).
+ */
+
+#ifndef KCM_COMPILER_CODE_IMAGE_HH
+#define KCM_COMPILER_CODE_IMAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "prolog/atom_table.hh"
+
+namespace kcm
+{
+
+/** Where a predicate lives in the image. */
+struct PredicateInfo
+{
+    Functor functor;
+    Addr entry = 0;           ///< address callers jump to
+    size_t words = 0;         ///< code words including switch tables
+    size_t instructions = 0;  ///< instruction count (tables excluded)
+    bool fromLibrary = false; ///< runtime-library predicate (excluded
+                              ///< from Table 1 program sizes)
+};
+
+/** A linked code image based at @ref base. */
+struct CodeImage
+{
+    /** First code address; address 0 is reserved as "null". */
+    Addr base = 0x100;
+
+    /** The code words, index i lives at address base + i. */
+    std::vector<uint64_t> words;
+
+    /** Symbol table. */
+    std::map<Functor, PredicateInfo> predicates;
+
+    /** Entry point of the compiled query, 0 if none. */
+    Addr queryEntry = 0;
+
+    /** Address of the shared fail stub (deep fail into an empty
+     *  indexing bucket lands here). */
+    Addr failEntry = 0;
+
+    /** Address of the query-failure halt stub (the bottom choice
+     *  point's alternative). */
+    Addr haltFailEntry = 0;
+
+    /** Named query variables: (name, Y slot) pairs for solutions. */
+    std::vector<std::pair<std::string, int>> querySolutionSlots;
+
+    Addr
+    endAddr() const
+    {
+        return base + static_cast<Addr>(words.size());
+    }
+
+    /** Lookup a predicate; null if absent. */
+    const PredicateInfo *
+    find(Functor f) const
+    {
+        auto it = predicates.find(f);
+        return it == predicates.end() ? nullptr : &it->second;
+    }
+
+    /** Static size of the non-library program code, for Table 1. */
+    void
+    programSize(size_t &instructions, size_t &words_out) const
+    {
+        instructions = 0;
+        words_out = 0;
+        for (const auto &[functor, info] : predicates) {
+            if (info.fromLibrary)
+                continue;
+            instructions += info.instructions;
+            words_out += info.words;
+        }
+    }
+};
+
+} // namespace kcm
+
+#endif // KCM_COMPILER_CODE_IMAGE_HH

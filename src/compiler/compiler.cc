@@ -1,0 +1,237 @@
+#include "compiler/compiler.hh"
+
+#include <set>
+
+#include "base/logging.hh"
+#include "compiler/builtin_defs.hh"
+#include "prolog/writer.hh"
+
+namespace kcm
+{
+
+Compiler::Compiler(const CompilerOptions &options) : options_(options) {}
+
+void
+Compiler::addSource(const std::string &source, bool library)
+{
+    Parser parser(source, ops_);
+    ReadClause clause;
+    while (parser.readClause(clause)) {
+        clauses_.push_back(clause);
+        clauseIsLibrary_.push_back(library);
+    }
+}
+
+void
+Compiler::addProgram(const std::string &source)
+{
+    addSource(source, false);
+}
+
+void
+Compiler::addLibrary(const std::string &source)
+{
+    addSource(source, true);
+}
+
+void
+Compiler::setQuery(const std::string &source)
+{
+    querySource_ = source;
+}
+
+CodeImage
+Compiler::compile()
+{
+    // --- Normalize program and library clauses ---
+
+    NormProgram program;
+    std::map<Functor, bool> is_library;
+
+    auto normalize_group = [&](bool library) {
+        std::vector<ReadClause> group;
+        for (size_t i = 0; i < clauses_.size(); ++i) {
+            if (clauseIsLibrary_[i] == library)
+                group.push_back(clauses_[i]);
+        }
+        size_t aux_before = program.auxiliaries.size();
+        size_t order_before = program.order.size();
+        normalizeProgram(group, program);
+        for (size_t i = order_before; i < program.order.size(); ++i) {
+            if (!is_library.count(program.order[i]))
+                is_library[program.order[i]] = library;
+        }
+        (void)aux_before;
+    };
+    normalize_group(false);
+    normalize_group(true);
+
+    // In Table 2 mode the I/O predicates are unit clauses costing
+    // exactly one call/return sequence (§4.2).
+    if (options_.ioAsUnitClauses) {
+        const char *unit_io =
+            "write(_). writeq(_). nl. tab(_). write_canonical(_).";
+        Parser parser(unit_io, ops_);
+        size_t order_before = program.order.size();
+        normalizeProgram(parser.readAll(), program);
+        for (size_t i = order_before; i < program.order.size(); ++i)
+            is_library[program.order[i]] = true;
+    }
+
+    // --- Parse and normalize the query ---
+
+    std::vector<TermRef> query_goals;
+    std::vector<std::pair<std::string, TermRef>> query_var_names;
+    if (!querySource_.empty()) {
+        std::string text = querySource_;
+        Parser parser(text + " .", ops_);
+        ReadClause read;
+        if (!parser.readClause(read))
+            fatal("empty query");
+        TermRef body = read.term;
+        if (body->isStruct() && body->arity() == 1 &&
+            (body->functorName() == internAtom("?-") ||
+             body->functorName() == AtomTable::instance().neck)) {
+            body = body->arg(0);
+        }
+        size_t order_before = program.order.size();
+        query_goals = normalizeBody(body, program);
+        for (size_t i = order_before; i < program.order.size(); ++i)
+            is_library[program.order[i]] = true;
+        query_var_names = read.varNames;
+    }
+
+    // --- Determine referenced-but-undefined predicates ---
+
+    CodegenOptions cg_options;
+    cg_options.integerArithmetic = options_.integerArithmetic;
+
+    std::set<Functor> called;
+    auto note_goal = [&](const TermRef &goal) {
+        if (goal->isAtom()) {
+            AtomTable &atoms = AtomTable::instance();
+            AtomId a = goal->atom();
+            if (a == atoms.trueAtom || a == atoms.failAtom ||
+                a == atoms.cutAtom || a == internAtom("false")) {
+                return;
+            }
+            called.insert(Functor{a, 0});
+            return;
+        }
+        const std::string &name = atomText(goal->functorName());
+        if (goal->arity() == 2) {
+            if (name == "=")
+                return;
+            if (options_.integerArithmetic &&
+                (name == "is" || name == "<" || name == ">" ||
+                 name == "=<" || name == ">=" || name == "=:=" ||
+                 name == "=\\=")) {
+                return;
+            }
+        }
+        called.insert(goal->functor());
+    };
+    for (const auto &[functor, clauses] : program.preds) {
+        for (const auto &clause : clauses) {
+            for (const auto &goal : clause.goals)
+                note_goal(goal);
+        }
+    }
+    for (const auto &goal : query_goals)
+        note_goal(goal);
+
+    // --- Emit ---
+
+    Assembler assembler;
+    ClauseCompiler codegen(assembler, cg_options);
+    CodeImage image;
+
+    // Shared stubs first.
+    Addr halt_fail = assembler.emit(
+        Instr::makeValue(Opcode::Halt, 1)); // halt: query failed
+    Label fail_label = assembler.newLabel();
+    assembler.bind(fail_label);
+    Addr fail_stub = assembler.emit(Instr::make(Opcode::FailOp));
+
+    image.haltFailEntry = halt_fail;
+    image.failEntry = fail_stub;
+
+    // Escape stubs for referenced builtins not defined as predicates.
+    for (const auto &functor : called) {
+        if (program.preds.count(functor))
+            continue;
+        auto builtin = findBuiltin(functor);
+        PredicateInfo info;
+        info.functor = functor;
+        info.fromLibrary = true;
+        info.entry = assembler.here();
+        size_t instr_before = assembler.instructionCount();
+        if (builtin) {
+            assembler.emit(Instr::makeValue(
+                Opcode::Escape, static_cast<uint32_t>(builtin->id),
+                static_cast<Reg>(functor.arity)));
+            assembler.emit(Instr::make(Opcode::Proceed));
+        } else {
+            warn("predicate ", atomText(functor.name), "/", functor.arity,
+                 " is undefined; calls to it fail");
+            assembler.emit(Instr::make(Opcode::FailOp));
+        }
+        info.instructions = assembler.instructionCount() - instr_before;
+        info.words = info.instructions;
+        image.predicates[functor] = info;
+    }
+
+    // User and library predicates.
+    IndexingOptions ix_options;
+    ix_options.enabled = options_.indexing;
+    for (const auto &functor : program.order) {
+        PredicateInfo info =
+            emitPredicate(assembler, codegen, functor,
+                          program.preds.at(functor), ix_options,
+                          fail_label);
+        auto lib_it = is_library.find(functor);
+        info.fromLibrary = lib_it != is_library.end() && lib_it->second;
+        image.predicates[functor] = info;
+    }
+
+    // Query.
+    if (!query_goals.empty()) {
+        image.queryEntry = assembler.here();
+        std::vector<TermRef> var_order;
+        codegen.compileQuery(query_goals, var_order);
+        for (size_t slot = 0; slot < var_order.size(); ++slot) {
+            for (const auto &[name, var] : query_var_names) {
+                if (var.get() == var_order[slot].get()) {
+                    image.querySolutionSlots.emplace_back(
+                        name, static_cast<int>(slot));
+                }
+            }
+        }
+    }
+
+    // --- Link ---
+
+    auto fixups = assembler.predFixups();
+    assembler.finalize(image);
+    for (const auto &fixup : fixups) {
+        auto it = image.predicates.find(fixup.callee);
+        Addr target;
+        if (it == image.predicates.end()) {
+            warn("unresolved predicate ", atomText(fixup.callee.name), "/",
+                 fixup.callee.arity);
+            target = image.failEntry;
+        } else {
+            target = it->second.entry;
+        }
+        if (fixup.isTableWord) {
+            image.words[fixup.index] = Word::makeCodePtr(target).raw();
+        } else {
+            image.words[fixup.index] =
+                Instr(image.words[fixup.index]).withValue(target).raw();
+        }
+    }
+
+    return image;
+}
+
+} // namespace kcm

@@ -1,0 +1,241 @@
+#include "compiler/image_io.hh"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "isa/disasm.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+constexpr const char *magic = "KCMIMAGE 1";
+
+/**
+ * Visit every atom-id reference inside the code words (constants with
+ * an Atom type field, functor words in get/put_structure, switch-table
+ * keys) and pass the id through @p remap.
+ */
+void
+remapAtoms(std::vector<uint64_t> &words,
+           const std::function<AtomId(AtomId)> &remap)
+{
+    size_t index = 0;
+    while (index < words.size()) {
+        Instr instr(words[index]);
+        size_t length = instrLength(words, index);
+        switch (instr.opcode()) {
+          case Opcode::GetConstant:
+          case Opcode::PutConstant:
+          case Opcode::UnifyConstant:
+          case Opcode::LoadImm:
+            if (instr.typeField() == Tag::Atom) {
+                words[index] =
+                    instr.withValue(remap(instr.value())).raw();
+            }
+            break;
+          case Opcode::GetStructure:
+          case Opcode::PutStructure: {
+            Word f = instr.constant();
+            Word remapped =
+                Word::makeFunctor(remap(f.functorName()),
+                                  f.functorArity());
+            words[index] = instr.withValue(remapped.value()).raw();
+            break;
+          }
+          case Opcode::SwitchOnConstant:
+          case Opcode::SwitchOnStructure: {
+            unsigned n = instr.value();
+            for (unsigned i = 0; i < n; ++i) {
+                Word key(words[index + 1 + 2 * i]);
+                if (key.isAtom()) {
+                    words[index + 1 + 2 * i] =
+                        Word::makeAtom(remap(key.atom())).raw();
+                } else if (key.isFunctorWord()) {
+                    words[index + 1 + 2 * i] =
+                        Word::makeFunctor(remap(key.functorName()),
+                                          key.functorArity())
+                            .raw();
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        index += length;
+    }
+}
+
+} // namespace
+
+void
+saveImage(const CodeImage &image, std::ostream &out)
+{
+    out << magic << "\n";
+    out << "base " << image.base << "\n";
+    out << "query " << image.queryEntry << "\n";
+    out << "fail " << image.failEntry << "\n";
+    out << "haltfail " << image.haltFailEntry << "\n";
+
+    // Collect the referenced atoms by remapping through an identity
+    // that records ids.
+    std::set<AtomId> used;
+    std::vector<uint64_t> words = image.words;
+    remapAtoms(words, [&](AtomId id) {
+        used.insert(id);
+        return id;
+    });
+    for (const auto &[functor, info] : image.predicates) {
+        used.insert(functor.name);
+        (void)info;
+    }
+
+    out << "atoms " << used.size() << "\n";
+    for (AtomId id : used) {
+        const std::string &text = atomText(id);
+        out << id << " " << text.size() << " " << text << "\n";
+    }
+
+    out << "predicates " << image.predicates.size() << "\n";
+    for (const auto &[functor, info] : image.predicates) {
+        out << functor.name << " " << functor.arity << " " << info.entry
+            << " " << info.words << " " << info.instructions << " "
+            << (info.fromLibrary ? 1 : 0) << "\n";
+    }
+
+    out << "slots " << image.querySolutionSlots.size() << "\n";
+    for (const auto &[name, slot] : image.querySolutionSlots)
+        out << slot << " " << name.size() << " " << name << "\n";
+
+    out << "words " << image.words.size() << "\n";
+    for (uint64_t word : image.words)
+        out << word << "\n";
+}
+
+void
+saveImageFile(const CodeImage &image, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write image file ", path);
+    saveImage(image, out);
+}
+
+namespace
+{
+
+std::string
+expectKeyword(std::istream &in, const char *keyword)
+{
+    std::string token;
+    in >> token;
+    if (token != keyword)
+        fatal("bad image file: expected '", keyword, "', got '", token,
+              "'");
+    return token;
+}
+
+std::string
+readSizedString(std::istream &in)
+{
+    size_t length = 0;
+    in >> length;
+    in.get(); // the single separating space
+    std::string text(length, '\0');
+    in.read(text.data(), static_cast<std::streamsize>(length));
+    return text;
+}
+
+} // namespace
+
+CodeImage
+loadImage(std::istream &in)
+{
+    std::string header;
+    std::getline(in, header);
+    if (header != magic)
+        fatal("not a KCM image file");
+
+    CodeImage image;
+    expectKeyword(in, "base");
+    in >> image.base;
+    expectKeyword(in, "query");
+    in >> image.queryEntry;
+    expectKeyword(in, "fail");
+    in >> image.failEntry;
+    expectKeyword(in, "haltfail");
+    in >> image.haltFailEntry;
+
+    expectKeyword(in, "atoms");
+    size_t atom_count = 0;
+    in >> atom_count;
+    std::map<AtomId, AtomId> atom_map;
+    for (size_t i = 0; i < atom_count; ++i) {
+        AtomId old_id = 0;
+        in >> old_id;
+        atom_map[old_id] = internAtom(readSizedString(in));
+    }
+
+    expectKeyword(in, "predicates");
+    size_t pred_count = 0;
+    in >> pred_count;
+    for (size_t i = 0; i < pred_count; ++i) {
+        AtomId name = 0;
+        PredicateInfo info;
+        uint32_t arity = 0;
+        int from_library = 0;
+        in >> name >> arity >> info.entry >> info.words >>
+            info.instructions >> from_library;
+        auto it = atom_map.find(name);
+        if (it == atom_map.end())
+            fatal("image references unknown atom id ", name);
+        info.functor = Functor{it->second, arity};
+        info.fromLibrary = from_library != 0;
+        image.predicates[info.functor] = info;
+    }
+
+    expectKeyword(in, "slots");
+    size_t slot_count = 0;
+    in >> slot_count;
+    for (size_t i = 0; i < slot_count; ++i) {
+        int slot = 0;
+        in >> slot;
+        image.querySolutionSlots.emplace_back(readSizedString(in), slot);
+    }
+
+    expectKeyword(in, "words");
+    size_t word_count = 0;
+    in >> word_count;
+    image.words.resize(word_count);
+    for (size_t i = 0; i < word_count; ++i)
+        in >> image.words[i];
+    if (!in)
+        fatal("truncated image file");
+
+    remapAtoms(image.words, [&](AtomId old_id) {
+        auto it = atom_map.find(old_id);
+        if (it == atom_map.end())
+            fatal("image references unknown atom id ", old_id);
+        return it->second;
+    });
+    return image;
+}
+
+CodeImage
+loadImageFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open image file ", path);
+    return loadImage(in);
+}
+
+} // namespace kcm

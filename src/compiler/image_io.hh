@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Code-image serialization: save a linked image to a file and load it
+ * back — the paper's workflow of compiling/assembling/linking on the
+ * host and downloading the result to KCM (§4: "The programs were
+ * finally downloaded and run on KCM").
+ *
+ * The format is a self-contained text container: code words, the
+ * symbol table, the atoms the code references (atom ids are
+ * process-local, so they are re-interned on load and the constant
+ * words referencing them are re-mapped).
+ */
+
+#ifndef KCM_COMPILER_IMAGE_IO_HH
+#define KCM_COMPILER_IMAGE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "compiler/code_image.hh"
+
+namespace kcm
+{
+
+/** Serialize @p image to @p out. */
+void saveImage(const CodeImage &image, std::ostream &out);
+
+/** Serialize to a file; fatal on I/O errors. */
+void saveImageFile(const CodeImage &image, const std::string &path);
+
+/** Load an image from @p in, re-interning atom references. */
+CodeImage loadImage(std::istream &in);
+
+/** Load from a file; fatal on I/O or format errors. */
+CodeImage loadImageFile(const std::string &path);
+
+} // namespace kcm
+
+#endif // KCM_COMPILER_IMAGE_IO_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Predicate-level code emission: clause chains with
+ * try_me_else/retry_me_else/trust_me headers, and first-argument
+ * indexing through switch_on_term / switch_on_constant /
+ * switch_on_structure with try/retry/trust blocks (§3.1.4, §4.2 —
+ * "the highest ratio is actually obtained on query ... showing the
+ * efficiency of KCM indexing").
+ */
+
+#ifndef KCM_COMPILER_INDEXING_HH
+#define KCM_COMPILER_INDEXING_HH
+
+#include <vector>
+
+#include "compiler/assembler.hh"
+#include "compiler/codegen.hh"
+#include "compiler/normalize.hh"
+
+namespace kcm
+{
+
+struct IndexingOptions
+{
+    bool enabled = true; ///< emit switch instructions
+};
+
+/**
+ * Emit the complete code of one predicate and return its info (entry
+ * address and static sizes). @p fail_label must resolve to the shared
+ * fail stub.
+ */
+PredicateInfo emitPredicate(Assembler &assembler, ClauseCompiler &codegen,
+                            const Functor &functor,
+                            const std::vector<NormClause> &clauses,
+                            const IndexingOptions &options,
+                            Label fail_label);
+
+} // namespace kcm
+
+#endif // KCM_COMPILER_INDEXING_HH

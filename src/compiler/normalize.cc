@@ -1,0 +1,184 @@
+#include "compiler/normalize.hh"
+
+#include "base/logging.hh"
+#include "prolog/writer.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+/** Fresh auxiliary predicate counter (per-process; names are unique). */
+uint32_t auxCounter = 0;
+
+bool
+isControlStruct(const TermRef &t, const char *name, uint32_t arity)
+{
+    return t->isStruct() && t->arity() == arity &&
+           t->functorName() == internAtom(name);
+}
+
+class Normalizer
+{
+  public:
+    explicit Normalizer(NormProgram &program) : program_(program) {}
+
+    /** Flatten @p body into @p goals, spawning auxiliaries. */
+    void
+    flatten(const TermRef &body, std::vector<TermRef> &goals)
+    {
+        if (body->isAtomNamed(AtomTable::instance().comma)) {
+            // A bare ',' atom is malformed; fall through to goal case.
+        }
+        if (isControlStruct(body, ",", 2)) {
+            flatten(body->arg(0), goals);
+            flatten(body->arg(1), goals);
+            return;
+        }
+        if (isControlStruct(body, ";", 2) || isControlStruct(body, "->", 2) ||
+            isControlStruct(body, "\\+", 1)) {
+            goals.push_back(makeAuxiliary(body));
+            return;
+        }
+        if (body->isVar()) {
+            // Meta-call of a variable: route through call/1.
+            goals.push_back(Term::makeStruct("call", {body}));
+            return;
+        }
+        if (!body->isAtom() && !body->isStruct()) {
+            fatal("normalize: goal is not callable: ", writeTerm(body));
+        }
+        goals.push_back(body);
+    }
+
+    /**
+     * Replace a control construct with a call to a fresh predicate
+     * whose clauses implement it. The auxiliary's arguments are the
+     * distinct variables of the construct (they connect it to the
+     * enclosing clause).
+     */
+    TermRef
+    makeAuxiliary(const TermRef &construct)
+    {
+        std::vector<TermRef> vars;
+        collectVars(construct, vars);
+        std::string name = cat("$aux", auxCounter++);
+        AtomId name_atom = internAtom(name);
+        TermRef call_goal = vars.empty()
+                                ? Term::makeAtom(name_atom)
+                                : Term::makeStruct(name_atom, vars);
+        Functor f{name_atom, static_cast<uint32_t>(vars.size())};
+        program_.auxiliaries.push_back(f);
+
+        auto add_clause = [&](const TermRef &body) {
+            NormClause clause;
+            clause.head = call_goal;
+            flatten(body, clause.goals);
+            program_.add(f, std::move(clause));
+        };
+
+        TermRef cut = Term::makeAtom(AtomTable::instance().cutAtom);
+        TermRef fail_atom = Term::makeAtom(AtomTable::instance().failAtom);
+        TermRef true_atom = Term::makeAtom(AtomTable::instance().trueAtom);
+
+        if (isControlStruct(construct, "\\+", 1)) {
+            // aux :- G, !, fail.   aux.
+            add_clause(Term::makeStruct(
+                ",", {construct->arg(0), Term::makeStruct(",",
+                                                          {cut, fail_atom})}));
+            add_clause(true_atom);
+            return call_goal;
+        }
+
+        if (isControlStruct(construct, "->", 2)) {
+            // (C -> T): aux :- C, !, T.  (fails if C fails)
+            add_clause(Term::makeStruct(
+                ",", {construct->arg(0),
+                      Term::makeStruct(",", {cut, construct->arg(1)})}));
+            return call_goal;
+        }
+
+        // Disjunction, possibly an if-then-else.
+        const TermRef &lhs = construct->arg(0);
+        const TermRef &rhs = construct->arg(1);
+        if (isControlStruct(lhs, "->", 2)) {
+            // (C -> T ; E)
+            add_clause(Term::makeStruct(
+                ",", {lhs->arg(0),
+                      Term::makeStruct(",", {cut, lhs->arg(1)})}));
+            add_clause(rhs);
+        } else {
+            add_clause(lhs);
+            add_clause(rhs);
+        }
+        return call_goal;
+    }
+
+  private:
+    NormProgram &program_;
+};
+
+} // namespace
+
+void
+NormProgram::add(const Functor &f, NormClause clause)
+{
+    auto it = preds.find(f);
+    if (it == preds.end()) {
+        order.push_back(f);
+        preds[f].push_back(std::move(clause));
+    } else {
+        it->second.push_back(std::move(clause));
+    }
+}
+
+void
+normalizeProgram(const std::vector<ReadClause> &clauses, NormProgram &out)
+{
+    Normalizer normalizer(out);
+    AtomId neck = AtomTable::instance().neck;
+
+    for (const auto &read : clauses) {
+        const TermRef &term = read.term;
+
+        // Directives.
+        if (term->isStruct() && term->arity() == 1 &&
+            (term->functorName() == neck ||
+             term->functorName() == internAtom("?-"))) {
+            const TermRef &goal = term->arg(0);
+            bool is_op = goal->isStruct() && goal->arity() == 3 &&
+                         goal->functorName() == internAtom("op");
+            if (!is_op) {
+                warn("ignoring directive: ", writeTerm(term));
+            }
+            continue;
+        }
+
+        NormClause clause;
+        if (term->isStruct() && term->arity() == 2 &&
+            term->functorName() == neck) {
+            clause.head = term->arg(0);
+            normalizer.flatten(term->arg(1), clause.goals);
+        } else {
+            clause.head = term;
+        }
+
+        if (!clause.head->isAtom() && !clause.head->isStruct())
+            fatal("normalize: bad clause head: ", writeTerm(clause.head));
+
+        Functor f = clause.head->functor();
+        out.add(f, std::move(clause));
+    }
+}
+
+std::vector<TermRef>
+normalizeBody(const TermRef &body, NormProgram &program)
+{
+    Normalizer normalizer(program);
+    std::vector<TermRef> goals;
+    normalizer.flatten(body, goals);
+    return goals;
+}
+
+} // namespace kcm

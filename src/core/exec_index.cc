@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Choice point management (with the delayed-creation shallow
+ * backtracking scheme of §3.1.5) and the clause-indexing switch
+ * instructions.
+ */
+
+#include "base/logging.hh"
+#include "core/machine.hh"
+
+namespace kcm
+{
+
+void
+Machine::execIndex(Instr instr)
+{
+    switch (instr.opcode()) {
+      case Opcode::TryMeElse:
+      case Opcode::Try: {
+        Addr alt;
+        Addr clause;
+        if (instr.opcode() == Opcode::Try) {
+            alt = nextP_; // the following retry/trust instruction
+            clause = instr.value();
+        } else {
+            alt = instr.value();
+            clause = nextP_;
+        }
+        uint32_t arity = instr.r1();
+        if (config_.shallowBacktracking) {
+            // Delay the choice point: save three state registers into
+            // shadow registers (§3.1.5).
+            shallowFlag_ = true;
+            cpFlag_ = false;
+            shadowH_ = h_;
+            shadowTR_ = tr_;
+            shadowCP_ = cpCont_;
+            pendingAlt_ = alt;
+            pendingArity_ = arity;
+        } else {
+            // Standard WAM: push the full choice point now.
+            pushChoicePoint(alt, arity, h_, tr_, cpCont_);
+            cpFlag_ = true;
+            shallowFlag_ = true;
+        }
+        nextP_ = clause;
+        break;
+      }
+
+      case Opcode::RetryMeElse:
+      case Opcode::Retry: {
+        Addr alt;
+        Addr clause;
+        if (instr.opcode() == Opcode::Retry) {
+            alt = nextP_;
+            clause = instr.value();
+        } else {
+            alt = instr.value();
+            clause = nextP_;
+        }
+        if (cpFlag_) {
+            // Deep mode: update the existing choice point's
+            // alternative.
+            writeData(Word::makeDataPtr(Zone::Control, b_ + 1),
+                      Word::makeCodePtr(alt));
+            ++cycles_;
+        } else {
+            pendingAlt_ = alt;
+        }
+        shallowFlag_ = true;
+        nextP_ = clause;
+        break;
+      }
+
+      case Opcode::TrustMe:
+      case Opcode::Trust: {
+        if (cpFlag_) {
+            // Pop the choice point: B := B.prev.
+            Word prev = readData(
+                Word::makeDataPtr(Zone::Control, b_ + 0));
+            ++cycles_;
+            cutTo(prev.addr()); // also reloads HB/LB from the new B
+        }
+        shallowFlag_ = false;
+        cpFlag_ = false;
+        if (instr.opcode() == Opcode::Trust)
+            nextP_ = instr.value();
+        break;
+      }
+
+      case Opcode::Neck: {
+        if (config_.shallowBacktracking && shallowFlag_) {
+            if (!cpFlag_) {
+                pushChoicePoint(pendingAlt_, pendingArity_, shadowH_,
+                                shadowTR_, shadowCP_);
+                cpFlag_ = true;
+            }
+        }
+        shallowFlag_ = false;
+        break;
+      }
+
+      case Opcode::Cut:
+        cutTo(b0_);
+        break;
+
+      case Opcode::GetLevel:
+        writeData(Word::makeDataPtr(Zone::Local, e_ + 2 + instr.r1()),
+                  Word::makeDataPtr(Zone::Control, b0_));
+        break;
+
+      case Opcode::CutY: {
+        Word level = readData(
+            Word::makeDataPtr(Zone::Local, e_ + 2 + instr.r1()));
+        ++cycles_;
+        cutTo(level.addr());
+        break;
+      }
+
+      case Opcode::SwitchOnTerm: {
+        Word w = deref(x_[0]);
+        unsigned idx;
+        switch (w.tag()) {
+          case Tag::Ref:
+            idx = 0;
+            break;
+          case Tag::Nil:
+          case Tag::Atom:
+          case Tag::Int:
+          case Tag::Float:
+            idx = 1;
+            break;
+          case Tag::List:
+            idx = 2;
+            break;
+          case Tag::Struct:
+            idx = 3;
+            break;
+          default:
+            fail();
+            return;
+        }
+        // The MWAC computes the dispatch entry in parallel with the
+        // branch (§3.1.4): the table access costs no extra cycle.
+        uint64_t target = mem_->fetchCode(p_ + 1 + idx, penalty_);
+        nextP_ = Word(target).addr();
+        break;
+      }
+
+      case Opcode::SwitchOnConstant: {
+        Word w = deref(x_[0]);
+        unsigned n = instr.value();
+        Addr miss = Word(mem_->fetchCode(p_ + 1 + 2 * n, penalty_)).addr();
+        nextP_ = miss;
+        for (unsigned i = 0; i < n; ++i) {
+            Word key(mem_->fetchCode(p_ + 1 + 2 * i, penalty_));
+            ++cycles_;
+            if (key.raw() == w.raw()) {
+                nextP_ = Word(mem_->fetchCode(p_ + 2 + 2 * i, penalty_))
+                             .addr();
+                break;
+            }
+        }
+        break;
+      }
+
+      case Opcode::SwitchOnStructure: {
+        Word w = deref(x_[0]);
+        if (!w.isStruct()) {
+            fail();
+            return;
+        }
+        Word f = readData(Word::makeDataPtr(w.zone(), w.addr()));
+        ++cycles_;
+        unsigned n = instr.value();
+        Addr miss = Word(mem_->fetchCode(p_ + 1 + 2 * n, penalty_)).addr();
+        nextP_ = miss;
+        for (unsigned i = 0; i < n; ++i) {
+            Word key(mem_->fetchCode(p_ + 1 + 2 * i, penalty_));
+            ++cycles_;
+            if (key.raw() == f.raw()) {
+                nextP_ = Word(mem_->fetchCode(p_ + 2 + 2 * i, penalty_))
+                             .addr();
+                break;
+            }
+        }
+        break;
+      }
+
+      default:
+        panic("execIndex: bad opcode");
+    }
+}
+
+} // namespace kcm

@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Instruction semantics: the microcoded execution unit. Dispatch on
+ * the combination of operand types is modelled after the MWAC
+ * (§3.1.4): type analysis costs no extra test cycles.
+ */
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "core/machine.hh"
+#include "isa/disasm.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+/** Env slot address of Y register @p y under environment @p e. */
+constexpr Addr
+yAddr(Addr e, Reg y)
+{
+    return e + 2 + y;
+}
+
+} // namespace
+
+void
+Machine::execInstr(Instr instr)
+{
+    switch (instr.opcode()) {
+      // ------------------------------------------------------ control
+      case Opcode::Halt:
+        if (instr.value() == 0)
+            halted_ = true;
+        else
+            haltFailed_ = true;
+        break;
+      case Opcode::Noop:
+        break;
+      case Opcode::Jump:
+        nextP_ = instr.value();
+        break;
+      case Opcode::Call:
+        doCall(instr.value(), false);
+        break;
+      case Opcode::Execute:
+        doCall(instr.value(), true);
+        break;
+      case Opcode::Proceed:
+        nextP_ = cpCont_;
+        break;
+      case Opcode::Allocate: {
+        // The new environment goes above both the current local top
+        // and the region protected by the current choice point (after
+        // a deallocate, LT may sit below frames that backtracking will
+        // revive — the split-stack analogue of the WAM's
+        // E := max(E, B) rule).
+        Addr new_e = std::max(lt_, lb_);
+        writeData(Word::makeDataPtr(Zone::Local, new_e),
+                  Word::makeDataPtr(Zone::Local, e_));
+        writeData(Word::makeDataPtr(Zone::Local, new_e + 1),
+                  Word::makeCodePtr(cpCont_));
+        e_ = new_e;
+        lt_ = new_e + 2 + instr.r1();
+        envSizes_[new_e] = instr.r1(); // GC debug info (host side)
+        ++cycles_; // two stack writes
+        ++envAllocs;
+        break;
+      }
+      case Opcode::Deallocate: {
+        cpCont_ =
+            readData(Word::makeDataPtr(Zone::Local, e_ + 1)).addr();
+        Addr old_e = e_;
+        Word ce = readData(Word::makeDataPtr(Zone::Local, e_));
+        if (ce.zone() != Zone::Local)
+            throw MachineTrap(TrapKind::ZoneViolation,
+                              cat("DEALLOC corrupt CE at E=0x", std::hex,
+                                  e_, " ce=", ce.toString()));
+        e_ = ce.addr();
+        lt_ = old_e;
+        ++cycles_; // two stack reads
+        break;
+      }
+      case Opcode::FailOp:
+        fail();
+        break;
+
+      // ------------------------------------- choice points / indexing
+      case Opcode::TryMeElse:
+      case Opcode::RetryMeElse:
+      case Opcode::TrustMe:
+      case Opcode::Try:
+      case Opcode::Retry:
+      case Opcode::Trust:
+      case Opcode::Neck:
+      case Opcode::Cut:
+      case Opcode::GetLevel:
+      case Opcode::CutY:
+      case Opcode::SwitchOnTerm:
+      case Opcode::SwitchOnConstant:
+      case Opcode::SwitchOnStructure:
+        execIndex(instr);
+        break;
+
+      // ------------------------------------------------------ get/put
+      case Opcode::GetVariableX:
+        x_[instr.r1()] = x_[instr.r2()];
+        if (!config_.dualPortRegisterFile)
+            ++cycles_;
+        break;
+      case Opcode::GetVariableY:
+        writeData(Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())),
+                  x_[instr.r2()]);
+        break;
+      case Opcode::GetValueX:
+        if (!unify(x_[instr.r1()], x_[instr.r2()]))
+            fail();
+        break;
+      case Opcode::GetValueY: {
+        Word y = readData(
+            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())));
+        if (!unify(y, x_[instr.r2()]))
+            fail();
+        break;
+      }
+      case Opcode::GetConstant:
+      case Opcode::GetNil: {
+        Word want = instr.opcode() == Opcode::GetNil ? Word::makeNil()
+                                                     : instr.constant();
+        Word w = deref(x_[instr.r2()]);
+        if (w.isRef()) {
+            bind(w, want);
+        } else if (w.tag() != want.tag() || w.value() != want.value()) {
+            fail();
+        }
+        break;
+      }
+      case Opcode::GetList: {
+        Word w = deref(x_[instr.r2()]);
+        if (w.isRef()) {
+            bind(w, Word::makeList(Zone::Global, h_));
+            writeMode_ = true;
+        } else if (w.isList()) {
+            s_ = w.addr();
+            writeMode_ = false;
+        } else {
+            fail();
+        }
+        break;
+      }
+      case Opcode::GetStructure: {
+        Word f = instr.constant();
+        Word w = deref(x_[instr.r2()]);
+        if (w.isRef()) {
+            bind(w, Word::makeStruct(Zone::Global, h_));
+            pushHeapCell(f);
+            writeMode_ = true;
+        } else if (w.isStruct()) {
+            Word actual =
+                readData(Word::makeDataPtr(w.zone(), w.addr()));
+            ++cycles_;
+            if (actual.raw() != f.raw()) {
+                fail();
+                break;
+            }
+            s_ = w.addr() + 1;
+            writeMode_ = false;
+        } else {
+            fail();
+        }
+        break;
+      }
+
+      case Opcode::PutVariableX: {
+        Word v = newHeapVar();
+        x_[instr.r1()] = v;
+        x_[instr.r2()] = v;
+        break;
+      }
+      case Opcode::PutVariableY: {
+        Addr a = yAddr(e_, instr.r1());
+        Word v = Word::makeRef(Zone::Local, a);
+        writeData(v, v);
+        x_[instr.r2()] = v;
+        break;
+      }
+      case Opcode::PutValueX:
+        x_[instr.r2()] = x_[instr.r1()];
+        if (!config_.dualPortRegisterFile)
+            ++cycles_;
+        break;
+      case Opcode::PutValueY:
+        x_[instr.r2()] = readData(
+            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())));
+        break;
+      case Opcode::PutUnsafeValue: {
+        Word w = deref(readData(
+            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1()))));
+        if (w.isRef() && w.zone() == Zone::Local && w.addr() >= e_) {
+            // Unbound variable in the environment being discarded:
+            // globalize it.
+            x_[instr.r2()] = globalize(w);
+        } else {
+            x_[instr.r2()] = w;
+        }
+        break;
+      }
+      case Opcode::PutConstant:
+        x_[instr.r2()] = instr.constant();
+        break;
+      case Opcode::PutNil:
+        x_[instr.r2()] = Word::makeNil();
+        break;
+      case Opcode::PutList:
+        x_[instr.r2()] = Word::makeList(Zone::Global, h_);
+        writeMode_ = true;
+        break;
+      case Opcode::PutStructure:
+        x_[instr.r2()] = Word::makeStruct(Zone::Global, h_);
+        pushHeapCell(instr.constant());
+        writeMode_ = true;
+        break;
+
+      // -------------------------------------------------------- unify
+      case Opcode::UnifyVariableX:
+      case Opcode::UnifyVariableY:
+      case Opcode::UnifyValueX:
+      case Opcode::UnifyValueY:
+      case Opcode::UnifyLocalValueX:
+      case Opcode::UnifyLocalValueY:
+      case Opcode::UnifyConstant:
+      case Opcode::UnifyNil:
+      case Opcode::UnifyList:
+      case Opcode::UnifyVoid:
+        execUnifyClass(instr);
+        break;
+
+      // -------------------------------------------------- arithmetic
+      case Opcode::NativeAdd:
+      case Opcode::NativeSub:
+      case Opcode::NativeMul:
+      case Opcode::NativeDiv:
+      case Opcode::NativeMod:
+      case Opcode::NativeNeg:
+      case Opcode::CmpLt:
+      case Opcode::CmpGt:
+      case Opcode::CmpLe:
+      case Opcode::CmpGe:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+        execArith(instr);
+        break;
+
+      case Opcode::Escape:
+        execEscape(instr);
+        break;
+
+      // ---------------------------------------------- data movement
+      case Opcode::Move2:
+        x_[instr.r3()] = x_[instr.r1()];
+        x_[instr.r4()] = x_[instr.r2()];
+        if (!config_.dualPortRegisterFile)
+            ++cycles_; // two moves need two file cycles
+        break;
+      case Opcode::LoadImm:
+        x_[instr.r1()] = instr.constant();
+        break;
+      case Opcode::SwapTV:
+        x_[instr.r3()] = x_[instr.r1()].swapped();
+        break;
+      case Opcode::Load: {
+        // Xr3 := mem[Xr1 + offset]; Xr2 := Xr1 + offset (§3.1.2).
+        // Pointers materialized by load_imm carry no zone (the
+        // instruction format has no zone field); re-derive it from
+        // the layout, as the assembler's address calculator does.
+        Word base = x_[instr.r1()];
+        Addr a = base.addr() + instr.offset();
+        Zone zone = base.zone() == Zone::None ? zoneOf(a) : base.zone();
+        Word addr_word = Word::make(base.tag(), zone, a);
+        x_[instr.r2()] = addr_word;
+        x_[instr.r3()] = readData(addr_word);
+        break;
+      }
+      case Opcode::Store: {
+        Word base = x_[instr.r1()];
+        Addr a = base.addr() + instr.offset();
+        Zone zone = base.zone() == Zone::None ? zoneOf(a) : base.zone();
+        Word addr_word = Word::make(base.tag(), zone, a);
+        x_[instr.r2()] = addr_word;
+        writeData(addr_word, x_[instr.r3()]);
+        break;
+      }
+
+      default:
+        throw MachineTrap(TrapKind::BadInstruction,
+                          cat("undecodable opcode at 0x", std::hex, p_));
+    }
+}
+
+void
+Machine::execUnifyClass(Instr instr)
+{
+    // The read/write mode flag is taken into account at decode time
+    // (§2.5): no test cycles.
+    switch (instr.opcode()) {
+      case Opcode::UnifyVariableX:
+        if (writeMode_) {
+            x_[instr.r1()] = newHeapVar();
+        } else {
+            x_[instr.r1()] = nextSubterm();
+        }
+        break;
+      case Opcode::UnifyVariableY: {
+        Word v = writeMode_ ? newHeapVar() : nextSubterm();
+        writeData(Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())), v);
+        ++cycles_;
+        break;
+      }
+      case Opcode::UnifyValueX:
+      case Opcode::UnifyLocalValueX: {
+        if (writeMode_) {
+            Word w = deref(x_[instr.r1()]);
+            if (w.isRef() && w.zone() == Zone::Local) {
+                // Keep the global stack free of local references.
+                w = globalize(w);
+            }
+            x_[instr.r1()] = w;
+            pushHeapCell(w);
+        } else {
+            if (!unify(x_[instr.r1()], nextSubterm()))
+                fail();
+        }
+        break;
+      }
+      case Opcode::UnifyValueY:
+      case Opcode::UnifyLocalValueY: {
+        Word y = readData(
+            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())));
+        ++cycles_;
+        if (writeMode_) {
+            Word w = deref(y);
+            if (w.isRef() && w.zone() == Zone::Local)
+                w = globalize(w);
+            pushHeapCell(w);
+        } else {
+            if (!unify(y, nextSubterm()))
+                fail();
+        }
+        break;
+      }
+      case Opcode::UnifyConstant:
+      case Opcode::UnifyNil: {
+        Word want = instr.opcode() == Opcode::UnifyNil ? Word::makeNil()
+                                                       : instr.constant();
+        if (writeMode_) {
+            pushHeapCell(want);
+        } else {
+            Word w = deref(nextSubterm());
+            if (w.isRef()) {
+                bind(w, want);
+            } else if (w.tag() != want.tag() ||
+                       w.value() != want.value()) {
+                fail();
+            }
+        }
+        break;
+      }
+      case Opcode::UnifyList: {
+        // Statically-known list chains cost two instructions per cell
+        // (§4.1): this instruction continues the chain.
+        if (writeMode_) {
+            // The next cons pair starts right after this cell.
+            pushHeapCell(Word::makeList(Zone::Global, h_ + 1));
+        } else {
+            Word w = deref(nextSubterm());
+            if (w.isRef()) {
+                bind(w, Word::makeList(Zone::Global, h_));
+                writeMode_ = true;
+            } else if (w.isList()) {
+                s_ = w.addr();
+            } else {
+                fail();
+            }
+        }
+        break;
+      }
+      case Opcode::UnifyVoid: {
+        unsigned n = instr.r1();
+        if (writeMode_) {
+            for (unsigned i = 0; i < n; ++i)
+                newHeapVar();
+            cycles_ += n > 0 ? n - 1 : 0;
+        } else {
+            s_ += n;
+        }
+        break;
+      }
+      default:
+        panic("execUnifyClass: bad opcode");
+    }
+}
+
+Word
+Machine::nextSubterm()
+{
+    Word w = readData(Word::makeDataPtr(Zone::Global, s_));
+    ++s_;
+    return w;
+}
+
+void
+Machine::execArith(Instr instr)
+{
+    Word a = deref(x_[instr.r1()]);
+    bool is_cmp = false;
+    Word b;
+    switch (instr.opcode()) {
+      case Opcode::NativeNeg:
+        b = Word::makeInt(0);
+        break;
+      default:
+        b = deref(x_[instr.r2()]);
+        break;
+    }
+
+    auto numeric = [](Word w) { return w.isInt() || w.isFloat(); };
+    if (!numeric(a) || !numeric(b)) {
+        fail();
+        return;
+    }
+
+    bool use_float = a.isFloat() || b.isFloat();
+    Word result;
+    bool cond = false;
+
+    if (use_float) {
+        float fa = a.isFloat() ? a.floatValue() : float(a.intValue());
+        float fb = b.isFloat() ? b.floatValue() : float(b.intValue());
+        // FPU latencies (§3.1.1; §4.2 notes floating multiply/divide
+        // beat the integer path).
+        switch (instr.opcode()) {
+          case Opcode::NativeAdd:
+          case Opcode::NativeSub:
+            cycles_ += 2; // 3 total
+            break;
+          case Opcode::NativeMul:
+            cycles_ += 3; // 4 total
+            break;
+          case Opcode::NativeDiv:
+            cycles_ += 6; // 7 total
+            break;
+          default:
+            break;
+        }
+        switch (instr.opcode()) {
+          case Opcode::NativeAdd: result = Word::makeFloat(fa + fb); break;
+          case Opcode::NativeSub: result = Word::makeFloat(fa - fb); break;
+          case Opcode::NativeMul: result = Word::makeFloat(fa * fb); break;
+          case Opcode::NativeDiv:
+            if (fb == 0) {
+                fail();
+                return;
+            }
+            result = Word::makeFloat(fa / fb);
+            break;
+          case Opcode::NativeMod:
+            fail();
+            return;
+          case Opcode::NativeNeg: result = Word::makeFloat(-fa); break;
+          case Opcode::CmpLt: is_cmp = true; cond = fa < fb; break;
+          case Opcode::CmpGt: is_cmp = true; cond = fa > fb; break;
+          case Opcode::CmpLe: is_cmp = true; cond = fa <= fb; break;
+          case Opcode::CmpGe: is_cmp = true; cond = fa >= fb; break;
+          case Opcode::CmpEq: is_cmp = true; cond = fa == fb; break;
+          case Opcode::CmpNe: is_cmp = true; cond = fa != fb; break;
+          default: panic("execArith: bad opcode");
+        }
+    } else {
+        int64_t ia = a.intValue();
+        int64_t ib = b.intValue();
+        int64_t r = 0;
+        // Integer multiply and divide are the multi-cycle exceptions
+        // of §3.1.1 (sequential shift-add/subtract microcode).
+        switch (instr.opcode()) {
+          case Opcode::NativeMul:
+            cycles_ += 5; // 6 total
+            break;
+          case Opcode::NativeDiv:
+          case Opcode::NativeMod:
+            cycles_ += 11; // 12 total
+            break;
+          default:
+            break;
+        }
+        switch (instr.opcode()) {
+          case Opcode::NativeAdd: r = ia + ib; break;
+          case Opcode::NativeSub: r = ia - ib; break;
+          case Opcode::NativeMul: r = ia * ib; break;
+          case Opcode::NativeDiv:
+            if (ib == 0) {
+                fail();
+                return;
+            }
+            r = ia / ib;
+            break;
+          case Opcode::NativeMod:
+            if (ib == 0) {
+                fail();
+                return;
+            }
+            r = ia % ib;
+            break;
+          case Opcode::NativeNeg: r = -ia; break;
+          case Opcode::CmpLt: is_cmp = true; cond = ia < ib; break;
+          case Opcode::CmpGt: is_cmp = true; cond = ia > ib; break;
+          case Opcode::CmpLe: is_cmp = true; cond = ia <= ib; break;
+          case Opcode::CmpGe: is_cmp = true; cond = ia >= ib; break;
+          case Opcode::CmpEq: is_cmp = true; cond = ia == ib; break;
+          case Opcode::CmpNe: is_cmp = true; cond = ia != ib; break;
+          default: panic("execArith: bad opcode");
+        }
+        result = Word::makeInt(static_cast<int32_t>(r));
+    }
+
+    if (is_cmp) {
+        prefetch_.onConditional(!cond);
+        if (!cond) {
+            cycles_ += 3; // taken conditional branch (§3.1.3)
+            fail();
+        }
+        return;
+    }
+    x_[instr.r3()] = result;
+}
+
+} // namespace kcm

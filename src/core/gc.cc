@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Global-stack garbage collection.
+ *
+ * The KCM word format reserves GC/mark bits (bits 63..56, manipulable
+ * through the TVM, §3.1.1), and the zone-check unit was designed so
+ * that stack-limit monitoring "can be used to trigger garbage
+ * collection" (§3.2.3). The paper left the collector itself to the
+ * full SEPIA system; this file implements it: a sliding mark-compact
+ * collector over the global stack that preserves cell order (so the
+ * heap-boundary fields saved in choice points remain meaningful).
+ *
+ * Roots are the argument registers, the environment chains (current
+ * and those saved in choice points), the saved argument registers of
+ * every choice point, and the targets of trail entries (a cell that
+ * backtracking will unbind must survive). The mark phase sets the
+ * words' GC bits in place — exactly what the hardware bits are for.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/logging.hh"
+#include "core/machine.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+constexpr uint8_t markBit = 0x01;
+
+/** Fields of a choice point record (mirrors machine.cc). */
+namespace cpfield
+{
+constexpr unsigned prevB = 0;
+constexpr unsigned alt = 1;
+constexpr unsigned e = 2;
+constexpr unsigned b0 = 4;
+constexpr unsigned h = 5;
+constexpr unsigned lt = 7;
+constexpr unsigned arity = 8;
+constexpr unsigned args = 9;
+} // namespace cpfield
+
+} // namespace
+
+uint64_t
+Machine::collectGarbage()
+{
+    const DataLayout &layout = mem_->layout();
+    const Addr base = layout.globalStart;
+    const Addr top = h_;
+    if (top <= base)
+        return 0;
+    const size_t heap_words = top - base;
+
+    auto peek = [&](Addr a) { return mem_->peekData(a); };
+    auto poke = [&](Addr a, Word w) { mem_->pokeData(a, w); };
+
+    auto in_heap = [&](Word w) {
+        return w.isDataAddress() && w.zone() == Zone::Global &&
+               w.addr() >= base && w.addr() < top;
+    };
+
+    // ---------------------------------------------------------- roots
+
+    // Word locations (data addresses) whose contents must be both
+    // traced and updated.
+    std::vector<Addr> root_cells;
+    // Machine/X registers are traced and updated separately.
+
+    std::set<Addr> visited_envs;
+    auto add_env_chain = [&](Addr e) {
+        while (e && visited_envs.insert(e).second) {
+            auto it = envSizes_.find(e);
+            unsigned n = it == envSizes_.end() ? 0 : it->second;
+            for (unsigned y = 0; y < n; ++y)
+                root_cells.push_back(e + 2 + y);
+            Word ce = peek(e);
+            if (!ce.isDataPtr() || ce.addr() == e)
+                break;
+            e = ce.addr();
+        }
+    };
+
+    add_env_chain(e_);
+
+    // Choice point chain: saved args, saved environments.
+    std::set<Addr> visited_cps;
+    Addr b = b_;
+    while (visited_cps.insert(b).second) {
+        Word arity = peek(b + cpfield::arity);
+        uint32_t n = static_cast<uint32_t>(arity.intValue());
+        for (uint32_t i = 0; i < n; ++i)
+            root_cells.push_back(b + cpfield::args + i);
+        add_env_chain(peek(b + cpfield::e).addr());
+        Word prev = peek(b + cpfield::prevB);
+        if (prev.addr() == b)
+            break;
+        b = prev.addr();
+    }
+
+    // Trail entries: the entry word itself names a cell that a future
+    // unwind will write to — that cell must survive (and the entry
+    // must be relocated).
+    for (Addr t = layout.trailStart; t < tr_; ++t)
+        root_cells.push_back(t);
+
+    // ----------------------------------------------------------- mark
+
+    std::vector<bool> marked(heap_words, false);
+    std::vector<Addr> worklist;
+
+    auto mark_cell = [&](Addr a) {
+        if (a < base || a >= top)
+            return;
+        if (!marked[a - base]) {
+            marked[a - base] = true;
+            worklist.push_back(a);
+        }
+    };
+
+    auto mark_from_word = [&](Word w) {
+        if (!in_heap(w))
+            return;
+        switch (w.tag()) {
+          case Tag::Ref:
+          case Tag::DataPtr:
+            mark_cell(w.addr());
+            break;
+          case Tag::List:
+            mark_cell(w.addr());
+            mark_cell(w.addr() + 1);
+            break;
+          case Tag::Struct: {
+            Addr f = w.addr();
+            mark_cell(f);
+            Word functor = peek(f);
+            for (uint32_t i = 1; i <= functor.functorArity(); ++i)
+                mark_cell(f + i);
+            break;
+          }
+          default:
+            break;
+        }
+    };
+
+    for (const auto &reg : x_)
+        mark_from_word(reg);
+    for (Addr cell : root_cells) {
+        Word w = peek(cell);
+        // Trail entries for heap cells: mark the target cell itself.
+        if (cell >= layout.trailStart && cell < tr_) {
+            if (in_heap(w))
+                mark_cell(w.addr());
+            continue;
+        }
+        mark_from_word(w);
+    }
+
+    while (!worklist.empty()) {
+        Addr a = worklist.back();
+        worklist.pop_back();
+        Word w = peek(a);
+        // Reflect the mark in the word's GC bits, as the hardware
+        // mark phase would.
+        poke(a, w.withGcBits(w.gcBits() | markBit));
+        mark_from_word(w);
+    }
+
+    // ------------------------------------------------- relocation map
+
+    // Order-preserving slide: newAddr(a) = base + #live cells below a.
+    std::vector<Addr> prefix(heap_words + 1, 0);
+    for (size_t i = 0; i < heap_words; ++i)
+        prefix[i + 1] = prefix[i] + (marked[i] ? 1 : 0);
+    const uint64_t live = prefix[heap_words];
+    const uint64_t freed = heap_words - live;
+
+    auto new_addr = [&](Addr a) -> Addr {
+        if (a < base)
+            return a;
+        if (a >= top)
+            return base + static_cast<Addr>(live) + (a - top);
+        return base + prefix[a - base];
+    };
+
+    // Registers may legally point AT or just beyond the current top
+    // mid-structure-build (put_list/put_structure publish the address
+    // before the unify_* writes fill the cells); new_addr maps that
+    // region onto the new top.
+    auto relocate_word = [&](Word w) -> Word {
+        if (!(w.isDataAddress() && w.zone() == Zone::Global &&
+              w.addr() >= base)) {
+            return w;
+        }
+        return Word::make(w.tag(), w.zone(), new_addr(w.addr()))
+            .withGcBits(0);
+    };
+
+    // ---------------------------------------------------------- slide
+
+    for (size_t i = 0; i < heap_words; ++i) {
+        if (!marked[i])
+            continue;
+        Addr from = base + static_cast<Addr>(i);
+        Word w = peek(from).withGcBits(0);
+        poke(base + prefix[i], relocate_word(w));
+    }
+
+    // -------------------------------------------------- update roots
+
+    for (auto &reg : x_)
+        reg = relocate_word(reg);
+
+    for (Addr cell : root_cells)
+        poke(cell, relocate_word(peek(cell)));
+
+    // Heap-boundary fields inside choice points.
+    visited_cps.clear();
+    b = b_;
+    while (visited_cps.insert(b).second) {
+        Word h = peek(b + cpfield::h);
+        poke(b + cpfield::h,
+             Word::makeDataPtr(Zone::Global, new_addr(h.addr())));
+        Word prev = peek(b + cpfield::prevB);
+        if (prev.addr() == b)
+            break;
+        b = prev.addr();
+    }
+
+    // Machine registers holding heap addresses.
+    h_ = new_addr(h_);
+    hb_ = new_addr(hb_);
+    s_ = new_addr(s_);
+    shadowH_ = new_addr(shadowH_);
+
+    // Cost model: the collector touches every live cell twice (mark +
+    // copy) and scans the dead ones once.
+    cycles_ += 2 * live + freed;
+    ++gcRuns;
+    gcWordsReclaimed += freed;
+    return freed;
+}
+
+} // namespace kcm

@@ -1,0 +1,701 @@
+#include "core/machine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "isa/disasm.hh"
+#include "prolog/writer.hh"
+
+namespace kcm
+{
+
+/**
+ * Choice point record layout on the control stack (§3.1.5). B points
+ * at the base; the record is 9 words plus the saved argument
+ * registers, matching the paper's "typical size is about 10 words".
+ */
+namespace cpfield
+{
+constexpr unsigned prevB = 0;
+constexpr unsigned alt = 1;
+constexpr unsigned e = 2;
+constexpr unsigned cpCont = 3;
+constexpr unsigned b0 = 4;
+constexpr unsigned h = 5;
+constexpr unsigned tr = 6;
+constexpr unsigned lt = 7;
+constexpr unsigned arity = 8;
+constexpr unsigned args = 9;
+} // namespace cpfield
+
+std::string
+Solution::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[name, term] : bindings) {
+        if (!first)
+            os << ", ";
+        os << name << " = " << writeTerm(term);
+        first = false;
+    }
+    if (bindings.empty())
+        os << "true";
+    return os.str();
+}
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), stats_("machine")
+{
+    mem_ = std::make_unique<MemSystem>(config_.mem);
+    stats_.add("choicePointsCreated", choicePointsCreated);
+    stats_.add("choicePointsAvoided", choicePointsAvoided);
+    stats_.add("shallowFails", shallowFails);
+    stats_.add("deepFails", deepFails);
+    stats_.add("trailPushes", trailPushes);
+    stats_.add("derefSteps", derefSteps);
+    stats_.add("bindOps", bindOps);
+    stats_.add("unifyCalls", unifyCalls);
+    stats_.add("envAllocs", envAllocs);
+    stats_.add("cpWordsWritten", cpWordsWritten);
+    stats_.add("cpWordsRead", cpWordsRead);
+    stats_.add("gcRuns", gcRuns);
+    stats_.add("gcWordsReclaimed", gcWordsReclaimed);
+    stats_.addChild(prefetch_.stats());
+    stats_.addChild(mem_->stats());
+}
+
+Machine::~Machine() = default;
+
+double
+Machine::klips() const
+{
+    double secs = seconds();
+    if (secs <= 0)
+        return 0;
+    return double(inferences_) / secs / 1000.0;
+}
+
+void
+Machine::resetMeasurement()
+{
+    cycles_ = 0;
+    instructions_ = 0;
+    inferences_ = 0;
+    stats_.reset();
+}
+
+Zone
+Machine::zoneOf(Addr a) const
+{
+    const DataLayout &layout = mem_->layout();
+    if (a >= layout.globalStart && a < layout.globalEnd)
+        return Zone::Global;
+    if (a >= layout.localStart && a < layout.localEnd)
+        return Zone::Local;
+    if (a >= layout.controlStart && a < layout.controlEnd)
+        return Zone::Control;
+    if (a >= layout.trailStart && a < layout.trailEnd)
+        return Zone::TrailZ;
+    if (a >= layout.staticStart && a < layout.staticEnd)
+        return Zone::Static;
+    return Zone::None;
+}
+
+Word
+Machine::readData(Word addr_word)
+{
+    return mem_->readData(addr_word, penalty_);
+}
+
+void
+Machine::writeData(Word addr_word, Word value)
+{
+    static Addr watch = []() -> Addr {
+        const char *env = getenv("KCM_WATCH_ADDR");
+        return env ? static_cast<Addr>(strtoul(env, nullptr, 16)) : 0;
+    }();
+    if (watch && addr_word.addr() == watch) {
+        fprintf(stderr, "WATCH write [%s] <- %s\n  state %s\n  trace:\n%s\n",
+                addr_word.toString().c_str(), value.toString().c_str(),
+                stateString().c_str(), recentTrace(8).c_str());
+    }
+    mem_->writeData(addr_word, value, penalty_);
+}
+
+void
+Machine::load(const CodeImage &image, bool cold_caches)
+{
+    image_ = image;
+
+    // Download the code image (host loader; untimed).
+    for (size_t i = 0; i < image_.words.size(); ++i)
+        mem_->pokeCode(image_.base + static_cast<Addr>(i), image_.words[i]);
+
+    if (config_.profile) {
+        profiler_.attach(image_);
+        profiler_.reset();
+    }
+
+    // The download wrote through the code cache; a first run starts
+    // cold, as the real machine does after a download from the host.
+    if (cold_caches) {
+        mem_->codeCache().invalidateAll();
+        mem_->dataCache().invalidateAll();
+    }
+
+    const DataLayout &layout = mem_->layout();
+
+    for (auto &reg : x_)
+        reg = Word::makeInt(0);
+
+    h_ = layout.globalStart;
+    hb_ = h_;
+    tr_ = layout.trailStart;
+    s_ = h_;
+    writeMode_ = false;
+
+    // Bottom environment.
+    envSizes_.clear();
+    e_ = layout.localStart;
+    envSizes_[e_] = 0;
+    mem_->pokeData(e_ + 0, Word::makeDataPtr(Zone::Local, e_));
+    mem_->pokeData(e_ + 1, Word::makeCodePtr(image_.haltFailEntry));
+    lt_ = e_ + 2;
+    lb_ = lt_;
+
+    // Bottom choice point: its alternative halts the query as failed.
+    b_ = layout.controlStart;
+    auto put = [&](unsigned field, Word w) {
+        mem_->pokeData(b_ + field, w);
+    };
+    put(cpfield::prevB, Word::makeDataPtr(Zone::Control, b_));
+    put(cpfield::alt, Word::makeCodePtr(image_.haltFailEntry));
+    put(cpfield::e, Word::makeDataPtr(Zone::Local, e_));
+    put(cpfield::cpCont, Word::makeCodePtr(image_.haltFailEntry));
+    put(cpfield::b0, Word::makeDataPtr(Zone::Control, b_));
+    put(cpfield::h, Word::makeDataPtr(Zone::Global, h_));
+    put(cpfield::tr, Word::makeDataPtr(Zone::TrailZ, tr_));
+    put(cpfield::lt, Word::makeDataPtr(Zone::Local, lt_));
+    put(cpfield::arity, Word::makeInt(0));
+    ct_ = b_ + cpfield::args;
+    b0_ = b_;
+
+    cpCont_ = image_.haltFailEntry;
+    p_ = image_.queryEntry ? image_.queryEntry : image_.haltFailEntry;
+    nextP_ = p_;
+    prefetch_.reset(p_);
+    expectedNextP_ = p_;
+
+    shallowFlag_ = false;
+    cpFlag_ = false;
+    pendingAlt_ = 0;
+    pendingArity_ = 0;
+
+    halted_ = false;
+    haltFailed_ = false;
+    solutionReady_ = false;
+    solution_ = Solution{};
+    cycles_ = 0;
+    instructions_ = 0;
+    inferences_ = 0;
+}
+
+// ------------------------------------------------------------- core ops
+
+Word
+Machine::deref(Word w)
+{
+    // The data cache starts a dereferencing operation speculatively
+    // during the instruction's own access cycle (§3.1.4), so the
+    // first step of a chain is free; further references cost one
+    // cycle each.
+    bool first = true;
+    while (w.isRef()) {
+        Word v = readData(w);
+        ++derefSteps;
+        if (!first)
+            ++cycles_; // one reference per cycle (§3.1.4)
+        if (!config_.fastDereference)
+            ++cycles_; // no speculative start: request + read
+        first = false;
+        if (v.raw() == w.raw())
+            return w; // unbound: self reference
+        if (!v.isRef())
+            return v;
+        w = v;
+    }
+    return w;
+}
+
+void
+Machine::trailIfNeeded(Word ref_word)
+{
+    // The trail comparators work in parallel with dereferencing
+    // (§3.1.5): no cycle cost for the check itself.
+    Addr a = ref_word.addr();
+    bool need;
+    bool shallow_pending =
+        config_.shallowBacktracking && shallowFlag_ && !cpFlag_;
+    if (ref_word.zone() == Zone::Global) {
+        Addr boundary = shallow_pending ? shadowH_ : hb_;
+        need = a < boundary;
+    } else {
+        Addr boundary = shallow_pending ? lt_ : lb_;
+        need = a < boundary;
+    }
+    if (!config_.parallelTrailCheck)
+        cycles_ += 2; // serialized boundary comparisons
+    if (need) {
+        writeData(dataPtr(tr_), ref_word);
+        ++tr_;
+        ++trailPushes;
+    }
+}
+
+void
+Machine::bind(Word ref_word, Word value)
+{
+    trailIfNeeded(ref_word);
+    writeData(ref_word, value);
+    ++bindOps;
+}
+
+void
+Machine::unwindTrail(Addr target_tr)
+{
+    while (tr_ > target_tr) {
+        --tr_;
+        Word entry = readData(dataPtr(tr_));
+        // Restore the cell to an unbound self-reference.
+        writeData(entry, Word::makeRef(entry.zone(), entry.addr()));
+        ++cycles_;
+    }
+}
+
+Word
+Machine::newHeapVar()
+{
+    Word var = Word::makeRef(Zone::Global, h_);
+    writeData(var, var);
+    ++h_;
+    return var;
+}
+
+Word
+Machine::pushHeapCell(Word value)
+{
+    Word addr_word = Word::makeDataPtr(Zone::Global, h_);
+    writeData(addr_word, value);
+    ++h_;
+    return addr_word;
+}
+
+Word
+Machine::globalize(Word ref_word)
+{
+    Word hv = newHeapVar();
+    bind(ref_word, hv);
+    return hv;
+}
+
+bool
+Machine::unify(Word a, Word b)
+{
+    ++unifyCalls;
+    std::vector<std::pair<Word, Word>> pdl;
+    pdl.emplace_back(a, b);
+
+    bool first = true;
+    while (!pdl.empty()) {
+        auto [u, v] = pdl.back();
+        pdl.pop_back();
+        if (!first)
+            ++cycles_; // PDL pop in the general unification microcode
+        first = false;
+
+        Word du = deref(u);
+        Word dv = deref(v);
+        if (du.raw() == dv.raw())
+            continue;
+
+        bool u_unbound = du.isRef();
+        bool v_unbound = dv.isRef();
+
+        if (u_unbound && v_unbound) {
+            // Bind local to global, else younger to older, so that no
+            // global-stack cell ever references the local stack.
+            bool u_local = du.zone() == Zone::Local;
+            bool v_local = dv.zone() == Zone::Local;
+            if (u_local && !v_local) {
+                bind(du, dv);
+            } else if (v_local && !u_local) {
+                bind(dv, du);
+            } else if (du.addr() >= dv.addr()) {
+                bind(du, dv);
+            } else {
+                bind(dv, du);
+            }
+            continue;
+        }
+        if (u_unbound) {
+            if (dv.isList() || dv.isStruct() || du.zone() != Zone::Local) {
+                bind(du, dv);
+            } else {
+                bind(du, dv);
+            }
+            continue;
+        }
+        if (v_unbound) {
+            bind(dv, du);
+            continue;
+        }
+
+        // Both bound: the MWAC selects the case from the two type
+        // fields without extra test cycles (§3.1.4).
+        if (du.tag() != dv.tag())
+            return false;
+        switch (du.tag()) {
+          case Tag::Nil:
+            break;
+          case Tag::Atom:
+          case Tag::Int:
+          case Tag::Float:
+            if (du.value() != dv.value())
+                return false;
+            break;
+          case Tag::List: {
+            Word u_head = readData(Word::makeDataPtr(du.zone(), du.addr()));
+            Word v_head = readData(Word::makeDataPtr(dv.zone(), dv.addr()));
+            Word u_tail =
+                readData(Word::makeDataPtr(du.zone(), du.addr() + 1));
+            Word v_tail =
+                readData(Word::makeDataPtr(dv.zone(), dv.addr() + 1));
+            cycles_ += 4;
+            pdl.emplace_back(u_tail, v_tail);
+            pdl.emplace_back(u_head, v_head);
+            break;
+          }
+          case Tag::Struct: {
+            Word uf = readData(Word::makeDataPtr(du.zone(), du.addr()));
+            Word vf = readData(Word::makeDataPtr(dv.zone(), dv.addr()));
+            cycles_ += 2;
+            if (uf.raw() != vf.raw())
+                return false;
+            uint32_t n = uf.functorArity();
+            for (uint32_t i = n; i > 0; --i) {
+                Word ua = readData(
+                    Word::makeDataPtr(du.zone(), du.addr() + i));
+                Word va = readData(
+                    Word::makeDataPtr(dv.zone(), dv.addr() + i));
+                cycles_ += 2;
+                pdl.emplace_back(ua, va);
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+// -------------------------------------------------------------- control
+
+void
+Machine::pushChoicePoint(Addr alt, uint32_t arity, Addr saved_h,
+                         Addr saved_tr, Addr saved_cp)
+{
+    Addr base = ct_;
+    // The protected local-stack boundary: everything the previous
+    // choice point protected plus the currently live frames. LT alone
+    // is not enough — a deallocate may have lowered it below frames
+    // that an older choice point will revive.
+    Addr protected_lt = std::max(lt_, lb_);
+    auto put = [&](unsigned field, Word w) {
+        writeData(Word::makeDataPtr(Zone::Control, base + field), w);
+    };
+    put(cpfield::prevB, Word::makeDataPtr(Zone::Control, b_));
+    put(cpfield::alt, Word::makeCodePtr(alt));
+    put(cpfield::e, Word::makeDataPtr(Zone::Local, e_));
+    put(cpfield::cpCont, Word::makeCodePtr(saved_cp));
+    put(cpfield::b0, Word::makeDataPtr(Zone::Control, b0_));
+    put(cpfield::h, Word::makeDataPtr(Zone::Global, saved_h));
+    put(cpfield::tr, Word::makeDataPtr(Zone::TrailZ, saved_tr));
+    put(cpfield::lt, Word::makeDataPtr(Zone::Local, protected_lt));
+    put(cpfield::arity, Word::makeInt(static_cast<int32_t>(arity)));
+    for (uint32_t i = 0; i < arity; ++i)
+        put(cpfield::args + i, x_[i]);
+
+    // One register per cycle through the RAC (§3.1.5); the first write
+    // is covered by the instruction's base cost.
+    cycles_ += cpfield::args + arity - 1;
+    if (!config_.racBlockMoves)
+        cycles_ += cpfield::args + arity; // address setup per word
+
+    b_ = base;
+    ct_ = base + cpfield::args + arity;
+    hb_ = saved_h;
+    lb_ = protected_lt;
+    cpWordsWritten += cpfield::args + arity;
+    ++choicePointsCreated;
+}
+
+void
+Machine::restoreFromChoicePoint()
+{
+    auto get = [&](unsigned field) {
+        return readData(Word::makeDataPtr(Zone::Control, b_ + field));
+    };
+    Word alt = get(cpfield::alt);
+    Word e = get(cpfield::e);
+    Word cp = get(cpfield::cpCont);
+    Word b0 = get(cpfield::b0);
+    Word h = get(cpfield::h);
+    Word tr = get(cpfield::tr);
+    Word lt = get(cpfield::lt);
+    Word arity = get(cpfield::arity);
+
+    uint32_t n = static_cast<uint32_t>(arity.intValue());
+    for (uint32_t i = 0; i < n; ++i)
+        x_[i] = get(cpfield::args + i);
+
+    cycles_ += cpfield::args + n - 1;
+    if (!config_.racBlockMoves)
+        cycles_ += cpfield::args + n;
+    cpWordsRead += cpfield::args + n;
+
+    unwindTrail(tr.addr());
+    h_ = h.addr();
+    hb_ = h.addr();
+    e_ = e.addr();
+    lt_ = lt.addr();
+    lb_ = lt.addr();
+    cpCont_ = cp.addr();
+    b0_ = b0.addr();
+    ct_ = b_ + cpfield::args + n;
+    p_ = alt.addr();
+    nextP_ = p_;
+
+    cpFlag_ = true;
+    shallowFlag_ = false;
+}
+
+void
+Machine::fail()
+{
+    if (config_.shallowBacktracking && shallowFlag_ && !cpFlag_) {
+        // Shallow backtracking: restore the three shadow registers,
+        // undo head bindings, and jump to the alternative. Argument
+        // registers were never modified (compiler guarantee).
+        ++shallowFails;
+        ++choicePointsAvoided;
+        h_ = shadowH_;
+        unwindTrail(shadowTR_);
+        cpCont_ = shadowCP_;
+        p_ = pendingAlt_;
+        nextP_ = p_;
+        cycles_ += 3; // restore + refetch
+        return;
+    }
+    ++deepFails;
+    cycles_ += 3;
+    restoreFromChoicePoint();
+}
+
+void
+Machine::cutTo(Addr target_b)
+{
+    if (config_.shallowBacktracking && shallowFlag_ && !cpFlag_) {
+        shallowFlag_ = false;
+        ++choicePointsAvoided;
+    }
+    if (target_b < b_) {
+        b_ = target_b;
+        Word arity =
+            readData(Word::makeDataPtr(Zone::Control, b_ + cpfield::arity));
+        Word h = readData(Word::makeDataPtr(Zone::Control, b_ + cpfield::h));
+        Word lt =
+            readData(Word::makeDataPtr(Zone::Control, b_ + cpfield::lt));
+        cycles_ += 2;
+        ct_ = b_ + cpfield::args +
+              static_cast<uint32_t>(arity.intValue());
+        hb_ = h.addr();
+        lb_ = lt.addr();
+    }
+    cpFlag_ = false;
+}
+
+void
+Machine::doCall(Addr target, bool is_execute)
+{
+    b0_ = b_;
+    shallowFlag_ = false;
+    cpFlag_ = false;
+    if (!is_execute)
+        cpCont_ = nextP_;
+    nextP_ = target;
+}
+
+// ------------------------------------------------------------- run loop
+
+RunStatus
+Machine::run()
+{
+    while (true) {
+        if (config_.maxCycles && cycles_ >= config_.maxCycles)
+            return RunStatus::CycleLimit;
+        step();
+        if (solutionReady_) {
+            solutionReady_ = false;
+            return RunStatus::SolutionFound;
+        }
+        if (haltFailed_)
+            return RunStatus::Failed;
+        if (halted_)
+            return RunStatus::Halted;
+    }
+}
+
+RunStatus
+Machine::nextSolution()
+{
+    halted_ = false;
+    fail();
+    cycles_ += penalty_;
+    penalty_ = 0;
+    return run();
+}
+
+std::vector<Solution>
+Machine::solutions(size_t max)
+{
+    std::vector<Solution> out;
+    RunStatus status = run();
+    while (status == RunStatus::SolutionFound) {
+        out.push_back(solution_);
+        if (out.size() >= max)
+            break;
+        status = nextSolution();
+    }
+    return out;
+}
+
+void
+Machine::step()
+{
+    if (config_.gcThresholdWords &&
+        h_ - mem_->layout().globalStart > config_.gcThresholdWords) {
+        collectGarbage();
+    }
+    penalty_ = 0;
+    prefetch_.onFetch(p_, expectedNextP_);
+    uint64_t raw = mem_->fetchCode(p_, penalty_);
+    Instr instr(raw);
+    nextP_ = p_ + 1;
+
+    trace_[traceHead_] = {p_, raw};
+    traceHead_ = (traceHead_ + 1) % traceSize;
+
+    if (config_.profile) {
+        Opcode op = instr.opcode();
+        bool is_call = op == Opcode::Call || op == Opcode::Execute;
+        profiler_.record(op, is_call ? instr.value() : 0);
+    }
+
+    execInstr(instr);
+
+    ++instructions_;
+    cycles_ += opcodeInfo(instr.opcode()).baseCycles;
+    if (config_.timeMemory)
+        cycles_ += penalty_;
+    if (instr.inferenceMark())
+        ++inferences_;
+
+    // The prefetcher would have streamed p_+1 (or, for a multi-word
+    // switch, the word after its table) next.
+    expectedNextP_ = p_ + 1;
+    p_ = nextP_;
+}
+
+std::string
+Machine::recentTrace(size_t max_entries) const
+{
+    std::ostringstream os;
+    size_t count = std::min(max_entries, traceSize);
+    for (size_t i = 0; i < count; ++i) {
+        size_t idx = (traceHead_ + traceSize - count + i) % traceSize;
+        const TraceEntry &entry = trace_[idx];
+        if (entry.raw == 0 && entry.p == 0)
+            continue;
+        std::vector<uint64_t> one{entry.raw};
+        os << "0x" << std::hex << entry.p << std::dec << ":\t"
+           << disasmOne(one, 0) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Machine::stateString() const
+{
+    std::ostringstream os;
+    os << std::hex << "P=0x" << p_ << " CP=0x" << cpCont_ << " E=0x" << e_
+       << " LT=0x" << lt_ << " LB=0x" << lb_ << " B=0x" << b_ << " CT=0x"
+       << ct_ << " B0=0x" << b0_ << " H=0x" << h_ << " HB=0x" << hb_
+       << " TR=0x" << tr_ << std::dec << " shallow=" << shallowFlag_
+       << " cpFlag=" << cpFlag_;
+    return os.str();
+}
+
+void
+Machine::hostWrite(const std::string &text)
+{
+    if (config_.captureOutput)
+        hostOutput_ += text;
+    else
+        fputs(text.c_str(), stdout);
+}
+
+TermRef
+Machine::exportTerm(Word w, int depth)
+{
+    if (depth > 4000)
+        return Term::makeAtom("...");
+
+    // Untimed dereference through the debug interface.
+    while (w.isRef()) {
+        Word v = mem_->peekData(w.addr());
+        if (v.raw() == w.raw())
+            return Term::makeVar(cat("_G", w.addr()));
+        w = v;
+    }
+
+    switch (w.tag()) {
+      case Tag::Nil:
+        return Term::makeAtom(AtomTable::instance().nil);
+      case Tag::Atom:
+        return Term::makeAtom(w.atom());
+      case Tag::Int:
+        return Term::makeInt(w.intValue());
+      case Tag::Float:
+        return Term::makeFloat(w.floatValue());
+      case Tag::List: {
+        TermRef head = exportTerm(mem_->peekData(w.addr()), depth + 1);
+        TermRef tail = exportTerm(mem_->peekData(w.addr() + 1), depth + 1);
+        return Term::makeCons(head, tail);
+      }
+      case Tag::Struct: {
+        Word f = mem_->peekData(w.addr());
+        std::vector<TermRef> args;
+        for (uint32_t i = 1; i <= f.functorArity(); ++i)
+            args.push_back(exportTerm(mem_->peekData(w.addr() + i),
+                                      depth + 1));
+        return Term::makeStruct(f.functorName(), std::move(args));
+      }
+      default:
+        return Term::makeAtom(cat("<", tagName(w.tag()), ">"));
+    }
+}
+
+} // namespace kcm

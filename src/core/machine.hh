@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The KCM machine: a cycle-level simulator of the processor described
+ * in §3 — 64 x 64-bit register file, microcoded execution unit with
+ * MWAC-style dispatch on type pairs, trail comparators working in
+ * parallel with dereferencing, delayed (shallow-backtracking) choice
+ * points, split local/control stacks, and the two logical caches.
+ *
+ * Timing model: every instruction is charged its opcode's base cycles
+ * (calibrated to the paper's published figures — 1 cycle for most data
+ * manipulation, 2 for jumps/calls, 5 for a minimal call/return pair);
+ * microcode loops (choice point save/restore at one register per
+ * cycle via the RAC, reference-chain following at one reference per
+ * cycle, unification sub-steps) and cache-miss penalties are added
+ * dynamically. Trail checks are free: the trail comparators run in
+ * parallel with dereferencing (§3.1.5).
+ */
+
+#ifndef KCM_CORE_MACHINE_HH
+#define KCM_CORE_MACHINE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "compiler/builtin_defs.hh"
+#include "compiler/code_image.hh"
+#include "core/machine_config.hh"
+#include "core/prefetch.hh"
+#include "core/profiler.hh"
+#include "isa/instr.hh"
+#include "mem/mem_system.hh"
+#include "prolog/term.hh"
+
+namespace kcm
+{
+
+/** Why run() returned. */
+enum class RunStatus
+{
+    SolutionFound, ///< query reached the collect-solution escape
+    Failed,        ///< query exhausted all alternatives
+    Halted,        ///< executed halt after a solution
+    CycleLimit,    ///< maxCycles exceeded
+};
+
+/** One solution: bindings of the named query variables. */
+struct Solution
+{
+    std::vector<std::pair<std::string, TermRef>> bindings;
+
+    std::string toString() const;
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = {});
+    ~Machine();
+
+    /** Load a linked image and reset the machine to run its query.
+     *  @param cold_caches invalidate both caches after the download
+     *         (a first run after download); pass false to measure a
+     *         warm re-run, as in the paper's best-of-4 protocol. */
+    void load(const CodeImage &image, bool cold_caches = true);
+
+    /** Run until a solution, failure, halt, or the cycle limit. */
+    RunStatus run();
+
+    /** Backtrack into the query and run to the next solution. */
+    RunStatus nextSolution();
+
+    /** Convenience: run and collect up to @p max solutions. */
+    std::vector<Solution> solutions(size_t max = SIZE_MAX);
+
+    /** Bindings recorded by the most recent SolutionFound. */
+    const Solution &lastSolution() const { return solution_; }
+
+    // --- measurements ---
+
+    uint64_t cycles() const { return cycles_; }
+    uint64_t instructions() const { return instructions_; }
+    uint64_t inferences() const { return inferences_; }
+    double seconds() const { return double(cycles_) * cycleSeconds; }
+    /** Kilo logical inferences per (simulated) second, §4.2. */
+    double klips() const;
+
+    /** Reset cycle/inference counters and memory statistics (to
+     *  measure a region excluding setup). */
+    void resetMeasurement();
+
+    /** Captured output of write/1 and friends. */
+    const std::string &output() const { return hostOutput_; }
+    void clearOutput() { hostOutput_.clear(); }
+
+    /**
+     * Run a sliding mark-compact collection of the global stack
+     * (using the word format's GC bits). Safe between instructions.
+     * @return the number of words reclaimed.
+     */
+    uint64_t collectGarbage();
+
+    /** Current global-stack usage in words. */
+    Addr
+    heapWords() const
+    {
+        return h_ - mem_->layout().globalStart;
+    }
+
+    /** The profiler (meaningful when config().profile is set). */
+    const Profiler &profiler() const { return profiler_; }
+
+    /** The instruction prefetch unit's pipeline statistics (§3.1.3). */
+    const PrefetchUnit &prefetch() const { return prefetch_; }
+
+    /** Disassembled trace of the most recently executed instructions
+     *  (newest last) — a debugging aid for trap analysis. */
+    std::string recentTrace(size_t max_entries = 32) const;
+
+    /** One-line dump of the machine state registers. */
+    std::string stateString() const;
+
+    MemSystem &mem() { return *mem_; }
+    StatGroup &stats() { return stats_; }
+    const CodeImage &image() const { return image_; }
+    const MachineConfig &config() const { return config_; }
+
+    // Event counters (registered in stats()).
+    Counter choicePointsCreated;
+    Counter choicePointsAvoided; ///< neck reached with no CP needed
+    Counter shallowFails;
+    Counter deepFails;
+    Counter trailPushes;
+    Counter derefSteps;
+    Counter bindOps;
+    Counter unifyCalls;
+    Counter envAllocs;
+    Counter cpWordsWritten; ///< words stored saving choice points
+    Counter cpWordsRead;    ///< words loaded restoring choice points
+    Counter gcRuns;           ///< garbage collections performed
+    Counter gcWordsReclaimed; ///< global-stack words reclaimed
+
+  private:
+    friend class BuiltinContext;
+
+    // --- memory helpers (timed) ---
+    Word readData(Word addr_word);
+    void writeData(Word addr_word, Word value);
+    /** Zone of a data address per the configured layout. */
+    Zone zoneOf(Addr a) const;
+    Word dataPtr(Addr a) const { return Word::makeDataPtr(zoneOf(a), a); }
+
+    // --- core WAM operations ---
+    Word deref(Word w);
+    void bind(Word ref_word, Word value);
+    void trailIfNeeded(Word ref_word);
+    void unwindTrail(Addr target_tr);
+    bool unify(Word a, Word b);
+    /** Globalize an unbound local variable (returns heap ref). */
+    Word globalize(Word ref_word);
+
+    // --- control ---
+    void fail();
+    void pushChoicePoint(Addr alt, uint32_t arity, Addr saved_h,
+                         Addr saved_tr, Addr saved_cp);
+    void restoreFromChoicePoint();
+    void cutTo(Addr target_b);
+    void doCall(Addr target, bool is_execute);
+
+    // --- heap building ---
+    Word pushHeapCell(Word value);
+    Word newHeapVar();
+
+    // --- instruction execution ---
+    void step();
+    void execInstr(Instr instr);
+    void execGetPut(Instr instr);
+    void execUnifyClass(Instr instr);
+    void execControl(Instr instr);
+    void execIndex(Instr instr);
+    void execArith(Instr instr);
+    void execEscape(Instr instr);
+    /** Unify-with-mode subterm access. */
+    Word nextSubterm();
+
+    // --- term exchange with the host ---
+    TermRef exportTerm(Word w, int depth = 0);
+    void hostWrite(const std::string &text);
+
+    // --- state ---
+    MachineConfig config_;
+    std::unique_ptr<MemSystem> mem_;
+    CodeImage image_;
+
+    // Register file: X registers (argument/temporary).
+    Word x_[numXRegs];
+
+    // Machine state registers.
+    Addr p_ = 0;       ///< program counter (code space)
+    Addr nextP_ = 0;   ///< address of the following instruction
+    Addr cpCont_ = 0;  ///< continuation code pointer
+    Addr h_ = 0;       ///< top of global stack
+    Addr hb_ = 0;      ///< heap backtrack boundary
+    Addr s_ = 0;       ///< structure pointer
+    Addr tr_ = 0;      ///< top of trail
+    Addr e_ = 0;       ///< current environment
+    Addr lt_ = 0;      ///< top of local stack
+    Addr lb_ = 0;      ///< local backtrack boundary
+    Addr b_ = 0;       ///< current choice point
+    Addr ct_ = 0;      ///< top of control stack
+    Addr b0_ = 0;      ///< cut barrier of the current call
+    bool writeMode_ = false;
+
+    // Shallow backtracking state (§3.1.5).
+    bool shallowFlag_ = false;
+    bool cpFlag_ = false;
+    Addr shadowH_ = 0, shadowTR_ = 0, shadowCP_ = 0;
+    Addr pendingAlt_ = 0;
+    uint32_t pendingArity_ = 0;
+
+    // Counters and run bookkeeping.
+    uint64_t cycles_ = 0;
+    uint64_t instructions_ = 0;
+    uint64_t inferences_ = 0;
+    unsigned penalty_ = 0; ///< per-step memory penalty accumulator
+    Addr expectedNextP_ = 0; ///< the prefetcher's streamed target
+    bool halted_ = false;
+    bool haltFailed_ = false;
+    bool solutionReady_ = false;
+    Solution solution_;
+    std::string hostOutput_;
+
+    // Execution trace ring buffer (debugging).
+    static constexpr size_t traceSize = 128;
+    struct TraceEntry
+    {
+        Addr p = 0;
+        uint64_t raw = 0;
+    };
+    TraceEntry trace_[traceSize];
+    size_t traceHead_ = 0;
+
+    Profiler profiler_;
+    PrefetchUnit prefetch_;
+
+    /** Host-side map of live environment bases to their Y counts
+     *  (debug information for the garbage collector). */
+    std::map<Addr, unsigned> envSizes_;
+
+    StatGroup stats_;
+};
+
+} // namespace kcm
+
+#endif // KCM_CORE_MACHINE_HH

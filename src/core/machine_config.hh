@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Machine configuration: feature toggles for ablation studies plus the
+ * memory-system configuration.
+ */
+
+#ifndef KCM_CORE_MACHINE_CONFIG_HH
+#define KCM_CORE_MACHINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "mem/mem_system.hh"
+
+namespace kcm
+{
+
+/** Clock period of the prototype: 80 ns (§3). */
+constexpr double cycleSeconds = 80e-9;
+
+struct MachineConfig
+{
+    MemSystemConfig mem;
+
+    /**
+     * Delay choice point creation until the neck (§3.1.5). When off,
+     * try_me_else/try push a full choice point immediately — the
+     * standard-WAM baseline for the shallow-backtracking ablation.
+     */
+    bool shallowBacktracking = true;
+
+    /** Charge cache-miss penalties to the cycle count (off = ideal
+     *  memory, for separating engine effects from memory effects). */
+    bool timeMemory = true;
+
+    /** Stop the machine after this many cycles (0 = unlimited). */
+    uint64_t maxCycles = 0;
+
+    /** Capture write/1 output into a string instead of stdout. */
+    bool captureOutput = true;
+
+    /** Enable the instruction/predicate profiler (small host-side
+     *  overhead; no effect on simulated cycles). */
+    bool profile = false;
+
+    /** Collect global-stack garbage automatically when usage exceeds
+     *  this many words (0 = never collect automatically). */
+    uint64_t gcThresholdWords = 0;
+
+    // --- specialized-unit ablations (§5: "the influence of each
+    // specialized unit (trail, dereferencing, RAC, double port
+    // register file...)") ---
+
+    /** Dereference hardware: the data cache starts reference
+     *  following speculatively, one reference per cycle (§3.1.4).
+     *  Off: every step costs two cycles (request + read). */
+    bool fastDereference = true;
+
+    /** Trail unit: the three comparators run in parallel with
+     *  dereferencing (§3.1.5). Off: every binding pays 2 cycles for
+     *  the boundary comparisons. */
+    bool parallelTrailCheck = true;
+
+    /** RAC register-block moves: choice point save/restore streams
+     *  one register per cycle (§3.1.5). Off: 2 cycles per word. */
+    bool racBlockMoves = true;
+
+    /** Dual-ported register file + four-address format: register
+     *  moves and the second result port are free (§3.1.1). Off:
+     *  get/put register moves cost an extra cycle. */
+    bool dualPortRegisterFile = true;
+};
+
+} // namespace kcm
+
+#endif // KCM_CORE_MACHINE_CONFIG_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The instruction prefetch unit (§3.1.3, Fig. 6).
+ *
+ * A three-stage pipeline: register P holds the address of instruction
+ * n+2, IB/SP hold instruction n+1 and its address, IR/TP hold the
+ * executing instruction n and its address. During sequential execution
+ * P increments every cycle and instructions stream at 1/cycle; an
+ * immediate jump or call switches the P multiplexer to IB (2 cycles);
+ * a taken conditional branch costs 4.
+ *
+ * In this simulator the *timing* of breaks is charged through the
+ * opcode base costs (so the numbers stay calibrated); this unit models
+ * the pipeline state itself and accounts for how the machine actually
+ * fetched: sequential streams, immediate branches, taken/untaken
+ * conditionals, and the refills after failure. Its statistics feed the
+ * §5 evaluation of the prefetcher.
+ */
+
+#ifndef KCM_CORE_PREFETCH_HH
+#define KCM_CORE_PREFETCH_HH
+
+#include <cstdint>
+
+#include "base/stats.hh"
+#include "isa/word.hh"
+
+namespace kcm
+{
+
+class PrefetchUnit
+{
+  public:
+    PrefetchUnit() : stats_("prefetch")
+    {
+        stats_.add("sequentialFetches", sequentialFetches);
+        stats_.add("pipelineBreaks", pipelineBreaks);
+        stats_.add("takenBranches", takenBranches);
+        stats_.add("untakenBranches", untakenBranches);
+    }
+
+    /** Reset pipeline state (machine load). */
+    void
+    reset(Addr entry)
+    {
+        tp_ = entry;
+        sp_ = entry;
+        p_ = entry;
+        primed_ = false;
+    }
+
+    /**
+     * Account for the fetch of the instruction at @p addr. Detects
+     * whether the pipeline streamed (addr == expected next) or broke.
+     */
+    void
+    onFetch(Addr addr, Addr expected_next)
+    {
+        if (primed_ && addr == expected_next) {
+            ++sequentialFetches;
+        } else if (primed_) {
+            ++pipelineBreaks;
+        }
+        // Shift the pipeline: IR <- IB <- (P).
+        tp_ = sp_;
+        sp_ = p_;
+        p_ = addr + 2;
+        lastAddr_ = addr;
+        primed_ = true;
+    }
+
+    /** A conditional branch resolved. */
+    void
+    onConditional(bool taken)
+    {
+        if (taken)
+            ++takenBranches;
+        else
+            ++untakenBranches;
+    }
+
+    /** Fraction of fetches that streamed at one per cycle. */
+    double
+    sequentialRate() const
+    {
+        uint64_t total = sequentialFetches.value() + pipelineBreaks.value();
+        return total ? double(sequentialFetches.value()) / total : 1.0;
+    }
+
+    StatGroup &stats() { return stats_; }
+
+    Counter sequentialFetches;
+    Counter pipelineBreaks;
+    Counter takenBranches;
+    Counter untakenBranches;
+
+  private:
+    Addr tp_ = 0; ///< address of the executing instruction (TP)
+    Addr sp_ = 0; ///< address of the buffered instruction (SP)
+    Addr p_ = 0;  ///< prefetch address register (P)
+    Addr lastAddr_ = 0;
+    bool primed_ = false;
+
+    StatGroup stats_;
+};
+
+} // namespace kcm
+
+#endif // KCM_CORE_PREFETCH_HH

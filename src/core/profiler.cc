@@ -1,0 +1,84 @@
+#include "core/profiler.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/strutil.hh"
+
+namespace kcm
+{
+
+void
+Profiler::attach(const CodeImage &image)
+{
+    entryToPredicate_.clear();
+    predicateCalls_.clear();
+    for (const auto &[functor, info] : image.predicates) {
+        entryToPredicate_[info.entry] =
+            atomText(functor.name) + "/" + std::to_string(functor.arity);
+    }
+}
+
+void
+Profiler::reset()
+{
+    for (auto &count : opcodeCounts_)
+        count = 0;
+    predicateCalls_.clear();
+}
+
+std::vector<std::pair<Opcode, uint64_t>>
+Profiler::opcodeHistogram() const
+{
+    std::vector<std::pair<Opcode, uint64_t>> out;
+    for (size_t i = 0; i < static_cast<size_t>(Opcode::NumOpcodes); ++i) {
+        if (opcodeCounts_[i])
+            out.emplace_back(Opcode(i), opcodeCounts_[i]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Profiler::predicateProfile() const
+{
+    std::vector<std::pair<std::string, uint64_t>> out(
+        predicateCalls_.begin(), predicateCalls_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return out;
+}
+
+std::string
+Profiler::report(size_t top) const
+{
+    std::ostringstream os;
+    uint64_t total = totalInstructions();
+    os << "=== macrocode monitor (opcode histogram, " << total
+       << " instructions) ===\n";
+    size_t shown = 0;
+    for (const auto &[op, count] : opcodeHistogram()) {
+        if (shown++ >= top)
+            break;
+        os << "  " << padRight(opcodeName(op), 22) << padLeft(
+               std::to_string(count), 10)
+           << "  " << fixed(total ? 100.0 * count / total : 0, 1)
+           << "%\n";
+    }
+    os << "=== Prolog-level monitor (calls per predicate) ===\n";
+    shown = 0;
+    for (const auto &[name, count] : predicateProfile()) {
+        if (shown++ >= top)
+            break;
+        os << "  " << padRight(name, 22)
+           << padLeft(std::to_string(count), 10) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace kcm

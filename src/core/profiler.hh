@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Execution profiler — the "monitors (at microcode, macrocode, and
+ * Prolog levels)" of the paper's software environment (§4).
+ *
+ * The macrocode monitor is an opcode histogram; the Prolog-level
+ * monitor counts invocations per predicate (resolved through the
+ * loaded image's symbol table).
+ */
+
+#ifndef KCM_CORE_PROFILER_HH
+#define KCM_CORE_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/code_image.hh"
+#include "isa/opcodes.hh"
+
+namespace kcm
+{
+
+class Profiler
+{
+  public:
+    /** Prepare the predicate map from a loaded image. */
+    void attach(const CodeImage &image);
+
+    /** Record one executed instruction. */
+    void
+    record(Opcode op, Addr target_of_call = 0)
+    {
+        opcodeCounts_[static_cast<size_t>(op)]++;
+        if (target_of_call) {
+            auto it = entryToPredicate_.find(target_of_call);
+            if (it != entryToPredicate_.end())
+                predicateCalls_[it->second]++;
+        }
+    }
+
+    void reset();
+
+    /** Opcode histogram, most frequent first. */
+    std::vector<std::pair<Opcode, uint64_t>> opcodeHistogram() const;
+
+    /** Per-predicate invocation counts, most frequent first. */
+    std::vector<std::pair<std::string, uint64_t>> predicateProfile() const;
+
+    /** Formatted report of both monitors. */
+    std::string report(size_t top = 16) const;
+
+    uint64_t
+    totalInstructions() const
+    {
+        uint64_t total = 0;
+        for (uint64_t c : opcodeCounts_)
+            total += c;
+        return total;
+    }
+
+  private:
+    uint64_t opcodeCounts_[static_cast<size_t>(Opcode::NumOpcodes)] = {};
+    std::map<Addr, std::string> entryToPredicate_;
+    std::map<std::string, uint64_t> predicateCalls_;
+};
+
+} // namespace kcm
+
+#endif // KCM_CORE_PROFILER_HH

@@ -1,0 +1,139 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+/** True if this opcode's tables double their entry count (key+addr). */
+bool
+hasPairTable(Opcode op)
+{
+    return op == Opcode::SwitchOnConstant || op == Opcode::SwitchOnStructure;
+}
+
+} // namespace
+
+size_t
+instrLength(const std::vector<uint64_t> &code, size_t index)
+{
+    if (index >= code.size())
+        panic("instrLength: index out of range");
+    Instr instr(code[index]);
+    const OpcodeInfo &info = opcodeInfo(instr.opcode());
+    size_t extra = info.fixedExtraWords;
+    // Pair tables carry N (key, target) pairs plus a trailing miss
+    // target word.
+    if (hasPairTable(instr.opcode()))
+        extra = 2 * instr.value() + 1;
+    return 1 + extra;
+}
+
+std::string
+disasmOne(const std::vector<uint64_t> &code, size_t index)
+{
+    Instr instr(code[index]);
+    Opcode op = instr.opcode();
+    const OpcodeInfo &info = opcodeInfo(op);
+    std::ostringstream os;
+    os << info.name;
+
+    auto reg = [](Reg r) { return cat("x", int(r)); };
+
+    switch (op) {
+      case Opcode::Call:
+      case Opcode::Execute:
+      case Opcode::Try:
+        os << " 0x" << std::hex << instr.value() << std::dec << "/"
+           << int(instr.r1());
+        break;
+      case Opcode::Jump:
+      case Opcode::Retry:
+      case Opcode::Trust:
+      case Opcode::RetryMeElse:
+        os << " 0x" << std::hex << instr.value() << std::dec;
+        break;
+      case Opcode::TryMeElse:
+        os << " 0x" << std::hex << instr.value() << std::dec << " arity "
+           << int(instr.r1());
+        break;
+      case Opcode::Allocate:
+      case Opcode::UnifyVoid:
+      case Opcode::TrustMe:
+        os << " " << int(instr.r1());
+        break;
+      case Opcode::GetConstant:
+      case Opcode::PutConstant:
+      case Opcode::UnifyConstant:
+      case Opcode::LoadImm:
+        os << " " << instr.constant().toString();
+        if (op != Opcode::UnifyConstant)
+            os << ", " << reg(instr.r2());
+        break;
+      case Opcode::GetStructure:
+      case Opcode::PutStructure: {
+        Word f = instr.constant();
+        os << " " << atomTextSafe(f.functorName()) << "/"
+           << f.functorArity() << ", " << reg(instr.r2());
+        break;
+      }
+      case Opcode::Escape:
+        os << " #" << instr.value() << "/" << int(instr.r1());
+        break;
+      case Opcode::SwitchOnTerm: {
+        os << " var=0x" << std::hex << (code[index + 1] & 0xFFFFFFFF)
+           << " const=0x" << (code[index + 2] & 0xFFFFFFFF) << " list=0x"
+           << (code[index + 3] & 0xFFFFFFFF) << " struct=0x"
+           << (code[index + 4] & 0xFFFFFFFF) << std::dec;
+        break;
+      }
+      case Opcode::SwitchOnConstant:
+      case Opcode::SwitchOnStructure: {
+        unsigned n = instr.value();
+        os << " [" << n << " entries]";
+        for (unsigned i = 0; i < n && i < 8; ++i) {
+            Word key(code[index + 1 + 2 * i]);
+            Word target(code[index + 2 + 2 * i]);
+            os << " " << key.toString() << "->0x" << std::hex
+               << target.addr() << std::dec;
+        }
+        break;
+      }
+      default:
+        if (info.format == InstrFormat::RegA) {
+            os << " " << reg(instr.r1());
+            if (instr.r2() || instr.r3() || instr.r4())
+                os << ", " << reg(instr.r2());
+            if (instr.r3() || instr.r4())
+                os << ", " << reg(instr.r3());
+            if (instr.r4())
+                os << ", " << reg(instr.r4());
+            if (instr.offset())
+                os << ", " << instr.offset();
+        } else if (info.format == InstrFormat::ValueB) {
+            os << " 0x" << std::hex << instr.value() << std::dec;
+        }
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disasmRange(const std::vector<uint64_t> &code, size_t begin, size_t end)
+{
+    std::ostringstream os;
+    size_t index = begin;
+    while (index < end && index < code.size()) {
+        os << "0x" << std::hex << index << std::dec << ":\t"
+           << disasmOne(code, index) << "\n";
+        index += instrLength(code, index);
+    }
+    return os.str();
+}
+
+} // namespace kcm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Disassembler for encoded KCM code.
+ */
+
+#ifndef KCM_ISA_DISASM_HH
+#define KCM_ISA_DISASM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace kcm
+{
+
+/**
+ * Number of code words occupied by the instruction at @p index
+ * (1 + any trailing table words).
+ */
+size_t instrLength(const std::vector<uint64_t> &code, size_t index);
+
+/** Render the instruction at @p index as one line of assembly. */
+std::string disasmOne(const std::vector<uint64_t> &code, size_t index);
+
+/** Render [begin, end) as addressed assembly lines. */
+std::string disasmRange(const std::vector<uint64_t> &code, size_t begin,
+                        size_t end);
+
+} // namespace kcm
+
+#endif // KCM_ISA_DISASM_HH

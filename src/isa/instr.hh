@@ -1,0 +1,134 @@
+/**
+ * @file
+ * 64-bit instruction word encoding/decoding (Fig. 3).
+ *
+ * Field layout (bit positions within the 64-bit word):
+ *
+ *   63..56  opcode
+ *   55..52  type field (constant tag, e.g. for get_constant)
+ *   51..48  reserved
+ *   47..42  r1
+ *   41..36  r2
+ *
+ * Format A value half:
+ *   31..26  r3
+ *   25..20  r4
+ *   15..0   signed 16-bit offset
+ *
+ * Format B value half:
+ *   31..0   value (constant / absolute code address)
+ */
+
+#ifndef KCM_ISA_INSTR_HH
+#define KCM_ISA_INSTR_HH
+
+#include <cstdint>
+
+#include "isa/opcodes.hh"
+#include "isa/word.hh"
+
+namespace kcm
+{
+
+/** A register number in the 64 x 64-bit register file. */
+using Reg = uint8_t;
+
+/** X (argument/temporary) registers available to compiled code; the
+ *  remaining file entries hold machine state and shadow registers. */
+constexpr unsigned numXRegs = 48;
+
+/** An encoded KCM instruction word. */
+class Instr
+{
+  public:
+    constexpr Instr() = default;
+    constexpr explicit Instr(uint64_t raw) : raw_(raw) {}
+
+    constexpr uint64_t raw() const { return raw_; }
+
+    constexpr Opcode opcode() const { return Opcode((raw_ >> 56) & 0xFF); }
+    constexpr Tag typeField() const { return Tag((raw_ >> 52) & 0xF); }
+    constexpr Reg r1() const { return (raw_ >> 42) & 0x3F; }
+    constexpr Reg r2() const { return (raw_ >> 36) & 0x3F; }
+    constexpr Reg r3() const { return (raw_ >> 26) & 0x3F; }
+    constexpr Reg r4() const { return (raw_ >> 20) & 0x3F; }
+    constexpr uint32_t value() const { return uint32_t(raw_); }
+    constexpr int16_t offset() const { return int16_t(raw_ & 0xFFFF); }
+
+    /**
+     * Inference-count mark (bit 48, reserved in both formats): set by
+     * the compiler on the instruction realizing each source-level goal
+     * invocation, so the machine can report Klips with the paper's
+     * implementation-independent definition of an inference (§4.2).
+     */
+    constexpr bool inferenceMark() const { return (raw_ >> 48) & 1; }
+
+    constexpr Instr
+    withMark() const
+    {
+        return Instr(raw_ | (1ULL << 48));
+    }
+
+    /** The constant word a Format B instruction denotes. */
+    constexpr Word
+    constant() const
+    {
+        return Word::make(typeField(), Zone::None, value());
+    }
+
+    // --- Builders ---
+
+    static constexpr Instr
+    make(Opcode op)
+    {
+        return Instr(uint64_t(static_cast<uint8_t>(op)) << 56);
+    }
+
+    static constexpr Instr
+    makeRegs(Opcode op, Reg r1, Reg r2 = 0, Reg r3 = 0, Reg r4 = 0,
+             int16_t offset = 0)
+    {
+        return Instr((uint64_t(static_cast<uint8_t>(op)) << 56) |
+                     (uint64_t(r1 & 0x3F) << 42) |
+                     (uint64_t(r2 & 0x3F) << 36) |
+                     (uint64_t(r3 & 0x3F) << 26) |
+                     (uint64_t(r4 & 0x3F) << 20) |
+                     uint64_t(uint16_t(offset)));
+    }
+
+    static constexpr Instr
+    makeValue(Opcode op, uint32_t value, Reg r1 = 0, Reg r2 = 0,
+              Tag type = Tag::Ref)
+    {
+        return Instr((uint64_t(static_cast<uint8_t>(op)) << 56) |
+                     (uint64_t(static_cast<uint8_t>(type) & 0xF) << 52) |
+                     (uint64_t(r1 & 0x3F) << 42) |
+                     (uint64_t(r2 & 0x3F) << 36) | uint64_t(value));
+    }
+
+    /** Format B with a full tagged constant. */
+    static constexpr Instr
+    makeConstant(Opcode op, Word constant, Reg r1 = 0, Reg r2 = 0)
+    {
+        return makeValue(op, constant.value(), r1, r2, constant.tag());
+    }
+
+    /** Re-encode with a different 32-bit value (used by the linker to
+     *  patch branch targets). */
+    constexpr Instr
+    withValue(uint32_t value) const
+    {
+        return Instr((raw_ & 0xFFFFFFFF00000000ULL) | value);
+    }
+
+    constexpr bool operator==(const Instr &other) const = default;
+
+  private:
+    uint64_t raw_ = 0;
+};
+
+static_assert(sizeof(Instr) == 8, "KCM instructions are 64-bit");
+
+} // namespace kcm
+
+#endif // KCM_ISA_INSTR_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The KCM instruction set.
+ *
+ * A WAM-derived, fixed-width 64-bit instruction set (§2.3, Fig. 3).
+ * Two basic formats are used:
+ *
+ *  - Format A (register format): opcode, up to four 6-bit register
+ *    fields (two sources, two destinations — the four-address format
+ *    of §3.1.1) and a 16-bit signed offset.
+ *  - Format B (value format): opcode, two 6-bit register fields, a
+ *    4-bit type field and a full 32-bit value (constant / absolute
+ *    code address — all branch targets are absolute, §3.1.3).
+ *
+ * The switch instructions are the only multi-word instructions (§4.1):
+ * their dispatch tables follow the instruction word in the code space.
+ */
+
+#ifndef KCM_ISA_OPCODES_HH
+#define KCM_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace kcm
+{
+
+enum class Opcode : uint8_t
+{
+    // Control
+    Halt = 0,       ///< stop the machine (success end of a query)
+    Noop,
+    Jump,           ///< absolute jump (2 cycles: pipeline break)
+    Call,           ///< call predicate: value = entry, r1 = arity
+    Execute,        ///< last-call: tail jump to predicate
+    Proceed,        ///< return through CP
+    Allocate,       ///< push environment, r1 = #permanent vars
+    Deallocate,     ///< pop environment
+    FailOp,         ///< explicit failure (backtrack)
+
+    // Choice points and shallow backtracking (§3.1.5)
+    TryMeElse,      ///< value = alternative addr, r1 = arity
+    RetryMeElse,    ///< value = alternative addr
+    TrustMe,        ///< last alternative
+    Try,            ///< indexed block: value = clause addr, r1 = arity
+    Retry,          ///< indexed block: value = clause addr
+    Trust,          ///< indexed block: value = clause addr
+    Neck,           ///< end of head+guard: materialize delayed choice point
+    Cut,            ///< cut to the clause's entry choice point
+    GetLevel,       ///< Yn := current cut barrier (for deep cuts)
+    CutY,           ///< cut to barrier saved in Yn
+
+    // Indexing (multi-word, §4.1)
+    SwitchOnTerm,      ///< 4 table words follow: var/const/list/struct
+    SwitchOnConstant,  ///< value = #entries; pairs follow
+    SwitchOnStructure, ///< value = #entries; pairs follow
+
+    // Head unification (get)
+    GetVariableX,   ///< Xr1 := Ar2
+    GetVariableY,   ///< Yr1 := Ar2
+    GetValueX,      ///< unify Xr1, Ar2
+    GetValueY,      ///< unify Yr1, Ar2
+    GetConstant,    ///< unify constant(type,value), Ar2
+    GetNil,         ///< unify [], Ar2
+    GetList,        ///< unify list, Ar2; sets read/write mode
+    GetStructure,   ///< unify struct f/n (value = functor), Ar2
+
+    // Goal argument construction (put)
+    PutVariableX,   ///< new heap var; Xr1 and Ar2 point at it
+    PutVariableY,   ///< init Yr1 unbound; Ar2 := ref(Yr1)
+    PutValueX,      ///< Ar2 := Xr1
+    PutValueY,      ///< Ar2 := Yr1
+    PutUnsafeValue, ///< Ar2 := globalized Yr1
+    PutConstant,    ///< Ar2 := constant(type,value)
+    PutNil,         ///< Ar2 := []
+    PutList,        ///< Ar2 := list(H); write mode
+    PutStructure,   ///< Ar2 := struct; push functor; write mode
+
+    // Subterm unification (mode flag selects read/write, §3.1.4)
+    UnifyVariableX,
+    UnifyVariableY,
+    UnifyValueX,
+    UnifyValueY,
+    UnifyLocalValueX,
+    UnifyLocalValueY,
+    UnifyConstant,
+    UnifyNil,
+    UnifyList,      ///< chain: next subterm is a cons at S/H
+    UnifyVoid,      ///< r1 = count
+
+    // Native (integer-arithmetic mode) operations; operate on tagged
+    // words through the ALU/FPU (§3.1.1); sources are dereferenced.
+    NativeAdd,      ///< Xr3 := Xr1 + Xr2
+    NativeSub,
+    NativeMul,
+    NativeDiv,
+    NativeMod,
+    NativeNeg,      ///< Xr3 := -Xr1
+
+    // Inline arithmetic comparisons: conditional branches on the ALU
+    // status bits (1 cycle untaken / 4 taken, §3.1.3). Failure of the
+    // comparison triggers backtracking.
+    CmpLt,
+    CmpGt,
+    CmpLe,
+    CmpGe,
+    CmpEq,
+    CmpNe,
+
+    // Escape to a host/runtime builtin (§2.1): value = builtin id.
+    Escape,
+
+    // Basic data manipulation (§3.1.1, §3.1.2) — used by the runtime
+    // library and available to assembler programmers.
+    Move2,          ///< Xr3 := Xr1 and Xr4 := Xr2, one cycle
+    Load,           ///< Xr3 := mem[Xr1 + offset]; Xr2 := Xr1 + offset
+    Store,          ///< mem[Xr1 + offset] := Xr3; Xr2 := Xr1 + offset
+    LoadImm,        ///< Xr1 := constant(type,value)
+    SwapTV,         ///< TVM: Xr3 := swap tag/value of Xr1
+
+    NumOpcodes,
+};
+
+/** Which encoding format an opcode uses. */
+enum class InstrFormat : uint8_t
+{
+    None,   ///< no operands
+    RegA,   ///< format A: register fields + offset
+    ValueB, ///< format B: registers + type + 32-bit value
+};
+
+/** Static description of one opcode. */
+struct OpcodeInfo
+{
+    const char *name;
+    InstrFormat format;
+    /** Fixed number of table words following the instruction
+     *  (switch_on_term); variable-length tables encode their length
+     *  in the value field. */
+    unsigned fixedExtraWords;
+    /** Base microcode cost in cycles; dynamic costs (dereferencing,
+     *  trailing loops, pipeline breaks) are added by the machine. */
+    unsigned baseCycles;
+};
+
+/** Lookup the static info of @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Opcode mnemonic. */
+std::string opcodeName(Opcode op);
+
+} // namespace kcm
+
+#endif // KCM_ISA_OPCODES_HH

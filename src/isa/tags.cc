@@ -1,0 +1,40 @@
+#include "isa/tags.hh"
+
+namespace kcm
+{
+
+std::string
+tagName(Tag tag)
+{
+    switch (tag) {
+      case Tag::Ref: return "ref";
+      case Tag::List: return "list";
+      case Tag::Struct: return "struct";
+      case Tag::Nil: return "nil";
+      case Tag::Atom: return "atom";
+      case Tag::Int: return "int";
+      case Tag::Float: return "float";
+      case Tag::FunctorWord: return "functor";
+      case Tag::DataPtr: return "dataptr";
+      case Tag::CodePtr: return "codeptr";
+    }
+    return "tag" + std::to_string(static_cast<int>(tag));
+}
+
+std::string
+zoneName(Zone zone)
+{
+    switch (zone) {
+      case Zone::None: return "none";
+      case Zone::Global: return "global";
+      case Zone::Local: return "local";
+      case Zone::Control: return "control";
+      case Zone::TrailZ: return "trail";
+      case Zone::Static: return "static";
+      case Zone::Heap: return "heap";
+      case Zone::System: return "system";
+    }
+    return "zone" + std::to_string(static_cast<int>(zone));
+}
+
+} // namespace kcm

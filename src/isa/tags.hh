@@ -1,0 +1,90 @@
+/**
+ * @file
+ * KCM data types and memory zones.
+ *
+ * The paper's word format (§2.3, Fig. 2 and §3.2.2, Fig. 7) dedicates
+ * 4 bits to a type field (16 possible types such as integer, floating
+ * point, variable, list, data pointer, code pointer) and 4 bits to a
+ * zone field mapping stacks and data areas of the virtual space.
+ */
+
+#ifndef KCM_ISA_TAGS_HH
+#define KCM_ISA_TAGS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace kcm
+{
+
+/**
+ * The 16 data types encoded in bits 51..48 of a KCM word.
+ *
+ * Ref/List/Struct are the WAM pointer types; DataPtr is an untyped
+ * pointer used for control structures (environments, choice points);
+ * CodePtr addresses the code space; FunctorWord is the descriptor word
+ * stored at the head of a structure.
+ */
+enum class Tag : uint8_t
+{
+    Ref = 0,        ///< reference / unbound variable (self reference)
+    List = 1,       ///< pointer to a cons pair on the global stack
+    Struct = 2,     ///< pointer to functor word + arguments
+    Nil = 3,        ///< the empty list constant
+    Atom = 4,       ///< interned atom constant
+    Int = 5,        ///< 32-bit signed integer
+    Float = 6,      ///< 32-bit IEEE float (stored in the value part)
+    FunctorWord = 7, ///< structure descriptor: atom id + arity
+    DataPtr = 8,    ///< plain data pointer (control structures, trail)
+    CodePtr = 9,    ///< address in the code space
+    // 10..15 reserved (strings, dbrefs, ... in the full SEPIA system)
+};
+
+/** Number of encodable tags. */
+constexpr unsigned numTags = 16;
+
+/**
+ * Memory zones (bits 55..52). Stacks, heaps and other data areas are
+ * mapped to zones; the data cache selects one of its 8 sections by the
+ * low 3 bits of the zone (§3.2.4), so the active zones live in 0..7.
+ */
+enum class Zone : uint8_t
+{
+    None = 0,    ///< non-address data (numbers, atoms)
+    Global = 1,  ///< global stack: lists and structures
+    Local = 2,   ///< local stack: environments (split-stack model)
+    Control = 3, ///< choice point stack (split-stack model)
+    TrailZ = 4,  ///< trail stack
+    Static = 5,  ///< static data area
+    Heap = 6,    ///< general heap (code-space bookkeeping, symbol data)
+    System = 7,  ///< system/scratch area
+};
+
+/** Number of zones with dedicated cache sections. */
+constexpr unsigned numZones = 8;
+
+/** Printable tag name. */
+std::string tagName(Tag tag);
+
+/** Printable zone name. */
+std::string zoneName(Zone zone);
+
+/** True if a word with this tag addresses the data space. */
+constexpr bool
+tagIsDataAddress(Tag tag)
+{
+    return tag == Tag::Ref || tag == Tag::List || tag == Tag::Struct ||
+           tag == Tag::DataPtr;
+}
+
+/** True if the tag is an atomic constant (no pointer part). */
+constexpr bool
+tagIsAtomic(Tag tag)
+{
+    return tag == Tag::Nil || tag == Tag::Atom || tag == Tag::Int ||
+           tag == Tag::Float;
+}
+
+} // namespace kcm
+
+#endif // KCM_ISA_TAGS_HH

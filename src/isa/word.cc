@@ -1,0 +1,37 @@
+#include "isa/word.hh"
+
+#include <sstream>
+
+namespace kcm
+{
+
+std::string
+Word::toString() const
+{
+    std::ostringstream os;
+    switch (tag()) {
+      case Tag::Int:
+        os << "int:" << intValue();
+        break;
+      case Tag::Float:
+        os << "float:" << floatValue();
+        break;
+      case Tag::Atom:
+        os << "atom:" << atomTextSafe(atom());
+        break;
+      case Tag::Nil:
+        os << "[]";
+        break;
+      case Tag::FunctorWord:
+        os << "functor:" << atomTextSafe(functorName()) << "/"
+           << functorArity();
+        break;
+      default:
+        os << tagName(tag()) << ":" << zoneName(zone()) << ":0x" << std::hex
+           << addr();
+        break;
+    }
+    return os.str();
+}
+
+} // namespace kcm

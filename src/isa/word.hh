@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The 64-bit tagged KCM data word (§2.3 Fig. 2, §3.2.2 Fig. 7).
+ *
+ * Layout:
+ *   bits 63..56  GC / mark bits (manipulated by the TVM)
+ *   bits 55..52  zone
+ *   bits 51..48  type
+ *   bits 47..32  unused
+ *   bits 31..0   value (integer, float bits, atom id, or word address)
+ */
+
+#ifndef KCM_ISA_WORD_HH
+#define KCM_ISA_WORD_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "isa/tags.hh"
+#include "prolog/atom_table.hh"
+
+namespace kcm
+{
+
+/** A word address in one of KCM's virtual spaces (28 bits used). */
+using Addr = uint32_t;
+
+/** Mask of the implemented virtual address bits (§3.2.2). */
+constexpr Addr addrMask = 0x0FFFFFFF;
+
+/**
+ * One 64-bit tagged word. Trivially copyable; the raw 64-bit image is
+ * what lives in the simulated memory.
+ */
+class Word
+{
+  public:
+    constexpr Word() = default;
+    constexpr explicit Word(uint64_t raw) : raw_(raw) {}
+
+    /** Assemble from fields. */
+    static constexpr Word
+    make(Tag tag, Zone zone, uint32_t value)
+    {
+        return Word((uint64_t(static_cast<uint8_t>(zone) & 0xF) << 52) |
+                    (uint64_t(static_cast<uint8_t>(tag) & 0xF) << 48) |
+                    uint64_t(value));
+    }
+
+    // --- Constructors for the common word kinds ---
+
+    static constexpr Word
+    makeInt(int32_t v)
+    {
+        return make(Tag::Int, Zone::None, static_cast<uint32_t>(v));
+    }
+
+    static Word
+    makeFloat(float f)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &f, sizeof(bits));
+        return make(Tag::Float, Zone::None, bits);
+    }
+
+    static constexpr Word
+    makeAtom(AtomId atom)
+    {
+        return make(Tag::Atom, Zone::None, atom);
+    }
+
+    static constexpr Word
+    makeNil()
+    {
+        return make(Tag::Nil, Zone::None, 0);
+    }
+
+    /** Unbound variable at @p addr: a self-reference. */
+    static constexpr Word
+    makeUnbound(Zone zone, Addr addr)
+    {
+        return make(Tag::Ref, zone, addr);
+    }
+
+    static constexpr Word
+    makeRef(Zone zone, Addr addr)
+    {
+        return make(Tag::Ref, zone, addr);
+    }
+
+    static constexpr Word
+    makeList(Zone zone, Addr addr)
+    {
+        return make(Tag::List, zone, addr);
+    }
+
+    static constexpr Word
+    makeStruct(Zone zone, Addr addr)
+    {
+        return make(Tag::Struct, zone, addr);
+    }
+
+    static constexpr Word
+    makeDataPtr(Zone zone, Addr addr)
+    {
+        return make(Tag::DataPtr, zone, addr);
+    }
+
+    static constexpr Word
+    makeCodePtr(Addr addr)
+    {
+        return make(Tag::CodePtr, Zone::None, addr);
+    }
+
+    /** Structure descriptor word: functor name + arity in the value. */
+    static constexpr Word
+    makeFunctor(AtomId name, uint32_t arity)
+    {
+        return make(Tag::FunctorWord, Zone::None,
+                    ((name & 0x00FFFFFF) << 8) | (arity & 0xFF));
+    }
+
+    // --- Field accessors ---
+
+    constexpr uint64_t raw() const { return raw_; }
+    constexpr Tag tag() const { return Tag((raw_ >> 48) & 0xF); }
+    constexpr Zone zone() const { return Zone((raw_ >> 52) & 0xF); }
+    constexpr uint32_t value() const { return uint32_t(raw_); }
+    constexpr uint8_t gcBits() const { return uint8_t(raw_ >> 56); }
+
+    constexpr Addr addr() const { return value() & addrMask; }
+
+    constexpr int32_t intValue() const
+    {
+        return static_cast<int32_t>(value());
+    }
+
+    float
+    floatValue() const
+    {
+        float f;
+        uint32_t bits = value();
+        std::memcpy(&f, &bits, sizeof(f));
+        return f;
+    }
+
+    constexpr AtomId atom() const { return value(); }
+
+    constexpr AtomId functorName() const { return (value() >> 8) & 0xFFFFFF; }
+    constexpr uint32_t functorArity() const { return value() & 0xFF; }
+
+    // --- Predicates ---
+
+    constexpr bool isRef() const { return tag() == Tag::Ref; }
+    constexpr bool isList() const { return tag() == Tag::List; }
+    constexpr bool isStruct() const { return tag() == Tag::Struct; }
+    constexpr bool isNil() const { return tag() == Tag::Nil; }
+    constexpr bool isAtom() const { return tag() == Tag::Atom; }
+    constexpr bool isInt() const { return tag() == Tag::Int; }
+    constexpr bool isFloat() const { return tag() == Tag::Float; }
+    constexpr bool isFunctorWord() const
+    {
+        return tag() == Tag::FunctorWord;
+    }
+    constexpr bool isDataPtr() const { return tag() == Tag::DataPtr; }
+    constexpr bool isCodePtr() const { return tag() == Tag::CodePtr; }
+    constexpr bool isNumber() const { return isInt() || isFloat(); }
+    constexpr bool isAtomic() const { return tagIsAtomic(tag()); }
+    constexpr bool isDataAddress() const { return tagIsDataAddress(tag()); }
+
+    /** An unbound variable is a Ref whose value points at itself; the
+     *  machine checks that externally (needs the address it sits at). */
+
+    /** TVM operations (§3.1.1): swap tag and value halves. */
+    constexpr Word
+    swapped() const
+    {
+        return Word((raw_ << 32) | (raw_ >> 32));
+    }
+
+    /** TVM operation: replace the GC bits. */
+    constexpr Word
+    withGcBits(uint8_t bits) const
+    {
+        return Word((raw_ & 0x00FFFFFFFFFFFFFFULL) | (uint64_t(bits) << 56));
+    }
+
+    constexpr bool operator==(const Word &other) const = default;
+
+    /** Debug rendering: "tag:zone:value". */
+    std::string toString() const;
+
+  private:
+    uint64_t raw_ = 0;
+};
+
+static_assert(sizeof(Word) == 8, "KCM words are 64-bit");
+
+} // namespace kcm
+
+#endif // KCM_ISA_WORD_HH

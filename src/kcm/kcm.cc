@@ -1,0 +1,77 @@
+#include "kcm/kcm.hh"
+
+#include "base/logging.hh"
+#include "kcm/stdlib.hh"
+
+namespace kcm
+{
+
+KcmSystem::KcmSystem(const KcmOptions &options) : options_(options) {}
+
+KcmSystem::~KcmSystem() = default;
+
+void
+KcmSystem::consult(const std::string &source)
+{
+    sources_.emplace_back(source, false);
+}
+
+void
+KcmSystem::consultLibrary(const std::string &source)
+{
+    sources_.emplace_back(source, true);
+}
+
+void
+KcmSystem::consultStandardLibrary()
+{
+    consultLibrary(standardLibrarySource());
+}
+
+CodeImage
+KcmSystem::compileOnly(const std::string &goal)
+{
+    Compiler compiler(options_.compiler);
+    for (const auto &[text, library] : sources_) {
+        if (library)
+            compiler.addLibrary(text);
+        else
+            compiler.addProgram(text);
+    }
+    if (!goal.empty())
+        compiler.setQuery(goal);
+    return compiler.compile();
+}
+
+QueryResult
+KcmSystem::query(const std::string &goal)
+{
+    if (goal.empty())
+        fatal("empty query");
+    CodeImage image = compileOnly(goal);
+
+    machine_ = std::make_unique<Machine>(options_.machine);
+    machine_->load(image);
+
+    QueryResult result;
+    result.solutions = machine_->solutions(
+        options_.maxSolutions == 0 ? SIZE_MAX : options_.maxSolutions);
+    result.success = !result.solutions.empty();
+    result.output = machine_->output();
+    result.cycles = machine_->cycles();
+    result.instructions = machine_->instructions();
+    result.inferences = machine_->inferences();
+    result.seconds = machine_->seconds();
+    result.klips = machine_->klips();
+    return result;
+}
+
+Machine &
+KcmSystem::machine()
+{
+    if (!machine_)
+        fatal("no query has been run yet");
+    return *machine_;
+}
+
+} // namespace kcm

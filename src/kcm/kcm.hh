@@ -1,0 +1,97 @@
+/**
+ * @file
+ * KcmSystem: the public API of the KCM reproduction.
+ *
+ * Mirrors the system environment of Fig. 1: the host compiles, links
+ * and downloads Prolog programs; KCM executes them; the host serves
+ * I/O. Typical use:
+ *
+ * @code
+ *   kcm::KcmSystem system;
+ *   system.consult("append([],L,L). "
+ *                  "append([H|T],L,[H|R]) :- append(T,L,R).");
+ *   auto result = system.query("append([1,2],[3],X)");
+ *   // result.solutions[0].toString() == "X = [1,2,3]"
+ *   // result.cycles, result.seconds, result.klips, result.inferences
+ * @endcode
+ */
+
+#ifndef KCM_KCM_HH
+#define KCM_KCM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "core/machine.hh"
+
+namespace kcm
+{
+
+/** Everything a query run produces. */
+struct QueryResult
+{
+    bool success = false;             ///< at least one solution
+    std::vector<Solution> solutions;  ///< collected solutions
+    std::string output;               ///< captured write/1 output
+
+    // Measurements of the run (first solution unless all requested).
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t inferences = 0;
+    double seconds = 0;
+    double klips = 0;
+};
+
+struct KcmOptions
+{
+    CompilerOptions compiler;
+    MachineConfig machine;
+    /** Collect at most this many solutions (default: first only;
+     *  0 = all solutions). */
+    size_t maxSolutions = 1;
+};
+
+/**
+ * A complete KCM installation: compiler + machine. Each query is
+ * compiled together with the consulted program (static linking) and
+ * downloaded to a freshly reset machine, as the paper's benchmark
+ * flow did.
+ */
+class KcmSystem
+{
+  public:
+    explicit KcmSystem(const KcmOptions &options = {});
+    ~KcmSystem();
+
+    /** Add program text (clauses and directives). */
+    void consult(const std::string &source);
+
+    /** Add runtime-library text (excluded from static code sizes). */
+    void consultLibrary(const std::string &source);
+
+    /** Consult the bundled standard library (append/3, member/2,
+     *  length/2, between/3, once/1, ... — see kcm/stdlib.hh). */
+    void consultStandardLibrary();
+
+    /** Compile and run a query; collects up to maxSolutions. */
+    QueryResult query(const std::string &goal);
+
+    /** Compile the current program plus @p goal without running. */
+    CodeImage compileOnly(const std::string &goal);
+
+    /** The machine used by the last query (valid until the next). */
+    Machine &machine();
+
+    const KcmOptions &options() const { return options_; }
+
+  private:
+    KcmOptions options_;
+    std::vector<std::pair<std::string, bool>> sources_; // (text, library)
+    std::unique_ptr<Machine> machine_;
+};
+
+} // namespace kcm
+
+#endif // KCM_KCM_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * A small Prolog standard library (list and control predicates) in the
+ * spirit of the SEPIA environment the KCM software stack provided.
+ * Written in Prolog and compiled like any user code, but marked as
+ * library so it never pollutes static-size measurements.
+ */
+
+#ifndef KCM_KCM_STDLIB_HH
+#define KCM_KCM_STDLIB_HH
+
+#include <string>
+
+namespace kcm
+{
+
+/** Prolog source of the standard library. */
+const std::string &standardLibrarySource();
+
+} // namespace kcm
+
+#endif // KCM_KCM_STDLIB_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The KCM code cache (§3.2.4).
+ *
+ * 8K x 64-bit, logical, direct mapped, line size one, write-through.
+ * Being write-through, it can use the memory's fast page mode to fetch
+ * a few words ahead when a miss occurs; the prefetch depth is
+ * configurable.
+ */
+
+#ifndef KCM_MEM_CODE_CACHE_HH
+#define KCM_MEM_CODE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "isa/word.hh"
+#include "mem/main_memory.hh"
+#include "mem/mmu.hh"
+
+namespace kcm
+{
+
+struct CodeCacheConfig
+{
+    unsigned sizeWords = 8192; ///< power of two
+    unsigned prefetchWords = 4; ///< words fetched ahead on a miss
+    bool enabled = true;
+};
+
+/** Virtually-indexed write-through instruction cache. */
+class CodeCache
+{
+  public:
+    CodeCache(Mmu &mmu, MainMemory &memory,
+              const CodeCacheConfig &config = {});
+
+    /** Fetch the instruction word at code address @p addr. */
+    uint64_t read(Addr addr, unsigned &penalty_cycles);
+
+    /**
+     * Write @p value at code address @p addr (incremental compilation
+     * writes directly into the code cache and through to memory,
+     * §3.2.1).
+     */
+    void write(Addr addr, uint64_t value, unsigned &penalty_cycles);
+
+    void invalidateAll();
+
+    StatGroup &stats() { return stats_; }
+
+    Counter readHits;
+    Counter readMisses;
+    Counter writes;
+
+    double
+    hitRatio() const
+    {
+        uint64_t total = readHits.value() + readMisses.value();
+        if (!total)
+            return 1.0;
+        return double(readHits.value()) / double(total);
+    }
+
+  private:
+    struct Cell
+    {
+        bool valid = false;
+        Addr vaddr = 0;
+        uint64_t data = 0;
+    };
+
+    void fill(Addr addr, uint64_t data);
+
+    Mmu &mmu_;
+    MainMemory &memory_;
+    CodeCacheConfig config_;
+    std::vector<Cell> cells_;
+    StatGroup stats_;
+};
+
+} // namespace kcm
+
+#endif // KCM_MEM_CODE_CACHE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The KCM data cache (§3.2.4).
+ *
+ * A logical (virtually indexed/tagged) store-in cache with a line size
+ * of one word. It is direct mapped but split into 8 sections of 1K
+ * words each, the section being selected by the zone field of the
+ * address word — so different stacks can never collide in the cache,
+ * which fixes the multi-stack collision problem of a plain
+ * direct-mapped cache. A plain (non-zone-indexed) mode is provided for
+ * the §3.2.4 collision experiment and the ablation benches.
+ *
+ * Because the line size is one word, a write miss allocates without a
+ * memory fetch: items pushed on stacks and never read again cost no
+ * memory-read traffic until eviction (this is why the paper chose
+ * store-in given Prolog's ~1:1 read/write mix).
+ */
+
+#ifndef KCM_MEM_DATA_CACHE_HH
+#define KCM_MEM_DATA_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "isa/word.hh"
+#include "mem/main_memory.hh"
+#include "mem/mmu.hh"
+
+namespace kcm
+{
+
+struct DataCacheConfig
+{
+    unsigned sectionWords = 1024; ///< words per section (power of two)
+    unsigned sections = 8;        ///< number of sections
+    bool zoneIndexed = true;      ///< section selected by zone field
+    bool enabled = true;          ///< disabled: every access to memory
+};
+
+/** Virtually-indexed write-back data cache. */
+class DataCache
+{
+  public:
+    DataCache(Mmu &mmu, MainMemory &memory,
+              const DataCacheConfig &config = {});
+
+    /**
+     * Read the word addressed by @p addr_word.
+     * @param penalty_cycles incremented by miss/write-back penalties
+     *        (a hit costs the base 80 ns access charged by the caller).
+     */
+    Word read(Word addr_word, unsigned &penalty_cycles);
+
+    /** Write @p value at @p addr_word (write-allocate, no fetch). */
+    void write(Word addr_word, Word value, unsigned &penalty_cycles);
+
+    /** Write every dirty cell back to memory. */
+    void flushAll();
+
+    /**
+     * Untimed, statistics-free probe: returns true and fills @p out if
+     * the word at @p addr_word is present in the cache.
+     */
+    bool probe(Word addr_word, Word &out) const;
+
+    /**
+     * Untimed coherent poke: updates the cache cell if the address is
+     * resident, otherwise writes physical memory directly. For loaders
+     * and debuggers only.
+     */
+    void pokeCoherent(Word addr_word, Word value);
+
+    /** Drop all cache contents without writing back (tests). */
+    void invalidateAll();
+
+    const DataCacheConfig &config() const { return config_; }
+
+    StatGroup &stats() { return stats_; }
+
+    Counter readHits;
+    Counter readMisses;
+    Counter writeHits;
+    Counter writeMisses;
+    Counter writeBacks;
+
+    /** Total accesses / hit ratio helpers for the cache benches. */
+    uint64_t
+    totalAccesses() const
+    {
+        return readHits.value() + readMisses.value() + writeHits.value() +
+               writeMisses.value();
+    }
+
+    double
+    hitRatio() const
+    {
+        uint64_t total = totalAccesses();
+        if (!total)
+            return 1.0;
+        return double(readHits.value() + writeHits.value()) / double(total);
+    }
+
+  private:
+    struct Cell
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr vaddr = 0; ///< full virtual word address of the occupant
+        uint64_t data = 0;
+    };
+
+    /** Cache index of @p addr_word under the configured policy. */
+    size_t indexOf(Word addr_word) const;
+
+    /** Evict @p cell if dirty, adding the write-back penalty. */
+    void evict(Cell &cell, unsigned &penalty_cycles);
+
+    Mmu &mmu_;
+    MainMemory &memory_;
+    DataCacheConfig config_;
+    std::vector<Cell> cells_;
+    StatGroup stats_;
+};
+
+} // namespace kcm
+
+#endif // KCM_MEM_DATA_CACHE_HH

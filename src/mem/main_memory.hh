@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Physical main memory model (§3.2.6).
+ *
+ * One 32-Mbyte board of 64-bit words, accessed over a 32-bit bus using
+ * fast page mode: a 64-bit word costs two 32-bit page-mode accesses;
+ * sequential words within the same DRAM page are cheaper, which the
+ * code cache exploits to prefetch.
+ */
+
+#ifndef KCM_MEM_MAIN_MEMORY_HH
+#define KCM_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+
+namespace kcm
+{
+
+/** A physical word address. */
+using PhysAddr = uint32_t;
+
+/** Cycle costs of physical memory transactions (in CPU cycles). */
+struct MemTimings
+{
+    /** First 64-bit word of a transaction (row activate + 2 column
+     *  accesses over the 32-bit bus). */
+    unsigned firstWord = 4;
+    /** Each further sequential word in fast page mode. */
+    unsigned pageModeWord = 2;
+};
+
+/** Word-addressed physical memory with transaction timing. */
+class MainMemory
+{
+  public:
+    /** @param size_words capacity (default: one 32-Mbyte board). */
+    explicit MainMemory(size_t size_words = 4 * 1024 * 1024);
+
+    size_t sizeWords() const { return data_.size(); }
+
+    /** Read @p count sequential words starting at @p addr.
+     *  @return the cycle cost of the transaction. */
+    unsigned readBurst(PhysAddr addr, uint64_t *out, unsigned count);
+
+    /** Write @p count sequential words.
+     *  @return the cycle cost of the transaction. */
+    unsigned writeBurst(PhysAddr addr, const uint64_t *in, unsigned count);
+
+    /** Untimed access for loaders and debuggers. */
+    uint64_t peek(PhysAddr addr) const;
+    void poke(PhysAddr addr, uint64_t value);
+
+    const MemTimings &timings() const { return timings_; }
+    void setTimings(const MemTimings &t) { timings_ = t; }
+
+    StatGroup &stats() { return stats_; }
+
+    Counter readWords;
+    Counter writtenWords;
+    Counter transactions;
+
+  private:
+    void checkRange(PhysAddr addr, unsigned count) const;
+
+    std::vector<uint64_t> data_;
+    MemTimings timings_;
+    StatGroup stats_;
+};
+
+} // namespace kcm
+
+#endif // KCM_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,110 @@
+#include "mem/mem_system.hh"
+
+namespace kcm
+{
+
+MemSystem::MemSystem(const MemSystemConfig &config)
+    : config_(config), stats_("mem")
+{
+    memory_ = std::make_unique<MainMemory>(config_.memoryWords);
+    mmu_ = std::make_unique<Mmu>(*memory_);
+    zoneChecker_ = std::make_unique<ZoneChecker>();
+    zoneChecker_->setEnabled(config_.zoneCheckEnabled);
+    installStandardZones(*zoneChecker_, config_.layout);
+    dataCache_ =
+        std::make_unique<DataCache>(*mmu_, *memory_, config_.dataCache);
+    codeCache_ =
+        std::make_unique<CodeCache>(*mmu_, *memory_, config_.codeCache);
+
+    stats_.addChild(memory_->stats());
+    stats_.addChild(mmu_->stats());
+    stats_.addChild(zoneChecker_->stats());
+    stats_.addChild(dataCache_->stats());
+    stats_.addChild(codeCache_->stats());
+}
+
+Word
+MemSystem::readData(Word addr_word, unsigned &penalty_cycles)
+{
+    zoneChecker_->check(addr_word, false);
+    return dataCache_->read(addr_word, penalty_cycles);
+}
+
+void
+MemSystem::writeData(Word addr_word, Word value, unsigned &penalty_cycles)
+{
+    zoneChecker_->check(addr_word, true);
+    dataCache_->write(addr_word, value, penalty_cycles);
+}
+
+uint64_t
+MemSystem::fetchCode(Addr addr, unsigned &penalty_cycles)
+{
+    return codeCache_->read(addr, penalty_cycles);
+}
+
+void
+MemSystem::writeCode(Addr addr, uint64_t value, unsigned &penalty_cycles)
+{
+    codeCache_->write(addr, value, penalty_cycles);
+}
+
+namespace
+{
+
+/** Zone of a data address under a layout (for cache-section lookup). */
+Zone
+zoneOfDataAddr(const DataLayout &layout, Addr addr)
+{
+    if (addr >= layout.globalStart && addr < layout.globalEnd)
+        return Zone::Global;
+    if (addr >= layout.localStart && addr < layout.localEnd)
+        return Zone::Local;
+    if (addr >= layout.controlStart && addr < layout.controlEnd)
+        return Zone::Control;
+    if (addr >= layout.trailStart && addr < layout.trailEnd)
+        return Zone::TrailZ;
+    if (addr >= layout.staticStart && addr < layout.staticEnd)
+        return Zone::Static;
+    return Zone::None;
+}
+
+} // namespace
+
+Word
+MemSystem::peekData(Addr addr)
+{
+    // Honor dirty cache contents: probe the cache first (untimed,
+    // statistics-free), then fall back to physical memory.
+    Word addr_word =
+        Word::makeDataPtr(zoneOfDataAddr(config_.layout, addr), addr);
+    Word out;
+    if (dataCache_->probe(addr_word, out))
+        return out;
+    PhysAddr pa = mmu_->translate(AddrSpace::Data, addr, false);
+    return Word(memory_->peek(pa));
+}
+
+void
+MemSystem::pokeData(Addr addr, Word value)
+{
+    Word addr_word =
+        Word::makeDataPtr(zoneOfDataAddr(config_.layout, addr), addr);
+    dataCache_->pokeCoherent(addr_word, value);
+}
+
+uint64_t
+MemSystem::peekCode(Addr addr)
+{
+    unsigned penalty = 0;
+    return codeCache_->read(addr, penalty);
+}
+
+void
+MemSystem::pokeCode(Addr addr, uint64_t value)
+{
+    unsigned penalty = 0;
+    codeCache_->write(addr, value, penalty);
+}
+
+} // namespace kcm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The complete KCM memory system: two logical caches over a shared
+ * physical memory, with zone checking on the data path (Fig. 4).
+ */
+
+#ifndef KCM_MEM_MEM_SYSTEM_HH
+#define KCM_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+
+#include "base/stats.hh"
+#include "isa/word.hh"
+#include "mem/code_cache.hh"
+#include "mem/data_cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/mmu.hh"
+#include "mem/zone_check.hh"
+
+namespace kcm
+{
+
+struct MemSystemConfig
+{
+    size_t memoryWords = 4 * 1024 * 1024; ///< one 32-Mbyte board
+    DataCacheConfig dataCache;
+    CodeCacheConfig codeCache;
+    bool zoneCheckEnabled = true;
+    DataLayout layout;
+};
+
+/**
+ * Owns and wires the memory hierarchy. The execution unit calls
+ * readData/writeData with full tagged address words (so the zone check
+ * can do its job); the prefetch unit calls fetchCode.
+ *
+ * All timed methods add any cycles beyond the 1-cycle cache access to
+ * @p penalty_cycles.
+ */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemConfig &config = {});
+
+    /** Timed, checked data read through the data cache. */
+    Word readData(Word addr_word, unsigned &penalty_cycles);
+
+    /** Timed, checked data write through the data cache. */
+    void writeData(Word addr_word, Word value, unsigned &penalty_cycles);
+
+    /** Timed instruction fetch through the code cache. */
+    uint64_t fetchCode(Addr addr, unsigned &penalty_cycles);
+
+    /** Timed code write (incremental compilation path). */
+    void writeCode(Addr addr, uint64_t value, unsigned &penalty_cycles);
+
+    // Untimed, uncached accessors for loaders, debuggers and tests.
+    Word peekData(Addr addr);
+    void pokeData(Addr addr, Word value);
+    uint64_t peekCode(Addr addr);
+    void pokeCode(Addr addr, uint64_t value);
+
+    MainMemory &memory() { return *memory_; }
+    Mmu &mmu() { return *mmu_; }
+    ZoneChecker &zoneChecker() { return *zoneChecker_; }
+    DataCache &dataCache() { return *dataCache_; }
+    CodeCache &codeCache() { return *codeCache_; }
+    const MemSystemConfig &config() const { return config_; }
+    const DataLayout &layout() const { return config_.layout; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    MemSystemConfig config_;
+    std::unique_ptr<MainMemory> memory_;
+    std::unique_ptr<Mmu> mmu_;
+    std::unique_ptr<ZoneChecker> zoneChecker_;
+    std::unique_ptr<DataCache> dataCache_;
+    std::unique_ptr<CodeCache> codeCache_;
+    StatGroup stats_;
+};
+
+} // namespace kcm
+
+#endif // KCM_MEM_MEM_SYSTEM_HH

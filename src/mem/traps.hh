@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Machine traps raised by the memory system and the execution unit.
+ */
+
+#ifndef KCM_MEM_TRAPS_HH
+#define KCM_MEM_TRAPS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace kcm
+{
+
+/** Reasons the machine can trap. */
+enum class TrapKind
+{
+    ZoneViolation,     ///< address outside its zone's limits (§3.2.3)
+    TypeViolation,     ///< type not allowed as address into the zone
+    WriteProtection,   ///< write to a protected zone
+    PageFault,         ///< unrecoverable page fault
+    BadInstruction,    ///< undecodable opcode
+    StackOverflow,     ///< stack pointer crossed its zone limit
+    Abort,             ///< execution aborted (cycle budget, user stop)
+};
+
+/** A trap thrown out of the simulated machine. */
+class MachineTrap : public std::runtime_error
+{
+  public:
+    MachineTrap(TrapKind kind, const std::string &msg)
+        : std::runtime_error(msg), _kind(kind)
+    {
+    }
+
+    TrapKind kind() const { return _kind; }
+
+  private:
+    TrapKind _kind;
+};
+
+} // namespace kcm
+
+#endif // KCM_MEM_TRAPS_HH

@@ -1,0 +1,121 @@
+#include "mem/zone_check.hh"
+
+#include "base/logging.hh"
+
+namespace kcm
+{
+
+ZoneChecker::ZoneChecker() : stats_("zoneCheck")
+{
+    stats_.add("checksPerformed", checksPerformed);
+}
+
+void
+ZoneChecker::configure(Zone zone, const ZoneInfo &info)
+{
+    zones_[static_cast<unsigned>(zone)] = info;
+    zones_[static_cast<unsigned>(zone)].enabled = true;
+}
+
+void
+ZoneChecker::setLimits(Zone zone, Addr start, Addr end)
+{
+    ZoneInfo &zi = zones_[static_cast<unsigned>(zone)];
+    zi.start = start;
+    zi.end = end;
+}
+
+const ZoneInfo &
+ZoneChecker::info(Zone zone) const
+{
+    return zones_[static_cast<unsigned>(zone)];
+}
+
+void
+ZoneChecker::check(Word addr_word, bool is_write) const
+{
+    if (!enabled_)
+        return;
+    ++checksPerformed;
+
+    // The 4 most significant address bits beyond the implemented 28
+    // must be zero (§3.2.3).
+    if (addr_word.value() & ~addrMask) {
+        throw MachineTrap(TrapKind::ZoneViolation,
+                          cat("address bits above bit 27 set: ",
+                              addr_word.toString()));
+    }
+
+    const ZoneInfo &zi = zones_[static_cast<unsigned>(addr_word.zone())];
+    if (!zi.enabled) {
+        throw MachineTrap(TrapKind::ZoneViolation,
+                          cat("access through unconfigured zone: ",
+                              addr_word.toString()));
+    }
+
+    uint16_t tag_bit = uint16_t(1u << static_cast<unsigned>(addr_word.tag()));
+    if (!(zi.allowedTags & tag_bit)) {
+        throw MachineTrap(TrapKind::TypeViolation,
+                          cat("type ", tagName(addr_word.tag()),
+                              " not allowed as address into zone ",
+                              zoneName(addr_word.zone())));
+    }
+
+    Addr a = addr_word.addr();
+    if (a < zi.start || a >= zi.end) {
+        throw MachineTrap(TrapKind::ZoneViolation,
+                          cat("address 0x", std::hex, a,
+                              " outside zone ", zoneName(addr_word.zone()),
+                              " [0x", zi.start, ", 0x", zi.end, ")"));
+    }
+
+    if (is_write && zi.writeProtected) {
+        throw MachineTrap(TrapKind::WriteProtection,
+                          cat("write into protected zone ",
+                              zoneName(addr_word.zone())));
+    }
+}
+
+void
+installStandardZones(ZoneChecker &checker, const DataLayout &layout)
+{
+    // Lists and structures are constructed on the global stack, so
+    // list/struct are allowed as addresses there, along with reference
+    // and data pointer (§3.2.3).
+    ZoneInfo global;
+    global.start = layout.globalStart;
+    global.end = layout.globalEnd;
+    global.allowedTags =
+        tagMask({Tag::Ref, Tag::List, Tag::Struct, Tag::DataPtr});
+    checker.configure(Zone::Global, global);
+
+    // On the local stack only reference and data pointer are allowed.
+    ZoneInfo local;
+    local.start = layout.localStart;
+    local.end = layout.localEnd;
+    local.allowedTags = tagMask({Tag::Ref, Tag::DataPtr});
+    checker.configure(Zone::Local, local);
+
+    // The choice point stack allows only data pointers: no reference
+    // may ever point into it.
+    ZoneInfo control;
+    control.start = layout.controlStart;
+    control.end = layout.controlEnd;
+    control.allowedTags = tagMask({Tag::DataPtr});
+    checker.configure(Zone::Control, control);
+
+    ZoneInfo trail;
+    trail.start = layout.trailStart;
+    trail.end = layout.trailEnd;
+    trail.allowedTags = tagMask({Tag::DataPtr});
+    checker.configure(Zone::TrailZ, trail);
+
+    ZoneInfo static_area;
+    static_area.start = layout.staticStart;
+    static_area.end = layout.staticEnd;
+    static_area.allowedTags =
+        tagMask({Tag::Ref, Tag::List, Tag::Struct, Tag::DataPtr});
+    checker.configure(Zone::Static, static_area);
+}
+
+} // namespace kcm

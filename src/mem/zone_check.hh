@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Zone check: protection at the level of virtual addresses (§3.2.3).
+ *
+ * Every stack and memory area is mapped to a zone defined by a start
+ * and an end address (4K-word granularity in hardware: bits 27..12 are
+ * range-compared against a RAM field). Each zone additionally carries
+ * a mask of data types allowed to address into it and a
+ * write-protection flag, catching uses like "a float used as an
+ * address" before they corrupt the logical cache.
+ */
+
+#ifndef KCM_MEM_ZONE_CHECK_HH
+#define KCM_MEM_ZONE_CHECK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/stats.hh"
+#include "isa/word.hh"
+#include "mem/traps.hh"
+
+namespace kcm
+{
+
+/** Configuration of one zone. */
+struct ZoneInfo
+{
+    Addr start = 0;       ///< lowest valid word address (inclusive)
+    Addr end = 0;         ///< highest valid word address (exclusive)
+    uint16_t allowedTags = 0; ///< bit i set: Tag(i) may address the zone
+    bool writeProtected = false;
+    bool enabled = false; ///< unconfigured zones trap on any access
+};
+
+/** Build an allowed-tags mask from a tag list. */
+constexpr uint16_t
+tagMask(std::initializer_list<Tag> tags)
+{
+    uint16_t mask = 0;
+    for (Tag t : tags)
+        mask |= uint16_t(1u << static_cast<unsigned>(t));
+    return mask;
+}
+
+/**
+ * The zone-check unit sitting on the data-cache access path.
+ *
+ * check() raises MachineTrap on violation; it costs no cycles (the
+ * comparators work in parallel with the cache access).
+ */
+class ZoneChecker
+{
+  public:
+    ZoneChecker();
+
+    /** Configure @p zone; limits may be changed dynamically. */
+    void configure(Zone zone, const ZoneInfo &info);
+
+    /** Dynamically grow/move a zone's limits (stack growth). */
+    void setLimits(Zone zone, Addr start, Addr end);
+
+    const ZoneInfo &info(Zone zone) const;
+
+    /**
+     * Validate a data access through address word @p addr_word.
+     * @param is_write whether the access is a store.
+     * Throws MachineTrap on violation.
+     */
+    void check(Word addr_word, bool is_write) const;
+
+    /** Enable/disable the whole unit (ablation studies). */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    StatGroup &stats() { return stats_; }
+
+    mutable Counter checksPerformed;
+
+  private:
+    std::array<ZoneInfo, 16> zones_;
+    bool enabled_ = true;
+    StatGroup stats_;
+};
+
+/**
+ * Install the standard KCM zone layout expected by the runtime
+ * (global/local/control/trail/static areas with the paper's type
+ * rules: lists and structures may address the global stack only;
+ * no reference may ever point into the choice point stack; numbers
+ * are never addresses).
+ */
+struct DataLayout
+{
+    Addr staticStart = 0x0010000;
+    Addr staticEnd = 0x0080000;
+    Addr globalStart = 0x0100000;
+    Addr globalEnd = 0x0200000;
+    Addr localStart = 0x0200000;
+    Addr localEnd = 0x0300000;
+    Addr controlStart = 0x0300000;
+    Addr controlEnd = 0x0380000;
+    Addr trailStart = 0x0400000;
+    Addr trailEnd = 0x0480000;
+};
+
+void installStandardZones(ZoneChecker &checker, const DataLayout &layout);
+
+} // namespace kcm
+
+#endif // KCM_MEM_ZONE_CHECK_HH

@@ -1,0 +1,72 @@
+#include "prolog/atom_table.hh"
+
+#include "base/logging.hh"
+
+namespace kcm
+{
+
+AtomTable::AtomTable()
+{
+    nil = intern("[]");
+    dot = intern(".");
+    comma = intern(",");
+    neck = intern(":-");
+    curly = intern("{}");
+    trueAtom = intern("true");
+    failAtom = intern("fail");
+    cutAtom = intern("!");
+    semicolon = intern(";");
+    arrow = intern("->");
+    minus = intern("-");
+    plus = intern("+");
+    emptyBlock = curly;
+}
+
+AtomTable &
+AtomTable::instance()
+{
+    static AtomTable table;
+    return table;
+}
+
+AtomId
+AtomTable::intern(const std::string &text)
+{
+    auto it = ids_.find(text);
+    if (it != ids_.end())
+        return it->second;
+    AtomId id = static_cast<AtomId>(texts_.size());
+    texts_.push_back(text);
+    ids_.emplace(text, id);
+    return id;
+}
+
+const std::string &
+AtomTable::text(AtomId id) const
+{
+    if (id >= texts_.size())
+        panic("atom id out of range: ", id);
+    return texts_[id];
+}
+
+AtomId
+internAtom(const std::string &text)
+{
+    return AtomTable::instance().intern(text);
+}
+
+const std::string &
+atomText(AtomId id)
+{
+    return AtomTable::instance().text(id);
+}
+
+std::string
+atomTextSafe(AtomId id)
+{
+    if (id >= AtomTable::instance().size())
+        return "atom#" + std::to_string(id);
+    return AtomTable::instance().text(id);
+}
+
+} // namespace kcm

@@ -1,0 +1,360 @@
+#include "prolog/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+bool
+isSymbolChar(char c)
+{
+    return std::string("+-*/\\^<>=~:.?@#&$").find(c) != std::string::npos;
+}
+
+bool
+isAlnumChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+char
+Lexer::peek(size_t ahead) const
+{
+    if (pos_ + ahead >= src_.size())
+        return '\0';
+    return src_[pos_ + ahead];
+}
+
+char
+Lexer::get()
+{
+    char c = peek();
+    ++pos_;
+    if (c == '\n')
+        ++line_;
+    return c;
+}
+
+void
+Lexer::error(const std::string &msg) const
+{
+    fatal("lexer: line ", line_, ": ", msg);
+}
+
+bool
+Lexer::skipLayout()
+{
+    bool any = false;
+    while (!eof()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            get();
+            any = true;
+        } else if (c == '%') {
+            while (!eof() && peek() != '\n')
+                get();
+            any = true;
+        } else if (c == '/' && peek(1) == '*') {
+            get();
+            get();
+            while (!eof() && !(peek() == '*' && peek(1) == '/'))
+                get();
+            if (eof())
+                error("unterminated block comment");
+            get();
+            get();
+            any = true;
+        } else {
+            break;
+        }
+    }
+    return any;
+}
+
+std::vector<Token>
+Lexer::tokenize()
+{
+    std::vector<Token> out;
+    while (true) {
+        Token t = next();
+        out.push_back(t);
+        if (t.kind == TokenKind::Eof)
+            return out;
+    }
+}
+
+Token
+Lexer::next()
+{
+    bool layout = skipLayout();
+    Token t;
+    t.layoutBefore = layout || pos_ == 0;
+    t.line = line_;
+    if (eof()) {
+        t.kind = TokenKind::Eof;
+        return t;
+    }
+
+    char c = peek();
+
+    // Full stop: '.' followed by layout or EOF.
+    if (c == '.') {
+        char after = peek(1);
+        if (after == '\0' || std::isspace(static_cast<unsigned char>(after))
+            || after == '%') {
+            get();
+            t.kind = TokenKind::End;
+            t.text = ".";
+            return t;
+        }
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        Token num = lexNumber();
+        num.layoutBefore = t.layoutBefore;
+        num.line = t.line;
+        return num;
+    }
+
+    if (std::islower(static_cast<unsigned char>(c))) {
+        Token name = lexName();
+        name.layoutBefore = t.layoutBefore;
+        name.line = t.line;
+        return name;
+    }
+
+    if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+        std::string text;
+        while (!eof() && isAlnumChar(peek()))
+            text += get();
+        t.kind = TokenKind::Variable;
+        t.text = text;
+        return t;
+    }
+
+    if (c == '\'') {
+        Token q = lexQuoted('\'');
+        q.layoutBefore = t.layoutBefore;
+        q.line = t.line;
+        q.kind = TokenKind::Atom;
+        return q;
+    }
+
+    if (c == '"') {
+        Token q = lexQuoted('"');
+        q.layoutBefore = t.layoutBefore;
+        q.line = t.line;
+        q.kind = TokenKind::String;
+        return q;
+    }
+
+    if (c == '(' || c == ')' || c == '[' || c == ']' || c == '{' ||
+        c == '}' || c == ',' || c == '|') {
+        get();
+        t.kind = TokenKind::Punct;
+        t.text = std::string(1, c);
+        // ',' and '|' double as atoms in operator position; the reader
+        // handles that from the Punct form.
+        return t;
+    }
+
+    if (c == '!' || c == ';') {
+        get();
+        t.kind = TokenKind::Atom;
+        t.text = std::string(1, c);
+        return t;
+    }
+
+    if (isSymbolChar(c)) {
+        Token s = lexSymbolic();
+        s.layoutBefore = t.layoutBefore;
+        s.line = t.line;
+        return s;
+    }
+
+    error(cat("unexpected character '", std::string(1, c), "'"));
+}
+
+Token
+Lexer::lexName()
+{
+    Token t;
+    t.kind = TokenKind::Atom;
+    while (!eof() && isAlnumChar(peek()))
+        t.text += get();
+    return t;
+}
+
+Token
+Lexer::lexSymbolic()
+{
+    Token t;
+    t.kind = TokenKind::Atom;
+    while (!eof() && isSymbolChar(peek()))
+        t.text += get();
+    return t;
+}
+
+Token
+Lexer::lexQuoted(char quote)
+{
+    Token t;
+    get(); // opening quote
+    while (true) {
+        if (eof())
+            error("unterminated quoted token");
+        char c = get();
+        if (c == quote) {
+            if (peek() == quote) {
+                get();
+                t.text += quote;
+                continue;
+            }
+            return t;
+        }
+        if (c == '\\') {
+            if (eof())
+                error("unterminated escape");
+            char e = get();
+            switch (e) {
+              case 'n': t.text += '\n'; break;
+              case 't': t.text += '\t'; break;
+              case 'r': t.text += '\r'; break;
+              case 'a': t.text += '\a'; break;
+              case 'b': t.text += '\b'; break;
+              case 'f': t.text += '\f'; break;
+              case 'v': t.text += '\v'; break;
+              case '\\': t.text += '\\'; break;
+              case '\'': t.text += '\''; break;
+              case '"': t.text += '"'; break;
+              case '\n': break; // line continuation
+              default:
+                error(cat("unknown escape \\", std::string(1, e)));
+            }
+            continue;
+        }
+        t.text += c;
+    }
+}
+
+Token
+Lexer::lexNumber()
+{
+    Token t;
+    t.kind = TokenKind::Int;
+
+    // 0'c (character code), 0x / 0o / 0b radix forms.
+    if (peek() == '0' && peek(1) == '\'') {
+        get();
+        get();
+        char c = get();
+        if (c == '\\') {
+            char e = get();
+            switch (e) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case 'r': c = '\r'; break;
+              case '\\': c = '\\'; break;
+              case '\'': c = '\''; break;
+              default: error("unknown character escape in 0' literal");
+            }
+        }
+        t.intValue = static_cast<unsigned char>(c);
+        return t;
+    }
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'o' ||
+                          peek(1) == 'b')) {
+        get();
+        char radix_char = get();
+        int radix = radix_char == 'x' ? 16 : radix_char == 'o' ? 8 : 2;
+        std::string digits;
+        while (!eof() &&
+               std::isalnum(static_cast<unsigned char>(peek()))) {
+            digits += get();
+        }
+        if (digits.empty())
+            error("missing digits after radix prefix");
+        t.intValue = std::strtoll(digits.c_str(), nullptr, radix);
+        return t;
+    }
+
+    std::string digits;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        digits += get();
+
+    // Float: digits '.' digits with optional exponent.
+    if (peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        digits += get();
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+            digits += get();
+        if (peek() == 'e' || peek() == 'E') {
+            digits += get();
+            if (peek() == '+' || peek() == '-')
+                digits += get();
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                digits += get();
+            }
+        }
+        t.kind = TokenKind::Float;
+        t.floatValue = std::strtod(digits.c_str(), nullptr);
+        return t;
+    }
+    if ((peek() == 'e' || peek() == 'E') &&
+        (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+         ((peek(1) == '+' || peek(1) == '-') &&
+          std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+        digits += get();
+        if (peek() == '+' || peek() == '-')
+            digits += get();
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+            digits += get();
+        t.kind = TokenKind::Float;
+        t.floatValue = std::strtod(digits.c_str(), nullptr);
+        return t;
+    }
+
+    t.intValue = std::strtoll(digits.c_str(), nullptr, 10);
+    return t;
+}
+
+bool
+atomNeedsQuotes(const std::string &text)
+{
+    if (text.empty())
+        return true;
+    if (text == "[]" || text == "{}" || text == "!" || text == ";")
+        return false;
+    // ',' and '.' conflict with argument separators / the full stop.
+    if (text == "," || text == ".")
+        return true;
+    char first = text[0];
+    if (std::islower(static_cast<unsigned char>(first))) {
+        for (char c : text) {
+            if (!isAlnumChar(c))
+                return true;
+        }
+        return false;
+    }
+    if (isSymbolChar(first)) {
+        for (char c : text) {
+            if (!isSymbolChar(c))
+                return true;
+        }
+        return false;
+    }
+    return true;
+}
+
+} // namespace kcm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Prolog tokenizer.
+ *
+ * Produces the standard Prolog token stream: names (atoms), variables,
+ * numbers, strings, punctuation, and the clause-terminating full stop.
+ * Layout (whitespace/comments) is consumed but the "no layout before"
+ * property of a token is preserved, which the reader needs to tell
+ * functor application f( from an operator followed by a parenthesis.
+ */
+
+#ifndef KCM_PROLOG_LEXER_HH
+#define KCM_PROLOG_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kcm
+{
+
+enum class TokenKind
+{
+    Atom,     ///< unquoted / quoted / symbolic name
+    Variable, ///< uppercase or _ initial
+    Int,
+    Float,
+    String,   ///< "..." — expands to a code list in the reader
+    Punct,    ///< one of ( ) [ ] { } , |
+    End,      ///< the clause-terminating '. '
+    Eof,
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::Eof;
+    std::string text;      ///< name / variable / punct / string body
+    int64_t intValue = 0;  ///< Int
+    double floatValue = 0; ///< Float
+    bool layoutBefore = true; ///< whitespace or comment preceded this token
+    int line = 0;
+
+    bool isPunct(const char *p) const
+    {
+        return kind == TokenKind::Punct && text == p;
+    }
+    bool isAtom(const char *a) const
+    {
+        return kind == TokenKind::Atom && text == a;
+    }
+};
+
+/**
+ * One-pass tokenizer over a complete source string.
+ *
+ * Throws FatalError (via fatal()) on malformed input such as an
+ * unterminated quoted atom, with the line number in the message.
+ */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Tokenize the whole input (trailing Eof token included). */
+    std::vector<Token> tokenize();
+
+  private:
+    Token next();
+    /** Consume whitespace and comments; returns true if any was seen. */
+    bool skipLayout();
+    Token lexName();
+    Token lexQuoted(char quote);
+    Token lexNumber();
+    Token lexSymbolic();
+
+    char peek(size_t ahead = 0) const;
+    char get();
+    bool eof() const { return pos_ >= src_.size(); }
+
+    [[noreturn]] void error(const std::string &msg) const;
+
+    std::string src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/** True if @p text would need quotes to read back as an atom. */
+bool atomNeedsQuotes(const std::string &text);
+
+} // namespace kcm
+
+#endif // KCM_PROLOG_LEXER_HH

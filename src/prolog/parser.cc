@@ -1,0 +1,381 @@
+#include "prolog/parser.hh"
+
+#include "base/logging.hh"
+
+namespace kcm
+{
+
+Parser::Parser(std::string source, OperatorTable &ops) : ops_(ops)
+{
+    Lexer lexer(std::move(source));
+    tokens_ = lexer.tokenize();
+}
+
+const Token &
+Parser::peek(size_t ahead) const
+{
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size())
+        idx = tokens_.size() - 1; // Eof token
+    return tokens_[idx];
+}
+
+const Token &
+Parser::advance()
+{
+    const Token &t = peek();
+    if (pos_ < tokens_.size() - 1)
+        ++pos_;
+    return t;
+}
+
+void
+Parser::expectPunct(const char *p)
+{
+    if (!peek().isPunct(p))
+        error(cat("expected '", p, "'"));
+    advance();
+}
+
+void
+Parser::error(const std::string &msg) const
+{
+    fatal("parser: line ", peek().line, ": ", msg, " (at token '",
+          peek().text, "')");
+}
+
+TermRef
+Parser::variableNode(const std::string &name)
+{
+    if (name == "_") {
+        auto v = Term::makeVar("_");
+        return v;
+    }
+    auto it = clauseVars_.find(name);
+    if (it != clauseVars_.end())
+        return it->second;
+    auto v = Term::makeVar(name);
+    clauseVars_.emplace(name, v);
+    varOrder_.emplace_back(name, v);
+    return v;
+}
+
+bool
+Parser::readClause(ReadClause &out)
+{
+    clauseVars_.clear();
+    varOrder_.clear();
+    if (peek().kind == TokenKind::Eof)
+        return false;
+    int prec = 0;
+    TermRef term = parseTerm(1200, prec);
+    if (peek().kind != TokenKind::End)
+        error("expected '.' at end of clause");
+    advance();
+    maybeApplyOpDirective(term);
+    out.term = term;
+    out.varNames = varOrder_;
+    return true;
+}
+
+std::vector<ReadClause>
+Parser::readAll()
+{
+    std::vector<ReadClause> out;
+    ReadClause clause;
+    while (readClause(clause))
+        out.push_back(clause);
+    return out;
+}
+
+void
+Parser::maybeApplyOpDirective(const TermRef &clause)
+{
+    if (!clause->isStruct() || clause->arity() != 1)
+        return;
+    const std::string &outer = atomText(clause->functorName());
+    if (outer != ":-" && outer != "?-")
+        return;
+    const TermRef &goal = clause->arg(0);
+    if (!goal->isStruct() || goal->arity() != 3 ||
+        atomText(goal->functorName()) != "op") {
+        return;
+    }
+    const TermRef &prio = goal->arg(0);
+    const TermRef &type = goal->arg(1);
+    const TermRef &name = goal->arg(2);
+    if (!prio->isInt() || !type->isAtom())
+        return;
+    auto op_type = OperatorTable::parseType(atomText(type->atom()));
+    if (!op_type)
+        return;
+    auto apply = [&](const TermRef &n) {
+        if (n->isAtom()) {
+            ops_.define(static_cast<int>(prio->intValue()), *op_type,
+                        n->atom());
+        }
+    };
+    if (name->isAtom()) {
+        apply(name);
+    } else {
+        // A list of operator names.
+        TermRef node = name;
+        while (node->isCons()) {
+            apply(node->arg(0));
+            node = node->arg(1);
+        }
+    }
+}
+
+bool
+Parser::tokenStartsTerm() const
+{
+    const Token &t = peek();
+    switch (t.kind) {
+      case TokenKind::Int:
+      case TokenKind::Float:
+      case TokenKind::Variable:
+      case TokenKind::Atom:
+      case TokenKind::String:
+        return true;
+      case TokenKind::Punct:
+        return t.text == "(" || t.text == "[" || t.text == "{";
+      default:
+        return false;
+    }
+}
+
+TermRef
+Parser::parseTerm(int max_prec, int &prec_out)
+{
+    int left_prec = 0;
+    TermRef left = parsePrimary(max_prec, left_prec);
+
+    while (true) {
+        const Token &t = peek();
+        std::string op_text;
+        if (t.kind == TokenKind::Atom) {
+            op_text = t.text;
+        } else if (t.kind == TokenKind::Punct &&
+                   (t.text == "," || t.text == "|")) {
+            op_text = t.text == "|" ? ";" : t.text;
+        } else {
+            break;
+        }
+        AtomId op_atom = internAtom(op_text);
+
+        auto infix = ops_.infix(op_atom);
+        auto postfix = ops_.postfix(op_atom);
+        if (infix) {
+            int p = infix->priority;
+            int left_max = infix->type == OpType::YFX ? p : p - 1;
+            int right_max = infix->type == OpType::XFY ? p : p - 1;
+            if (p <= max_prec && left_prec <= left_max) {
+                advance();
+                int rp = 0;
+                TermRef right = parseTerm(right_max, rp);
+                left = Term::makeStruct(op_atom, {left, right});
+                left_prec = p;
+                continue;
+            }
+        }
+        if (postfix) {
+            int p = postfix->priority;
+            int left_max = postfix->type == OpType::YF ? p : p - 1;
+            if (p <= max_prec && left_prec <= left_max) {
+                advance();
+                left = Term::makeStruct(op_atom, {left});
+                left_prec = p;
+                continue;
+            }
+        }
+        break;
+    }
+    prec_out = left_prec;
+    return left;
+}
+
+TermRef
+Parser::parsePrimary(int max_prec, int &prec_out)
+{
+    const Token &t = peek();
+    prec_out = 0;
+
+    switch (t.kind) {
+      case TokenKind::Int: {
+        advance();
+        return Term::makeInt(t.intValue);
+      }
+      case TokenKind::Float: {
+        advance();
+        return Term::makeFloat(t.floatValue);
+      }
+      case TokenKind::Variable: {
+        advance();
+        return variableNode(t.text);
+      }
+      case TokenKind::String: {
+        advance();
+        std::vector<TermRef> codes;
+        for (unsigned char c : t.text)
+            codes.push_back(Term::makeInt(c));
+        return Term::makeList(codes);
+      }
+      case TokenKind::Punct: {
+        if (t.text == "(") {
+            advance();
+            int p = 0;
+            TermRef inner = parseTerm(1200, p);
+            expectPunct(")");
+            return inner;
+        }
+        if (t.text == "[") {
+            advance();
+            return parseList();
+        }
+        if (t.text == "{") {
+            advance();
+            return parseCurly();
+        }
+        error("unexpected punctuation");
+      }
+      case TokenKind::Atom:
+        break;
+      default:
+        error("unexpected token");
+    }
+
+    // Atom cases: functor application, prefix operator, plain atom.
+    std::string name = t.text;
+    advance();
+
+    // Functor application: '(' with no layout in between.
+    if (peek().isPunct("(") && !peek().layoutBefore)
+        return parseArgList(name);
+
+    AtomId name_atom = internAtom(name);
+    auto prefix = ops_.prefix(name_atom);
+
+    // Negative numeric literal: '-' immediately followed by a number
+    // with no intervening layout (ISO reading; "- 1" is -(1)).
+    if (name == "-" && !peek().layoutBefore &&
+        (peek().kind == TokenKind::Int ||
+         peek().kind == TokenKind::Float)) {
+        const Token &num = advance();
+        if (num.kind == TokenKind::Int)
+            return Term::makeInt(-num.intValue);
+        return Term::makeFloat(-num.floatValue);
+    }
+
+    if (prefix && prefix->priority <= max_prec && tokenStartsTerm()) {
+        // Don't treat "op Infix ..." as prefix application when the
+        // next atom is purely an infix operator (e.g. "- =" is odd
+        // input anyway); the common case is fine.
+        bool operand_is_bare_infix = false;
+        if (peek().kind == TokenKind::Atom) {
+            AtomId next_atom = internAtom(peek().text);
+            if (ops_.infix(next_atom) && !ops_.prefix(next_atom) &&
+                !peek(1).isPunct("(")) {
+                operand_is_bare_infix = true;
+            }
+        }
+        if (!operand_is_bare_infix) {
+            int arg_max = prefix->type == OpType::FY ? prefix->priority
+                                                     : prefix->priority - 1;
+            int p = 0;
+            TermRef operand = parseTerm(arg_max, p);
+            prec_out = prefix->priority;
+            return Term::makeStruct(name_atom, {operand});
+        }
+    }
+
+    // Plain atom (possibly an operator used as an operand).
+    if (ops_.isOperator(name_atom))
+        prec_out = 1201 <= max_prec ? 0 : 0;
+    return Term::makeAtom(name_atom);
+}
+
+TermRef
+Parser::parseArgList(const std::string &functor_name)
+{
+    expectPunct("(");
+    std::vector<TermRef> args;
+    while (true) {
+        int p = 0;
+        args.push_back(parseTerm(999, p));
+        if (peek().isPunct(",")) {
+            advance();
+            continue;
+        }
+        break;
+    }
+    expectPunct(")");
+    return Term::makeStruct(internAtom(functor_name), std::move(args));
+}
+
+TermRef
+Parser::parseList()
+{
+    if (peek().isPunct("]")) {
+        advance();
+        return Term::makeAtom(AtomTable::instance().nil);
+    }
+    std::vector<TermRef> items;
+    TermRef tail;
+    while (true) {
+        int p = 0;
+        items.push_back(parseTerm(999, p));
+        if (peek().isPunct(",")) {
+            advance();
+            continue;
+        }
+        if (peek().isPunct("|")) {
+            advance();
+            int tp = 0;
+            tail = parseTerm(999, tp);
+        }
+        break;
+    }
+    expectPunct("]");
+    return Term::makeList(items, tail);
+}
+
+TermRef
+Parser::parseCurly()
+{
+    if (peek().isPunct("}")) {
+        advance();
+        return Term::makeAtom(AtomTable::instance().curly);
+    }
+    int p = 0;
+    TermRef inner = parseTerm(1200, p);
+    expectPunct("}");
+    return Term::makeStruct(AtomTable::instance().curly, {inner});
+}
+
+TermRef
+parseTermText(const std::string &text, OperatorTable &ops)
+{
+    Parser parser(text + " .", ops);
+    ReadClause clause;
+    if (!parser.readClause(clause))
+        fatal("parseTermText: empty input");
+    return clause.term;
+}
+
+TermRef
+parseTermText(const std::string &text)
+{
+    OperatorTable ops;
+    return parseTermText(text, ops);
+}
+
+std::vector<ReadClause>
+parseProgramText(const std::string &text)
+{
+    OperatorTable ops;
+    Parser parser(text, ops);
+    return parser.readAll();
+}
+
+} // namespace kcm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Prolog reader: operator-precedence parsing of clause terms.
+ */
+
+#ifndef KCM_PROLOG_PARSER_HH
+#define KCM_PROLOG_PARSER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prolog/lexer.hh"
+#include "prolog/operators.hh"
+#include "prolog/term.hh"
+
+namespace kcm
+{
+
+/** One clause read from source, with its named variables. */
+struct ReadClause
+{
+    TermRef term;
+    /** Source variable name -> the shared Var node, in order. */
+    std::vector<std::pair<std::string, TermRef>> varNames;
+};
+
+/**
+ * Reads a sequence of clause terms from one source string.
+ *
+ * op/3 directives are applied to the operator table as they are read,
+ * so they affect the parsing of subsequent clauses — and they are also
+ * returned to the caller like any other term.
+ */
+class Parser
+{
+  public:
+    Parser(std::string source, OperatorTable &ops);
+
+    /** Read the next clause; returns false at end of input. */
+    bool readClause(ReadClause &out);
+
+    /** Read every clause in the input. */
+    std::vector<ReadClause> readAll();
+
+  private:
+    TermRef parseTerm(int max_prec, int &prec_out);
+    TermRef parsePrimary(int max_prec, int &prec_out);
+    TermRef parseArgList(const std::string &functor_name);
+    TermRef parseList();
+    TermRef parseCurly();
+    TermRef variableNode(const std::string &name);
+    /** True if the upcoming token can begin a term. */
+    bool tokenStartsTerm() const;
+
+    const Token &peek(size_t ahead = 0) const;
+    const Token &advance();
+    void expectPunct(const char *p);
+    [[noreturn]] void error(const std::string &msg) const;
+
+    void maybeApplyOpDirective(const TermRef &clause);
+
+    OperatorTable &ops_;
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    std::map<std::string, TermRef> clauseVars_;
+    std::vector<std::pair<std::string, TermRef>> varOrder_;
+};
+
+/** Convenience: parse a single term (no trailing '.') from text. */
+TermRef parseTermText(const std::string &text, OperatorTable &ops);
+
+/** Convenience: parse with a default operator table. */
+TermRef parseTermText(const std::string &text);
+
+/** Convenience: parse a whole program with a default operator table. */
+std::vector<ReadClause> parseProgramText(const std::string &text);
+
+} // namespace kcm
+
+#endif // KCM_PROLOG_PARSER_HH

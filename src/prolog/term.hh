@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Source-level Prolog terms.
+ *
+ * This is the representation used by the reader and the compiler; the
+ * simulated machine has its own tagged-word heap representation. Terms
+ * are immutable trees shared via TermRef; variables are identity-based
+ * nodes (two occurrences of the same source variable share one node).
+ */
+
+#ifndef KCM_PROLOG_TERM_HH
+#define KCM_PROLOG_TERM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prolog/atom_table.hh"
+
+namespace kcm
+{
+
+class Term;
+using TermRef = std::shared_ptr<Term>;
+
+/** The kinds of source-level terms. */
+enum class TermKind
+{
+    Var,
+    Atom,
+    Int,
+    Float,
+    Struct,
+};
+
+/**
+ * An immutable Prolog term node.
+ *
+ * Lists are ordinary './2' structures terminated by the atom '[]',
+ * exactly as they are in the machine representation.
+ */
+class Term
+{
+  public:
+    /** Build a fresh, unbound variable node. @p name is for printing. */
+    static TermRef makeVar(const std::string &name);
+    static TermRef makeAtom(AtomId atom);
+    static TermRef makeAtom(const std::string &text);
+    static TermRef makeInt(int64_t value);
+    static TermRef makeFloat(double value);
+    static TermRef makeStruct(AtomId name, std::vector<TermRef> args);
+    static TermRef makeStruct(const std::string &name,
+                              std::vector<TermRef> args);
+    /** Build './'(head, tail). */
+    static TermRef makeCons(TermRef head, TermRef tail);
+    /** Build a proper list of @p items (optionally ending in @p tail). */
+    static TermRef makeList(const std::vector<TermRef> &items,
+                            TermRef tail = nullptr);
+
+    TermKind kind() const { return _kind; }
+    bool isVar() const { return _kind == TermKind::Var; }
+    bool isAtom() const { return _kind == TermKind::Atom; }
+    bool isInt() const { return _kind == TermKind::Int; }
+    bool isFloat() const { return _kind == TermKind::Float; }
+    bool isStruct() const { return _kind == TermKind::Struct; }
+    bool isNumber() const { return isInt() || isFloat(); }
+    bool isAtomic() const { return isAtom() || isNumber(); }
+
+    /** True for './2' structures and for '[]'. */
+    bool isList() const;
+    bool isCons() const;
+    bool isNil() const;
+    /** True if the term is an atom equal to @p id. */
+    bool isAtomNamed(AtomId id) const { return isAtom() && _atom == id; }
+
+    // Accessors; panic on kind mismatch.
+    AtomId atom() const;
+    int64_t intValue() const;
+    double floatValue() const;
+    AtomId functorName() const;
+    uint32_t arity() const;
+    const std::vector<TermRef> &args() const;
+    const TermRef &arg(uint32_t i) const;
+
+    /** Functor of an atom (arity 0) or structure. */
+    Functor functor() const;
+
+    /** Variable accessors. */
+    const std::string &varName() const;
+    uint64_t varId() const;
+
+    /** Structural equality; variables compare by identity. */
+    static bool equal(const TermRef &a, const TermRef &b);
+
+  private:
+    Term() = default;
+
+    TermKind _kind = TermKind::Atom;
+    AtomId _atom = 0;          // Atom / Struct functor name
+    int64_t _int = 0;          // Int
+    double _float = 0.0;       // Float
+    std::vector<TermRef> args_; // Struct
+    std::string _varName;      // Var
+    uint64_t _varId = 0;       // Var: process-unique id
+};
+
+/** Collect the distinct variables of @p t in first-occurrence order. */
+void collectVars(const TermRef &t, std::vector<TermRef> &out);
+
+/** Number of distinct variables in @p t. */
+size_t countVars(const TermRef &t);
+
+} // namespace kcm
+
+#endif // KCM_PROLOG_TERM_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Term output: canonical and operator-aware printing.
+ */
+
+#ifndef KCM_PROLOG_WRITER_HH
+#define KCM_PROLOG_WRITER_HH
+
+#include <string>
+
+#include "prolog/operators.hh"
+#include "prolog/term.hh"
+
+namespace kcm
+{
+
+struct WriteOptions
+{
+    bool quoted = false;      ///< quote atoms that need it (writeq)
+    bool ignoreOps = false;   ///< canonical functional notation
+    int maxDepth = 0;         ///< 0 = unlimited
+};
+
+/** Render @p t using the operator table @p ops. */
+std::string writeTerm(const TermRef &t, const OperatorTable &ops,
+                      const WriteOptions &options = {});
+
+/** Render with a default operator table and default options. */
+std::string writeTerm(const TermRef &t);
+
+/** Render in writeq style (quoted) with a default operator table. */
+std::string writeTermQuoted(const TermRef &t);
+
+} // namespace kcm
+
+#endif // KCM_PROLOG_WRITER_HH

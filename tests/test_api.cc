@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Public API (KcmSystem) behaviour tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+TEST(Api, MachineBeforeQueryIsFatal)
+{
+    KcmSystem system;
+    EXPECT_THROW(system.machine(), FatalError);
+}
+
+TEST(Api, MultipleConsultsAccumulate)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    system.consult("p(b).");
+    system.consult("q(X) :- p(X).");
+    KcmOptions options;
+    options.maxSolutions = 10;
+    KcmSystem multi(options);
+    multi.consult("p(a).");
+    multi.consult("p(b).");
+    multi.consult("q(X) :- p(X).");
+    auto result = multi.query("q(X)");
+    EXPECT_EQ(result.solutions.size(), 2u);
+}
+
+TEST(Api, QueriesAreIndependent)
+{
+    KcmSystem system;
+    system.consult("p(1).");
+    auto first = system.query("p(X)");
+    auto second = system.query("p(X)");
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.solutions[0].toString(),
+              second.solutions[0].toString());
+}
+
+TEST(Api, CompileOnlyDoesNotRun)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    CodeImage image = system.compileOnly("p(X)");
+    EXPECT_GT(image.words.size(), 0u);
+    EXPECT_NE(image.queryEntry, 0u);
+    EXPECT_THROW(system.machine(), FatalError);
+}
+
+TEST(Api, EmptyQueryStringIsFatal)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    EXPECT_THROW(system.query(""), FatalError);
+}
+
+TEST(Api, SyntaxErrorSurfacesAsFatal)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    EXPECT_THROW(system.query("p(X"), FatalError);
+    KcmSystem bad;
+    bad.consult("p(a"); // deferred until compile
+    EXPECT_THROW(bad.query("p(X)"), FatalError);
+}
+
+TEST(Api, QueryWithDirectivePrefixAccepted)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    EXPECT_TRUE(system.query("?- p(a)").success);
+}
+
+TEST(Api, OutputAccumulatesAcrossSolutions)
+{
+    KcmOptions options;
+    options.maxSolutions = 3;
+    KcmSystem system(options);
+    system.consult("p(1). p(2). p(3).");
+    auto result = system.query("p(X), write(X)");
+    EXPECT_EQ(result.output, "123");
+}
+
+TEST(Api, MaxSolutionsZeroMeansAll)
+{
+    KcmOptions options;
+    options.maxSolutions = 0; // no limit
+    KcmSystem system(options);
+    system.consult("p(1). p(2). p(3).");
+    auto result = system.query("p(X)");
+    EXPECT_EQ(result.solutions.size(), 3u);
+}
+
+TEST(Api, ResultCarriesAllMeasurements)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    auto result = system.query("p(a)");
+    EXPECT_TRUE(result.success);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.instructions, 0u);
+    EXPECT_GT(result.inferences, 0u);
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_GT(result.klips, 0.0);
+}
+
+TEST(Api, StatsDumpContainsAllGroups)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    system.query("p(a)");
+    std::ostringstream os;
+    system.machine().stats().dump(os);
+    std::string dump = os.str();
+    for (const char *key :
+         {"machine.deepFails", "machine.mem.dcache.readHits",
+          "machine.mem.icache.readMisses", "machine.mem.mmu.translations",
+          "machine.mem.zoneCheck.checksPerformed",
+          "machine.mem.memory.readWords"}) {
+        EXPECT_NE(dump.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Api, StatLookupByPath)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    system.query("p(a)");
+    StatGroup &stats = system.machine().stats();
+    EXPECT_GT(stats.lookup("mem.mmu.translations"), 0u);
+}
+
+TEST(Api, OperatorDirectiveInConsultedSource)
+{
+    KcmSystem system;
+    system.consult(":- op(700, xfx, ===).\n"
+                   "eq(X, Y) :- X === Y.\n"
+                   "A === A.\n");
+    EXPECT_TRUE(system.query("eq(foo, foo)").success);
+    EXPECT_FALSE(system.query("eq(foo, bar)").success);
+}
+
+TEST(Api, LargeProgramCompilesAndRuns)
+{
+    // 200 facts, indexed dispatch.
+    std::string program;
+    for (int i = 0; i < 200; ++i) {
+        program += "big(" + std::to_string(i) + ", v" +
+                   std::to_string(i) + ").\n";
+    }
+    KcmSystem system;
+    system.consult(program);
+    auto result = system.query("big(137, V)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.solutions[0].toString(), "V = v137");
+    // Constant indexing: selecting fact 137 must not scan linearly
+    // through 137 clause bodies (switch probes are table lookups).
+    EXPECT_LT(result.cycles, 4000u);
+}

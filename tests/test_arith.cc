@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Arithmetic tests: native integer mode, the FPU, mixed-mode
+ * promotion, generic mode, division guards, and the paper's timing
+ * claim that floating multiply/divide beat the integer path (§4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+QueryResult
+arith(const std::string &goal, bool integer_mode = true)
+{
+    KcmOptions options;
+    options.compiler.integerArithmetic = integer_mode;
+    KcmSystem system(options);
+    return system.query(goal);
+}
+
+std::string
+first(const QueryResult &result)
+{
+    return result.solutions.empty() ? "<none>"
+                                    : result.solutions[0].toString();
+}
+
+} // namespace
+
+TEST(Arith, IntegerOperations)
+{
+    EXPECT_EQ(first(arith("X is 7 + 3")), "X = 10");
+    EXPECT_EQ(first(arith("X is 7 - 13")), "X = -6");
+    EXPECT_EQ(first(arith("X is 6 * 7")), "X = 42");
+    EXPECT_EQ(first(arith("X is 22 // 7")), "X = 3");
+    EXPECT_EQ(first(arith("X is 22 mod 7")), "X = 1");
+    EXPECT_EQ(first(arith("X is -(5)")), "X = -5");
+}
+
+TEST(Arith, NestedExpressions)
+{
+    EXPECT_EQ(first(arith("X is (2 + 3) * (4 - 1)")), "X = 15");
+    EXPECT_EQ(first(arith("X is 2 * 3 + 4 * 5")), "X = 26");
+    EXPECT_EQ(first(arith("X is 100 // (3 + 7) // 2")), "X = 5");
+}
+
+TEST(Arith, FloatOperations)
+{
+    EXPECT_EQ(first(arith("X is 1.5 + 2.25")), "X = 3.75");
+    EXPECT_EQ(first(arith("X is 2.5 * 4.0")), "X = 10.0");
+    EXPECT_EQ(first(arith("X is 7.0 / 2.0")), "X = 3.5");
+}
+
+TEST(Arith, MixedModePromotes)
+{
+    EXPECT_EQ(first(arith("X is 1 + 0.5")), "X = 1.5");
+    EXPECT_EQ(first(arith("X is 3.0 * 2")), "X = 6.0");
+}
+
+TEST(Arith, DivisionByZeroFails)
+{
+    EXPECT_FALSE(arith("_ is 1 // 0").success);
+    EXPECT_FALSE(arith("_ is 1 mod 0").success);
+    EXPECT_FALSE(arith("_ is 1.0 / 0.0").success);
+}
+
+TEST(Arith, UnboundOperandFails)
+{
+    EXPECT_FALSE(arith("X is Y + 1").success);
+    EXPECT_FALSE(arith("1 < Y").success);
+}
+
+TEST(Arith, NonNumericOperandFails)
+{
+    EXPECT_FALSE(arith("X is foo + 1").success);
+    EXPECT_FALSE(arith("X = f(1), _ is X * 2").success);
+}
+
+TEST(Arith, ComparisonsMixedMode)
+{
+    EXPECT_TRUE(arith("1.5 < 2").success);
+    EXPECT_TRUE(arith("2 =:= 2.0").success);
+    EXPECT_TRUE(arith("1 + 1 =:= 4 // 2").success);
+}
+
+TEST(Arith, GenericModeMatchesNativeResults)
+{
+    const char *goals[] = {
+        "X is 3 * 4 + 5",
+        "X is 100 mod 7",
+        "X is 2.5 * 4.0",
+        "X is -(3) + 10",
+    };
+    for (const char *goal : goals) {
+        EXPECT_EQ(first(arith(goal, true)), first(arith(goal, false)))
+            << goal;
+    }
+}
+
+TEST(Arith, GenericModeExtraFunctions)
+{
+    // min/max/abs are available through the generic evaluator.
+    EXPECT_EQ(first(arith("X is min(3, 7)", false)), "X = 3");
+    EXPECT_EQ(first(arith("X is max(3, 7)", false)), "X = 7");
+    EXPECT_EQ(first(arith("X is abs(-9)", false)), "X = 9");
+}
+
+TEST(Arith, FloatMultiplyFasterThanInteger)
+{
+    // §4.2: "floating arithmetic is significantly faster than integer
+    // arithmetic on multiplications and divisions" — the reason the
+    // authors expected query to speed up under generic arithmetic.
+    const char *program =
+        "muls(0, _) :- !.\n"
+        "muls(N, X) :- _ is X * X, M is N - 1, muls(M, X).\n";
+    auto time_mul = [&](const char *value) {
+        KcmSystem system;
+        system.consult(program);
+        return system.query("muls(100, " + std::string(value) + ")")
+            .cycles;
+    };
+    EXPECT_LT(time_mul("2.5"), time_mul("3"));
+}
+
+TEST(Arith, FloatDivideFasterThanInteger)
+{
+    const char *program =
+        "divs(0, _) :- !.\n"
+        "divs(N, X) :- _ is X / X, M is N - 1, divs(M, X).\n";
+    auto time_div = [&](const char *value) {
+        KcmSystem system;
+        system.consult(program);
+        return system.query("divs(100, " + std::string(value) + ")")
+            .cycles;
+    };
+    EXPECT_LT(time_div("2.5"), time_div("3"));
+}
+
+TEST(Arith, AdditionCostsOneCycleOverMove)
+{
+    // Integer add is single-cycle (§3.1.1): a loop of adds must cost
+    // far less than a loop of multiplies.
+    const char *program =
+        "adds(0) :- !.\n"
+        "adds(N) :- _ is N + N, M is N - 1, adds(M).\n"
+        "muls(0) :- !.\n"
+        "muls(N) :- _ is N * N, M is N - 1, muls(M).\n";
+    KcmSystem add_system;
+    add_system.consult(program);
+    uint64_t add_cycles = add_system.query("adds(100)").cycles;
+    KcmSystem mul_system;
+    mul_system.consult(program);
+    uint64_t mul_cycles = mul_system.query("muls(100)").cycles;
+    EXPECT_LT(add_cycles + 300, mul_cycles)
+        << "multiply must cost ~5 extra cycles x 100 iterations";
+}
+
+TEST(Arith, Overflow32BitWraps)
+{
+    // The value part is 32 bits; document the wrap behaviour.
+    auto result = arith("X is 2147483647 + 1");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(first(result), "X = -2147483648");
+}
+
+TEST(Arith, IsUnifiesWithBoundTarget)
+{
+    EXPECT_TRUE(arith("7 is 3 + 4").success);
+    EXPECT_FALSE(arith("8 is 3 + 4").success);
+    EXPECT_TRUE(arith("X = 7, X is 3 + 4").success);
+}

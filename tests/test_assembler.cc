@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Assembler and disassembler unit tests: labels, fixups, inference
+ * marks, instruction lengths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "compiler/assembler.hh"
+#include "isa/disasm.hh"
+
+using namespace kcm;
+
+TEST(Assembler, SequentialAddresses)
+{
+    Assembler assembler(0x100);
+    EXPECT_EQ(assembler.here(), 0x100u);
+    Addr a0 = assembler.emit(Instr::make(Opcode::Noop));
+    Addr a1 = assembler.emit(Instr::make(Opcode::Proceed));
+    EXPECT_EQ(a0, 0x100u);
+    EXPECT_EQ(a1, 0x101u);
+    EXPECT_EQ(assembler.here(), 0x102u);
+}
+
+TEST(Assembler, InstructionVsWordCounts)
+{
+    Assembler assembler;
+    assembler.emit(Instr::make(Opcode::Noop));
+    assembler.emitWord(Word::makeInt(42));
+    assembler.emitWord(Word::makeCodePtr(0x200));
+    EXPECT_EQ(assembler.instructionCount(), 1u);
+    EXPECT_EQ(assembler.wordCount(), 3u);
+}
+
+TEST(Assembler, ForwardLabelResolution)
+{
+    Assembler assembler(0x100);
+    Label target = assembler.newLabel();
+    assembler.emitWithLabel(Instr::makeValue(Opcode::Jump, 0), target);
+    assembler.emit(Instr::make(Opcode::Noop));
+    assembler.bind(target);
+    Addr bound = assembler.here();
+    assembler.emit(Instr::make(Opcode::Halt));
+
+    CodeImage image;
+    assembler.finalize(image);
+    Instr jump(image.words[0]);
+    EXPECT_EQ(jump.opcode(), Opcode::Jump);
+    EXPECT_EQ(jump.value(), bound);
+}
+
+TEST(Assembler, BackwardLabelResolution)
+{
+    Assembler assembler(0x100);
+    Label loop = assembler.newLabel();
+    assembler.bind(loop);
+    assembler.emit(Instr::make(Opcode::Noop));
+    assembler.emitWithLabel(Instr::makeValue(Opcode::Jump, 0), loop);
+    CodeImage image;
+    assembler.finalize(image);
+    EXPECT_EQ(Instr(image.words[1]).value(), 0x100u);
+}
+
+TEST(Assembler, LabelWordResolution)
+{
+    Assembler assembler(0x100);
+    Label target = assembler.newLabel();
+    assembler.emitLabelWord(target);
+    assembler.bind(target);
+    assembler.emit(Instr::make(Opcode::Halt));
+    CodeImage image;
+    assembler.finalize(image);
+    Word w(image.words[0]);
+    EXPECT_TRUE(w.isCodePtr());
+    EXPECT_EQ(w.addr(), 0x101u);
+}
+
+TEST(Assembler, UnboundLabelPanics)
+{
+    Assembler assembler;
+    Label dangling = assembler.newLabel();
+    assembler.emitWithLabel(Instr::makeValue(Opcode::Jump, 0), dangling);
+    CodeImage image;
+    EXPECT_THROW(assembler.finalize(image), PanicError);
+}
+
+TEST(Assembler, DoubleBindPanics)
+{
+    Assembler assembler;
+    Label label = assembler.newLabel();
+    assembler.bind(label);
+    EXPECT_THROW(assembler.bind(label), PanicError);
+}
+
+TEST(Assembler, PredicateFixupsRecorded)
+{
+    Assembler assembler;
+    Functor callee{internAtom("target"), 2};
+    assembler.emitCall(Instr::makeValue(Opcode::Call, 0, 2), callee);
+    ASSERT_EQ(assembler.predFixups().size(), 1u);
+    EXPECT_EQ(assembler.predFixups()[0].callee, callee);
+    EXPECT_FALSE(assembler.predFixups()[0].isTableWord);
+}
+
+TEST(Assembler, MarkLastSetsInferenceBit)
+{
+    Assembler assembler;
+    assembler.emit(Instr::make(Opcode::Proceed));
+    assembler.markLast();
+    CodeImage image;
+    assembler.finalize(image);
+    EXPECT_TRUE(Instr(image.words[0]).inferenceMark());
+    EXPECT_EQ(Instr(image.words[0]).opcode(), Opcode::Proceed);
+}
+
+TEST(Disasm, SimpleInstructionLengths)
+{
+    std::vector<uint64_t> code = {
+        Instr::make(Opcode::Proceed).raw(),
+        Instr::makeValue(Opcode::Call, 0x123, 2).raw(),
+    };
+    EXPECT_EQ(instrLength(code, 0), 1u);
+    EXPECT_EQ(instrLength(code, 1), 1u);
+}
+
+TEST(Disasm, SwitchOnTermLength)
+{
+    std::vector<uint64_t> code = {
+        Instr::make(Opcode::SwitchOnTerm).raw(),
+        Word::makeCodePtr(1).raw(),
+        Word::makeCodePtr(2).raw(),
+        Word::makeCodePtr(3).raw(),
+        Word::makeCodePtr(4).raw(),
+    };
+    EXPECT_EQ(instrLength(code, 0), 5u);
+}
+
+TEST(Disasm, SwitchOnConstantLength)
+{
+    std::vector<uint64_t> code = {
+        Instr::makeValue(Opcode::SwitchOnConstant, 2).raw(),
+        Word::makeAtom(internAtom("a")).raw(),
+        Word::makeCodePtr(0x10).raw(),
+        Word::makeAtom(internAtom("b")).raw(),
+        Word::makeCodePtr(0x20).raw(),
+        Word::makeCodePtr(0x30).raw(), // miss target
+    };
+    // 1 + 2 pairs + miss word.
+    EXPECT_EQ(instrLength(code, 0), 6u);
+}
+
+TEST(Disasm, EveryOpcodeHasRenderableForm)
+{
+    for (unsigned op = 0; op < unsigned(Opcode::NumOpcodes); ++op) {
+        std::vector<uint64_t> code = {
+            Instr::makeRegs(Opcode(op), 1, 2, 3, 4).raw(),
+            // padding in case the op claims table words
+            0, 0, 0, 0,
+        };
+        std::string text = disasmOne(code, 0);
+        EXPECT_FALSE(text.empty());
+        EXPECT_NE(text.find(opcodeName(Opcode(op))), std::string::npos)
+            << text;
+    }
+}
+
+TEST(Disasm, CallRendersTargetAndArity)
+{
+    std::vector<uint64_t> code = {
+        Instr::makeValue(Opcode::Call, 0xABC, 3).raw()};
+    std::string text = disasmOne(code, 0);
+    EXPECT_NE(text.find("call"), std::string::npos);
+    EXPECT_NE(text.find("0xabc"), std::string::npos);
+    EXPECT_NE(text.find("/3"), std::string::npos);
+}
+
+TEST(Disasm, ConstantRendersValue)
+{
+    std::vector<uint64_t> code = {
+        Instr::makeConstant(Opcode::PutConstant, Word::makeInt(-7), 0, 2)
+            .raw()};
+    std::string text = disasmOne(code, 0);
+    EXPECT_NE(text.find("int:-7"), std::string::npos);
+}
+
+TEST(Disasm, RangeWalksMultiWordInstructions)
+{
+    std::vector<uint64_t> code = {
+        Instr::make(Opcode::SwitchOnTerm).raw(),
+        Word::makeCodePtr(1).raw(),
+        Word::makeCodePtr(2).raw(),
+        Word::makeCodePtr(3).raw(),
+        Word::makeCodePtr(4).raw(),
+        Instr::make(Opcode::Proceed).raw(),
+    };
+    std::string text = disasmRange(code, 0, code.size());
+    // Exactly two instruction lines.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Base utility tests: logging channels, statistics registry, string
+ * helpers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/strutil.hh"
+
+using namespace kcm;
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("broken: ", 42), PanicError);
+    try {
+        panic("value=", 7);
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: value=7");
+    }
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Logging, CatFormatsMixedTypes)
+{
+    EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(cat(), "");
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupDump)
+{
+    StatGroup group("unit");
+    Counter hits;
+    Counter misses;
+    group.add("hits", hits);
+    group.add("misses", misses);
+    hits += 3;
+    ++misses;
+
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_EQ(os.str(), "unit.hits 3\nunit.misses 1\n");
+}
+
+TEST(Stats, NestedGroups)
+{
+    StatGroup parent("machine");
+    StatGroup child("dcache");
+    Counter reads;
+    child.add("reads", reads);
+    parent.addChild(child);
+    reads += 7;
+
+    EXPECT_EQ(parent.lookup("dcache.reads"), 7u);
+
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_EQ(os.str(), "machine.dcache.reads 7\n");
+}
+
+TEST(Stats, ResetIsRecursive)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Counter a;
+    Counter b;
+    parent.add("a", a);
+    child.add("b", b);
+    parent.addChild(child);
+    a += 1;
+    b += 2;
+    parent.reset();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Stats, LookupMissingFatal)
+{
+    StatGroup group("g");
+    EXPECT_THROW(group.lookup("nothing"), FatalError);
+    EXPECT_THROW(group.lookup("no.child"), FatalError);
+}
+
+TEST(Strutil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("foo", "foobar"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Strutil, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strutil, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("\t\n a b \n"), "a b");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strutil, Padding)
+{
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(Strutil, Fixed)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(2.0, 0), "2");
+    EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}

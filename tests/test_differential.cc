@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Differential tests: the KCM simulator and the baseline reference
+ * interpreter must agree on solutions for a range of programs,
+ * including the whole PLM suite.
+ */
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "baseline/interp.hh"
+#include "bench_support/plm_suite.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/** Normalize variable numbering (_123 -> _V) for comparisons. */
+std::string
+stripVarNumbers(const std::string &s)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size();) {
+        bool at_var = s[i] == '_' && i + 1 < s.size() &&
+                      std::isdigit(static_cast<unsigned char>(s[i + 1])) &&
+                      (i == 0 || !std::isalnum(
+                                     static_cast<unsigned char>(s[i - 1])));
+        if (at_var) {
+            out += "_V";
+            ++i;
+            while (i < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[i]))) {
+                ++i;
+            }
+        } else {
+            out += s[i++];
+        }
+    }
+    return out;
+}
+
+/** Run on both engines; compare success and solution strings. */
+void
+compareEngines(const std::string &program, const std::string &goal,
+               size_t max_solutions = 5)
+{
+    KcmOptions options;
+    options.maxSolutions = max_solutions;
+    KcmSystem machine_system(options);
+    if (!program.empty())
+        machine_system.consult(program);
+    QueryResult machine_result = machine_system.query(goal);
+
+    baseline::Interpreter interp;
+    if (!program.empty())
+        interp.consult(program);
+    baseline::InterpResult interp_result =
+        interp.query(goal, max_solutions);
+
+    ASSERT_EQ(machine_result.success, interp_result.success)
+        << "engines disagree on success of: " << goal;
+    ASSERT_EQ(machine_result.solutions.size(),
+              interp_result.solutions.size())
+        << "solution counts differ for: " << goal;
+    for (size_t i = 0; i < machine_result.solutions.size(); ++i) {
+        EXPECT_EQ(stripVarNumbers(machine_result.solutions[i].toString()),
+                  stripVarNumbers(interp_result.solutions[i].toString()))
+            << "solution " << i << " differs for: " << goal;
+    }
+    EXPECT_EQ(machine_result.output, interp_result.output)
+        << "output differs for: " << goal;
+}
+
+} // namespace
+
+TEST(Differential, Facts)
+{
+    compareEngines("p(1). p(2). p(3).", "p(X)");
+}
+
+TEST(Differential, Append)
+{
+    const char *program =
+        "append([], L, L).\n"
+        "append([H|T], L, [H|R]) :- append(T, L, R).\n";
+    compareEngines(program, "append([1,2,3], [4], X)");
+    compareEngines(program, "append(X, Y, [a,b,c])", 10);
+    compareEngines(program, "append([1], X, [1,2,3])");
+}
+
+TEST(Differential, ArithmeticChains)
+{
+    compareEngines("", "X is 2 + 3 * 4 - 6 // 2, Y is X mod 7");
+    compareEngines("", "X is 10 - 2 - 3");
+    compareEngines("", "X = 4, X > 3, X < 5, X >= 4, X =< 4");
+}
+
+TEST(Differential, CutBehaviour)
+{
+    const char *program =
+        "p(1). p(2). p(3).\n"
+        "firstp(X) :- p(X), !.\n"
+        "q(X) :- p(X), X > 1, !.\n"
+        "r(X) :- p(X), !, X > 1.\n";
+    compareEngines(program, "firstp(X)", 10);
+    compareEngines(program, "q(X)", 10);
+    compareEngines(program, "r(X)", 10);
+}
+
+TEST(Differential, IfThenElse)
+{
+    const char *program =
+        "classify(X, neg) :- (X < 0 -> true ; fail).\n"
+        "sign(X, S) :- (X > 0 -> S = pos ; X < 0 -> S = neg ; S = zero).\n";
+    compareEngines(program, "sign(5, S)");
+    compareEngines(program, "sign(-5, S)");
+    compareEngines(program, "sign(0, S)");
+    compareEngines(program, "classify(-1, C)");
+    compareEngines(program, "classify(1, C)");
+}
+
+TEST(Differential, NegationAsFailure)
+{
+    const char *program = "p(1). p(2).";
+    compareEngines(program, "\\+ p(3)");
+    compareEngines(program, "\\+ p(1)");
+    compareEngines(program, "\\+ \\+ p(1)");
+}
+
+TEST(Differential, Disjunction)
+{
+    compareEngines("", "(X = 1 ; X = 2 ; X = 3)", 10);
+    compareEngines("p(a). p(b).", "(p(X) ; X = c)", 10);
+}
+
+TEST(Differential, StructureBuilding)
+{
+    compareEngines("mk(X, f(g(X), [X|_])).", "mk(7, T)");
+    compareEngines("", "T = tree(L, 5, R), L = leaf, R = tree(leaf,7,leaf)");
+}
+
+TEST(Differential, TypeTests)
+{
+    compareEngines("", "atom(foo), integer(3), \\+ atom(3), \\+ var(foo)");
+    compareEngines("", "X = f(1), compound(X), nonvar(X)");
+}
+
+TEST(Differential, StructuralCompare)
+{
+    compareEngines("", "f(1,2) == f(1,2)");
+    compareEngines("", "f(1,2) \\== f(1,3)");
+    compareEngines("", "foo @< zoo, 1 @< a, f(1) @> a");
+}
+
+TEST(Differential, FunctorArg)
+{
+    compareEngines("", "functor(f(a,b), N, A)");
+    compareEngines("", "arg(1, point(3,4), X), arg(2, point(3,4), Y)");
+}
+
+TEST(Differential, DeepRecursionSmall)
+{
+    const char *program =
+        "len([], 0).\n"
+        "len([_|T], N) :- len(T, M), N is M + 1.\n";
+    compareEngines(program, "len([a,b,c,d,e,f,g], N)");
+}
+
+TEST(Differential, BacktrackingIntoStructures)
+{
+    const char *program =
+        "edge(a, b). edge(b, c). edge(a, c). edge(c, d).\n"
+        "path2(X, Z) :- edge(X, Y), edge(Y, Z).\n";
+    compareEngines(program, "path2(a, Z)", 10);
+}
+
+// Every PLM benchmark must produce identical output and first
+// solution on both engines (pure forms, which are deterministic).
+class PlmDifferential : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PlmDifferential, EnginesAgree)
+{
+    const PlmBenchmark &bench = plmBenchmark(GetParam());
+
+    KcmOptions options;
+    KcmSystem machine_system(options);
+    machine_system.consult(bench.pureProgram());
+    QueryResult machine_result = machine_system.query(bench.queryPure);
+
+    baseline::Interpreter interp;
+    interp.consult(bench.pureProgram());
+    baseline::InterpResult interp_result = interp.query(bench.queryPure);
+
+    ASSERT_TRUE(machine_result.success);
+    ASSERT_TRUE(interp_result.success);
+    ASSERT_EQ(machine_result.solutions.size(), 1u);
+    EXPECT_EQ(stripVarNumbers(machine_result.solutions[0].toString()),
+              stripVarNumbers(interp_result.solutions[0].toString()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PlmDifferential,
+    ::testing::Values("con1", "con6", "divide10", "hanoi", "log10",
+                      "mutest", "nrev1", "ops8", "palin25", "pri2", "qs4",
+                      "queens", "query", "times10"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Randomized differential testing: generate random unification
+ * problems, arithmetic chains and small nondeterministic databases;
+ * the KCM simulator and the reference interpreter must agree on every
+ * one of them.
+ */
+
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "baseline/interp.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/** Random ground-ish term generator. */
+class TermGen
+{
+  public:
+    explicit TermGen(unsigned seed) : rng_(seed) {}
+
+    /** A term over a small signature; depth-bounded. */
+    std::string
+    term(int depth, int num_vars)
+    {
+        int pick = int(dist_(rng_) % (depth > 0 ? 6 : 3));
+        switch (pick) {
+          case 0:
+            return std::to_string(dist_(rng_) % 10);
+          case 1: {
+            static const char *atoms[] = {"a", "b", "c", "foo"};
+            return atoms[dist_(rng_) % 4];
+          }
+          case 2:
+            if (num_vars > 0)
+                return "V" + std::to_string(dist_(rng_) % num_vars);
+            return "z";
+          case 3: {
+            std::ostringstream os;
+            os << "f(" << term(depth - 1, num_vars) << ","
+               << term(depth - 1, num_vars) << ")";
+            return os.str();
+          }
+          case 4: {
+            std::ostringstream os;
+            os << "g(" << term(depth - 1, num_vars) << ")";
+            return os.str();
+          }
+          default: {
+            std::ostringstream os;
+            os << "[" << term(depth - 1, num_vars) << ","
+               << term(depth - 1, num_vars) << "]";
+            return os.str();
+          }
+        }
+    }
+
+    unsigned
+    pick(unsigned bound)
+    {
+        return dist_(rng_) % bound;
+    }
+
+  private:
+    std::mt19937 rng_;
+    std::uniform_int_distribution<unsigned> dist_;
+};
+
+void
+compareOnce(const std::string &program, const std::string &goal)
+{
+    KcmOptions options;
+    options.maxSolutions = 8;
+    KcmSystem machine_system(options);
+    if (!program.empty())
+        machine_system.consult(program);
+    QueryResult machine_result = machine_system.query(goal);
+
+    baseline::Interpreter interp;
+    if (!program.empty())
+        interp.consult(program);
+    baseline::InterpResult interp_result = interp.query(goal, 8);
+
+    ASSERT_EQ(machine_result.success, interp_result.success)
+        << "goal: " << goal << "\nprogram:\n" << program;
+    ASSERT_EQ(machine_result.solutions.size(),
+              interp_result.solutions.size())
+        << "goal: " << goal << "\nprogram:\n" << program;
+}
+
+} // namespace
+
+class FuzzUnify : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzUnify, RandomUnificationProblems)
+{
+    TermGen gen(GetParam());
+    for (int i = 0; i < 12; ++i) {
+        // The right-hand side is ground: both engines are
+        // occurs-check-free, so var-on-both-sides problems can create
+        // cyclic terms and diverge.
+        std::string lhs = gen.term(3, 3);
+        std::string rhs = gen.term(3, 0);
+        compareOnce("", "V0 = V0, " + lhs + " = " + rhs);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzUnify, ::testing::Range(1u, 9u));
+
+class FuzzDatabase : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzDatabase, RandomFactsAndQueries)
+{
+    TermGen gen(GetParam() * 977);
+    // A small random database of p/2 facts plus one rule.
+    std::ostringstream program;
+    for (int i = 0; i < 6; ++i) {
+        program << "p(" << gen.term(2, 0) << ", " << gen.term(2, 0)
+                << ").\n";
+    }
+    program << "q(X, Y) :- p(X, Y).\n";
+    program << "q(X, X) :- p(X, _).\n";
+
+    for (int i = 0; i < 8; ++i) {
+        std::string goal = "q(" + gen.term(2, 2) + ", V0)";
+        compareOnce(program.str(), goal);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDatabase, ::testing::Range(1u, 7u));
+
+class FuzzArith : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzArith, RandomArithmeticChains)
+{
+    TermGen gen(GetParam() * 7919);
+    static const char *ops[] = {"+", "-", "*", "//", "mod"};
+    for (int i = 0; i < 20; ++i) {
+        // Build X is ((a op b) op c) with small constants; division by
+        // zero legitimately fails on both engines.
+        std::ostringstream goal;
+        goal << "X is ((" << 1 + gen.pick(9) << " " << ops[gen.pick(5)]
+             << " " << 1 + gen.pick(9) << ") " << ops[gen.pick(5)] << " "
+             << 1 + gen.pick(9) << ")";
+        compareOnce("", goal.str());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzArith, ::testing::Range(1u, 7u));
+
+class FuzzControl : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzControl, RandomConjunctionsWithCutAndDisjunction)
+{
+    TermGen gen(GetParam() * 31337);
+    const char *database =
+        "p(1). p(2). p(3).\n"
+        "r(2). r(3).\n";
+    for (int i = 0; i < 12; ++i) {
+        std::ostringstream goal;
+        goal << "p(V0)";
+        if (gen.pick(2))
+            goal << ", V0 > " << gen.pick(3);
+        switch (gen.pick(3)) {
+          case 0:
+            goal << ", !";
+            break;
+          case 1:
+            goal << ", (r(V0) ; V0 = 1)";
+            break;
+          default:
+            goal << ", \\+ r(V0)";
+            break;
+        }
+        compareOnce(database, goal.str());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzControl, ::testing::Range(1u, 7u));

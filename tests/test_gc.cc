@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Garbage collector tests: the sliding mark-compact collection of the
+ * global stack must be invisible to program semantics — across live
+ * data, backtracking state, trail entries, and choice points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+const char *nrevProgram =
+    "nrev([], []).\n"
+    "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+    "app([], L, L).\n"
+    "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+    "list20([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20]).\n";
+
+QueryResult
+runWithGc(const std::string &program, const std::string &goal,
+          uint64_t threshold, size_t max_solutions = 1,
+          uint64_t *gc_runs = nullptr, uint64_t *reclaimed = nullptr)
+{
+    KcmOptions options;
+    options.machine.gcThresholdWords = threshold;
+    options.maxSolutions = max_solutions;
+    KcmSystem system(options);
+    if (!program.empty())
+        system.consult(program);
+    QueryResult result = system.query(goal);
+    if (gc_runs)
+        *gc_runs = system.machine().gcRuns.value();
+    if (reclaimed)
+        *reclaimed = system.machine().gcWordsReclaimed.value();
+    return result;
+}
+
+} // namespace
+
+TEST(Gc, NrevSurvivesAggressiveCollection)
+{
+    // nrev(20) makes ~500 heap cells of intermediate garbage; with a
+    // 96-word threshold the collector runs many times mid-computation.
+    uint64_t runs = 0;
+    uint64_t reclaimed = 0;
+    auto with_gc = runWithGc(nrevProgram, "list20(L), nrev(L, R)", 96, 1,
+                             &runs, &reclaimed);
+    auto without_gc = runWithGc(nrevProgram, "list20(L), nrev(L, R)", 0);
+
+    ASSERT_TRUE(with_gc.success);
+    EXPECT_GT(runs, 0u);
+    EXPECT_GT(reclaimed, 0u);
+    EXPECT_EQ(with_gc.solutions[0].toString(),
+              without_gc.solutions[0].toString());
+}
+
+TEST(Gc, ReclaimsIntermediateGarbage)
+{
+    // Each nrev step's intermediate lists die immediately; most of the
+    // heap is reclaimable.
+    uint64_t runs = 0;
+    uint64_t reclaimed = 0;
+    runWithGc(nrevProgram, "list20(L), nrev(L, _)", 128, 1, &runs,
+              &reclaimed);
+    EXPECT_GT(reclaimed, 100u);
+}
+
+TEST(Gc, BacktrackingAfterCollection)
+{
+    // Collect between solutions: choice points, trail and saved
+    // argument registers must all survive relocation.
+    const char *program =
+        "build(X, f(X, [X, X])).\n"
+        "pick(1). pick(2). pick(3).\n"
+        "gen(T) :- pick(X), build(X, T).\n";
+    KcmOptions options;
+    options.maxSolutions = 10;
+    KcmSystem system(options);
+    system.consult(program);
+
+    // Drive solutions manually, collecting between each.
+    CodeImage image = system.compileOnly("gen(T)");
+    Machine machine(options.machine);
+    machine.load(image);
+
+    std::vector<std::string> answers;
+    RunStatus status = machine.run();
+    while (status == RunStatus::SolutionFound) {
+        answers.push_back(machine.lastSolution().toString());
+        machine.collectGarbage();
+        status = machine.nextSolution();
+    }
+    ASSERT_EQ(answers.size(), 3u);
+    EXPECT_EQ(answers[0], "T = f(1,[1,1])");
+    EXPECT_EQ(answers[1], "T = f(2,[2,2])");
+    EXPECT_EQ(answers[2], "T = f(3,[3,3])");
+}
+
+TEST(Gc, TrailTargetsSurvive)
+{
+    // A variable bound inside the first solution must unbind correctly
+    // after a GC ran before the backtrack.
+    const char *program =
+        "p(a). p(b).\n"
+        "q(X, g(X)) :- p(X).\n";
+    KcmOptions options;
+    KcmSystem system(options);
+    system.consult(program);
+    CodeImage image = system.compileOnly("q(X, S)");
+    Machine machine(options.machine);
+    machine.load(image);
+
+    ASSERT_EQ(machine.run(), RunStatus::SolutionFound);
+    EXPECT_EQ(machine.lastSolution().toString(), "X = a, S = g(a)");
+    machine.collectGarbage();
+    ASSERT_EQ(machine.nextSolution(), RunStatus::SolutionFound);
+    EXPECT_EQ(machine.lastSolution().toString(), "X = b, S = g(b)");
+}
+
+TEST(Gc, HeapShrinksAfterCollection)
+{
+    KcmOptions options;
+    KcmSystem system(options);
+    system.consult(nrevProgram);
+    CodeImage image = system.compileOnly("list20(L), nrev(L, _)");
+    Machine machine(options.machine);
+    machine.load(image);
+    machine.run();
+
+    Addr before = machine.heapWords();
+    uint64_t freed = machine.collectGarbage();
+    Addr after = machine.heapWords();
+    EXPECT_EQ(before - after, freed);
+    EXPECT_GT(freed, 0u);
+}
+
+TEST(Gc, CollectionOnEmptyHeapIsSafe)
+{
+    KcmOptions options;
+    KcmSystem system(options);
+    system.consult("p(a).");
+    CodeImage image = system.compileOnly("p(a)");
+    Machine machine(options.machine);
+    machine.load(image);
+    EXPECT_EQ(machine.collectGarbage(), 0u);
+    EXPECT_EQ(machine.run(), RunStatus::SolutionFound);
+}
+
+TEST(Gc, ChargesSimulatedCycles)
+{
+    KcmOptions options;
+    KcmSystem system(options);
+    system.consult(nrevProgram);
+    CodeImage image = system.compileOnly("list20(L), nrev(L, _)");
+    Machine machine(options.machine);
+    machine.load(image);
+    machine.run();
+    uint64_t before = machine.cycles();
+    machine.collectGarbage();
+    EXPECT_GT(machine.cycles(), before);
+}
+
+TEST(Gc, IdempotentWhenNothingDies)
+{
+    // Immediately repeated collections reclaim nothing the second
+    // time and preserve the reachable term.
+    KcmOptions options;
+    KcmSystem system(options);
+    system.consult("mk(f([1,2,3], g(x))).");
+    CodeImage image = system.compileOnly("mk(T)");
+    Machine machine(options.machine);
+    machine.load(image);
+    ASSERT_EQ(machine.run(), RunStatus::SolutionFound);
+    machine.collectGarbage();
+    uint64_t second = machine.collectGarbage();
+    EXPECT_EQ(second, 0u);
+}
+
+TEST(Gc, SuiteKernelsAgreeUnderGcPressure)
+{
+    struct Kernel
+    {
+        const char *program;
+        const char *goal;
+    };
+    const Kernel kernels[] = {
+        {nrevProgram, "list20(L), nrev(L, R)"},
+        {"qsort([X|L], R, R0) :- partition(L, X, L1, L2),\n"
+         "    qsort(L2, R1, R0), qsort(L1, R, [X|R1]).\n"
+         "qsort([], R, R).\n"
+         "partition([X|L], Y, [X|L1], L2) :- X =< Y, !, "
+         "partition(L, Y, L1, L2).\n"
+         "partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).\n"
+         "partition([], _, [], []).\n",
+         "qsort([9,3,7,1,8,2,6,4,5], R, [])"},
+    };
+    for (const auto &kernel : kernels) {
+        auto pressured = runWithGc(kernel.program, kernel.goal, 64);
+        auto plain = runWithGc(kernel.program, kernel.goal, 0);
+        ASSERT_EQ(pressured.success, plain.success) << kernel.goal;
+        EXPECT_EQ(pressured.solutions[0].toString(),
+                  plain.solutions[0].toString())
+            << kernel.goal;
+    }
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Code-image save/load tests: the compile-on-host / download-to-KCM
+ * round trip, including atom re-interning across "processes".
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "compiler/image_io.hh"
+#include "core/machine.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+CodeImage
+compile(const std::string &program, const std::string &query)
+{
+    KcmSystem system;
+    system.consult(program);
+    return system.compileOnly(query);
+}
+
+std::string
+runImage(const CodeImage &image)
+{
+    Machine machine;
+    machine.load(image);
+    if (machine.run() != RunStatus::SolutionFound)
+        return "<failed>";
+    return machine.lastSolution().toString();
+}
+
+} // namespace
+
+TEST(ImageIo, RoundTripPreservesExecution)
+{
+    CodeImage original = compile(
+        "likes(mary, wine). likes(john, beer).", "likes(mary, X)");
+    std::string direct = runImage(original);
+
+    std::stringstream buffer;
+    saveImage(original, buffer);
+    CodeImage loaded = loadImage(buffer);
+
+    EXPECT_EQ(runImage(loaded), direct);
+    EXPECT_EQ(loaded.words.size(), original.words.size());
+    EXPECT_EQ(loaded.queryEntry, original.queryEntry);
+    EXPECT_EQ(loaded.predicates.size(), original.predicates.size());
+}
+
+TEST(ImageIo, AtomsSurviveRemapping)
+{
+    // Atoms with spaces and operator characters must survive the
+    // sized-string encoding.
+    CodeImage original = compile(
+        "says('hello world', '+-*').", "says(A, B)");
+    std::stringstream buffer;
+    saveImage(original, buffer);
+    CodeImage loaded = loadImage(buffer);
+    EXPECT_EQ(runImage(loaded), "A = hello world, B = +-*");
+}
+
+TEST(ImageIo, StructuresAndSwitchTablesSurvive)
+{
+    const char *program =
+        "d(a+b, plus). d(a*b, times). d(a-b, minus).\n"
+        "k(one, 1). k(two, 2). k(three, 3).\n";
+    CodeImage original =
+        compile(program, "d(a*b, W), k(two, N)");
+    std::stringstream buffer;
+    saveImage(original, buffer);
+    CodeImage loaded = loadImage(buffer);
+    EXPECT_EQ(runImage(loaded), "W = times, N = 2");
+}
+
+TEST(ImageIo, SolutionSlotsPreserved)
+{
+    CodeImage original = compile("p(1, 2).", "p(First, Second)");
+    std::stringstream buffer;
+    saveImage(original, buffer);
+    CodeImage loaded = loadImage(buffer);
+    ASSERT_EQ(loaded.querySolutionSlots.size(), 2u);
+    EXPECT_EQ(loaded.querySolutionSlots[0].first, "First");
+    EXPECT_EQ(loaded.querySolutionSlots[1].first, "Second");
+}
+
+TEST(ImageIo, FileRoundTrip)
+{
+    CodeImage original = compile("p(42).", "p(X)");
+    const char *path = "/tmp/kcm_test_image.kcm";
+    saveImageFile(original, path);
+    CodeImage loaded = loadImageFile(path);
+    EXPECT_EQ(runImage(loaded), "X = 42");
+}
+
+TEST(ImageIo, RejectsGarbage)
+{
+    std::stringstream buffer("not an image at all");
+    EXPECT_THROW(loadImage(buffer), FatalError);
+}
+
+TEST(ImageIo, RejectsTruncated)
+{
+    CodeImage original = compile("p(1).", "p(X)");
+    std::stringstream buffer;
+    saveImage(original, buffer);
+    std::string text = buffer.str();
+    std::stringstream truncated(text.substr(0, text.size() / 2));
+    EXPECT_THROW(loadImage(truncated), FatalError);
+}
+
+TEST(ImageIo, BenchProgramsRoundTrip)
+{
+    // A structure-heavy benchmark survives the round trip bit-exact in
+    // behaviour (cycle counts included).
+    const char *program =
+        "nrev([], []).\n"
+        "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+        "app([], L, L).\n"
+        "app([H|T], L, [H|R]) :- app(T, L, R).\n";
+    CodeImage original = compile(program, "nrev([a,b,c,d,e], R)");
+
+    Machine machine1;
+    machine1.load(original);
+    machine1.run();
+
+    std::stringstream buffer;
+    saveImage(original, buffer);
+    CodeImage loaded = loadImage(buffer);
+    Machine machine2;
+    machine2.load(loaded);
+    machine2.run();
+
+    EXPECT_EQ(machine1.lastSolution().toString(),
+              machine2.lastSolution().toString());
+    EXPECT_EQ(machine1.cycles(), machine2.cycles());
+    EXPECT_EQ(machine1.instructions(), machine2.instructions());
+}

@@ -1,0 +1,444 @@
+/**
+ * @file
+ * End-to-end machine tests: compile small programs and run queries on
+ * the simulated KCM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+QueryResult
+runQuery(const std::string &program, const std::string &goal,
+         size_t max_solutions = 1)
+{
+    KcmOptions options;
+    options.maxSolutions = max_solutions;
+    KcmSystem system(options);
+    if (!program.empty())
+        system.consult(program);
+    return system.query(goal);
+}
+
+std::string
+firstBinding(const QueryResult &result)
+{
+    if (result.solutions.empty())
+        return "<no solution>";
+    return result.solutions[0].toString();
+}
+
+} // namespace
+
+TEST(MachineBasic, FactSucceeds)
+{
+    auto result = runQuery("likes(mary, wine).", "likes(mary, wine)");
+    EXPECT_TRUE(result.success);
+}
+
+TEST(MachineBasic, FactFails)
+{
+    auto result = runQuery("likes(mary, wine).", "likes(mary, beer)");
+    EXPECT_FALSE(result.success);
+}
+
+TEST(MachineBasic, FactBindsVariable)
+{
+    auto result = runQuery("likes(mary, wine).", "likes(mary, X)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = wine");
+}
+
+TEST(MachineBasic, ConstantsOfAllKinds)
+{
+    auto result = runQuery("holds(atom_k, 42, 2.5, []).",
+                           "holds(A, B, C, D)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "A = atom_k, B = 42, C = 2.5, D = []");
+}
+
+TEST(MachineBasic, StructureInHead)
+{
+    auto result = runQuery("age(point(3,4), 7).", "age(point(X,Y), Z)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = 3, Y = 4, Z = 7");
+}
+
+TEST(MachineBasic, BuildStructureInQuery)
+{
+    auto result = runQuery("same(X, X).", "same(f(g(1),h), R)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "R = f(g(1),h)");
+}
+
+TEST(MachineBasic, NestedStructureUnification)
+{
+    auto result = runQuery("deep(f(g(h(k(42))))).", "deep(f(g(h(k(X)))))");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = 42");
+}
+
+TEST(MachineBasic, ListUnification)
+{
+    auto result = runQuery("head_tail([H|T], H, T).",
+                           "head_tail([1,2,3], H, T)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "H = 1, T = [2,3]");
+}
+
+TEST(MachineBasic, AppendForward)
+{
+    const char *program =
+        "append([], L, L).\n"
+        "append([H|T], L, [H|R]) :- append(T, L, R).\n";
+    auto result = runQuery(program, "append([1,2], [3,4], X)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = [1,2,3,4]");
+}
+
+TEST(MachineBasic, AppendBackwardEnumerates)
+{
+    const char *program =
+        "append([], L, L).\n"
+        "append([H|T], L, [H|R]) :- append(T, L, R).\n";
+    auto result = runQuery(program, "append(X, Y, [1,2])", 10);
+    ASSERT_EQ(result.solutions.size(), 3u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = [], Y = [1,2]");
+    EXPECT_EQ(result.solutions[1].toString(), "X = [1], Y = [2]");
+    EXPECT_EQ(result.solutions[2].toString(), "X = [1,2], Y = []");
+}
+
+TEST(MachineBasic, BacktrackingThroughFacts)
+{
+    const char *program = "color(red). color(green). color(blue).";
+    auto result = runQuery(program, "color(C)", 10);
+    ASSERT_EQ(result.solutions.size(), 3u);
+    EXPECT_EQ(result.solutions[0].toString(), "C = red");
+    EXPECT_EQ(result.solutions[2].toString(), "C = blue");
+}
+
+TEST(MachineBasic, SharedVariablesInQuery)
+{
+    auto result = runQuery("eq(X, X).", "eq(f(A, b), f(c, B))");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "A = c, B = b");
+}
+
+TEST(MachineBasic, OccursFreeCircularAvoided)
+{
+    // p(X, f(X)) with X = f(X) would loop in occurs-check-free
+    // unification if exported naively; we just check a ground case.
+    auto result = runQuery("p(a).", "p(a)");
+    EXPECT_TRUE(result.success);
+}
+
+TEST(MachineBasic, ConjunctionInBody)
+{
+    const char *program =
+        "parent(tom, bob). parent(bob, ann).\n"
+        "grandparent(X, Z) :- parent(X, Y), parent(Y, Z).\n";
+    auto result = runQuery(program, "grandparent(tom, Who)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "Who = ann");
+}
+
+TEST(MachineBasic, DeepBacktrackingAcrossGoals)
+{
+    const char *program =
+        "p(1). p(2). p(3).\n"
+        "q(2). q(3).\n"
+        "r(3).\n"
+        "find(X) :- p(X), q(X), r(X).\n";
+    auto result = runQuery(program, "find(X)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = 3");
+}
+
+TEST(MachineBasic, CutCommitsToFirstSolution)
+{
+    const char *program =
+        "p(1). p(2).\n"
+        "first(X) :- p(X), !.\n";
+    auto result = runQuery(program, "first(X)", 10);
+    ASSERT_EQ(result.solutions.size(), 1u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = 1");
+}
+
+TEST(MachineBasic, NeckCutSelectsClause)
+{
+    const char *program =
+        "max(X, Y, X) :- X >= Y, !.\n"
+        "max(_, Y, Y).\n";
+    auto r1 = runQuery(program, "max(3, 2, M)", 10);
+    ASSERT_EQ(r1.solutions.size(), 1u);
+    EXPECT_EQ(r1.solutions[0].toString(), "M = 3");
+    auto r2 = runQuery(program, "max(2, 5, M)", 10);
+    ASSERT_EQ(r2.solutions.size(), 1u);
+    EXPECT_EQ(r2.solutions[0].toString(), "M = 5");
+}
+
+TEST(MachineBasic, FailForcesBacktracking)
+{
+    const char *program =
+        "p(1). p(2).\n"
+        "test(X) :- p(X), X > 1.\n";
+    auto result = runQuery(program, "test(X)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = 2");
+}
+
+TEST(MachineBasic, IntegerArithmetic)
+{
+    auto result = runQuery("", "X is 3 + 4 * 5");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = 23");
+}
+
+TEST(MachineBasic, ArithmeticOnBoundVars)
+{
+    const char *program = "double(X, Y) :- Y is X * 2.";
+    auto result = runQuery(program, "double(21, R)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "R = 42");
+}
+
+TEST(MachineBasic, DivisionAndMod)
+{
+    auto result = runQuery("", "X is 17 // 5, Y is 17 mod 5");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = 3, Y = 2");
+}
+
+TEST(MachineBasic, NegativeNumbers)
+{
+    auto result = runQuery("", "X is -3 + 1");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = -2");
+}
+
+TEST(MachineBasic, Comparisons)
+{
+    EXPECT_TRUE(runQuery("", "1 < 2").success);
+    EXPECT_FALSE(runQuery("", "2 < 1").success);
+    EXPECT_TRUE(runQuery("", "2 >= 2").success);
+    EXPECT_TRUE(runQuery("", "3 =:= 3").success);
+    EXPECT_TRUE(runQuery("", "3 =\\= 4").success);
+    EXPECT_FALSE(runQuery("", "3 =\\= 3").success);
+}
+
+TEST(MachineBasic, ExplicitUnifyGoal)
+{
+    auto result = runQuery("", "X = f(Y), Y = 3");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = f(3), Y = 3");
+}
+
+TEST(MachineBasic, TrueAndFail)
+{
+    EXPECT_TRUE(runQuery("", "true").success);
+    EXPECT_FALSE(runQuery("", "fail").success);
+}
+
+TEST(MachineBasic, RecursionWithAccumulator)
+{
+    const char *program =
+        "len([], N, N).\n"
+        "len([_|T], Acc, N) :- Acc1 is Acc + 1, len(T, Acc1, N).\n";
+    auto result = runQuery(program, "len([a,b,c,d,e], 0, N)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "N = 5");
+}
+
+TEST(MachineBasic, NaiveReverse)
+{
+    const char *program =
+        "app([], L, L).\n"
+        "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+        "nrev([], []).\n"
+        "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n";
+    auto result = runQuery(program, "nrev([1,2,3,4,5], R)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "R = [5,4,3,2,1]");
+}
+
+TEST(MachineBasic, DisjunctionInBody)
+{
+    const char *program = "p(X) :- (X = a ; X = b).";
+    auto result = runQuery(program, "p(X)", 10);
+    ASSERT_EQ(result.solutions.size(), 2u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = a");
+    EXPECT_EQ(result.solutions[1].toString(), "X = b");
+}
+
+TEST(MachineBasic, IfThenElse)
+{
+    const char *program =
+        "sign(X, pos) :- (X > 0 -> true ; fail).\n"
+        "classify(X, S) :- (X > 0 -> S = pos ; S = nonpos).\n";
+    EXPECT_TRUE(runQuery(program, "sign(5, pos)").success);
+    auto result = runQuery(program, "classify(-3, S)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "S = nonpos");
+}
+
+TEST(MachineBasic, NegationAsFailure)
+{
+    const char *program = "p(1).";
+    EXPECT_TRUE(runQuery(program, "\\+ p(2)").success);
+    EXPECT_FALSE(runQuery(program, "\\+ p(1)").success);
+}
+
+TEST(MachineBasic, OutputCapture)
+{
+    auto result = runQuery("", "write(hello), nl, write([1,2,3])");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.output, "hello\n[1,2,3]");
+}
+
+TEST(MachineBasic, InferenceCounting)
+{
+    // append on a 2-element list: 3 append inferences.
+    const char *program =
+        "append([], L, L).\n"
+        "append([H|T], L, [H|R]) :- append(T, L, R).\n";
+    auto result = runQuery(program, "append([1,2], [3], X)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.inferences, 3u);
+}
+
+TEST(MachineBasic, CyclesAdvance)
+{
+    auto result = runQuery("p(a).", "p(a)");
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.instructions, 0u);
+    EXPECT_NEAR(result.seconds, double(result.cycles) * 80e-9, 1e-12);
+}
+
+TEST(MachineBasic, UndefinedPredicateFails)
+{
+    auto result = runQuery("p(a).", "q(a)");
+    EXPECT_FALSE(result.success);
+}
+
+TEST(MachineBasic, LastCallOptimizationDeepRecursion)
+{
+    // 20000-deep deterministic recursion must not exhaust the local
+    // stack thanks to LCO.
+    const char *program =
+        "count(N) :- N > 0, M is N - 1, count(M).\n"
+        "count(0).\n";
+    auto result = runQuery(program, "count(20000)");
+    EXPECT_TRUE(result.success);
+}
+
+TEST(MachineBasic, VarAndNonvar)
+{
+    EXPECT_TRUE(runQuery("", "var(_)").success);
+    EXPECT_FALSE(runQuery("", "X = 1, var(X)").success);
+    EXPECT_TRUE(runQuery("", "X = 1, nonvar(X)").success);
+}
+
+TEST(MachineBasic, StructuralEquality)
+{
+    EXPECT_TRUE(runQuery("", "f(1,X) == f(1,X)").success);
+    EXPECT_FALSE(runQuery("", "f(1,X) == f(1,Y)").success);
+    EXPECT_TRUE(runQuery("", "f(1,X) \\== f(1,Y)").success);
+}
+
+TEST(MachineBasic, FunctorBuiltin)
+{
+    auto result = runQuery("", "functor(f(a,b,c), N, A)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "N = f, A = 3");
+    auto result2 = runQuery("", "functor(T, g, 2)");
+    ASSERT_TRUE(result2.success);
+    EXPECT_EQ(result2.solutions[0].bindings[0].first, "T");
+}
+
+TEST(MachineBasic, ArgBuiltin)
+{
+    auto result = runQuery("", "arg(2, f(a,b,c), X)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "X = b");
+}
+
+TEST(MachineBasic, UnivBuiltin)
+{
+    auto result = runQuery("", "f(a,b) =.. L");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "L = [f,a,b]");
+    auto result2 = runQuery("", "T =.. [g, 1, 2]");
+    ASSERT_TRUE(result2.success);
+    EXPECT_EQ(firstBinding(result2), "T = g(1,2)");
+}
+
+TEST(MachineBasic, CallMetaBuiltin)
+{
+    const char *program = "p(42).";
+    auto result = runQuery(program, "G = p(X), call(G)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(firstBinding(result), "G = p(42), X = 42");
+}
+
+TEST(MachineBasic, GenericArithmeticMode)
+{
+    KcmOptions options;
+    options.compiler.integerArithmetic = false;
+    KcmSystem system(options);
+    system.consult("double(X, Y) :- Y is X * 2.");
+    auto result = system.query("double(4, R)");
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.solutions[0].toString(), "R = 8");
+}
+
+TEST(MachineBasic, StandardWamModeMatchesResults)
+{
+    // With shallow backtracking disabled the machine must compute the
+    // same answers (only timing/stats differ).
+    KcmOptions options;
+    options.machine.shallowBacktracking = false;
+    options.maxSolutions = 10;
+    KcmSystem system(options);
+    system.consult("p(1). p(2). p(3).");
+    auto result = system.query("p(X), X > 1");
+    ASSERT_EQ(result.solutions.size(), 2u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = 2");
+    EXPECT_EQ(result.solutions[1].toString(), "X = 3");
+}
+
+TEST(MachineBasic, ShallowAvoidsChoicePoints)
+{
+    // Deterministic selection by guard: with shallow backtracking the
+    // machine should create far fewer choice points than standard WAM.
+    const char *program =
+        "part([], _, [], []).\n"
+        "part([X|L], Y, [X|L1], L2) :- X =< Y, part(L, Y, L1, L2).\n"
+        "part([X|L], Y, L1, [X|L2]) :- X > Y, part(L, Y, L1, L2).\n";
+    const char *goal = "part([3,1,4,1,5,9,2,6], 4, A, B)";
+
+    KcmOptions shallow_options;
+    KcmSystem shallow_system(shallow_options);
+    shallow_system.consult(program);
+    auto shallow_result = shallow_system.query(goal);
+    ASSERT_TRUE(shallow_result.success);
+    uint64_t shallow_cps =
+        shallow_system.machine().choicePointsCreated.value();
+
+    KcmOptions wam_options;
+    wam_options.machine.shallowBacktracking = false;
+    KcmSystem wam_system(wam_options);
+    wam_system.consult(program);
+    auto wam_result = wam_system.query(goal);
+    ASSERT_TRUE(wam_result.success);
+    uint64_t wam_cps = wam_system.machine().choicePointsCreated.value();
+
+    EXPECT_EQ(shallow_result.solutions[0].toString(),
+              wam_result.solutions[0].toString());
+    EXPECT_LT(shallow_cps, wam_cps);
+}

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Machine-level tests with hand-assembled code: the basic data
+ * manipulation instructions of §3.1.1/§3.1.2 (move2, load/store with
+ * pre/post address calculation, TVM swap), runtime zone traps, the
+ * trace ring, and cycle-accounting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "compiler/assembler.hh"
+#include "core/machine.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/**
+ * Assemble a raw instruction sequence into an image whose query entry
+ * is the first instruction. The program must end with Halt.
+ */
+CodeImage
+assembleRaw(const std::vector<Instr> &instructions)
+{
+    Assembler assembler;
+    CodeImage image;
+    image.haltFailEntry =
+        assembler.emit(Instr::makeValue(Opcode::Halt, 1));
+    image.failEntry = assembler.emit(Instr::make(Opcode::FailOp));
+    Addr entry = assembler.here();
+    for (const Instr &instr : instructions)
+        assembler.emit(instr);
+    assembler.finalize(image);
+    image.queryEntry = entry;
+    return image;
+}
+
+} // namespace
+
+TEST(MachineLevel, Move2MovesTwoRegistersInOneInstruction)
+{
+    // x2 := x0 and x3 := x1, then halt.
+    CodeImage image = assembleRaw({
+        Instr::makeConstant(Opcode::LoadImm, Word::makeInt(11), 0),
+        Instr::makeConstant(Opcode::LoadImm, Word::makeInt(22), 1),
+        Instr::makeRegs(Opcode::Move2, 0, 1, 2, 3),
+        Instr::makeRegs(Opcode::NativeAdd, 2, 3, 4),
+        Instr::makeRegs(Opcode::CmpEq, 4, 4), // no-op check
+        Instr::makeValue(Opcode::Halt, 0),
+    });
+    Machine machine;
+    machine.load(image);
+    EXPECT_EQ(machine.run(), RunStatus::Halted);
+}
+
+TEST(MachineLevel, LoadStoreWithOffset)
+{
+    // Store an int at global+5 through a data pointer, load it back,
+    // compare.
+    DataLayout layout; // defaults
+    Word base_ptr = Word::makeDataPtr(Zone::Global, layout.globalStart);
+    CodeImage image = assembleRaw({
+        Instr::makeConstant(Opcode::LoadImm, base_ptr, 0),
+        Instr::makeConstant(Opcode::LoadImm, Word::makeInt(77), 3),
+        // mem[x0 + 5] := x3; x1 := x0 + 5
+        Instr::makeRegs(Opcode::Store, 0, 1, 3, 0, 5),
+        // x4 := mem[x0 + 5]; x2 := x0 + 5
+        Instr::makeRegs(Opcode::Load, 0, 2, 4, 0, 5),
+        // fail unless x3 == x4
+        Instr::makeRegs(Opcode::CmpEq, 3, 4),
+        Instr::makeValue(Opcode::Halt, 0),
+    });
+    Machine machine;
+    machine.load(image);
+    EXPECT_EQ(machine.run(), RunStatus::Halted);
+}
+
+TEST(MachineLevel, SwapTvExchangesTagAndValue)
+{
+    CodeImage image = assembleRaw({
+        Instr::makeConstant(Opcode::LoadImm, Word::makeInt(5), 0),
+        Instr::makeRegs(Opcode::SwapTV, 0, 0, 1),
+        Instr::makeRegs(Opcode::SwapTV, 1, 0, 2),
+        // double swap restores the original word
+        Instr::makeRegs(Opcode::CmpEq, 0, 2),
+        Instr::makeValue(Opcode::Halt, 0),
+    });
+    Machine machine;
+    machine.load(image);
+    EXPECT_EQ(machine.run(), RunStatus::Halted);
+}
+
+TEST(MachineLevel, FloatUsedAsAddressTrapsAtRuntime)
+{
+    // §3.2.3: "prevent the programmer from using e.g. the result of a
+    // floating point operation to address a memory cell".
+    DataLayout layout;
+    Word bogus = Word::make(Tag::Float, Zone::Global,
+                            layout.globalStart + 4);
+    CodeImage image = assembleRaw({
+        Instr::makeConstant(Opcode::LoadImm, bogus, 0),
+        Instr::makeRegs(Opcode::Load, 0, 1, 2, 0, 0),
+        Instr::makeValue(Opcode::Halt, 0),
+    });
+    Machine machine;
+    machine.load(image);
+    EXPECT_THROW(machine.run(), MachineTrap);
+}
+
+TEST(MachineLevel, OutOfZoneAddressTraps)
+{
+    DataLayout layout;
+    // A data pointer into unmapped virtual space (no zone covers it).
+    Word bogus = Word::makeDataPtr(Zone::Global, layout.trailEnd + 0x1000);
+    CodeImage image = assembleRaw({
+        Instr::makeConstant(Opcode::LoadImm, bogus, 0),
+        Instr::makeRegs(Opcode::Load, 0, 1, 2, 0, 0),
+        Instr::makeValue(Opcode::Halt, 0),
+    });
+    Machine machine;
+    machine.load(image);
+    EXPECT_THROW(machine.run(), MachineTrap);
+}
+
+TEST(MachineLevel, ZoneCheckDisabledAllowsTheSameAccess)
+{
+    DataLayout layout;
+    Word odd = Word::make(Tag::Float, Zone::Global,
+                          layout.globalStart + 4);
+    CodeImage image = assembleRaw({
+        Instr::makeConstant(Opcode::LoadImm, odd, 0),
+        Instr::makeRegs(Opcode::Load, 0, 1, 2, 0, 0),
+        Instr::makeValue(Opcode::Halt, 0),
+    });
+    MachineConfig config;
+    config.mem.zoneCheckEnabled = false;
+    Machine machine(config);
+    machine.load(image);
+    EXPECT_EQ(machine.run(), RunStatus::Halted);
+}
+
+TEST(MachineLevel, BadOpcodeTraps)
+{
+    CodeImage image = assembleRaw({
+        Instr(uint64_t(0xFE) << 56), // not a valid opcode
+    });
+    Machine machine;
+    machine.load(image);
+    EXPECT_THROW(machine.run(), std::exception);
+}
+
+TEST(MachineLevel, CycleLimitStopsRunaway)
+{
+    // An infinite loop: jump to self.
+    Assembler assembler;
+    CodeImage image;
+    image.haltFailEntry = assembler.emit(Instr::makeValue(Opcode::Halt, 1));
+    Addr entry = assembler.here();
+    assembler.emit(Instr::makeValue(Opcode::Jump, entry));
+    assembler.finalize(image);
+    image.queryEntry = entry;
+
+    MachineConfig config;
+    config.maxCycles = 1000;
+    Machine machine(config);
+    machine.load(image);
+    EXPECT_EQ(machine.run(), RunStatus::CycleLimit);
+    EXPECT_GE(machine.cycles(), 1000u);
+}
+
+TEST(MachineLevel, TraceRingRecordsRecentInstructions)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    system.query("p(a)");
+    std::string trace = system.machine().recentTrace();
+    // The run pauses at the collect-solution escape; the trace holds
+    // the query's instructions.
+    EXPECT_NE(trace.find("escape"), std::string::npos);
+    EXPECT_NE(trace.find("call"), std::string::npos);
+}
+
+TEST(MachineLevel, StateStringNamesAllRegisters)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    system.query("p(a)");
+    std::string state = system.machine().stateString();
+    for (const char *reg : {"P=", "E=", "B=", "H=", "TR=", "LT="})
+        EXPECT_NE(state.find(reg), std::string::npos) << reg;
+}
+
+TEST(MachineLevel, InstructionAndCycleCountsConsistent)
+{
+    KcmSystem system;
+    system.consult("p(a).");
+    auto result = system.query("p(a)");
+    // Every instruction costs at least one cycle.
+    EXPECT_GE(result.cycles, result.instructions);
+    // And the simulated machine executed something nontrivial.
+    EXPECT_GE(result.instructions, 5u);
+}
+
+TEST(MachineLevel, MemoryTimingCanBeDisabled)
+{
+    const char *program =
+        "walk([]).\n"
+        "walk([_|T]) :- walk(T).\n"
+        "l([1,2,3,4,5,6,7,8,9,10]).\n";
+    KcmOptions timed;
+    KcmSystem timed_system(timed);
+    timed_system.consult(program);
+    auto with_memory = timed_system.query("l(L), walk(L)");
+
+    KcmOptions ideal;
+    ideal.machine.timeMemory = false;
+    KcmSystem ideal_system(ideal);
+    ideal_system.consult(program);
+    auto without_memory = ideal_system.query("l(L), walk(L)");
+
+    EXPECT_LT(without_memory.cycles, with_memory.cycles)
+        << "cold-cache penalties must show up only when timed";
+}
+
+TEST(MachineLevel, ProfilerCountsMatchMachine)
+{
+    KcmOptions options;
+    options.machine.profile = true;
+    KcmSystem system(options);
+    system.consult(
+        "count(0).\ncount(N) :- N > 0, M is N - 1, count(M).\n");
+    auto result = system.query("count(50)");
+    ASSERT_TRUE(result.success);
+    const Profiler &profiler = system.machine().profiler();
+    EXPECT_EQ(profiler.totalInstructions(),
+              system.machine().instructions());
+    // count/1 was invoked 51 times.
+    auto predicates = profiler.predicateProfile();
+    ASSERT_FALSE(predicates.empty());
+    EXPECT_EQ(predicates[0].first, "count/1");
+    EXPECT_EQ(predicates[0].second, 51u);
+}

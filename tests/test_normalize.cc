@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Clause-normalization and operator-table unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "compiler/normalize.hh"
+#include "kcm/kcm.hh"
+#include "prolog/writer.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+NormProgram
+normalize(const std::string &source)
+{
+    NormProgram program;
+    normalizeProgram(parseProgramText(source), program);
+    return program;
+}
+
+} // namespace
+
+TEST(Normalize, FactsHaveNoGoals)
+{
+    NormProgram program = normalize("p(a). p(b).");
+    Functor p{internAtom("p"), 1};
+    ASSERT_EQ(program.preds.at(p).size(), 2u);
+    EXPECT_TRUE(program.preds.at(p)[0].goals.empty());
+}
+
+TEST(Normalize, ConjunctionFlattens)
+{
+    NormProgram program = normalize("p :- a, b, c, d.");
+    Functor p{internAtom("p"), 0};
+    EXPECT_EQ(program.preds.at(p)[0].goals.size(), 4u);
+}
+
+TEST(Normalize, PredicatesKeepDefinitionOrder)
+{
+    NormProgram program = normalize("z(1). a(2). m(3). a(4).");
+    ASSERT_EQ(program.order.size(), 3u);
+    EXPECT_EQ(atomText(program.order[0].name), "z");
+    EXPECT_EQ(atomText(program.order[1].name), "a");
+    EXPECT_EQ(atomText(program.order[2].name), "m");
+    // The second a/1 clause joined the first.
+    EXPECT_EQ(program.preds.at(program.order[1]).size(), 2u);
+}
+
+TEST(Normalize, DisjunctionBecomesAuxiliary)
+{
+    NormProgram program = normalize("p(X) :- (X = 1 ; X = 2).");
+    ASSERT_EQ(program.auxiliaries.size(), 1u);
+    const auto &aux_clauses = program.preds.at(program.auxiliaries[0]);
+    ASSERT_EQ(aux_clauses.size(), 2u);
+    // The auxiliary receives the shared variable.
+    EXPECT_EQ(program.auxiliaries[0].arity, 1u);
+}
+
+TEST(Normalize, IfThenElseBecomesTwoClausesWithCut)
+{
+    NormProgram program = normalize("p(X, R) :- (X > 0 -> R = p ; R = n).");
+    ASSERT_EQ(program.auxiliaries.size(), 1u);
+    const auto &clauses = program.preds.at(program.auxiliaries[0]);
+    ASSERT_EQ(clauses.size(), 2u);
+    // First clause: condition, !, then.
+    ASSERT_EQ(clauses[0].goals.size(), 3u);
+    EXPECT_EQ(writeTerm(clauses[0].goals[1]), "!");
+}
+
+TEST(Normalize, NegationBecomesCutFail)
+{
+    NormProgram program = normalize("p :- \\+ q.\nq.\n");
+    ASSERT_EQ(program.auxiliaries.size(), 1u);
+    const auto &clauses = program.preds.at(program.auxiliaries[0]);
+    ASSERT_EQ(clauses.size(), 2u);
+    ASSERT_EQ(clauses[0].goals.size(), 3u);
+    EXPECT_EQ(writeTerm(clauses[0].goals[0]), "q");
+    EXPECT_EQ(writeTerm(clauses[0].goals[1]), "!");
+    EXPECT_EQ(writeTerm(clauses[0].goals[2]), "fail");
+    EXPECT_EQ(writeTerm(clauses[1].goals[0]), "true");
+}
+
+TEST(Normalize, NestedControlStructures)
+{
+    NormProgram program =
+        normalize("p(X) :- (q(X) ; (r(X) ; s(X))).\nq(_). r(_). s(_).\n");
+    // The inner disjunction spawns its own auxiliary.
+    EXPECT_EQ(program.auxiliaries.size(), 2u);
+}
+
+TEST(Normalize, VariableGoalBecomesCall)
+{
+    NormProgram program = normalize("p(G) :- G.");
+    Functor p{internAtom("p"), 1};
+    const auto &goals = program.preds.at(p)[0].goals;
+    ASSERT_EQ(goals.size(), 1u);
+    EXPECT_EQ(atomText(goals[0]->functorName()), "call");
+}
+
+TEST(Normalize, NonCallableGoalIsFatal)
+{
+    EXPECT_THROW(normalize("p :- 42."), FatalError);
+}
+
+TEST(Normalize, NonCallableHeadIsFatal)
+{
+    EXPECT_THROW(normalize("42."), FatalError);
+}
+
+TEST(Normalize, DirectivesAreSkipped)
+{
+    setLoggingEnabled(false);
+    NormProgram program = normalize(":- some_directive.\np(a).\n");
+    setLoggingEnabled(true);
+    EXPECT_EQ(program.order.size(), 1u);
+}
+
+TEST(Operators, StandardTablePreloaded)
+{
+    OperatorTable ops;
+    auto neck = ops.infix(internAtom(":-"));
+    ASSERT_TRUE(neck.has_value());
+    EXPECT_EQ(neck->priority, 1200);
+    EXPECT_EQ(neck->type, OpType::XFX);
+
+    auto plus = ops.infix(internAtom("+"));
+    EXPECT_EQ(plus->priority, 500);
+    EXPECT_EQ(plus->type, OpType::YFX);
+
+    auto neg = ops.prefix(internAtom("-"));
+    EXPECT_EQ(neg->priority, 200);
+    EXPECT_EQ(neg->type, OpType::FY);
+}
+
+TEST(Operators, DefineAndRemove)
+{
+    OperatorTable ops;
+    AtomId like = internAtom("likes");
+    EXPECT_FALSE(ops.infix(like).has_value());
+    ops.define(700, OpType::XFX, like);
+    EXPECT_TRUE(ops.infix(like).has_value());
+    ops.define(0, OpType::XFX, like); // priority 0 removes
+    EXPECT_FALSE(ops.infix(like).has_value());
+}
+
+TEST(Operators, PrefixAndInfixCoexist)
+{
+    OperatorTable ops;
+    AtomId minus = internAtom("-");
+    EXPECT_TRUE(ops.prefix(minus).has_value());
+    EXPECT_TRUE(ops.infix(minus).has_value());
+    EXPECT_TRUE(ops.isOperator(minus));
+}
+
+TEST(Operators, ParseTypeNames)
+{
+    EXPECT_EQ(*OperatorTable::parseType("xfx"), OpType::XFX);
+    EXPECT_EQ(*OperatorTable::parseType("yfx"), OpType::YFX);
+    EXPECT_EQ(*OperatorTable::parseType("fy"), OpType::FY);
+    EXPECT_FALSE(OperatorTable::parseType("zfz").has_value());
+}
+
+TEST(Prefetch, SequentialRateHighOnStraightLineCode)
+{
+    KcmOptions options;
+    KcmSystem system(options);
+    system.consult("fact(a1, b). fact2(c, d).");
+    system.query("fact(a1, B), fact2(C, d)");
+    const PrefetchUnit &prefetch = system.machine().prefetch();
+    EXPECT_GT(prefetch.sequentialFetches.value(), 0u);
+    EXPECT_GT(prefetch.pipelineBreaks.value(), 0u); // the calls
+}
+
+TEST(Prefetch, BranchyCodeBreaksMore)
+{
+    auto rate = [](const char *program, const char *goal) {
+        KcmSystem system;
+        system.consult(program);
+        system.query(goal);
+        return system.machine().prefetch().sequentialRate();
+    };
+    // Straight-line head unification vs choice-point churn.
+    double straight = rate(
+        "big(a,b,c,d,e,f,g,h).", "big(a,b,c,d,e,f,g,h)");
+    double churny = rate(
+        "p(1). p(2). p(3). p(4). p(5).\nq :- p(X), X > 4.", "q");
+    EXPECT_GT(straight, churny);
+}

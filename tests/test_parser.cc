@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Reader (parser) unit tests: operator precedence, lists, functor
+ * application, directives.
+ */
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "prolog/parser.hh"
+#include "prolog/writer.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/**
+ * Parse one term and print it back canonically (ignore_ops), with every
+ * variable occurrence normalized to "_$V" so tests don't depend on
+ * process-global variable numbering.
+ */
+std::string
+stripVarNumbers(const std::string &s)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size();) {
+        bool at_var = s[i] == '_' && i + 1 < s.size() &&
+                      std::isdigit(static_cast<unsigned char>(s[i + 1])) &&
+                      (i == 0 || !std::isalnum(
+                                     static_cast<unsigned char>(s[i - 1])));
+        if (at_var) {
+            out += "_$V";
+            ++i;
+            while (i < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[i]))) {
+                ++i;
+            }
+        } else {
+            out += s[i++];
+        }
+    }
+    return out;
+}
+
+std::string
+canon(const std::string &text)
+{
+    TermRef t = parseTermText(text);
+    OperatorTable ops;
+    WriteOptions options;
+    options.ignoreOps = true;
+    options.quoted = true;
+    return stripVarNumbers(writeTerm(t, ops, options));
+}
+
+} // namespace
+
+TEST(Parser, Atoms)
+{
+    EXPECT_EQ(canon("foo"), "foo");
+    EXPECT_EQ(canon("'hello world'"), "'hello world'");
+}
+
+TEST(Parser, Numbers)
+{
+    EXPECT_EQ(canon("42"), "42");
+    EXPECT_EQ(canon("-7"), "-7");
+    EXPECT_EQ(canon("3.5"), "3.5");
+}
+
+TEST(Parser, FunctorApplication)
+{
+    EXPECT_EQ(canon("f(a,b)"), "f(a,b)");
+    EXPECT_EQ(canon("f(g(h(x)))"), "f(g(h(x)))");
+}
+
+TEST(Parser, InfixPrecedence)
+{
+    EXPECT_EQ(canon("1+2*3"), "+(1,*(2,3))");
+    EXPECT_EQ(canon("1*2+3"), "+(*(1,2),3)");
+    EXPECT_EQ(canon("(1+2)*3"), "*(+(1,2),3)");
+}
+
+TEST(Parser, LeftAssociativity)
+{
+    EXPECT_EQ(canon("1-2-3"), "-(-(1,2),3)");
+    EXPECT_EQ(canon("8//2//2"), "//(//(8,2),2)");
+}
+
+TEST(Parser, RightAssociativity)
+{
+    EXPECT_EQ(canon("(a,b,c)"), "','(a,','(b,c))");
+    EXPECT_EQ(canon("2^3^4"), "^(2,^(3,4))");
+}
+
+TEST(Parser, ClauseNeck)
+{
+    EXPECT_EQ(canon("a :- b, c"), ":-(a,','(b,c))");
+}
+
+TEST(Parser, ComparisonOps)
+{
+    EXPECT_EQ(canon("X is Y+1"), "is(_$V,+(_$V,1))");
+    EXPECT_EQ(canon("A =< B"), "=<(_$V,_$V)");
+}
+
+TEST(Parser, PrefixMinusVsNegativeLiteral)
+{
+    EXPECT_EQ(canon("-(a)"), "-(a)");
+    EXPECT_EQ(canon("- 1"), "-(1)");
+    EXPECT_EQ(canon("1 - 2"), "-(1,2)");
+    EXPECT_EQ(canon("-X"), "-(_$V)");
+    EXPECT_EQ(canon("3 - -2"), "-(3,-2)");
+}
+
+TEST(Parser, Lists)
+{
+    EXPECT_EQ(canon("[]"), "[]");
+    EXPECT_EQ(canon("[a]"), "'.'(a,[])");
+    EXPECT_EQ(canon("[a,b]"), "'.'(a,'.'(b,[]))");
+    EXPECT_EQ(canon("[a|T]"), "'.'(a,_$V)");
+    EXPECT_EQ(canon("[a,b|T]"), "'.'(a,'.'(b,_$V))");
+}
+
+TEST(Parser, CommaInsideArgsBindsTighter)
+{
+    // Inside an argument list, ',' separates arguments (priority 999).
+    EXPECT_EQ(canon("f(a,b)"), "f(a,b)");
+    EXPECT_EQ(canon("f((a,b))"), "f(','(a,b))");
+}
+
+TEST(Parser, CurlyBraces)
+{
+    EXPECT_EQ(canon("{}"), "{}");
+    EXPECT_EQ(canon("{a,b}"), "{}(','(a,b))");
+}
+
+TEST(Parser, Strings)
+{
+    EXPECT_EQ(canon("\"ab\""), "'.'(97,'.'(98,[]))");
+}
+
+TEST(Parser, SharedVariables)
+{
+    TermRef t = parseTermText("f(X,X,Y)");
+    EXPECT_EQ(t->arg(0).get(), t->arg(1).get());
+    EXPECT_NE(t->arg(0).get(), t->arg(2).get());
+}
+
+TEST(Parser, AnonymousVariablesAreDistinct)
+{
+    TermRef t = parseTermText("f(_,_)");
+    EXPECT_NE(t->arg(0).get(), t->arg(1).get());
+}
+
+TEST(Parser, VariableScopePerClause)
+{
+    OperatorTable ops;
+    Parser parser("f(X). g(X).", ops);
+    auto clauses = parser.readAll();
+    ASSERT_EQ(clauses.size(), 2u);
+    EXPECT_NE(clauses[0].term->arg(0).get(), clauses[1].term->arg(0).get());
+}
+
+TEST(Parser, VarNamesRecorded)
+{
+    OperatorTable ops;
+    Parser parser("f(Alpha,Beta,Alpha).", ops);
+    ReadClause clause;
+    ASSERT_TRUE(parser.readClause(clause));
+    ASSERT_EQ(clause.varNames.size(), 2u);
+    EXPECT_EQ(clause.varNames[0].first, "Alpha");
+    EXPECT_EQ(clause.varNames[1].first, "Beta");
+}
+
+TEST(Parser, CutInBody)
+{
+    EXPECT_EQ(canon("a :- b, !, c"), ":-(a,','(b,','(!,c)))");
+}
+
+TEST(Parser, Disjunction)
+{
+    EXPECT_EQ(canon("(a ; b)"), ";(a,b)");
+    EXPECT_EQ(canon("(a -> b ; c)"), ";(->(a,b),c)");
+}
+
+TEST(Parser, BarAsDisjunctionInBody)
+{
+    EXPECT_EQ(canon("(a | b)"), ";(a,b)");
+}
+
+TEST(Parser, OpDirectiveAffectsLaterClauses)
+{
+    OperatorTable ops;
+    Parser parser(":- op(700, xfx, ===). a === b.", ops);
+    auto clauses = parser.readAll();
+    ASSERT_EQ(clauses.size(), 2u);
+    WriteOptions options;
+    options.ignoreOps = true;
+    EXPECT_EQ(writeTerm(clauses[1].term, ops, options), "===(a,b)");
+}
+
+TEST(Parser, MissingDotThrows)
+{
+    OperatorTable ops;
+    Parser parser("f(a) f(b).", ops);
+    ReadClause clause;
+    EXPECT_THROW(parser.readClause(clause), FatalError);
+}
+
+TEST(Parser, UnbalancedParenThrows)
+{
+    EXPECT_THROW(parseTermText("f(a"), FatalError);
+}
+
+TEST(Parser, MultiClauseProgram)
+{
+    auto clauses = parseProgramText(
+        "append([], L, L).\n"
+        "append([H|T], L, [H|R]) :- append(T, L, R).\n");
+    ASSERT_EQ(clauses.size(), 2u);
+    EXPECT_TRUE(clauses[1].term->isStruct());
+    EXPECT_EQ(atomText(clauses[1].term->functorName()), ":-");
+}
+
+TEST(Parser, OperatorAtomAsArgument)
+{
+    // An operator name used as a plain argument.
+    EXPECT_EQ(canon("f(+,-)"), "f(+,-)");
+}
+
+TEST(Parser, NestedListOfStructures)
+{
+    EXPECT_EQ(canon("[f(1),g(2,h(3))]"),
+              "'.'(f(1),'.'(g(2,h(3)),[]))");
+}
+
+TEST(Writer, OperatorAwareOutput)
+{
+    TermRef t = parseTermText("1+2*3");
+    EXPECT_EQ(writeTerm(t), "1 + 2 * 3");
+    t = parseTermText("(1+2)*3");
+    EXPECT_EQ(writeTerm(t), "(1 + 2) * 3");
+}
+
+TEST(Writer, ListOutput)
+{
+    TermRef t = parseTermText("[a,b|C]");
+    EXPECT_EQ(writeTerm(t).substr(0, 5), "[a,b|");
+}
+
+TEST(Writer, QuotedOutput)
+{
+    TermRef t = parseTermText("'hello world'");
+    EXPECT_EQ(writeTermQuoted(t), "'hello world'");
+    EXPECT_EQ(writeTerm(t), "hello world");
+}
+
+TEST(Writer, RoundTripThroughParser)
+{
+    const char *cases[] = {
+        "f(a,b,c)",
+        "[1,2,3,4]",
+        "a :- b , c",
+        "- (1)",
+        "f([g(X)|T])",
+        "{a}",
+    };
+    for (const char *text : cases) {
+        TermRef once = parseTermText(text);
+        std::string printed = writeTermQuoted(once);
+        TermRef twice = parseTermText(printed);
+        // Variables differ by identity, so compare with numbering
+        // stripped.
+        EXPECT_EQ(stripVarNumbers(writeTermQuoted(twice)),
+                  stripVarNumbers(printed))
+            << text;
+    }
+}

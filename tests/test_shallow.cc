@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Shallow backtracking (§3.1.5) behaviour tests: delayed choice point
+ * creation, shadow-register restoration, interaction with cut and
+ * indexing, and equivalence with the standard WAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+struct RunStats
+{
+    QueryResult result;
+    uint64_t cps = 0;
+    uint64_t avoided = 0;
+    uint64_t shallowFails = 0;
+    uint64_t deepFails = 0;
+    uint64_t trailPushes = 0;
+};
+
+RunStats
+runWith(const std::string &program, const std::string &goal,
+        bool shallow, size_t max_solutions = 1)
+{
+    KcmOptions options;
+    options.machine.shallowBacktracking = shallow;
+    options.maxSolutions = max_solutions;
+    KcmSystem system(options);
+    if (!program.empty())
+        system.consult(program);
+    RunStats stats;
+    stats.result = system.query(goal);
+    Machine &machine = system.machine();
+    stats.cps = machine.choicePointsCreated.value();
+    stats.avoided = machine.choicePointsAvoided.value();
+    stats.shallowFails = machine.shallowFails.value();
+    stats.deepFails = machine.deepFails.value();
+    stats.trailPushes = machine.trailPushes.value();
+    return stats;
+}
+
+} // namespace
+
+TEST(Shallow, GuardSelectionCreatesNoChoicePoint)
+{
+    // abs: the failing guard of clause 1 backtracks shallowly into
+    // clause 2; no choice point ever materializes.
+    const char *program =
+        "abs(X, X) :- X >= 0.\n"
+        "abs(X, Y) :- X < 0, Y is -X.\n";
+    RunStats stats = runWith(program, "abs(-5, Y)", true);
+    ASSERT_TRUE(stats.result.success);
+    EXPECT_EQ(stats.result.solutions[0].toString(), "Y = 5");
+    EXPECT_EQ(stats.cps, 0u);
+    EXPECT_GE(stats.shallowFails, 1u);
+    EXPECT_EQ(stats.deepFails, 0u);
+}
+
+TEST(Shallow, StandardWamCreatesChoicePointForSameQuery)
+{
+    const char *program =
+        "abs(X, X) :- X >= 0.\n"
+        "abs(X, Y) :- X < 0, Y is -X.\n";
+    RunStats stats = runWith(program, "abs(-5, Y)", false);
+    ASSERT_TRUE(stats.result.success);
+    EXPECT_GE(stats.cps, 1u);
+    EXPECT_EQ(stats.shallowFails, 0u);
+}
+
+TEST(Shallow, HeadFailureBacktracksShallowly)
+{
+    const char *program = "k(a, 1). k(b, 2). k(c, 3).\n";
+    // Indexing dispatches directly, so disable it via a var first arg
+    // wrapper to force the chain.
+    const char *wrapper = "find(X, V) :- k(X, V).";
+    RunStats stats =
+        runWith(std::string(program) + wrapper, "find(c, V)", true);
+    ASSERT_TRUE(stats.result.success);
+    EXPECT_EQ(stats.result.solutions[0].toString(), "V = 3");
+}
+
+TEST(Shallow, ChoicePointMaterializesAtNeckWhenNeeded)
+{
+    // p(X) binds and the body calls: alternatives remain after the
+    // neck, so a real choice point must exist for solution 2.
+    const char *program =
+        "p(1) :- q.\n"
+        "p(2) :- q.\n"
+        "q.\n";
+    RunStats stats = runWith(program, "p(X)", true, 10);
+    ASSERT_EQ(stats.result.solutions.size(), 2u);
+    EXPECT_GE(stats.cps, 1u);
+}
+
+TEST(Shallow, HeadBindingsUndoneOnShallowFail)
+{
+    // Clause 1 binds Y to g(X) in its head, then its guard fails; the
+    // binding must be undone before clause 2 runs.
+    const char *program =
+        "pick(Y, Y) :- 1 > 2.\n"
+        "pick(_, fallback).\n";
+    RunStats stats = runWith(program, "pick(f(1), R)", true, 10);
+    ASSERT_EQ(stats.result.solutions.size(), 1u);
+    EXPECT_EQ(stats.result.solutions[0].toString(), "R = fallback");
+    EXPECT_GE(stats.trailPushes, 0u);
+}
+
+TEST(Shallow, CutInGuardCancelsPendingAlternative)
+{
+    const char *program =
+        "once_(a) :- !.\n"
+        "once_(b).\n";
+    // Call with an unbound argument so clause selection cannot be
+    // done by the switch: the chain enters clause 1 with a pending
+    // alternative, which the cut must cancel without ever creating a
+    // choice point.
+    RunStats stats = runWith(program, "once_(X)", true, 10);
+    ASSERT_EQ(stats.result.solutions.size(), 1u);
+    EXPECT_EQ(stats.result.solutions[0].toString(), "X = a");
+    EXPECT_EQ(stats.cps, 0u);
+    EXPECT_GE(stats.avoided, 1u);
+}
+
+TEST(Shallow, EquivalentSolutionsAcrossRegimes)
+{
+    const char *program =
+        "member_(X, [X|_]).\n"
+        "member_(X, [_|T]) :- member_(X, T).\n"
+        "sel(X, L) :- member_(X, L), X > 2.\n";
+    RunStats shallow = runWith(program, "sel(X, [1,2,3,4])", true, 10);
+    RunStats standard = runWith(program, "sel(X, [1,2,3,4])", false, 10);
+    ASSERT_EQ(shallow.result.solutions.size(),
+              standard.result.solutions.size());
+    for (size_t i = 0; i < shallow.result.solutions.size(); ++i) {
+        EXPECT_EQ(shallow.result.solutions[i].toString(),
+                  standard.result.solutions[i].toString());
+    }
+    EXPECT_LE(shallow.cps, standard.cps);
+}
+
+TEST(Shallow, DeepBacktrackingStillWorks)
+{
+    const char *program =
+        "p(1). p(2). p(3).\n"
+        "q(3).\n"
+        "conj(X) :- p(X), q(X).\n";
+    RunStats stats = runWith(program, "conj(X)", true);
+    ASSERT_TRUE(stats.result.success);
+    EXPECT_EQ(stats.result.solutions[0].toString(), "X = 3");
+    // Backtracking into p after q fails is deep (past the neck).
+    EXPECT_GE(stats.deepFails, 1u);
+}
+
+TEST(Shallow, CyclesSavedOnGuardHeavyWorkload)
+{
+    const char *program =
+        "part([], _, [], []).\n"
+        "part([X|L], Y, [X|L1], L2) :- X =< Y, part(L, Y, L1, L2).\n"
+        "part([X|L], Y, L1, [X|L2]) :- X > Y, part(L, Y, L1, L2).\n";
+    const char *goal = "part([5,1,8,2,9,3,7,4,6,0,5,1,8,2,9], 5, A, B)";
+    RunStats shallow = runWith(program, goal, true);
+    RunStats standard = runWith(program, goal, false);
+    ASSERT_TRUE(shallow.result.success);
+    ASSERT_TRUE(standard.result.success);
+    EXPECT_LT(shallow.result.cycles, standard.result.cycles);
+    EXPECT_LT(shallow.cps, standard.cps);
+}
+
+TEST(Shallow, TrailBoundaryRespectedAcrossNeck)
+{
+    // A variable bound during head unification must be unbound when a
+    // post-neck deep failure rewinds past the clause.
+    const char *program =
+        "r(X, ok) :- X = bound, fail.\n"
+        "r(X, fallback).\n";
+    RunStats stats = runWith(program, "r(V, W)", true, 10);
+    // Clause 1 binds V then fails in the body (deep); clause 2 must
+    // see V unbound again.
+    ASSERT_GE(stats.result.solutions.size(), 1u);
+    std::string text = stats.result.solutions[0].toString();
+    EXPECT_NE(text.find("W = fallback"), std::string::npos) << text;
+    EXPECT_NE(text.find("V = _"), std::string::npos)
+        << "V must be unbound again: " << text;
+}
+
+TEST(Shallow, RetryUpdatesExistingChoicePoint)
+{
+    // Three clauses, failure happens after each neck (deep mode): the
+    // single choice point is reused with updated alternatives instead
+    // of being re-created.
+    const char *program =
+        "s(X) :- q(X), X > 2.\n"
+        "q(1) :- t. q(2) :- t. q(3) :- t.\n"
+        "t.\n";
+    RunStats stats = runWith(program, "s(X)", true);
+    ASSERT_TRUE(stats.result.success);
+    EXPECT_EQ(stats.result.solutions[0].toString(), "X = 3");
+    // Only one choice point for q/1 is ever created.
+    EXPECT_LE(stats.cps, 2u);
+}
+
+TEST(Shallow, WholeSuiteAgreesAcrossRegimes)
+{
+    const char *program =
+        "nrev([], []).\n"
+        "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+        "app([], L, L).\n"
+        "app([H|T], L, [H|R]) :- app(T, L, R).\n";
+    RunStats shallow = runWith(program, "nrev([1,2,3,4,5,6], R)", true);
+    RunStats standard = runWith(program, "nrev([1,2,3,4,5,6], R)", false);
+    EXPECT_EQ(shallow.result.solutions[0].toString(),
+              standard.result.solutions[0].toString());
+}

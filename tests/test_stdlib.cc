@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Standard-library predicate tests, run on the simulated machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+QueryResult
+lib(const std::string &goal, size_t max_solutions = 1)
+{
+    KcmOptions options;
+    options.maxSolutions = max_solutions;
+    KcmSystem system(options);
+    system.consultStandardLibrary();
+    return system.query(goal);
+}
+
+std::string
+first(const QueryResult &result)
+{
+    return result.solutions.empty() ? "<none>"
+                                    : result.solutions[0].toString();
+}
+
+} // namespace
+
+TEST(Stdlib, Append)
+{
+    EXPECT_EQ(first(lib("append([1,2], [3], X)")), "X = [1,2,3]");
+}
+
+TEST(Stdlib, Member)
+{
+    EXPECT_TRUE(lib("member(b, [a,b,c])").success);
+    EXPECT_FALSE(lib("member(z, [a,b,c])").success);
+    EXPECT_EQ(lib("member(X, [a,b,c])", 10).solutions.size(), 3u);
+}
+
+TEST(Stdlib, Memberchk)
+{
+    auto result = lib("memberchk(b, [a,b,b,c])", 10);
+    EXPECT_EQ(result.solutions.size(), 1u);
+}
+
+TEST(Stdlib, Length)
+{
+    EXPECT_EQ(first(lib("length([a,b,c,d], N)")), "N = 4");
+    EXPECT_EQ(first(lib("length([], N)")), "N = 0");
+}
+
+TEST(Stdlib, Reverse)
+{
+    EXPECT_EQ(first(lib("reverse([1,2,3], R)")), "R = [3,2,1]");
+    EXPECT_EQ(first(lib("reverse([], R)")), "R = []");
+}
+
+TEST(Stdlib, Last)
+{
+    EXPECT_EQ(first(lib("last([1,2,3], X)")), "X = 3");
+    EXPECT_FALSE(lib("last([], _)").success);
+}
+
+TEST(Stdlib, Nth1)
+{
+    EXPECT_EQ(first(lib("nth1(2, [a,b,c], X)")), "X = b");
+    EXPECT_FALSE(lib("nth1(5, [a,b,c], _)").success);
+}
+
+TEST(Stdlib, Select)
+{
+    auto result = lib("select(X, [1,2,3], Rest)", 10);
+    ASSERT_EQ(result.solutions.size(), 3u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = 1, Rest = [2,3]");
+    EXPECT_EQ(result.solutions[2].toString(), "X = 3, Rest = [1,2]");
+}
+
+TEST(Stdlib, Delete)
+{
+    EXPECT_EQ(first(lib("delete([1,2,1,3,1], 1, R)")), "R = [2,3]");
+}
+
+TEST(Stdlib, SumList)
+{
+    EXPECT_EQ(first(lib("sum_list([1,2,3,4], S)")), "S = 10");
+}
+
+TEST(Stdlib, MaxMinList)
+{
+    EXPECT_EQ(first(lib("max_list([3,9,2,7], M)")), "M = 9");
+    EXPECT_EQ(first(lib("min_list([3,9,2,7], M)")), "M = 2");
+}
+
+TEST(Stdlib, Msort)
+{
+    EXPECT_EQ(first(lib("msort_([3,1,2], S)")), "S = [1,2,3]");
+}
+
+TEST(Stdlib, Between)
+{
+    auto result = lib("between(1, 5, X)", 10);
+    ASSERT_EQ(result.solutions.size(), 5u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = 1");
+    EXPECT_EQ(result.solutions[4].toString(), "X = 5");
+    EXPECT_FALSE(lib("between(3, 2, _)").success);
+}
+
+TEST(Stdlib, Once)
+{
+    KcmOptions options;
+    options.maxSolutions = 10;
+    KcmSystem system(options);
+    system.consultStandardLibrary();
+    system.consult("p(1). p(2). p(3).");
+    auto result = system.query("once(p(X))");
+    ASSERT_EQ(result.solutions.size(), 1u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = 1");
+}
+
+TEST(Stdlib, Ignore)
+{
+    KcmSystem system;
+    system.consultStandardLibrary();
+    system.consult("p(1).");
+    EXPECT_TRUE(system.query("ignore(p(9))").success);
+    EXPECT_TRUE(system.query("ignore(p(1))").success);
+}
+
+TEST(Stdlib, NotViaNegation)
+{
+    KcmSystem system;
+    system.consultStandardLibrary();
+    system.consult("p(1).");
+    EXPECT_TRUE(system.query("not(p(2))").success);
+    EXPECT_FALSE(system.query("not(p(1))").success);
+}
+
+TEST(Stdlib, ComposesWithUserPrograms)
+{
+    KcmOptions options;
+    options.maxSolutions = 100;
+    KcmSystem system(options);
+    system.consultStandardLibrary();
+    system.consult("square(X, Y) :- Y is X * X.");
+    auto result = system.query("between(1, 5, X), square(X, Y), Y > 10");
+    ASSERT_EQ(result.solutions.size(), 2u);
+    EXPECT_EQ(result.solutions[0].toString(), "X = 4, Y = 16");
+    EXPECT_EQ(result.solutions[1].toString(), "X = 5, Y = 25");
+}
+
+TEST(Stdlib, ExcludedFromProgramSize)
+{
+    KcmSystem system;
+    system.consultStandardLibrary();
+    system.consult("p(a).");
+    CodeImage image = system.compileOnly("p(a)");
+    size_t instr = 0;
+    size_t words = 0;
+    image.programSize(instr, words);
+    EXPECT_LT(instr, 10u) << "library code must not count";
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tagged word format tests (Fig. 2 / Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instr.hh"
+#include "isa/word.hh"
+
+using namespace kcm;
+
+TEST(Word, IntRoundTrip)
+{
+    Word w = Word::makeInt(-42);
+    EXPECT_EQ(w.tag(), Tag::Int);
+    EXPECT_EQ(w.intValue(), -42);
+    EXPECT_EQ(Word::makeInt(2147483647).intValue(), 2147483647);
+    EXPECT_EQ(Word::makeInt(-2147483648).intValue(),
+              std::numeric_limits<int32_t>::min());
+}
+
+TEST(Word, FloatRoundTrip)
+{
+    Word w = Word::makeFloat(3.25f);
+    EXPECT_EQ(w.tag(), Tag::Float);
+    EXPECT_FLOAT_EQ(w.floatValue(), 3.25f);
+    EXPECT_FLOAT_EQ(Word::makeFloat(-0.5f).floatValue(), -0.5f);
+}
+
+TEST(Word, FieldPositions)
+{
+    // Type in bits 51..48, zone in bits 55..52, value in 31..0.
+    Word w = Word::make(Tag::List, Zone::Global, 0x00123456);
+    EXPECT_EQ((w.raw() >> 48) & 0xF, uint64_t(Tag::List));
+    EXPECT_EQ((w.raw() >> 52) & 0xF, uint64_t(Zone::Global));
+    EXPECT_EQ(w.raw() & 0xFFFFFFFF, 0x00123456u);
+}
+
+TEST(Word, AddressMask)
+{
+    // Only 28 bits of the value are implemented as address.
+    Word w = Word::makeDataPtr(Zone::Local, 0x0FFFFFFF);
+    EXPECT_EQ(w.addr(), 0x0FFFFFFFu);
+}
+
+TEST(Word, FunctorPacking)
+{
+    Word f = Word::makeFunctor(internAtom("foo"), 3);
+    EXPECT_EQ(f.tag(), Tag::FunctorWord);
+    EXPECT_EQ(f.functorName(), internAtom("foo"));
+    EXPECT_EQ(f.functorArity(), 3u);
+}
+
+TEST(Word, TvmSwap)
+{
+    Word w = Word::make(Tag::Int, Zone::None, 0xDEADBEEF);
+    Word s = w.swapped();
+    EXPECT_EQ(s.raw() >> 32, w.raw() & 0xFFFFFFFF);
+    EXPECT_EQ(s.swapped(), w);
+}
+
+TEST(Word, GcBits)
+{
+    Word w = Word::makeInt(7).withGcBits(0xA5);
+    EXPECT_EQ(w.gcBits(), 0xA5);
+    EXPECT_EQ(w.intValue(), 7);
+    EXPECT_EQ(w.tag(), Tag::Int);
+}
+
+TEST(Word, Predicates)
+{
+    EXPECT_TRUE(Word::makeNil().isNil());
+    EXPECT_TRUE(Word::makeAtom(internAtom("a")).isAtomic());
+    EXPECT_TRUE(Word::makeList(Zone::Global, 0x100).isDataAddress());
+    EXPECT_FALSE(Word::makeInt(0).isDataAddress());
+    EXPECT_TRUE(Word::makeCodePtr(0x42).isCodePtr());
+}
+
+TEST(Instr, RegFormatFields)
+{
+    Instr i = Instr::makeRegs(Opcode::GetValueX, 5, 17, 33, 63, -7);
+    EXPECT_EQ(i.opcode(), Opcode::GetValueX);
+    EXPECT_EQ(i.r1(), 5);
+    EXPECT_EQ(i.r2(), 17);
+    EXPECT_EQ(i.r3(), 33);
+    EXPECT_EQ(i.r4(), 63);
+    EXPECT_EQ(i.offset(), -7);
+}
+
+TEST(Instr, ValueFormatFields)
+{
+    Instr i = Instr::makeValue(Opcode::Call, 0x00ABCDEF, 3, 0);
+    EXPECT_EQ(i.opcode(), Opcode::Call);
+    EXPECT_EQ(i.value(), 0x00ABCDEFu);
+    EXPECT_EQ(i.r1(), 3);
+}
+
+TEST(Instr, ConstantRoundTrip)
+{
+    Word c = Word::makeAtom(internAtom("hello"));
+    Instr i = Instr::makeConstant(Opcode::GetConstant, c, 0, 2);
+    EXPECT_EQ(i.constant(), c);
+    EXPECT_EQ(i.r2(), 2);
+
+    Word n = Word::makeInt(-5);
+    Instr j = Instr::makeConstant(Opcode::PutConstant, n, 0, 1);
+    EXPECT_EQ(j.constant().intValue(), -5);
+    EXPECT_EQ(j.constant().tag(), Tag::Int);
+}
+
+TEST(Instr, WithValuePatchesOnlyValue)
+{
+    Instr i = Instr::makeValue(Opcode::Execute, 0, 4, 0);
+    Instr patched = i.withValue(0x1234);
+    EXPECT_EQ(patched.opcode(), Opcode::Execute);
+    EXPECT_EQ(patched.r1(), 4);
+    EXPECT_EQ(patched.value(), 0x1234u);
+}
+
+TEST(Opcodes, InfoTableComplete)
+{
+    for (unsigned i = 0; i < unsigned(Opcode::NumOpcodes); ++i) {
+        const OpcodeInfo &info = opcodeInfo(Opcode(i));
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_GE(info.baseCycles, 1u) << info.name;
+    }
+}
+
+TEST(Opcodes, CallReturnCostsFiveCycles)
+{
+    // §4.2: a minimal call/return sequence costs 5 cycles.
+    EXPECT_EQ(opcodeInfo(Opcode::Call).baseCycles +
+                  opcodeInfo(Opcode::Proceed).baseCycles,
+              5u);
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * kcm_run — command-line driver for the KCM system.
+ *
+ * Usage:
+ *   kcm_run [options] [file.pl ...] -q 'goal'
+ *
+ * Options:
+ *   -q GOAL        query to run (required)
+ *   -n N           collect up to N solutions (default 1; 0 = all)
+ *   -e TEXT        consult program text given inline
+ *   --stats        dump machine statistics after the run
+ *   --profile      print the macrocode/Prolog-level monitor report
+ *   --disasm       print the disassembled code image and exit
+ *   --save FILE    save the compiled image and exit
+ *   --load FILE    run a previously saved image (no sources needed)
+ *   --no-shallow   run in standard-WAM mode (immediate choice points)
+ *   --generic      generic arithmetic (no native integer mode)
+ *   --max-cycles N abort after N simulated cycles
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "compiler/image_io.hh"
+#include "isa/disasm.hh"
+#include "kcm/kcm.hh"
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        kcm::fatal("cannot open ", path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+[[noreturn]] void
+usage()
+{
+    fprintf(stderr,
+            "usage: kcm_run [options] [file.pl ...] -q 'goal'\n"
+            "  -q GOAL   -n N   -e TEXT   --stats   --profile\n"
+            "  --disasm  --no-shallow  --generic  --max-cycles N\n");
+    exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    kcm::KcmOptions options;
+    std::string query;
+    bool want_stats = false;
+    bool want_profile = false;
+    bool want_disasm = false;
+    std::string save_path;
+    std::string load_path;
+    std::vector<std::string> sources;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "-q") {
+            query = next();
+        } else if (arg == "-n") {
+            long n = atol(next().c_str());
+            options.maxSolutions = n <= 0 ? SIZE_MAX : size_t(n);
+        } else if (arg == "-e") {
+            sources.push_back(next());
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else if (arg == "--profile") {
+            want_profile = true;
+            options.machine.profile = true;
+        } else if (arg == "--disasm") {
+            want_disasm = true;
+        } else if (arg == "--save") {
+            save_path = next();
+        } else if (arg == "--load") {
+            load_path = next();
+        } else if (arg == "--no-shallow") {
+            options.machine.shallowBacktracking = false;
+        } else if (arg == "--generic") {
+            options.compiler.integerArithmetic = false;
+        } else if (arg == "--max-cycles") {
+            options.machine.maxCycles = strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+        } else {
+            sources.push_back(readFile(arg));
+        }
+    }
+    if (query.empty() && load_path.empty())
+        usage();
+
+    options.machine.captureOutput = false; // stream I/O to stdout
+
+    try {
+        if (!load_path.empty()) {
+            // Run a downloaded image directly on the machine.
+            kcm::CodeImage image = kcm::loadImageFile(load_path);
+            kcm::Machine machine(options.machine);
+            machine.load(image);
+            kcm::RunStatus status = machine.run();
+            size_t shown = 0;
+            while (status == kcm::RunStatus::SolutionFound &&
+                   shown < options.maxSolutions) {
+                printf("%s ;\n",
+                       machine.lastSolution().toString().c_str());
+                ++shown;
+                if (shown >= options.maxSolutions)
+                    break;
+                status = machine.nextSolution();
+            }
+            printf("%s.\n", shown ? "yes" : "no");
+            fprintf(stderr, "[%llu cycles = %.3f ms simulated]\n",
+                    (unsigned long long)machine.cycles(),
+                    machine.seconds() * 1e3);
+            return shown ? 0 : 1;
+        }
+
+        kcm::KcmSystem system(options);
+        for (const auto &source : sources)
+            system.consult(source);
+
+        if (!save_path.empty()) {
+            kcm::saveImageFile(system.compileOnly(query), save_path);
+            fprintf(stderr, "image saved to %s\n", save_path.c_str());
+            return 0;
+        }
+
+        if (want_disasm) {
+            kcm::CodeImage image = system.compileOnly(query);
+            printf("%s", kcm::disasmRange(image.words, 0,
+                                          image.words.size())
+                             .c_str());
+            return 0;
+        }
+
+        kcm::QueryResult result = system.query(query);
+        if (!result.success) {
+            printf("no.\n");
+        } else {
+            for (const auto &solution : result.solutions)
+                printf("%s ;\n", solution.toString().c_str());
+            printf("yes.\n");
+        }
+        fprintf(stderr,
+                "[%llu inferences, %llu cycles = %.3f ms simulated, "
+                "%.0f Klips]\n",
+                (unsigned long long)result.inferences,
+                (unsigned long long)result.cycles, result.seconds * 1e3,
+                result.klips);
+
+        if (want_stats) {
+            std::ostringstream os;
+            system.machine().stats().dump(os);
+            fputs(os.str().c_str(), stderr);
+        }
+        if (want_profile)
+            fputs(system.machine().profiler().report().c_str(), stderr);
+        return result.success ? 0 : 1;
+    } catch (const std::exception &e) {
+        fprintf(stderr, "kcm_run: %s\n", e.what());
+        return 2;
+    }
+}
