@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_sections.dir/ablation_cache_sections.cc.o"
+  "CMakeFiles/ablation_cache_sections.dir/ablation_cache_sections.cc.o.d"
+  "ablation_cache_sections"
+  "ablation_cache_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

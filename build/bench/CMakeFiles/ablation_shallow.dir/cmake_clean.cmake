@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shallow.dir/ablation_shallow.cc.o"
+  "CMakeFiles/ablation_shallow.dir/ablation_shallow.cc.o.d"
+  "ablation_shallow"
+  "ablation_shallow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shallow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_collision.dir/cache_collision.cc.o"
+  "CMakeFiles/cache_collision.dir/cache_collision.cc.o.d"
+  "cache_collision"
+  "cache_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_traffic.dir/memory_traffic.cc.o"
+  "CMakeFiles/memory_traffic.dir/memory_traffic.cc.o.d"
+  "memory_traffic"
+  "memory_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_plm.dir/table2_plm.cc.o"
+  "CMakeFiles/table2_plm.dir/table2_plm.cc.o.d"
+  "table2_plm"
+  "table2_plm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_plm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_quintus.dir/table3_quintus.cc.o"
+  "CMakeFiles/table3_quintus.dir/table3_quintus.cc.o.d"
+  "table3_quintus"
+  "table3_quintus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_quintus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_peak.dir/table4_peak.cc.o"
+  "CMakeFiles/table4_peak.dir/table4_peak.cc.o.d"
+  "table4_peak"
+  "table4_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_expert_system.dir/expert_system.cc.o"
+  "CMakeFiles/example_expert_system.dir/expert_system.cc.o.d"
+  "example_expert_system"
+  "example_expert_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_expert_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_machine_inspect.dir/machine_inspect.cc.o"
+  "CMakeFiles/example_machine_inspect.dir/machine_inspect.cc.o.d"
+  "example_machine_inspect"
+  "example_machine_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_machine_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nqueens.dir/nqueens.cc.o"
+  "CMakeFiles/example_nqueens.dir/nqueens.cc.o.d"
+  "example_nqueens"
+  "example_nqueens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nqueens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

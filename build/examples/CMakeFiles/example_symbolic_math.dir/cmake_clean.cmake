@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_symbolic_math.dir/symbolic_math.cc.o"
+  "CMakeFiles/example_symbolic_math.dir/symbolic_math.cc.o.d"
+  "example_symbolic_math"
+  "example_symbolic_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_symbolic_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

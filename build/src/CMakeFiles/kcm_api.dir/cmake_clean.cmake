@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_api.dir/kcm/kcm.cc.o"
+  "CMakeFiles/kcm_api.dir/kcm/kcm.cc.o.d"
+  "CMakeFiles/kcm_api.dir/kcm/stdlib.cc.o"
+  "CMakeFiles/kcm_api.dir/kcm/stdlib.cc.o.d"
+  "libkcm_api.a"
+  "libkcm_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_base.dir/base/logging.cc.o"
+  "CMakeFiles/kcm_base.dir/base/logging.cc.o.d"
+  "CMakeFiles/kcm_base.dir/base/stats.cc.o"
+  "CMakeFiles/kcm_base.dir/base/stats.cc.o.d"
+  "CMakeFiles/kcm_base.dir/base/strutil.cc.o"
+  "CMakeFiles/kcm_base.dir/base/strutil.cc.o.d"
+  "libkcm_base.a"
+  "libkcm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

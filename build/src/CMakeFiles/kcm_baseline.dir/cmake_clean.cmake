@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_baseline.dir/baseline/interp.cc.o"
+  "CMakeFiles/kcm_baseline.dir/baseline/interp.cc.o.d"
+  "libkcm_baseline.a"
+  "libkcm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_bench_support.dir/bench_support/harness.cc.o"
+  "CMakeFiles/kcm_bench_support.dir/bench_support/harness.cc.o.d"
+  "CMakeFiles/kcm_bench_support.dir/bench_support/paper_data.cc.o"
+  "CMakeFiles/kcm_bench_support.dir/bench_support/paper_data.cc.o.d"
+  "CMakeFiles/kcm_bench_support.dir/bench_support/plm_suite.cc.o"
+  "CMakeFiles/kcm_bench_support.dir/bench_support/plm_suite.cc.o.d"
+  "libkcm_bench_support.a"
+  "libkcm_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkcm_bench_support.a"
+)

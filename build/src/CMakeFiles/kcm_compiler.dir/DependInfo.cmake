@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/assembler.cc" "src/CMakeFiles/kcm_compiler.dir/compiler/assembler.cc.o" "gcc" "src/CMakeFiles/kcm_compiler.dir/compiler/assembler.cc.o.d"
+  "/root/repo/src/compiler/builtin_defs.cc" "src/CMakeFiles/kcm_compiler.dir/compiler/builtin_defs.cc.o" "gcc" "src/CMakeFiles/kcm_compiler.dir/compiler/builtin_defs.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/CMakeFiles/kcm_compiler.dir/compiler/codegen.cc.o" "gcc" "src/CMakeFiles/kcm_compiler.dir/compiler/codegen.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/CMakeFiles/kcm_compiler.dir/compiler/compiler.cc.o" "gcc" "src/CMakeFiles/kcm_compiler.dir/compiler/compiler.cc.o.d"
+  "/root/repo/src/compiler/image_io.cc" "src/CMakeFiles/kcm_compiler.dir/compiler/image_io.cc.o" "gcc" "src/CMakeFiles/kcm_compiler.dir/compiler/image_io.cc.o.d"
+  "/root/repo/src/compiler/indexing.cc" "src/CMakeFiles/kcm_compiler.dir/compiler/indexing.cc.o" "gcc" "src/CMakeFiles/kcm_compiler.dir/compiler/indexing.cc.o.d"
+  "/root/repo/src/compiler/normalize.cc" "src/CMakeFiles/kcm_compiler.dir/compiler/normalize.cc.o" "gcc" "src/CMakeFiles/kcm_compiler.dir/compiler/normalize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kcm_prolog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kcm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kcm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_compiler.dir/compiler/assembler.cc.o"
+  "CMakeFiles/kcm_compiler.dir/compiler/assembler.cc.o.d"
+  "CMakeFiles/kcm_compiler.dir/compiler/builtin_defs.cc.o"
+  "CMakeFiles/kcm_compiler.dir/compiler/builtin_defs.cc.o.d"
+  "CMakeFiles/kcm_compiler.dir/compiler/codegen.cc.o"
+  "CMakeFiles/kcm_compiler.dir/compiler/codegen.cc.o.d"
+  "CMakeFiles/kcm_compiler.dir/compiler/compiler.cc.o"
+  "CMakeFiles/kcm_compiler.dir/compiler/compiler.cc.o.d"
+  "CMakeFiles/kcm_compiler.dir/compiler/image_io.cc.o"
+  "CMakeFiles/kcm_compiler.dir/compiler/image_io.cc.o.d"
+  "CMakeFiles/kcm_compiler.dir/compiler/indexing.cc.o"
+  "CMakeFiles/kcm_compiler.dir/compiler/indexing.cc.o.d"
+  "CMakeFiles/kcm_compiler.dir/compiler/normalize.cc.o"
+  "CMakeFiles/kcm_compiler.dir/compiler/normalize.cc.o.d"
+  "libkcm_compiler.a"
+  "libkcm_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

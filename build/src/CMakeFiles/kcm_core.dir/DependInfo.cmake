@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builtins.cc" "src/CMakeFiles/kcm_core.dir/core/builtins.cc.o" "gcc" "src/CMakeFiles/kcm_core.dir/core/builtins.cc.o.d"
+  "/root/repo/src/core/exec_index.cc" "src/CMakeFiles/kcm_core.dir/core/exec_index.cc.o" "gcc" "src/CMakeFiles/kcm_core.dir/core/exec_index.cc.o.d"
+  "/root/repo/src/core/exec_instr.cc" "src/CMakeFiles/kcm_core.dir/core/exec_instr.cc.o" "gcc" "src/CMakeFiles/kcm_core.dir/core/exec_instr.cc.o.d"
+  "/root/repo/src/core/gc.cc" "src/CMakeFiles/kcm_core.dir/core/gc.cc.o" "gcc" "src/CMakeFiles/kcm_core.dir/core/gc.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/kcm_core.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/kcm_core.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/CMakeFiles/kcm_core.dir/core/profiler.cc.o" "gcc" "src/CMakeFiles/kcm_core.dir/core/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kcm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kcm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kcm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kcm_prolog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kcm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_core.dir/core/builtins.cc.o"
+  "CMakeFiles/kcm_core.dir/core/builtins.cc.o.d"
+  "CMakeFiles/kcm_core.dir/core/exec_index.cc.o"
+  "CMakeFiles/kcm_core.dir/core/exec_index.cc.o.d"
+  "CMakeFiles/kcm_core.dir/core/exec_instr.cc.o"
+  "CMakeFiles/kcm_core.dir/core/exec_instr.cc.o.d"
+  "CMakeFiles/kcm_core.dir/core/gc.cc.o"
+  "CMakeFiles/kcm_core.dir/core/gc.cc.o.d"
+  "CMakeFiles/kcm_core.dir/core/machine.cc.o"
+  "CMakeFiles/kcm_core.dir/core/machine.cc.o.d"
+  "CMakeFiles/kcm_core.dir/core/profiler.cc.o"
+  "CMakeFiles/kcm_core.dir/core/profiler.cc.o.d"
+  "libkcm_core.a"
+  "libkcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

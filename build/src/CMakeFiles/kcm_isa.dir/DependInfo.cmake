@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/kcm_isa.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/kcm_isa.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/kcm_isa.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/kcm_isa.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/isa/tags.cc" "src/CMakeFiles/kcm_isa.dir/isa/tags.cc.o" "gcc" "src/CMakeFiles/kcm_isa.dir/isa/tags.cc.o.d"
+  "/root/repo/src/isa/word.cc" "src/CMakeFiles/kcm_isa.dir/isa/word.cc.o" "gcc" "src/CMakeFiles/kcm_isa.dir/isa/word.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kcm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

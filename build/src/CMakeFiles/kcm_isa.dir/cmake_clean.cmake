@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/kcm_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/kcm_isa.dir/isa/opcodes.cc.o"
+  "CMakeFiles/kcm_isa.dir/isa/opcodes.cc.o.d"
+  "CMakeFiles/kcm_isa.dir/isa/tags.cc.o"
+  "CMakeFiles/kcm_isa.dir/isa/tags.cc.o.d"
+  "CMakeFiles/kcm_isa.dir/isa/word.cc.o"
+  "CMakeFiles/kcm_isa.dir/isa/word.cc.o.d"
+  "libkcm_isa.a"
+  "libkcm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/code_cache.cc" "src/CMakeFiles/kcm_mem.dir/mem/code_cache.cc.o" "gcc" "src/CMakeFiles/kcm_mem.dir/mem/code_cache.cc.o.d"
+  "/root/repo/src/mem/data_cache.cc" "src/CMakeFiles/kcm_mem.dir/mem/data_cache.cc.o" "gcc" "src/CMakeFiles/kcm_mem.dir/mem/data_cache.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/kcm_mem.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/kcm_mem.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/kcm_mem.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/kcm_mem.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/mem/mmu.cc" "src/CMakeFiles/kcm_mem.dir/mem/mmu.cc.o" "gcc" "src/CMakeFiles/kcm_mem.dir/mem/mmu.cc.o.d"
+  "/root/repo/src/mem/zone_check.cc" "src/CMakeFiles/kcm_mem.dir/mem/zone_check.cc.o" "gcc" "src/CMakeFiles/kcm_mem.dir/mem/zone_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kcm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kcm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

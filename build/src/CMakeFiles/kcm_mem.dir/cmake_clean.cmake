@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_mem.dir/mem/code_cache.cc.o"
+  "CMakeFiles/kcm_mem.dir/mem/code_cache.cc.o.d"
+  "CMakeFiles/kcm_mem.dir/mem/data_cache.cc.o"
+  "CMakeFiles/kcm_mem.dir/mem/data_cache.cc.o.d"
+  "CMakeFiles/kcm_mem.dir/mem/main_memory.cc.o"
+  "CMakeFiles/kcm_mem.dir/mem/main_memory.cc.o.d"
+  "CMakeFiles/kcm_mem.dir/mem/mem_system.cc.o"
+  "CMakeFiles/kcm_mem.dir/mem/mem_system.cc.o.d"
+  "CMakeFiles/kcm_mem.dir/mem/mmu.cc.o"
+  "CMakeFiles/kcm_mem.dir/mem/mmu.cc.o.d"
+  "CMakeFiles/kcm_mem.dir/mem/zone_check.cc.o"
+  "CMakeFiles/kcm_mem.dir/mem/zone_check.cc.o.d"
+  "libkcm_mem.a"
+  "libkcm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prolog/atom_table.cc" "src/CMakeFiles/kcm_prolog.dir/prolog/atom_table.cc.o" "gcc" "src/CMakeFiles/kcm_prolog.dir/prolog/atom_table.cc.o.d"
+  "/root/repo/src/prolog/lexer.cc" "src/CMakeFiles/kcm_prolog.dir/prolog/lexer.cc.o" "gcc" "src/CMakeFiles/kcm_prolog.dir/prolog/lexer.cc.o.d"
+  "/root/repo/src/prolog/operators.cc" "src/CMakeFiles/kcm_prolog.dir/prolog/operators.cc.o" "gcc" "src/CMakeFiles/kcm_prolog.dir/prolog/operators.cc.o.d"
+  "/root/repo/src/prolog/parser.cc" "src/CMakeFiles/kcm_prolog.dir/prolog/parser.cc.o" "gcc" "src/CMakeFiles/kcm_prolog.dir/prolog/parser.cc.o.d"
+  "/root/repo/src/prolog/term.cc" "src/CMakeFiles/kcm_prolog.dir/prolog/term.cc.o" "gcc" "src/CMakeFiles/kcm_prolog.dir/prolog/term.cc.o.d"
+  "/root/repo/src/prolog/writer.cc" "src/CMakeFiles/kcm_prolog.dir/prolog/writer.cc.o" "gcc" "src/CMakeFiles/kcm_prolog.dir/prolog/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kcm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_prolog.dir/prolog/atom_table.cc.o"
+  "CMakeFiles/kcm_prolog.dir/prolog/atom_table.cc.o.d"
+  "CMakeFiles/kcm_prolog.dir/prolog/lexer.cc.o"
+  "CMakeFiles/kcm_prolog.dir/prolog/lexer.cc.o.d"
+  "CMakeFiles/kcm_prolog.dir/prolog/operators.cc.o"
+  "CMakeFiles/kcm_prolog.dir/prolog/operators.cc.o.d"
+  "CMakeFiles/kcm_prolog.dir/prolog/parser.cc.o"
+  "CMakeFiles/kcm_prolog.dir/prolog/parser.cc.o.d"
+  "CMakeFiles/kcm_prolog.dir/prolog/term.cc.o"
+  "CMakeFiles/kcm_prolog.dir/prolog/term.cc.o.d"
+  "CMakeFiles/kcm_prolog.dir/prolog/writer.cc.o"
+  "CMakeFiles/kcm_prolog.dir/prolog/writer.cc.o.d"
+  "libkcm_prolog.a"
+  "libkcm_prolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_prolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image_io.dir/test_image_io.cc.o"
+  "CMakeFiles/test_image_io.dir/test_image_io.cc.o.d"
+  "test_image_io"
+  "test_image_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

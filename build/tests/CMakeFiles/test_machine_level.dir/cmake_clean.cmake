@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_level.dir/test_machine_level.cc.o"
+  "CMakeFiles/test_machine_level.dir/test_machine_level.cc.o.d"
+  "test_machine_level"
+  "test_machine_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

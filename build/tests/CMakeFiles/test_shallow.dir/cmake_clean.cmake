@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shallow.dir/test_shallow.cc.o"
+  "CMakeFiles/test_shallow.dir/test_shallow.cc.o.d"
+  "test_shallow"
+  "test_shallow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shallow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

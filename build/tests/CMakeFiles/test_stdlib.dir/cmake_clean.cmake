@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stdlib.dir/test_stdlib.cc.o"
+  "CMakeFiles/test_stdlib.dir/test_stdlib.cc.o.d"
+  "test_stdlib"
+  "test_stdlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stdlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

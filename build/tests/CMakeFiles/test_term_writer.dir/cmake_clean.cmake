@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_term_writer.dir/test_term_writer.cc.o"
+  "CMakeFiles/test_term_writer.dir/test_term_writer.cc.o.d"
+  "test_term_writer"
+  "test_term_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_term_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcm_run.dir/kcm_run.cc.o"
+  "CMakeFiles/kcm_run.dir/kcm_run.cc.o.d"
+  "kcm_run"
+  "kcm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
