@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Host-side throughput of the simulator itself: runs the full PLM
+ * suite on both execution cores — the predecoded token-threaded fast
+ * path and the decode-per-step oracle — and reports host wall time,
+ * simulated-cycles-per-host-second and the fast/oracle speedup per
+ * benchmark. Verifies on the way that both cores agree on every
+ * simulated metric (they must be bit-identical).
+ *
+ * Usage: host_throughput [--jobs N]
+ *   Writes BENCH_host.json (fast-path numbers) to the working
+ *   directory.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+#include "bench_support/harness.hh"
+#include "bench_support/json_report.hh"
+
+using namespace kcm;
+
+int
+main(int argc, char **argv)
+{
+    setLoggingEnabled(false);
+    unsigned jobs = benchJobsFromArgs(argc, argv);
+
+    KcmOptions fast_options;
+    fast_options.machine.fastDispatch = true;
+    KcmOptions oracle_options;
+    oracle_options.machine.fastDispatch = false;
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<BenchRun> fast =
+        runPlmSuite(/*pure=*/true, fast_options, jobs);
+    double wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+
+    std::vector<BenchRun> oracle =
+        runPlmSuite(/*pure=*/true, oracle_options, jobs);
+
+    TablePrinter table({"Program", "cycles", "Mcyc/s fast",
+                        "Mcyc/s oracle", "fast/oracle", "identical"});
+
+    double sum_speedup = 0;
+    int rows = 0;
+    bool all_identical = true;
+
+    for (size_t i = 0; i < fast.size(); ++i) {
+        const BenchRun &f = fast[i];
+        const BenchRun &o = oracle[i];
+        bool identical = f.cycles == o.cycles &&
+                         f.instructions == o.instructions &&
+                         f.inferences == o.inferences &&
+                         f.dcacheHitRatio == o.dcacheHitRatio &&
+                         f.icacheHitRatio == o.icacheHitRatio &&
+                         f.memoryWords == o.memoryWords;
+        all_identical = all_identical && identical;
+
+        double speedup = o.hostSeconds > 0 && f.hostSeconds > 0
+                             ? o.hostSeconds / f.hostSeconds
+                             : 0;
+        sum_speedup += speedup;
+        ++rows;
+
+        table.addRow({f.name, cellInt(f.cycles),
+                      cellFixed(f.simCyclesPerHostSecond / 1e6, 1),
+                      cellFixed(o.simCyclesPerHostSecond / 1e6, 1),
+                      cellRatio(speedup), identical ? "yes" : "NO"});
+    }
+
+    table.addRow({"average", "", "", "", cellRatio(sum_speedup / rows),
+                  all_identical ? "yes" : "NO"});
+
+    printf("Host execution-core throughput "
+           "(fast = predecoded token-threaded dispatch, oracle = "
+           "decode per step; simulated metrics must match exactly)\n\n"
+           "%s\n",
+           table.render().c_str());
+
+    writeBenchJson("BENCH_host.json", "host_throughput", fast, jobs,
+                   wall_seconds);
+
+    if (!all_identical) {
+        printf("ERROR: fast and oracle cores disagree on simulated "
+               "metrics\n");
+        return 1;
+    }
+    return 0;
+}

@@ -7,21 +7,41 @@
  * columns are measured on our cycle-level simulator with write/1 and
  * nl/0 compiled as unit clauses (a call costs the minimal 5-cycle
  * call/return pair), mirroring the paper's I/O assumption.
+ *
+ * Usage: table2_plm [--jobs N]
+ *   N benchmark Machines execute concurrently (default: the host's
+ *   hardware concurrency; 1 reproduces the serial harness exactly).
+ *   Results are always printed in table order and a BENCH_table2.json
+ *   report is written to the working directory.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "base/logging.hh"
 
 #include "bench_support/harness.hh"
+#include "bench_support/json_report.hh"
 #include "bench_support/paper_data.hh"
 
 using namespace kcm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLoggingEnabled(false);
+    unsigned jobs = benchJobsFromArgs(argc, argv);
+
+    std::vector<std::string> names;
+    for (const auto &paper : paperTable2())
+        names.push_back(paper.program);
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<BenchRun> runs =
+        runPlmBenchmarks(names, /*pure=*/false, {}, jobs);
+    double wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
 
     TablePrinter table({"Program", "Inf", "PLM ms", "PLM Klips",
                         "KCM ms", "KCM Klips", "PLM/KCM",
@@ -30,9 +50,9 @@ main()
     double sum_ratio = 0;
     int rows = 0;
 
+    size_t i = 0;
     for (const auto &paper : paperTable2()) {
-        const PlmBenchmark &bench = plmBenchmark(paper.program);
-        BenchRun run = runPlmBenchmark(bench, /*pure=*/false);
+        const BenchRun &run = runs[i++];
 
         double ratio = paper.plmMs / run.ms;
         sum_ratio += ratio;
@@ -53,5 +73,7 @@ main()
            "(paper: KCM is 2-4x faster than PLM, average ratio 3.05)\n\n"
            "%s\n",
            table.render().c_str());
+
+    writeBenchJson("BENCH_table2.json", "table2", runs, jobs, wall_seconds);
     return 0;
 }

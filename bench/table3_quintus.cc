@@ -9,22 +9,43 @@
  * comparison point this harness also runs our baseline reference
  * interpreter (a portable, non-WAM Prolog in C++) and reports its
  * wall-clock time on this host.
+ *
+ * Usage: table3_quintus [--jobs N]
+ *   N benchmark Machines execute concurrently (default: the host's
+ *   hardware concurrency; 1 reproduces the serial harness exactly).
+ *   The baseline interpreter timings stay serial — they are
+ *   wall-clock measurements and mutual contention would corrupt
+ *   them. A BENCH_table3.json report is written afterwards.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "base/logging.hh"
 
 #include "baseline/interp.hh"
 #include "bench_support/harness.hh"
+#include "bench_support/json_report.hh"
 #include "bench_support/paper_data.hh"
 
 using namespace kcm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLoggingEnabled(false);
+    unsigned jobs = benchJobsFromArgs(argc, argv);
+
+    std::vector<std::string> names;
+    for (const auto &paper : paperTable3())
+        names.push_back(paper.program);
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<BenchRun> runs =
+        runPlmBenchmarks(names, /*pure=*/true, {}, jobs);
+    double wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
 
     TablePrinter table({"Program", "Inf", "QUINTUS ms", "Q Klips",
                         "KCM ms", "KCM Klips", "Q/KCM", "Q/KCM(paper)",
@@ -33,16 +54,17 @@ main()
     double sum_ratio = 0;
     int ratio_rows = 0;
 
+    size_t i = 0;
     for (const auto &paper : paperTable3()) {
         const PlmBenchmark &bench = plmBenchmark(paper.program);
-        BenchRun run = runPlmBenchmark(bench, /*pure=*/true);
+        const BenchRun &run = runs[i++];
 
         // Baseline interpreter wall-clock (best of 4 runs on a quiet
         // system, as in the paper's measurement protocol).
         baseline::Interpreter interp;
         interp.consult(bench.pureProgram());
         double best_seconds = 1e30;
-        for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
             auto r = interp.query(bench.queryPure);
             best_seconds = std::min(best_seconds, r.seconds);
         }
@@ -75,5 +97,7 @@ main()
            "lowest on deterministic programs, highest with "
            "backtracking)\n\n%s\n",
            table.render().c_str());
+
+    writeBenchJson("BENCH_table3.json", "table3", runs, jobs, wall_seconds);
     return 0;
 }

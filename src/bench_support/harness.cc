@@ -1,6 +1,11 @@
 #include "bench_support/harness.hh"
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
@@ -8,9 +13,9 @@
 namespace kcm
 {
 
-BenchRun
-runPlmBenchmark(const PlmBenchmark &bench, bool pure,
-                const KcmOptions &base_options)
+PreparedBenchmark
+preparePlmBenchmark(const PlmBenchmark &bench, bool pure,
+                    const KcmOptions &base_options)
 {
     KcmOptions options = base_options;
     // Table 2 convention: write/1 and nl/0 compiled as unit clauses so
@@ -20,21 +25,36 @@ runPlmBenchmark(const PlmBenchmark &bench, bool pure,
 
     KcmSystem system(options);
     system.consult(pure ? bench.pureProgram() : bench.program);
-    CodeImage image =
-        system.compileOnly(pure ? bench.queryPure : bench.queryIo);
+
+    PreparedBenchmark prep;
+    prep.name = bench.name;
+    prep.image = system.compileOnly(pure ? bench.queryPure : bench.queryIo);
+    prep.machine = options.machine;
+    return prep;
+}
+
+BenchRun
+runPrepared(const PreparedBenchmark &prep)
+{
+    auto host_start = std::chrono::steady_clock::now();
 
     // The paper's protocol: "the figure given here is the best figure
     // obtained on 4 successive runs on a quiet system". A warm-up run
     // loads the caches; the measured run re-executes warm.
-    Machine machine(options.machine);
-    machine.load(image);
+    Machine machine(prep.machine);
+    machine.load(prep.image);
     machine.run(); // warm-up (cold caches)
-    machine.load(image, /*cold_caches=*/false);
+    machine.load(prep.image, /*cold_caches=*/false);
     machine.resetMeasurement();
     RunStatus status = machine.run();
 
+    double host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+
     BenchRun run;
-    run.name = bench.name;
+    run.name = prep.name;
     run.success = status == RunStatus::SolutionFound;
     run.cycles = machine.cycles();
     run.instructions = machine.instructions();
@@ -56,16 +76,89 @@ runPlmBenchmark(const PlmBenchmark &bench, bool pure,
                       machine.mem().memory().writtenWords.value();
 
     machine.image().programSize(run.staticInstructions, run.staticWords);
+
+    run.hostSeconds = host_seconds;
+    run.simCyclesPerHostSecond =
+        host_seconds > 0 ? double(run.cycles) / host_seconds : 0;
     return run;
 }
 
-std::vector<BenchRun>
-runPlmSuite(bool pure, const KcmOptions &base_options)
+BenchRun
+runPlmBenchmark(const PlmBenchmark &bench, bool pure,
+                const KcmOptions &base_options)
 {
-    std::vector<BenchRun> runs;
-    for (const auto &bench : plmSuite())
-        runs.push_back(runPlmBenchmark(bench, pure, base_options));
+    return runPrepared(preparePlmBenchmark(bench, pure, base_options));
+}
+
+std::vector<BenchRun>
+runPlmBenchmarks(const std::vector<std::string> &names, bool pure,
+                 const KcmOptions &base_options, unsigned jobs)
+{
+    std::vector<BenchRun> runs(names.size());
+
+    if (jobs <= 1) {
+        // The sequential harness, unchanged: compile and run each
+        // benchmark in turn.
+        for (size_t i = 0; i < names.size(); ++i)
+            runs[i] =
+                runPlmBenchmark(plmBenchmark(names[i]), pure, base_options);
+        return runs;
+    }
+
+    // Parallel mode. Compilation stays serial and in request order:
+    // AtomIds depend on interning order and switch-table layouts
+    // depend on AtomIds, so compiling on one thread keeps the
+    // generated code — and therefore every simulated cycle count —
+    // deterministic. The execution phase shares nothing (one Machine,
+    // one memory system per benchmark) and fans out across the pool;
+    // results land in the slot of their name, so the output order
+    // never depends on completion order.
+    std::vector<PreparedBenchmark> prepared;
+    prepared.reserve(names.size());
+    for (const auto &name : names)
+        prepared.push_back(
+            preparePlmBenchmark(plmBenchmark(name), pure, base_options));
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        while (true) {
+            size_t i = next.fetch_add(1);
+            if (i >= prepared.size())
+                return;
+            runs[i] = runPrepared(prepared[i]);
+        }
+    };
+
+    unsigned n_threads =
+        std::min<size_t>(jobs, prepared.size() ? prepared.size() : 1);
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
     return runs;
+}
+
+std::vector<BenchRun>
+runPlmSuite(bool pure, const KcmOptions &base_options, unsigned jobs)
+{
+    std::vector<std::string> names;
+    for (const auto &bench : plmSuite())
+        names.push_back(bench.name);
+    return runPlmBenchmarks(names, pure, base_options, jobs);
+}
+
+unsigned
+benchJobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return static_cast<unsigned>(
+                std::max(1L, std::strtol(argv[i + 1], nullptr, 10)));
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

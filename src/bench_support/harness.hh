@@ -47,19 +47,61 @@ struct BenchRun
     // Static sizes of the program predicates (library excluded).
     size_t staticInstructions = 0;
     size_t staticWords = 0;
+
+    // Host-side throughput of the simulator itself (wall time of the
+    // execution phase: machine setup + warm-up + measured run).
+    double hostSeconds = 0;
+    double simCyclesPerHostSecond = 0;
 };
 
 /**
- * Run one PLM benchmark.
+ * A compiled-and-linked benchmark, ready to execute. Compilation
+ * interns atoms (and switch-table layouts depend on interning order),
+ * so preparation always happens on one thread, in suite order; the
+ * execution phase shares nothing and can run anywhere.
+ */
+struct PreparedBenchmark
+{
+    std::string name;
+    CodeImage image;
+    MachineConfig machine;
+};
+
+/**
+ * Compile one PLM benchmark (the serial phase).
  * @param pure use the Table 3 form (I/O removed); otherwise the
  *        Table 2 form with write/nl compiled as unit clauses.
  */
+PreparedBenchmark preparePlmBenchmark(const PlmBenchmark &bench, bool pure,
+                                      const KcmOptions &base_options = {});
+
+/** Execute a prepared benchmark on a fresh Machine (thread-safe). */
+BenchRun runPrepared(const PreparedBenchmark &prep);
+
+/** Compile and run one PLM benchmark (prepare + runPrepared). */
 BenchRun runPlmBenchmark(const PlmBenchmark &bench, bool pure,
                          const KcmOptions &base_options = {});
 
-/** Run every benchmark of the suite. */
+/**
+ * Run the named benchmarks. Results come back in the order of
+ * @p names regardless of completion order. @p jobs > 1 compiles
+ * everything serially up front, then executes on a pool of that many
+ * threads (one independent Machine per benchmark); jobs <= 1 is
+ * exactly the sequential compile-run-compile-run loop.
+ */
+std::vector<BenchRun> runPlmBenchmarks(const std::vector<std::string> &names,
+                                       bool pure,
+                                       const KcmOptions &base_options = {},
+                                       unsigned jobs = 1);
+
+/** Run every benchmark of the suite (name order). */
 std::vector<BenchRun> runPlmSuite(bool pure,
-                                  const KcmOptions &base_options = {});
+                                  const KcmOptions &base_options = {},
+                                  unsigned jobs = 1);
+
+/** Parse a --jobs N argument list for the bench drivers: returns
+ *  hardware_concurrency by default, N after "--jobs N". */
+unsigned benchJobsFromArgs(int argc, char **argv);
 
 // --- table formatting ---
 

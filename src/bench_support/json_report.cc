@@ -1,0 +1,97 @@
+#include "bench_support/json_report.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace kcm
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+benchRunsJson(const std::string &label, const std::vector<BenchRun> &runs,
+              unsigned jobs, double host_wall_seconds)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"label\": \"" << jsonEscape(label) << "\",\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"hostWallSeconds\": " << jsonDouble(host_wall_seconds)
+       << ",\n";
+    os << "  \"benchmarks\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const BenchRun &r = runs[i];
+        os << "    {";
+        os << "\"name\": \"" << jsonEscape(r.name) << "\", ";
+        os << "\"success\": " << (r.success ? "true" : "false") << ", ";
+        os << "\"cycles\": " << r.cycles << ", ";
+        os << "\"instructions\": " << r.instructions << ", ";
+        os << "\"inferences\": " << r.inferences << ", ";
+        os << "\"simMs\": " << jsonDouble(r.ms) << ", ";
+        os << "\"klips\": " << jsonDouble(r.klips) << ", ";
+        os << "\"dcacheHitRatio\": " << jsonDouble(r.dcacheHitRatio)
+           << ", ";
+        os << "\"icacheHitRatio\": " << jsonDouble(r.icacheHitRatio)
+           << ", ";
+        os << "\"hostSeconds\": " << jsonDouble(r.hostSeconds) << ", ";
+        os << "\"simCyclesPerHostSecond\": "
+           << jsonDouble(r.simCyclesPerHostSecond);
+        os << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+void
+writeBenchJson(const std::string &path, const std::string &label,
+               const std::vector<BenchRun> &runs, unsigned jobs,
+               double host_wall_seconds)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::string text = benchRunsJson(label, runs, jobs, host_wall_seconds);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace kcm

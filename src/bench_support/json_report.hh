@@ -1,0 +1,35 @@
+/**
+ * @file
+ * BENCH_*.json emission: a machine-readable record of each benchmark
+ * driver's simulated results plus the host-side throughput of the
+ * simulator itself, so the perf trajectory of the codebase can be
+ * tracked commit over commit.
+ */
+
+#ifndef KCM_BENCH_SUPPORT_JSON_REPORT_HH
+#define KCM_BENCH_SUPPORT_JSON_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "bench_support/harness.hh"
+
+namespace kcm
+{
+
+/** Render @p runs as a JSON document. @p label names the driver
+ *  (e.g. "table2"); @p jobs and @p host_wall_seconds describe the
+ *  harness configuration and total wall time of the run phase. */
+std::string benchRunsJson(const std::string &label,
+                          const std::vector<BenchRun> &runs, unsigned jobs,
+                          double host_wall_seconds);
+
+/** Write benchRunsJson to @p path (logs a warning on failure rather
+ *  than aborting a benchmark that already ran). */
+void writeBenchJson(const std::string &path, const std::string &label,
+                    const std::vector<BenchRun> &runs, unsigned jobs,
+                    double host_wall_seconds);
+
+} // namespace kcm
+
+#endif // KCM_BENCH_SUPPORT_JSON_REPORT_HH

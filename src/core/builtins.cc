@@ -34,9 +34,9 @@ orderClass(Word w)
 } // namespace
 
 void
-Machine::execEscape(Instr instr)
+Machine::execEscape(const DecodedInstr &instr)
 {
-    BuiltinId id = static_cast<BuiltinId>(instr.value());
+    BuiltinId id = static_cast<BuiltinId>(instr.value);
     const BuiltinDef &def = builtinById(id);
     cycles_ += def.extraCycles;
 
@@ -615,7 +615,7 @@ Machine::execEscape(Instr instr)
       }
 
       default:
-        panic("unimplemented builtin id ", instr.value());
+        panic("unimplemented builtin id ", instr.value);
     }
 }
 

@@ -12,7 +12,7 @@ namespace kcm
 {
 
 void
-Machine::execIndex(Instr instr)
+Machine::execIndex(const DecodedInstr &instr)
 {
     switch (instr.opcode()) {
       case Opcode::TryMeElse:
@@ -21,12 +21,12 @@ Machine::execIndex(Instr instr)
         Addr clause;
         if (instr.opcode() == Opcode::Try) {
             alt = nextP_; // the following retry/trust instruction
-            clause = instr.value();
+            clause = instr.value;
         } else {
-            alt = instr.value();
+            alt = instr.value;
             clause = nextP_;
         }
-        uint32_t arity = instr.r1();
+        uint32_t arity = instr.r1;
         if (config_.shallowBacktracking) {
             // Delay the choice point: save three state registers into
             // shadow registers (§3.1.5).
@@ -53,9 +53,9 @@ Machine::execIndex(Instr instr)
         Addr clause;
         if (instr.opcode() == Opcode::Retry) {
             alt = nextP_;
-            clause = instr.value();
+            clause = instr.value;
         } else {
-            alt = instr.value();
+            alt = instr.value;
             clause = nextP_;
         }
         if (cpFlag_) {
@@ -84,7 +84,7 @@ Machine::execIndex(Instr instr)
         shallowFlag_ = false;
         cpFlag_ = false;
         if (instr.opcode() == Opcode::Trust)
-            nextP_ = instr.value();
+            nextP_ = instr.value;
         break;
       }
 
@@ -105,13 +105,13 @@ Machine::execIndex(Instr instr)
         break;
 
       case Opcode::GetLevel:
-        writeData(Word::makeDataPtr(Zone::Local, e_ + 2 + instr.r1()),
+        writeData(Word::makeDataPtr(Zone::Local, e_ + 2 + instr.r1),
                   Word::makeDataPtr(Zone::Control, b0_));
         break;
 
       case Opcode::CutY: {
         Word level = readData(
-            Word::makeDataPtr(Zone::Local, e_ + 2 + instr.r1()));
+            Word::makeDataPtr(Zone::Local, e_ + 2 + instr.r1));
         ++cycles_;
         cutTo(level.addr());
         break;
@@ -149,7 +149,7 @@ Machine::execIndex(Instr instr)
 
       case Opcode::SwitchOnConstant: {
         Word w = deref(x_[0]);
-        unsigned n = instr.value();
+        unsigned n = instr.value;
         Addr miss = Word(mem_->fetchCode(p_ + 1 + 2 * n, penalty_)).addr();
         nextP_ = miss;
         for (unsigned i = 0; i < n; ++i) {
@@ -172,7 +172,7 @@ Machine::execIndex(Instr instr)
         }
         Word f = readData(Word::makeDataPtr(w.zone(), w.addr()));
         ++cycles_;
-        unsigned n = instr.value();
+        unsigned n = instr.value;
         Addr miss = Word(mem_->fetchCode(p_ + 1 + 2 * n, penalty_)).addr();
         nextP_ = miss;
         for (unsigned i = 0; i < n; ++i) {

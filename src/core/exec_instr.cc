@@ -3,9 +3,13 @@
  * Instruction semantics: the microcoded execution unit. Dispatch on
  * the combination of operand types is modelled after the MWAC
  * (§3.1.4): type analysis costs no extra test cycles.
+ *
+ * execInstr is the switch-dispatch (oracle) entry point; the bodies
+ * of the simple opcodes live in exec_ops.hh so the token-threaded
+ * core (exec_threaded.cc) executes the very same code.
  */
 
-#include <algorithm>
+#include "core/exec_ops.hh"
 
 #include "base/logging.hh"
 #include "core/machine.hh"
@@ -14,78 +18,22 @@
 namespace kcm
 {
 
-namespace
-{
-
-/** Env slot address of Y register @p y under environment @p e. */
-constexpr Addr
-yAddr(Addr e, Reg y)
-{
-    return e + 2 + y;
-}
-
-} // namespace
+using exec_detail::yAddr;
 
 void
-Machine::execInstr(Instr instr)
+Machine::execInstr(const DecodedInstr &instr)
 {
     switch (instr.opcode()) {
       // ------------------------------------------------------ control
-      case Opcode::Halt:
-        if (instr.value() == 0)
-            halted_ = true;
-        else
-            haltFailed_ = true;
-        break;
-      case Opcode::Noop:
-        break;
-      case Opcode::Jump:
-        nextP_ = instr.value();
-        break;
-      case Opcode::Call:
-        doCall(instr.value(), false);
-        break;
-      case Opcode::Execute:
-        doCall(instr.value(), true);
-        break;
-      case Opcode::Proceed:
-        nextP_ = cpCont_;
-        break;
-      case Opcode::Allocate: {
-        // The new environment goes above both the current local top
-        // and the region protected by the current choice point (after
-        // a deallocate, LT may sit below frames that backtracking will
-        // revive — the split-stack analogue of the WAM's
-        // E := max(E, B) rule).
-        Addr new_e = std::max(lt_, lb_);
-        writeData(Word::makeDataPtr(Zone::Local, new_e),
-                  Word::makeDataPtr(Zone::Local, e_));
-        writeData(Word::makeDataPtr(Zone::Local, new_e + 1),
-                  Word::makeCodePtr(cpCont_));
-        e_ = new_e;
-        lt_ = new_e + 2 + instr.r1();
-        envSizes_[new_e] = instr.r1(); // GC debug info (host side)
-        ++cycles_; // two stack writes
-        ++envAllocs;
-        break;
-      }
-      case Opcode::Deallocate: {
-        cpCont_ =
-            readData(Word::makeDataPtr(Zone::Local, e_ + 1)).addr();
-        Addr old_e = e_;
-        Word ce = readData(Word::makeDataPtr(Zone::Local, e_));
-        if (ce.zone() != Zone::Local)
-            throw MachineTrap(TrapKind::ZoneViolation,
-                              cat("DEALLOC corrupt CE at E=0x", std::hex,
-                                  e_, " ce=", ce.toString()));
-        e_ = ce.addr();
-        lt_ = old_e;
-        ++cycles_; // two stack reads
-        break;
-      }
-      case Opcode::FailOp:
-        fail();
-        break;
+      case Opcode::Halt:       opHalt(instr); break;
+      case Opcode::Noop:       break;
+      case Opcode::Jump:       opJump(instr); break;
+      case Opcode::Call:       opCall(instr); break;
+      case Opcode::Execute:    opExecute(instr); break;
+      case Opcode::Proceed:    opProceed(instr); break;
+      case Opcode::Allocate:   opAllocate(instr); break;
+      case Opcode::Deallocate: opDeallocate(instr); break;
+      case Opcode::FailOp:     fail(); break;
 
       // ------------------------------------- choice points / indexing
       case Opcode::TryMeElse:
@@ -105,123 +53,23 @@ Machine::execInstr(Instr instr)
         break;
 
       // ------------------------------------------------------ get/put
-      case Opcode::GetVariableX:
-        x_[instr.r1()] = x_[instr.r2()];
-        if (!config_.dualPortRegisterFile)
-            ++cycles_;
-        break;
-      case Opcode::GetVariableY:
-        writeData(Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())),
-                  x_[instr.r2()]);
-        break;
-      case Opcode::GetValueX:
-        if (!unify(x_[instr.r1()], x_[instr.r2()]))
-            fail();
-        break;
-      case Opcode::GetValueY: {
-        Word y = readData(
-            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())));
-        if (!unify(y, x_[instr.r2()]))
-            fail();
-        break;
-      }
+      case Opcode::GetVariableX:   opGetVariableX(instr); break;
+      case Opcode::GetVariableY:   opGetVariableY(instr); break;
+      case Opcode::GetValueX:      opGetValueX(instr); break;
+      case Opcode::GetValueY:      opGetValueY(instr); break;
       case Opcode::GetConstant:
-      case Opcode::GetNil: {
-        Word want = instr.opcode() == Opcode::GetNil ? Word::makeNil()
-                                                     : instr.constant();
-        Word w = deref(x_[instr.r2()]);
-        if (w.isRef()) {
-            bind(w, want);
-        } else if (w.tag() != want.tag() || w.value() != want.value()) {
-            fail();
-        }
-        break;
-      }
-      case Opcode::GetList: {
-        Word w = deref(x_[instr.r2()]);
-        if (w.isRef()) {
-            bind(w, Word::makeList(Zone::Global, h_));
-            writeMode_ = true;
-        } else if (w.isList()) {
-            s_ = w.addr();
-            writeMode_ = false;
-        } else {
-            fail();
-        }
-        break;
-      }
-      case Opcode::GetStructure: {
-        Word f = instr.constant();
-        Word w = deref(x_[instr.r2()]);
-        if (w.isRef()) {
-            bind(w, Word::makeStruct(Zone::Global, h_));
-            pushHeapCell(f);
-            writeMode_ = true;
-        } else if (w.isStruct()) {
-            Word actual =
-                readData(Word::makeDataPtr(w.zone(), w.addr()));
-            ++cycles_;
-            if (actual.raw() != f.raw()) {
-                fail();
-                break;
-            }
-            s_ = w.addr() + 1;
-            writeMode_ = false;
-        } else {
-            fail();
-        }
-        break;
-      }
-
-      case Opcode::PutVariableX: {
-        Word v = newHeapVar();
-        x_[instr.r1()] = v;
-        x_[instr.r2()] = v;
-        break;
-      }
-      case Opcode::PutVariableY: {
-        Addr a = yAddr(e_, instr.r1());
-        Word v = Word::makeRef(Zone::Local, a);
-        writeData(v, v);
-        x_[instr.r2()] = v;
-        break;
-      }
-      case Opcode::PutValueX:
-        x_[instr.r2()] = x_[instr.r1()];
-        if (!config_.dualPortRegisterFile)
-            ++cycles_;
-        break;
-      case Opcode::PutValueY:
-        x_[instr.r2()] = readData(
-            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())));
-        break;
-      case Opcode::PutUnsafeValue: {
-        Word w = deref(readData(
-            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1()))));
-        if (w.isRef() && w.zone() == Zone::Local && w.addr() >= e_) {
-            // Unbound variable in the environment being discarded:
-            // globalize it.
-            x_[instr.r2()] = globalize(w);
-        } else {
-            x_[instr.r2()] = w;
-        }
-        break;
-      }
-      case Opcode::PutConstant:
-        x_[instr.r2()] = instr.constant();
-        break;
-      case Opcode::PutNil:
-        x_[instr.r2()] = Word::makeNil();
-        break;
-      case Opcode::PutList:
-        x_[instr.r2()] = Word::makeList(Zone::Global, h_);
-        writeMode_ = true;
-        break;
-      case Opcode::PutStructure:
-        x_[instr.r2()] = Word::makeStruct(Zone::Global, h_);
-        pushHeapCell(instr.constant());
-        writeMode_ = true;
-        break;
+      case Opcode::GetNil:         opGetConstant(instr); break;
+      case Opcode::GetList:        opGetList(instr); break;
+      case Opcode::GetStructure:   opGetStructure(instr); break;
+      case Opcode::PutVariableX:   opPutVariableX(instr); break;
+      case Opcode::PutVariableY:   opPutVariableY(instr); break;
+      case Opcode::PutValueX:      opPutValueX(instr); break;
+      case Opcode::PutValueY:      opPutValueY(instr); break;
+      case Opcode::PutUnsafeValue: opPutUnsafeValue(instr); break;
+      case Opcode::PutConstant:    opPutConstant(instr); break;
+      case Opcode::PutNil:         opPutNil(instr); break;
+      case Opcode::PutList:        opPutList(instr); break;
+      case Opcode::PutStructure:   opPutStructure(instr); break;
 
       // -------------------------------------------------------- unify
       case Opcode::UnifyVariableX:
@@ -258,78 +106,48 @@ Machine::execInstr(Instr instr)
         break;
 
       // ---------------------------------------------- data movement
-      case Opcode::Move2:
-        x_[instr.r3()] = x_[instr.r1()];
-        x_[instr.r4()] = x_[instr.r2()];
-        if (!config_.dualPortRegisterFile)
-            ++cycles_; // two moves need two file cycles
-        break;
-      case Opcode::LoadImm:
-        x_[instr.r1()] = instr.constant();
-        break;
-      case Opcode::SwapTV:
-        x_[instr.r3()] = x_[instr.r1()].swapped();
-        break;
-      case Opcode::Load: {
-        // Xr3 := mem[Xr1 + offset]; Xr2 := Xr1 + offset (§3.1.2).
-        // Pointers materialized by load_imm carry no zone (the
-        // instruction format has no zone field); re-derive it from
-        // the layout, as the assembler's address calculator does.
-        Word base = x_[instr.r1()];
-        Addr a = base.addr() + instr.offset();
-        Zone zone = base.zone() == Zone::None ? zoneOf(a) : base.zone();
-        Word addr_word = Word::make(base.tag(), zone, a);
-        x_[instr.r2()] = addr_word;
-        x_[instr.r3()] = readData(addr_word);
-        break;
-      }
-      case Opcode::Store: {
-        Word base = x_[instr.r1()];
-        Addr a = base.addr() + instr.offset();
-        Zone zone = base.zone() == Zone::None ? zoneOf(a) : base.zone();
-        Word addr_word = Word::make(base.tag(), zone, a);
-        x_[instr.r2()] = addr_word;
-        writeData(addr_word, x_[instr.r3()]);
-        break;
-      }
+      case Opcode::Move2:   opMove2(instr); break;
+      case Opcode::LoadImm: opLoadImm(instr); break;
+      case Opcode::SwapTV:  opSwapTV(instr); break;
+      case Opcode::Load:    opLoad(instr); break;
+      case Opcode::Store:   opStore(instr); break;
 
       default:
-        throw MachineTrap(TrapKind::BadInstruction,
-                          cat("undecodable opcode at 0x", std::hex, p_));
+        opBadInstruction(instr);
     }
 }
 
 void
-Machine::execUnifyClass(Instr instr)
+Machine::execUnifyClass(const DecodedInstr &instr)
 {
     // The read/write mode flag is taken into account at decode time
     // (§2.5): no test cycles.
     switch (instr.opcode()) {
       case Opcode::UnifyVariableX:
         if (writeMode_) {
-            x_[instr.r1()] = newHeapVar();
+            x_[instr.r1] = newHeapVar();
         } else {
-            x_[instr.r1()] = nextSubterm();
+            x_[instr.r1] = nextSubterm();
         }
         break;
       case Opcode::UnifyVariableY: {
         Word v = writeMode_ ? newHeapVar() : nextSubterm();
-        writeData(Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())), v);
+        writeData(Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1)), v);
         ++cycles_;
         break;
       }
       case Opcode::UnifyValueX:
       case Opcode::UnifyLocalValueX: {
         if (writeMode_) {
-            Word w = deref(x_[instr.r1()]);
+            Word w = deref(x_[instr.r1]);
             if (w.isRef() && w.zone() == Zone::Local) {
                 // Keep the global stack free of local references.
                 w = globalize(w);
             }
-            x_[instr.r1()] = w;
+            x_[instr.r1] = w;
             pushHeapCell(w);
         } else {
-            if (!unify(x_[instr.r1()], nextSubterm()))
+            if (!unify(x_[instr.r1], nextSubterm()))
                 fail();
         }
         break;
@@ -337,7 +155,7 @@ Machine::execUnifyClass(Instr instr)
       case Opcode::UnifyValueY:
       case Opcode::UnifyLocalValueY: {
         Word y = readData(
-            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1())));
+            Word::makeDataPtr(Zone::Local, yAddr(e_, instr.r1)));
         ++cycles_;
         if (writeMode_) {
             Word w = deref(y);
@@ -353,7 +171,7 @@ Machine::execUnifyClass(Instr instr)
       case Opcode::UnifyConstant:
       case Opcode::UnifyNil: {
         Word want = instr.opcode() == Opcode::UnifyNil ? Word::makeNil()
-                                                       : instr.constant();
+                                                       : instr.constant;
         if (writeMode_) {
             pushHeapCell(want);
         } else {
@@ -387,7 +205,7 @@ Machine::execUnifyClass(Instr instr)
         break;
       }
       case Opcode::UnifyVoid: {
-        unsigned n = instr.r1();
+        unsigned n = instr.r1;
         if (writeMode_) {
             for (unsigned i = 0; i < n; ++i)
                 newHeapVar();
@@ -411,9 +229,9 @@ Machine::nextSubterm()
 }
 
 void
-Machine::execArith(Instr instr)
+Machine::execArith(const DecodedInstr &instr)
 {
-    Word a = deref(x_[instr.r1()]);
+    Word a = deref(x_[instr.r1]);
     bool is_cmp = false;
     Word b;
     switch (instr.opcode()) {
@@ -421,7 +239,7 @@ Machine::execArith(Instr instr)
         b = Word::makeInt(0);
         break;
       default:
-        b = deref(x_[instr.r2()]);
+        b = deref(x_[instr.r2]);
         break;
     }
 
@@ -532,7 +350,7 @@ Machine::execArith(Instr instr)
         }
         return;
     }
-    x_[instr.r3()] = result;
+    x_[instr.r3] = result;
 }
 
 } // namespace kcm

@@ -17,7 +17,6 @@
  * words' GC bits in place — exactly what the hardware bits are for.
  */
 
-#include <map>
 #include <set>
 #include <vector>
 
@@ -75,8 +74,7 @@ Machine::collectGarbage()
     std::set<Addr> visited_envs;
     auto add_env_chain = [&](Addr e) {
         while (e && visited_envs.insert(e).second) {
-            auto it = envSizes_.find(e);
-            unsigned n = it == envSizes_.end() ? 0 : it->second;
+            unsigned n = envSizeOf(e);
             for (unsigned y = 0; y < n; ++y)
                 root_cells.push_back(e + 2 + y);
             Word ce = peek(e);

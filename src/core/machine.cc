@@ -138,6 +138,15 @@ Machine::load(const CodeImage &image, bool cold_caches)
         profiler_.reset();
     }
 
+    // Predecode the image for the fast core. The oracle keeps
+    // decoded_ empty so every fetch takes the decode-per-step path.
+    decoded_.clear();
+    if (config_.fastDispatch) {
+        decoded_.reserve(image_.words.size());
+        for (uint64_t raw : image_.words)
+            decoded_.push_back(decodeInstr(raw));
+    }
+
     // The download wrote through the code cache; a first run starts
     // cold, as the real machine does after a download from the host.
     if (cold_caches) {
@@ -159,7 +168,7 @@ Machine::load(const CodeImage &image, bool cold_caches)
     // Bottom environment.
     envSizes_.clear();
     e_ = layout.localStart;
-    envSizes_[e_] = 0;
+    noteEnvSize(e_, 0);
     mem_->pokeData(e_ + 0, Word::makeDataPtr(Zone::Local, e_));
     mem_->pokeData(e_ + 1, Word::makeCodePtr(image_.haltFailEntry));
     lt_ = e_ + 2;
@@ -543,6 +552,8 @@ Machine::doCall(Addr target, bool is_execute)
 RunStatus
 Machine::run()
 {
+    if (config_.fastDispatch)
+        return runFast();
     while (true) {
         if (config_.maxCycles && cycles_ >= config_.maxCycles)
             return RunStatus::CycleLimit;
@@ -585,38 +596,9 @@ Machine::solutions(size_t max)
 void
 Machine::step()
 {
-    if (config_.gcThresholdWords &&
-        h_ - mem_->layout().globalStart > config_.gcThresholdWords) {
-        collectGarbage();
-    }
-    penalty_ = 0;
-    prefetch_.onFetch(p_, expectedNextP_);
-    uint64_t raw = mem_->fetchCode(p_, penalty_);
-    Instr instr(raw);
-    nextP_ = p_ + 1;
-
-    trace_[traceHead_] = {p_, raw};
-    traceHead_ = (traceHead_ + 1) % traceSize;
-
-    if (config_.profile) {
-        Opcode op = instr.opcode();
-        bool is_call = op == Opcode::Call || op == Opcode::Execute;
-        profiler_.record(op, is_call ? instr.value() : 0);
-    }
-
+    const DecodedInstr &instr = fetchDecoded();
     execInstr(instr);
-
-    ++instructions_;
-    cycles_ += opcodeInfo(instr.opcode()).baseCycles;
-    if (config_.timeMemory)
-        cycles_ += penalty_;
-    if (instr.inferenceMark())
-        ++inferences_;
-
-    // The prefetcher would have streamed p_+1 (or, for a multi-word
-    // switch, the word after its table) next.
-    expectedNextP_ = p_ + 1;
-    p_ = nextP_;
+    finishStep(instr);
 }
 
 std::string

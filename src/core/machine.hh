@@ -20,7 +20,6 @@
 #define KCM_CORE_MACHINE_HH
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +30,7 @@
 #include "core/machine_config.hh"
 #include "core/prefetch.hh"
 #include "core/profiler.hh"
+#include "isa/decoded.hh"
 #include "isa/instr.hh"
 #include "mem/mem_system.hh"
 #include "prolog/term.hh"
@@ -176,13 +176,55 @@ class Machine
 
     // --- instruction execution ---
     void step();
-    void execInstr(Instr instr);
-    void execGetPut(Instr instr);
-    void execUnifyClass(Instr instr);
-    void execControl(Instr instr);
-    void execIndex(Instr instr);
-    void execArith(Instr instr);
-    void execEscape(Instr instr);
+    /** The token-threaded run loop over the predecoded image
+     *  (exec_threaded.cc); falls back to switch dispatch on
+     *  toolchains without computed goto. */
+    RunStatus runFast();
+    /** Fetch + decode the instruction at P: per-step prologue shared
+     *  by the oracle and fast paths (GC check, prefetch accounting,
+     *  code-cache fetch, trace, profiler). */
+    const DecodedInstr &fetchDecoded();
+    /** Per-step epilogue shared by both paths: instruction/cycle/
+     *  inference accounting and the PC advance. */
+    void finishStep(const DecodedInstr &instr);
+    void execInstr(const DecodedInstr &instr);
+    void execUnifyClass(const DecodedInstr &instr);
+    void execIndex(const DecodedInstr &instr);
+    void execArith(const DecodedInstr &instr);
+    void execEscape(const DecodedInstr &instr);
+
+    // Per-opcode handlers (exec_ops.hh), shared verbatim between the
+    // oracle switch (execInstr) and the threaded core (runFast).
+    void opHalt(const DecodedInstr &);
+    void opJump(const DecodedInstr &);
+    void opCall(const DecodedInstr &);
+    void opExecute(const DecodedInstr &);
+    void opProceed(const DecodedInstr &);
+    void opAllocate(const DecodedInstr &);
+    void opDeallocate(const DecodedInstr &);
+    void opGetVariableX(const DecodedInstr &);
+    void opGetVariableY(const DecodedInstr &);
+    void opGetValueX(const DecodedInstr &);
+    void opGetValueY(const DecodedInstr &);
+    void opGetConstant(const DecodedInstr &); ///< also get_nil
+    void opGetList(const DecodedInstr &);
+    void opGetStructure(const DecodedInstr &);
+    void opPutVariableX(const DecodedInstr &);
+    void opPutVariableY(const DecodedInstr &);
+    void opPutValueX(const DecodedInstr &);
+    void opPutValueY(const DecodedInstr &);
+    void opPutUnsafeValue(const DecodedInstr &);
+    void opPutConstant(const DecodedInstr &);
+    void opPutNil(const DecodedInstr &);
+    void opPutList(const DecodedInstr &);
+    void opPutStructure(const DecodedInstr &);
+    void opMove2(const DecodedInstr &);
+    void opLoadImm(const DecodedInstr &);
+    void opSwapTV(const DecodedInstr &);
+    void opLoad(const DecodedInstr &);
+    void opStore(const DecodedInstr &);
+    [[noreturn]] void opBadInstruction(const DecodedInstr &);
+
     /** Unify-with-mode subterm access. */
     Word nextSubterm();
 
@@ -246,12 +288,95 @@ class Machine
     Profiler profiler_;
     PrefetchUnit prefetch_;
 
-    /** Host-side map of live environment bases to their Y counts
-     *  (debug information for the garbage collector). */
-    std::map<Addr, unsigned> envSizes_;
+    /** The predecoded image (index i = address image_.base + i);
+     *  empty unless config_.fastDispatch. */
+    std::vector<DecodedInstr> decoded_;
+    /** Decode-per-step scratch slot for the oracle path and for
+     *  fetches outside the predecoded image. */
+    DecodedInstr scratchDecoded_;
+
+    /**
+     * Host-side table of environment bases to their Y counts (debug
+     * information for the garbage collector). A flat array indexed by
+     * (base - localStart), grown on demand, so the Allocate fast path
+     * is a bounds check plus one store — no ordered-map insert.
+     */
+    std::vector<uint32_t> envSizes_;
+
+    /** Record that the environment at @p e has @p n permanent vars. */
+    void
+    noteEnvSize(Addr e, uint32_t n)
+    {
+        size_t idx = size_t(e) - mem_->layout().localStart;
+        if (idx >= envSizes_.size()) [[unlikely]]
+            envSizes_.resize(idx + 1, 0);
+        envSizes_[idx] = n;
+    }
+
+    /** Y count recorded for environment base @p e (0 if unknown). */
+    uint32_t
+    envSizeOf(Addr e) const
+    {
+        size_t idx = size_t(e) - mem_->layout().localStart;
+        return idx < envSizes_.size() ? envSizes_[idx] : 0;
+    }
 
     StatGroup stats_;
 };
+
+// Per-step prologue/epilogue, inline so both the oracle loop
+// (machine.cc) and the threaded core (exec_threaded.cc) compile them
+// into their dispatch loops. Any change here changes both paths —
+// which is the point: the two must stay cycle-for-cycle identical.
+
+inline const DecodedInstr &
+Machine::fetchDecoded()
+{
+    if (config_.gcThresholdWords &&
+        h_ - mem_->layout().globalStart > config_.gcThresholdWords) {
+        collectGarbage();
+    }
+    penalty_ = 0;
+    prefetch_.onFetch(p_, expectedNextP_);
+    const DecodedInstr *d;
+    size_t idx = size_t(p_) - image_.base;
+    if (idx < decoded_.size()) [[likely]] {
+        // Predecoded: the code cache is still consulted for timing
+        // and statistics, but the word needs no re-decode.
+        mem_->touchCode(p_, penalty_);
+        d = &decoded_[idx];
+    } else {
+        scratchDecoded_ = decodeInstr(mem_->fetchCode(p_, penalty_));
+        d = &scratchDecoded_;
+    }
+    nextP_ = p_ + 1;
+
+    trace_[traceHead_] = {p_, d->raw};
+    traceHead_ = (traceHead_ + 1) % traceSize;
+
+    if (config_.profile) [[unlikely]] {
+        Opcode op = d->opcode();
+        bool is_call = op == Opcode::Call || op == Opcode::Execute;
+        profiler_.record(op, is_call ? d->value : 0);
+    }
+    return *d;
+}
+
+inline void
+Machine::finishStep(const DecodedInstr &instr)
+{
+    ++instructions_;
+    cycles_ += instr.baseCycles;
+    if (config_.timeMemory)
+        cycles_ += penalty_;
+    if (instr.inferenceMark)
+        ++inferences_;
+
+    // The prefetcher would have streamed p_+1 (or, for a multi-word
+    // switch, the word after its table) next.
+    expectedNextP_ = p_ + 1;
+    p_ = nextP_;
+}
 
 } // namespace kcm
 

@@ -32,6 +32,20 @@ struct MachineConfig
      *  memory, for separating engine effects from memory effects). */
     bool timeMemory = true;
 
+    /**
+     * Host-fast execution core: predecode the linked image into a
+     * flat vector of DecodedInstr after load() and drive execution
+     * from it with token-threaded dispatch (computed goto under
+     * GCC/Clang). Purely a host-side optimization — the simulated
+     * machine still fetches every word through the code cache and
+     * prefetch pipeline, so cycles, instruction counts and cache
+     * statistics are bit-identical to the decode-per-step oracle
+     * path (off = the oracle, kept as the differential-testing
+     * reference). Predecoding assumes the code image is static; the
+     * incremental-compilation writeCode path requires the oracle.
+     */
+    bool fastDispatch = true;
+
     /** Stop the machine after this many cycles (0 = unlimited). */
     uint64_t maxCycles = 0;
 

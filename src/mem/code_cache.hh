@@ -39,6 +39,14 @@ class CodeCache
     /** Fetch the instruction word at code address @p addr. */
     uint64_t read(Addr addr, unsigned &penalty_cycles);
 
+    /** Fetch for timing and statistics only (predecoded execution
+     *  keeps its own copy of the word): hit/miss accounting, fills
+     *  and penalties are exactly those of read(). */
+    void touch(Addr addr, unsigned &penalty_cycles)
+    {
+        (void)read(addr, penalty_cycles);
+    }
+
     /**
      * Write @p value at code address @p addr (incremental compilation
      * writes directly into the code cache and through to memory,

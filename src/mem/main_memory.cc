@@ -6,8 +6,12 @@ namespace kcm
 {
 
 MainMemory::MainMemory(size_t size_words)
-    : data_(size_words, 0), stats_("memory")
+    : data_(static_cast<uint64_t *>(
+          std::calloc(size_words ? size_words : 1, sizeof(uint64_t)))),
+      sizeWords_(size_words), stats_("memory")
 {
+    if (!data_)
+        panic("cannot allocate ", size_words, "-word main memory");
     stats_.add("readWords", readWords);
     stats_.add("writtenWords", writtenWords);
     stats_.add("transactions", transactions);
@@ -16,7 +20,7 @@ MainMemory::MainMemory(size_t size_words)
 void
 MainMemory::checkRange(PhysAddr addr, unsigned count) const
 {
-    if (size_t(addr) + count > data_.size())
+    if (size_t(addr) + count > sizeWords_)
         panic("physical access out of range: 0x", std::hex, addr, " + ",
               std::dec, count);
 }

@@ -12,7 +12,8 @@
 #define KCM_MEM_MAIN_MEMORY_HH
 
 #include <cstdint>
-#include <vector>
+#include <cstdlib>
+#include <memory>
 
 #include "base/stats.hh"
 
@@ -39,7 +40,7 @@ class MainMemory
     /** @param size_words capacity (default: one 32-Mbyte board). */
     explicit MainMemory(size_t size_words = 4 * 1024 * 1024);
 
-    size_t sizeWords() const { return data_.size(); }
+    size_t sizeWords() const { return sizeWords_; }
 
     /** Read @p count sequential words starting at @p addr.
      *  @return the cycle cost of the transaction. */
@@ -65,7 +66,17 @@ class MainMemory
   private:
     void checkRange(PhysAddr addr, unsigned count) const;
 
-    std::vector<uint64_t> data_;
+    struct FreeDeleter
+    {
+        void operator()(uint64_t *p) const { std::free(p); }
+    };
+
+    // calloc-backed so the 32-Mbyte board is lazily zeroed by the
+    // host kernel: untouched pages are never faulted in, which makes
+    // constructing a Machine cheap (reads of untouched words still
+    // return 0, exactly as the old eagerly-zeroed vector did).
+    std::unique_ptr<uint64_t[], FreeDeleter> data_;
+    size_t sizeWords_ = 0;
     MemTimings timings_;
     StatGroup stats_;
 };

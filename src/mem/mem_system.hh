@@ -51,6 +51,14 @@ class MemSystem
     /** Timed instruction fetch through the code cache. */
     uint64_t fetchCode(Addr addr, unsigned &penalty_cycles);
 
+    /** Timed instruction fetch whose word is discarded (the
+     *  predecoded core already has it): cache statistics and
+     *  penalties are identical to fetchCode. */
+    void touchCode(Addr addr, unsigned &penalty_cycles)
+    {
+        codeCache_->touch(addr, penalty_cycles);
+    }
+
     /** Timed code write (incremental compilation path). */
     void writeCode(Addr addr, uint64_t value, unsigned &penalty_cycles);
 

@@ -5,6 +5,58 @@
 namespace kcm
 {
 
+namespace
+{
+
+// Trap throwers, out of line and cold: check() runs on every data
+// access, so its hot path should carry only the comparisons — the
+// message formatting and throw machinery live here and cost nothing
+// until a trap actually fires.
+
+[[noreturn, gnu::cold, gnu::noinline]] void
+trapHighAddressBits(Word addr_word)
+{
+    throw MachineTrap(TrapKind::ZoneViolation,
+                      cat("address bits above bit 27 set: ",
+                          addr_word.toString()));
+}
+
+[[noreturn, gnu::cold, gnu::noinline]] void
+trapUnconfiguredZone(Word addr_word)
+{
+    throw MachineTrap(TrapKind::ZoneViolation,
+                      cat("access through unconfigured zone: ",
+                          addr_word.toString()));
+}
+
+[[noreturn, gnu::cold, gnu::noinline]] void
+trapDisallowedTag(Word addr_word)
+{
+    throw MachineTrap(TrapKind::TypeViolation,
+                      cat("type ", tagName(addr_word.tag()),
+                          " not allowed as address into zone ",
+                          zoneName(addr_word.zone())));
+}
+
+[[noreturn, gnu::cold, gnu::noinline]] void
+trapOutsideZone(Word addr_word, const ZoneInfo &zi)
+{
+    throw MachineTrap(TrapKind::ZoneViolation,
+                      cat("address 0x", std::hex, addr_word.addr(),
+                          " outside zone ", zoneName(addr_word.zone()),
+                          " [0x", zi.start, ", 0x", zi.end, ")"));
+}
+
+[[noreturn, gnu::cold, gnu::noinline]] void
+trapWriteProtected(Word addr_word)
+{
+    throw MachineTrap(TrapKind::WriteProtection,
+                      cat("write into protected zone ",
+                          zoneName(addr_word.zone())));
+}
+
+} // namespace
+
 ZoneChecker::ZoneChecker() : stats_("zoneCheck")
 {
     stats_.add("checksPerformed", checksPerformed);
@@ -40,40 +92,23 @@ ZoneChecker::check(Word addr_word, bool is_write) const
 
     // The 4 most significant address bits beyond the implemented 28
     // must be zero (§3.2.3).
-    if (addr_word.value() & ~addrMask) {
-        throw MachineTrap(TrapKind::ZoneViolation,
-                          cat("address bits above bit 27 set: ",
-                              addr_word.toString()));
-    }
+    if (addr_word.value() & ~addrMask) [[unlikely]]
+        trapHighAddressBits(addr_word);
 
     const ZoneInfo &zi = zones_[static_cast<unsigned>(addr_word.zone())];
-    if (!zi.enabled) {
-        throw MachineTrap(TrapKind::ZoneViolation,
-                          cat("access through unconfigured zone: ",
-                              addr_word.toString()));
-    }
+    if (!zi.enabled) [[unlikely]]
+        trapUnconfiguredZone(addr_word);
 
     uint16_t tag_bit = uint16_t(1u << static_cast<unsigned>(addr_word.tag()));
-    if (!(zi.allowedTags & tag_bit)) {
-        throw MachineTrap(TrapKind::TypeViolation,
-                          cat("type ", tagName(addr_word.tag()),
-                              " not allowed as address into zone ",
-                              zoneName(addr_word.zone())));
-    }
+    if (!(zi.allowedTags & tag_bit)) [[unlikely]]
+        trapDisallowedTag(addr_word);
 
     Addr a = addr_word.addr();
-    if (a < zi.start || a >= zi.end) {
-        throw MachineTrap(TrapKind::ZoneViolation,
-                          cat("address 0x", std::hex, a,
-                              " outside zone ", zoneName(addr_word.zone()),
-                              " [0x", zi.start, ", 0x", zi.end, ")"));
-    }
+    if (a < zi.start || a >= zi.end) [[unlikely]]
+        trapOutsideZone(addr_word, zi);
 
-    if (is_write && zi.writeProtected) {
-        throw MachineTrap(TrapKind::WriteProtection,
-                          cat("write into protected zone ",
-                              zoneName(addr_word.zone())));
-    }
+    if (is_write && zi.writeProtected) [[unlikely]]
+        trapWriteProtected(addr_word);
 }
 
 void

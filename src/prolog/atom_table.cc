@@ -1,5 +1,7 @@
 #include "prolog/atom_table.hh"
 
+#include <mutex>
+
 #include "base/logging.hh"
 
 namespace kcm
@@ -32,7 +34,14 @@ AtomTable::instance()
 AtomId
 AtomTable::intern(const std::string &text)
 {
-    auto it = ids_.find(text);
+    {
+        std::shared_lock lock(mutex_);
+        auto it = ids_.find(text);
+        if (it != ids_.end())
+            return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    auto it = ids_.find(text); // raced with another interner?
     if (it != ids_.end())
         return it->second;
     AtomId id = static_cast<AtomId>(texts_.size());
@@ -44,9 +53,17 @@ AtomTable::intern(const std::string &text)
 const std::string &
 AtomTable::text(AtomId id) const
 {
+    std::shared_lock lock(mutex_);
     if (id >= texts_.size())
         panic("atom id out of range: ", id);
     return texts_[id];
+}
+
+size_t
+AtomTable::size() const
+{
+    std::shared_lock lock(mutex_);
+    return texts_.size();
 }
 
 AtomId

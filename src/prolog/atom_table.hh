@@ -14,9 +14,10 @@
 #define KCM_PROLOG_ATOM_TABLE_HH
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 namespace kcm
 {
@@ -57,7 +58,12 @@ struct FunctorHash
  * Global intern table mapping atom text to dense ids and back.
  *
  * A process-wide singleton is used so that terms, compiled code and
- * machine words can exchange AtomIds freely.
+ * machine words can exchange AtomIds freely. The table is thread-safe
+ * (machines running concurrently in the benchmark harness intern
+ * atoms at runtime), but note that ids depend on interning ORDER:
+ * anything whose output embeds ids in data structures — switch-table
+ * layouts, most visibly — must still compile on one thread if
+ * determinism is required.
  */
 class AtomTable
 {
@@ -68,11 +74,12 @@ class AtomTable
     /** Intern @p text, returning its stable id. */
     AtomId intern(const std::string &text);
 
-    /** Reverse lookup. */
+    /** Reverse lookup. The reference stays valid forever (atoms are
+     *  never removed and the deque never relocates elements). */
     const std::string &text(AtomId id) const;
 
     /** Number of interned atoms. */
-    size_t size() const { return texts_.size(); }
+    size_t size() const;
 
     // Pre-interned atoms used throughout the system.
     AtomId nil;      ///< []
@@ -92,8 +99,11 @@ class AtomTable
     AtomTable();
 
   private:
+    mutable std::shared_mutex mutex_;
     std::unordered_map<std::string, AtomId> ids_;
-    std::vector<std::string> texts_;
+    /** Deque, not vector: growth must not move existing strings,
+     *  since text() hands out long-lived references. */
+    std::deque<std::string> texts_;
 };
 
 /** Shorthand: intern @p text in the global table. */

@@ -2,7 +2,11 @@
  * @file
  * Differential tests: the KCM simulator and the baseline reference
  * interpreter must agree on solutions for a range of programs,
- * including the whole PLM suite.
+ * including the whole PLM suite. A second axis compares the two
+ * execution cores of the simulator itself — the predecoded
+ * token-threaded fast path against the decode-per-step oracle — which
+ * must agree bit-for-bit on every simulated metric, not just on
+ * solutions.
  */
 
 #include <cctype>
@@ -11,6 +15,7 @@
 
 #include "base/logging.hh"
 #include "baseline/interp.hh"
+#include "bench_support/harness.hh"
 #include "bench_support/plm_suite.hh"
 #include "kcm/kcm.hh"
 
@@ -206,6 +211,80 @@ TEST_P(PlmDifferential, EnginesAgree)
 
 INSTANTIATE_TEST_SUITE_P(
     Suite, PlmDifferential,
+    ::testing::Values("con1", "con6", "divide10", "hanoi", "log10",
+                      "mutest", "nrev1", "ops8", "palin25", "pri2", "qs4",
+                      "queens", "query", "times10"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// The fast execution core (predecoded, token-threaded) and the oracle
+// (decode per step) must be indistinguishable in everything simulated:
+// solutions, cycle count, instruction count and cache statistics.
+// Only host time may differ.
+class PlmFastOracle : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PlmFastOracle, CoresBitIdentical)
+{
+    const PlmBenchmark &bench = plmBenchmark(GetParam());
+
+    KcmOptions fast_options;
+    fast_options.machine.fastDispatch = true;
+    KcmOptions oracle_options;
+    oracle_options.machine.fastDispatch = false;
+
+    BenchRun fast = runPlmBenchmark(bench, /*pure=*/true, fast_options);
+    BenchRun oracle = runPlmBenchmark(bench, /*pure=*/true, oracle_options);
+
+    EXPECT_EQ(fast.success, oracle.success);
+    EXPECT_EQ(fast.cycles, oracle.cycles);
+    EXPECT_EQ(fast.instructions, oracle.instructions);
+    EXPECT_EQ(fast.inferences, oracle.inferences);
+    EXPECT_EQ(fast.choicePointsCreated, oracle.choicePointsCreated);
+    EXPECT_EQ(fast.choicePointsAvoided, oracle.choicePointsAvoided);
+    EXPECT_EQ(fast.shallowFails, oracle.shallowFails);
+    EXPECT_EQ(fast.deepFails, oracle.deepFails);
+    EXPECT_EQ(fast.trailPushes, oracle.trailPushes);
+    EXPECT_EQ(fast.dataReads, oracle.dataReads);
+    EXPECT_EQ(fast.dataWrites, oracle.dataWrites);
+    EXPECT_EQ(fast.dcacheHitRatio, oracle.dcacheHitRatio);
+    EXPECT_EQ(fast.icacheHitRatio, oracle.icacheHitRatio);
+    EXPECT_EQ(fast.memoryWords, oracle.memoryWords);
+}
+
+TEST_P(PlmFastOracle, SolutionsIdentical)
+{
+    const PlmBenchmark &bench = plmBenchmark(GetParam());
+
+    KcmOptions fast_options;
+    fast_options.machine.fastDispatch = true;
+    KcmSystem fast_system(fast_options);
+    fast_system.consult(bench.pureProgram());
+    QueryResult fast_result = fast_system.query(bench.queryPure);
+
+    KcmOptions oracle_options;
+    oracle_options.machine.fastDispatch = false;
+    KcmSystem oracle_system(oracle_options);
+    oracle_system.consult(bench.pureProgram());
+    QueryResult oracle_result = oracle_system.query(bench.queryPure);
+
+    ASSERT_EQ(fast_result.success, oracle_result.success);
+    ASSERT_EQ(fast_result.solutions.size(), oracle_result.solutions.size());
+    // Variable numbers come from a process-global counter, so they
+    // shift between runs even on the same core — normalize them.
+    for (size_t i = 0; i < fast_result.solutions.size(); ++i) {
+        EXPECT_EQ(stripVarNumbers(fast_result.solutions[i].toString()),
+                  stripVarNumbers(oracle_result.solutions[i].toString()));
+    }
+    EXPECT_EQ(fast_result.output, oracle_result.output);
+    EXPECT_EQ(fast_result.cycles, oracle_result.cycles);
+    EXPECT_EQ(fast_result.inferences, oracle_result.inferences);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PlmFastOracle,
     ::testing::Values("con1", "con6", "divide10", "hanoi", "log10",
                       "mutest", "nrev1", "ops8", "palin25", "pri2", "qs4",
                       "queens", "query", "times10"),

@@ -3,9 +3,12 @@
  * Randomized differential testing: generate random unification
  * problems, arithmetic chains and small nondeterministic databases;
  * the KCM simulator and the reference interpreter must agree on every
- * one of them.
+ * one of them. Each case is also run on both simulator execution
+ * cores (predecoded fast path and decode-per-step oracle), which must
+ * agree bit-for-bit on solutions, cycles and inferences.
  */
 
+#include <cctype>
 #include <random>
 #include <sstream>
 
@@ -73,15 +76,72 @@ class TermGen
     std::uniform_int_distribution<unsigned> dist_;
 };
 
+/**
+ * Normalize variable numbering (_123 -> _V): fresh-variable numbers
+ * come from a process-global counter, so two runs in one process
+ * (even of the very same engine) number their variables differently.
+ */
+std::string
+stripVarNumbers(const std::string &s)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size();) {
+        bool at_var = s[i] == '_' && i + 1 < s.size() &&
+                      std::isdigit(static_cast<unsigned char>(s[i + 1])) &&
+                      (i == 0 || !std::isalnum(
+                                     static_cast<unsigned char>(s[i - 1])));
+        if (at_var) {
+            out += "_V";
+            ++i;
+            while (i < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[i]))) {
+                ++i;
+            }
+        } else {
+            out += s[i++];
+        }
+    }
+    return out;
+}
+
 void
 compareOnce(const std::string &program, const std::string &goal)
 {
     KcmOptions options;
     options.maxSolutions = 8;
+    options.machine.fastDispatch = true;
     KcmSystem machine_system(options);
     if (!program.empty())
         machine_system.consult(program);
     QueryResult machine_result = machine_system.query(goal);
+
+    // The same problem on the decode-per-step oracle core: everything
+    // simulated must be bit-identical to the fast path.
+    KcmOptions oracle_options = options;
+    oracle_options.machine.fastDispatch = false;
+    KcmSystem oracle_system(oracle_options);
+    if (!program.empty())
+        oracle_system.consult(program);
+    QueryResult oracle_result = oracle_system.query(goal);
+
+    ASSERT_EQ(machine_result.success, oracle_result.success)
+        << "fast/oracle cores disagree on success of: " << goal
+        << "\nprogram:\n" << program;
+    ASSERT_EQ(machine_result.solutions.size(),
+              oracle_result.solutions.size())
+        << "fast/oracle solution counts differ for: " << goal
+        << "\nprogram:\n" << program;
+    for (size_t i = 0; i < machine_result.solutions.size(); ++i) {
+        ASSERT_EQ(stripVarNumbers(machine_result.solutions[i].toString()),
+                  stripVarNumbers(oracle_result.solutions[i].toString()))
+            << "fast/oracle solution " << i << " differs for: " << goal;
+    }
+    ASSERT_EQ(machine_result.cycles, oracle_result.cycles)
+        << "fast/oracle cycle counts differ for: " << goal
+        << "\nprogram:\n" << program;
+    ASSERT_EQ(machine_result.inferences, oracle_result.inferences)
+        << "fast/oracle inference counts differ for: " << goal
+        << "\nprogram:\n" << program;
 
     baseline::Interpreter interp;
     if (!program.empty())

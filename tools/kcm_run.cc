@@ -17,6 +17,9 @@
  *   --no-shallow   run in standard-WAM mode (immediate choice points)
  *   --generic      generic arithmetic (no native integer mode)
  *   --max-cycles N abort after N simulated cycles
+ *   --fast         predecoded threaded execution core (the default)
+ *   --oracle       decode-per-step execution core (the differential
+ *                  reference; simulated results are identical)
  */
 
 #include <cstdio>
@@ -52,7 +55,8 @@ usage()
     fprintf(stderr,
             "usage: kcm_run [options] [file.pl ...] -q 'goal'\n"
             "  -q GOAL   -n N   -e TEXT   --stats   --profile\n"
-            "  --disasm  --no-shallow  --generic  --max-cycles N\n");
+            "  --disasm  --no-shallow  --generic  --max-cycles N\n"
+            "  --fast    --oracle\n");
     exit(2);
 }
 
@@ -101,6 +105,10 @@ main(int argc, char **argv)
             options.compiler.integerArithmetic = false;
         } else if (arg == "--max-cycles") {
             options.machine.maxCycles = strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--fast") {
+            options.machine.fastDispatch = true;
+        } else if (arg == "--oracle") {
+            options.machine.fastDispatch = false;
         } else if (arg == "-h" || arg == "--help") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
