@@ -7,9 +7,10 @@
  * benchmark. Verifies on the way that both cores agree on every
  * simulated metric (they must be bit-identical).
  *
- * Usage: host_throughput [--jobs N]
+ * Usage: host_throughput [--jobs N] [--timeout SECONDS]
  *   Writes BENCH_host.json (fast-path numbers) to the working
- *   directory.
+ *   directory. A benchmark that traps or exceeds the watchdog is
+ *   reported as failed (exit code 2); core disagreement exits 1.
  */
 
 #include <chrono>
@@ -24,9 +25,10 @@ using namespace kcm;
 
 int
 main(int argc, char **argv)
-{
+try {
     setLoggingEnabled(false);
     unsigned jobs = benchJobsFromArgs(argc, argv);
+    double watchdog = benchWatchdogFromArgs(argc, argv);
 
     KcmOptions fast_options;
     fast_options.machine.fastDispatch = true;
@@ -35,13 +37,13 @@ main(int argc, char **argv)
 
     auto wall_start = std::chrono::steady_clock::now();
     std::vector<BenchRun> fast =
-        runPlmSuite(/*pure=*/true, fast_options, jobs);
+        runPlmSuite(/*pure=*/true, fast_options, jobs, watchdog);
     double wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
 
     std::vector<BenchRun> oracle =
-        runPlmSuite(/*pure=*/true, oracle_options, jobs);
+        runPlmSuite(/*pure=*/true, oracle_options, jobs, watchdog);
 
     TablePrinter table({"Program", "cycles", "Mcyc/s fast",
                         "Mcyc/s oracle", "fast/oracle", "identical"});
@@ -49,10 +51,21 @@ main(int argc, char **argv)
     double sum_speedup = 0;
     int rows = 0;
     bool all_identical = true;
+    int failures = 0;
 
     for (size_t i = 0; i < fast.size(); ++i) {
         const BenchRun &f = fast[i];
         const BenchRun &o = oracle[i];
+        if (!f.failure.empty() || !o.failure.empty()) {
+            // Both cores must fail the same way; a one-sided failure
+            // is a divergence.
+            ++failures;
+            all_identical =
+                all_identical && f.trapped == o.trapped &&
+                f.failure.empty() == o.failure.empty();
+            table.addRow({f.name, "-", "-", "-", "-", "FAILED"});
+            continue;
+        }
         bool identical = f.cycles == o.cycles &&
                          f.instructions == o.instructions &&
                          f.inferences == o.inferences &&
@@ -73,7 +86,8 @@ main(int argc, char **argv)
                       cellRatio(speedup), identical ? "yes" : "NO"});
     }
 
-    table.addRow({"average", "", "", "", cellRatio(sum_speedup / rows),
+    table.addRow({"average", "", "", "",
+                  rows ? cellRatio(sum_speedup / rows) : "-",
                   all_identical ? "yes" : "NO"});
 
     printf("Host execution-core throughput "
@@ -81,6 +95,15 @@ main(int argc, char **argv)
            "decode per step; simulated metrics must match exactly)\n\n"
            "%s\n",
            table.render().c_str());
+
+    for (size_t i = 0; i < fast.size(); ++i) {
+        if (!fast[i].failure.empty())
+            printf("FAILED %s (fast): %s\n", fast[i].name.c_str(),
+                   fast[i].failure.c_str());
+        if (!oracle[i].failure.empty())
+            printf("FAILED %s (oracle): %s\n", oracle[i].name.c_str(),
+                   oracle[i].failure.c_str());
+    }
 
     writeBenchJson("BENCH_host.json", "host_throughput", fast, jobs,
                    wall_seconds);
@@ -90,5 +113,8 @@ main(int argc, char **argv)
                "metrics\n");
         return 1;
     }
-    return 0;
+    return failures ? benchTrapExitCode : 0;
+} catch (const std::exception &err) {
+    printf("FATAL: %s\n", err.what());
+    return benchTrapExitCode;
 }

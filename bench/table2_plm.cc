@@ -8,11 +8,15 @@
  * nl/0 compiled as unit clauses (a call costs the minimal 5-cycle
  * call/return pair), mirroring the paper's I/O assumption.
  *
- * Usage: table2_plm [--jobs N]
+ * Usage: table2_plm [--jobs N] [--timeout SECONDS]
  *   N benchmark Machines execute concurrently (default: the host's
  *   hardware concurrency; 1 reproduces the serial harness exactly).
- *   Results are always printed in table order and a BENCH_table2.json
- *   report is written to the working directory.
+ *   --timeout arms a per-benchmark wall-clock watchdog. A benchmark
+ *   that traps or times out is reported as failed (with its trap
+ *   diagnosis) while the rest of the table completes; any failure
+ *   turns the exit code to 2. Results are always printed in table
+ *   order and a BENCH_table2.json report is written to the working
+ *   directory.
  */
 
 #include <chrono>
@@ -28,9 +32,10 @@ using namespace kcm;
 
 int
 main(int argc, char **argv)
-{
+try {
     setLoggingEnabled(false);
     unsigned jobs = benchJobsFromArgs(argc, argv);
+    double watchdog = benchWatchdogFromArgs(argc, argv);
 
     std::vector<std::string> names;
     for (const auto &paper : paperTable2())
@@ -38,7 +43,7 @@ main(int argc, char **argv)
 
     auto wall_start = std::chrono::steady_clock::now();
     std::vector<BenchRun> runs =
-        runPlmBenchmarks(names, /*pure=*/false, {}, jobs);
+        runPlmBenchmarks(names, /*pure=*/false, {}, jobs, watchdog);
     double wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
@@ -49,10 +54,20 @@ main(int argc, char **argv)
 
     double sum_ratio = 0;
     int rows = 0;
+    int failures = 0;
 
     size_t i = 0;
     for (const auto &paper : paperTable2()) {
         const BenchRun &run = runs[i++];
+
+        if (!run.success || run.ms <= 0) {
+            ++failures;
+            table.addRow({paper.program, "-", cellFixed(paper.plmMs, 3),
+                          cellInt(paper.plmKlips), "FAILED", "-", "-",
+                          cellFixed(paper.kcmMsPaper, 3),
+                          cellRatio(paper.plmMs / paper.kcmMsPaper)});
+            continue;
+        }
 
         double ratio = paper.plmMs / run.ms;
         sum_ratio += ratio;
@@ -66,14 +81,24 @@ main(int argc, char **argv)
              cellRatio(paper.plmMs / paper.kcmMsPaper)});
     }
 
-    table.addRow({"average", "", "", "", "", "", cellRatio(sum_ratio / rows),
-                  "", cellRatio(3.05)});
+    table.addRow({"average", "", "", "", "", "",
+                  rows ? cellRatio(sum_ratio / rows) : "-", "",
+                  cellRatio(3.05)});
 
     printf("Table 2: Comparison with PLM "
            "(paper: KCM is 2-4x faster than PLM, average ratio 3.05)\n\n"
            "%s\n",
            table.render().c_str());
 
+    for (const BenchRun &run : runs) {
+        if (!run.failure.empty())
+            printf("FAILED %s: %s\n", run.name.c_str(),
+                   run.failure.c_str());
+    }
+
     writeBenchJson("BENCH_table2.json", "table2", runs, jobs, wall_seconds);
-    return 0;
+    return failures ? benchTrapExitCode : 0;
+} catch (const std::exception &err) {
+    printf("FATAL: %s\n", err.what());
+    return benchTrapExitCode;
 }

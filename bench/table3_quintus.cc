@@ -10,12 +10,15 @@
  * interpreter (a portable, non-WAM Prolog in C++) and reports its
  * wall-clock time on this host.
  *
- * Usage: table3_quintus [--jobs N]
+ * Usage: table3_quintus [--jobs N] [--timeout SECONDS]
  *   N benchmark Machines execute concurrently (default: the host's
  *   hardware concurrency; 1 reproduces the serial harness exactly).
- *   The baseline interpreter timings stay serial — they are
- *   wall-clock measurements and mutual contention would corrupt
- *   them. A BENCH_table3.json report is written afterwards.
+ *   --timeout arms a per-benchmark wall-clock watchdog; a benchmark
+ *   that traps or times out is reported as failed (exit code 2)
+ *   while the rest of the table completes. The baseline interpreter
+ *   timings stay serial — they are wall-clock measurements and
+ *   mutual contention would corrupt them. A BENCH_table3.json report
+ *   is written afterwards.
  */
 
 #include <chrono>
@@ -32,9 +35,10 @@ using namespace kcm;
 
 int
 main(int argc, char **argv)
-{
+try {
     setLoggingEnabled(false);
     unsigned jobs = benchJobsFromArgs(argc, argv);
+    double watchdog = benchWatchdogFromArgs(argc, argv);
 
     std::vector<std::string> names;
     for (const auto &paper : paperTable3())
@@ -42,7 +46,7 @@ main(int argc, char **argv)
 
     auto wall_start = std::chrono::steady_clock::now();
     std::vector<BenchRun> runs =
-        runPlmBenchmarks(names, /*pure=*/true, {}, jobs);
+        runPlmBenchmarks(names, /*pure=*/true, {}, jobs, watchdog);
     double wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
@@ -53,11 +57,21 @@ main(int argc, char **argv)
 
     double sum_ratio = 0;
     int ratio_rows = 0;
+    int failures = 0;
 
     size_t i = 0;
     for (const auto &paper : paperTable3()) {
         const PlmBenchmark &bench = plmBenchmark(paper.program);
         const BenchRun &run = runs[i++];
+
+        if (!run.success || run.ms <= 0) {
+            ++failures;
+            table.addRow({paper.program, "-",
+                          paper.quintusMs ? cellFixed(*paper.quintusMs, 3)
+                                          : "-",
+                          "-", "FAILED", "-", "-", "-", "-"});
+            continue;
+        }
 
         // Baseline interpreter wall-clock (best of 4 runs on a quiet
         // system, as in the paper's measurement protocol).
@@ -90,7 +104,8 @@ main(int argc, char **argv)
     }
 
     table.addRow({"average", "", "", "", "", "",
-                  cellRatio(sum_ratio / ratio_rows), cellRatio(7.85), ""});
+                  ratio_rows ? cellRatio(sum_ratio / ratio_rows) : "-",
+                  cellRatio(7.85), ""});
 
     printf("Table 3: Comparison with QUINTUS/SUN "
            "(paper: KCM almost 8x faster on average, ratios 5.1-10.2; "
@@ -98,6 +113,15 @@ main(int argc, char **argv)
            "backtracking)\n\n%s\n",
            table.render().c_str());
 
+    for (const BenchRun &run : runs) {
+        if (!run.failure.empty())
+            printf("FAILED %s: %s\n", run.name.c_str(),
+                   run.failure.c_str());
+    }
+
     writeBenchJson("BENCH_table3.json", "table3", runs, jobs, wall_seconds);
-    return 0;
+    return failures ? benchTrapExitCode : 0;
+} catch (const std::exception &err) {
+    printf("FATAL: %s\n", err.what());
+    return benchTrapExitCode;
 }

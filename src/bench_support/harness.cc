@@ -33,28 +33,124 @@ preparePlmBenchmark(const PlmBenchmark &bench, bool pure,
     return prep;
 }
 
-BenchRun
-runPrepared(const PreparedBenchmark &prep)
+namespace
 {
+
+/** Simulated cycles per watchdog slice: large enough that re-arming
+ *  is invisible in host time, small enough that the wall clock is
+ *  sampled several times per second even on a slow host. */
+constexpr uint64_t watchdogSliceCycles = 4'000'000;
+
+/**
+ * Run to the next real stop under the wall-clock watchdog. The
+ * machine executes in cycle-budget slices; at each slice boundary the
+ * Abort trap returns control, the host clock is sampled, and resume()
+ * re-enters exactly where the slice stopped. Slicing cannot change
+ * the simulated metrics: the budget check replaces the maxCycles
+ * compare one for one and the Abort trap is taken at an instruction
+ * boundary with the counters intact. A cycle budget configured by the
+ * caller (user_budget) keeps its meaning: slices never run past it,
+ * and reaching it reports the genuine Abort instead of resuming.
+ */
+RunStatus
+runWatched(Machine &machine, uint64_t user_budget, double watchdog_seconds,
+           std::chrono::steady_clock::time_point host_start, bool &timed_out)
+{
+    if (watchdog_seconds <= 0)
+        return machine.run();
+
+    bool first = true;
+    for (;;) {
+        uint64_t slice_end = machine.cycles() + watchdogSliceCycles;
+        if (user_budget && user_budget <= slice_end)
+            slice_end = user_budget;
+        machine.setCycleBudget(slice_end);
+        RunStatus status = first ? machine.run() : machine.resume();
+        first = false;
+        if (status != RunStatus::Trapped ||
+            machine.lastTrap().kind != TrapKind::Abort ||
+            (user_budget && machine.cycles() >= user_budget)) {
+            machine.setCycleBudget(user_budget);
+            return status; // a real stop (or the caller's own budget)
+        }
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - host_start)
+                             .count();
+        if (elapsed > watchdog_seconds) {
+            timed_out = true;
+            machine.setCycleBudget(user_budget);
+            return status;
+        }
+    }
+}
+
+/** Copy a finished machine's measurements into the BenchRun. */
+void fillBenchRun(BenchRun &run, Machine &machine, RunStatus status);
+
+} // namespace
+
+BenchRun
+runPrepared(const PreparedBenchmark &prep, double watchdog_seconds)
+{
+    BenchRun run;
+    run.name = prep.name;
+
     auto host_start = std::chrono::steady_clock::now();
+    try {
+        // The paper's protocol: "the figure given here is the best
+        // figure obtained on 4 successive runs on a quiet system". A
+        // warm-up run loads the caches; the measured run re-executes
+        // warm.
+        Machine machine(prep.machine);
+        uint64_t user_budget = prep.machine.governor.cycleBudget;
+        bool timed_out = false;
 
-    // The paper's protocol: "the figure given here is the best figure
-    // obtained on 4 successive runs on a quiet system". A warm-up run
-    // loads the caches; the measured run re-executes warm.
-    Machine machine(prep.machine);
-    machine.load(prep.image);
-    machine.run(); // warm-up (cold caches)
-    machine.load(prep.image, /*cold_caches=*/false);
-    machine.resetMeasurement();
-    RunStatus status = machine.run();
+        machine.load(prep.image);
+        RunStatus status = runWatched(machine, user_budget,
+                                      watchdog_seconds, host_start,
+                                      timed_out); // warm-up (cold caches)
+        if (!timed_out && status != RunStatus::Trapped) {
+            machine.load(prep.image, /*cold_caches=*/false);
+            machine.resetMeasurement();
+            status = runWatched(machine, user_budget, watchdog_seconds,
+                                host_start, timed_out);
+        }
 
-    double host_seconds =
+        fillBenchRun(run, machine, status);
+        if (timed_out) {
+            run.success = false;
+            run.timedOut = true;
+            run.failure =
+                cat("timeout: wall clock exceeded ",
+                    fixed(watchdog_seconds, 1), "s after ",
+                    machine.cycles(), " simulated cycles");
+        } else if (status == RunStatus::Trapped) {
+            run.success = false;
+            run.trapped = true;
+            run.failure = trapDiagnosis(machine.lastTrap());
+        }
+    } catch (const std::exception &err) {
+        // Crash isolation: never let a benchmark take down the
+        // harness (or a parallel worker thread).
+        run.success = false;
+        run.failure = cat("exception: ", err.what());
+    }
+
+    run.hostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
             .count();
+    run.simCyclesPerHostSecond =
+        run.hostSeconds > 0 ? double(run.cycles) / run.hostSeconds : 0;
+    return run;
+}
 
-    BenchRun run;
-    run.name = prep.name;
+namespace
+{
+
+void
+fillBenchRun(BenchRun &run, Machine &machine, RunStatus status)
+{
     run.success = status == RunStatus::SolutionFound;
     run.cycles = machine.cycles();
     run.instructions = machine.instructions();
@@ -76,23 +172,29 @@ runPrepared(const PreparedBenchmark &prep)
                       machine.mem().memory().writtenWords.value();
 
     machine.image().programSize(run.staticInstructions, run.staticWords);
-
-    run.hostSeconds = host_seconds;
-    run.simCyclesPerHostSecond =
-        host_seconds > 0 ? double(run.cycles) / host_seconds : 0;
-    return run;
 }
+
+} // namespace
 
 BenchRun
 runPlmBenchmark(const PlmBenchmark &bench, bool pure,
-                const KcmOptions &base_options)
+                const KcmOptions &base_options, double watchdog_seconds)
 {
-    return runPrepared(preparePlmBenchmark(bench, pure, base_options));
+    try {
+        return runPrepared(preparePlmBenchmark(bench, pure, base_options),
+                           watchdog_seconds);
+    } catch (const std::exception &err) {
+        BenchRun run;
+        run.name = bench.name;
+        run.failure = cat("compile error: ", err.what());
+        return run;
+    }
 }
 
 std::vector<BenchRun>
 runPlmBenchmarks(const std::vector<std::string> &names, bool pure,
-                 const KcmOptions &base_options, unsigned jobs)
+                 const KcmOptions &base_options, unsigned jobs,
+                 double watchdog_seconds)
 {
     std::vector<BenchRun> runs(names.size());
 
@@ -100,8 +202,8 @@ runPlmBenchmarks(const std::vector<std::string> &names, bool pure,
         // The sequential harness, unchanged: compile and run each
         // benchmark in turn.
         for (size_t i = 0; i < names.size(); ++i)
-            runs[i] =
-                runPlmBenchmark(plmBenchmark(names[i]), pure, base_options);
+            runs[i] = runPlmBenchmark(plmBenchmark(names[i]), pure,
+                                      base_options, watchdog_seconds);
         return runs;
     }
 
@@ -113,11 +215,19 @@ runPlmBenchmarks(const std::vector<std::string> &names, bool pure,
     // one memory system per benchmark) and fans out across the pool;
     // results land in the slot of their name, so the output order
     // never depends on completion order.
-    std::vector<PreparedBenchmark> prepared;
-    prepared.reserve(names.size());
-    for (const auto &name : names)
-        prepared.push_back(
-            preparePlmBenchmark(plmBenchmark(name), pure, base_options));
+    std::vector<PreparedBenchmark> prepared(names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        try {
+            prepared[i] =
+                preparePlmBenchmark(plmBenchmark(names[i]), pure,
+                                    base_options);
+        } catch (const std::exception &err) {
+            // A benchmark that fails to compile is recorded as a
+            // failed run; the rest of the suite proceeds.
+            runs[i].name = names[i];
+            runs[i].failure = cat("compile error: ", err.what());
+        }
+    }
 
     std::atomic<size_t> next{0};
     auto worker = [&]() {
@@ -125,7 +235,9 @@ runPlmBenchmarks(const std::vector<std::string> &names, bool pure,
             size_t i = next.fetch_add(1);
             if (i >= prepared.size())
                 return;
-            runs[i] = runPrepared(prepared[i]);
+            if (!runs[i].failure.empty())
+                continue; // compile already failed
+            runs[i] = runPrepared(prepared[i], watchdog_seconds);
         }
     };
 
@@ -141,12 +253,14 @@ runPlmBenchmarks(const std::vector<std::string> &names, bool pure,
 }
 
 std::vector<BenchRun>
-runPlmSuite(bool pure, const KcmOptions &base_options, unsigned jobs)
+runPlmSuite(bool pure, const KcmOptions &base_options, unsigned jobs,
+            double watchdog_seconds)
 {
     std::vector<std::string> names;
     for (const auto &bench : plmSuite())
         names.push_back(bench.name);
-    return runPlmBenchmarks(names, pure, base_options, jobs);
+    return runPlmBenchmarks(names, pure, base_options, jobs,
+                            watchdog_seconds);
 }
 
 unsigned
@@ -159,6 +273,16 @@ benchJobsFromArgs(int argc, char **argv)
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+double
+benchWatchdogFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--timeout") == 0)
+            return std::max(0.0, std::strtod(argv[i + 1], nullptr));
+    }
+    return 0;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

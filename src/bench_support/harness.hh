@@ -24,6 +24,13 @@ struct BenchRun
     std::string name;
     bool success = false;
 
+    // Crash isolation: a benchmark that traps, times out or throws is
+    // recorded here as a failed run while the rest of a (possibly
+    // parallel) suite completes normally.
+    std::string failure;   ///< empty on success; structured diagnosis
+    bool trapped = false;  ///< machine trap (failure holds the TrapInfo)
+    bool timedOut = false; ///< wall-clock watchdog expired
+
     uint64_t cycles = 0;
     uint64_t instructions = 0;
     uint64_t inferences = 0;
@@ -75,33 +82,56 @@ struct PreparedBenchmark
 PreparedBenchmark preparePlmBenchmark(const PlmBenchmark &bench, bool pure,
                                       const KcmOptions &base_options = {});
 
-/** Execute a prepared benchmark on a fresh Machine (thread-safe). */
-BenchRun runPrepared(const PreparedBenchmark &prep);
+/**
+ * Execute a prepared benchmark on a fresh Machine (thread-safe).
+ * Never throws: traps, resource exhaustion and harness errors are
+ * recorded in the returned BenchRun's failure fields.
+ *
+ * @param watchdog_seconds wall-clock limit for the execution phase
+ *        (0 = none). Enforced by running the machine in cycle-budget
+ *        slices and sampling the host clock at each Abort/resume
+ *        boundary, which leaves the simulated metrics untouched.
+ */
+BenchRun runPrepared(const PreparedBenchmark &prep,
+                     double watchdog_seconds = 0);
 
 /** Compile and run one PLM benchmark (prepare + runPrepared). */
 BenchRun runPlmBenchmark(const PlmBenchmark &bench, bool pure,
-                         const KcmOptions &base_options = {});
+                         const KcmOptions &base_options = {},
+                         double watchdog_seconds = 0);
 
 /**
  * Run the named benchmarks. Results come back in the order of
  * @p names regardless of completion order. @p jobs > 1 compiles
  * everything serially up front, then executes on a pool of that many
  * threads (one independent Machine per benchmark); jobs <= 1 is
- * exactly the sequential compile-run-compile-run loop.
+ * exactly the sequential compile-run-compile-run loop. A benchmark
+ * that traps or exceeds @p watchdog_seconds is recorded as failed
+ * (BenchRun::failure) without disturbing the other benchmarks.
  */
 std::vector<BenchRun> runPlmBenchmarks(const std::vector<std::string> &names,
                                        bool pure,
                                        const KcmOptions &base_options = {},
-                                       unsigned jobs = 1);
+                                       unsigned jobs = 1,
+                                       double watchdog_seconds = 0);
 
 /** Run every benchmark of the suite (name order). */
 std::vector<BenchRun> runPlmSuite(bool pure,
                                   const KcmOptions &base_options = {},
-                                  unsigned jobs = 1);
+                                  unsigned jobs = 1,
+                                  double watchdog_seconds = 0);
 
 /** Parse a --jobs N argument list for the bench drivers: returns
  *  hardware_concurrency by default, N after "--jobs N". */
 unsigned benchJobsFromArgs(int argc, char **argv);
+
+/** Parse a --timeout SECONDS argument for the bench drivers: the
+ *  per-benchmark wall-clock watchdog (0 = off, the default). */
+double benchWatchdogFromArgs(int argc, char **argv);
+
+/** Exit code for drivers whose run ended in traps/timeouts (kept
+ *  distinct from 1, the metrics-mismatch code). */
+constexpr int benchTrapExitCode = 2;
 
 // --- table formatting ---
 

@@ -60,6 +60,13 @@ benchRunsJson(const std::string &label, const std::vector<BenchRun> &runs,
         os << "    {";
         os << "\"name\": \"" << jsonEscape(r.name) << "\", ";
         os << "\"success\": " << (r.success ? "true" : "false") << ", ";
+        if (!r.failure.empty()) {
+            os << "\"failure\": \"" << jsonEscape(r.failure) << "\", ";
+            os << "\"trapped\": " << (r.trapped ? "true" : "false")
+               << ", ";
+            os << "\"timedOut\": " << (r.timedOut ? "true" : "false")
+               << ", ";
+        }
         os << "\"cycles\": " << r.cycles << ", ";
         os << "\"instructions\": " << r.instructions << ", ";
         os << "\"inferences\": " << r.inferences << ", ";

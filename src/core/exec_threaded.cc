@@ -71,12 +71,16 @@ Machine::runFast()
 
     const DecodedInstr *d;
 
-    // Per-step prologue: cycle-limit check, then fetch + dispatch.
+    // Per-step prologue: cycle-stop check (maxCycles or the
+    // governor's budget — trapCycleBudget throws the Abort trap to
+    // the run-loop boundary in run()), then fetch + dispatch.
 #define KCM_DISPATCH()                                                  \
     do {                                                                \
-        if (config_.maxCycles && cycles_ >= config_.maxCycles)          \
-            [[unlikely]]                                                \
+        if (stopCycles_ && cycles_ >= stopCycles_) [[unlikely]] {       \
+            if (stopIsBudget_)                                          \
+                trapCycleBudget();                                      \
             return RunStatus::CycleLimit;                               \
+        }                                                               \
         d = &fetchDecoded();                                            \
         goto *table[d->op];                                             \
     } while (0)
@@ -144,8 +148,11 @@ Machine::runFast()
 #else // no computed goto: switch loop over the predecoded image
 
     while (true) {
-        if (config_.maxCycles && cycles_ >= config_.maxCycles)
+        if (stopCycles_ && cycles_ >= stopCycles_) [[unlikely]] {
+            if (stopIsBudget_)
+                trapCycleBudget();
             return RunStatus::CycleLimit;
+        }
         const DecodedInstr &instr = fetchDecoded();
         execInstr(instr);
         finishStep(instr);

@@ -62,6 +62,8 @@ Machine::Machine(const MachineConfig &config)
     stats_.add("cpWordsRead", cpWordsRead);
     stats_.add("gcRuns", gcRuns);
     stats_.add("gcWordsReclaimed", gcWordsReclaimed);
+    stats_.add("trapsTaken", trapsTaken);
+    stats_.add("stackZoneGrowths", stackZoneGrowths);
     stats_.addChild(prefetch_.stats());
     stats_.addChild(mem_->stats());
 }
@@ -121,7 +123,22 @@ Machine::writeData(Word addr_word, Word value)
                 addr_word.toString().c_str(), value.toString().c_str(),
                 stateString().c_str(), recentTrace(8).c_str());
     }
-    mem_->writeData(addr_word, value, penalty_);
+    // §3.2.3 firmware handling of the stack-overflow trap: the zone
+    // check rejects the access before any state changes, firmware
+    // grows the zone (charged its cycle cost), and the access is
+    // retried — execution resumes as if the trap never unwound.
+    // Only when growth is off or the ceiling is exhausted does the
+    // trap escape to the run-loop boundary.
+    for (;;) {
+        try {
+            mem_->writeData(addr_word, value, penalty_);
+            return;
+        } catch (const MachineTrap &trap) {
+            if (trap.kind() != TrapKind::StackOverflow ||
+                !growStackZone(addr_word.zone()))
+                throw;
+        }
+    }
 }
 
 void
@@ -209,6 +226,17 @@ Machine::load(const CodeImage &image, bool cold_caches)
     cycles_ = 0;
     instructions_ = 0;
     inferences_ = 0;
+
+    // Trap/governor state: a fresh load re-arms the machine — quotas
+    // return to their configured size (undoing any firmware growth)
+    // and any recorded trap is cleared. The fault script does NOT
+    // rewind: each scripted fault fires once per machine lifetime, so
+    // a reload after an injected fault runs clean.
+    trapped_ = false;
+    lastTrap_ = TrapInfo{};
+    stepStartCycles_ = 0;
+    applyQuotas();
+    armGovernor();
 }
 
 // ------------------------------------------------------------- core ops
@@ -552,11 +580,25 @@ Machine::doCall(Addr target, bool is_execute)
 RunStatus
 Machine::run()
 {
+    armGovernor();
+    try {
+        return runLoop();
+    } catch (const MachineTrap &trap) {
+        return recordTrap(trap);
+    }
+}
+
+RunStatus
+Machine::runLoop()
+{
     if (config_.fastDispatch)
         return runFast();
     while (true) {
-        if (config_.maxCycles && cycles_ >= config_.maxCycles)
+        if (stopCycles_ && cycles_ >= stopCycles_) [[unlikely]] {
+            if (stopIsBudget_)
+                trapCycleBudget();
             return RunStatus::CycleLimit;
+        }
         step();
         if (solutionReady_) {
             solutionReady_ = false;
@@ -572,11 +614,157 @@ Machine::run()
 RunStatus
 Machine::nextSolution()
 {
+    armGovernor();
     halted_ = false;
-    fail();
-    cycles_ += penalty_;
-    penalty_ = 0;
+    stepStartCycles_ = cycles_;
+    try {
+        fail();
+        cycles_ += penalty_;
+        penalty_ = 0;
+        return runLoop();
+    } catch (const MachineTrap &trap) {
+        return recordTrap(trap);
+    }
+}
+
+RunStatus
+Machine::resume()
+{
+    if (!trapped_)
+        fatal("resume() without a pending trap");
+    if (lastTrap_.kind != TrapKind::Abort)
+        return RunStatus::Trapped; // not resumable; lastTrap() stands
+    trapped_ = false;
     return run();
+}
+
+// ------------------------------------- trap delivery and the governor
+
+RunStatus
+Machine::recordTrap(const MachineTrap &trap)
+{
+    // Roll the cycle counter back to the last completed instruction
+    // boundary: a trap aborts its instruction, so partial charges
+    // (deref steps, unify sub-steps, firmware growth attempts) are
+    // discarded and both dispatch cores report the identical count.
+    // instructions_/inferences_ only advance at finishStep, so they
+    // are already boundary-consistent.
+    cycles_ = stepStartCycles_;
+    penalty_ = 0;
+
+    lastTrap_.kind = trap.kind();
+    lastTrap_.message = trap.what();
+    lastTrap_.faultAddr = trap.faultAddr();
+    lastTrap_.pc = p_;
+    lastTrap_.cycle = cycles_;
+    lastTrap_.instructions = instructions_;
+    lastTrap_.state = stateString();
+    trapped_ = true;
+    ++trapsTaken;
+    return RunStatus::Trapped;
+}
+
+void
+Machine::armGovernor()
+{
+    uint64_t budget = config_.governor.cycleBudget;
+    uint64_t max = config_.maxCycles;
+    if (budget && (!max || budget <= max)) {
+        stopCycles_ = budget;
+        stopIsBudget_ = true;
+    } else {
+        stopCycles_ = max;
+        stopIsBudget_ = false;
+    }
+    faultsPending_ = faultCursor_ < config_.faultPlan.actions.size();
+}
+
+void
+Machine::applyQuotas()
+{
+    const ResourceGovernor &gov = config_.governor;
+    const DataLayout &layout = mem_->layout();
+    ZoneChecker &checker = mem_->zoneChecker();
+    auto quota = [&](Zone zone, Addr start, Addr end, uint64_t words) {
+        if (!words)
+            return;
+        Addr span = static_cast<Addr>(
+            std::min<uint64_t>(words, end - start));
+        checker.setQuota(zone, start + span);
+    };
+    quota(Zone::Global, layout.globalStart, layout.globalEnd,
+          gov.globalQuotaWords);
+    quota(Zone::Local, layout.localStart, layout.localEnd,
+          gov.localQuotaWords);
+    quota(Zone::Control, layout.controlStart, layout.controlEnd,
+          gov.controlQuotaWords);
+    quota(Zone::TrailZ, layout.trailStart, layout.trailEnd,
+          gov.trailQuotaWords);
+}
+
+bool
+Machine::growStackZone(Zone zone)
+{
+    const ResourceGovernor &gov = config_.governor;
+    if (!gov.growStacks)
+        return false;
+    ZoneChecker &checker = mem_->zoneChecker();
+    const ZoneInfo &zi = checker.info(zone);
+    if (!zi.growable)
+        return false;
+    Addr ceiling = 0;
+    if (gov.zoneCeilingWords) {
+        Addr span = static_cast<Addr>(std::min<uint64_t>(
+            gov.zoneCeilingWords, zi.end - zi.start));
+        ceiling = zi.start + span;
+    }
+    if (!checker.growSoftLimit(zone,
+                               static_cast<Addr>(gov.growthStepWords),
+                               ceiling))
+        return false;
+    // The firmware's trap service cost (§3.2.3): charged to the
+    // simulated clock identically by both dispatch cores, since both
+    // route every data write through this path.
+    cycles_ += gov.stackGrowCycles;
+    ++stackZoneGrowths;
+    return true;
+}
+
+void
+Machine::applyDueFaults()
+{
+    const auto &actions = config_.faultPlan.actions;
+    while (faultCursor_ < actions.size() &&
+           cycles_ >= actions[faultCursor_].cycle) {
+        const FaultAction &action = actions[faultCursor_++];
+        switch (action.kind) {
+          case FaultKind::InjectPageFault:
+            mem_->mmu().injectPageFault();
+            break;
+          case FaultKind::TightenZone: {
+            const ZoneInfo &zi =
+                mem_->zoneChecker().info(action.zone);
+            mem_->zoneChecker().setLimits(action.zone, zi.start,
+                                          action.limit);
+            break;
+          }
+          case FaultKind::CorruptWord:
+            mem_->pokeData(action.addr, Word(action.raw));
+            break;
+        }
+    }
+    faultsPending_ = faultCursor_ < actions.size();
+}
+
+void
+Machine::trapCycleBudget()
+{
+    // Taken between instructions: nothing to roll back, and p_ is
+    // the next instruction — resume() continues exactly here.
+    stepStartCycles_ = cycles_;
+    throw MachineTrap(TrapKind::Abort,
+                      cat("cycle budget exhausted (", cycles_,
+                          " cycles >= budget ", stopCycles_, ")"));
 }
 
 std::vector<Solution>

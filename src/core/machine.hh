@@ -45,6 +45,7 @@ enum class RunStatus
     Failed,        ///< query exhausted all alternatives
     Halted,        ///< executed halt after a solution
     CycleLimit,    ///< maxCycles exceeded
+    Trapped,       ///< a machine trap was taken (see lastTrap())
 };
 
 /** One solution: bindings of the named query variables. */
@@ -67,11 +68,44 @@ class Machine
      *         warm re-run, as in the paper's best-of-4 protocol. */
     void load(const CodeImage &image, bool cold_caches = true);
 
-    /** Run until a solution, failure, halt, or the cycle limit. */
+    /**
+     * Run until a solution, failure, halt, the cycle limit, or a
+     * trap. A MachineTrap never escapes this method: it is converted
+     * into RunStatus::Trapped with the diagnosis in lastTrap(), the
+     * counters rolled back to the last completed instruction
+     * boundary, and the machine left valid — it accepts load() (full
+     * reset) or, after a resumable trap, resume().
+     */
     RunStatus run();
 
     /** Backtrack into the query and run to the next solution. */
     RunStatus nextSolution();
+
+    /**
+     * Continue after RunStatus::Trapped. Only TrapKind::Abort (cycle
+     * budget) is resumable from here: the trap was taken at an
+     * instruction boundary, so raising the budget (setCycleBudget)
+     * and resuming continues the query exactly where it stopped.
+     * (StackOverflow is served in-line by firmware stack growth and
+     * only surfaces when the ceiling is exhausted; at that point the
+     * faulting instruction was partially issued and cannot be
+     * replayed.) Resuming any other trap returns Trapped again with
+     * lastTrap() unchanged.
+     */
+    RunStatus resume();
+
+    /** Whether the most recent run()/resume() trapped. */
+    bool trapped() const { return trapped_; }
+
+    /** Diagnosis of the most recent trap (valid while trapped()). */
+    const TrapInfo &lastTrap() const { return lastTrap_; }
+
+    /** Raise (or lower) the governor's cycle budget; takes effect on
+     *  the next run()/nextSolution()/resume(). */
+    void setCycleBudget(uint64_t budget)
+    {
+        config_.governor.cycleBudget = budget;
+    }
 
     /** Convenience: run and collect up to @p max solutions. */
     std::vector<Solution> solutions(size_t max = SIZE_MAX);
@@ -142,6 +176,8 @@ class Machine
     Counter cpWordsRead;    ///< words loaded restoring choice points
     Counter gcRuns;           ///< garbage collections performed
     Counter gcWordsReclaimed; ///< global-stack words reclaimed
+    Counter trapsTaken;       ///< traps surfaced as RunStatus::Trapped
+    Counter stackZoneGrowths; ///< StackOverflows served by firmware growth
 
   private:
     friend class BuiltinContext;
@@ -176,10 +212,31 @@ class Machine
 
     // --- instruction execution ---
     void step();
+    /** Dispatch-core selection inside the run-loop trap boundary. */
+    RunStatus runLoop();
     /** The token-threaded run loop over the predecoded image
      *  (exec_threaded.cc); falls back to switch dispatch on
      *  toolchains without computed goto. */
     RunStatus runFast();
+
+    // --- trap delivery and the resource governor ---
+    /** Convert a trap caught at the run-loop boundary into
+     *  RunStatus::Trapped: roll the counters back to the last
+     *  instruction boundary and fill lastTrap(). */
+    RunStatus recordTrap(const MachineTrap &trap);
+    /** Recompute the effective cycle stop and fault arming from the
+     *  configuration (run()-entry). */
+    void armGovernor();
+    /** Impose the governor's zone quotas (load()-time). */
+    void applyQuotas();
+    /** Serve a StackOverflow on @p zone by firmware growth; charges
+     *  the documented cycle cost. @return false if not growable or
+     *  the ceiling is exhausted. */
+    bool growStackZone(Zone zone);
+    /** Apply every FaultPlan action whose cycle has arrived. */
+    void applyDueFaults();
+    /** Cycle budget exhausted: throw the Abort trap (cold). */
+    [[noreturn, gnu::cold, gnu::noinline]] void trapCycleBudget();
     /** Fetch + decode the instruction at P: per-step prologue shared
      *  by the oracle and fast paths (GC check, prefetch accounting,
      *  code-cache fetch, trace, profiler). */
@@ -275,6 +332,21 @@ class Machine
     Solution solution_;
     std::string hostOutput_;
 
+    // Trap delivery and governor state.
+    /** cycles_ at the last instruction boundary: a trap thrown
+     *  mid-instruction rolls back to this, so a trapped run reports
+     *  the identical cycle count from both dispatch cores. */
+    uint64_t stepStartCycles_ = 0;
+    /** Effective cycle stop: min of maxCycles and the governor's
+     *  budget (0 = none); stopIsBudget_ picks CycleLimit vs the
+     *  Abort trap when it fires. */
+    uint64_t stopCycles_ = 0;
+    bool stopIsBudget_ = false;
+    bool trapped_ = false;
+    TrapInfo lastTrap_;
+    size_t faultCursor_ = 0;    ///< next unapplied FaultPlan action
+    bool faultsPending_ = false;
+
     // Execution trace ring buffer (debugging).
     static constexpr size_t traceSize = 128;
     struct TraceEntry
@@ -332,6 +404,12 @@ class Machine
 inline const DecodedInstr &
 Machine::fetchDecoded()
 {
+    // Instruction boundary: the roll-back anchor for trap-safe
+    // counter reporting, and the deterministic point where scripted
+    // faults are injected (identically on both dispatch cores).
+    stepStartCycles_ = cycles_;
+    if (faultsPending_) [[unlikely]]
+        applyDueFaults();
     if (config_.gcThresholdWords &&
         h_ - mem_->layout().globalStart > config_.gcThresholdWords) {
         collectGarbage();

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "mem/fault_plan.hh"
 #include "mem/mem_system.hh"
 
 namespace kcm
@@ -17,9 +18,71 @@ namespace kcm
 /** Clock period of the prototype: 80 ns (§3). */
 constexpr double cycleSeconds = 80e-9;
 
+/**
+ * Per-query resource limits, modelled on the §3.2.3 firmware's trap
+ * handling: stack zones start at a quota and are grown by "firmware"
+ * (charged a documented cycle cost) on StackOverflow traps up to a
+ * ceiling; a cycle budget aborts a runaway query as a recoverable
+ * Abort trap. Everything defaults to off, in which case the governor
+ * adds no work to the execution loop (the soft-limit compare replaces
+ * the old hard-limit compare one for one, and the budget check folds
+ * into the pre-existing maxCycles test).
+ */
+struct ResourceGovernor
+{
+    /**
+     * Per-query cycle budget (0 = unlimited). Unlike maxCycles —
+     * which returns the informational RunStatus::CycleLimit —
+     * exhausting the budget takes a TrapKind::Abort trap
+     * (RunStatus::Trapped): a structured resource error. The trap is
+     * taken at an instruction boundary, so raising the budget
+     * (setCycleBudget) and calling resume() continues the query
+     * exactly where it stopped.
+     */
+    uint64_t cycleBudget = 0;
+
+    // Per-zone memory quotas in words (0 = whole zone, no quota).
+    uint64_t globalQuotaWords = 0;  ///< global stack (heap)
+    uint64_t localQuotaWords = 0;   ///< local (environment) stack
+    uint64_t controlQuotaWords = 0; ///< choice-point stack
+    uint64_t trailQuotaWords = 0;   ///< trail
+
+    /** Serve StackOverflow traps by growing the faulting zone's
+     *  quota (firmware behaviour). Off: the first quota crossing
+     *  surfaces as RunStatus::Trapped. */
+    bool growStacks = true;
+
+    /** Words added to a stack zone per firmware growth. */
+    uint64_t growthStepWords = 4096;
+
+    /** Ceiling on a grown zone, as words from the zone start
+     *  (0 = the zone's hard end). Growth past the ceiling fails and
+     *  the overflow surfaces as RunStatus::Trapped. */
+    uint64_t zoneCeilingWords = 0;
+
+    /** Cycle cost charged per firmware stack growth (trap entry,
+     *  zone-register update, return — documented in DESIGN.md). */
+    unsigned stackGrowCycles = 50;
+
+    /** Whether any quota or budget is configured. */
+    bool
+    active() const
+    {
+        return cycleBudget || globalQuotaWords || localQuotaWords ||
+               controlQuotaWords || trailQuotaWords;
+    }
+};
+
 struct MachineConfig
 {
     MemSystemConfig mem;
+
+    /** Per-query resource limits (all off by default). */
+    ResourceGovernor governor;
+
+    /** Deterministic fault-injection script (empty by default);
+     *  applied at instruction boundaries by both execution cores. */
+    FaultPlan faultPlan;
 
     /**
      * Delay choice point creation until the neck (§3.1.5). When off,

@@ -57,6 +57,11 @@ KcmSystem::query(const std::string &goal)
     result.solutions = machine_->solutions(
         options_.maxSolutions == 0 ? SIZE_MAX : options_.maxSolutions);
     result.success = !result.solutions.empty();
+    if (machine_->trapped()) {
+        result.trapped = true;
+        result.trap = machine_->lastTrap();
+        result.error = trapDiagnosis(result.trap);
+    }
     result.output = machine_->output();
     result.cycles = machine_->cycles();
     result.instructions = machine_->instructions();

@@ -36,6 +36,18 @@ struct QueryResult
     std::vector<Solution> solutions;  ///< collected solutions
     std::string output;               ///< captured write/1 output
 
+    /** True when the run ended in a machine trap instead of a normal
+     *  halt/fail; @ref trap then holds the structured report. */
+    bool trapped = false;
+    TrapInfo trap;
+    /**
+     * Structured diagnosis, empty on a clean run:
+     * "resource_error(<kind>): ..." for governor exhaustion
+     * (cycle budget, stack ceiling), "machine_trap(<kind>): ..."
+     * for everything else.
+     */
+    std::string error;
+
     // Measurements of the run (first solution unless all requested).
     uint64_t cycles = 0;
     uint64_t instructions = 0;

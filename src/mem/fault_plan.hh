@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic fault injection into the memory system.
+ *
+ * A FaultPlan is a cycle-ordered script of faults the machine applies
+ * at instruction boundaries: page-fault arming in the MMU, zone-limit
+ * tightening in the zone checker, and tagged-word corruption in data
+ * memory. The plan is consulted in the shared per-step prologue
+ * (Machine::fetchDecoded), so both execution cores apply every fault
+ * at the identical simulated cycle — which is what lets the test
+ * suite assert that the oracle and threaded cores trap identically on
+ * every fault path.
+ */
+
+#ifndef KCM_MEM_FAULT_PLAN_HH
+#define KCM_MEM_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/word.hh"
+
+namespace kcm
+{
+
+/** What to break. */
+enum class FaultKind
+{
+    /** Arm the MMU to raise an unrecoverable PageFault on its next
+     *  translation. */
+    InjectPageFault,
+    /** Clamp a zone's hard end to @c limit (a later access beyond it
+     *  raises ZoneViolation; clamping a governed zone below its soft
+     *  limit exercises the StackOverflow path instead). */
+    TightenZone,
+    /** Overwrite the data word at @c addr with raw bits @c raw —
+     *  e.g. a float where an address is expected, provoking a
+     *  TypeViolation on the next dereference through it. */
+    CorruptWord,
+};
+
+/** One scripted fault. */
+struct FaultAction
+{
+    uint64_t cycle = 0; ///< apply when cycles() first reaches this
+    FaultKind kind = FaultKind::InjectPageFault;
+    Zone zone = Zone::Global; ///< TightenZone target
+    Addr limit = 0;           ///< TightenZone: new end address
+    Addr addr = 0;            ///< CorruptWord target address
+    uint64_t raw = 0;         ///< CorruptWord replacement bits
+};
+
+/** A cycle-ordered fault script (actions must be sorted by cycle;
+ *  equal cycles apply in list order). */
+struct FaultPlan
+{
+    std::vector<FaultAction> actions;
+
+    bool empty() const { return actions.empty(); }
+};
+
+} // namespace kcm
+
+#endif // KCM_MEM_FAULT_PLAN_HH

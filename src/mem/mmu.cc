@@ -37,10 +37,18 @@ PhysAddr
 Mmu::translate(AddrSpace space, Addr vaddr, bool is_write)
 {
     ++translations;
+    if (injectFault_) [[unlikely]] {
+        injectFault_ = false;
+        throw MachineTrap(TrapKind::PageFault,
+                          cat("injected page fault at 0x", std::hex,
+                              vaddr),
+                          vaddr);
+    }
     if (vaddr & ~addrMask) {
         throw MachineTrap(TrapKind::PageFault,
                           cat("address above implemented bits: 0x",
-                              std::hex, vaddr));
+                              std::hex, vaddr),
+                          vaddr);
     }
     uint32_t page = vaddr >> pageShift;
     PageEntry &pe = entry(space, page);
@@ -57,7 +65,8 @@ Mmu::translate(AddrSpace space, Addr vaddr, bool is_write)
         if (!pe.writable()) {
             throw MachineTrap(TrapKind::WriteProtection,
                               cat("write to protected page 0x", std::hex,
-                                  page));
+                                  page),
+                              vaddr);
         }
         pe.setDirty(true);
     }

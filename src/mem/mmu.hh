@@ -88,6 +88,11 @@ class Mmu
     /** Number of physical pages handed out so far. */
     uint32_t allocatedPages() const { return nextPhysPage_; }
 
+    /** Fault injection: the next translate() raises an unrecoverable
+     *  PageFault (one-shot; the FaultPlan machinery arms this at a
+     *  chosen cycle). */
+    void injectPageFault() { injectFault_ = true; }
+
     StatGroup &stats() { return stats_; }
 
     Counter translations;
@@ -99,6 +104,7 @@ class Mmu
     MainMemory &memory_;
     std::vector<PageEntry> table_; // [space][page] flattened
     uint16_t nextPhysPage_ = 0;
+    bool injectFault_ = false;
     StatGroup stats_;
 };
 

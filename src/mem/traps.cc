@@ -1,0 +1,47 @@
+#include "mem/traps.hh"
+
+#include <sstream>
+
+namespace kcm
+{
+
+const char *
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::ZoneViolation:   return "zone_violation";
+      case TrapKind::TypeViolation:   return "type_violation";
+      case TrapKind::WriteProtection: return "write_protection";
+      case TrapKind::PageFault:       return "page_fault";
+      case TrapKind::BadInstruction:  return "bad_instruction";
+      case TrapKind::StackOverflow:   return "stack_overflow";
+      case TrapKind::Abort:           return "abort";
+    }
+    return "unknown_trap";
+}
+
+std::string
+TrapInfo::toString() const
+{
+    std::ostringstream os;
+    os << trapKindName(kind) << " at pc=0x" << std::hex << pc;
+    if (faultAddr)
+        os << " addr=0x" << faultAddr;
+    os << std::dec << " cycle=" << cycle << " instr=" << instructions;
+    if (!message.empty())
+        os << ": " << message;
+    return os.str();
+}
+
+std::string
+trapDiagnosis(const TrapInfo &info)
+{
+    std::string out = trapIsResource(info.kind) ? "resource_error("
+                                                : "machine_trap(";
+    out += trapKindName(info.kind);
+    out += "): ";
+    out += info.toString();
+    return out;
+}
+
+} // namespace kcm

@@ -1,11 +1,21 @@
 /**
  * @file
  * Machine traps raised by the memory system and the execution unit.
+ *
+ * §3.2.3: the KCM memory system detects zone, type and protection
+ * violations and signals them to firmware, which either repairs the
+ * condition (grow a stack zone, run a collection) and resumes, or
+ * surfaces the fault to the Prolog level. In this simulator a trap is
+ * thrown as a MachineTrap and caught at the run-loop boundary of the
+ * execution cores, which convert it into RunStatus::Trapped carrying
+ * a structured TrapInfo — the machine object stays valid, inspectable
+ * and reloadable after any trap.
  */
 
 #ifndef KCM_MEM_TRAPS_HH
 #define KCM_MEM_TRAPS_HH
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -24,19 +34,66 @@ enum class TrapKind
     Abort,             ///< execution aborted (cycle budget, user stop)
 };
 
+/** Human-readable trap kind name. */
+const char *trapKindName(TrapKind kind);
+
+/**
+ * Whether a trap kind is a resource condition (the ISO Prolog
+ * resource_error family: memory or cycle budget exhaustion) rather
+ * than a program/machine fault.
+ */
+constexpr bool
+trapIsResource(TrapKind kind)
+{
+    return kind == TrapKind::StackOverflow || kind == TrapKind::Abort;
+}
+
+/**
+ * Structured description of a taken trap, filled by the execution
+ * core when a MachineTrap reaches the run-loop boundary. The cycle
+ * and instruction counts are rolled back to the last completed
+ * instruction boundary, so both dispatch cores report the identical
+ * (kind, pc, cycle) triple for the same fault.
+ */
+struct TrapInfo
+{
+    TrapKind kind = TrapKind::Abort;
+    std::string message;   ///< formatted diagnosis from the trap site
+    uint32_t pc = 0;       ///< address of the faulting instruction
+    uint32_t faultAddr = 0; ///< faulting data address (0 if n/a)
+    uint64_t cycle = 0;    ///< cycle count at the trap boundary
+    uint64_t instructions = 0; ///< completed instructions at the trap
+    std::string state;     ///< one-line register snapshot
+
+    /** One-line summary: "stack_overflow at pc=0x... cycle=... : msg". */
+    std::string toString() const;
+};
+
+/**
+ * Structured diagnosis line for reports and APIs:
+ * "resource_error(<kind>): ..." for governor exhaustion (stack
+ * ceiling, cycle budget), "machine_trap(<kind>): ..." otherwise.
+ */
+std::string trapDiagnosis(const TrapInfo &info);
+
 /** A trap thrown out of the simulated machine. */
 class MachineTrap : public std::runtime_error
 {
   public:
-    MachineTrap(TrapKind kind, const std::string &msg)
-        : std::runtime_error(msg), _kind(kind)
+    MachineTrap(TrapKind kind, const std::string &msg,
+                uint32_t fault_addr = 0)
+        : std::runtime_error(msg), _kind(kind), _faultAddr(fault_addr)
     {
     }
 
     TrapKind kind() const { return _kind; }
+    /** The faulting data address, when the trap came off the data
+     *  path (0 otherwise). */
+    uint32_t faultAddr() const { return _faultAddr; }
 
   private:
     TrapKind _kind;
+    uint32_t _faultAddr;
 };
 
 } // namespace kcm

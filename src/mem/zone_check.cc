@@ -1,5 +1,7 @@
 #include "mem/zone_check.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace kcm
@@ -18,7 +20,8 @@ trapHighAddressBits(Word addr_word)
 {
     throw MachineTrap(TrapKind::ZoneViolation,
                       cat("address bits above bit 27 set: ",
-                          addr_word.toString()));
+                          addr_word.toString()),
+                      addr_word.addr());
 }
 
 [[noreturn, gnu::cold, gnu::noinline]] void
@@ -26,7 +29,8 @@ trapUnconfiguredZone(Word addr_word)
 {
     throw MachineTrap(TrapKind::ZoneViolation,
                       cat("access through unconfigured zone: ",
-                          addr_word.toString()));
+                          addr_word.toString()),
+                      addr_word.addr());
 }
 
 [[noreturn, gnu::cold, gnu::noinline]] void
@@ -35,16 +39,31 @@ trapDisallowedTag(Word addr_word)
     throw MachineTrap(TrapKind::TypeViolation,
                       cat("type ", tagName(addr_word.tag()),
                           " not allowed as address into zone ",
-                          zoneName(addr_word.zone())));
+                          zoneName(addr_word.zone())),
+                      addr_word.addr());
 }
 
 [[noreturn, gnu::cold, gnu::noinline]] void
 trapOutsideZone(Word addr_word, const ZoneInfo &zi)
 {
+    // A governed stack zone still has headroom between its quota
+    // (softLimit) and its hard end: crossing the quota is the §3.2.3
+    // stack-overflow trap, which firmware can serve by growing the
+    // zone. Everything else is a plain zone violation.
+    Addr a = addr_word.addr();
+    if (zi.growable && a >= zi.softLimit && a < zi.end) {
+        throw MachineTrap(TrapKind::StackOverflow,
+                          cat("stack overflow in zone ",
+                              zoneName(addr_word.zone()), ": address 0x",
+                              std::hex, a, " beyond quota 0x",
+                              zi.softLimit),
+                          a);
+    }
     throw MachineTrap(TrapKind::ZoneViolation,
-                      cat("address 0x", std::hex, addr_word.addr(),
-                          " outside zone ", zoneName(addr_word.zone()),
-                          " [0x", zi.start, ", 0x", zi.end, ")"));
+                      cat("address 0x", std::hex, a, " outside zone ",
+                          zoneName(addr_word.zone()), " [0x", zi.start,
+                          ", 0x", zi.softLimit, ")"),
+                      a);
 }
 
 [[noreturn, gnu::cold, gnu::noinline]] void
@@ -52,7 +71,8 @@ trapWriteProtected(Word addr_word)
 {
     throw MachineTrap(TrapKind::WriteProtection,
                       cat("write into protected zone ",
-                          zoneName(addr_word.zone())));
+                          zoneName(addr_word.zone())),
+                      addr_word.addr());
 }
 
 } // namespace
@@ -65,8 +85,11 @@ ZoneChecker::ZoneChecker() : stats_("zoneCheck")
 void
 ZoneChecker::configure(Zone zone, const ZoneInfo &info)
 {
-    zones_[static_cast<unsigned>(zone)] = info;
-    zones_[static_cast<unsigned>(zone)].enabled = true;
+    ZoneInfo &zi = zones_[static_cast<unsigned>(zone)];
+    zi = info;
+    zi.enabled = true;
+    if (zi.softLimit == 0 || zi.softLimit > zi.end)
+        zi.softLimit = zi.end;
 }
 
 void
@@ -75,6 +98,28 @@ ZoneChecker::setLimits(Zone zone, Addr start, Addr end)
     ZoneInfo &zi = zones_[static_cast<unsigned>(zone)];
     zi.start = start;
     zi.end = end;
+    if (!zi.growable || zi.softLimit > end)
+        zi.softLimit = end;
+}
+
+void
+ZoneChecker::setQuota(Zone zone, Addr soft_limit)
+{
+    ZoneInfo &zi = zones_[static_cast<unsigned>(zone)];
+    zi.softLimit = std::min(soft_limit, zi.end);
+    zi.growable = true;
+}
+
+bool
+ZoneChecker::growSoftLimit(Zone zone, Addr step_words, Addr ceiling)
+{
+    ZoneInfo &zi = zones_[static_cast<unsigned>(zone)];
+    Addr cap = std::min(zi.end, ceiling ? ceiling : zi.end);
+    if (zi.softLimit >= cap)
+        return false;
+    Addr headroom = cap - zi.softLimit;
+    zi.softLimit += std::min<Addr>(step_words, headroom);
+    return true;
 }
 
 const ZoneInfo &
@@ -104,7 +149,7 @@ ZoneChecker::check(Word addr_word, bool is_write) const
         trapDisallowedTag(addr_word);
 
     Addr a = addr_word.addr();
-    if (a < zi.start || a >= zi.end) [[unlikely]]
+    if (a < zi.start || a >= zi.softLimit) [[unlikely]]
         trapOutsideZone(addr_word, zi);
 
     if (is_write && zi.writeProtected) [[unlikely]]

@@ -28,9 +28,22 @@ struct ZoneInfo
 {
     Addr start = 0;       ///< lowest valid word address (inclusive)
     Addr end = 0;         ///< highest valid word address (exclusive)
+    /**
+     * Current working limit (exclusive). Normally equal to end; the
+     * resource governor sets it below end to impose a memory quota,
+     * and firmware-style stack growth raises it back toward end on
+     * StackOverflow traps. The fast-path range comparison tests
+     * against this field only, so an ungoverned zone (softLimit ==
+     * end) pays nothing for the mechanism.
+     */
+    Addr softLimit = 0;
     uint16_t allowedTags = 0; ///< bit i set: Tag(i) may address the zone
     bool writeProtected = false;
     bool enabled = false; ///< unconfigured zones trap on any access
+    /** Accesses in [softLimit, end) raise StackOverflow (recoverable
+     *  by growing softLimit) instead of ZoneViolation. Set for the
+     *  stack zones when a quota is configured. */
+    bool growable = false;
 };
 
 /** Build an allowed-tags mask from a tag list. */
@@ -54,11 +67,29 @@ class ZoneChecker
   public:
     ZoneChecker();
 
-    /** Configure @p zone; limits may be changed dynamically. */
+    /** Configure @p zone; limits may be changed dynamically. A zero
+     *  softLimit defaults to end (no quota). */
     void configure(Zone zone, const ZoneInfo &info);
 
-    /** Dynamically grow/move a zone's limits (stack growth). */
+    /** Dynamically grow/move a zone's limits (stack growth). Keeps
+     *  the soft limit clamped inside the new range. */
     void setLimits(Zone zone, Addr start, Addr end);
+
+    /**
+     * Impose a memory quota: cap the zone's working limit at
+     * @p soft_limit (clamped to the hard end) and mark the zone
+     * growable, so crossing the quota raises a recoverable
+     * StackOverflow instead of a ZoneViolation.
+     */
+    void setQuota(Zone zone, Addr soft_limit);
+
+    /**
+     * Firmware stack growth: raise the zone's soft limit by
+     * @p step_words, clamped to min(hard end, @p ceiling).
+     * @return false when the limit is already at the ceiling (the
+     *         overflow is then not recoverable).
+     */
+    bool growSoftLimit(Zone zone, Addr step_words, Addr ceiling);
 
     const ZoneInfo &info(Zone zone) const;
 

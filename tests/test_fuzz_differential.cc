@@ -105,9 +105,10 @@ stripVarNumbers(const std::string &s)
 }
 
 void
-compareOnce(const std::string &program, const std::string &goal)
+compareOnce(const std::string &program, const std::string &goal,
+            const KcmOptions &base_options = {})
 {
-    KcmOptions options;
+    KcmOptions options = base_options;
     options.maxSolutions = 8;
     options.machine.fastDispatch = true;
     KcmSystem machine_system(options);
@@ -142,6 +143,28 @@ compareOnce(const std::string &program, const std::string &goal)
     ASSERT_EQ(machine_result.inferences, oracle_result.inferences)
         << "fast/oracle inference counts differ for: " << goal
         << "\nprogram:\n" << program;
+
+    // Trapping inputs are kept, not discarded: both cores must trap
+    // identically — same kind, same faulting PC, same cycle.
+    ASSERT_EQ(machine_result.trapped, oracle_result.trapped)
+        << "fast/oracle cores disagree on trapping for: " << goal
+        << "\nfast: " << machine_result.error
+        << "\noracle: " << oracle_result.error;
+    if (machine_result.trapped) {
+        ASSERT_EQ(machine_result.trap.kind, oracle_result.trap.kind)
+            << "fast: " << machine_result.error
+            << "\noracle: " << oracle_result.error;
+        ASSERT_EQ(machine_result.trap.pc, oracle_result.trap.pc)
+            << goal;
+        ASSERT_EQ(machine_result.trap.cycle, oracle_result.trap.cycle)
+            << goal;
+        ASSERT_EQ(machine_result.trap.instructions,
+                  oracle_result.trap.instructions)
+            << goal;
+        // The baseline interpreter has no machine-trap semantics
+        // (no cycle budget, no zones); comparison stops here.
+        return;
+    }
 
     baseline::Interpreter interp;
     if (!program.empty())
@@ -252,3 +275,55 @@ TEST_P(FuzzControl, RandomConjunctionsWithCutAndDisjunction)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzControl, ::testing::Range(1u, 7u));
+
+class FuzzResource : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzResource, TinyBudgetsAndQuotasTrapIdentically)
+{
+    TermGen gen(GetParam() * 104729);
+    const char *database =
+        "mklist(0, []).\n"
+        "mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).\n"
+        "len([], 0).\n"
+        "len([_|T], N) :- len(T, M), N is M + 1.\n";
+    for (int i = 0; i < 6; ++i) {
+        // A random mix of tiny cycle budgets and heap quotas: many of
+        // these runs end in abort or stack_overflow traps, the rest
+        // complete. Either way both cores must agree exactly.
+        KcmOptions options;
+        options.machine.governor.cycleBudget = 500 + gen.pick(4000);
+        if (gen.pick(2))
+            options.machine.governor.globalQuotaWords =
+                32 + gen.pick(64);
+        if (gen.pick(2))
+            options.machine.governor.growStacks = false;
+        std::string goal = "mklist(" + std::to_string(10 + gen.pick(60)) +
+                           ", L), len(L, N)";
+        compareOnce(database, goal, options);
+    }
+}
+
+TEST_P(FuzzResource, InjectedFaultsTrapIdentically)
+{
+    TermGen gen(GetParam() * 130363);
+    const char *database =
+        "mklist(0, []).\n"
+        "mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).\n";
+    for (int i = 0; i < 6; ++i) {
+        // Arm a page fault at a random cycle; queries that finish
+        // earlier run clean, the rest take a PageFault trap — at the
+        // identical point on both cores.
+        KcmOptions options;
+        FaultAction fault;
+        fault.cycle = gen.pick(3000);
+        fault.kind = FaultKind::InjectPageFault;
+        options.machine.faultPlan.actions.push_back(fault);
+        std::string goal =
+            "mklist(" + std::to_string(5 + gen.pick(40)) + ", L)";
+        compareOnce(database, goal, options);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzResource, ::testing::Range(1u, 7u));

@@ -107,7 +107,9 @@ TEST(MachineLevel, FloatUsedAsAddressTrapsAtRuntime)
     });
     Machine machine;
     machine.load(image);
-    EXPECT_THROW(machine.run(), MachineTrap);
+    ASSERT_EQ(machine.run(), RunStatus::Trapped);
+    EXPECT_EQ(machine.lastTrap().kind, TrapKind::TypeViolation);
+    EXPECT_TRUE(machine.trapped());
 }
 
 TEST(MachineLevel, OutOfZoneAddressTraps)
@@ -122,7 +124,14 @@ TEST(MachineLevel, OutOfZoneAddressTraps)
     });
     Machine machine;
     machine.load(image);
-    EXPECT_THROW(machine.run(), MachineTrap);
+    ASSERT_EQ(machine.run(), RunStatus::Trapped);
+    EXPECT_EQ(machine.lastTrap().kind, TrapKind::ZoneViolation);
+    // The machine survives the trap: a fresh load on the same
+    // instance runs normally.
+    CodeImage good = assembleRaw({Instr::makeValue(Opcode::Halt, 0)});
+    machine.load(good);
+    EXPECT_FALSE(machine.trapped());
+    EXPECT_EQ(machine.run(), RunStatus::Halted);
 }
 
 TEST(MachineLevel, ZoneCheckDisabledAllowsTheSameAccess)
@@ -149,7 +158,8 @@ TEST(MachineLevel, BadOpcodeTraps)
     });
     Machine machine;
     machine.load(image);
-    EXPECT_THROW(machine.run(), std::exception);
+    ASSERT_EQ(machine.run(), RunStatus::Trapped);
+    EXPECT_EQ(machine.lastTrap().kind, TrapKind::BadInstruction);
 }
 
 TEST(MachineLevel, CycleLimitStopsRunaway)
