@@ -23,6 +23,19 @@ deref(Cell *c)
     return c;
 }
 
+/** A thrown Prolog ball. The payload is an exported copy taken at
+ *  throw time (ISO: throw/1 copies its argument), so it survives the
+ *  trail unwinding that happens while the exception propagates. */
+struct PrologThrow
+{
+    TermRef ball;
+};
+
+/** halt/0: abandon the search, unwinding every solver frame. */
+struct PrologHalt
+{
+};
+
 } // namespace
 
 std::string
@@ -382,13 +395,15 @@ struct Interpreter::Impl
     {
         goal = deref(goal);
 
-        if (goal->kind == Cell::Kind::Var) {
-            warn("baseline: unbound goal");
-            return false;
-        }
+        // ISO call errors, mirroring the machine's metaCall.
+        if (goal->kind == Cell::Kind::Var)
+            throw PrologThrow{Term::makeAtom("instantiation_error")};
         if (goal->kind != Cell::Kind::Atom &&
             goal->kind != Cell::Kind::Struct) {
-            return false;
+            std::unordered_map<Cell *, TermRef> vars;
+            throw PrologThrow{Term::makeStruct(
+                "type_error",
+                {Term::makeAtom("callable"), exportCell(goal, vars)})};
         }
 
         const std::string &name = atomText(goal->functor);
@@ -476,6 +491,35 @@ struct Interpreter::Impl
             uint64_t my_id = nextCallId++;
             return solve(arg(0), my_id, k);
         }
+        if (name == "throw" && arity == 1) {
+            Cell *ball = deref(arg(0));
+            if (ball->kind == Cell::Kind::Var)
+                throw PrologThrow{Term::makeAtom("instantiation_error")};
+            std::unordered_map<Cell *, TermRef> vars;
+            throw PrologThrow{exportCell(ball, vars)};
+        }
+        if (name == "catch" && arity == 3) {
+            size_t mark = trailMark();
+            uint64_t my_id = nextCallId++;
+            try {
+                return solve(arg(0), my_id, k);
+            } catch (const PrologThrow &thrown) {
+                // Undo the Goal's bindings (the machine does this with
+                // its trail-driven unwind), then offer the ball to the
+                // catcher.
+                undoTrail(mark);
+                std::unordered_map<const Term *, Cell *> vars;
+                Cell *ball = instantiate(thrown.ball, vars);
+                size_t ball_mark = trailMark();
+                if (!unify(ball, arg(1))) {
+                    undoTrail(ball_mark);
+                    throw; // no match: rethrow to the enclosing catch/3
+                }
+                return solve(arg(2), my_id, k);
+            }
+        }
+        if (name == "halt" && arity == 0)
+            throw PrologHalt{};
 
         // Builtins.
         if (name == "=" && arity == 2) {
@@ -720,20 +764,30 @@ Interpreter::query(const std::string &goal, size_t max_solutions)
     auto start = std::chrono::steady_clock::now();
     impl_->cutBarrier = UINT64_MAX;
     uint64_t top_id = impl_->nextCallId++;
-    impl_->solve(body, top_id, [&]() {
-        InterpSolution solution;
-        std::unordered_map<Cell *, TermRef> export_vars;
-        for (const auto &[name, cell] : named) {
-            solution.bindings.emplace_back(
-                name, impl_->exportCell(cell, export_vars));
-        }
-        impl_->solutions.push_back(std::move(solution));
-        return impl_->solutions.size() >= impl_->maxSolutions;
-    });
+    bool halted = false;
+    std::string error;
+    try {
+        impl_->solve(body, top_id, [&]() {
+            InterpSolution solution;
+            std::unordered_map<Cell *, TermRef> export_vars;
+            for (const auto &[name, cell] : named) {
+                solution.bindings.emplace_back(
+                    name, impl_->exportCell(cell, export_vars));
+            }
+            impl_->solutions.push_back(std::move(solution));
+            return impl_->solutions.size() >= impl_->maxSolutions;
+        });
+    } catch (const PrologThrow &thrown) {
+        error = "unhandled_exception(" + writeTermQuoted(thrown.ball) + ")";
+    } catch (const PrologHalt &) {
+        halted = true;
+    }
     auto end = std::chrono::steady_clock::now();
 
     InterpResult result;
     result.success = !impl_->solutions.empty();
+    result.halted = halted;
+    result.error = error;
     result.solutions = std::move(impl_->solutions);
     result.output = impl_->output;
     result.inferences = impl_->inferences;

@@ -66,6 +66,15 @@ struct InterpResult
     bool success = false;
     std::vector<InterpSolution> solutions;
     std::string output;
+
+    /** True when the program executed halt/0 (search abandoned). */
+    bool halted = false;
+
+    /** Uncaught throw/1 ball, formatted exactly like the KCM
+     *  machine's diagnosis: "unhandled_exception(<ball>)" with the
+     *  ball in writeq notation. Empty on a clean run. */
+    std::string error;
+
     uint64_t inferences = 0;
     double seconds = 0; ///< wall-clock
 };

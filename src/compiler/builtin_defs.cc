@@ -44,6 +44,9 @@ builtinTable()
         {"atom_length", 2, BuiltinId::AtomLength, 4},
         {"tab", 1, BuiltinId::TabB, 4},
         {"write_canonical", 1, BuiltinId::WriteCanonical, 10},
+        {"catch", 3, BuiltinId::CatchB, 4},
+        {"throw", 1, BuiltinId::ThrowB, 4},
+        {"$catch_fail", 0, BuiltinId::CatchFail, 1},
     };
     return table;
 }

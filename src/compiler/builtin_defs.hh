@@ -57,6 +57,9 @@ enum class BuiltinId : uint32_t
     AtomLength,     ///< atom_length/2
     TabB,           ///< tab/1
     WriteCanonical, ///< write_canonical/1
+    CatchB,         ///< catch/3 (push marker choice point, call Goal)
+    ThrowB,         ///< throw/1 (unwind to the innermost marker)
+    CatchFail,      ///< internal: backtracked into a catch marker
     NumBuiltins,
 };
 

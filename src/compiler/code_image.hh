@@ -53,6 +53,12 @@ struct CodeImage
      *  point's alternative). */
     Addr haltFailEntry = 0;
 
+    /** Address of the catch-marker alternative: a choice point whose
+     *  alt field equals this address is a catch/3 barrier. Backtracking
+     *  into it pops the marker and keeps failing; throw/1 scans the B
+     *  chain for it. */
+    Addr catchFailEntry = 0;
+
     /** Named query variables: (name, Y slot) pairs for solutions. */
     std::vector<std::pair<std::string, int>> querySolutionSlots;
 

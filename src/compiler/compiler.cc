@@ -153,8 +153,14 @@ Compiler::compile()
     assembler.bind(fail_label);
     Addr fail_stub = assembler.emit(Instr::make(Opcode::FailOp));
 
+    // Catch-marker alternative: backtracking into a catch/3 barrier
+    // lands here; the escape pops the marker and keeps failing.
+    Addr catch_fail = assembler.emit(Instr::makeValue(
+        Opcode::Escape, static_cast<uint32_t>(BuiltinId::CatchFail), 0));
+
     image.haltFailEntry = halt_fail;
     image.failEntry = fail_stub;
+    image.catchFailEntry = catch_fail;
 
     // Escape stubs for referenced builtins not defined as predicates.
     for (const auto &functor : called) {

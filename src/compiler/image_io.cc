@@ -84,6 +84,7 @@ saveImage(const CodeImage &image, std::ostream &out)
     out << "query " << image.queryEntry << "\n";
     out << "fail " << image.failEntry << "\n";
     out << "haltfail " << image.haltFailEntry << "\n";
+    out << "catchfail " << image.catchFailEntry << "\n";
 
     // Collect the referenced atoms by remapping through an identity
     // that records ids.
@@ -173,6 +174,8 @@ loadImage(std::istream &in)
     in >> image.failEntry;
     expectKeyword(in, "haltfail");
     in >> image.haltFailEntry;
+    expectKeyword(in, "catchfail");
+    in >> image.catchFailEntry;
 
     expectKeyword(in, "atoms");
     size_t atom_count = 0;

@@ -41,6 +41,15 @@ class Normalizer
             goals.push_back(makeAuxiliary(body));
             return;
         }
+        if (isControlStruct(body, "catch", 3)) {
+            // catch/3 meta-calls its Goal and Recovery at run time; wrap
+            // them in auxiliary predicates so control constructs compile
+            // and cuts stay local to the protected goal (ISO).
+            goals.push_back(Term::makeStruct(
+                "catch", {wrapMetaArg(body->arg(0)), body->arg(1),
+                          wrapMetaArg(body->arg(2))}));
+            return;
+        }
         if (body->isVar()) {
             // Meta-call of a variable: route through call/1.
             goals.push_back(Term::makeStruct("call", {body}));
@@ -50,6 +59,34 @@ class Normalizer
             fatal("normalize: goal is not callable: ", writeTerm(body));
         }
         goals.push_back(body);
+    }
+
+    /**
+     * Wrap a catch/3 Goal or Recovery argument: callable arguments
+     * become a call to a fresh auxiliary predicate (one clause, the
+     * argument as body). Variables and non-callables pass through and
+     * are dealt with by the runtime meta-call (instantiation_error /
+     * type_error(callable, _)).
+     */
+    TermRef
+    wrapMetaArg(const TermRef &goal)
+    {
+        if (!goal->isAtom() && !goal->isStruct())
+            return goal;
+        std::vector<TermRef> vars;
+        collectVars(goal, vars);
+        std::string name = cat("$aux", auxCounter++);
+        AtomId name_atom = internAtom(name);
+        TermRef call_goal = vars.empty()
+                                ? Term::makeAtom(name_atom)
+                                : Term::makeStruct(name_atom, vars);
+        Functor f{name_atom, static_cast<uint32_t>(vars.size())};
+        program_.auxiliaries.push_back(f);
+        NormClause clause;
+        clause.head = call_goal;
+        flatten(goal, clause.goals);
+        program_.add(f, std::move(clause));
+        return call_goal;
     }
 
     /**

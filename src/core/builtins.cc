@@ -509,41 +509,41 @@ Machine::execEscape(const DecodedInstr &instr)
         generic_compare([](double a, double b) { return a != b; });
         break;
 
-      case BuiltinId::CallGoal: {
-        Word goal = deref(x_[0]);
-        Functor f;
-        if (goal.isAtom()) {
-            f = Functor{goal.atom(), 0};
-        } else if (goal.isStruct()) {
-            Word fw = readData(Word::makeDataPtr(goal.zone(), goal.addr()));
-            f = Functor{fw.functorName(), fw.functorArity()};
-            for (uint32_t i = 0; i < f.arity; ++i)
-                x_[i] = readData(
-                    Word::makeDataPtr(goal.zone(), goal.addr() + 1 + i));
-        } else if (goal.isList()) {
-            f = Functor{AtomTable::instance().dot, 2};
-            x_[0] = readData(Word::makeDataPtr(goal.zone(), goal.addr()));
-            x_[1] =
-                readData(Word::makeDataPtr(goal.zone(), goal.addr() + 1));
-        } else {
-            fail();
-            break;
-        }
-        const PredicateInfo *info = image_.find(f);
-        if (!info) {
-            warn("call/1: undefined predicate ", atomText(f.name), "/",
-                 f.arity);
-            fail();
-            break;
-        }
-        // Tail-jump into the predicate; the callee's proceed returns
-        // to our caller.
-        b0_ = b_;
+      case BuiltinId::CallGoal:
+        metaCall(x_[0]);
+        break;
+
+      case BuiltinId::CatchB:
+        // catch/3 (X0=Goal, X1=Catcher, X2=Recovery): push a marker
+        // choice point whose alternative is the transparent
+        // $catch_fail stub; its saved argument block is the recorded
+        // catcher frame (Catcher in the ball slot, Recovery beside
+        // it), revived by throw/1 through the ordinary RAC restore.
+        // Then meta-call the protected Goal.
+        pushChoicePoint(image_.catchFailEntry, 3, h_, tr_, cpCont_);
+        cpFlag_ = true;
         shallowFlag_ = false;
-        cpFlag_ = false;
-        nextP_ = info->entry;
+        metaCall(x_[0]);
+        break;
+
+      case BuiltinId::ThrowB: {
+        Word ball = deref(x_[0]);
+        if (ball.isRef()) {
+            raiseBall(Term::makeAtom("instantiation_error"));
+            break;
+        }
+        // ISO: the ball is a copy taken before any unwinding.
+        raiseBall(exportTerm(ball));
         break;
       }
+
+      case BuiltinId::CatchFail:
+        // Backtracked into a catch/3 marker: the protected goal is
+        // out of alternatives. Pop the barrier and keep failing —
+        // catch/3 is transparent to backtracking.
+        popChoicePoint();
+        fail();
+        break;
 
       case BuiltinId::CollectSolution: {
         solution_.bindings.clear();

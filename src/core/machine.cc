@@ -235,6 +235,7 @@ Machine::load(const CodeImage &image, bool cold_caches)
     trapped_ = false;
     lastTrap_ = TrapInfo{};
     stepStartCycles_ = 0;
+    budgetWaived_ = false;
     applyQuotas();
     armGovernor();
 }
@@ -565,6 +566,15 @@ Machine::cutTo(Addr target_b)
 }
 
 void
+Machine::popChoicePoint()
+{
+    Word prev =
+        readData(Word::makeDataPtr(Zone::Control, b_ + cpfield::prevB));
+    ++cycles_;
+    cutTo(prev.addr());
+}
+
+void
 Machine::doCall(Addr target, bool is_execute)
 {
     b0_ = b_;
@@ -575,16 +585,171 @@ Machine::doCall(Addr target, bool is_execute)
     nextP_ = target;
 }
 
+// -------------------------------------------- ISO exceptions (catch/throw)
+
+void
+Machine::metaCall(Word goal_word)
+{
+    Word goal = deref(goal_word);
+    Functor f;
+    if (goal.isAtom()) {
+        f = Functor{goal.atom(), 0};
+    } else if (goal.isStruct()) {
+        Word fw = readData(Word::makeDataPtr(goal.zone(), goal.addr()));
+        f = Functor{fw.functorName(), fw.functorArity()};
+        for (uint32_t i = 0; i < f.arity; ++i)
+            x_[i] = readData(
+                Word::makeDataPtr(goal.zone(), goal.addr() + 1 + i));
+    } else if (goal.isList()) {
+        f = Functor{AtomTable::instance().dot, 2};
+        x_[0] = readData(Word::makeDataPtr(goal.zone(), goal.addr()));
+        x_[1] = readData(Word::makeDataPtr(goal.zone(), goal.addr() + 1));
+    } else if (goal.isRef()) {
+        raiseBall(Term::makeAtom("instantiation_error"));
+        return;
+    } else {
+        raiseBall(Term::makeStruct(
+            "type_error",
+            {Term::makeAtom("callable"), exportTerm(goal)}));
+        return;
+    }
+    const PredicateInfo *info = image_.find(f);
+    if (!info) {
+        warn("call/1: undefined predicate ", atomText(f.name), "/",
+             f.arity);
+        fail();
+        return;
+    }
+    // Tail-jump into the predicate; the callee's proceed returns to
+    // our caller.
+    b0_ = b_;
+    shallowFlag_ = false;
+    cpFlag_ = false;
+    nextP_ = info->entry;
+}
+
+Word
+Machine::importTerm(const TermRef &term)
+{
+    // Variables sharing a printed name (exportTerm names unbound cells
+    // "_G<addr>") share one fresh heap cell, preserving what sharing
+    // the exported ball recorded.
+    std::map<std::string, Word> vars;
+    std::function<Word(const TermRef &)> imp =
+        [&](const TermRef &t) -> Word {
+        switch (t->kind()) {
+          case TermKind::Var: {
+            auto [it, fresh] = vars.emplace(t->varName(), Word());
+            if (fresh)
+                it->second = newHeapVar();
+            return it->second;
+          }
+          case TermKind::Atom:
+            return t->isNil() ? Word::makeNil()
+                              : Word::makeAtom(t->atom());
+          case TermKind::Int:
+            return Word::makeInt(static_cast<int32_t>(t->intValue()));
+          case TermKind::Float:
+            return Word::makeFloat(static_cast<float>(t->floatValue()));
+          case TermKind::Struct: {
+            if (t->isCons()) {
+                Word head = imp(t->arg(0));
+                Word tail = imp(t->arg(1));
+                Addr cell = h_;
+                pushHeapCell(head);
+                pushHeapCell(tail);
+                return Word::makeList(Zone::Global, cell);
+            }
+            std::vector<Word> args;
+            for (const auto &a : t->args())
+                args.push_back(imp(a));
+            Addr cell = h_;
+            pushHeapCell(Word::makeFunctor(t->functorName(), t->arity()));
+            for (Word a : args)
+                pushHeapCell(a);
+            return Word::makeStruct(Zone::Global, cell);
+          }
+        }
+        panic("importTerm: unreachable term kind");
+    };
+    return imp(term);
+}
+
+bool
+Machine::deliverBall(const TermRef &ball)
+{
+    if (!image_.catchFailEntry)
+        return false; // image without the catch machinery (raw tests)
+
+    for (;;) {
+        // Scan the B chain for the innermost catch/3 marker. Only
+        // live choice points are linked (cut unlinks discarded ones),
+        // so any marker found is a valid catcher. Each inspected
+        // frame is charged the alt-field control-stack read plus the
+        // marker comparator.
+        Addr marker = 0;
+        Addr cp = b_;
+        for (;;) {
+            cycles_ += config_.catchUnwindCycles;
+            Word alt = mem_->peekData(cp + cpfield::alt);
+            if (alt.addr() == image_.catchFailEntry) {
+                marker = cp;
+                break;
+            }
+            Word prev = mem_->peekData(cp + cpfield::prevB);
+            if (prev.addr() == cp)
+                return false; // bottom choice point: uncaught
+            cp = prev.addr();
+        }
+
+        // RAC block restore at the marker — the ordinary deep-fail
+        // data path: revives X0..X2 (Goal, Catcher, Recovery), undoes
+        // bindings through the trail, resets H/E/LT/CP. Then pop the
+        // marker: the catcher frame is consumed whether or not it
+        // accepts the ball.
+        b_ = marker;
+        restoreFromChoicePoint();
+        popChoicePoint();
+
+        // Copy the ball onto the unwound heap and unify it with the
+        // revived Catcher. Ball cells are above HB, so undoing a
+        // failed unification is the trail suffix made since here.
+        Addr mark = tr_;
+        Word ball_word = importTerm(ball);
+        if (unify(ball_word, x_[1])) {
+            metaCall(x_[2]); // run Recovery in the catcher's context
+            return true;
+        }
+        unwindTrail(mark);
+        // No match: rethrow to the next enclosing marker.
+    }
+}
+
+void
+Machine::raiseBall(const TermRef &ball)
+{
+    if (deliverBall(ball))
+        return;
+    throw MachineTrap(TrapKind::UnhandledException, writeTermQuoted(ball));
+}
+
 // ------------------------------------------------------------- run loop
 
 RunStatus
 Machine::run()
 {
     armGovernor();
-    try {
-        return runLoop();
-    } catch (const MachineTrap &trap) {
-        return recordTrap(trap);
+    for (;;) {
+        try {
+            return runLoop();
+        } catch (const MachineTrap &trap) {
+            // Governor exhaustion with an enclosing catch/3 becomes a
+            // catchable resource_error ball; anything else (or no
+            // catcher) surfaces as RunStatus::Trapped, as before.
+            if (convertResourceTrap(trap))
+                continue;
+            return recordTrap(trap);
+        }
     }
 }
 
@@ -617,13 +782,21 @@ Machine::nextSolution()
     armGovernor();
     halted_ = false;
     stepStartCycles_ = cycles_;
-    try {
-        fail();
-        cycles_ += penalty_;
-        penalty_ = 0;
-        return runLoop();
-    } catch (const MachineTrap &trap) {
-        return recordTrap(trap);
+    bool backtracked = false;
+    for (;;) {
+        try {
+            if (!backtracked) {
+                backtracked = true;
+                fail();
+                cycles_ += penalty_;
+                penalty_ = 0;
+            }
+            return runLoop();
+        } catch (const MachineTrap &trap) {
+            if (convertResourceTrap(trap))
+                continue;
+            return recordTrap(trap);
+        }
     }
 }
 
@@ -664,12 +837,51 @@ Machine::recordTrap(const MachineTrap &trap)
     return RunStatus::Trapped;
 }
 
+bool
+Machine::convertResourceTrap(const MachineTrap &trap)
+{
+    if (!trapIsResource(trap.kind()) || !image_.catchFailEntry)
+        return false;
+    // Roll back the aborted instruction's partial charges exactly as
+    // recordTrap would, then deliver resource_error(<kind>) to an
+    // enclosing catch/3 marker, if any.
+    cycles_ = stepStartCycles_;
+    penalty_ = 0;
+    TermRef ball = Term::makeStruct(
+        "resource_error", {Term::makeAtom(trapKindName(trap.kind()))});
+    try {
+        if (!deliverBall(ball))
+            return false;
+    } catch (const MachineTrap &) {
+        // A second trap while unwinding (e.g. the ball import crossing
+        // an exhausted quota): surface the original condition.
+        return false;
+    }
+    // Delivery ran between instructions (finishStep will not run for
+    // it): account its memory penalties and advance P into the
+    // recovery continuation set up by deliverBall.
+    if (config_.timeMemory)
+        cycles_ += penalty_;
+    penalty_ = 0;
+    p_ = nextP_;
+    if (trap.kind() == TrapKind::Abort && stopIsBudget_) {
+        // The cycle budget is spent; waive it for the rest of this
+        // query so the recovery goal (and backtracking after it) runs
+        // bounded by maxCycles alone. load() re-arms the configured
+        // budget.
+        stopCycles_ = config_.maxCycles;
+        stopIsBudget_ = false;
+        budgetWaived_ = true;
+    }
+    return true;
+}
+
 void
 Machine::armGovernor()
 {
     uint64_t budget = config_.governor.cycleBudget;
     uint64_t max = config_.maxCycles;
-    if (budget && (!max || budget <= max)) {
+    if (budget && !budgetWaived_ && (!max || budget <= max)) {
         stopCycles_ = budget;
         stopIsBudget_ = true;
     } else {

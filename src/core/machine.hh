@@ -97,6 +97,9 @@ class Machine
     /** Whether the most recent run()/resume() trapped. */
     bool trapped() const { return trapped_; }
 
+    /** Whether the program executed halt/0 (RunStatus::Halted). */
+    bool halted() const { return halted_; }
+
     /** Diagnosis of the most recent trap (valid while trapped()). */
     const TrapInfo &lastTrap() const { return lastTrap_; }
 
@@ -105,6 +108,7 @@ class Machine
     void setCycleBudget(uint64_t budget)
     {
         config_.governor.cycleBudget = budget;
+        budgetWaived_ = false;
     }
 
     /** Convenience: run and collect up to @p max solutions. */
@@ -181,6 +185,7 @@ class Machine
 
   private:
     friend class BuiltinContext;
+    friend struct SnapshotAccess;
 
     // --- memory helpers (timed) ---
     Word readData(Word addr_word);
@@ -203,8 +208,44 @@ class Machine
     void pushChoicePoint(Addr alt, uint32_t arity, Addr saved_h,
                          Addr saved_tr, Addr saved_cp);
     void restoreFromChoicePoint();
+    /** Discard the topmost choice point (Trust-style: reload the B
+     *  chain through its prevB link). */
+    void popChoicePoint();
     void cutTo(Addr target_b);
     void doCall(Addr target, bool is_execute);
+
+    // --- ISO exceptions (catch/3, throw/1) ---
+    /** Meta-call dispatch shared by call/1, catch/3 and the recovery
+     *  continuation of a delivered ball: tail-jump into the predicate
+     *  named by @p goal. Raises instantiation_error /
+     *  type_error(callable, Culprit) as Prolog balls; an undefined
+     *  predicate warns and fails (consistent with static calls). */
+    void metaCall(Word goal);
+    /**
+     * Unwind to the innermost catch/3 marker choice point (alt ==
+     * image_.catchFailEntry), unify @p ball with the revived Catcher
+     * and meta-call the Recovery goal. A failed catcher unification
+     * rethrows to the next enclosing marker.
+     * @return false when no marker accepts the ball (the caller turns
+     *         that into an UnhandledException trap).
+     */
+    bool deliverBall(const TermRef &ball);
+    /** deliverBall or, if uncaught, throw the UnhandledException
+     *  MachineTrap carrying the quoted ball text. */
+    void raiseBall(const TermRef &ball);
+    /** Copy a host term onto the global stack (timed writes); the
+     *  inverse of exportTerm. Variables sharing a printed name share
+     *  a fresh heap cell. */
+    Word importTerm(const TermRef &term);
+    /**
+     * Serve a resource trap (StackOverflow past the ceiling, Abort on
+     * budget exhaustion) caught at the run()/nextSolution() boundary
+     * by delivering a resource_error ball to an enclosing catch/3.
+     * @return true when a marker accepted the ball and execution can
+     *         re-enter the run loop; false surfaces the trap as
+     *         RunStatus::Trapped exactly as before.
+     */
+    bool convertResourceTrap(const MachineTrap &trap);
 
     // --- heap building ---
     Word pushHeapCell(Word value);
@@ -342,6 +383,11 @@ class Machine
      *  Abort trap when it fires. */
     uint64_t stopCycles_ = 0;
     bool stopIsBudget_ = false;
+    /** A caught resource_error(abort) spends the budget for the rest
+     *  of this query: armGovernor() stops re-arming it, so
+     *  backtracking after the recovery goal does not re-trap. Cleared
+     *  by load() and setCycleBudget(). */
+    bool budgetWaived_ = false;
     bool trapped_ = false;
     TrapInfo lastTrap_;
     size_t faultCursor_ = 0;    ///< next unapplied FaultPlan action

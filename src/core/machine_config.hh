@@ -145,6 +145,14 @@ struct MachineConfig
      *  moves and the second result port are free (§3.1.1). Off:
      *  get/put register moves cost an extra cycle. */
     bool dualPortRegisterFile = true;
+
+    /** Cycles charged per choice point inspected while a thrown ball
+     *  unwinds to its catch/3 marker: one control-stack read of the
+     *  alt field plus the marker comparator, overlapped with the trail
+     *  comparators (DESIGN.md "Exceptions on the backtracking
+     *  hardware"). The marker frame's own restore is charged the
+     *  ordinary RAC block-move cost on top. */
+    unsigned catchUnwindCycles = 2;
 };
 
 } // namespace kcm

@@ -95,6 +95,8 @@ class PrefetchUnit
     Counter untakenBranches;
 
   private:
+    friend struct SnapshotAccess;
+
     Addr tp_ = 0; ///< address of the executing instruction (TP)
     Addr sp_ = 0; ///< address of the buffered instruction (SP)
     Addr p_ = 0;  ///< prefetch address register (P)

@@ -1,0 +1,538 @@
+#include "core/snapshot.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "compiler/image_io.hh"
+#include "core/machine.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+constexpr char snapshotMagic[8] = {'K', 'C', 'M', 'S', 'N', 'A', 'P', '1'};
+
+/** Little-endian byte-stream writer. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u16(uint16_t v)
+    {
+        u8(uint8_t(v));
+        u8(uint8_t(v >> 8));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        u16(uint16_t(v));
+        u16(uint16_t(v >> 16));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        u32(uint32_t(v));
+        u32(uint32_t(v >> 32));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    void word(Word w) { u64(w.raw()); }
+    void counter(const Counter &c) { u64(c.value()); }
+
+  private:
+    std::vector<uint8_t> &bytes_;
+};
+
+/** Bounds-checked reader over a snapshot image. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    uint8_t
+    u8()
+    {
+        if (pos_ >= bytes_.size())
+            fatal("snapshot: truncated image");
+        return bytes_[pos_++];
+    }
+
+    uint16_t
+    u16()
+    {
+        uint16_t lo = u8();
+        return uint16_t(lo | (uint16_t(u8()) << 8));
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t lo = u16();
+        return lo | (uint32_t(u16()) << 16);
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t lo = u32();
+        return lo | (uint64_t(u32()) << 32);
+    }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        if (n > bytes_.size() - pos_)
+            fatal("snapshot: truncated string");
+        std::string s(bytes_.begin() + std::ptrdiff_t(pos_),
+                      bytes_.begin() + std::ptrdiff_t(pos_ + n));
+        pos_ += size_t(n);
+        return s;
+    }
+
+    bool boolean() { return u8() != 0; }
+    Word word() { return Word(u64()); }
+
+    void
+    counter(Counter &c)
+    {
+        c.reset();
+        c += u64();
+    }
+
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+/**
+ * The one friend of every serialized hardware unit. All field access
+ * is concentrated here so the save and restore sides read as one
+ * field-for-field mirror — a field added to a unit but not to both
+ * methods below is a snapshot bug, so keep them in lockstep.
+ */
+struct SnapshotAccess
+{
+    static void
+    saveMem(MemSystem &mem, ByteWriter &w)
+    {
+        // Main memory, sparse: only nonzero words are recorded (the
+        // board is zero-initialized, and restore clears it first).
+        MainMemory &mm = mem.memory();
+        w.u64(mm.sizeWords());
+        size_t nonzero = 0;
+        for (size_t a = 0; a < mm.sizeWords(); ++a) {
+            if (mm.peek(PhysAddr(a)))
+                ++nonzero;
+        }
+        w.u64(nonzero);
+        for (size_t a = 0; a < mm.sizeWords(); ++a) {
+            uint64_t v = mm.peek(PhysAddr(a));
+            if (v) {
+                w.u64(a);
+                w.u64(v);
+            }
+        }
+        w.counter(mm.readWords);
+        w.counter(mm.writtenWords);
+        w.counter(mm.transactions);
+
+        // Page table.
+        Mmu &mmu = mem.mmu();
+        w.u64(mmu.table_.size());
+        for (const PageEntry &e : mmu.table_)
+            w.u16(e.raw);
+        w.u16(mmu.nextPhysPage_);
+        w.boolean(mmu.injectFault_);
+        w.counter(mmu.translations);
+        w.counter(mmu.demandFaults);
+
+        // Data cache array (tags, data, dirty bits).
+        DataCache &dc = mem.dataCache();
+        w.u64(dc.cells_.size());
+        for (const auto &c : dc.cells_) {
+            w.boolean(c.valid);
+            w.boolean(c.dirty);
+            w.u64(c.vaddr);
+            w.u64(c.data);
+        }
+        w.counter(dc.readHits);
+        w.counter(dc.readMisses);
+        w.counter(dc.writeHits);
+        w.counter(dc.writeMisses);
+        w.counter(dc.writeBacks);
+
+        // Code cache array.
+        CodeCache &cc = mem.codeCache();
+        w.u64(cc.cells_.size());
+        for (const auto &c : cc.cells_) {
+            w.boolean(c.valid);
+            w.u64(c.vaddr);
+            w.u64(c.data);
+        }
+        w.counter(cc.readHits);
+        w.counter(cc.readMisses);
+        w.counter(cc.writes);
+
+        // Zone checker: limits move at run time (quotas, firmware
+        // stack growth), so the full zone table is state.
+        ZoneChecker &zc = mem.zoneChecker();
+        for (const ZoneInfo &z : zc.zones_) {
+            w.u64(z.start);
+            w.u64(z.end);
+            w.u64(z.softLimit);
+            w.u16(z.allowedTags);
+            w.boolean(z.writeProtected);
+            w.boolean(z.enabled);
+            w.boolean(z.growable);
+        }
+        w.boolean(zc.enabled_);
+        w.counter(zc.checksPerformed);
+    }
+
+    static void
+    restoreMem(MemSystem &mem, ByteReader &r)
+    {
+        MainMemory &mm = mem.memory();
+        if (r.u64() != mm.sizeWords())
+            fatal("snapshot: main-memory size mismatch");
+        // Clear, then apply the recorded nonzero words.
+        for (size_t a = 0; a < mm.sizeWords(); ++a) {
+            if (mm.peek(PhysAddr(a)))
+                mm.poke(PhysAddr(a), 0);
+        }
+        uint64_t nonzero = r.u64();
+        for (uint64_t i = 0; i < nonzero; ++i) {
+            uint64_t a = r.u64();
+            mm.poke(PhysAddr(a), r.u64());
+        }
+        r.counter(mm.readWords);
+        r.counter(mm.writtenWords);
+        r.counter(mm.transactions);
+
+        Mmu &mmu = mem.mmu();
+        if (r.u64() != mmu.table_.size())
+            fatal("snapshot: page-table size mismatch");
+        for (PageEntry &e : mmu.table_)
+            e.raw = r.u16();
+        mmu.nextPhysPage_ = r.u16();
+        mmu.injectFault_ = r.boolean();
+        r.counter(mmu.translations);
+        r.counter(mmu.demandFaults);
+
+        DataCache &dc = mem.dataCache();
+        if (r.u64() != dc.cells_.size())
+            fatal("snapshot: data-cache geometry mismatch");
+        for (auto &c : dc.cells_) {
+            c.valid = r.boolean();
+            c.dirty = r.boolean();
+            c.vaddr = Addr(r.u64());
+            c.data = r.u64();
+        }
+        r.counter(dc.readHits);
+        r.counter(dc.readMisses);
+        r.counter(dc.writeHits);
+        r.counter(dc.writeMisses);
+        r.counter(dc.writeBacks);
+
+        CodeCache &cc = mem.codeCache();
+        if (r.u64() != cc.cells_.size())
+            fatal("snapshot: code-cache geometry mismatch");
+        for (auto &c : cc.cells_) {
+            c.valid = r.boolean();
+            c.vaddr = Addr(r.u64());
+            c.data = r.u64();
+        }
+        r.counter(cc.readHits);
+        r.counter(cc.readMisses);
+        r.counter(cc.writes);
+
+        ZoneChecker &zc = mem.zoneChecker();
+        for (ZoneInfo &z : zc.zones_) {
+            z.start = Addr(r.u64());
+            z.end = Addr(r.u64());
+            z.softLimit = Addr(r.u64());
+            z.allowedTags = r.u16();
+            z.writeProtected = r.boolean();
+            z.enabled = r.boolean();
+            z.growable = r.boolean();
+        }
+        zc.enabled_ = r.boolean();
+        r.counter(zc.checksPerformed);
+    }
+
+    static void
+    save(Machine &m, ByteWriter &w)
+    {
+        // The linked image, in its own self-contained container (it
+        // carries the symbol table metaCall resolves against and the
+        // entry stubs, and it is what the predecoded core is rebuilt
+        // from on restore).
+        std::ostringstream image_text;
+        saveImage(m.image_, image_text);
+        w.str(image_text.str());
+
+        // Register file and state registers.
+        for (const Word &x : m.x_)
+            w.word(x);
+        w.u64(m.p_);
+        w.u64(m.nextP_);
+        w.u64(m.cpCont_);
+        w.u64(m.h_);
+        w.u64(m.hb_);
+        w.u64(m.s_);
+        w.u64(m.tr_);
+        w.u64(m.e_);
+        w.u64(m.lt_);
+        w.u64(m.lb_);
+        w.u64(m.b_);
+        w.u64(m.ct_);
+        w.u64(m.b0_);
+        w.boolean(m.writeMode_);
+
+        // Shallow-backtracking shadow registers.
+        w.boolean(m.shallowFlag_);
+        w.boolean(m.cpFlag_);
+        w.u64(m.shadowH_);
+        w.u64(m.shadowTR_);
+        w.u64(m.shadowCP_);
+        w.u64(m.pendingAlt_);
+        w.u32(m.pendingArity_);
+
+        // Counters and run bookkeeping.
+        w.u64(m.cycles_);
+        w.u64(m.instructions_);
+        w.u64(m.inferences_);
+        w.u32(m.penalty_);
+        w.u64(m.expectedNextP_);
+        w.boolean(m.halted_);
+        w.boolean(m.haltFailed_);
+        w.boolean(m.solutionReady_);
+        w.str(m.hostOutput_);
+
+        // Trap delivery and governor state.
+        w.u64(m.stepStartCycles_);
+        w.u64(m.stopCycles_);
+        w.boolean(m.stopIsBudget_);
+        w.boolean(m.budgetWaived_);
+        w.boolean(m.trapped_);
+        w.u8(uint8_t(m.lastTrap_.kind));
+        w.str(m.lastTrap_.message);
+        w.u32(m.lastTrap_.pc);
+        w.u32(m.lastTrap_.faultAddr);
+        w.u64(m.lastTrap_.cycle);
+        w.u64(m.lastTrap_.instructions);
+        w.str(m.lastTrap_.state);
+        w.u64(m.faultCursor_);
+        w.boolean(m.faultsPending_);
+
+        // Trace ring buffer (so recentTrace() survives a restore).
+        for (const auto &t : m.trace_) {
+            w.u64(t.p);
+            w.u64(t.raw);
+        }
+        w.u64(m.traceHead_);
+
+        // Environment-size debug table (GC metadata).
+        w.u64(m.envSizes_.size());
+        for (uint32_t n : m.envSizes_)
+            w.u32(n);
+
+        // Event counters.
+        w.counter(m.choicePointsCreated);
+        w.counter(m.choicePointsAvoided);
+        w.counter(m.shallowFails);
+        w.counter(m.deepFails);
+        w.counter(m.trailPushes);
+        w.counter(m.derefSteps);
+        w.counter(m.bindOps);
+        w.counter(m.unifyCalls);
+        w.counter(m.envAllocs);
+        w.counter(m.cpWordsWritten);
+        w.counter(m.cpWordsRead);
+        w.counter(m.gcRuns);
+        w.counter(m.gcWordsReclaimed);
+        w.counter(m.trapsTaken);
+        w.counter(m.stackZoneGrowths);
+
+        // Prefetch pipeline.
+        PrefetchUnit &pf = m.prefetch_;
+        w.u64(pf.tp_);
+        w.u64(pf.sp_);
+        w.u64(pf.p_);
+        w.u64(pf.lastAddr_);
+        w.boolean(pf.primed_);
+        w.counter(pf.sequentialFetches);
+        w.counter(pf.pipelineBreaks);
+        w.counter(pf.takenBranches);
+        w.counter(pf.untakenBranches);
+
+        saveMem(*m.mem_, w);
+    }
+
+    static void
+    restore(Machine &m, ByteReader &r)
+    {
+        std::istringstream image_text(r.str());
+        m.image_ = loadImage(image_text);
+
+        // Rebuild the predecoded image per the *target's* dispatch
+        // core: a snapshot is portable between the oracle and the
+        // threaded core (they are cycle-identical by construction).
+        m.decoded_.clear();
+        if (m.config_.fastDispatch) {
+            m.decoded_.reserve(m.image_.words.size());
+            for (uint64_t raw : m.image_.words)
+                m.decoded_.push_back(decodeInstr(raw));
+        }
+        if (m.config_.profile) {
+            m.profiler_.attach(m.image_);
+            m.profiler_.reset();
+        }
+
+        for (Word &x : m.x_)
+            x = r.word();
+        m.p_ = Addr(r.u64());
+        m.nextP_ = Addr(r.u64());
+        m.cpCont_ = Addr(r.u64());
+        m.h_ = Addr(r.u64());
+        m.hb_ = Addr(r.u64());
+        m.s_ = Addr(r.u64());
+        m.tr_ = Addr(r.u64());
+        m.e_ = Addr(r.u64());
+        m.lt_ = Addr(r.u64());
+        m.lb_ = Addr(r.u64());
+        m.b_ = Addr(r.u64());
+        m.ct_ = Addr(r.u64());
+        m.b0_ = Addr(r.u64());
+        m.writeMode_ = r.boolean();
+
+        m.shallowFlag_ = r.boolean();
+        m.cpFlag_ = r.boolean();
+        m.shadowH_ = Addr(r.u64());
+        m.shadowTR_ = Addr(r.u64());
+        m.shadowCP_ = Addr(r.u64());
+        m.pendingAlt_ = Addr(r.u64());
+        m.pendingArity_ = r.u32();
+
+        m.cycles_ = r.u64();
+        m.instructions_ = r.u64();
+        m.inferences_ = r.u64();
+        m.penalty_ = r.u32();
+        m.expectedNextP_ = Addr(r.u64());
+        m.halted_ = r.boolean();
+        m.haltFailed_ = r.boolean();
+        m.solutionReady_ = r.boolean();
+        m.hostOutput_ = r.str();
+        // Host-side solution terms are not serialized; the bindings
+        // live in machine memory and are re-exported on the next
+        // SolutionFound.
+        m.solution_ = Solution{};
+
+        m.stepStartCycles_ = r.u64();
+        m.stopCycles_ = r.u64();
+        m.stopIsBudget_ = r.boolean();
+        m.budgetWaived_ = r.boolean();
+        m.trapped_ = r.boolean();
+        m.lastTrap_.kind = TrapKind(r.u8());
+        m.lastTrap_.message = r.str();
+        m.lastTrap_.pc = r.u32();
+        m.lastTrap_.faultAddr = r.u32();
+        m.lastTrap_.cycle = r.u64();
+        m.lastTrap_.instructions = r.u64();
+        m.lastTrap_.state = r.str();
+        m.faultCursor_ = size_t(r.u64());
+        m.faultsPending_ = r.boolean();
+
+        for (auto &t : m.trace_) {
+            t.p = Addr(r.u64());
+            t.raw = r.u64();
+        }
+        m.traceHead_ = size_t(r.u64());
+
+        m.envSizes_.assign(size_t(r.u64()), 0);
+        for (uint32_t &n : m.envSizes_)
+            n = r.u32();
+
+        r.counter(m.choicePointsCreated);
+        r.counter(m.choicePointsAvoided);
+        r.counter(m.shallowFails);
+        r.counter(m.deepFails);
+        r.counter(m.trailPushes);
+        r.counter(m.derefSteps);
+        r.counter(m.bindOps);
+        r.counter(m.unifyCalls);
+        r.counter(m.envAllocs);
+        r.counter(m.cpWordsWritten);
+        r.counter(m.cpWordsRead);
+        r.counter(m.gcRuns);
+        r.counter(m.gcWordsReclaimed);
+        r.counter(m.trapsTaken);
+        r.counter(m.stackZoneGrowths);
+
+        PrefetchUnit &pf = m.prefetch_;
+        pf.tp_ = Addr(r.u64());
+        pf.sp_ = Addr(r.u64());
+        pf.p_ = Addr(r.u64());
+        pf.lastAddr_ = Addr(r.u64());
+        pf.primed_ = r.boolean();
+        r.counter(pf.sequentialFetches);
+        r.counter(pf.pipelineBreaks);
+        r.counter(pf.takenBranches);
+        r.counter(pf.untakenBranches);
+
+        restoreMem(*m.mem_, r);
+    }
+};
+
+Snapshot
+takeSnapshot(Machine &machine)
+{
+    Snapshot snap;
+    snap.bytes.reserve(64 * 1024);
+    snap.bytes.insert(snap.bytes.end(), snapshotMagic, snapshotMagic + 8);
+    ByteWriter writer(snap.bytes);
+    SnapshotAccess::save(machine, writer);
+    return snap;
+}
+
+void
+restoreSnapshot(Machine &machine, const Snapshot &snapshot)
+{
+    if (snapshot.bytes.size() < 8 ||
+        std::memcmp(snapshot.bytes.data(), snapshotMagic, 8) != 0) {
+        fatal("snapshot: bad magic");
+    }
+    std::vector<uint8_t> body(snapshot.bytes.begin() + 8,
+                              snapshot.bytes.end());
+    ByteReader reader(body);
+    SnapshotAccess::restore(machine, reader);
+    if (!reader.atEnd())
+        fatal("snapshot: trailing bytes");
+}
+
+} // namespace kcm

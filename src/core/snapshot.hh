@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic machine checkpoints.
+ *
+ * takeSnapshot() serializes the complete architectural and
+ * micro-architectural state of a Machine — register file, state
+ * registers, shallow-backtracking shadows, every memory word, page
+ * table, both cache arrays (tags, data, dirty bits), zone limits,
+ * prefetch pipeline, governor state and every statistics counter —
+ * into a self-contained byte image. restoreSnapshot() loads that image
+ * into a Machine built with the same MachineConfig; continuing
+ * execution from the restore point produces bit-identical simulated
+ * metrics (cycles, instructions, inferences, cache hits, ...) to an
+ * uninterrupted run.
+ *
+ * Scope and caveats:
+ *  - Take snapshots at a run boundary (between run()/nextSolution()
+ *    calls, or after a trap): that is an instruction boundary, the
+ *    granularity at which the simulator is deterministic.
+ *  - Snapshots are process-local: tagged words embed atom ids, which
+ *    are interned per process. Restoring in the same process is exact;
+ *    a snapshot written to disk is only portable to a process that
+ *    interns the same atoms in the same order.
+ *  - The target machine must use the same MachineConfig as the source
+ *    (same timing model, quotas and fault plan); the predecoded image
+ *    is rebuilt from the embedded code image per the target's
+ *    dispatch-core setting.
+ */
+
+#ifndef KCM_CORE_SNAPSHOT_HH
+#define KCM_CORE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace kcm
+{
+
+class Machine;
+
+/** An opaque machine checkpoint (a self-contained byte image). */
+struct Snapshot
+{
+    std::vector<uint8_t> bytes;
+};
+
+/** Serialize the complete state of @p machine. */
+Snapshot takeSnapshot(Machine &machine);
+
+/** Load @p snapshot into @p machine (same MachineConfig as the
+ *  source). Fatal on a corrupt or truncated image. */
+void restoreSnapshot(Machine &machine, const Snapshot &snapshot);
+
+} // namespace kcm
+
+#endif // KCM_CORE_SNAPSHOT_HH

@@ -86,6 +86,12 @@ disasmOne(const std::vector<uint64_t> &code, size_t index)
         os << " #" << instr.value() << "/" << int(instr.r1());
         break;
       case Opcode::SwitchOnTerm: {
+        // A truncated or corrupt image may end mid-instruction; never
+        // read table words past the code vector.
+        if (index + 4 >= code.size()) {
+            os << " <truncated>";
+            break;
+        }
         os << " var=0x" << std::hex << (code[index + 1] & 0xFFFFFFFF)
            << " const=0x" << (code[index + 2] & 0xFFFFFFFF) << " list=0x"
            << (code[index + 3] & 0xFFFFFFFF) << " struct=0x"
@@ -97,6 +103,10 @@ disasmOne(const std::vector<uint64_t> &code, size_t index)
         unsigned n = instr.value();
         os << " [" << n << " entries]";
         for (unsigned i = 0; i < n && i < 8; ++i) {
+            if (index + 2 + 2 * i >= code.size()) {
+                os << " <truncated>";
+                break;
+            }
             Word key(code[index + 1 + 2 * i]);
             Word target(code[index + 2 + 2 * i]);
             os << " " << key.toString() << "->0x" << std::hex

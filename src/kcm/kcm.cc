@@ -57,6 +57,7 @@ KcmSystem::query(const std::string &goal)
     result.solutions = machine_->solutions(
         options_.maxSolutions == 0 ? SIZE_MAX : options_.maxSolutions);
     result.success = !result.solutions.empty();
+    result.halted = machine_->halted();
     if (machine_->trapped()) {
         result.trapped = true;
         result.trap = machine_->lastTrap();

@@ -36,15 +36,20 @@ struct QueryResult
     std::vector<Solution> solutions;  ///< collected solutions
     std::string output;               ///< captured write/1 output
 
+    /** True when the program executed halt/0 (the run stopped without
+     *  exhausting alternatives). */
+    bool halted = false;
+
     /** True when the run ended in a machine trap instead of a normal
      *  halt/fail; @ref trap then holds the structured report. */
     bool trapped = false;
     TrapInfo trap;
     /**
-     * Structured diagnosis, empty on a clean run:
-     * "resource_error(<kind>): ..." for governor exhaustion
-     * (cycle budget, stack ceiling), "machine_trap(<kind>): ..."
-     * for everything else.
+     * Structured diagnosis, empty on a clean run — always a valid,
+     * re-readable Prolog term: "resource_error(<kind>)" for governor
+     * exhaustion (cycle budget, stack ceiling) that no catch/3
+     * intercepted, "unhandled_exception(<ball>)" for an uncaught
+     * throw/1, "machine_trap(<kind>)" for everything else.
      */
     std::string error;
 

@@ -72,6 +72,8 @@ class CodeCache
     }
 
   private:
+    friend struct SnapshotAccess;
+
     struct Cell
     {
         bool valid = false;

@@ -102,6 +102,8 @@ class DataCache
     }
 
   private:
+    friend struct SnapshotAccess;
+
     struct Cell
     {
         bool valid = false;

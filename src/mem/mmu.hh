@@ -99,6 +99,8 @@ class Mmu
     Counter demandFaults;
 
   private:
+    friend struct SnapshotAccess;
+
     uint16_t allocPhysPage();
 
     MainMemory &memory_;

@@ -16,6 +16,7 @@ trapKindName(TrapKind kind)
       case TrapKind::BadInstruction:  return "bad_instruction";
       case TrapKind::StackOverflow:   return "stack_overflow";
       case TrapKind::Abort:           return "abort";
+      case TrapKind::UnhandledException: return "unhandled_exception";
     }
     return "unknown_trap";
 }
@@ -36,11 +37,14 @@ TrapInfo::toString() const
 std::string
 trapDiagnosis(const TrapInfo &info)
 {
+    // Always a valid Prolog term (the trap kind names are lowercase
+    // unquoted atoms; a ball message is pre-quoted by the writer).
+    if (info.kind == TrapKind::UnhandledException && !info.message.empty())
+        return "unhandled_exception(" + info.message + ")";
     std::string out = trapIsResource(info.kind) ? "resource_error("
                                                 : "machine_trap(";
     out += trapKindName(info.kind);
-    out += "): ";
-    out += info.toString();
+    out += ")";
     return out;
 }
 

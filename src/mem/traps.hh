@@ -32,6 +32,7 @@ enum class TrapKind
     BadInstruction,    ///< undecodable opcode
     StackOverflow,     ///< stack pointer crossed its zone limit
     Abort,             ///< execution aborted (cycle budget, user stop)
+    UnhandledException, ///< thrown Prolog ball with no catch/3 marker
 };
 
 /** Human-readable trap kind name. */
@@ -70,9 +71,13 @@ struct TrapInfo
 };
 
 /**
- * Structured diagnosis line for reports and APIs:
- * "resource_error(<kind>): ..." for governor exhaustion (stack
- * ceiling, cycle budget), "machine_trap(<kind>): ..." otherwise.
+ * Structured diagnosis term for reports and APIs — always a valid,
+ * re-readable Prolog term: "resource_error(<kind>)" for governor
+ * exhaustion (stack ceiling, cycle budget),
+ * "unhandled_exception(<ball>)" for an uncaught throw/1 (the ball is
+ * pre-formatted, quoted, in TrapInfo::message), and
+ * "machine_trap(<kind>)" otherwise. The human-readable detail line
+ * stays available via TrapInfo::toString().
  */
 std::string trapDiagnosis(const TrapInfo &info);
 

@@ -108,6 +108,8 @@ class ZoneChecker
     mutable Counter checksPerformed;
 
   private:
+    friend struct SnapshotAccess;
+
     std::array<ZoneInfo, 16> zones_;
     bool enabled_ = true;
     StatGroup stats_;

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Deterministic snapshot/restore.
+ *
+ * A snapshot taken at a run boundary and restored into a freshly
+ * constructed Machine must continue exactly: every simulated metric
+ * (cycles, instructions, inferences, cache hits, growth counters) of
+ * the resumed run equals the uninterrupted reference run, including
+ * across firmware stack-zone growth, and a snapshot of the restored
+ * machine is byte-identical to the snapshot it was restored from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "core/machine.hh"
+#include "core/snapshot.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/** Compile program+goal with the default compiler options. */
+CodeImage
+compileQuery(const std::string &program, const std::string &goal)
+{
+    KcmSystem host;
+    host.consult(program);
+    return host.compileOnly(goal);
+}
+
+/** The metrics that must survive a restore bit-exactly. */
+struct Metrics
+{
+    uint64_t cycles, instructions, inferences;
+    uint64_t dcacheHits, dcacheMisses, ccacheHits, ccacheMisses;
+    uint64_t choicePoints, trailPushes, growths;
+
+    bool
+    operator==(const Metrics &o) const
+    {
+        return cycles == o.cycles && instructions == o.instructions &&
+               inferences == o.inferences && dcacheHits == o.dcacheHits &&
+               dcacheMisses == o.dcacheMisses &&
+               ccacheHits == o.ccacheHits &&
+               ccacheMisses == o.ccacheMisses &&
+               choicePoints == o.choicePoints &&
+               trailPushes == o.trailPushes && growths == o.growths;
+    }
+};
+
+Metrics
+metricsOf(Machine &m)
+{
+    return Metrics{
+        m.cycles(),
+        m.instructions(),
+        m.inferences(),
+        m.mem().dataCache().readHits.value() +
+            m.mem().dataCache().writeHits.value(),
+        m.mem().dataCache().readMisses.value() +
+            m.mem().dataCache().writeMisses.value(),
+        m.mem().codeCache().readHits.value(),
+        m.mem().codeCache().readMisses.value(),
+        m.choicePointsCreated.value(),
+        m.trailPushes.value(),
+        m.stackZoneGrowths.value(),
+    };
+}
+
+const char *countProgram =
+    "count(0).\n"
+    "count(N) :- N > 0, M is N - 1, count(M).\n";
+
+const char *mklistProgram =
+    "mklist(0, []).\n"
+    "mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).\n";
+
+} // namespace
+
+TEST(Snapshot, RestoredRunContinuesBitIdentically)
+{
+    CodeImage image = compileQuery(countProgram, "count(200)");
+
+    // Reference: the uninterrupted run.
+    Machine reference;
+    reference.load(image);
+    ASSERT_EQ(reference.run(), RunStatus::SolutionFound);
+    Metrics full = metricsOf(reference);
+
+    // Interrupted: trap on a half-way cycle budget, snapshot, restore
+    // into a fresh machine, resume there.
+    MachineConfig config;
+    config.governor.cycleBudget = full.cycles / 2;
+    Machine source(config);
+    source.load(image);
+    ASSERT_EQ(source.run(), RunStatus::Trapped);
+    ASSERT_EQ(source.lastTrap().kind, TrapKind::Abort);
+
+    Snapshot snap = takeSnapshot(source);
+    EXPECT_FALSE(snap.bytes.empty());
+
+    Machine restored(config);
+    restoreSnapshot(restored, snap);
+    EXPECT_TRUE(restored.trapped());
+    EXPECT_EQ(restored.cycles(), source.cycles());
+
+    restored.setCycleBudget(0);
+    ASSERT_EQ(restored.resume(), RunStatus::SolutionFound);
+    EXPECT_EQ(metricsOf(restored), full)
+        << "restored continuation diverged from the uninterrupted run";
+
+    // The original machine, resumed in place, matches too (the
+    // snapshot did not perturb it).
+    source.setCycleBudget(0);
+    ASSERT_EQ(source.resume(), RunStatus::SolutionFound);
+    EXPECT_EQ(metricsOf(source), full);
+}
+
+TEST(Snapshot, SnapshotOfRestoredMachineIsByteIdentical)
+{
+    CodeImage image = compileQuery(countProgram, "count(120)");
+    MachineConfig config;
+    config.governor.cycleBudget = 1500;
+    Machine source(config);
+    source.load(image);
+    ASSERT_EQ(source.run(), RunStatus::Trapped);
+
+    Snapshot first = takeSnapshot(source);
+    Machine restored(config);
+    restoreSnapshot(restored, first);
+    Snapshot second = takeSnapshot(restored);
+    EXPECT_EQ(first.bytes, second.bytes);
+}
+
+TEST(Snapshot, RoundTripAcrossGrownStackZone)
+{
+    // The interrupted run crosses firmware stack growth (64-word heap
+    // quota, list of 200 cons cells): the snapshot must carry the
+    // grown zone limits and the growth charges so the continuation
+    // still matches the uninterrupted governed run exactly.
+    CodeImage image = compileQuery(mklistProgram, "mklist(200, L)");
+    MachineConfig config;
+    config.governor.globalQuotaWords = 64;
+
+    Machine reference(config);
+    reference.load(image);
+    ASSERT_EQ(reference.run(), RunStatus::SolutionFound);
+    Metrics full = metricsOf(reference);
+    ASSERT_GE(full.growths, 1u) << "test premise: growth must occur";
+
+    MachineConfig budgeted = config;
+    budgeted.governor.cycleBudget = full.cycles * 3 / 4;
+    Machine source(budgeted);
+    source.load(image);
+    ASSERT_EQ(source.run(), RunStatus::Trapped);
+    ASSERT_GE(source.stackZoneGrowths.value(), 1u)
+        << "test premise: snapshot must be taken after a growth";
+
+    Snapshot snap = takeSnapshot(source);
+    Machine restored(budgeted);
+    restoreSnapshot(restored, snap);
+    restored.setCycleBudget(0);
+    ASSERT_EQ(restored.resume(), RunStatus::SolutionFound);
+    EXPECT_EQ(metricsOf(restored), full);
+    EXPECT_EQ(restored.lastSolution().toString(),
+              reference.lastSolution().toString());
+}
+
+TEST(Snapshot, RestoreBridgesDispatchCores)
+{
+    // The two cores are cycle-identical by construction, so a
+    // snapshot taken on the fast core must continue bit-identically
+    // on the oracle core — state is state.
+    CodeImage image = compileQuery(countProgram, "count(150)");
+
+    MachineConfig fast_config;
+    fast_config.fastDispatch = true;
+    Machine reference(fast_config);
+    reference.load(image);
+    ASSERT_EQ(reference.run(), RunStatus::SolutionFound);
+    Metrics full = metricsOf(reference);
+
+    MachineConfig budgeted = fast_config;
+    budgeted.governor.cycleBudget = full.cycles / 2;
+    Machine source(budgeted);
+    source.load(image);
+    ASSERT_EQ(source.run(), RunStatus::Trapped);
+    Snapshot snap = takeSnapshot(source);
+
+    MachineConfig oracle_config = budgeted;
+    oracle_config.fastDispatch = false;
+    Machine restored(oracle_config);
+    restoreSnapshot(restored, snap);
+    restored.setCycleBudget(0);
+    ASSERT_EQ(restored.resume(), RunStatus::SolutionFound);
+    EXPECT_EQ(metricsOf(restored), full);
+}
+
+TEST(Snapshot, NextSolutionAfterRestoreMatches)
+{
+    // Snapshot at a solution boundary; the restored machine
+    // backtracks into the same next solution at the same cost.
+    CodeImage image = compileQuery("p(1). p(2). p(3).", "p(X)");
+
+    Machine source;
+    source.load(image);
+    ASSERT_EQ(source.run(), RunStatus::SolutionFound);
+    Snapshot snap = takeSnapshot(source);
+
+    Machine restored;
+    restoreSnapshot(restored, snap);
+    ASSERT_EQ(source.nextSolution(), RunStatus::SolutionFound);
+    ASSERT_EQ(restored.nextSolution(), RunStatus::SolutionFound);
+    EXPECT_EQ(restored.lastSolution().toString(),
+              source.lastSolution().toString());
+    EXPECT_EQ(restored.cycles(), source.cycles());
+    EXPECT_EQ(restored.instructions(), source.instructions());
+}
+
+TEST(Snapshot, HostOutputAndTraceSurviveRestore)
+{
+    CodeImage image =
+        compileQuery("greet :- write(hello), nl.", "greet");
+    Machine source;
+    source.load(image);
+    ASSERT_EQ(source.run(), RunStatus::SolutionFound);
+    ASSERT_EQ(source.output(), "hello\n");
+
+    Snapshot snap = takeSnapshot(source);
+    Machine restored;
+    restoreSnapshot(restored, snap);
+    EXPECT_EQ(restored.output(), "hello\n");
+    EXPECT_EQ(restored.recentTrace(8), source.recentTrace(8));
+    EXPECT_EQ(restored.stateString(), source.stateString());
+}
+
+TEST(Snapshot, CorruptImagesAreRejected)
+{
+    CodeImage image = compileQuery("p(1).", "p(X)");
+    Machine source;
+    source.load(image);
+    Snapshot snap = takeSnapshot(source);
+
+    Snapshot bad_magic = snap;
+    bad_magic.bytes[0] ^= 0xFF;
+    Machine victim;
+    EXPECT_THROW(restoreSnapshot(victim, bad_magic), FatalError);
+
+    Snapshot truncated = snap;
+    truncated.bytes.resize(truncated.bytes.size() / 2);
+    EXPECT_THROW(restoreSnapshot(victim, truncated), FatalError);
+}

@@ -166,7 +166,11 @@ main(int argc, char **argv)
         }
 
         kcm::QueryResult result = system.query(query);
-        if (!result.success) {
+        if (result.trapped) {
+            for (const auto &solution : result.solutions)
+                printf("%s ;\n", solution.toString().c_str());
+            printf("error: %s.\n", result.error.c_str());
+        } else if (!result.success) {
             printf("no.\n");
         } else {
             for (const auto &solution : result.solutions)
@@ -187,6 +191,8 @@ main(int argc, char **argv)
         }
         if (want_profile)
             fputs(system.machine().profiler().report().c_str(), stderr);
+        if (result.trapped)
+            return 2;
         return result.success ? 0 : 1;
     } catch (const std::exception &e) {
         fprintf(stderr, "kcm_run: %s\n", e.what());
