@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Chaos harness: the supervised query service under fault injection.
+ *
+ * Runs a mixed workload (hundreds of queries, several worker threads)
+ * through the service::Supervisor while every query carries a
+ * deterministic FaultPlan from one of the three fault families —
+ * page-fault arming, zone tightening, word corruption — plus a
+ * fault-free control family. Every query is checked against the
+ * baseline interpreter (the differential-testing oracle, run
+ * fault-free): it must either
+ *
+ *   (a) complete with answers bit-identical to the oracle's (the
+ *       fault missed, or recovery masked it), or
+ *   (b) fail cleanly with a classified FailureReport.
+ *
+ * Anything else — a hang (caught by per-query deadlines), a crash, or
+ * a silently wrong answer — fails the harness. The workload's answers
+ * are ground integers computed through arithmetic chains, so injected
+ * corruption either traps during execution or is dead; it cannot leak
+ * into an exported answer unseen.
+ *
+ * Modes:
+ *   (default)      chaos sweep; writes BENCH_chaos.json
+ *   --overhead     checkpoint + recovery overhead vs interval (the
+ *                  EXPERIMENTS.md table); asserts that checkpointing
+ *                  never changes the simulated metrics
+ *
+ * Options: --queries N (per family, default 200), --workers N
+ * (default 4), --json PATH.
+ *
+ * Exit codes: 0 = every query matched or failed classified;
+ * 1 = divergence from the oracle (or determinism violation);
+ * 2 = harness error.
+ */
+
+#include <pthread.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "baseline/interp.hh"
+#include "kcm/kcm.hh"
+#include "mem/zone_check.hh"
+#include "service/supervisor.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+const char *chaosProgram = R"PROLOG(
+sumto(0, 0).
+sumto(N, S) :- N > 0, M is N - 1, sumto(M, T), S is T + N.
+
+mklist(0, []).
+mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).
+
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+
+rev([], []).
+rev([H|T], R) :- rev(T, RT), app(RT, [H], R).
+
+suml([], A, A).
+suml([H|T], A, S) :- B is A + H, suml(T, B, S).
+
+revsum(N, S) :- mklist(N, L), rev(L, R), suml(R, 0, S).
+
+iter(0, A, A).
+iter(N, A, S) :- N > 0, sumto(200, T), B is A + T, M is N - 1,
+                 iter(M, B, S).
+
+sumc(0, 0).
+sumc(N, S) :- N > 0, !, M is N - 1, sumc(M, T), S is T + N.
+
+itc(0, A, A).
+itc(N, A, S) :- N > 0, !, sumc(200, T), B is A + T, M is N - 1,
+                itc(M, B, S).
+
+chunk :- revsum(120, _), fail.
+chunk.
+
+longrep(0, S) :- sumto(400, S).
+longrep(K, S) :- K > 0, chunk, J is K - 1, longrep(J, S).
+)PROLOG";
+
+/** Normalize fresh-variable numbering (_NNN differs per process). */
+std::string
+stripVarNumbers(const std::string &s)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+        out += s[i];
+        if (s[i] == '_' && (i == 0 || !isalnum(s[i - 1]))) {
+            while (i + 1 < s.size() && isdigit(s[i + 1]))
+                ++i;
+        }
+    }
+    return out;
+}
+
+/**
+ * The baseline interpreter recurses on the host stack per inference
+ * (continuation-passing solve()), so deep workload goals overflow the
+ * default thread stack. Each oracle query runs on its own pthread
+ * with a 1 GiB stack (lazily mapped; only touched pages cost memory).
+ */
+struct OracleTask
+{
+    baseline::Interpreter *interp = nullptr;
+    const std::string *goal = nullptr;
+    std::string answers;
+    std::string error;
+};
+
+void *
+oracleThreadMain(void *arg)
+{
+    auto *task = static_cast<OracleTask *>(arg);
+    baseline::InterpResult res = task->interp->query(*task->goal, 1);
+    for (const auto &s : res.solutions)
+        task->answers += stripVarNumbers(s.toString()) + ";";
+    task->error = res.error;
+    return nullptr;
+}
+
+std::pair<std::string, std::string>
+runOracle(baseline::Interpreter &interp, const std::string &goal)
+{
+    OracleTask task;
+    task.interp = &interp;
+    task.goal = &goal;
+    pthread_attr_t attr;
+    pthread_attr_init(&attr);
+    pthread_attr_setstacksize(&attr, size_t(1) << 30);
+    pthread_t tid;
+    if (pthread_create(&tid, &attr, oracleThreadMain, &task) != 0)
+        fatal("cannot spawn oracle thread");
+    pthread_join(tid, nullptr);
+    pthread_attr_destroy(&attr);
+    return {task.answers, task.error};
+}
+
+struct Family
+{
+    const char *name;
+    FaultKind kind;
+    bool faultFree = false;
+};
+
+/** One deterministic pseudo-random query + fault script. */
+struct ChaosQuery
+{
+    std::string goal;
+    MachineConfig machine;
+};
+
+ChaosQuery
+makeQuery(const Family &family, uint32_t seed,
+          const MachineConfig &base)
+{
+    std::mt19937 rng(seed);
+    auto pick = [&](uint64_t lo, uint64_t hi) {
+        return lo + rng() % (hi - lo + 1);
+    };
+
+    ChaosQuery q;
+    q.machine = base;
+
+    // Mixed workload, all ground-integer answers: mostly short
+    // queries, a tail of multi-megacycle ones that cross checkpoint
+    // boundaries.
+    uint64_t span_cycles; // rough length of the run
+    switch (pick(0, 9)) {
+      case 0: // long: >1 simulated Mcycle (crosses a checkpoint
+              // boundary); few distinct values so the oracle cache
+              // absorbs the interpreter cost. Each chunk fails and
+              // backtracks, so the oracle's continuation stack
+              // unwinds between chunks instead of nesting across the
+              // whole run.
+        q.goal = cat("longrep(", 10 + pick(0, 2), ", S)");
+        span_cycles = 1'600'000;
+        break;
+      case 1:
+      case 2:
+      case 3: // quadratic list work on the heap
+        q.goal = cat("revsum(", pick(20, 60), ", S)");
+        span_cycles = 30'000;
+        break;
+      default: // arithmetic recursion
+        q.goal = cat("sumto(", pick(200, 1200), ", S)");
+        span_cycles = 20'000;
+        break;
+    }
+
+    if (!family.faultFree) {
+        FaultAction fault;
+        // Half the faults land inside the run, half past its end
+        // (those never fire: the clean path must still match).
+        fault.cycle = pick(200, span_cycles * 2);
+        fault.kind = family.kind;
+        DataLayout layout;
+        switch (family.kind) {
+          case FaultKind::InjectPageFault:
+            break;
+          case FaultKind::TightenZone:
+            fault.zone = Zone::Global;
+            fault.limit = layout.globalStart + pick(4, 512);
+            break;
+          case FaultKind::CorruptWord:
+            // A Ref into the unmapped gap between the static and
+            // global zones: any dereference of the corrupted cell
+            // traps (ZoneViolation); it can never decode as a valid
+            // ground answer. Aimed at the low heap early in the run —
+            // the list cells the workload re-reads later — so a good
+            // fraction of these darts are actually observed (a dart
+            // on a dead or not-yet-allocated cell is legitimately
+            // harmless and must still match the oracle).
+            fault.cycle = pick(200, 8000);
+            fault.addr = layout.globalStart + pick(0, 127);
+            fault.raw = Word::make(Tag::Ref, Zone::Global,
+                                   layout.staticEnd + 16 +
+                                       Addr(pick(0, 256)))
+                            .raw();
+            break;
+        }
+        q.machine.faultPlan.actions.push_back(fault);
+    }
+    return q;
+}
+
+struct FamilyTally
+{
+    int matched = 0;       ///< completed, bit-identical to the oracle
+    int failedClassified = 0;
+    int diverged = 0;      ///< the bug class this harness exists for
+    int shed = 0;
+    unsigned retries = 0;
+    unsigned restarts = 0;
+    uint64_t recoveryCycles = 0;
+};
+
+int
+chaosSweep(int queries_per_family, unsigned workers,
+           const std::string &json_path)
+{
+    const Family families[] = {
+        {"fault_free", FaultKind::InjectPageFault, /*faultFree=*/true},
+        {"page_fault", FaultKind::InjectPageFault},
+        {"zone_tighten", FaultKind::TightenZone},
+        {"corrupt_word", FaultKind::CorruptWord},
+    };
+
+    service::SupervisorOptions service;
+    service.workers = workers;
+    service.maxQueueDepth = size_t(queries_per_family) * 4 + 16;
+    service.session.checkpointEveryMcycles = 1;
+    service.session.maxRetries = 3;
+    service.session.backoffBaseMs = 0; // chaos wants throughput
+    service.session.deadlineMs = 20'000; // anti-hang backstop
+    service.session.maxSolutions = 1;
+
+    baseline::Interpreter oracle;
+    oracle.consult(chaosProgram);
+
+    KcmOptions compile_options;
+    compile_options.machine = service.session.machine;
+    KcmSystem system(compile_options);
+    system.consult(chaosProgram);
+
+    // Oracle answers are cached per goal text: the goal distribution
+    // repeats, and the interpreter is the slow half of the harness.
+    std::map<std::string, std::pair<std::string, std::string>> oracleCache;
+    auto oracleAnswer =
+        [&](const std::string &goal) -> std::pair<std::string, std::string> {
+        auto it = oracleCache.find(goal);
+        if (it != oracleCache.end())
+            return it->second;
+        auto entry = runOracle(oracle, goal);
+        oracleCache[goal] = entry;
+        return entry;
+    };
+
+    service::Supervisor supervisor(service);
+    std::vector<std::pair<const Family *, ChaosQuery>> submitted;
+
+    uint32_t seed = 1;
+    for (const Family &family : families) {
+        for (int i = 0; i < queries_per_family; ++i, ++seed) {
+            ChaosQuery q = makeQuery(family, seed,
+                                     service.session.machine);
+            service::QueryJob job;
+            job.id = cat(family.name, "/", i);
+            job.goal = q.goal;
+            job.machine = q.machine;
+            supervisor.submit(job, system.compileOnly(q.goal));
+            submitted.emplace_back(&family, std::move(q));
+        }
+    }
+
+    auto results = supervisor.drain();
+    auto stats = supervisor.stats();
+
+    std::map<std::string, FamilyTally> tallies;
+    int divergences = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Family &family = *submitted[i].first;
+        const auto &out = results[i].outcome;
+        FamilyTally &tally = tallies[family.name];
+        tally.retries += out.counters.retries;
+        tally.restarts += out.counters.restarts;
+        tally.recoveryCycles += out.counters.recoveryCycles;
+
+        switch (out.status) {
+          case service::QueryStatus::Completed: {
+            auto [want_answers, want_error] =
+                oracleAnswer(results[i].job.goal);
+            std::string got;
+            for (const auto &s : out.solutions)
+                got += stripVarNumbers(s.toString()) + ";";
+            if (got == want_answers && out.error == want_error) {
+                ++tally.matched;
+            } else {
+                ++tally.diverged;
+                ++divergences;
+                fprintf(stderr,
+                        "DIVERGENCE %s goal=%s\n  kcm:    '%s' "
+                        "err='%s'\n  oracle: '%s' err='%s'\n",
+                        results[i].job.id.c_str(),
+                        results[i].job.goal.c_str(), got.c_str(),
+                        out.error.c_str(), want_answers.c_str(),
+                        want_error.c_str());
+            }
+            break;
+          }
+          case service::QueryStatus::Failed:
+            if (out.failure.classification.empty()) {
+                ++tally.diverged;
+                ++divergences;
+                fprintf(stderr, "UNCLASSIFIED FAILURE %s\n",
+                        results[i].job.id.c_str());
+            } else {
+                ++tally.failedClassified;
+            }
+            break;
+          case service::QueryStatus::Shed:
+            ++tally.shed;
+            break;
+        }
+    }
+
+    printf("chaos sweep: %d queries/family, %u workers\n",
+           queries_per_family, workers);
+    printf("%-14s %8s %8s %8s %6s %8s %9s %14s\n", "family", "matched",
+           "failed", "diverged", "shed", "retries", "restarts",
+           "recovCycles");
+    for (const Family &family : families) {
+        const FamilyTally &t = tallies[family.name];
+        printf("%-14s %8d %8d %8d %6d %8u %9u %14llu\n", family.name,
+               t.matched, t.failedClassified, t.diverged, t.shed,
+               t.retries, t.restarts,
+               (unsigned long long)t.recoveryCycles);
+    }
+    printf("aggregate: %llu checkpoints (%llu bytes), %llu retries, "
+           "%llu restarts, %llu shed\n",
+           (unsigned long long)stats.checkpoints,
+           (unsigned long long)stats.checkpointBytes,
+           (unsigned long long)stats.retries,
+           (unsigned long long)stats.restarts,
+           (unsigned long long)stats.shed);
+
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        fprintf(f, "{\n  \"label\": \"chaos_recovery\",\n");
+        fprintf(f, "  \"queriesPerFamily\": %d,\n  \"workers\": %u,\n",
+                queries_per_family, workers);
+        fprintf(f, "  \"families\": [\n");
+        for (size_t i = 0; i < std::size(families); ++i) {
+            const FamilyTally &t = tallies[families[i].name];
+            fprintf(f,
+                    "    {\"name\": \"%s\", \"matched\": %d, "
+                    "\"failedClassified\": %d, \"diverged\": %d, "
+                    "\"shed\": %d, \"retries\": %u, \"restarts\": %u, "
+                    "\"recoveryCycles\": %llu}%s\n",
+                    families[i].name, t.matched, t.failedClassified,
+                    t.diverged, t.shed, t.retries, t.restarts,
+                    (unsigned long long)t.recoveryCycles,
+                    i + 1 < std::size(families) ? "," : "");
+        }
+        fprintf(f, "  ],\n");
+        fprintf(f,
+                "  \"stats\": {\"checkpoints\": %llu, "
+                "\"checkpointBytes\": %llu, \"retries\": %llu, "
+                "\"restarts\": %llu, \"shed\": %llu, "
+                "\"recoveryCycles\": %llu}\n}\n",
+                (unsigned long long)stats.checkpoints,
+                (unsigned long long)stats.checkpointBytes,
+                (unsigned long long)stats.retries,
+                (unsigned long long)stats.restarts,
+                (unsigned long long)stats.shed,
+                (unsigned long long)stats.recoveryCycles);
+        std::fclose(f);
+        printf("wrote %s\n", json_path.c_str());
+    }
+
+    return divergences ? 1 : 0;
+}
+
+/**
+ * Checkpoint + recovery overhead vs interval, on a fixed ~3 Mcycle
+ * query. For each interval: a fault-free supervised run (checkpoint
+ * cost; simulated metrics must be identical to the unsupervised
+ * baseline) and a run with a page fault injected mid-query (recovery
+ * cost). Prints the EXPERIMENTS.md table.
+ */
+int
+overheadTable()
+{
+    // The determinate (cut) iteration: ~4.9 simulated Mcycles with a
+    // flat stack, so the run crosses even the 4-Mcycle checkpoint
+    // interval without piling up choice points.
+    const char *goal = "itc(450, 0, S)";
+
+    KcmOptions options;
+    KcmSystem system(options);
+    system.consult(chaosProgram);
+    CodeImage image = system.compileOnly(goal);
+
+    // Unsupervised baseline.
+    Machine baseline_machine(options.machine);
+    baseline_machine.load(image);
+    auto t0 = std::chrono::steady_clock::now();
+    RunStatus status = baseline_machine.run();
+    double base_host = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    if (status != RunStatus::SolutionFound) {
+        fprintf(stderr, "overhead: baseline run did not complete\n");
+        return 2;
+    }
+    uint64_t base_cycles = baseline_machine.cycles();
+    uint64_t base_instr = baseline_machine.instructions();
+
+    printf("checkpoint/recovery overhead, goal %s (%llu cycles)\n\n",
+           goal, (unsigned long long)base_cycles);
+    printf("| interval (Mcycles) | checkpoints | snapshot bytes | "
+           "host overhead | sim cycles identical | recovery cycles "
+           "(mid-run fault) | recovery host ms |\n");
+    printf("|---|---|---|---|---|---|---|\n");
+
+    int rc = 0;
+    for (uint64_t interval : {0ull, 1ull, 2ull, 4ull}) {
+        service::SessionOptions sopt;
+        sopt.machine = options.machine;
+        sopt.checkpointEveryMcycles = interval;
+        sopt.maxRetries = 3;
+        sopt.backoffBaseMs = 0;
+
+        // Fault-free: checkpoint cost + metric determinism.
+        service::Session clean(image, sopt);
+        t0 = std::chrono::steady_clock::now();
+        service::QueryOutcome out = clean.run();
+        double host = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        bool identical = out.cycles == base_cycles &&
+                         out.instructions == base_instr;
+        if (!identical)
+            rc = 1; // determinism violation
+
+        // Faulted: inject a page fault mid-run, measure recovery.
+        service::SessionOptions fopt = sopt;
+        FaultAction fault;
+        fault.cycle = base_cycles / 2;
+        fault.kind = FaultKind::InjectPageFault;
+        fopt.machine.faultPlan.actions.push_back(fault);
+        service::Session faulted(image, fopt);
+        t0 = std::chrono::steady_clock::now();
+        service::QueryOutcome fout = faulted.run();
+        double fhost = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        bool recovered =
+            fout.status == service::QueryStatus::Completed &&
+            fout.success && fout.cycles == base_cycles;
+        if (!recovered)
+            rc = 1;
+
+        printf("| %llu | %llu | %llu | %+.0f%% | %s | %llu | %.1f |\n",
+               (unsigned long long)interval,
+               (unsigned long long)out.counters.checkpoints,
+               (unsigned long long)out.counters.checkpointBytes,
+               base_host > 0 ? (host / base_host - 1.0) * 100.0 : 0.0,
+               identical ? "yes" : "NO (BUG)",
+               (unsigned long long)fout.counters.recoveryCycles,
+               fhost * 1e3);
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int queries = 200;
+    unsigned workers = 4;
+    bool overhead = false;
+    std::string json_path = "BENCH_chaos.json";
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--queries") && i + 1 < argc)
+            queries = std::max(1, atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
+            workers = std::max(1, atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--overhead"))
+            overhead = true;
+        else {
+            fprintf(stderr,
+                    "usage: chaos_recovery [--queries N] [--workers N] "
+                    "[--json PATH] [--overhead]\n");
+            return 2;
+        }
+    }
+
+    try {
+        return overhead ? overheadTable()
+                        : chaosSweep(queries, workers, json_path);
+    } catch (const std::exception &e) {
+        fprintf(stderr, "chaos_recovery: %s\n", e.what());
+        return 2;
+    }
+}

@@ -9,6 +9,7 @@
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "service/session.hh"
 
 namespace kcm
 {
@@ -43,17 +44,18 @@ constexpr uint64_t watchdogSliceCycles = 4'000'000;
 
 /**
  * Run to the next real stop under the wall-clock watchdog. The
- * machine executes in cycle-budget slices; at each slice boundary the
- * Abort trap returns control, the host clock is sampled, and resume()
- * re-enters exactly where the slice stopped. Slicing cannot change
- * the simulated metrics: the budget check replaces the maxCycles
- * compare one for one and the Abort trap is taken at an instruction
- * boundary with the counters intact. A cycle budget configured by the
- * caller (user_budget) keeps its meaning: slices never run past it,
- * and reaching it reports the genuine Abort instead of resuming.
+ * machine executes in host-side slices (Machine::setSliceStop): at
+ * each slice boundary a resumable Abort returns control, the host
+ * clock is sampled, and resume() re-enters exactly where the slice
+ * stopped. Slice stops are pure host machinery — never delivered to
+ * the program as a resource_error ball, never counted in trapsTaken —
+ * so slicing leaves every simulated metric bit-identical to an
+ * unsliced run, and a governor cycle budget configured by the caller
+ * keeps its exact meaning (reaching it reports the genuine Abort
+ * instead of resuming).
  */
 RunStatus
-runWatched(Machine &machine, uint64_t user_budget, double watchdog_seconds,
+runWatched(Machine &machine, double watchdog_seconds,
            std::chrono::steady_clock::time_point host_start, bool &timed_out)
 {
     if (watchdog_seconds <= 0)
@@ -61,16 +63,11 @@ runWatched(Machine &machine, uint64_t user_budget, double watchdog_seconds,
 
     bool first = true;
     for (;;) {
-        uint64_t slice_end = machine.cycles() + watchdogSliceCycles;
-        if (user_budget && user_budget <= slice_end)
-            slice_end = user_budget;
-        machine.setCycleBudget(slice_end);
+        machine.setSliceStop(machine.cycles() + watchdogSliceCycles);
         RunStatus status = first ? machine.run() : machine.resume();
         first = false;
-        if (status != RunStatus::Trapped ||
-            machine.lastTrap().kind != TrapKind::Abort ||
-            (user_budget && machine.cycles() >= user_budget)) {
-            machine.setCycleBudget(user_budget);
+        if (status != RunStatus::Trapped || !machine.sliceExpired()) {
+            machine.setSliceStop(0);
             return status; // a real stop (or the caller's own budget)
         }
         double elapsed = std::chrono::duration<double>(
@@ -78,7 +75,7 @@ runWatched(Machine &machine, uint64_t user_budget, double watchdog_seconds,
                              .count();
         if (elapsed > watchdog_seconds) {
             timed_out = true;
-            machine.setCycleBudget(user_budget);
+            machine.setSliceStop(0);
             return status;
         }
     }
@@ -102,18 +99,17 @@ runPrepared(const PreparedBenchmark &prep, double watchdog_seconds)
         // warm-up run loads the caches; the measured run re-executes
         // warm.
         Machine machine(prep.machine);
-        uint64_t user_budget = prep.machine.governor.cycleBudget;
         bool timed_out = false;
 
         machine.load(prep.image);
-        RunStatus status = runWatched(machine, user_budget,
-                                      watchdog_seconds, host_start,
+        RunStatus status = runWatched(machine, watchdog_seconds,
+                                      host_start,
                                       timed_out); // warm-up (cold caches)
         if (!timed_out && status != RunStatus::Trapped) {
             machine.load(prep.image, /*cold_caches=*/false);
             machine.resetMeasurement();
-            status = runWatched(machine, user_budget, watchdog_seconds,
-                                host_start, timed_out);
+            status = runWatched(machine, watchdog_seconds, host_start,
+                                timed_out);
         }
 
         fillBenchRun(run, machine, status);
@@ -175,6 +171,78 @@ fillBenchRun(BenchRun &run, Machine &machine, RunStatus status)
 }
 
 } // namespace
+
+BenchRun
+runPreparedResilient(const PreparedBenchmark &prep,
+                     uint64_t checkpoint_every_mcycles,
+                     unsigned max_retries, double watchdog_seconds)
+{
+    BenchRun run;
+    run.name = prep.name;
+
+    auto host_start = std::chrono::steady_clock::now();
+    try {
+        service::SessionOptions options;
+        options.machine = prep.machine;
+        options.checkpointEveryMcycles = checkpoint_every_mcycles;
+        options.maxRetries = max_retries;
+        options.deadlineMs = watchdog_seconds > 0
+                                 ? uint64_t(watchdog_seconds * 1000)
+                                 : 0;
+        options.maxSolutions = 1;
+
+        service::Session session(prep.image, options);
+        service::QueryOutcome outcome = session.run();
+
+        run.cycles = outcome.cycles;
+        run.instructions = outcome.instructions;
+        run.inferences = outcome.inferences;
+        run.ms = double(outcome.cycles) * cycleSeconds * 1e3;
+        run.klips = outcome.cycles
+                        ? double(outcome.inferences) /
+                              (double(outcome.cycles) * cycleSeconds) /
+                              1e3
+                        : 0;
+        run.retries = outcome.counters.retries;
+        run.restarts = outcome.counters.restarts;
+        run.checkpoints = outcome.counters.checkpoints;
+        run.checkpointBytes = outcome.counters.checkpointBytes;
+        run.recoveryCycles = outcome.counters.recoveryCycles;
+
+        if (outcome.status == service::QueryStatus::Completed) {
+            run.success = outcome.success && outcome.error.empty();
+            if (!outcome.error.empty())
+                run.failure = outcome.error;
+        } else {
+            run.success = false;
+            run.failure = outcome.failure.classification;
+            run.timedOut =
+                outcome.failure.classification == "deadline_exceeded";
+            run.trapped = !run.timedOut;
+        }
+    } catch (const std::exception &err) {
+        run.success = false;
+        run.failure = cat("exception: ", err.what());
+    }
+
+    run.hostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+    run.simCyclesPerHostSecond =
+        run.hostSeconds > 0 ? double(run.cycles) / run.hostSeconds : 0;
+    return run;
+}
+
+int
+benchExitCode(const std::vector<BenchRun> &runs)
+{
+    for (const BenchRun &run : runs) {
+        if (!run.success || !run.failure.empty())
+            return benchTrapExitCode;
+    }
+    return 0;
+}
 
 BenchRun
 runPlmBenchmark(const PlmBenchmark &bench, bool pure,

@@ -77,7 +77,7 @@ Machine::runFast()
 #define KCM_DISPATCH()                                                  \
     do {                                                                \
         if (stopCycles_ && cycles_ >= stopCycles_) [[unlikely]] {       \
-            if (stopIsBudget_)                                          \
+            if (stopKind_ != StopKind::Limit)                           \
                 trapCycleBudget();                                      \
             return RunStatus::CycleLimit;                               \
         }                                                               \
@@ -149,7 +149,7 @@ Machine::runFast()
 
     while (true) {
         if (stopCycles_ && cycles_ >= stopCycles_) [[unlikely]] {
-            if (stopIsBudget_)
+            if (stopKind_ != StopKind::Limit)
                 trapCycleBudget();
             return RunStatus::CycleLimit;
         }

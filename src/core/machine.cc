@@ -236,6 +236,7 @@ Machine::load(const CodeImage &image, bool cold_caches)
     lastTrap_ = TrapInfo{};
     stepStartCycles_ = 0;
     budgetWaived_ = false;
+    sliceStop_ = 0; // host slices are per-run; re-arm via setSliceStop
     applyQuotas();
     armGovernor();
 }
@@ -745,8 +746,9 @@ Machine::run()
         } catch (const MachineTrap &trap) {
             // Governor exhaustion with an enclosing catch/3 becomes a
             // catchable resource_error ball; anything else (or no
-            // catcher) surfaces as RunStatus::Trapped, as before.
-            if (convertResourceTrap(trap))
+            // catcher) surfaces as RunStatus::Trapped, as before. A
+            // slice stop is host machinery, never a program event.
+            if (!sliceExpired_ && convertResourceTrap(trap))
                 continue;
             return recordTrap(trap);
         }
@@ -760,7 +762,7 @@ Machine::runLoop()
         return runFast();
     while (true) {
         if (stopCycles_ && cycles_ >= stopCycles_) [[unlikely]] {
-            if (stopIsBudget_)
+            if (stopKind_ != StopKind::Limit)
                 trapCycleBudget();
             return RunStatus::CycleLimit;
         }
@@ -793,7 +795,7 @@ Machine::nextSolution()
             }
             return runLoop();
         } catch (const MachineTrap &trap) {
-            if (convertResourceTrap(trap))
+            if (!sliceExpired_ && convertResourceTrap(trap))
                 continue;
             return recordTrap(trap);
         }
@@ -833,7 +835,11 @@ Machine::recordTrap(const MachineTrap &trap)
     lastTrap_.instructions = instructions_;
     lastTrap_.state = stateString();
     trapped_ = true;
-    ++trapsTaken;
+    // Slice stops are host machinery (watchdogs, checkpointing): not
+    // counting them keeps the counter identical between a sliced and
+    // an unsliced run of the same query.
+    if (!sliceExpired_)
+        ++trapsTaken;
     return RunStatus::Trapped;
 }
 
@@ -864,13 +870,13 @@ Machine::convertResourceTrap(const MachineTrap &trap)
         cycles_ += penalty_;
     penalty_ = 0;
     p_ = nextP_;
-    if (trap.kind() == TrapKind::Abort && stopIsBudget_) {
+    if (trap.kind() == TrapKind::Abort && stopKind_ == StopKind::Budget) {
         // The cycle budget is spent; waive it for the rest of this
         // query so the recovery goal (and backtracking after it) runs
         // bounded by maxCycles alone. load() re-arms the configured
         // budget.
         stopCycles_ = config_.maxCycles;
-        stopIsBudget_ = false;
+        stopKind_ = StopKind::Limit;
         budgetWaived_ = true;
     }
     return true;
@@ -883,11 +889,18 @@ Machine::armGovernor()
     uint64_t max = config_.maxCycles;
     if (budget && !budgetWaived_ && (!max || budget <= max)) {
         stopCycles_ = budget;
-        stopIsBudget_ = true;
+        stopKind_ = StopKind::Budget;
     } else {
         stopCycles_ = max;
-        stopIsBudget_ = false;
+        stopKind_ = StopKind::Limit;
     }
+    // A slice stop below the budget/limit preempts it; on a tie the
+    // budget wins (the genuine, program-visible condition).
+    if (sliceStop_ && (!stopCycles_ || sliceStop_ < stopCycles_)) {
+        stopCycles_ = sliceStop_;
+        stopKind_ = StopKind::Slice;
+    }
+    sliceExpired_ = false;
     faultsPending_ = faultCursor_ < config_.faultPlan.actions.size();
 }
 
@@ -974,6 +987,12 @@ Machine::trapCycleBudget()
     // Taken between instructions: nothing to roll back, and p_ is
     // the next instruction — resume() continues exactly here.
     stepStartCycles_ = cycles_;
+    if (stopKind_ == StopKind::Slice) {
+        sliceExpired_ = true;
+        throw MachineTrap(TrapKind::Abort,
+                          cat("run slice expired (", cycles_,
+                              " cycles >= slice stop ", stopCycles_, ")"));
+    }
     throw MachineTrap(TrapKind::Abort,
                       cat("cycle budget exhausted (", cycles_,
                           " cycles >= budget ", stopCycles_, ")"));

@@ -111,6 +111,36 @@ class Machine
         budgetWaived_ = false;
     }
 
+    /**
+     * Arm a host-side run slice: execution stops with a resumable
+     * Abort trap when cycles() first reaches @p absolute_cycle
+     * (0 disarms). Unlike the governor's cycle budget, a slice stop is
+     * pure host machinery — it is never delivered to the program as a
+     * catchable resource_error ball and is not counted in trapsTaken,
+     * so slicing a run (for wall-clock watchdogs or checkpointing at
+     * run-loop boundaries) leaves every simulated metric identical to
+     * an unsliced run. Takes effect on the next
+     * run()/nextSolution()/resume().
+     */
+    void setSliceStop(uint64_t absolute_cycle) { sliceStop_ = absolute_cycle; }
+
+    /** Whether the most recent Trapped status was a slice stop (valid
+     *  while trapped(); always an Abort, resumable via resume()). */
+    bool sliceExpired() const { return sliceExpired_; }
+
+    /**
+     * Drop every not-yet-applied FaultPlan action. A supervisor that
+     * restores a checkpoint taken before a scripted fault calls this
+     * to model the fault as transient: the retried execution runs
+     * clean instead of deterministically re-injecting it.
+     */
+    void
+    dismissPendingFaults()
+    {
+        faultCursor_ = config_.faultPlan.actions.size();
+        faultsPending_ = false;
+    }
+
     /** Convenience: run and collect up to @p max solutions. */
     std::vector<Solution> solutions(size_t max = SIZE_MAX);
 
@@ -378,11 +408,20 @@ class Machine
      *  mid-instruction rolls back to this, so a trapped run reports
      *  the identical cycle count from both dispatch cores. */
     uint64_t stepStartCycles_ = 0;
-    /** Effective cycle stop: min of maxCycles and the governor's
-     *  budget (0 = none); stopIsBudget_ picks CycleLimit vs the
-     *  Abort trap when it fires. */
+    /** What an expired cycle stop means: the informational CycleLimit
+     *  status, the governor's Abort trap, or a host slice stop (an
+     *  Abort trap that is never converted into a resource_error
+     *  ball and never counted in trapsTaken). */
+    enum class StopKind : uint8_t { Limit, Budget, Slice };
+    /** Effective cycle stop: min of maxCycles, the governor's budget
+     *  and the armed slice stop (0 = none); stopKind_ picks the
+     *  behaviour when it fires. */
     uint64_t stopCycles_ = 0;
-    bool stopIsBudget_ = false;
+    StopKind stopKind_ = StopKind::Limit;
+    /** Armed slice stop (absolute cycle; 0 = off). */
+    uint64_t sliceStop_ = 0;
+    /** The most recent trap was a slice stop (valid while trapped_). */
+    bool sliceExpired_ = false;
     /** A caught resource_error(abort) spends the budget for the rest
      *  of this query: armGovernor() stops re-arming it, so
      *  backtracking after the recovery goal does not re-trap. Cleared

@@ -1,5 +1,6 @@
 #include "core/snapshot.hh"
 
+#include <array>
 #include <cstring>
 #include <sstream>
 
@@ -13,7 +14,46 @@ namespace kcm
 namespace
 {
 
-constexpr char snapshotMagic[8] = {'K', 'C', 'M', 'S', 'N', 'A', 'P', '1'};
+/**
+ * Container format (version 2 — hardened against corrupt blobs):
+ *
+ *   magic "KCMSNAP2"
+ *   u32   section count (== 3)
+ *   per section: u32 id, u64 payload length, u64 FNV-1a checksum,
+ *                payload bytes
+ *
+ * Sections, in order: the code image (its textual container), the
+ * processor state (registers, counters, prefetch pipeline), and the
+ * memory system (main memory, MMU, caches, zones). The memory payload
+ * leads with a geometry header (memory size, page-table size, cache
+ * cell counts) so a snapshot taken on a differently configured
+ * machine is rejected up front. restoreSnapshot() validates the whole
+ * container — structure, lengths, every checksum, geometry — before
+ * mutating one word of the target machine: a truncated or bit-flipped
+ * blob is reported with a diagnostic and the target stays untouched.
+ */
+constexpr char snapshotMagic[8] = {'K', 'C', 'M', 'S', 'N', 'A', 'P', '2'};
+
+enum : uint32_t
+{
+    secImage = 1,
+    secCpu = 2,
+    secMem = 3,
+};
+
+constexpr uint32_t sectionOrder[] = {secImage, secCpu, secMem};
+constexpr size_t numSections = 3;
+
+uint64_t
+fnv1a64(const uint8_t *data, size_t size)
+{
+    uint64_t hash = 1469598103934665603ull;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
 
 /** Little-endian byte-stream writer. */
 class ByteWriter
@@ -63,18 +103,20 @@ class ByteWriter
     std::vector<uint8_t> &bytes_;
 };
 
-/** Bounds-checked reader over a snapshot image. */
+/** Bounds-checked reader over one section's payload. */
 class ByteReader
 {
   public:
-    explicit ByteReader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+    ByteReader(const uint8_t *data, size_t size) : data_(data), size_(size)
+    {
+    }
 
     uint8_t
     u8()
     {
-        if (pos_ >= bytes_.size())
-            fatal("snapshot: truncated image");
-        return bytes_[pos_++];
+        if (pos_ >= size_)
+            fatal("snapshot: truncated section payload");
+        return data_[pos_++];
     }
 
     uint16_t
@@ -102,10 +144,9 @@ class ByteReader
     str()
     {
         uint64_t n = u64();
-        if (n > bytes_.size() - pos_)
+        if (n > size_ - pos_)
             fatal("snapshot: truncated string");
-        std::string s(bytes_.begin() + std::ptrdiff_t(pos_),
-                      bytes_.begin() + std::ptrdiff_t(pos_ + n));
+        std::string s(data_ + pos_, data_ + pos_ + n);
         pos_ += size_t(n);
         return s;
     }
@@ -120,12 +161,83 @@ class ByteReader
         c += u64();
     }
 
-    bool atEnd() const { return pos_ == bytes_.size(); }
+    bool atEnd() const { return pos_ == size_; }
 
   private:
-    const std::vector<uint8_t> &bytes_;
+    const uint8_t *data_;
+    size_t size_;
     size_t pos_ = 0;
 };
+
+struct SectionView
+{
+    uint32_t id = 0;
+    const uint8_t *data = nullptr;
+    size_t size = 0;
+
+    ByteReader reader() const { return ByteReader(data, size); }
+};
+
+/**
+ * Phase one of restoreSnapshot(): parse the container, bounds-check
+ * every length, verify every checksum. Throws FatalError with a
+ * diagnostic on the first problem; nothing has been mutated yet.
+ */
+std::array<SectionView, numSections>
+parseAndVerify(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.size() < 8 ||
+        std::memcmp(bytes.data(), snapshotMagic, 8) != 0) {
+        fatal("snapshot: bad magic (not a KCMSNAP2 image)");
+    }
+
+    size_t pos = 8;
+    auto need = [&](size_t n, const char *what) {
+        if (n > bytes.size() - pos)
+            fatal("snapshot: truncated image (", what, ")");
+    };
+    auto read_u32 = [&]() {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(bytes[pos++]) << (8 * i);
+        return v;
+    };
+    auto read_u64 = [&]() {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(bytes[pos++]) << (8 * i);
+        return v;
+    };
+
+    need(4, "section count");
+    uint32_t count = read_u32();
+    if (count != numSections)
+        fatal("snapshot: unexpected section count ", count);
+
+    std::array<SectionView, numSections> sections;
+    for (size_t s = 0; s < numSections; ++s) {
+        need(4 + 8 + 8, "section header");
+        uint32_t id = read_u32();
+        uint64_t length = read_u64();
+        uint64_t checksum = read_u64();
+        if (id != sectionOrder[s])
+            fatal("snapshot: section ", s, " has id ", id, ", expected ",
+                  sectionOrder[s]);
+        need(size_t(length), "section payload");
+        const uint8_t *payload = bytes.data() + pos;
+        uint64_t actual = fnv1a64(payload, size_t(length));
+        if (actual != checksum) {
+            fatal("snapshot: checksum mismatch in section ", id,
+                  " (stored ", checksum, ", computed ", actual,
+                  ") — corrupt or bit-flipped image rejected");
+        }
+        sections[s] = SectionView{id, payload, size_t(length)};
+        pos += size_t(length);
+    }
+    if (pos != bytes.size())
+        fatal("snapshot: ", bytes.size() - pos, " trailing bytes");
+    return sections;
+}
 
 } // namespace
 
@@ -137,13 +249,48 @@ class ByteReader
  */
 struct SnapshotAccess
 {
+    /** The memory payload's geometry header, written first so restore
+     *  can reject a mismatched machine before mutating anything. */
+    static void
+    saveMemGeometry(MemSystem &mem, ByteWriter &w)
+    {
+        w.u64(mem.memory().sizeWords());
+        w.u64(mem.mmu().table_.size());
+        w.u64(mem.dataCache().cells_.size());
+        w.u64(mem.codeCache().cells_.size());
+    }
+
+    /** Validate the geometry header against @p mem (phase one; throws
+     *  without mutating). */
+    static void
+    checkMemGeometry(MemSystem &mem, ByteReader &r)
+    {
+        uint64_t mm_words = r.u64();
+        if (mm_words != mem.memory().sizeWords())
+            fatal("snapshot: main-memory size mismatch (image ", mm_words,
+                  " words, machine ", mem.memory().sizeWords(), ")");
+        uint64_t table = r.u64();
+        if (table != mem.mmu().table_.size())
+            fatal("snapshot: page-table size mismatch (image ", table,
+                  ", machine ", mem.mmu().table_.size(), ")");
+        uint64_t dcells = r.u64();
+        if (dcells != mem.dataCache().cells_.size())
+            fatal("snapshot: data-cache geometry mismatch (image ", dcells,
+                  " cells, machine ", mem.dataCache().cells_.size(), ")");
+        uint64_t ccells = r.u64();
+        if (ccells != mem.codeCache().cells_.size())
+            fatal("snapshot: code-cache geometry mismatch (image ", ccells,
+                  " cells, machine ", mem.codeCache().cells_.size(), ")");
+    }
+
     static void
     saveMem(MemSystem &mem, ByteWriter &w)
     {
+        saveMemGeometry(mem, w);
+
         // Main memory, sparse: only nonzero words are recorded (the
         // board is zero-initialized, and restore clears it first).
         MainMemory &mm = mem.memory();
-        w.u64(mm.sizeWords());
         size_t nonzero = 0;
         for (size_t a = 0; a < mm.sizeWords(); ++a) {
             if (mm.peek(PhysAddr(a)))
@@ -163,7 +310,6 @@ struct SnapshotAccess
 
         // Page table.
         Mmu &mmu = mem.mmu();
-        w.u64(mmu.table_.size());
         for (const PageEntry &e : mmu.table_)
             w.u16(e.raw);
         w.u16(mmu.nextPhysPage_);
@@ -173,7 +319,6 @@ struct SnapshotAccess
 
         // Data cache array (tags, data, dirty bits).
         DataCache &dc = mem.dataCache();
-        w.u64(dc.cells_.size());
         for (const auto &c : dc.cells_) {
             w.boolean(c.valid);
             w.boolean(c.dirty);
@@ -188,7 +333,6 @@ struct SnapshotAccess
 
         // Code cache array.
         CodeCache &cc = mem.codeCache();
-        w.u64(cc.cells_.size());
         for (const auto &c : cc.cells_) {
             w.boolean(c.valid);
             w.u64(c.vaddr);
@@ -217,9 +361,11 @@ struct SnapshotAccess
     static void
     restoreMem(MemSystem &mem, ByteReader &r)
     {
+        // Geometry already validated in phase one; skip the header.
+        for (int i = 0; i < 4; ++i)
+            r.u64();
+
         MainMemory &mm = mem.memory();
-        if (r.u64() != mm.sizeWords())
-            fatal("snapshot: main-memory size mismatch");
         // Clear, then apply the recorded nonzero words.
         for (size_t a = 0; a < mm.sizeWords(); ++a) {
             if (mm.peek(PhysAddr(a)))
@@ -228,6 +374,8 @@ struct SnapshotAccess
         uint64_t nonzero = r.u64();
         for (uint64_t i = 0; i < nonzero; ++i) {
             uint64_t a = r.u64();
+            if (a >= mm.sizeWords())
+                fatal("snapshot: memory word address out of range");
             mm.poke(PhysAddr(a), r.u64());
         }
         r.counter(mm.readWords);
@@ -235,8 +383,6 @@ struct SnapshotAccess
         r.counter(mm.transactions);
 
         Mmu &mmu = mem.mmu();
-        if (r.u64() != mmu.table_.size())
-            fatal("snapshot: page-table size mismatch");
         for (PageEntry &e : mmu.table_)
             e.raw = r.u16();
         mmu.nextPhysPage_ = r.u16();
@@ -245,8 +391,6 @@ struct SnapshotAccess
         r.counter(mmu.demandFaults);
 
         DataCache &dc = mem.dataCache();
-        if (r.u64() != dc.cells_.size())
-            fatal("snapshot: data-cache geometry mismatch");
         for (auto &c : dc.cells_) {
             c.valid = r.boolean();
             c.dirty = r.boolean();
@@ -260,8 +404,6 @@ struct SnapshotAccess
         r.counter(dc.writeBacks);
 
         CodeCache &cc = mem.codeCache();
-        if (r.u64() != cc.cells_.size())
-            fatal("snapshot: code-cache geometry mismatch");
         for (auto &c : cc.cells_) {
             c.valid = r.boolean();
             c.vaddr = Addr(r.u64());
@@ -286,7 +428,7 @@ struct SnapshotAccess
     }
 
     static void
-    save(Machine &m, ByteWriter &w)
+    saveImageSection(Machine &m, ByteWriter &w)
     {
         // The linked image, in its own self-contained container (it
         // carries the symbol table metaCall resolves against and the
@@ -295,7 +437,11 @@ struct SnapshotAccess
         std::ostringstream image_text;
         saveImage(m.image_, image_text);
         w.str(image_text.str());
+    }
 
+    static void
+    saveCpu(Machine &m, ByteWriter &w)
+    {
         // Register file and state registers.
         for (const Word &x : m.x_)
             w.word(x);
@@ -337,7 +483,9 @@ struct SnapshotAccess
         // Trap delivery and governor state.
         w.u64(m.stepStartCycles_);
         w.u64(m.stopCycles_);
-        w.boolean(m.stopIsBudget_);
+        w.u8(uint8_t(m.stopKind_));
+        w.u64(m.sliceStop_);
+        w.boolean(m.sliceExpired_);
         w.boolean(m.budgetWaived_);
         w.boolean(m.trapped_);
         w.u8(uint8_t(m.lastTrap_.kind));
@@ -390,12 +538,10 @@ struct SnapshotAccess
         w.counter(pf.pipelineBreaks);
         w.counter(pf.takenBranches);
         w.counter(pf.untakenBranches);
-
-        saveMem(*m.mem_, w);
     }
 
     static void
-    restore(Machine &m, ByteReader &r)
+    restoreImageSection(Machine &m, ByteReader &r)
     {
         std::istringstream image_text(r.str());
         m.image_ = loadImage(image_text);
@@ -413,7 +559,11 @@ struct SnapshotAccess
             m.profiler_.attach(m.image_);
             m.profiler_.reset();
         }
+    }
 
+    static void
+    restoreCpu(Machine &m, ByteReader &r)
+    {
         for (Word &x : m.x_)
             x = r.word();
         m.p_ = Addr(r.u64());
@@ -455,7 +605,9 @@ struct SnapshotAccess
 
         m.stepStartCycles_ = r.u64();
         m.stopCycles_ = r.u64();
-        m.stopIsBudget_ = r.boolean();
+        m.stopKind_ = Machine::StopKind(r.u8());
+        m.sliceStop_ = r.u64();
+        m.sliceExpired_ = r.boolean();
         m.budgetWaived_ = r.boolean();
         m.trapped_ = r.boolean();
         m.lastTrap_.kind = TrapKind(r.u8());
@@ -504,35 +656,84 @@ struct SnapshotAccess
         r.counter(pf.pipelineBreaks);
         r.counter(pf.takenBranches);
         r.counter(pf.untakenBranches);
-
-        restoreMem(*m.mem_, r);
     }
+
+    static MemSystem &mem(Machine &m) { return *m.mem_; }
 };
 
 Snapshot
 takeSnapshot(Machine &machine)
 {
+    // Serialize each section into its own payload, then assemble the
+    // checksummed container.
+    std::array<std::vector<uint8_t>, numSections> payloads;
+    {
+        ByteWriter w(payloads[0]);
+        SnapshotAccess::saveImageSection(machine, w);
+    }
+    {
+        ByteWriter w(payloads[1]);
+        SnapshotAccess::saveCpu(machine, w);
+    }
+    {
+        payloads[2].reserve(64 * 1024);
+        ByteWriter w(payloads[2]);
+        SnapshotAccess::saveMem(SnapshotAccess::mem(machine), w);
+    }
+
     Snapshot snap;
-    snap.bytes.reserve(64 * 1024);
-    snap.bytes.insert(snap.bytes.end(), snapshotMagic, snapshotMagic + 8);
-    ByteWriter writer(snap.bytes);
-    SnapshotAccess::save(machine, writer);
+    size_t total = 8 + 4;
+    for (const auto &p : payloads)
+        total += 4 + 8 + 8 + p.size();
+    snap.bytes.reserve(total);
+    for (char c : snapshotMagic)
+        snap.bytes.push_back(uint8_t(c));
+    ByteWriter container(snap.bytes);
+    container.u32(numSections);
+    for (size_t s = 0; s < numSections; ++s) {
+        container.u32(sectionOrder[s]);
+        container.u64(payloads[s].size());
+        container.u64(fnv1a64(payloads[s].data(), payloads[s].size()));
+        snap.bytes.insert(snap.bytes.end(), payloads[s].begin(),
+                          payloads[s].end());
+    }
     return snap;
 }
 
 void
 restoreSnapshot(Machine &machine, const Snapshot &snapshot)
 {
-    if (snapshot.bytes.size() < 8 ||
-        std::memcmp(snapshot.bytes.data(), snapshotMagic, 8) != 0) {
-        fatal("snapshot: bad magic");
+    // Phase one: validate everything — container structure, section
+    // lengths, checksums, memory geometry — before touching the
+    // target. A rejected image leaves the machine exactly as it was.
+    auto sections = parseAndVerify(snapshot.bytes);
+    {
+        ByteReader geom = sections[2].reader();
+        SnapshotAccess::checkMemGeometry(SnapshotAccess::mem(machine),
+                                         geom);
     }
-    std::vector<uint8_t> body(snapshot.bytes.begin() + 8,
-                              snapshot.bytes.end());
-    ByteReader reader(body);
-    SnapshotAccess::restore(machine, reader);
-    if (!reader.atEnd())
-        fatal("snapshot: trailing bytes");
+
+    // Phase two: apply. Each section's payload is checksummed and was
+    // produced by the writer mirrored above, so these parses cannot
+    // run past their bounds on any input that passed phase one.
+    {
+        ByteReader r = sections[0].reader();
+        SnapshotAccess::restoreImageSection(machine, r);
+        if (!r.atEnd())
+            fatal("snapshot: trailing bytes in image section");
+    }
+    {
+        ByteReader r = sections[1].reader();
+        SnapshotAccess::restoreCpu(machine, r);
+        if (!r.atEnd())
+            fatal("snapshot: trailing bytes in processor section");
+    }
+    {
+        ByteReader r = sections[2].reader();
+        SnapshotAccess::restoreMem(SnapshotAccess::mem(machine), r);
+        if (!r.atEnd())
+            fatal("snapshot: trailing bytes in memory section");
+    }
 }
 
 } // namespace kcm

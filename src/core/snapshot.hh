@@ -13,6 +13,14 @@
  * metrics (cycles, instructions, inferences, cache hits, ...) to an
  * uninterrupted run.
  *
+ * The byte image is a sectioned container ("KCMSNAP2"): code image,
+ * processor state and memory system are separate sections, each
+ * length-prefixed and FNV-1a-checksummed. restoreSnapshot() validates
+ * the whole container — structure, checksums, memory geometry —
+ * before mutating the target, so a truncated or bit-flipped blob is
+ * rejected with a diagnostic and the target machine is left exactly
+ * as it was (no partial restore).
+ *
  * Scope and caveats:
  *  - Take snapshots at a run boundary (between run()/nextSolution()
  *    calls, or after a trap): that is an instruction boundary, the

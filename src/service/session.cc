@@ -1,0 +1,228 @@
+#include "service/session.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "base/logging.hh"
+#include "mem/traps.hh"
+
+namespace kcm::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedSeconds(Clock::time_point since)
+{
+    return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+} // namespace
+
+Session::Session(CodeImage image, SessionOptions options)
+    : image_(std::move(image)), options_(std::move(options))
+{
+}
+
+Session::~Session() = default;
+
+void
+Session::takeCheckpoint(std::vector<Solution> &solutions,
+                        bool resume_after)
+{
+    checkpoint_.snap = takeSnapshot(*machine_);
+    checkpoint_.solutionCount = solutions.size();
+    checkpoint_.resumeAfterRestore = resume_after;
+    checkpoint_.cycle = machine_->cycles();
+    ++counters_.checkpoints;
+    counters_.checkpointBytes += checkpoint_.snap.bytes.size();
+}
+
+void
+Session::restartFresh()
+{
+    // The snapshot itself carries the fault (armed MMU fault,
+    // tightened zone limit, latent corrupt word): throw the machine
+    // away. load() resets everything a fresh Machine has except the
+    // zone hard ends a TightenZone already moved, so escalation needs
+    // a genuinely new machine, not a reload.
+    machine_ = std::make_unique<Machine>(options_.machine);
+    machine_->load(image_);
+    machine_->dismissPendingFaults();
+    ++counters_.restarts;
+}
+
+QueryOutcome
+Session::run()
+{
+    const auto started = Clock::now();
+    QueryOutcome out;
+
+    const uint64_t checkpoint_cycles =
+        options_.checkpointEveryMcycles * 1'000'000;
+    const bool recovery = options_.maxRetries > 0 ||
+                          checkpoint_cycles > 0;
+    // Slice granularity: the checkpoint interval when checkpointing,
+    // else the watchdog tick when a deadline needs polling.
+    uint64_t slice = checkpoint_cycles;
+    if (!slice && options_.deadlineMs)
+        slice = options_.watchdogSliceCycles;
+
+    machine_ = std::make_unique<Machine>(options_.machine);
+    machine_->load(image_);
+    if (recovery)
+        takeCheckpoint(out.solutions, /*resume_after=*/false);
+
+    const size_t max_solutions =
+        options_.maxSolutions == 0 ? SIZE_MAX : options_.maxSolutions;
+
+    enum class Mode { Run, Next, Resume };
+    Mode mode = Mode::Run;
+    unsigned attempts = 1;
+    uint64_t backoff_ms = options_.backoffBaseMs;
+    uint64_t last_failure_cycle = 0;
+    bool failed_before = false;
+
+    auto finish = [&](QueryStatus status) {
+        out.status = status;
+        out.success = !out.solutions.empty();
+        out.halted = machine_->halted();
+        out.output = machine_->output();
+        out.cycles = machine_->cycles();
+        out.instructions = machine_->instructions();
+        out.inferences = machine_->inferences();
+        out.wallSeconds = elapsedSeconds(started);
+        out.counters = counters_;
+        return out;
+    };
+    auto fail = [&](std::string classification, TrapKind kind,
+                    std::string detail) {
+        out.failure.classification = std::move(classification);
+        out.failure.trapKind = kind;
+        out.failure.detail = std::move(detail);
+        out.failure.attempts = attempts;
+        out.failure.cyclesLost = counters_.recoveryCycles;
+        out.failure.checkpointAgeCycles =
+            machine_->cycles() >= checkpoint_.cycle
+                ? machine_->cycles() - checkpoint_.cycle
+                : machine_->cycles();
+        return finish(QueryStatus::Failed);
+    };
+    auto deadlineBlown = [&]() {
+        return options_.deadlineMs &&
+               elapsedSeconds(started) * 1000.0 >
+                   double(options_.deadlineMs) * double(attempts);
+    };
+    // Recover from a trap (or blown deadline slice): restore the last
+    // checkpoint, or escalate to a fresh machine when the checkpoint
+    // re-traps without progress. Returns false when the retry budget
+    // is exhausted — the caller then emits the failure report.
+    auto recover = [&]() {
+        if (attempts > options_.maxRetries)
+            return false;
+        ++attempts;
+        const uint64_t fail_cycle = machine_->cycles();
+        const bool progressed = !failed_before ||
+                                fail_cycle > last_failure_cycle;
+        failed_before = true;
+        last_failure_cycle = fail_cycle;
+        if (progressed) {
+            counters_.recoveryCycles +=
+                fail_cycle - checkpoint_.cycle;
+            restoreSnapshot(*machine_, checkpoint_.snap);
+            machine_->dismissPendingFaults();
+            out.solutions.resize(checkpoint_.solutionCount);
+            mode = checkpoint_.resumeAfterRestore ? Mode::Resume
+                                                  : Mode::Run;
+            ++counters_.retries;
+        } else {
+            // The checkpoint re-trapped at (or before) the same
+            // cycle: the fault is baked into the snapshot. Restart
+            // from scratch on a fresh machine.
+            counters_.recoveryCycles += fail_cycle;
+            restartFresh();
+            out.solutions.clear();
+            takeCheckpoint(out.solutions, /*resume_after=*/false);
+            mode = Mode::Run;
+        }
+        if (backoff_ms) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+            backoff_ms *= 2;
+        }
+        return true;
+    };
+
+    for (;;) {
+        if (slice)
+            machine_->setSliceStop(machine_->cycles() + slice);
+        RunStatus status;
+        switch (mode) {
+          case Mode::Run:
+            status = machine_->run();
+            break;
+          case Mode::Next:
+            status = machine_->nextSolution();
+            break;
+          case Mode::Resume:
+            status = machine_->resume();
+            break;
+        }
+
+        switch (status) {
+          case RunStatus::SolutionFound:
+            out.solutions.push_back(machine_->lastSolution());
+            if (out.solutions.size() >= max_solutions)
+                return finish(QueryStatus::Completed);
+            mode = Mode::Next;
+            continue;
+
+          case RunStatus::Failed:
+          case RunStatus::Halted:
+            return finish(QueryStatus::Completed);
+
+          case RunStatus::CycleLimit:
+            // maxCycles is an informational stop, same contract as
+            // KcmSystem::query: the run simply ends.
+            return finish(QueryStatus::Completed);
+
+          case RunStatus::Trapped:
+            break;
+        }
+
+        if (machine_->sliceExpired()) {
+            // Host machinery, not a fault: poll the deadline, take
+            // the periodic checkpoint, continue where we stopped.
+            if (deadlineBlown()) {
+                if (!recover()) {
+                    return fail("deadline_exceeded", TrapKind::Abort,
+                                cat("wall-clock deadline of ",
+                                    options_.deadlineMs,
+                                    " ms per attempt exceeded"));
+                }
+                continue;
+            }
+            if (checkpoint_cycles)
+                takeCheckpoint(out.solutions, /*resume_after=*/true);
+            mode = Mode::Resume;
+            continue;
+        }
+
+        const TrapInfo &trap = machine_->lastTrap();
+        if (trap.kind == TrapKind::UnhandledException) {
+            // A thrown ball with no catch/3 marker is a *program*
+            // outcome (the baseline interpreter reports it the same
+            // way), not a service fault — never retried.
+            out.error = trapDiagnosis(trap);
+            return finish(QueryStatus::Completed);
+        }
+        if (!recover()) {
+            return fail(trapDiagnosis(trap), trap.kind, trap.message);
+        }
+    }
+}
+
+} // namespace kcm::service

@@ -1,0 +1,189 @@
+#include "service/supervisor.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace kcm::service
+{
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)), paused_(options_.startPaused)
+{
+    if (options_.workers == 0)
+        fatal("supervisor needs at least one worker");
+    if (options_.maxQueueDepth == 0)
+        fatal("supervisor needs a nonzero admission queue");
+    workers_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+Supervisor::~Supervisor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        paused_ = false;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+void
+Supervisor::shedLocked(std::deque<Pending>::iterator victim)
+{
+    QueryOutcome out;
+    out.status = QueryStatus::Shed;
+    out.failure.classification = "overloaded";
+    out.failure.detail =
+        cat("admission queue full (depth ", options_.maxQueueDepth,
+            "); evicted earliest-deadline query");
+    ++stats_.shed;
+    size_t slot = victim->slot;
+    results_[slot].outcome = std::move(out);
+    done_[slot] = true;
+    --outstanding_;
+    queue_.erase(victim);
+    doneCv_.notify_all();
+}
+
+void
+Supervisor::submit(QueryJob job, CodeImage image)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_)
+        fatal("submit after drain");
+    size_t slot = results_.size();
+    results_.push_back(ServiceResult{job, QueryOutcome{}});
+    done_.push_back(false);
+    ++outstanding_;
+    ++stats_.submitted;
+
+    if (queue_.size() >= options_.maxQueueDepth) {
+        // Shed the queued query with the earliest deadline — it is
+        // the least likely to be served in time. Ties (and the
+        // no-deadline default, key 0 meaning "infinite") fall back to
+        // oldest-submitted-first among equals.
+        auto victim = queue_.begin();
+        for (auto it = std::next(queue_.begin()); it != queue_.end();
+             ++it) {
+            uint64_t vk = victim->deadlineKeyMs ? victim->deadlineKeyMs
+                                                : UINT64_MAX;
+            uint64_t ik = it->deadlineKeyMs ? it->deadlineKeyMs
+                                            : UINT64_MAX;
+            if (ik < vk)
+                victim = it;
+        }
+        shedLocked(victim);
+    }
+
+    Pending p;
+    p.slot = slot;
+    p.deadlineKeyMs = job.deadlineMs;
+    p.job = std::move(job);
+    p.image = std::move(image);
+    queue_.push_back(std::move(p));
+    workCv_.notify_one();
+}
+
+void
+Supervisor::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    workCv_.notify_all();
+}
+
+void
+Supervisor::finishLocked(size_t slot, QueryOutcome outcome)
+{
+    switch (outcome.status) {
+      case QueryStatus::Completed:
+        ++stats_.completed;
+        break;
+      case QueryStatus::Failed:
+        ++stats_.failed;
+        break;
+      case QueryStatus::Shed:
+        ++stats_.shed;
+        break;
+    }
+    stats_.retries += outcome.counters.retries;
+    stats_.restarts += outcome.counters.restarts;
+    stats_.checkpoints += outcome.counters.checkpoints;
+    stats_.checkpointBytes += outcome.counters.checkpointBytes;
+    stats_.recoveryCycles += outcome.counters.recoveryCycles;
+    results_[slot].outcome = std::move(outcome);
+    done_[slot] = true;
+    --outstanding_;
+    doneCv_.notify_all();
+}
+
+void
+Supervisor::workerMain()
+{
+    for (;;) {
+        Pending p;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [this] {
+                return (!paused_ && !queue_.empty()) || stopping_;
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            if (paused_)
+                continue;
+            p = std::move(queue_.front());
+            queue_.pop_front();
+        }
+
+        SessionOptions session_options = options_.session;
+        if (p.job.deadlineMs)
+            session_options.deadlineMs = p.job.deadlineMs;
+        if (p.job.machine)
+            session_options.machine = *p.job.machine;
+        Session session(std::move(p.image),
+                        std::move(session_options));
+        QueryOutcome outcome = session.run();
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        finishLocked(p.slot, std::move(outcome));
+    }
+}
+
+std::vector<ServiceResult>
+Supervisor::drain()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        paused_ = false;
+        workCv_.notify_all();
+        doneCv_.wait(lock, [this] { return outstanding_ == 0; });
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(results_);
+}
+
+ServiceStats
+Supervisor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace kcm::service

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Supervisor: N supervised sessions over a worker-thread pool.
+ *
+ * The serving half of the host in the paper's Fig. 1 system picture:
+ * clients submit compiled queries, a bounded admission queue feeds a
+ * pool of worker threads, and each worker runs one Session (machine +
+ * checkpoints + retry loop) per query. Robustness policies live here:
+ *
+ *  - load shedding: the admission queue is bounded; when it is full,
+ *    the queued query with the *earliest deadline* is evicted (it is
+ *    the one most likely to blow its deadline anyway) and completes
+ *    immediately with a classified "overloaded" failure — clients
+ *    always get an answer, never a hang;
+ *  - aggregate robustness counters (retries, restarts, checkpoints,
+ *    checkpoint bytes, recovery cycles, shed queries) on top of the
+ *    per-session ones.
+ *
+ * Determinism notes: queries are *compiled on the submitting thread*
+ * (atom interning order affects generated switch tables, hence
+ * simulated cycle counts — serial compilation keeps every simulated
+ * metric reproducible across runs regardless of worker scheduling);
+ * only execution fans out. startPaused + resume() let tests fill the
+ * admission queue and observe shedding without racing the workers.
+ */
+
+#ifndef KCM_SERVICE_SUPERVISOR_HH
+#define KCM_SERVICE_SUPERVISOR_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/session.hh"
+
+namespace kcm::service
+{
+
+/** One client query, as submitted. */
+struct QueryJob
+{
+    std::string id;   ///< client tag, echoed in the result
+    std::string goal; ///< query text (for reports; already compiled)
+
+    /** Wall-clock deadline for this query in milliseconds from
+     *  submission (0 = the session default). Also the load-shedding
+     *  eviction key: earliest deadline is shed first. */
+    uint64_t deadlineMs = 0;
+
+    /** Per-query machine configuration (e.g. a per-tenant governor,
+     *  or a fault-injection script in the chaos harness); the pool's
+     *  session config when unset. */
+    std::optional<MachineConfig> machine;
+};
+
+/** A finished query, in submission order. */
+struct ServiceResult
+{
+    QueryJob job;
+    QueryOutcome outcome;
+};
+
+/** Aggregate robustness counters across all sessions. */
+struct ServiceStats
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t shed = 0;
+    uint64_t retries = 0;
+    uint64_t restarts = 0;
+    uint64_t checkpoints = 0;
+    uint64_t checkpointBytes = 0;
+    uint64_t recoveryCycles = 0;
+};
+
+struct SupervisorOptions
+{
+    SessionOptions session;
+
+    /** Worker threads executing sessions. */
+    unsigned workers = 4;
+
+    /** Admission-queue bound; a submit beyond it sheds the queued
+     *  query with the earliest deadline. */
+    size_t maxQueueDepth = 64;
+
+    /** Create the pool idle; no query runs until resume(). Lets a
+     *  client (or test) fill the admission queue deterministically. */
+    bool startPaused = false;
+};
+
+/**
+ * The session pool. submit() compiled queries, then drain() for the
+ * results (in submission order). Thread-safe for a single submitting
+ * thread; results are produced by the worker pool.
+ */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions options);
+    ~Supervisor();
+
+    /** Admit a compiled query. May shed (and immediately complete
+     *  with an "overloaded" failure) the earliest-deadline queued
+     *  query when the admission queue is full. */
+    void submit(QueryJob job, CodeImage image);
+
+    /** Start the workers (after startPaused). */
+    void resume();
+
+    /** Close admissions, run everything down, join the workers and
+     *  return every result in submission order. */
+    std::vector<ServiceResult> drain();
+
+    /** Aggregate counters (stable after drain()). */
+    ServiceStats stats() const;
+
+  private:
+    struct Pending
+    {
+        size_t slot = 0; ///< result slot, in submission order
+        QueryJob job;
+        CodeImage image;
+        uint64_t deadlineKeyMs = 0; ///< eviction key
+    };
+
+    void workerMain();
+    void shedLocked(std::deque<Pending>::iterator victim);
+    void finishLocked(size_t slot, QueryOutcome outcome);
+
+    SupervisorOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::deque<Pending> queue_;
+    std::vector<ServiceResult> results_;
+    std::vector<bool> done_;
+    size_t outstanding_ = 0;
+    bool paused_ = false;
+    bool stopping_ = false;
+    ServiceStats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace kcm::service
+
+#endif // KCM_SERVICE_SUPERVISOR_HH

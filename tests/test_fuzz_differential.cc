@@ -16,6 +16,8 @@
 
 #include "base/logging.hh"
 #include "baseline/interp.hh"
+#include "core/machine.hh"
+#include "core/snapshot.hh"
 #include "kcm/kcm.hh"
 
 using namespace kcm;
@@ -402,3 +404,66 @@ TEST_P(FuzzExceptions, UncaughtBallsAgreeEverywhere)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzExceptions, ::testing::Range(1u, 7u));
+
+class FuzzSnapshot : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzSnapshot, CorruptedSnapshotsRejectedWithoutPartialMutation)
+{
+    // Every corruption of a snapshot container — truncation anywhere,
+    // any byte changed anywhere (magic, section table, payload) — must
+    // be rejected with a diagnostic, and a rejected restore must leave
+    // the target machine untouched: KCMSNAP2 validates the whole
+    // container (lengths + per-section checksums) before mutating
+    // anything.
+    TermGen gen(GetParam() * 2654435761u);
+
+    KcmSystem host;
+    host.consult("mklist(0, []).\n"
+                 "mklist(N, [N|T]) :- N > 0, M is N - 1, "
+                 "mklist(M, T).\n");
+    CodeImage image = host.compileOnly("mklist(120, L)");
+
+    MachineConfig config;
+    config.governor.cycleBudget = 1500;
+    Machine source(config);
+    source.load(image);
+    ASSERT_EQ(source.run(), RunStatus::Trapped)
+        << "test premise: the budget must interrupt mid-build";
+    Snapshot snap = takeSnapshot(source);
+    ASSERT_GT(snap.bytes.size(), 64u);
+
+    // Reference continuation of the pristine snapshot.
+    Machine reference(config);
+    restoreSnapshot(reference, snap);
+    reference.setCycleBudget(0);
+    ASSERT_EQ(reference.resume(), RunStatus::SolutionFound);
+    std::string want =
+        stripVarNumbers(reference.lastSolution().toString());
+
+    // The victim holds live mid-run state; every corrupted restore
+    // against it must throw without mutating it.
+    Machine victim(config);
+    restoreSnapshot(victim, snap);
+    for (int i = 0; i < 24; ++i) {
+        Snapshot bad = snap;
+        if (gen.pick(3) == 0) {
+            bad.bytes.resize(gen.pick(unsigned(bad.bytes.size())));
+        } else {
+            size_t pos = gen.pick(unsigned(bad.bytes.size()));
+            bad.bytes[pos] ^= uint8_t(1 + gen.pick(255));
+        }
+        EXPECT_THROW(restoreSnapshot(victim, bad), FatalError)
+            << "corruption " << i << " was not rejected";
+    }
+
+    // No partial mutation: the victim continues bit-identically.
+    victim.setCycleBudget(0);
+    ASSERT_EQ(victim.resume(), RunStatus::SolutionFound);
+    EXPECT_EQ(stripVarNumbers(victim.lastSolution().toString()), want);
+    EXPECT_EQ(victim.cycles(), reference.cycles());
+    EXPECT_EQ(victim.instructions(), reference.instructions());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSnapshot, ::testing::Range(1u, 7u));

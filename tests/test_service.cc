@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Supervised query service: Session recovery semantics and Supervisor
+ * pool behaviour.
+ *
+ * The contract under test is the serving one: a supervised query
+ * either completes with the same answer an unsupervised run produces
+ * (checkpointing must be invisible to every simulated metric), or
+ * fails *cleanly* with a structured, classified FailureReport — never
+ * a hang, never a silently wrong answer. Recovery escalation (restore
+ * the checkpoint, then a fresh-machine restart when the checkpoint
+ * re-traps without progress) and load shedding are pinned down
+ * deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+#include "mem/zone_check.hh"
+#include "service/supervisor.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+const char *serviceProgram =
+    "sumto(0, 0).\n"
+    "sumto(N, S) :- N > 0, M is N - 1, sumto(M, T), S is T + N.\n"
+    "mklist(0, []).\n"
+    "mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).\n"
+    "app([], L, L).\n"
+    "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+    "rev([], []).\n"
+    "rev([H|T], R) :- rev(T, RT), app(RT, [H], R).\n"
+    "suml([], A, A).\n"
+    "suml([H|T], A, S) :- B is A + H, suml(T, B, S).\n"
+    "revsum(N, S) :- mklist(N, L), rev(L, R), suml(R, 0, S).\n"
+    "iter(0, A, A).\n"
+    "iter(N, A, S) :- N > 0, sumto(200, T), B is A + T, M is N - 1,\n"
+    "                 iter(M, B, S).\n"
+    // Determinate (cut) variants: multi-megacycle without piling up
+    // choice points, so long runs stay within the default memory.
+    "sumc(0, 0).\n"
+    "sumc(N, S) :- N > 0, !, M is N - 1, sumc(M, T), S is T + N.\n"
+    "itc(0, A, A).\n"
+    "itc(N, A, S) :- N > 0, !, sumc(200, T), B is A + T, M is N - 1,\n"
+    "                itc(M, B, S).\n"
+    "loop :- loop.\n";
+
+/** Compile one goal against the shared test program. */
+CodeImage
+compileQuery(const std::string &goal, const MachineConfig &machine)
+{
+    KcmOptions options;
+    options.machine = machine;
+    KcmSystem host(options);
+    host.consult(serviceProgram);
+    return host.compileOnly(goal);
+}
+
+/** Run one supervised query to completion. */
+service::QueryOutcome
+runSession(const std::string &goal, service::SessionOptions options)
+{
+    options.backoffBaseMs = 0; // tests want wall-clock speed
+    CodeImage image = compileQuery(goal, options.machine);
+    service::Session session(std::move(image), std::move(options));
+    return session.run();
+}
+
+/** Premise check: the same goal + config traps without supervision. */
+TrapKind
+unsupervisedTrap(const std::string &goal, const MachineConfig &machine)
+{
+    Machine bare(machine);
+    bare.load(compileQuery(goal, machine));
+    EXPECT_EQ(bare.run(), RunStatus::Trapped)
+        << "test premise: " << goal << " must trap unsupervised";
+    return bare.lastTrap().kind;
+}
+
+} // namespace
+
+TEST(Session, CheckpointingDoesNotPerturbSimulatedMetrics)
+{
+    // ~3.3 simulated Mcycles: crosses several 1-Mcycle checkpoint
+    // boundaries (and stays clear of trail exhaustion, which a
+    // deterministic run meets near 11 Mcycles).
+    const char *goal = "itc(300, 0, S)";
+
+    service::SessionOptions plain;
+    plain.checkpointEveryMcycles = 0;
+    plain.maxRetries = 0;
+    service::QueryOutcome base = runSession(goal, plain);
+    ASSERT_EQ(base.status, service::QueryStatus::Completed);
+    ASSERT_TRUE(base.success);
+    ASSERT_EQ(base.counters.checkpoints, 0u);
+    ASSERT_GE(base.cycles, 2'000'000u)
+        << "test premise: the goal must cross checkpoint intervals";
+
+    service::SessionOptions supervised;
+    supervised.checkpointEveryMcycles = 1;
+    service::QueryOutcome ckpt = runSession(goal, supervised);
+    ASSERT_EQ(ckpt.status, service::QueryStatus::Completed);
+    EXPECT_EQ(ckpt.cycles, base.cycles);
+    EXPECT_EQ(ckpt.instructions, base.instructions);
+    EXPECT_EQ(ckpt.inferences, base.inferences);
+    ASSERT_EQ(ckpt.solutions.size(), base.solutions.size());
+    EXPECT_EQ(ckpt.solutions[0].toString(),
+              base.solutions[0].toString());
+    // Initial checkpoint + at least two periodic ones.
+    EXPECT_GE(ckpt.counters.checkpoints, 3u);
+    EXPECT_GT(ckpt.counters.checkpointBytes, 0u);
+    EXPECT_EQ(ckpt.counters.retries, 0u);
+    EXPECT_EQ(ckpt.counters.restarts, 0u);
+}
+
+TEST(Session, RecoversFromInjectedPageFault)
+{
+    const char *goal = "sumto(500, S)";
+    service::SessionOptions clean;
+    service::QueryOutcome want = runSession(goal, clean);
+    ASSERT_TRUE(want.success);
+
+    service::SessionOptions faulty;
+    FaultAction fault;
+    fault.cycle = 4000;
+    fault.kind = FaultKind::InjectPageFault;
+    faulty.machine.faultPlan.actions.push_back(fault);
+    ASSERT_EQ(unsupervisedTrap(goal, faulty.machine),
+              TrapKind::PageFault);
+
+    service::QueryOutcome out = runSession(goal, faulty);
+    EXPECT_EQ(out.status, service::QueryStatus::Completed);
+    ASSERT_TRUE(out.success) << out.failure.classification;
+    EXPECT_EQ(out.solutions[0].toString(),
+              want.solutions[0].toString());
+    EXPECT_GE(out.counters.retries + out.counters.restarts, 1u);
+    EXPECT_GT(out.counters.recoveryCycles, 0u);
+}
+
+TEST(Session, RecoversFromTightenedZone)
+{
+    const char *goal = "revsum(40, S)";
+    service::SessionOptions clean;
+    service::QueryOutcome want = runSession(goal, clean);
+    ASSERT_TRUE(want.success);
+
+    service::SessionOptions faulty;
+    FaultAction fault;
+    fault.cycle = 1500;
+    fault.kind = FaultKind::TightenZone;
+    fault.zone = Zone::Global;
+    DataLayout layout;
+    fault.limit = layout.globalStart + 8;
+    faulty.machine.faultPlan.actions.push_back(fault);
+    unsupervisedTrap(goal, faulty.machine);
+
+    service::QueryOutcome out = runSession(goal, faulty);
+    EXPECT_EQ(out.status, service::QueryStatus::Completed);
+    ASSERT_TRUE(out.success) << out.failure.classification;
+    EXPECT_EQ(out.solutions[0].toString(),
+              want.solutions[0].toString());
+    EXPECT_GE(out.counters.retries + out.counters.restarts, 1u);
+}
+
+TEST(Session, RecoversFromCorruptedWord)
+{
+    const char *goal = "revsum(40, S)";
+    service::SessionOptions clean;
+    service::QueryOutcome want = runSession(goal, clean);
+    ASSERT_TRUE(want.success);
+
+    // Corrupt live list cells with Refs into the unmapped gap between
+    // the static and global zones: the next dereference traps (and
+    // can never decode as a plausible ground answer). rev/app re-read
+    // the low heap throughout the quadratic run, so darts spread over
+    // cells and cycles are guaranteed to be observed.
+    service::SessionOptions faulty;
+    DataLayout layout;
+    const uint64_t darts[][2] = {
+        {1000, 10}, {3000, 30}, {5000, 50}, {8000, 70}, {12000, 26},
+    };
+    for (const auto &dart : darts) {
+        FaultAction fault;
+        fault.cycle = dart[0];
+        fault.kind = FaultKind::CorruptWord;
+        fault.addr = layout.globalStart + Addr(dart[1]);
+        fault.raw = Word::make(Tag::Ref, Zone::Global,
+                               layout.staticEnd + 16)
+                        .raw();
+        faulty.machine.faultPlan.actions.push_back(fault);
+    }
+    unsupervisedTrap(goal, faulty.machine);
+
+    service::QueryOutcome out = runSession(goal, faulty);
+    EXPECT_EQ(out.status, service::QueryStatus::Completed);
+    ASSERT_TRUE(out.success) << out.failure.classification;
+    EXPECT_EQ(out.solutions[0].toString(),
+              want.solutions[0].toString());
+    EXPECT_GE(out.counters.retries + out.counters.restarts, 1u);
+}
+
+TEST(Session, ExhaustedRetriesFailCleanlyWithRestartEscalation)
+{
+    // A cycle budget the goal can never fit in: every attempt traps
+    // at the same simulated cycle. The first recovery restores the
+    // checkpoint; the re-trap makes no progress, so the session
+    // escalates to fresh-machine restarts; the budget then runs out
+    // and the failure is classified — not hung, not crashed.
+    service::SessionOptions options;
+    options.machine.governor.cycleBudget = 3000;
+    options.maxRetries = 2;
+    service::QueryOutcome out = runSession("sumto(1200, S)", options);
+
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_FALSE(out.success);
+    EXPECT_NE(out.failure.classification.find("resource_error"),
+              std::string::npos)
+        << out.failure.classification;
+    EXPECT_EQ(out.failure.trapKind, TrapKind::Abort);
+    EXPECT_EQ(out.failure.attempts, 3u); // 1 + maxRetries
+    EXPECT_EQ(out.counters.retries, 1u);
+    EXPECT_EQ(out.counters.restarts, 1u);
+    EXPECT_GT(out.failure.cyclesLost, 0u);
+    EXPECT_FALSE(out.failure.detail.empty());
+}
+
+TEST(Session, UnhandledExceptionIsAProgramOutcomeNotRetried)
+{
+    service::SessionOptions options;
+    options.maxRetries = 3;
+    service::QueryOutcome out =
+        runSession("sumto(5, S), throw(boom(S))", options);
+
+    // The baseline interpreter reports the same uncaught ball; the
+    // service must treat it as a completed (if failed) program, not a
+    // machine fault worth retrying.
+    EXPECT_EQ(out.status, service::QueryStatus::Completed);
+    EXPECT_FALSE(out.success);
+    EXPECT_NE(out.error.find("boom(15)"), std::string::npos)
+        << out.error;
+    EXPECT_EQ(out.counters.retries, 0u);
+    EXPECT_EQ(out.counters.restarts, 0u);
+}
+
+TEST(Session, BlownDeadlineFailsCleanly)
+{
+    service::SessionOptions options;
+    options.deadlineMs = 60;
+    options.checkpointEveryMcycles = 0;
+    options.maxRetries = 0;
+    options.watchdogSliceCycles = 100'000;
+    service::QueryOutcome out = runSession("loop", options);
+
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_EQ(out.failure.classification, "deadline_exceeded");
+    EXPECT_EQ(out.failure.attempts, 1u);
+    EXPECT_EQ(out.failure.trapKind, TrapKind::Abort);
+}
+
+TEST(Supervisor, BatchCompletesInSubmissionOrder)
+{
+    service::SupervisorOptions options;
+    options.workers = 4;
+    options.session.backoffBaseMs = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+
+    service::Supervisor supervisor(options);
+    std::vector<uint64_t> expected;
+    for (int i = 0; i < 12; ++i) {
+        uint64_t n = 50 + uint64_t(i);
+        expected.push_back(n * (n + 1) / 2);
+        service::QueryJob job;
+        job.id = cat("q", i);
+        job.goal = cat("sumto(", n, ", S)");
+        supervisor.submit(job, host.compileOnly(job.goal));
+    }
+    std::vector<service::ServiceResult> results = supervisor.drain();
+    service::ServiceStats stats = supervisor.stats();
+
+    ASSERT_EQ(results.size(), 12u);
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].job.id, cat("q", i));
+        EXPECT_EQ(results[i].outcome.status,
+                  service::QueryStatus::Completed);
+        ASSERT_TRUE(results[i].outcome.success);
+        EXPECT_NE(results[i].outcome.solutions[0].toString().find(
+                      std::to_string(expected[i])),
+                  std::string::npos);
+    }
+    EXPECT_EQ(stats.submitted, 12u);
+    EXPECT_EQ(stats.completed, 12u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(Supervisor, ShedsEarliestDeadlineWhenQueueFull)
+{
+    // startPaused keeps the workers idle while the admission queue
+    // fills, so the eviction decision is deterministic: with a depth
+    // of 2, the third submit evicts the queued query with the
+    // earliest deadline (q1), not the oldest (q0) or the newest.
+    service::SupervisorOptions options;
+    options.workers = 2;
+    options.maxQueueDepth = 2;
+    options.startPaused = true;
+    options.session.backoffBaseMs = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+
+    service::Supervisor supervisor(options);
+    const uint64_t deadlines[] = {5000, 100, 0};
+    for (int i = 0; i < 3; ++i) {
+        service::QueryJob job;
+        job.id = cat("q", i);
+        job.goal = "sumto(100, S)";
+        job.deadlineMs = deadlines[i];
+        supervisor.submit(job, host.compileOnly(job.goal));
+    }
+    supervisor.resume();
+    std::vector<service::ServiceResult> results = supervisor.drain();
+    service::ServiceStats stats = supervisor.stats();
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].outcome.status,
+              service::QueryStatus::Completed);
+    EXPECT_EQ(results[1].outcome.status, service::QueryStatus::Shed);
+    EXPECT_EQ(results[1].outcome.failure.classification, "overloaded");
+    EXPECT_EQ(results[2].outcome.status,
+              service::QueryStatus::Completed);
+    EXPECT_EQ(stats.submitted, 3u);
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.shed, 1u);
+}
+
+TEST(Supervisor, AggregatesRecoveryCountersAcrossSessions)
+{
+    service::SupervisorOptions options;
+    options.workers = 2;
+    options.session.backoffBaseMs = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+
+    service::Supervisor supervisor(options);
+    for (int i = 0; i < 4; ++i) {
+        service::QueryJob job;
+        job.id = cat("q", i);
+        job.goal = "sumto(500, S)";
+        MachineConfig machine = options.session.machine;
+        FaultAction fault;
+        fault.cycle = 4000;
+        fault.kind = FaultKind::InjectPageFault;
+        machine.faultPlan.actions.push_back(fault);
+        job.machine = machine;
+        supervisor.submit(job, host.compileOnly(job.goal));
+    }
+    std::vector<service::ServiceResult> results = supervisor.drain();
+    service::ServiceStats stats = supervisor.stats();
+
+    for (const auto &res : results) {
+        EXPECT_EQ(res.outcome.status, service::QueryStatus::Completed)
+            << res.outcome.failure.classification;
+        EXPECT_TRUE(res.outcome.success);
+    }
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_GE(stats.retries + stats.restarts, 4u);
+    EXPECT_GE(stats.checkpoints, 4u);
+    EXPECT_GT(stats.recoveryCycles, 0u);
+}

@@ -237,6 +237,99 @@ TEST(Snapshot, HostOutputAndTraceSurviveRestore)
     EXPECT_EQ(restored.stateString(), source.stateString());
 }
 
+TEST(Snapshot, ThrowDeliveryAfterRestoreBridgesCores)
+{
+    // Interrupt inside a protected goal *before* the throw, snapshot,
+    // restore into the other execution core: the ball must still be
+    // delivered to the catcher at the identical simulated cost. This
+    // is the catch/throw ↔ snapshot interaction: the catch marker
+    // lives in snapshotted machine state, not host state.
+    const char *program =
+        "work(0).\n"
+        "work(N) :- N > 0, M is N - 1, work(M).\n"
+        "boom(R) :- catch((work(300), throw(ball(7)), R = no),\n"
+        "                 ball(V), R = caught(V)).\n";
+    CodeImage image = compileQuery(program, "boom(R)");
+
+    for (bool fast : {true, false}) {
+        MachineConfig config;
+        config.fastDispatch = fast;
+
+        Machine reference(config);
+        reference.load(image);
+        ASSERT_EQ(reference.run(), RunStatus::SolutionFound);
+        Metrics full = metricsOf(reference);
+
+        // Interrupt with a host slice stop halfway through work/1:
+        // strictly before the throw is reached.
+        Machine source(config);
+        source.load(image);
+        source.setSliceStop(full.cycles / 2);
+        ASSERT_EQ(source.run(), RunStatus::Trapped);
+        ASSERT_TRUE(source.sliceExpired());
+        Snapshot snap = takeSnapshot(source);
+
+        MachineConfig cross = config;
+        cross.fastDispatch = !fast;
+        Machine restored(cross);
+        restoreSnapshot(restored, snap);
+        restored.setSliceStop(0);
+        ASSERT_EQ(restored.resume(), RunStatus::SolutionFound);
+        EXPECT_EQ(metricsOf(restored), full)
+            << "cross-core continuation diverged (fast=" << fast << ")";
+        EXPECT_EQ(restored.lastSolution().toString(),
+                  reference.lastSolution().toString());
+        EXPECT_NE(restored.lastSolution().toString().find("caught(7)"),
+                  std::string::npos)
+            << restored.lastSolution().toString();
+    }
+}
+
+TEST(Snapshot, GovernorRecoveryAfterRestoreBridgesCores)
+{
+    // The cycle budget is snapshotted as an absolute stop cycle: a
+    // restored machine must exhaust the governor at the identical
+    // cycle and deliver the same catchable resource_error ball.
+    const char *program =
+        "spin(0).\n"
+        "spin(N) :- N > 0, M is N - 1, spin(M).\n"
+        "guarded(R) :- catch(spin(100000), resource_error(K),\n"
+        "                    R = caught(K)).\n";
+    CodeImage image = compileQuery(program, "guarded(R)");
+
+    for (bool fast : {true, false}) {
+        MachineConfig config;
+        config.fastDispatch = fast;
+        config.governor.cycleBudget = 4000;
+
+        Machine reference(config);
+        reference.load(image);
+        ASSERT_EQ(reference.run(), RunStatus::SolutionFound);
+        Metrics full = metricsOf(reference);
+        ASSERT_NE(reference.lastSolution().toString().find("caught"),
+                  std::string::npos)
+            << "test premise: the budget must exhaust inside catch/3";
+
+        Machine source(config);
+        source.load(image);
+        source.setSliceStop(full.cycles / 2);
+        ASSERT_EQ(source.run(), RunStatus::Trapped);
+        ASSERT_TRUE(source.sliceExpired());
+        Snapshot snap = takeSnapshot(source);
+
+        MachineConfig cross = config;
+        cross.fastDispatch = !fast;
+        Machine restored(cross);
+        restoreSnapshot(restored, snap);
+        restored.setSliceStop(0);
+        ASSERT_EQ(restored.resume(), RunStatus::SolutionFound);
+        EXPECT_EQ(metricsOf(restored), full)
+            << "cross-core continuation diverged (fast=" << fast << ")";
+        EXPECT_EQ(restored.lastSolution().toString(),
+                  reference.lastSolution().toString());
+    }
+}
+
 TEST(Snapshot, CorruptImagesAreRejected)
 {
     CodeImage image = compileQuery("p(1).", "p(X)");

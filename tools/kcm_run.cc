@@ -20,6 +20,17 @@
  *   --fast         predecoded threaded execution core (the default)
  *   --oracle       decode-per-step execution core (the differential
  *                  reference; simulated results are identical)
+ *
+ * Supervision (any of these routes the query through a supervised
+ * service::Session — checkpoints, restore-and-retry, clean failure):
+ *   --deadline-ms N        wall-clock deadline per attempt
+ *   --checkpoint-every K   snapshot checkpoint every K simulated
+ *                          megacycles
+ *   --retries N            recovery attempts after a trap
+ *
+ * Exit codes: 0 = solutions found, 1 = clean "no", 2 = query failed
+ * (trap, resource exhaustion, blown deadline, usage error), 3 = shed
+ * by an overloaded service (kcm_serve semantics, reserved here).
  */
 
 #include <cstdio>
@@ -34,6 +45,7 @@
 #include "compiler/image_io.hh"
 #include "isa/disasm.hh"
 #include "kcm/kcm.hh"
+#include "service/session.hh"
 
 namespace
 {
@@ -56,7 +68,14 @@ usage()
             "usage: kcm_run [options] [file.pl ...] -q 'goal'\n"
             "  -q GOAL   -n N   -e TEXT   --stats   --profile\n"
             "  --disasm  --no-shallow  --generic  --max-cycles N\n"
-            "  --fast    --oracle\n");
+            "  --fast    --oracle\n"
+            "supervision (runs the query in a supervised session):\n"
+            "  --deadline-ms N       wall-clock deadline per attempt\n"
+            "  --checkpoint-every K  checkpoint every K megacycles\n"
+            "  --retries N           recovery attempts after a trap\n"
+            "exit codes: 0 = solutions found, 1 = clean 'no',\n"
+            "  2 = failed (trap, resources, deadline, usage),\n"
+            "  3 = shed by an overloaded service\n");
     exit(2);
 }
 
@@ -73,6 +92,8 @@ main(int argc, char **argv)
     std::string save_path;
     std::string load_path;
     std::vector<std::string> sources;
+    bool supervised = false;
+    kcm::service::SessionOptions supervision;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -105,6 +126,18 @@ main(int argc, char **argv)
             options.compiler.integerArithmetic = false;
         } else if (arg == "--max-cycles") {
             options.machine.maxCycles = strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--deadline-ms") {
+            supervision.deadlineMs =
+                strtoull(next().c_str(), nullptr, 10);
+            supervised = true;
+        } else if (arg == "--checkpoint-every") {
+            supervision.checkpointEveryMcycles =
+                strtoull(next().c_str(), nullptr, 10);
+            supervised = true;
+        } else if (arg == "--retries") {
+            supervision.maxRetries =
+                unsigned(strtoul(next().c_str(), nullptr, 10));
+            supervised = true;
         } else if (arg == "--fast") {
             options.machine.fastDispatch = true;
         } else if (arg == "--oracle") {
@@ -163,6 +196,53 @@ main(int argc, char **argv)
                                           image.words.size())
                              .c_str());
             return 0;
+        }
+
+        if (supervised) {
+            supervision.machine = options.machine;
+            supervision.maxSolutions = options.maxSolutions == SIZE_MAX
+                                           ? 0
+                                           : options.maxSolutions;
+            kcm::service::Session session(system.compileOnly(query),
+                                          supervision);
+            kcm::service::QueryOutcome outcome = session.run();
+
+            for (const auto &solution : outcome.solutions)
+                printf("%s ;\n", solution.toString().c_str());
+            fprintf(stderr,
+                    "[%llu inferences, %llu cycles = %.3f ms simulated; "
+                    "%u retries, %u restarts, %llu checkpoints "
+                    "(%llu bytes), %llu cycles recovered]\n",
+                    (unsigned long long)outcome.inferences,
+                    (unsigned long long)outcome.cycles,
+                    double(outcome.cycles) * kcm::cycleSeconds * 1e3,
+                    outcome.counters.retries, outcome.counters.restarts,
+                    (unsigned long long)outcome.counters.checkpoints,
+                    (unsigned long long)outcome.counters.checkpointBytes,
+                    (unsigned long long)outcome.counters.recoveryCycles);
+            if (outcome.status == kcm::service::QueryStatus::Shed) {
+                printf("error: %s.\n",
+                       outcome.failure.classification.c_str());
+                return 3;
+            }
+            if (outcome.status == kcm::service::QueryStatus::Failed) {
+                printf("error: %s.\n",
+                       outcome.failure.classification.c_str());
+                fprintf(stderr,
+                        "[failed after %u attempts: %s; checkpoint age "
+                        "%llu cycles]\n",
+                        outcome.failure.attempts,
+                        outcome.failure.detail.c_str(),
+                        (unsigned long long)
+                            outcome.failure.checkpointAgeCycles);
+                return 2;
+            }
+            if (!outcome.error.empty()) {
+                printf("error: %s.\n", outcome.error.c_str());
+                return 2;
+            }
+            printf("%s.\n", outcome.success ? "yes" : "no");
+            return outcome.success ? 0 : 1;
         }
 
         kcm::QueryResult result = system.query(query);

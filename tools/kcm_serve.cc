@@ -1,0 +1,243 @@
+/**
+ * @file
+ * kcm_serve — batch query service driver.
+ *
+ * The host side of the paper's Fig. 1 deployment, production-shaped:
+ * reads a Prolog program and a file of queries (one goal per line,
+ * '%' comments and blank lines ignored), compiles every query
+ * serially (atom-interning order keeps the simulated metrics
+ * deterministic), executes them on a supervised session pool
+ * (checkpoints, restore-and-retry, load shedding) and prints one JSON
+ * document with per-query results and aggregate robustness counters.
+ *
+ * Usage:
+ *   kcm_serve [options] program.pl queries.txt
+ *
+ * Options:
+ *   --workers N           worker threads (default 4)
+ *   --queue-depth N       admission-queue bound (default 64)
+ *   --deadline-ms N       wall-clock deadline per attempt (default 0)
+ *   --checkpoint-every K  checkpoint every K simulated megacycles
+ *                         (default 4)
+ *   --retries N           recovery attempts per query (default 3)
+ *   --budget N            governor cycle budget per query (default 0)
+ *   -n N                  solutions per query (default 1; 0 = all)
+ *   --oracle              decode-per-step execution core
+ *
+ * Exit codes: 0 = every query completed, 2 = at least one query
+ * failed, 3 = at least one query shed (overloaded).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+#include "service/supervisor.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    fprintf(stderr,
+            "usage: kcm_serve [options] program.pl queries.txt\n"
+            "  --workers N  --queue-depth N  --deadline-ms N\n"
+            "  --checkpoint-every K  --retries N  --budget N\n"
+            "  -n N  --oracle\n"
+            "exit codes: 0 = all completed, 2 = any failed, "
+            "3 = any shed\n");
+    exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        kcm::fatal("cannot open ", path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+const char *
+statusName(kcm::service::QueryStatus status)
+{
+    switch (status) {
+      case kcm::service::QueryStatus::Completed: return "completed";
+      case kcm::service::QueryStatus::Failed: return "failed";
+      case kcm::service::QueryStatus::Shed: return "shed";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    kcm::service::SupervisorOptions service;
+    kcm::KcmOptions compile_options;
+    size_t max_solutions = 1;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--workers") {
+            service.workers =
+                unsigned(strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--queue-depth") {
+            service.maxQueueDepth =
+                size_t(strtoull(next().c_str(), nullptr, 10));
+        } else if (arg == "--deadline-ms") {
+            service.session.deadlineMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--checkpoint-every") {
+            service.session.checkpointEveryMcycles =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--retries") {
+            service.session.maxRetries =
+                unsigned(strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--budget") {
+            service.session.machine.governor.cycleBudget =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "-n") {
+            long n = atol(next().c_str());
+            max_solutions = n <= 0 ? 0 : size_t(n);
+        } else if (arg == "--oracle") {
+            service.session.machine.fastDispatch = false;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2)
+        usage();
+
+    try {
+        std::string program = readFile(files[0]);
+        std::vector<std::string> goals;
+        {
+            std::istringstream lines(readFile(files[1]));
+            std::string line;
+            while (std::getline(lines, line)) {
+                size_t start = line.find_first_not_of(" \t");
+                if (start == std::string::npos || line[start] == '%')
+                    continue;
+                goals.push_back(line.substr(start));
+            }
+        }
+        if (goals.empty())
+            kcm::fatal("no queries in ", files[1]);
+
+        service.session.maxSolutions = max_solutions;
+        service.session.machine.captureOutput = true;
+        compile_options.machine = service.session.machine;
+
+        kcm::KcmSystem system(compile_options);
+        system.consult(program);
+
+        kcm::service::Supervisor supervisor(service);
+        for (size_t i = 0; i < goals.size(); ++i) {
+            kcm::service::QueryJob job;
+            job.id = kcm::cat("q", i);
+            job.goal = goals[i];
+            // Compiled here, on the submitting thread, in submission
+            // order — see the determinism note in supervisor.hh.
+            supervisor.submit(job, system.compileOnly(goals[i]));
+        }
+        auto results = supervisor.drain();
+        auto stats = supervisor.stats();
+
+        printf("{\n  \"results\": [\n");
+        for (size_t i = 0; i < results.size(); ++i) {
+            const auto &res = results[i];
+            const auto &out = res.outcome;
+            printf("    {\"id\": \"%s\", \"goal\": \"%s\", "
+                   "\"status\": \"%s\", ",
+                   jsonEscape(res.job.id).c_str(),
+                   jsonEscape(res.job.goal).c_str(),
+                   statusName(out.status));
+            if (out.status == kcm::service::QueryStatus::Completed) {
+                printf("\"success\": %s, \"answers\": [",
+                       out.success ? "true" : "false");
+                for (size_t s = 0; s < out.solutions.size(); ++s)
+                    printf("%s\"%s\"", s ? ", " : "",
+                           jsonEscape(out.solutions[s].toString())
+                               .c_str());
+                printf("], ");
+                if (!out.error.empty())
+                    printf("\"error\": \"%s\", ",
+                           jsonEscape(out.error).c_str());
+                printf("\"cycles\": %llu, \"inferences\": %llu, ",
+                       (unsigned long long)out.cycles,
+                       (unsigned long long)out.inferences);
+            } else {
+                printf("\"error\": \"%s\", \"attempts\": %u, "
+                       "\"cyclesLost\": %llu, ",
+                       jsonEscape(out.failure.classification).c_str(),
+                       out.failure.attempts,
+                       (unsigned long long)out.failure.cyclesLost);
+            }
+            printf("\"retries\": %u, \"restarts\": %u}%s\n",
+                   out.counters.retries, out.counters.restarts,
+                   i + 1 < results.size() ? "," : "");
+        }
+        printf("  ],\n");
+        printf("  \"stats\": {\"submitted\": %llu, \"completed\": %llu, "
+               "\"failed\": %llu, \"shed\": %llu, \"retries\": %llu, "
+               "\"restarts\": %llu, \"checkpoints\": %llu, "
+               "\"checkpointBytes\": %llu, \"recoveryCycles\": %llu}\n",
+               (unsigned long long)stats.submitted,
+               (unsigned long long)stats.completed,
+               (unsigned long long)stats.failed,
+               (unsigned long long)stats.shed,
+               (unsigned long long)stats.retries,
+               (unsigned long long)stats.restarts,
+               (unsigned long long)stats.checkpoints,
+               (unsigned long long)stats.checkpointBytes,
+               (unsigned long long)stats.recoveryCycles);
+        printf("}\n");
+
+        if (stats.shed)
+            return 3;
+        if (stats.failed)
+            return 2;
+        return 0;
+    } catch (const std::exception &e) {
+        fprintf(stderr, "kcm_serve: %s\n", e.what());
+        return 2;
+    }
+}
