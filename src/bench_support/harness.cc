@@ -9,6 +9,7 @@
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "core/predecode.hh"
 #include "service/session.hh"
 
 namespace kcm
@@ -31,6 +32,23 @@ preparePlmBenchmark(const PlmBenchmark &bench, bool pure,
     prep.name = bench.name;
     prep.image = system.compileOnly(pure ? bench.queryPure : bench.queryIo);
     prep.machine = options.machine;
+
+    if (prep.machine.fusion.mode == FusionConfig::Mode::Profiled &&
+        prep.machine.fusion.sequences.empty()) {
+        // Profile-guided fusion: run the prepared image once unfused
+        // with the sequence monitor and select the hottest catalog
+        // sequences. The profiling run is part of preparation — the
+        // measured execution phase sees only the fused machine.
+        MachineConfig prof = prep.machine;
+        prof.fusion.mode = FusionConfig::Mode::Off;
+        prof.profile = true;
+        prof.profileSequences = true;
+        Machine machine(prof);
+        machine.load(prep.image);
+        machine.run();
+        prep.machine.fusion.sequences =
+            selectFusedSequences(machine.profiler(), 12);
+    }
     return prep;
 }
 
@@ -158,6 +176,8 @@ fillBenchRun(BenchRun &run, Machine &machine, RunStatus status)
     run.shallowFails = machine.shallowFails.value();
     run.deepFails = machine.deepFails.value();
     run.trailPushes = machine.trailPushes.value();
+    run.dispatches = machine.dispatches();
+    run.fusedDispatches = machine.fusedDispatches();
 
     DataCache &dcache = machine.mem().dataCache();
     run.dataReads = dcache.readHits.value() + dcache.readMisses.value();

@@ -60,6 +60,11 @@ struct BenchRun
     double hostSeconds = 0;
     double simCyclesPerHostSecond = 0;
 
+    // Dispatch behaviour of the fast core (host-side; equal to
+    // instructions when fusion is off or on the oracle).
+    uint64_t dispatches = 0;      ///< host dispatch operations
+    uint64_t fusedDispatches = 0; ///< fused-sequence heads executed
+
     // Robustness counters (nonzero only under supervision —
     // runPreparedResilient — when recovery actually happened).
     unsigned retries = 0;          ///< checkpoint restores

@@ -81,6 +81,8 @@ benchRunsJson(const std::string &label, const std::vector<BenchRun> &runs,
         os << "\"checkpoints\": " << r.checkpoints << ", ";
         os << "\"checkpointBytes\": " << r.checkpointBytes << ", ";
         os << "\"recoveryCycles\": " << r.recoveryCycles << ", ";
+        os << "\"dispatches\": " << r.dispatches << ", ";
+        os << "\"fusedDispatches\": " << r.fusedDispatches << ", ";
         os << "\"hostSeconds\": " << jsonDouble(r.hostSeconds) << ", ";
         os << "\"simCyclesPerHostSecond\": "
            << jsonDouble(r.simCyclesPerHostSecond);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "core/predecode.hh"
 #include "isa/disasm.hh"
 #include "prolog/writer.hh"
 
@@ -49,6 +50,8 @@ Machine::Machine(const MachineConfig &config)
     : config_(config), stats_("machine")
 {
     mem_ = std::make_unique<MemSystem>(config_.mem);
+    if (const char *env = getenv("KCM_WATCH_ADDR"))
+        watchAddr_ = static_cast<Addr>(strtoul(env, nullptr, 16));
     stats_.add("choicePointsCreated", choicePointsCreated);
     stats_.add("choicePointsAvoided", choicePointsAvoided);
     stats_.add("shallowFails", shallowFails);
@@ -85,50 +88,22 @@ Machine::resetMeasurement()
     cycles_ = 0;
     instructions_ = 0;
     inferences_ = 0;
+    fusedDispatches_ = 0;
+    fusedInlineSteps_ = 0;
     stats_.reset();
 }
 
-Zone
-Machine::zoneOf(Addr a) const
+void
+Machine::debugWatchWrite(Word addr_word, Word value)
 {
-    const DataLayout &layout = mem_->layout();
-    if (a >= layout.globalStart && a < layout.globalEnd)
-        return Zone::Global;
-    if (a >= layout.localStart && a < layout.localEnd)
-        return Zone::Local;
-    if (a >= layout.controlStart && a < layout.controlEnd)
-        return Zone::Control;
-    if (a >= layout.trailStart && a < layout.trailEnd)
-        return Zone::TrailZ;
-    if (a >= layout.staticStart && a < layout.staticEnd)
-        return Zone::Static;
-    return Zone::None;
-}
-
-Word
-Machine::readData(Word addr_word)
-{
-    return mem_->readData(addr_word, penalty_);
+    fprintf(stderr, "WATCH write [%s] <- %s\n  state %s\n  trace:\n%s\n",
+            addr_word.toString().c_str(), value.toString().c_str(),
+            stateString().c_str(), recentTrace(8).c_str());
 }
 
 void
-Machine::writeData(Word addr_word, Word value)
+Machine::writeDataRetry(Word addr_word, Word value)
 {
-    static Addr watch = []() -> Addr {
-        const char *env = getenv("KCM_WATCH_ADDR");
-        return env ? static_cast<Addr>(strtoul(env, nullptr, 16)) : 0;
-    }();
-    if (watch && addr_word.addr() == watch) {
-        fprintf(stderr, "WATCH write [%s] <- %s\n  state %s\n  trace:\n%s\n",
-                addr_word.toString().c_str(), value.toString().c_str(),
-                stateString().c_str(), recentTrace(8).c_str());
-    }
-    // §3.2.3 firmware handling of the stack-overflow trap: the zone
-    // check rejects the access before any state changes, firmware
-    // grows the zone (charged its cycle cost), and the access is
-    // retried — execution resumes as if the trap never unwound.
-    // Only when growth is off or the ceiling is exhausted does the
-    // trap escape to the run-loop boundary.
     for (;;) {
         try {
             mem_->writeData(addr_word, value, penalty_);
@@ -152,17 +127,18 @@ Machine::load(const CodeImage &image, bool cold_caches)
 
     if (config_.profile) {
         profiler_.attach(image_);
+        profiler_.enableSequences(config_.profileSequences);
         profiler_.reset();
     }
 
-    // Predecode the image for the fast core. The oracle keeps
-    // decoded_ empty so every fetch takes the decode-per-step path.
+    // Predecode the image for the fast core, fusing superinstruction
+    // heads per the configuration. The oracle keeps decoded_ empty so
+    // every fetch takes the decode-per-step path.
     decoded_.clear();
-    if (config_.fastDispatch) {
-        decoded_.reserve(image_.words.size());
-        for (uint64_t raw : image_.words)
-            decoded_.push_back(decodeInstr(raw));
-    }
+    if (config_.fastDispatch)
+        predecodeImage(image_.words, config_.fusion, decoded_);
+    fusedDispatches_ = 0;
+    fusedInlineSteps_ = 0;
 
     // The download wrote through the code cache; a first run starts
     // cold, as the real machine does after a download from the host.
@@ -241,65 +217,13 @@ Machine::load(const CodeImage &image, bool cold_caches)
     armGovernor();
 }
 
+std::vector<uint64_t>
+Machine::fusedHeadProfile() const
+{
+    return fusedHeadCounts(decoded_);
+}
+
 // ------------------------------------------------------------- core ops
-
-Word
-Machine::deref(Word w)
-{
-    // The data cache starts a dereferencing operation speculatively
-    // during the instruction's own access cycle (§3.1.4), so the
-    // first step of a chain is free; further references cost one
-    // cycle each.
-    bool first = true;
-    while (w.isRef()) {
-        Word v = readData(w);
-        ++derefSteps;
-        if (!first)
-            ++cycles_; // one reference per cycle (§3.1.4)
-        if (!config_.fastDereference)
-            ++cycles_; // no speculative start: request + read
-        first = false;
-        if (v.raw() == w.raw())
-            return w; // unbound: self reference
-        if (!v.isRef())
-            return v;
-        w = v;
-    }
-    return w;
-}
-
-void
-Machine::trailIfNeeded(Word ref_word)
-{
-    // The trail comparators work in parallel with dereferencing
-    // (§3.1.5): no cycle cost for the check itself.
-    Addr a = ref_word.addr();
-    bool need;
-    bool shallow_pending =
-        config_.shallowBacktracking && shallowFlag_ && !cpFlag_;
-    if (ref_word.zone() == Zone::Global) {
-        Addr boundary = shallow_pending ? shadowH_ : hb_;
-        need = a < boundary;
-    } else {
-        Addr boundary = shallow_pending ? lt_ : lb_;
-        need = a < boundary;
-    }
-    if (!config_.parallelTrailCheck)
-        cycles_ += 2; // serialized boundary comparisons
-    if (need) {
-        writeData(dataPtr(tr_), ref_word);
-        ++tr_;
-        ++trailPushes;
-    }
-}
-
-void
-Machine::bind(Word ref_word, Word value)
-{
-    trailIfNeeded(ref_word);
-    writeData(ref_word, value);
-    ++bindOps;
-}
 
 void
 Machine::unwindTrail(Addr target_tr)
@@ -311,32 +235,6 @@ Machine::unwindTrail(Addr target_tr)
         writeData(entry, Word::makeRef(entry.zone(), entry.addr()));
         ++cycles_;
     }
-}
-
-Word
-Machine::newHeapVar()
-{
-    Word var = Word::makeRef(Zone::Global, h_);
-    writeData(var, var);
-    ++h_;
-    return var;
-}
-
-Word
-Machine::pushHeapCell(Word value)
-{
-    Word addr_word = Word::makeDataPtr(Zone::Global, h_);
-    writeData(addr_word, value);
-    ++h_;
-    return addr_word;
-}
-
-Word
-Machine::globalize(Word ref_word)
-{
-    Word hv = newHeapVar();
-    bind(ref_word, hv);
-    return hv;
 }
 
 bool

@@ -181,6 +181,30 @@ class Machine
     /** The profiler (meaningful when config().profile is set). */
     const Profiler &profiler() const { return profiler_; }
 
+    /**
+     * Superinstruction dispatches taken by the fast core since
+     * load(): executed fused-sequence heads (isa/fusion.hh). A pure
+     * host-side metric — not simulated state, not serialized in
+     * snapshots — reported by the dispatch benches.
+     */
+    uint64_t fusedDispatches() const { return fusedDispatches_; }
+
+    /** Constituents executed inline inside a fused handler beyond the
+     *  head — i.e. dispatches the fusion layer avoided. */
+    uint64_t fusedInlineSteps() const { return fusedInlineSteps_; }
+
+    /** Host dispatch operations performed by the execution core:
+     *  every instruction costs one except fused-inline constituents. */
+    uint64_t
+    dispatches() const
+    {
+        return instructions_ - fusedInlineSteps_;
+    }
+
+    /** Fused heads per catalog entry in the current predecoded image
+     *  (empty for the oracle / fusion off). */
+    std::vector<uint64_t> fusedHeadProfile() const;
+
     /** The instruction prefetch unit's pipeline statistics (§3.1.3). */
     const PrefetchUnit &prefetch() const { return prefetch_; }
 
@@ -218,8 +242,42 @@ class Machine
     friend struct SnapshotAccess;
 
     // --- memory helpers (timed) ---
-    Word readData(Word addr_word);
-    void writeData(Word addr_word, Word value);
+    // Inline: every simulated data access funnels through these two,
+    // so they must collapse into MemSystem's inlined hit paths. The
+    // cold branches (watchpoint hit, stack-overflow growth/retry)
+    // live out of line in machine.cc.
+    Word
+    readData(Word addr_word)
+    {
+        return mem_->readData(addr_word, penalty_);
+    }
+
+    void
+    writeData(Word addr_word, Word value)
+    {
+        if (watchAddr_ && addr_word.addr() == watchAddr_) [[unlikely]]
+            debugWatchWrite(addr_word, value);
+        // §3.2.3 firmware handling of the stack-overflow trap: the
+        // zone check rejects the access before any state changes,
+        // firmware grows the zone (charged its cycle cost), and the
+        // access is retried — execution resumes as if the trap never
+        // unwound. Only when growth is off or the ceiling is
+        // exhausted does the trap escape to the run-loop boundary.
+        try {
+            mem_->writeData(addr_word, value, penalty_);
+        } catch (const MachineTrap &trap) {
+            if (trap.kind() != TrapKind::StackOverflow ||
+                !growStackZone(addr_word.zone()))
+                throw;
+            writeDataRetry(addr_word, value);
+        }
+    }
+
+    /** Retry loop of writeData after a first served StackOverflow. */
+    void writeDataRetry(Word addr_word, Word value);
+    /** KCM_WATCH_ADDR debug hook (cold). */
+    [[gnu::cold, gnu::noinline]] void debugWatchWrite(Word addr_word,
+                                                      Word value);
     /** Zone of a data address per the configured layout. */
     Zone zoneOf(Addr a) const;
     Word dataPtr(Addr a) const { return Word::makeDataPtr(zoneOf(a), a); }
@@ -316,6 +374,11 @@ class Machine
      *  inference accounting and the PC advance. */
     void finishStep(const DecodedInstr &instr);
     void execInstr(const DecodedInstr &instr);
+    /** Statically-dispatched single-opcode step: the constituent
+     *  executor of the fused superinstruction handlers
+     *  (exec_ops.hh); routes grouped opcodes to their microcode
+     *  unit exactly like the execInstr switch. */
+    template <Opcode OP> void execOne(const DecodedInstr &instr);
     void execUnifyClass(const DecodedInstr &instr);
     void execIndex(const DecodedInstr &instr);
     void execArith(const DecodedInstr &instr);
@@ -396,6 +459,7 @@ class Machine
     uint64_t instructions_ = 0;
     uint64_t inferences_ = 0;
     unsigned penalty_ = 0; ///< per-step memory penalty accumulator
+    Addr watchAddr_ = 0;   ///< KCM_WATCH_ADDR debug watchpoint (0 = off)
     Addr expectedNextP_ = 0; ///< the prefetcher's streamed target
     bool halted_ = false;
     bool haltFailed_ = false;
@@ -444,6 +508,11 @@ class Machine
 
     Profiler profiler_;
     PrefetchUnit prefetch_;
+
+    /** Fused-sequence dispatches since load() (host-side metric). */
+    uint64_t fusedDispatches_ = 0;
+    /** Constituents run inline off a fused head (host-side metric). */
+    uint64_t fusedInlineSteps_ = 0;
 
     /** The predecoded image (index i = address image_.base + i);
      *  empty unless config_.fastDispatch. */
@@ -539,6 +608,113 @@ Machine::finishStep(const DecodedInstr &instr)
     // switch, the word after its table) next.
     expectedNextP_ = p_ + 1;
     p_ = nextP_;
+}
+
+// The per-access core operations below run several times per
+// simulated instruction from the opcode handlers (exec_ops.hh), which
+// are compiled into both machine.cc and exec_threaded.cc — inline
+// here so each core folds them into MemSystem's inlined hit paths
+// instead of paying a cross-object call per dereference step.
+
+inline Zone
+Machine::zoneOf(Addr a) const
+{
+    const DataLayout &layout = mem_->layout();
+    if (a >= layout.globalStart && a < layout.globalEnd)
+        return Zone::Global;
+    if (a >= layout.localStart && a < layout.localEnd)
+        return Zone::Local;
+    if (a >= layout.controlStart && a < layout.controlEnd)
+        return Zone::Control;
+    if (a >= layout.trailStart && a < layout.trailEnd)
+        return Zone::TrailZ;
+    if (a >= layout.staticStart && a < layout.staticEnd)
+        return Zone::Static;
+    return Zone::None;
+}
+
+inline Word
+Machine::deref(Word w)
+{
+    // The data cache starts a dereferencing operation speculatively
+    // during the instruction's own access cycle (§3.1.4), so the
+    // first step of a chain is free; further references cost one
+    // cycle each.
+    bool first = true;
+    while (w.isRef()) {
+        Word v = readData(w);
+        ++derefSteps;
+        if (!first)
+            ++cycles_; // one reference per cycle (§3.1.4)
+        if (!config_.fastDereference)
+            ++cycles_; // no speculative start: request + read
+        first = false;
+        if (v.raw() == w.raw())
+            return w; // unbound: self reference
+        if (!v.isRef())
+            return v;
+        w = v;
+    }
+    return w;
+}
+
+inline void
+Machine::trailIfNeeded(Word ref_word)
+{
+    // The trail comparators work in parallel with dereferencing
+    // (§3.1.5): no cycle cost for the check itself.
+    Addr a = ref_word.addr();
+    bool need;
+    bool shallow_pending =
+        config_.shallowBacktracking && shallowFlag_ && !cpFlag_;
+    if (ref_word.zone() == Zone::Global) {
+        Addr boundary = shallow_pending ? shadowH_ : hb_;
+        need = a < boundary;
+    } else {
+        Addr boundary = shallow_pending ? lt_ : lb_;
+        need = a < boundary;
+    }
+    if (!config_.parallelTrailCheck)
+        cycles_ += 2; // serialized boundary comparisons
+    if (need) {
+        writeData(dataPtr(tr_), ref_word);
+        ++tr_;
+        ++trailPushes;
+    }
+}
+
+inline void
+Machine::bind(Word ref_word, Word value)
+{
+    trailIfNeeded(ref_word);
+    writeData(ref_word, value);
+    ++bindOps;
+}
+
+inline Word
+Machine::newHeapVar()
+{
+    Word var = Word::makeRef(Zone::Global, h_);
+    writeData(var, var);
+    ++h_;
+    return var;
+}
+
+inline Word
+Machine::pushHeapCell(Word value)
+{
+    Word addr_word = Word::makeDataPtr(Zone::Global, h_);
+    writeData(addr_word, value);
+    ++h_;
+    return addr_word;
+}
+
+inline Word
+Machine::globalize(Word ref_word)
+{
+    Word hv = newHeapVar();
+    bind(ref_word, hv);
+    return hv;
 }
 
 } // namespace kcm

@@ -1,0 +1,141 @@
+#include "core/predecode.hh"
+
+#include <algorithm>
+
+#include "core/profiler.hh"
+
+namespace kcm
+{
+
+namespace
+{
+
+/** Words occupied by the instruction at @p d, including any dispatch
+ *  table that follows it (the only multi-word instructions, §4.1). */
+size_t
+instrWords(const DecodedInstr &d)
+{
+    if (d.op == invalidOpcodeToken)
+        return 1;
+    switch (d.opcode()) {
+      case Opcode::SwitchOnTerm:
+        return 1 + opcodeInfo(Opcode::SwitchOnTerm).fixedExtraWords;
+      case Opcode::SwitchOnConstant:
+      case Opcode::SwitchOnStructure:
+        // n key/target pairs plus the trailing miss word.
+        return 2 + 2 * size_t(d.value);
+      default:
+        return 1;
+    }
+}
+
+} // namespace
+
+void
+predecodeImage(const std::vector<uint64_t> &words,
+               const FusionConfig &fusion, std::vector<DecodedInstr> &out)
+{
+    out.clear();
+    out.reserve(words.size());
+    for (uint64_t raw : words)
+        out.push_back(decodeInstr(raw));
+
+    const auto &catalog = fusionCatalog();
+    // Candidate entries in match-priority order: Static takes the
+    // whole catalog in declaration order (triples listed before their
+    // pair prefixes, so the first match is the longest); Profiled
+    // takes the selected entries in selection order, which
+    // selectFusedSequences has already sorted by dispatches saved —
+    // this is what resolves competing likely-target entries for the
+    // same head opcode in favour of the measured-hotter successor.
+    std::vector<uint16_t> order;
+    switch (fusion.mode) {
+      case FusionConfig::Mode::Off:
+        return;
+      case FusionConfig::Mode::Static:
+        order.resize(numFusedSeqs);
+        for (unsigned s = 0; s < numFusedSeqs; ++s)
+            order[s] = uint16_t(s);
+        break;
+      case FusionConfig::Mode::Profiled:
+        for (uint16_t index : fusion.sequences) {
+            if (index < numFusedSeqs)
+                order.push_back(index);
+        }
+        break;
+    }
+    if (order.empty())
+        return;
+
+    // Peephole over instruction boundaries (switch tables are data and
+    // are stepped over, never matched). Only the head's dispatch token
+    // is rewritten — constituent entries stay exactly as decoded, so a
+    // jump, failure or snapshot restore landing mid-sequence executes
+    // the tail unfused.
+    for (size_t i = 0; i < out.size(); i += instrWords(out[i])) {
+        for (uint16_t s : order) {
+            const FusedSeq &seq = catalog[s];
+            if (out[i].op != static_cast<uint8_t>(seq.ops[0]))
+                continue;
+            if (!seq.likelyTarget) {
+                // Sequential constituents: every one present and at
+                // the statically expected next address.
+                if (i + seq.length > out.size())
+                    continue;
+                bool match = true;
+                for (unsigned j = 1; j < seq.length && match; ++j)
+                    match = out[i + j].op ==
+                            static_cast<uint8_t>(seq.ops[j]);
+                if (!match)
+                    continue;
+            }
+            out[i].tok = fusedToken(s);
+            break;
+        }
+    }
+}
+
+std::vector<uint64_t>
+fusedHeadCounts(const std::vector<DecodedInstr> &decoded)
+{
+    std::vector<uint64_t> counts(numFusedSeqs, 0);
+    for (const DecodedInstr &d : decoded) {
+        if (d.tok >= numOpcodeTokens)
+            counts[d.tok - numOpcodeTokens]++;
+    }
+    return counts;
+}
+
+std::vector<uint16_t>
+selectFusedSequences(const Profiler &profiler, size_t top_k)
+{
+    const auto &catalog = fusionCatalog();
+    std::vector<std::pair<uint64_t, uint16_t>> scored;
+    for (unsigned s = 0; s < numFusedSeqs; ++s) {
+        const FusedSeq &seq = catalog[s];
+        uint64_t count =
+            seq.length == 3
+                ? profiler.tripleCount(seq.ops[0], seq.ops[1], seq.ops[2])
+                : profiler.pairCount(seq.ops[0], seq.ops[1]);
+        // Score by dispatches saved, so a triple outranks the pair it
+        // contains (same dynamic count, twice the saving) and the
+        // predecode peephole — which matches in selection order —
+        // tries it first.
+        uint64_t score = count * (seq.length - 1);
+        if (score)
+            scored.emplace_back(score, uint16_t(s));
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first;
+              });
+    if (scored.size() > top_k)
+        scored.resize(top_k);
+    std::vector<uint16_t> out;
+    out.reserve(scored.size());
+    for (const auto &[score, index] : scored)
+        out.push_back(index);
+    return out;
+}
+
+} // namespace kcm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared predecode pass for the fast core: raw code words →
+ * DecodedInstr vector, plus the superinstruction fusion peephole
+ * (isa/fusion.hh) and the profile-guided sequence selector.
+ *
+ * Both Machine::load() and snapshot restore build the predecoded
+ * image through predecodeImage(), so a machine restored from a
+ * KCMSNAP2 snapshot fuses exactly per its own FusionConfig — the
+ * snapshot carries machine state only, and fused and unfused
+ * predecodes are interchangeable mid-run (the peephole rewrites only
+ * the dispatch token of a sequence head; every constituent entry is
+ * untouched, so control arriving mid-sequence executes unfused).
+ */
+
+#ifndef KCM_CORE_PREDECODE_HH
+#define KCM_CORE_PREDECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "isa/decoded.hh"
+#include "isa/fusion.hh"
+
+namespace kcm
+{
+
+class Profiler;
+
+/**
+ * Decode @p words into @p out (index i ↔ code address base + i) and
+ * rewrite the dispatch tokens of fused-sequence heads per @p fusion.
+ */
+void predecodeImage(const std::vector<uint64_t> &words,
+                    const FusionConfig &fusion,
+                    std::vector<DecodedInstr> &out);
+
+/** Fused heads per catalog entry in a predecoded image (index ==
+ *  catalog index) — coverage reporting for tests and benches. */
+std::vector<uint64_t>
+fusedHeadCounts(const std::vector<DecodedInstr> &decoded);
+
+/**
+ * Profile-guided selection: rank the catalog by the profiler's
+ * dynamic pair/triple histogram and return the indices of the top
+ * @p top_k entries that were actually observed.
+ */
+std::vector<uint16_t> selectFusedSequences(const Profiler &profiler,
+                                           size_t top_k);
+
+} // namespace kcm
+
+#endif // KCM_CORE_PREDECODE_HH

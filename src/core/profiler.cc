@@ -11,12 +11,45 @@ namespace kcm
 void
 Profiler::attach(const CodeImage &image)
 {
-    entryToPredicate_.clear();
-    predicateCalls_.clear();
+    entryBase_ = 0;
+    entryIndex_.clear();
+    predicateNames_.clear();
+    predicateCounts_.clear();
+    if (image.predicates.empty())
+        return;
+
+    Addr lo = UINT32_MAX, hi = 0;
     for (const auto &[functor, info] : image.predicates) {
-        entryToPredicate_[info.entry] =
-            atomText(functor.name) + "/" + std::to_string(functor.arity);
+        lo = std::min(lo, info.entry);
+        hi = std::max(hi, info.entry);
     }
+    entryBase_ = lo;
+    entryIndex_.assign(size_t(hi) - lo + 1, -1);
+    for (const auto &[functor, info] : image.predicates) {
+        entryIndex_[size_t(info.entry) - lo] =
+            int32_t(predicateNames_.size());
+        predicateNames_.push_back(atomText(functor.name) + "/" +
+                                  std::to_string(functor.arity));
+    }
+    predicateCounts_.assign(predicateNames_.size(), 0);
+}
+
+void
+Profiler::enableSequences(bool on)
+{
+    sequences_ = on;
+    if (on) {
+        pairCounts_.assign(size_t(numOpcodeTokens) * numOpcodeTokens, 0);
+        tripleCounts_.assign(size_t(numOpcodeTokens) * numOpcodeTokens *
+                                 numOpcodeTokens,
+                             0);
+    } else {
+        pairCounts_.clear();
+        pairCounts_.shrink_to_fit();
+        tripleCounts_.clear();
+        tripleCounts_.shrink_to_fit();
+    }
+    hasPrev_ = hasPrev2_ = false;
 }
 
 void
@@ -24,7 +57,10 @@ Profiler::reset()
 {
     for (auto &count : opcodeCounts_)
         count = 0;
-    predicateCalls_.clear();
+    std::fill(predicateCounts_.begin(), predicateCounts_.end(), 0);
+    std::fill(pairCounts_.begin(), pairCounts_.end(), 0);
+    std::fill(tripleCounts_.begin(), tripleCounts_.end(), 0);
+    hasPrev_ = hasPrev2_ = false;
 }
 
 std::vector<std::pair<Opcode, uint64_t>>
@@ -45,12 +81,59 @@ Profiler::opcodeHistogram() const
 std::vector<std::pair<std::string, uint64_t>>
 Profiler::predicateProfile() const
 {
-    std::vector<std::pair<std::string, uint64_t>> out(
-        predicateCalls_.begin(), predicateCalls_.end());
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (size_t i = 0; i < predicateNames_.size(); ++i) {
+        if (predicateCounts_[i])
+            out.emplace_back(predicateNames_[i], predicateCounts_[i]);
+    }
     std::sort(out.begin(), out.end(),
               [](const auto &a, const auto &b) {
                   return a.second > b.second;
               });
+    return out;
+}
+
+std::vector<std::pair<std::array<Opcode, 2>, uint64_t>>
+Profiler::topPairs(size_t n) const
+{
+    std::vector<std::pair<std::array<Opcode, 2>, uint64_t>> out;
+    for (size_t a = 0; a < numOpcodeTokens; ++a) {
+        for (size_t b = 0; b < numOpcodeTokens; ++b) {
+            uint64_t c = pairCounts_.empty()
+                             ? 0
+                             : pairCounts_[a * numOpcodeTokens + b];
+            if (c)
+                out.push_back({{Opcode(a), Opcode(b)}, c});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &x, const auto &y) {
+                  return x.second > y.second;
+              });
+    if (out.size() > n)
+        out.resize(n);
+    return out;
+}
+
+std::vector<std::pair<std::array<Opcode, 3>, uint64_t>>
+Profiler::topTriples(size_t n) const
+{
+    std::vector<std::pair<std::array<Opcode, 3>, uint64_t>> out;
+    for (size_t i = 0; i < tripleCounts_.size(); ++i) {
+        if (!tripleCounts_[i])
+            continue;
+        size_t c = i % numOpcodeTokens;
+        size_t b = (i / numOpcodeTokens) % numOpcodeTokens;
+        size_t a = i / (size_t(numOpcodeTokens) * numOpcodeTokens);
+        out.push_back({{Opcode(a), Opcode(b), Opcode(c)},
+                       tripleCounts_[i]});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &x, const auto &y) {
+                  return x.second > y.second;
+              });
+    if (out.size() > n)
+        out.resize(n);
     return out;
 }
 
@@ -77,6 +160,23 @@ Profiler::report(size_t top) const
             break;
         os << "  " << padRight(name, 22)
            << padLeft(std::to_string(count), 10) << "\n";
+    }
+    if (sequences_) {
+        os << "=== sequence monitor (dynamic opcode pairs) ===\n";
+        for (const auto &[ops, count] : topPairs(top)) {
+            os << "  " << padRight(opcodeName(ops[0]) + ";" +
+                                       opcodeName(ops[1]),
+                                   34)
+               << padLeft(std::to_string(count), 10) << "\n";
+        }
+        os << "=== sequence monitor (dynamic opcode triples) ===\n";
+        for (const auto &[ops, count] : topTriples(top)) {
+            os << "  " << padRight(opcodeName(ops[0]) + ";" +
+                                       opcodeName(ops[1]) + ";" +
+                                       opcodeName(ops[2]),
+                                   34)
+               << padLeft(std::to_string(count), 10) << "\n";
+        }
     }
     return os.str();
 }

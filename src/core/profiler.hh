@@ -5,18 +5,26 @@
  *
  * The macrocode monitor is an opcode histogram; the Prolog-level
  * monitor counts invocations per predicate (resolved through the
- * loaded image's symbol table).
+ * loaded image's symbol table). An optional sequence monitor counts
+ * dynamically adjacent opcode pairs and triples — the input of the
+ * profile-guided superinstruction selector (core/predecode.hh).
+ *
+ * Everything on the record() hot path is flat-array indexing: the
+ * predicate map is resolved at attach() time into a dense entry→index
+ * table, so profiling mode itself does not distort the measured
+ * instruction mix (no ordered-map lookups per call instruction).
  */
 
 #ifndef KCM_CORE_PROFILER_HH
 #define KCM_CORE_PROFILER_HH
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "compiler/code_image.hh"
+#include "isa/decoded.hh"
 #include "isa/opcodes.hh"
 
 namespace kcm
@@ -25,8 +33,13 @@ namespace kcm
 class Profiler
 {
   public:
-    /** Prepare the predicate map from a loaded image. */
+    /** Prepare the predicate tables from a loaded image. */
     void attach(const CodeImage &image);
+
+    /** Turn the opcode pair/triple sequence monitor on or off
+     *  (allocates the histograms lazily; off by default). */
+    void enableSequences(bool on);
+    bool sequencesEnabled() const { return sequences_; }
 
     /** Record one executed instruction. */
     void
@@ -34,9 +47,30 @@ class Profiler
     {
         opcodeCounts_[static_cast<size_t>(op)]++;
         if (target_of_call) {
-            auto it = entryToPredicate_.find(target_of_call);
-            if (it != entryToPredicate_.end())
-                predicateCalls_[it->second]++;
+            // Dense entry→predicate table built by attach(): one
+            // bounds check and two array reads, no map lookup.
+            size_t idx = size_t(target_of_call) - entryBase_;
+            if (idx < entryIndex_.size()) {
+                int32_t pred = entryIndex_[idx];
+                if (pred >= 0)
+                    predicateCounts_[size_t(pred)]++;
+            }
+        }
+        if (sequences_) {
+            uint8_t tok = static_cast<uint8_t>(op);
+            if (hasPrev_) {
+                pairCounts_[size_t(prev1_) * numOpcodeTokens + tok]++;
+                if (hasPrev2_) {
+                    tripleCounts_[(size_t(prev2_) * numOpcodeTokens +
+                                   prev1_) *
+                                      numOpcodeTokens +
+                                  tok]++;
+                }
+            }
+            prev2_ = prev1_;
+            hasPrev2_ = hasPrev_;
+            prev1_ = tok;
+            hasPrev_ = true;
         }
     }
 
@@ -48,7 +82,35 @@ class Profiler
     /** Per-predicate invocation counts, most frequent first. */
     std::vector<std::pair<std::string, uint64_t>> predicateProfile() const;
 
-    /** Formatted report of both monitors. */
+    /** Dynamic successor-pair count (0 unless sequences enabled). */
+    uint64_t
+    pairCount(Opcode a, Opcode b) const
+    {
+        if (pairCounts_.empty())
+            return 0;
+        return pairCounts_[size_t(a) * numOpcodeTokens + size_t(b)];
+    }
+
+    /** Dynamic triple count (0 unless sequences enabled). */
+    uint64_t
+    tripleCount(Opcode a, Opcode b, Opcode c) const
+    {
+        if (tripleCounts_.empty())
+            return 0;
+        return tripleCounts_[(size_t(a) * numOpcodeTokens + size_t(b)) *
+                                 numOpcodeTokens +
+                             size_t(c)];
+    }
+
+    /** Most frequent dynamic pairs, descending. */
+    std::vector<std::pair<std::array<Opcode, 2>, uint64_t>>
+    topPairs(size_t n) const;
+
+    /** Most frequent dynamic triples, descending. */
+    std::vector<std::pair<std::array<Opcode, 3>, uint64_t>>
+    topTriples(size_t n) const;
+
+    /** Formatted report of the enabled monitors. */
     std::string report(size_t top = 16) const;
 
     uint64_t
@@ -61,9 +123,23 @@ class Profiler
     }
 
   private:
-    uint64_t opcodeCounts_[static_cast<size_t>(Opcode::NumOpcodes)] = {};
-    std::map<Addr, std::string> entryToPredicate_;
-    std::map<std::string, uint64_t> predicateCalls_;
+    /** Sized for every dispatchable token, including the invalid-word
+     *  token, so a fetch of a data word cannot index out of range. */
+    uint64_t opcodeCounts_[numOpcodeTokens] = {};
+
+    // Predicate monitor: dense entry→index table over the image's
+    // code-address span, plus parallel name/count vectors.
+    Addr entryBase_ = 0;
+    std::vector<int32_t> entryIndex_;
+    std::vector<std::string> predicateNames_;
+    std::vector<uint64_t> predicateCounts_;
+
+    // Sequence monitor.
+    bool sequences_ = false;
+    std::vector<uint64_t> pairCounts_;   ///< numOpcodeTokens^2
+    std::vector<uint64_t> tripleCounts_; ///< numOpcodeTokens^3
+    uint8_t prev1_ = 0, prev2_ = 0;
+    bool hasPrev_ = false, hasPrev2_ = false;
 };
 
 } // namespace kcm

@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "compiler/image_io.hh"
 #include "core/machine.hh"
+#include "core/predecode.hh"
 
 namespace kcm
 {
@@ -547,16 +548,16 @@ struct SnapshotAccess
         m.image_ = loadImage(image_text);
 
         // Rebuild the predecoded image per the *target's* dispatch
-        // core: a snapshot is portable between the oracle and the
-        // threaded core (they are cycle-identical by construction).
+        // core and fusion mode: a snapshot is portable between the
+        // oracle and the threaded core, and across fusion on/off
+        // (all cycle-identical by construction — fusion rewrites
+        // dispatch tokens only, never simulated state).
         m.decoded_.clear();
-        if (m.config_.fastDispatch) {
-            m.decoded_.reserve(m.image_.words.size());
-            for (uint64_t raw : m.image_.words)
-                m.decoded_.push_back(decodeInstr(raw));
-        }
+        if (m.config_.fastDispatch)
+            predecodeImage(m.image_.words, m.config_.fusion, m.decoded_);
         if (m.config_.profile) {
             m.profiler_.attach(m.image_);
+            m.profiler_.enableSequences(m.config_.profileSequences);
             m.profiler_.reset();
         }
     }

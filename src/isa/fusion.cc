@@ -1,0 +1,28 @@
+#include "isa/fusion.hh"
+
+namespace kcm
+{
+
+const std::array<FusedSeq, numFusedSeqs> &
+fusionCatalog()
+{
+#define KCM_FUSION_ENTRY2_(nm, A, B)                                    \
+    FusedSeq{#nm, 2, false, {Opcode::A, Opcode::B, Opcode::Halt}},
+#define KCM_FUSION_ENTRY3_(nm, A, B, C)                                 \
+    FusedSeq{#nm, 3, false, {Opcode::A, Opcode::B, Opcode::C}},
+#define KCM_FUSION_ENTRYJ_(nm, A, B)                                    \
+    FusedSeq{#nm, 2, true, {Opcode::A, Opcode::B, Opcode::Halt}},
+
+    static const std::array<FusedSeq, numFusedSeqs> catalog = {{
+        KCM_FUSION_CATALOG(KCM_FUSION_ENTRY2_, KCM_FUSION_ENTRY3_,
+                           KCM_FUSION_ENTRYJ_)
+    }};
+
+#undef KCM_FUSION_ENTRY2_
+#undef KCM_FUSION_ENTRY3_
+#undef KCM_FUSION_ENTRYJ_
+
+    return catalog;
+}
+
+} // namespace kcm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The superinstruction catalog for the predecoded fast core.
+ *
+ * Hot WAM idioms — head-argument save runs after allocate, get/unify
+ * chains over list cells, put+call goal setup, deallocate+execute
+ * last-call pairs — are recognized by a predecode peephole
+ * (core/predecode.cc) and their head instruction's dispatch token is
+ * rewritten to a fused token, so the token-threaded core executes the
+ * whole sequence with a single dispatch. Fusion is a host-side
+ * routing change only: the fused handlers run the same per-opcode
+ * microcode with the full per-instruction boundary (fetch prologue,
+ * accounting epilogue, stop checks) between constituents, so
+ * simulated cycles, memory traffic and trap semantics are
+ * bit-identical to the unfused sequence (tests/test_fusion.cc holds
+ * both cores to that).
+ *
+ * The catalog is one X-macro so the dispatch table, the handler
+ * bodies, the peephole matcher and the profile-guided selector are
+ * generated from a single list:
+ *
+ *  - F2(name, A, B):     fuse the sequential pair A;B
+ *  - F3(name, A, B, C):  fuse the sequential triple A;B;C
+ *  - FJ(name, A, B):     "likely target" pair — A transfers control
+ *    through a dispatch table (switch_on_term); the fused handler
+ *    runs A, and if the dynamic target turns out to be a B, executes
+ *    it inline without re-dispatching.
+ *
+ * Entries are matched longest-first at each code position (the macro
+ * lists triples before their pair prefixes), and selection is
+ * controlled by MachineConfig::fusion: Static enables the whole
+ * catalog, Profiled only the entries chosen from the profiler's
+ * pair/triple histogram.
+ */
+
+#ifndef KCM_ISA_FUSION_HH
+#define KCM_ISA_FUSION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/decoded.hh"
+#include "isa/opcodes.hh"
+
+namespace kcm
+{
+
+// clang-format off
+#define KCM_FUSION_CATALOG(F2, F3, FJ)                                  \
+    /* environment setup: allocate + permanent-var saves */             \
+    F3(alloc_gvy_gvy,   Allocate,      GetVariableY,   GetVariableY)    \
+    F2(alloc_gvy,       Allocate,      GetVariableY)                    \
+    F2(gvy_gvy,         GetVariableY,  GetVariableY)                    \
+    /* list/structure head unification chains */                        \
+    F3(glist_uvx_uvx,   GetList,       UnifyVariableX, UnifyVariableX)  \
+    F3(glist_uvalx_uvx, GetList,       UnifyValueX,    UnifyVariableX)  \
+    F2(glist_uvx,       GetList,       UnifyVariableX)                  \
+    F2(glist_uvlx,      GetList,       UnifyValueX)                     \
+    F2(gstruct_uvx,     GetStructure,  UnifyVariableX)                  \
+    F2(uvx_uvx,         UnifyVariableX, UnifyVariableX)                 \
+    F2(uvalx_uvx,       UnifyValueX,   UnifyVariableX)                  \
+    /* head end: unify run into the neck, neck into goal setup */      \
+    F2(uvx_neck,        UnifyVariableX, Neck)                           \
+    F3(neck_pvalx_pvalx, Neck,         PutValueX,      PutValueX)       \
+    F2(neck_pvalx,      Neck,          PutValueX)                       \
+    /* goal construction + call */                                      \
+    F3(plist_uvalx_uvx, PutList,       UnifyValueX,    UnifyVariableX)  \
+    F3(pvalx_pvalx_exec, PutValueX,    PutValueX,      Execute)         \
+    F2(plist_uvalx,     PutList,       UnifyValueX)                     \
+    F2(pvx_call,        PutVariableX,  Call)                           \
+    F2(pvalx_call,      PutValueX,     Call)                           \
+    F2(pvaly_call,      PutValueY,     Call)                           \
+    F2(pvalx_pvalx,     PutValueX,     PutValueX)                       \
+    F2(pvalx_exec,      PutValueX,     Execute)                         \
+    F2(pvaly_pvaly,     PutValueY,     PutValueY)                       \
+    /* last-call pairs */                                               \
+    F2(dealloc_exec,    Deallocate,    Execute)                         \
+    F2(dealloc_proceed, Deallocate,    Proceed)                         \
+    /* control transfers whose dynamic target is predictable: the
+       procedure entry an execute lands on is almost always its
+       switch_on_term, and a list-recursive predicate's switch sends
+       the hot (list) case straight to a get_list clause head */       \
+    FJ(exec_switch,     Execute,       SwitchOnTerm)                    \
+    FJ(switch_glist,    SwitchOnTerm,  GetList)                         \
+    FJ(switch_try,      SwitchOnTerm,  Try)
+// clang-format on
+
+/** One catalog entry. */
+struct FusedSeq
+{
+    const char *name;   ///< short mnemonic (bench/test reporting)
+    uint8_t length;     ///< number of constituent instructions (2 or 3)
+    /** FJ entry: the second constituent is reached through a control
+     *  transfer (dispatch table), not sequentially; the handler tests
+     *  the dynamic target instead of the static next word. */
+    bool likelyTarget;
+    Opcode ops[3];      ///< constituents (ops[2] unused for pairs)
+};
+
+#define KCM_FUSION_COUNT_(...) +1
+constexpr unsigned numFusedSeqs = 0 KCM_FUSION_CATALOG(
+    KCM_FUSION_COUNT_, KCM_FUSION_COUNT_, KCM_FUSION_COUNT_);
+#undef KCM_FUSION_COUNT_
+
+/** Dispatch table size with every superinstruction token. */
+constexpr unsigned numDispatchTokens = numOpcodeTokens + numFusedSeqs;
+static_assert(numDispatchTokens <= 256,
+              "dispatch tokens must fit the DecodedInstr::tok byte");
+
+/** Dispatch token of catalog entry @p index. */
+constexpr uint8_t
+fusedToken(unsigned index)
+{
+    return static_cast<uint8_t>(numOpcodeTokens + index);
+}
+
+/** The catalog, in X-macro order (index == token - numOpcodeTokens). */
+const std::array<FusedSeq, numFusedSeqs> &fusionCatalog();
+
+} // namespace kcm
+
+#endif // KCM_ISA_FUSION_HH

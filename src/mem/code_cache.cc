@@ -29,7 +29,7 @@ CodeCache::fill(Addr addr, uint64_t data)
 }
 
 uint64_t
-CodeCache::read(Addr addr, unsigned &penalty_cycles)
+CodeCache::readMiss(Addr addr, unsigned &penalty_cycles)
 {
     if (!config_.enabled) {
         ++readMisses;
@@ -37,12 +37,6 @@ CodeCache::read(Addr addr, unsigned &penalty_cycles)
         uint64_t raw = 0;
         penalty_cycles += memory_.readBurst(pa, &raw, 1);
         return raw;
-    }
-
-    Cell &cell = cells_[addr & (config_.sizeWords - 1)];
-    if (cell.valid && cell.vaddr == addr) {
-        ++readHits;
-        return cell.data;
     }
     ++readMisses;
 

@@ -36,8 +36,22 @@ class CodeCache
     CodeCache(Mmu &mmu, MainMemory &memory,
               const CodeCacheConfig &config = {});
 
-    /** Fetch the instruction word at code address @p addr. */
-    uint64_t read(Addr addr, unsigned &penalty_cycles);
+    /** Fetch the instruction word at code address @p addr. The hit
+     *  path is inline (one fetch per simulated instruction makes this
+     *  the hottest call in the simulator); misses take the cold
+     *  out-of-line burst-fill path. */
+    uint64_t
+    read(Addr addr, unsigned &penalty_cycles)
+    {
+        if (config_.enabled) [[likely]] {
+            Cell &cell = cells_[addr & (config_.sizeWords - 1)];
+            if (cell.valid && cell.vaddr == addr) [[likely]] {
+                ++readHits;
+                return cell.data;
+            }
+        }
+        return readMiss(addr, penalty_cycles);
+    }
 
     /** Fetch for timing and statistics only (predecoded execution
      *  keeps its own copy of the word): hit/miss accounting, fills
@@ -82,6 +96,10 @@ class CodeCache
     };
 
     void fill(Addr addr, uint64_t data);
+
+    /** Cold path of read(): cache disabled or miss. Does the
+     *  page-mode burst fill and accounting. */
+    uint64_t readMiss(Addr addr, unsigned &penalty_cycles);
 
     Mmu &mmu_;
     MainMemory &memory_;

@@ -22,20 +22,6 @@ DataCache::DataCache(Mmu &mmu, MainMemory &memory,
     stats_.add("writeBacks", writeBacks);
 }
 
-size_t
-DataCache::indexOf(Word addr_word) const
-{
-    Addr a = addr_word.addr();
-    if (config_.zoneIndexed) {
-        unsigned section =
-            static_cast<unsigned>(addr_word.zone()) % config_.sections;
-        return size_t(section) * config_.sectionWords +
-               (a & (config_.sectionWords - 1));
-    }
-    size_t total = cells_.size();
-    return a & (total - 1);
-}
-
 void
 DataCache::evict(Cell &cell, unsigned &penalty_cycles)
 {
@@ -49,7 +35,7 @@ DataCache::evict(Cell &cell, unsigned &penalty_cycles)
 }
 
 Word
-DataCache::read(Word addr_word, unsigned &penalty_cycles)
+DataCache::readMiss(Word addr_word, unsigned &penalty_cycles)
 {
     Addr a = addr_word.addr();
 
@@ -62,10 +48,6 @@ DataCache::read(Word addr_word, unsigned &penalty_cycles)
     }
 
     Cell &cell = cells_[indexOf(addr_word)];
-    if (cell.valid && cell.vaddr == a) {
-        ++readHits;
-        return Word(cell.data);
-    }
     ++readMisses;
     evict(cell, penalty_cycles);
     PhysAddr pa = mmu_.translate(AddrSpace::Data, a, false);
@@ -79,7 +61,7 @@ DataCache::read(Word addr_word, unsigned &penalty_cycles)
 }
 
 void
-DataCache::write(Word addr_word, Word value, unsigned &penalty_cycles)
+DataCache::writeMiss(Word addr_word, Word value, unsigned &penalty_cycles)
 {
     Addr a = addr_word.addr();
 
@@ -92,15 +74,11 @@ DataCache::write(Word addr_word, Word value, unsigned &penalty_cycles)
     }
 
     Cell &cell = cells_[indexOf(addr_word)];
-    if (cell.valid && cell.vaddr == a) {
-        ++writeHits;
-    } else {
-        ++writeMisses;
-        // Line size one: allocate without fetching from memory.
-        evict(cell, penalty_cycles);
-        cell.valid = true;
-        cell.vaddr = a;
-    }
+    ++writeMisses;
+    // Line size one: allocate without fetching from memory.
+    evict(cell, penalty_cycles);
+    cell.valid = true;
+    cell.vaddr = a;
     cell.data = value.raw();
     cell.dirty = true;
 }

@@ -49,11 +49,37 @@ class DataCache
      * Read the word addressed by @p addr_word.
      * @param penalty_cycles incremented by miss/write-back penalties
      *        (a hit costs the base 80 ns access charged by the caller).
+     * Hit path inline; misses take the cold out-of-line fill path.
      */
-    Word read(Word addr_word, unsigned &penalty_cycles);
+    Word
+    read(Word addr_word, unsigned &penalty_cycles)
+    {
+        if (config_.enabled) [[likely]] {
+            Cell &cell = cells_[indexOf(addr_word)];
+            if (cell.valid && cell.vaddr == addr_word.addr()) [[likely]] {
+                ++readHits;
+                return Word(cell.data);
+            }
+        }
+        return readMiss(addr_word, penalty_cycles);
+    }
 
-    /** Write @p value at @p addr_word (write-allocate, no fetch). */
-    void write(Word addr_word, Word value, unsigned &penalty_cycles);
+    /** Write @p value at @p addr_word (write-allocate, no fetch).
+     *  Hit path inline; allocation/eviction out of line. */
+    void
+    write(Word addr_word, Word value, unsigned &penalty_cycles)
+    {
+        if (config_.enabled) [[likely]] {
+            Cell &cell = cells_[indexOf(addr_word)];
+            if (cell.valid && cell.vaddr == addr_word.addr()) [[likely]] {
+                ++writeHits;
+                cell.data = value.raw();
+                cell.dirty = true;
+                return;
+            }
+        }
+        writeMiss(addr_word, value, penalty_cycles);
+    }
 
     /** Write every dirty cell back to memory. */
     void flushAll();
@@ -113,7 +139,25 @@ class DataCache
     };
 
     /** Cache index of @p addr_word under the configured policy. */
-    size_t indexOf(Word addr_word) const;
+    size_t
+    indexOf(Word addr_word) const
+    {
+        Addr a = addr_word.addr();
+        if (config_.zoneIndexed) [[likely]] {
+            unsigned section =
+                static_cast<unsigned>(addr_word.zone()) % config_.sections;
+            return size_t(section) * config_.sectionWords +
+                   (a & (config_.sectionWords - 1));
+        }
+        size_t total = cells_.size();
+        return a & (total - 1);
+    }
+
+    /** Cold path of read(): cache disabled or miss. */
+    Word readMiss(Word addr_word, unsigned &penalty_cycles);
+
+    /** Cold path of write(): cache disabled or allocate-on-miss. */
+    void writeMiss(Word addr_word, Word value, unsigned &penalty_cycles);
 
     /** Evict @p cell if dirty, adding the write-back penalty. */
     void evict(Cell &cell, unsigned &penalty_cycles);

@@ -23,26 +23,6 @@ MemSystem::MemSystem(const MemSystemConfig &config)
     stats_.addChild(codeCache_->stats());
 }
 
-Word
-MemSystem::readData(Word addr_word, unsigned &penalty_cycles)
-{
-    zoneChecker_->check(addr_word, false);
-    return dataCache_->read(addr_word, penalty_cycles);
-}
-
-void
-MemSystem::writeData(Word addr_word, Word value, unsigned &penalty_cycles)
-{
-    zoneChecker_->check(addr_word, true);
-    dataCache_->write(addr_word, value, penalty_cycles);
-}
-
-uint64_t
-MemSystem::fetchCode(Addr addr, unsigned &penalty_cycles)
-{
-    return codeCache_->read(addr, penalty_cycles);
-}
-
 void
 MemSystem::writeCode(Addr addr, uint64_t value, unsigned &penalty_cycles)
 {

@@ -43,13 +43,27 @@ class MemSystem
     explicit MemSystem(const MemSystemConfig &config = {});
 
     /** Timed, checked data read through the data cache. */
-    Word readData(Word addr_word, unsigned &penalty_cycles);
+    Word
+    readData(Word addr_word, unsigned &penalty_cycles)
+    {
+        zoneChecker_->check(addr_word, false);
+        return dataCache_->read(addr_word, penalty_cycles);
+    }
 
     /** Timed, checked data write through the data cache. */
-    void writeData(Word addr_word, Word value, unsigned &penalty_cycles);
+    void
+    writeData(Word addr_word, Word value, unsigned &penalty_cycles)
+    {
+        zoneChecker_->check(addr_word, true);
+        dataCache_->write(addr_word, value, penalty_cycles);
+    }
 
     /** Timed instruction fetch through the code cache. */
-    uint64_t fetchCode(Addr addr, unsigned &penalty_cycles);
+    uint64_t
+    fetchCode(Addr addr, unsigned &penalty_cycles)
+    {
+        return codeCache_->read(addr, penalty_cycles);
+    }
 
     /** Timed instruction fetch whose word is discarded (the
      *  predecoded core already has it): cache statistics and

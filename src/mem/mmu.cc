@@ -34,9 +34,9 @@ Mmu::allocPhysPage()
 }
 
 PhysAddr
-Mmu::translate(AddrSpace space, Addr vaddr, bool is_write)
+Mmu::translateSlow(AddrSpace space, Addr vaddr, bool is_write)
 {
-    ++translations;
+    // translations was already counted by the inline fast path.
     if (injectFault_) [[unlikely]] {
         injectFault_ = false;
         throw MachineTrap(TrapKind::PageFault,

@@ -70,8 +70,26 @@ class Mmu
      * Translate @p vaddr in @p space, demand-allocating a physical
      * page on first touch (this models the host paging server).
      * Marks the page referenced (and dirty on writes).
+     *
+     * The hot case — valid, writable page, no injected fault — runs
+     * inline; first touches and faults take the out-of-line slow
+     * path.
      */
-    PhysAddr translate(AddrSpace space, Addr vaddr, bool is_write);
+    PhysAddr translate(AddrSpace space, Addr vaddr, bool is_write)
+    {
+        ++translations;
+        if (!injectFault_ && !(vaddr & ~addrMask)) [[likely]] {
+            PageEntry &pe =
+                table_[static_cast<uint32_t>(space) * numVirtualPages +
+                       (vaddr >> pageShift)];
+            if (pe.valid() && (!is_write || pe.writable())) [[likely]] {
+                pe.raw |= is_write ? 0x3000 : 0x1000; // referenced+dirty
+                return (PhysAddr(pe.physPage()) << pageShift) |
+                       (vaddr & (pageSizeWords - 1));
+            }
+        }
+        return translateSlow(space, vaddr, is_write);
+    }
 
     /** Direct page-table manipulation (used by the language system to
      *  move batch-compiled code pages from data to code space,
@@ -102,6 +120,9 @@ class Mmu
     friend struct SnapshotAccess;
 
     uint16_t allocPhysPage();
+
+    [[gnu::cold, gnu::noinline]] PhysAddr
+    translateSlow(AddrSpace space, Addr vaddr, bool is_write);
 
     MainMemory &memory_;
     std::vector<PageEntry> table_; // [space][page] flattened

@@ -129,31 +129,27 @@ ZoneChecker::info(Zone zone) const
 }
 
 void
-ZoneChecker::check(Word addr_word, bool is_write) const
+ZoneChecker::failCheck(Word addr_word, bool is_write) const
 {
-    if (!enabled_)
-        return;
-    ++checksPerformed;
-
     // The 4 most significant address bits beyond the implemented 28
     // must be zero (§3.2.3).
-    if (addr_word.value() & ~addrMask) [[unlikely]]
+    if (addr_word.value() & ~addrMask)
         trapHighAddressBits(addr_word);
 
     const ZoneInfo &zi = zones_[static_cast<unsigned>(addr_word.zone())];
-    if (!zi.enabled) [[unlikely]]
+    if (!zi.enabled)
         trapUnconfiguredZone(addr_word);
 
     uint16_t tag_bit = uint16_t(1u << static_cast<unsigned>(addr_word.tag()));
-    if (!(zi.allowedTags & tag_bit)) [[unlikely]]
+    if (!(zi.allowedTags & tag_bit))
         trapDisallowedTag(addr_word);
 
     Addr a = addr_word.addr();
-    if (a < zi.start || a >= zi.softLimit) [[unlikely]]
+    if (a < zi.start || a >= zi.softLimit)
         trapOutsideZone(addr_word, zi);
 
-    if (is_write && zi.writeProtected) [[unlikely]]
-        trapWriteProtected(addr_word);
+    trapWriteProtected(addr_word);
+    (void)is_write;
 }
 
 void

@@ -97,8 +97,30 @@ class ZoneChecker
      * Validate a data access through address word @p addr_word.
      * @param is_write whether the access is a store.
      * Throws MachineTrap on violation.
+     *
+     * The hot path is one branchless condition inline (the hardware
+     * comparators all fire in parallel); on any violation the cold
+     * out-of-line failCheck() replays the individual comparisons in
+     * the documented priority order to throw the right trap.
      */
-    void check(Word addr_word, bool is_write) const;
+    void
+    check(Word addr_word, bool is_write) const
+    {
+        if (!enabled_)
+            return;
+        ++checksPerformed;
+        const ZoneInfo &zi =
+            zones_[static_cast<unsigned>(addr_word.zone())];
+        uint16_t tag_bit =
+            uint16_t(1u << static_cast<unsigned>(addr_word.tag()));
+        Addr a = addr_word.addr();
+        bool ok = !(addr_word.value() & ~addrMask) && zi.enabled &&
+                  (zi.allowedTags & tag_bit) && a >= zi.start &&
+                  a < zi.softLimit && !(is_write && zi.writeProtected);
+        if (ok) [[likely]]
+            return;
+        failCheck(addr_word, is_write);
+    }
 
     /** Enable/disable the whole unit (ablation studies). */
     void setEnabled(bool enabled) { enabled_ = enabled; }
@@ -109,6 +131,12 @@ class ZoneChecker
 
   private:
     friend struct SnapshotAccess;
+
+    /** Cold path of check(): diagnose the violation (in the same
+     *  priority order the inline condition folds together) and throw
+     *  the corresponding MachineTrap. */
+    [[noreturn, gnu::cold, gnu::noinline]] void
+    failCheck(Word addr_word, bool is_write) const;
 
     std::array<ZoneInfo, 16> zones_;
     bool enabled_ = true;

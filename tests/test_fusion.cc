@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Superinstruction fusion (isa/fusion.hh, core/predecode.cc,
+ * core/exec_threaded.cc).
+ *
+ * Fusion is a host-side dispatch-routing change and must be invisible
+ * to the simulation: every fused handler, run against its unfused
+ * sequence and against the decode-per-step oracle, must produce
+ * bit-identical simulated metrics; a trap taken in the middle of a
+ * fused sequence must deliver the same TrapInfo (pc, cycle,
+ * instruction count); and a snapshot taken mid-procedure must restore
+ * and resume exactly across fusion on/off and across cores.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "bench_support/harness.hh"
+#include "bench_support/plm_suite.hh"
+#include "core/machine.hh"
+#include "core/predecode.hh"
+#include "core/snapshot.hh"
+#include "isa/fusion.hh"
+#include "kcm/kcm.hh"
+
+using namespace kcm;
+
+namespace
+{
+
+/** Compile program+goal with the default compiler options. */
+CodeImage
+compileQuery(const std::string &program, const std::string &goal)
+{
+    KcmSystem host;
+    if (!program.empty())
+        host.consult(program);
+    return host.compileOnly(goal);
+}
+
+/** Every simulated quantity that fusion must not perturb. */
+struct Metrics
+{
+    uint64_t cycles, instructions, inferences;
+    uint64_t dcacheHits, dcacheMisses, ccacheHits, ccacheMisses;
+    uint64_t memoryWords, choicePoints, trailPushes, derefSteps;
+
+    bool
+    operator==(const Metrics &o) const
+    {
+        return cycles == o.cycles && instructions == o.instructions &&
+               inferences == o.inferences && dcacheHits == o.dcacheHits &&
+               dcacheMisses == o.dcacheMisses &&
+               ccacheHits == o.ccacheHits &&
+               ccacheMisses == o.ccacheMisses &&
+               memoryWords == o.memoryWords &&
+               choicePoints == o.choicePoints &&
+               trailPushes == o.trailPushes && derefSteps == o.derefSteps;
+    }
+};
+
+Metrics
+metricsOf(Machine &m)
+{
+    return Metrics{
+        m.cycles(),
+        m.instructions(),
+        m.inferences(),
+        m.mem().dataCache().readHits.value() +
+            m.mem().dataCache().writeHits.value(),
+        m.mem().dataCache().readMisses.value() +
+            m.mem().dataCache().writeMisses.value(),
+        m.mem().codeCache().readHits.value(),
+        m.mem().codeCache().readMisses.value(),
+        m.mem().memory().readWords.value() +
+            m.mem().memory().writtenWords.value(),
+        m.choicePointsCreated.value(),
+        m.trailPushes.value(),
+        m.derefSteps.value(),
+    };
+}
+
+MachineConfig
+fusionConfig(FusionConfig::Mode mode,
+             std::vector<uint16_t> sequences = {})
+{
+    MachineConfig config;
+    config.fastDispatch = true;
+    config.fusion.mode = mode;
+    config.fusion.sequences = std::move(sequences);
+    return config;
+}
+
+/** Run @p image to its natural end under @p config. */
+RunStatus
+runTo(Machine &m, const CodeImage &image)
+{
+    m.load(image);
+    return m.run();
+}
+
+/** Programs that between them execute every catalog entry (checked
+ *  by CatalogFullyCovered below — extend this corpus if an entry is
+ *  added that none of these reach). */
+const char *nrevProgram =
+    "app([], L, L).\n"
+    "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+    "nrev([], []).\n"
+    "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+    "l16([a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p]).\n"
+    "go :- l16(L), nrev(L, _).\n";
+
+const char *qsortProgram =
+    "part([], _, [], []).\n"
+    "part([X|Xs], P, [X|S], B) :- X =< P, part(Xs, P, S, B).\n"
+    "part([X|Xs], P, S, [X|B]) :- X > P, part(Xs, P, S, B).\n"
+    "qs([], R, R).\n"
+    "qs([P|Xs], R, R0) :-\n"
+    "    part(Xs, P, S, B), qs(S, R, [P|R1]), qs(B, R1, R0).\n"
+    "go :- qs([27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47], R, []),\n"
+    "      R = [_|_].\n";
+
+const char *choiceProgram =
+    "color(red). color(green). color(blue).\n"
+    "num(1). num(2). num(3).\n"
+    "pair(C, N) :- color(C), num(N).\n"
+    "go :- pair(C1, N1), pair(C2, N2), C1 \\== C2, N1 > N2,\n"
+    "      C2 == blue.\n";
+
+const char *structProgram =
+    "tree(leaf).\n"
+    "tree(node(L, _, R)) :- tree(L), tree(R).\n"
+    "build(0, leaf).\n"
+    "build(N, node(L, N, L)) :- N > 0, M is N - 1, build(M, L).\n"
+    "go :- build(6, T), tree(T).\n";
+
+// Targets the catalog corners the list-recursion programs miss:
+// put_variable_x+call (a temporary fresh variable in a non-last
+// goal) and the switch_on_term -> Try likely-target pair (a
+// mixed-type predicate whose list bucket holds two clauses, so the
+// switch jumps to a Try block rather than the try_me_else chain).
+const char *dispatchProgram =
+    "m(a).\n"
+    "m([_|_]).\n"
+    "m([x|_]).\n"
+    "q(1).\n"
+    "r.\n"
+    "go :- q(_A), r, m([y]), m([x]).\n";
+
+// List cells whose elements are known-safe (bound through an earlier
+// get_list) compile to plain unify_value_x on both the get side
+// (p/2's second head argument) and the put side (q/3's first goal
+// argument) — the glist_uvlx and plist_* catalog entries.
+const char *listValueProgram =
+    "pv([X|_], [X|_]).\n"
+    "q(_, _, _).\n"
+    "pl([H|T]) :- q([H|X], T, X).\n"
+    "go :- pv([1,2], [1,3]), pl([a,b]).\n";
+
+const std::vector<const char *> corpus = {nrevProgram, qsortProgram,
+                                          choiceProgram, structProgram,
+                                          dispatchProgram,
+                                          listValueProgram};
+
+} // namespace
+
+// Every program of the corpus: fusion off, static, profiled and the
+// oracle core all agree bit-exactly on the simulated run.
+TEST(Fusion, CorpusBitIdenticalAcrossModesAndCores)
+{
+    for (const char *program : corpus) {
+        CodeImage image = compileQuery(program, "go");
+
+        Machine off(fusionConfig(FusionConfig::Mode::Off));
+        RunStatus ref_status = runTo(off, image);
+        Metrics ref = metricsOf(off);
+
+        Machine fused(fusionConfig(FusionConfig::Mode::Static));
+        EXPECT_EQ(runTo(fused, image), ref_status);
+        EXPECT_EQ(metricsOf(fused), ref) << "static fusion diverged";
+        EXPECT_GT(fused.fusedDispatches(), 0u)
+            << "corpus program executed no fused sequence";
+        EXPECT_EQ(fused.dispatches() + fused.fusedInlineSteps(),
+                  fused.instructions());
+
+        MachineConfig oracle_config;
+        oracle_config.fastDispatch = false;
+        Machine oracle(oracle_config);
+        EXPECT_EQ(runTo(oracle, image), ref_status);
+        EXPECT_EQ(metricsOf(oracle), ref) << "oracle diverged";
+        EXPECT_EQ(oracle.fusedDispatches(), 0u);
+
+        // Profiled: select from a profiling run of the same image.
+        MachineConfig prof_config;
+        prof_config.fastDispatch = true;
+        prof_config.profile = true;
+        prof_config.profileSequences = true;
+        Machine prof(prof_config);
+        runTo(prof, image);
+        Machine profiled(fusionConfig(
+            FusionConfig::Mode::Profiled,
+            selectFusedSequences(prof.profiler(), 12)));
+        EXPECT_EQ(runTo(profiled, image), ref_status);
+        EXPECT_EQ(metricsOf(profiled), ref) << "profiled fusion diverged";
+    }
+}
+
+// Each catalog entry in isolation (Profiled mode with exactly one
+// selected sequence): the handler's run is bit-identical to unfused,
+// over every corpus program whose image contains that head.
+TEST(Fusion, EveryHandlerBitIdenticalInIsolation)
+{
+    for (const char *program : corpus) {
+        CodeImage image = compileQuery(program, "go");
+
+        Machine off(fusionConfig(FusionConfig::Mode::Off));
+        RunStatus ref_status = runTo(off, image);
+        Metrics ref = metricsOf(off);
+
+        for (uint16_t s = 0; s < numFusedSeqs; ++s) {
+            Machine m(fusionConfig(FusionConfig::Mode::Profiled, {s}));
+            EXPECT_EQ(runTo(m, image), ref_status);
+            EXPECT_EQ(metricsOf(m), ref)
+                << "handler " << fusionCatalog()[s].name << " diverged";
+        }
+    }
+}
+
+// The corpus plus the PLM suite executes every catalog entry at least
+// once — dynamically, not just statically — so the bit-identity tests
+// above actually exercise all handlers. Each entry is measured as the
+// sole selected sequence (Profiled mode), because in Static mode two
+// likely-target entries with the same head opcode can shadow each
+// other (the peephole takes the first in catalog order).
+TEST(Fusion, CatalogFullyCovered)
+{
+    std::vector<uint64_t> executed(numFusedSeqs, 0);
+
+    auto accumulate = [&](const CodeImage &image) {
+        for (uint16_t s = 0; s < numFusedSeqs; ++s) {
+            if (executed[s])
+                continue; // already proven; skip the run
+            Machine m(fusionConfig(FusionConfig::Mode::Profiled, {s}));
+            m.load(image);
+            std::vector<uint64_t> heads = m.fusedHeadProfile();
+            if (heads[s] == 0)
+                continue; // entry not present in this image
+            m.run();
+            executed[s] += m.fusedDispatches();
+        }
+    };
+
+    for (const char *program : corpus)
+        accumulate(compileQuery(program, "go"));
+    for (const PlmBenchmark &bench : plmSuite()) {
+        KcmSystem host;
+        host.consult(bench.pureProgram());
+        accumulate(host.compileOnly(bench.queryPure));
+    }
+
+    for (unsigned s = 0; s < numFusedSeqs; ++s) {
+        EXPECT_GT(executed[s], 0u)
+            << "catalog entry '" << fusionCatalog()[s].name
+            << "' executed nowhere in the corpus or PLM suite — "
+               "extend the test corpus";
+    }
+}
+
+// Sweep a cycle budget across an entire run: wherever the Abort lands
+// — including in the middle of a fused sequence — the fused machine
+// reports the same TrapInfo (pc, cycle, instructions) and metrics as
+// the unfused machine and the oracle. This is the constituent-
+// boundary contract: fused handlers must hit every per-instruction
+// stop point exactly like the generic loop.
+TEST(Fusion, TrapMidSequenceIdenticalTrapInfo)
+{
+    CodeImage image = compileQuery(nrevProgram, "go");
+
+    Machine full(fusionConfig(FusionConfig::Mode::Off));
+    ASSERT_EQ(runTo(full, image), RunStatus::SolutionFound);
+    uint64_t total = full.cycles();
+    ASSERT_GT(total, 100u);
+
+    // Every 7th cycle: dense enough to land inside fused sequences
+    // many times, sparse enough to keep the sweep fast.
+    for (uint64_t budget = 3; budget < total; budget += 7) {
+        MachineConfig off_config = fusionConfig(FusionConfig::Mode::Off);
+        off_config.governor.cycleBudget = budget;
+        Machine off(off_config);
+        RunStatus off_status = runTo(off, image);
+
+        MachineConfig fused_config =
+            fusionConfig(FusionConfig::Mode::Static);
+        fused_config.governor.cycleBudget = budget;
+        Machine fused(fused_config);
+        ASSERT_EQ(runTo(fused, image), off_status) << "budget " << budget;
+
+        MachineConfig oracle_config;
+        oracle_config.fastDispatch = false;
+        oracle_config.governor.cycleBudget = budget;
+        Machine oracle(oracle_config);
+        ASSERT_EQ(runTo(oracle, image), off_status) << "budget " << budget;
+
+        ASSERT_EQ(metricsOf(fused), metricsOf(off))
+            << "budget " << budget;
+        ASSERT_EQ(metricsOf(oracle), metricsOf(off))
+            << "budget " << budget;
+        if (off_status == RunStatus::Trapped) {
+            EXPECT_EQ(fused.lastTrap().kind, off.lastTrap().kind);
+            EXPECT_EQ(fused.lastTrap().pc, off.lastTrap().pc)
+                << "budget " << budget;
+            EXPECT_EQ(fused.lastTrap().cycle, off.lastTrap().cycle);
+            EXPECT_EQ(fused.lastTrap().instructions,
+                      off.lastTrap().instructions);
+            EXPECT_EQ(oracle.lastTrap().pc, off.lastTrap().pc);
+            EXPECT_EQ(oracle.lastTrap().cycle, off.lastTrap().cycle);
+        }
+    }
+}
+
+// A snapshot taken mid-procedure (cycle budget stops the machine in
+// the middle of fused sequences) restores and resumes bit-exactly in
+// every direction: fused -> unfused, unfused -> fused, fused ->
+// oracle. KCMSNAP2 serializes machine state, never predecode state,
+// so images are portable across fusion modes.
+TEST(Fusion, SnapshotMidProcedureRestoresAcrossFusionModes)
+{
+    CodeImage image = compileQuery(qsortProgram, "go");
+
+    Machine reference(fusionConfig(FusionConfig::Mode::Off));
+    ASSERT_EQ(runTo(reference, image), RunStatus::SolutionFound);
+    Metrics full = metricsOf(reference);
+
+    struct Direction
+    {
+        FusionConfig::Mode from;
+        FusionConfig::Mode to;
+        bool toFast;
+    };
+    const Direction directions[] = {
+        {FusionConfig::Mode::Static, FusionConfig::Mode::Off, true},
+        {FusionConfig::Mode::Off, FusionConfig::Mode::Static, true},
+        {FusionConfig::Mode::Static, FusionConfig::Mode::Static, false},
+    };
+
+    for (const Direction &dir : directions) {
+        for (uint64_t budget : {full.cycles / 3, full.cycles / 2,
+                                2 * full.cycles / 3}) {
+            MachineConfig src_config = fusionConfig(dir.from);
+            src_config.governor.cycleBudget = budget;
+            Machine source(src_config);
+            ASSERT_EQ(runTo(source, image), RunStatus::Trapped);
+            ASSERT_EQ(source.lastTrap().kind, TrapKind::Abort);
+
+            Snapshot snap = takeSnapshot(source);
+
+            MachineConfig dst_config = fusionConfig(dir.to);
+            dst_config.fastDispatch = dir.toFast;
+            Machine restored(dst_config);
+            restoreSnapshot(restored, snap);
+            EXPECT_EQ(restored.cycles(), source.cycles());
+
+            restored.setCycleBudget(0);
+            ASSERT_EQ(restored.resume(), RunStatus::SolutionFound);
+            EXPECT_EQ(metricsOf(restored), full)
+                << "restore diverged at budget " << budget;
+        }
+    }
+}
+
+// Profiled selection ranks by dispatches saved: a triple scores twice
+// its dynamic count, so it outranks the pair it contains, and the
+// peephole (which matches in selection order) fuses the triple.
+TEST(Fusion, ProfiledSelectionPrefersTriples)
+{
+    CodeImage image = compileQuery(nrevProgram, "go");
+
+    MachineConfig prof_config;
+    prof_config.fastDispatch = true;
+    prof_config.profile = true;
+    prof_config.profileSequences = true;
+    Machine prof(prof_config);
+    ASSERT_EQ(runTo(prof, image), RunStatus::SolutionFound);
+
+    std::vector<uint16_t> selected =
+        selectFusedSequences(prof.profiler(), 12);
+    ASSERT_FALSE(selected.empty());
+
+    const auto &catalog = fusionCatalog();
+    for (size_t i = 0; i < selected.size(); ++i) {
+        const FusedSeq &seq = catalog[selected[i]];
+        if (seq.length != 3 || seq.likelyTarget)
+            continue;
+        // The contained pair prefix, if cataloged, must rank after
+        // the triple (score = count * (length - 1) and the pair's
+        // dynamic count can't exceed its containing triple's here).
+        for (size_t j = 0; j < i; ++j) {
+            const FusedSeq &other = catalog[selected[j]];
+            if (other.length == 2 && !other.likelyTarget &&
+                other.ops[0] == seq.ops[0] && other.ops[1] == seq.ops[1]) {
+                // A pair ranked above its triple means the pair also
+                // matched where the triple didn't — allowed — but its
+                // score must genuinely exceed the triple's.
+                const Profiler &p = prof.profiler();
+                EXPECT_GT(p.pairCount(other.ops[0], other.ops[1]),
+                          2 * p.tripleCount(seq.ops[0], seq.ops[1],
+                                            seq.ops[2]));
+            }
+        }
+    }
+
+    // The selected set actually fuses: the profiled machine executes
+    // fused heads and stays bit-identical (covered above, re-checked
+    // cheaply here on dispatch counts alone).
+    Machine profiled(
+        fusionConfig(FusionConfig::Mode::Profiled, selected));
+    ASSERT_EQ(runTo(profiled, image), RunStatus::SolutionFound);
+    EXPECT_GT(profiled.fusedDispatches(), 0u);
+    EXPECT_LT(profiled.dispatches(), profiled.instructions());
+}
+
+// fusedHeadProfile reports the static fusion layout of the loaded
+// image: empty-equivalent (all zero) with fusion off, populated in
+// static mode, restricted to the selection in profiled mode.
+TEST(Fusion, FusedHeadProfileReflectsMode)
+{
+    CodeImage image = compileQuery(nrevProgram, "go");
+
+    Machine off(fusionConfig(FusionConfig::Mode::Off));
+    off.load(image);
+    for (uint64_t c : off.fusedHeadProfile())
+        EXPECT_EQ(c, 0u);
+
+    Machine fused(fusionConfig(FusionConfig::Mode::Static));
+    fused.load(image);
+    uint64_t static_heads = 0;
+    for (uint64_t c : fused.fusedHeadProfile())
+        static_heads += c;
+    EXPECT_GT(static_heads, 0u);
+
+    // Profiled with a single sequence: only that entry may appear.
+    for (uint16_t s : {uint16_t(0), uint16_t(numFusedSeqs - 1)}) {
+        Machine one(fusionConfig(FusionConfig::Mode::Profiled, {s}));
+        one.load(image);
+        std::vector<uint64_t> heads = one.fusedHeadProfile();
+        for (unsigned i = 0; i < numFusedSeqs; ++i) {
+            if (i != s)
+                EXPECT_EQ(heads[i], 0u);
+        }
+    }
+}

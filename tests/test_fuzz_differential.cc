@@ -17,6 +17,7 @@
 #include "base/logging.hh"
 #include "baseline/interp.hh"
 #include "core/machine.hh"
+#include "core/predecode.hh"
 #include "core/snapshot.hh"
 #include "kcm/kcm.hh"
 
@@ -404,6 +405,88 @@ TEST_P(FuzzExceptions, UncaughtBallsAgreeEverywhere)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzExceptions, ::testing::Range(1u, 7u));
+
+class FuzzFusion : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzFusion, ProfiledFusionAgreesWithUnfusedAndBaseline)
+{
+    TermGen gen(GetParam() * 86028121);
+    // List/structure walkers over random data: the shapes whose
+    // get/unify/put/execute chains the superinstruction catalog
+    // fuses. Each case runs fusion-off and fusion-profiled (selection
+    // from a profiling run of the same query); both are held to the
+    // oracle and the baseline by compareOnce, and to each other on
+    // every simulated cycle.
+    const char *database =
+        "rev([], A, A).\n"
+        "rev([H|T], A, R) :- rev(T, [H|A], R).\n"
+        "walk([]).\n"
+        "walk([_|T]) :- walk(T).\n"
+        "tree(leaf).\n"
+        "tree(node(L, _, R)) :- tree(L), tree(R).\n"
+        "member(X, [X|_]).\n"
+        "member(X, [_|T]) :- member(X, T).\n";
+    for (int i = 0; i < 6; ++i) {
+        std::ostringstream list;
+        list << "[";
+        unsigned n = 2 + gen.pick(6);
+        for (unsigned j = 0; j < n; ++j)
+            list << (j ? "," : "") << gen.term(2, 0);
+        list << "]";
+
+        std::ostringstream goal;
+        switch (gen.pick(3)) {
+          case 0:
+            goal << "rev(" << list.str() << ", [], V0), walk(V0)";
+            break;
+          case 1:
+            goal << "member(V0, " << list.str() << ")";
+            break;
+          default:
+            goal << "rev(" << list.str()
+                 << ", [], V0), member(" << gen.term(2, 0) << ", V0)";
+            break;
+        }
+
+        KcmOptions off_options;
+        off_options.machine.fusion.mode = FusionConfig::Mode::Off;
+        compareOnce(database, goal.str(), off_options);
+
+        // Profile-guided selection from an instrumented unfused run
+        // of the very same query.
+        KcmOptions prof_options;
+        prof_options.machine.fusion.mode = FusionConfig::Mode::Off;
+        prof_options.machine.profile = true;
+        prof_options.machine.profileSequences = true;
+        KcmSystem prof_system(prof_options);
+        prof_system.consult(database);
+        prof_system.query(goal.str());
+
+        KcmOptions fused_options;
+        fused_options.machine.fusion.mode = FusionConfig::Mode::Profiled;
+        fused_options.machine.fusion.sequences =
+            selectFusedSequences(prof_system.machine().profiler(), 12);
+        compareOnce(database, goal.str(), fused_options);
+
+        // Direct off-vs-profiled check on the simulated run (both
+        // already matched the oracle; this pins them to each other).
+        KcmSystem off_system(off_options);
+        off_system.consult(database);
+        QueryResult off_result = off_system.query(goal.str());
+        KcmSystem fused_system(fused_options);
+        fused_system.consult(database);
+        QueryResult fused_result = fused_system.query(goal.str());
+        ASSERT_EQ(off_result.cycles, fused_result.cycles)
+            << "fusion changed simulated cycles for: " << goal.str();
+        ASSERT_EQ(off_result.inferences, fused_result.inferences);
+        ASSERT_GT(fused_system.machine().fusedDispatches(), 0u)
+            << "profiled selection fused nothing for: " << goal.str();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFusion, ::testing::Range(1u, 7u));
 
 class FuzzSnapshot : public ::testing::TestWithParam<unsigned>
 {

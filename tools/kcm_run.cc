@@ -11,6 +11,14 @@
  *   -e TEXT        consult program text given inline
  *   --stats        dump machine statistics after the run
  *   --profile      print the macrocode/Prolog-level monitor report
+ *   --profile-seq  with --profile: also collect and print the opcode
+ *                  pair/triple sequence monitor (the input of
+ *                  profile-guided fusion selection)
+ *   --fusion M     superinstruction fusion in the fast core:
+ *                  off | static (default; KCM_FUSION env overrides) |
+ *                  profiled (runs the query once with the sequence
+ *                  monitor to pick the fused sequences, then again
+ *                  fused; measurements reported for the fused run)
  *   --disasm       print the disassembled code image and exit
  *   --save FILE    save the compiled image and exit
  *   --load FILE    run a previously saved image (no sources needed)
@@ -43,6 +51,7 @@
 
 #include "base/logging.hh"
 #include "compiler/image_io.hh"
+#include "core/predecode.hh"
 #include "isa/disasm.hh"
 #include "kcm/kcm.hh"
 #include "service/session.hh"
@@ -114,6 +123,22 @@ main(int argc, char **argv)
         } else if (arg == "--profile") {
             want_profile = true;
             options.machine.profile = true;
+        } else if (arg == "--profile-seq") {
+            want_profile = true;
+            options.machine.profile = true;
+            options.machine.profileSequences = true;
+        } else if (arg == "--fusion") {
+            std::string mode = next();
+            if (mode == "off")
+                options.machine.fusion.mode = kcm::FusionConfig::Mode::Off;
+            else if (mode == "static")
+                options.machine.fusion.mode =
+                    kcm::FusionConfig::Mode::Static;
+            else if (mode == "profiled")
+                options.machine.fusion.mode =
+                    kcm::FusionConfig::Mode::Profiled;
+            else
+                usage();
         } else if (arg == "--disasm") {
             want_disasm = true;
         } else if (arg == "--save") {
@@ -178,6 +203,26 @@ main(int argc, char **argv)
                     (unsigned long long)machine.cycles(),
                     machine.seconds() * 1e3);
             return shown ? 0 : 1;
+        }
+
+        if (options.machine.fusion.mode ==
+                kcm::FusionConfig::Mode::Profiled &&
+            options.machine.fusion.sequences.empty() && !query.empty()) {
+            // Profile-guided fusion: run the query once unfused with
+            // the sequence monitor, select the hottest catalog
+            // sequences, then run fused below. Only the fused run is
+            // reported.
+            kcm::KcmOptions prof = options;
+            prof.machine.profile = true;
+            prof.machine.profileSequences = true;
+            prof.machine.fusion.mode = kcm::FusionConfig::Mode::Off;
+            prof.machine.captureOutput = true;
+            kcm::KcmSystem profSystem(prof);
+            for (const auto &source : sources)
+                profSystem.consult(source);
+            profSystem.query(query);
+            options.machine.fusion.sequences = kcm::selectFusedSequences(
+                profSystem.machine().profiler(), 12);
         }
 
         kcm::KcmSystem system(options);
@@ -267,6 +312,10 @@ main(int argc, char **argv)
         if (want_stats) {
             std::ostringstream os;
             system.machine().stats().dump(os);
+            os << "host dispatch: " << system.machine().dispatches()
+               << " dispatches, " << system.machine().fusedDispatches()
+               << " fused heads, " << system.machine().fusedInlineSteps()
+               << " inline constituents\n";
             fputs(os.str().c_str(), stderr);
         }
         if (want_profile)
