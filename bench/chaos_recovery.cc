@@ -50,6 +50,7 @@
 #include "base/logging.hh"
 #include "base/strutil.hh"
 #include "baseline/interp.hh"
+#include "bench_support/json_report.hh"
 #include "kcm/kcm.hh"
 #include "mem/zone_check.hh"
 #include "service/supervisor.hh"
@@ -516,7 +517,7 @@ main(int argc, char **argv)
     int queries = 200;
     unsigned workers = 4;
     bool overhead = false;
-    std::string json_path = "BENCH_chaos.json";
+    std::string json_path = benchOutputPath("BENCH_chaos.json");
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--queries") && i + 1 < argc)

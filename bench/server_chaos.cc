@@ -1,0 +1,905 @@
+/**
+ * @file
+ * Network chaos harness: the always-on query server under hostile
+ * clients and a hostile network.
+ *
+ * Spawns a real kcm_serverd daemon (fork/exec, ephemeral port), then
+ * drives it with N concurrent clients whose workload is laced with
+ * five fault families:
+ *
+ *   clean        well-behaved query/reply round trips (the carrier —
+ *                every other family also issues real queries)
+ *   garbage      binary/malformed frames before a real query; the
+ *                server must answer "bad_request" and keep the
+ *                connection serviceable
+ *   slow_loris   requests trickled byte-by-byte; a trickle inside the
+ *                read deadline must succeed, one past it must be
+ *                rejected and the connection closed
+ *   drop         the client sends a query and vanishes mid-flight
+ *                (RST, no read); the server must complete the query
+ *                and survive the dead socket
+ *   corrupt      the "corrupt_cache" chaos hook flips a bit in the
+ *                warm snapshot-template cache right before a query
+ *                that would hit it; the checksum layers must eat the
+ *                corruption (evict + recompile) — never a wrong answer
+ *
+ * plus a kill-and-restart event: mid-run the daemon is SIGKILLed and
+ * a fresh one spawned; every in-flight query classifies as a
+ * connection failure and every client reconnects and carries on.
+ *
+ * Every completed reply is checked bit-identical against the baseline
+ * interpreter (the differential oracle); everything else must be a
+ * *classified* failure (a structured server reply or an expected
+ * transport event). An unclassified outcome or a divergent answer
+ * fails the harness, as does a daemon crash or a drain that loses an
+ * accepted query: the final SIGTERM must yield exit 0 with
+ * accepted == replied.
+ *
+ * Modes:
+ *   (default)      chaos sweep; writes BENCH_server_chaos.json
+ *   --cache-bench  warm-cache speedup: compile+link+download vs
+ *                  snapshot-template restore, measured both in-process
+ *                  and as client-observed latency; writes
+ *                  BENCH_server_cache.json
+ *
+ * Options: --clients N (default 10), --queries N (per client, default
+ * 60), --serverd PATH (default: sibling ../tools/kcm_serverd, or
+ * $KCM_SERVERD), --json PATH, --no-kill (skip the kill-restart event;
+ * the TSan CI leg uses it — SIGKILL mid-write is outside TSan's
+ * supported model).
+ *
+ * Exit codes: 0 = every query matched or failed classified and the
+ * drain was clean; 1 = divergence / lost query / daemon crash;
+ * 2 = harness error.
+ */
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "baseline/interp.hh"
+#include "bench_support/json_report.hh"
+#include "core/snapshot.hh"
+#include "kcm/kcm.hh"
+#include "service/client.hh"
+
+using namespace kcm;
+using service::Client;
+using service::ClientReply;
+using service::IoStatus;
+
+namespace
+{
+
+const char *chaosProgram = R"PROLOG(
+sumto(0, 0).
+sumto(N, S) :- N > 0, M is N - 1, sumto(M, T), S is T + N.
+
+mklist(0, []).
+mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).
+
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+
+rev([], []).
+rev([H|T], R) :- rev(T, RT), app(RT, [H], R).
+
+suml([], A, A).
+suml([H|T], A, S) :- B is A + H, suml(T, B, S).
+
+revsum(N, S) :- mklist(N, L), rev(L, R), suml(R, 0, S).
+)PROLOG";
+
+/** Normalize fresh-variable numbering (_NNN differs per process). */
+std::string
+stripVarNumbers(const std::string &s)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+        out += s[i];
+        if (s[i] == '_' && (i == 0 || !isalnum(s[i - 1]))) {
+            while (i + 1 < s.size() && isdigit(s[i + 1]))
+                ++i;
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------ //
+// Oracle: the baseline interpreter, big-stack pthread + answer cache
+// (same pattern as chaos_recovery).
+// ------------------------------------------------------------------ //
+
+struct OracleTask
+{
+    baseline::Interpreter *interp = nullptr;
+    const std::string *goal = nullptr;
+    std::string answers;
+    std::string error;
+};
+
+void *
+oracleThreadMain(void *arg)
+{
+    auto *task = static_cast<OracleTask *>(arg);
+    baseline::InterpResult res = task->interp->query(*task->goal, 1);
+    for (const auto &s : res.solutions)
+        task->answers += stripVarNumbers(s.toString()) + ";";
+    task->error = res.error;
+    return nullptr;
+}
+
+class Oracle
+{
+  public:
+    Oracle() { interp_.consult(chaosProgram); }
+
+    /** (answers, error) for @p goal, first solution only. */
+    std::pair<std::string, std::string>
+    answer(const std::string &goal)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(goal);
+        if (it != cache_.end())
+            return it->second;
+        OracleTask task;
+        task.interp = &interp_;
+        task.goal = &goal;
+        pthread_attr_t attr;
+        pthread_attr_init(&attr);
+        pthread_attr_setstacksize(&attr, size_t(1) << 30);
+        pthread_t tid;
+        if (pthread_create(&tid, &attr, oracleThreadMain, &task) != 0)
+            fatal("cannot spawn oracle thread");
+        pthread_join(tid, nullptr);
+        pthread_attr_destroy(&attr);
+        auto entry = std::make_pair(task.answers, task.error);
+        cache_[goal] = entry;
+        return entry;
+    }
+
+  private:
+    std::mutex mutex_;
+    baseline::Interpreter interp_;
+    std::map<std::string, std::pair<std::string, std::string>> cache_;
+};
+
+// ------------------------------------------------------------------ //
+// Daemon management: fork/exec kcm_serverd, ephemeral port reported
+// on its stdout; SIGKILL for the crash family, SIGTERM for the final
+// drain assertion.
+// ------------------------------------------------------------------ //
+
+std::string
+serverdPath(const std::string &override_path)
+{
+    if (!override_path.empty())
+        return override_path;
+    if (const char *env = std::getenv("KCM_SERVERD"))
+        return env;
+    // Sibling of this binary: build/bench/server_chaos →
+    // build/tools/kcm_serverd.
+    char exe[4096];
+    ssize_t n = readlink("/proc/self/exe", exe, sizeof exe - 1);
+    if (n <= 0)
+        return "kcm_serverd";
+    exe[n] = '\0';
+    std::string dir(exe);
+    size_t slash = dir.rfind('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    return dir + "/../tools/kcm_serverd";
+}
+
+struct Daemon
+{
+    pid_t pid = -1;
+    int outFd = -1; ///< daemon stdout (port line, final drain line)
+    uint16_t port = 0;
+
+    void
+    closeFd()
+    {
+        if (outFd >= 0) {
+            ::close(outFd);
+            outFd = -1;
+        }
+    }
+};
+
+/** Read one '\n'-terminated line from @p fd (blocking, short reads). */
+std::string
+readLineFd(int fd)
+{
+    std::string line;
+    char c;
+    while (read(fd, &c, 1) == 1) {
+        if (c == '\n')
+            break;
+        line += c;
+    }
+    return line;
+}
+
+Daemon
+spawnDaemon(const std::string &path)
+{
+    int pipefd[2];
+    if (pipe(pipefd) < 0)
+        fatal("pipe(): ", strerror(errno));
+
+    pid_t pid = fork();
+    if (pid < 0)
+        fatal("fork(): ", strerror(errno));
+    if (pid == 0) {
+        // Child: stdout → pipe, exec the daemon.
+        dup2(pipefd[1], STDOUT_FILENO);
+        ::close(pipefd[0]);
+        ::close(pipefd[1]);
+        execl(path.c_str(), path.c_str(), "--chaos-hooks", "--workers",
+              "4", "--queue-depth", "256", "--deadline-ms", "20000",
+              "--checkpoint-every", "1", "--read-deadline-ms", "800",
+              "--idle-timeout-ms", "30000", "--drain-grace-ms", "8000",
+              (char *)nullptr);
+        fprintf(stderr, "exec %s: %s\n", path.c_str(), strerror(errno));
+        _exit(127);
+    }
+    ::close(pipefd[1]);
+
+    Daemon d;
+    d.pid = pid;
+    d.outFd = pipefd[0];
+    std::string line = readLineFd(d.outFd);
+    service::JsonObject obj;
+    std::string err;
+    if (!service::parseJsonObject(line, obj, err) ||
+        obj.find("listening") == obj.end())
+        fatal("daemon did not report a port (got '", line, "')");
+    d.port = uint16_t(obj["listening"].asInt());
+    return d;
+}
+
+// ------------------------------------------------------------------ //
+// The sweep.
+// ------------------------------------------------------------------ //
+
+/** Shared daemon endpoint, updated across kill-and-restart. */
+struct Endpoint
+{
+    std::atomic<uint16_t> port{0};
+    std::atomic<uint32_t> generation{0};
+    std::atomic<bool> restarting{false};
+};
+
+struct Tally
+{
+    int matched = 0;  ///< completed, bit-identical to the oracle
+    int diverged = 0; ///< the bug class this harness exists for
+    std::map<std::string, int> classified; ///< every other outcome
+};
+
+struct SweepShared
+{
+    Endpoint endpoint;
+    Oracle oracle;
+    std::atomic<int> issued{0};
+    std::mutex tallyMutex;
+    std::map<std::string, Tally> tallies; ///< per family
+};
+
+/** Deterministic tiny PRNG (no global state, stable across runs). */
+uint32_t
+mix(uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x7feb352d;
+    x ^= x >> 15;
+    x *= 0x846ca68b;
+    x ^= x >> 16;
+    return x;
+}
+
+std::string
+goalFor(uint32_t seed)
+{
+    // A pool of ~50 distinct goals: small enough that even a short
+    // smoke burst repeats some (program, goal) keys and exercises the
+    // warm-template hit path, large enough that the LRU cache still
+    // churns under the full sweep.
+    uint32_t r = mix(seed * 2654435761u + 12345u);
+    if (r % 4 == 0)
+        return cat("revsum(", 10 + (r >> 4) % 10, ", S)");
+    return cat("sumto(", 100 + (r >> 4) % 40, ", S)");
+}
+
+void
+bump(SweepShared &shared, const std::string &family,
+     const std::string &klass)
+{
+    std::lock_guard<std::mutex> lock(shared.tallyMutex);
+    ++shared.tallies[family].classified[klass];
+}
+
+/** Connect to the current endpoint, retrying across a restart. */
+bool
+connectCurrent(Client &client, Endpoint &endpoint)
+{
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        uint16_t port = endpoint.port.load();
+        if (port && client.connect("127.0.0.1", port, 2'000))
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return false;
+}
+
+/** Issue one real query and verify it against the oracle. Returns
+ *  false when the connection needs to be re-established. */
+bool
+verifiedQuery(Client &client, SweepShared &shared,
+              const std::string &family, const std::string &id,
+              const std::string &goal)
+{
+    uint32_t gen = shared.endpoint.generation.load();
+    ClientReply reply =
+        client.query(id, chaosProgram, goal, /*max_solutions=*/1,
+                     /*deadline_ms=*/0, /*timeout_ms=*/60'000);
+    ++shared.issued;
+
+    if (reply.io != IoStatus::Ok || !reply.parsed) {
+        // Transport breakage. Expected — and classified — when the
+        // daemon was killed under us; anything else is still a
+        // classified transport event, never a silent loss.
+        bool killed = shared.endpoint.generation.load() != gen ||
+                      shared.endpoint.restarting.load();
+        bump(shared, family,
+             killed ? "daemon_killed"
+                    : cat("transport_",
+                          service::ioStatusName(reply.io)));
+        return false;
+    }
+
+    const std::string status = reply.status();
+    if (status == "completed") {
+        auto [want_answers, want_error] = shared.oracle.answer(goal);
+        std::string got;
+        auto it = reply.fields.find("answers");
+        if (it != reply.fields.end())
+            for (const auto &a : it->second.items)
+                got += stripVarNumbers(a.str) + ";";
+        std::string got_error = reply.str("error");
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        if (got == want_answers && got_error == want_error) {
+            ++shared.tallies[family].matched;
+        } else {
+            ++shared.tallies[family].diverged;
+            fprintf(stderr,
+                    "DIVERGENCE %s goal=%s\n  server: '%s' err='%s'\n"
+                    "  oracle: '%s' err='%s'\n",
+                    id.c_str(), goal.c_str(), got.c_str(),
+                    got_error.c_str(), want_answers.c_str(),
+                    want_error.c_str());
+        }
+        return true;
+    }
+    if (status == "failed" || status == "overloaded" ||
+        status == "bad_request") {
+        // A structured, classified server-side failure.
+        std::string klass = reply.str("error");
+        bump(shared, family,
+             klass.empty() ? status : cat(status, ":", klass));
+        return true;
+    }
+    bump(shared, family, cat("unexpected_status:", status));
+    std::lock_guard<std::mutex> lock(shared.tallyMutex);
+    ++shared.tallies[family].diverged;
+    return true;
+}
+
+void
+clientMain(SweepShared &shared, int client_id, int queries)
+{
+    Client client;
+    if (!connectCurrent(client, shared.endpoint)) {
+        bump(shared, "clean", "never_connected");
+        return;
+    }
+
+    static const char *families[] = {"clean", "garbage", "slow_loris",
+                                     "drop", "corrupt"};
+    for (int i = 0; i < queries; ++i) {
+        uint32_t seed = uint32_t(client_id) * 10'000 + uint32_t(i);
+        const std::string family = families[(client_id + i) % 5];
+        const std::string goal = goalFor(seed);
+        const std::string id = cat("c", client_id, "/q", i);
+
+        if (!client.connected() &&
+            !connectCurrent(client, shared.endpoint)) {
+            bump(shared, family, "reconnect_failed");
+            return;
+        }
+
+        bool ok = true;
+        if (family == "clean") {
+            ok = verifiedQuery(client, shared, family, id, goal);
+        } else if (family == "garbage") {
+            // A garbage frame (binary junk, unterminated JSON, raw
+            // control bytes) must yield bad_request and leave the
+            // connection usable for the real query that follows.
+            static const char *frames[] = {
+                "\x01\x02\xff\xfe binary junk",
+                "{\"op\": \"query\", \"program\": ",
+                "]]]}{{{",
+                "{\"op\": [\"nested\", {\"not\": \"allowed\"}]}",
+            };
+            std::string frame = frames[mix(seed) % 4];
+            if (client.sendLine(frame) != IoStatus::Ok) {
+                bump(shared, family, "transport_send");
+                ok = false;
+            } else {
+                ClientReply r = client.readReply(10'000);
+                if (r.io == IoStatus::Ok &&
+                    r.status() == "bad_request") {
+                    bump(shared, family, "garbage_rejected");
+                    ok = verifiedQuery(client, shared, family, id,
+                                       goal);
+                } else {
+                    bump(shared, family,
+                         cat("garbage_unrejected:",
+                             service::ioStatusName(r.io)));
+                    ok = false;
+                }
+            }
+        } else if (family == "slow_loris") {
+            service::JsonWriter w;
+            w.field("op", "query")
+                .field("id", id)
+                .field("program", chaosProgram)
+                .field("goal", goal)
+                .field("max_solutions", uint64_t(1));
+            std::string frame = w.str() + "\n";
+            if (mix(seed + 7) % 2 == 0) {
+                // Inside the read deadline (800 ms): ~6 large chunks,
+                // 25 ms apart. Must be served normally.
+                IoStatus st = client.sendSlowly(
+                    frame, frame.size() / 6 + 1, 25);
+                ++shared.issued;
+                if (st != IoStatus::Ok) {
+                    bump(shared, family, "transport_send");
+                    ok = false;
+                } else {
+                    ClientReply r = client.readReply(60'000);
+                    if (r.io == IoStatus::Ok &&
+                        r.status() == "completed") {
+                        auto [want, want_err] =
+                            shared.oracle.answer(goal);
+                        std::string got;
+                        auto itf = r.fields.find("answers");
+                        if (itf != r.fields.end())
+                            for (const auto &a : itf->second.items)
+                                got += stripVarNumbers(a.str) + ";";
+                        std::lock_guard<std::mutex> lock(
+                            shared.tallyMutex);
+                        if (got == want &&
+                            r.str("error") == want_err) {
+                            ++shared.tallies[family].matched;
+                        } else {
+                            ++shared.tallies[family].diverged;
+                            fprintf(stderr,
+                                    "DIVERGENCE (slow) %s\n",
+                                    id.c_str());
+                        }
+                    } else if (r.io == IoStatus::Ok) {
+                        bump(shared, family,
+                             cat("slow_ok_variant:", r.status()));
+                    } else {
+                        bump(shared, family,
+                             cat("slow_ok_transport:",
+                                 service::ioStatusName(r.io)));
+                        ok = false;
+                    }
+                }
+            } else {
+                // Past the read deadline: trickle ~2.5 s of a frame.
+                // The server must reject and close — if it serves the
+                // request anyway, the slow-loris bound is broken.
+                IoStatus st = client.sendSlowly(
+                    frame.substr(0, 50), 5, 250);
+                ClientReply r = client.readReply(10'000);
+                if (r.io == IoStatus::Ok &&
+                    r.status() == "bad_request") {
+                    bump(shared, family, "loris_rejected");
+                } else if (r.io == IoStatus::Closed ||
+                           st != IoStatus::Ok) {
+                    bump(shared, family, "loris_closed");
+                } else {
+                    bump(shared, family, "loris_not_rejected");
+                    std::lock_guard<std::mutex> lock(
+                        shared.tallyMutex);
+                    ++shared.tallies[family].diverged;
+                }
+                client.close();
+                ok = false; // reconnect
+            }
+        } else if (family == "drop") {
+            // Send a real query and vanish (RST, nothing read). The
+            // daemon still executes and replies into the dead socket;
+            // its accounting must absorb that without crashing.
+            service::JsonWriter w;
+            w.field("op", "query")
+                .field("id", id)
+                .field("program", chaosProgram)
+                .field("goal", goal)
+                .field("max_solutions", uint64_t(1));
+            if (client.sendLine(w.str()) == IoStatus::Ok) {
+                ++shared.issued;
+                bump(shared, family, "client_aborted");
+            } else {
+                bump(shared, family, "transport_send");
+            }
+            client.abort();
+            ok = false; // reconnect
+        } else { // corrupt
+            // Flip a bit in the hottest cache template, then query:
+            // the checksum layers must turn the corruption into a
+            // recompile, never into a wrong answer.
+            if (client.sendLine("{\"op\": \"corrupt_cache\"}") ==
+                IoStatus::Ok) {
+                ClientReply ack = client.readReply(10'000);
+                if (ack.io != IoStatus::Ok) {
+                    bump(shared, family, "corrupt_ack_lost");
+                    ok = false;
+                } else {
+                    ok = verifiedQuery(client, shared, family, id,
+                                       goal);
+                }
+            } else {
+                bump(shared, family, "transport_send");
+                ok = false;
+            }
+        }
+
+        if (!ok)
+            client.close();
+    }
+}
+
+int
+chaosSweep(int clients, int queries_per_client,
+           const std::string &serverd, const std::string &json_path,
+           bool kill_restart)
+{
+    SweepShared shared;
+
+    Daemon daemon = spawnDaemon(serverd);
+    shared.endpoint.port.store(daemon.port);
+    printf("server_chaos: daemon pid %d on port %u; %d clients x %d "
+           "queries\n",
+           int(daemon.pid), unsigned(daemon.port), clients,
+           queries_per_client);
+
+    std::vector<std::thread> threads;
+    threads.reserve(size_t(clients));
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back(
+            [&shared, c, queries_per_client] {
+                clientMain(shared, c, queries_per_client);
+            });
+
+    // Kill-and-restart: once half the workload is through, SIGKILL
+    // the daemon mid-flight and bring up a fresh one. Clients classify
+    // the breakage and carry on against the new instance.
+    const int total = clients * queries_per_client;
+    int restarts = 0;
+    if (kill_restart) {
+        while (shared.issued.load() < total / 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        shared.endpoint.restarting.store(true);
+        kill(daemon.pid, SIGKILL);
+        int status = 0;
+        waitpid(daemon.pid, &status, 0);
+        daemon.closeFd();
+        printf("server_chaos: SIGKILLed daemon pid %d mid-run\n",
+               int(daemon.pid));
+        daemon = spawnDaemon(serverd);
+        shared.endpoint.port.store(daemon.port);
+        shared.endpoint.generation.fetch_add(1);
+        shared.endpoint.restarting.store(false);
+        ++restarts;
+        printf("server_chaos: restarted as pid %d on port %u\n",
+               int(daemon.pid), unsigned(daemon.port));
+    }
+
+    for (std::thread &t : threads)
+        t.join();
+
+    // The daemon must still be alive and serviceable.
+    int status = 0;
+    if (waitpid(daemon.pid, &status, WNOHANG) != 0) {
+        fprintf(stderr, "server_chaos: daemon died during the sweep\n");
+        return 1;
+    }
+    uint64_t cache_hits = 0, cache_corrupt = 0;
+    {
+        Client probe;
+        if (!probe.connect("127.0.0.1", daemon.port, 2'000)) {
+            fprintf(stderr,
+                    "server_chaos: daemon unreachable after sweep\n");
+            return 1;
+        }
+        ClientReply s = probe.stats();
+        if (s.io != IoStatus::Ok || s.status() != "ok") {
+            fprintf(stderr, "server_chaos: stats probe failed\n");
+            return 1;
+        }
+        cache_hits = uint64_t(s.num("cache_hits"));
+        cache_corrupt = uint64_t(s.num("cache_corrupt_evictions") +
+                                 s.num("corrupt_retries"));
+    }
+
+    // Final drain: SIGTERM must exit 0 and lose no accepted query.
+    kill(daemon.pid, SIGTERM);
+    waitpid(daemon.pid, &status, 0);
+    bool clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::string drain_line = readLineFd(daemon.outFd);
+    daemon.closeFd();
+    uint64_t accepted = 0, replied = 0;
+    {
+        service::JsonObject obj;
+        std::string err;
+        if (service::parseJsonObject(drain_line, obj, err)) {
+            accepted = uint64_t(obj["accepted"].asInt());
+            replied = uint64_t(obj["replied"].asInt());
+        }
+    }
+
+    // ---- report ----
+    int diverged = 0, matched = 0, classified = 0;
+    printf("\n%-12s %8s %8s  %s\n", "family", "matched", "diverged",
+           "classified");
+    {
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        for (const auto &[family, tally] : shared.tallies) {
+            matched += tally.matched;
+            diverged += tally.diverged;
+            std::string detail;
+            for (const auto &[klass, n] : tally.classified) {
+                classified += n;
+                detail += cat(klass, "=", n, " ");
+            }
+            printf("%-12s %8d %8d  %s\n", family.c_str(),
+                   tally.matched, tally.diverged, detail.c_str());
+        }
+    }
+    printf("\ndrain: exit %s, accepted=%llu replied=%llu; "
+           "cache_hits=%llu corrupt_evictions+retries=%llu; "
+           "restarts=%d\n",
+           clean_exit ? "0" : "NONZERO",
+           (unsigned long long)accepted, (unsigned long long)replied,
+           (unsigned long long)cache_hits,
+           (unsigned long long)cache_corrupt, restarts);
+
+    bool lost = accepted != replied;
+    bool no_hits = cache_hits == 0;
+    if (diverged)
+        fprintf(stderr, "server_chaos: %d divergences\n", diverged);
+    if (!clean_exit)
+        fprintf(stderr, "server_chaos: drain exit was not 0\n");
+    if (lost)
+        fprintf(stderr, "server_chaos: drain lost %lld replies\n",
+                (long long)accepted - (long long)replied);
+    if (no_hits)
+        fprintf(stderr, "server_chaos: warm cache never hit\n");
+
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        fprintf(f, "{\n  \"label\": \"server_chaos\",\n");
+        fprintf(f,
+                "  \"clients\": %d,\n  \"queriesPerClient\": %d,\n"
+                "  \"restarts\": %d,\n",
+                clients, queries_per_client, restarts);
+        fprintf(f, "  \"families\": [\n");
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        size_t fi = 0;
+        for (const auto &[family, tally] : shared.tallies) {
+            fprintf(f,
+                    "    {\"name\": \"%s\", \"matched\": %d, "
+                    "\"diverged\": %d, \"classified\": {",
+                    family.c_str(), tally.matched, tally.diverged);
+            size_t ci = 0;
+            for (const auto &[klass, n] : tally.classified)
+                fprintf(f, "%s\"%s\": %d",
+                        ci++ ? ", " : "", klass.c_str(), n);
+            fprintf(f, "}}%s\n",
+                    ++fi < shared.tallies.size() ? "," : "");
+        }
+        fprintf(f, "  ],\n");
+        fprintf(f,
+                "  \"drain\": {\"cleanExit\": %s, \"accepted\": %llu, "
+                "\"replied\": %llu},\n"
+                "  \"cacheHits\": %llu,\n"
+                "  \"corruptEvictions\": %llu\n}\n",
+                clean_exit ? "true" : "false",
+                (unsigned long long)accepted,
+                (unsigned long long)replied,
+                (unsigned long long)cache_hits,
+                (unsigned long long)cache_corrupt);
+        std::fclose(f);
+        printf("wrote %s\n", json_path.c_str());
+    }
+
+    return (diverged || !clean_exit || lost || no_hits) ? 1 : 0;
+}
+
+// ------------------------------------------------------------------ //
+// --cache-bench: what does the warm template actually buy?
+// ------------------------------------------------------------------ //
+
+int
+cacheBench(const std::string &serverd, const std::string &json_path)
+{
+    const std::string goal = "revsum(25, S)";
+    const int reps = 20;
+
+    // In-process: the miss path (consult + compile + static link +
+    // download + snapshot) vs the hit path (restore the template).
+    using Clock = std::chrono::steady_clock;
+    double compile_us = 0, restore_us = 0;
+    Snapshot tmpl;
+    for (int i = 0; i < reps; ++i) {
+        auto t0 = Clock::now();
+        KcmSystem system;
+        system.consultStandardLibrary(); // the server's miss path
+        system.consult(chaosProgram);
+        CodeImage image = system.compileOnly(goal);
+        Machine machine;
+        machine.load(image);
+        Snapshot snap = takeSnapshot(machine);
+        compile_us += std::chrono::duration<double, std::micro>(
+                          Clock::now() - t0)
+                          .count();
+        tmpl = std::move(snap);
+    }
+    for (int i = 0; i < reps; ++i) {
+        auto t0 = Clock::now();
+        Machine machine;
+        restoreSnapshot(machine, tmpl);
+        restore_us += std::chrono::duration<double, std::micro>(
+                          Clock::now() - t0)
+                          .count();
+    }
+    compile_us /= reps;
+    restore_us /= reps;
+
+    // Client-observed: end-to-end latency of the first (miss) query
+    // vs the mean of the warm repeats, against a real daemon.
+    Daemon daemon = spawnDaemon(serverd);
+    Client client;
+    if (!client.connect("127.0.0.1", daemon.port, 2'000)) {
+        fprintf(stderr, "cache-bench: cannot connect\n");
+        return 2;
+    }
+    auto timedQuery = [&](int i) -> double {
+        auto t0 = Clock::now();
+        ClientReply r = client.query(cat("b", i), chaosProgram, goal,
+                                     1, 0, 60'000);
+        if (r.io != IoStatus::Ok || r.status() != "completed") {
+            fprintf(stderr, "cache-bench: query %d failed (%s)\n", i,
+                    r.raw.c_str());
+            return -1;
+        }
+        return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                         t0)
+            .count();
+    };
+    double miss_us = timedQuery(0);
+    double hit_us = 0;
+    for (int i = 1; i <= reps; ++i) {
+        double us = timedQuery(i);
+        if (us < 0 || miss_us < 0)
+            return 1;
+        hit_us += us;
+    }
+    hit_us /= reps;
+
+    ClientReply s = client.stats();
+    uint64_t hits = uint64_t(s.num("cache_hits"));
+    client.close();
+    kill(daemon.pid, SIGTERM);
+    int status = 0;
+    waitpid(daemon.pid, &status, 0);
+    daemon.closeFd();
+
+    printf("warm-cache speedup (%d reps, goal %s):\n", reps,
+           goal.c_str());
+    printf("  in-process: compile+link+download %.0f us, template "
+           "restore %.0f us  -> %.1fx\n",
+           compile_us, restore_us, compile_us / restore_us);
+    printf("  client-observed: cold %.0f us, warm %.0f us -> %.1fx "
+           "(cache_hits=%llu)\n",
+           miss_us, hit_us, miss_us / hit_us,
+           (unsigned long long)hits);
+
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        fprintf(f,
+                "{\n  \"label\": \"server_cache\",\n  \"reps\": %d,\n"
+                "  \"compileMicros\": %.1f,\n"
+                "  \"restoreMicros\": %.1f,\n"
+                "  \"inProcessSpeedup\": %.2f,\n"
+                "  \"clientColdMicros\": %.1f,\n"
+                "  \"clientWarmMicros\": %.1f,\n"
+                "  \"clientSpeedup\": %.2f,\n"
+                "  \"cacheHits\": %llu\n}\n",
+                reps, compile_us, restore_us, compile_us / restore_us,
+                miss_us, hit_us, miss_us / hit_us,
+                (unsigned long long)hits);
+        std::fclose(f);
+        printf("wrote %s\n", json_path.c_str());
+    }
+
+    return hits == 0 ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int clients = 10;
+    int queries = 60;
+    bool cache_bench = false;
+    bool kill_restart = true;
+    std::string serverd;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--clients") && i + 1 < argc)
+            clients = std::max(1, atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--queries") && i + 1 < argc)
+            queries = std::max(1, atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--serverd") && i + 1 < argc)
+            serverd = argv[++i];
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--cache-bench"))
+            cache_bench = true;
+        else if (!std::strcmp(argv[i], "--no-kill"))
+            kill_restart = false;
+        else {
+            fprintf(stderr,
+                    "usage: server_chaos [--clients N] [--queries N] "
+                    "[--serverd PATH] [--json PATH] [--cache-bench] "
+                    "[--no-kill]\n");
+            return 2;
+        }
+    }
+    if (json_path.empty())
+        json_path = benchOutputPath(cache_bench
+                                        ? "BENCH_server_cache.json"
+                                        : "BENCH_server_chaos.json");
+
+    signal(SIGPIPE, SIG_IGN);
+    try {
+        std::string path = serverdPath(serverd);
+        return cache_bench
+                   ? cacheBench(path, json_path)
+                   : chaosSweep(clients, queries, path, json_path,
+                                kill_restart);
+    } catch (const std::exception &e) {
+        fprintf(stderr, "server_chaos: %s\n", e.what());
+        return 2;
+    }
+}

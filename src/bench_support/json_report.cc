@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace kcm
@@ -93,14 +94,30 @@ benchRunsJson(const std::string &label, const std::vector<BenchRun> &runs,
     return os.str();
 }
 
+std::string
+benchOutputPath(const std::string &filename)
+{
+    if (filename.find('/') != std::string::npos)
+        return filename; // explicit path: the caller decided
+    const char *dir = std::getenv("KCM_BENCH_DIR");
+    if (!dir || !*dir)
+        return filename;
+    std::string path = dir;
+    if (path.back() != '/')
+        path += '/';
+    return path + filename;
+}
+
 void
 writeBenchJson(const std::string &path, const std::string &label,
                const std::vector<BenchRun> &runs, unsigned jobs,
                double host_wall_seconds)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::string resolved = benchOutputPath(path);
+    std::FILE *f = std::fopen(resolved.c_str(), "w");
     if (!f) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     resolved.c_str());
         return;
     }
     std::string text = benchRunsJson(label, runs, jobs, host_wall_seconds);

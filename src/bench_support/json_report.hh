@@ -24,8 +24,18 @@ std::string benchRunsJson(const std::string &label,
                           const std::vector<BenchRun> &runs, unsigned jobs,
                           double host_wall_seconds);
 
-/** Write benchRunsJson to @p path (logs a warning on failure rather
- *  than aborting a benchmark that already ran). */
+/**
+ * Resolve where a BENCH_*.json report lands: $KCM_BENCH_DIR/<filename>
+ * when the environment variable is set (CI exports it so every
+ * driver's report collects in one stable directory for artifact
+ * upload), else <filename> in the working directory as before. A
+ * @p filename that is already an explicit path (contains '/') is
+ * returned untouched — a user's --json override always wins.
+ */
+std::string benchOutputPath(const std::string &filename);
+
+/** Write benchRunsJson to benchOutputPath(@p path) (logs a warning on
+ *  failure rather than aborting a benchmark that already ran). */
 void writeBenchJson(const std::string &path, const std::string &label,
                     const std::vector<BenchRun> &runs, unsigned jobs,
                     double host_wall_seconds);

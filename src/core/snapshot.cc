@@ -701,6 +701,19 @@ takeSnapshot(Machine &machine)
     return snap;
 }
 
+bool
+validateSnapshot(const Snapshot &snapshot, std::string *why)
+{
+    try {
+        parseAndVerify(snapshot.bytes);
+        return true;
+    } catch (const FatalError &e) {
+        if (why)
+            *why = e.what();
+        return false;
+    }
+}
+
 void
 restoreSnapshot(Machine &machine, const Snapshot &snapshot)
 {

@@ -39,6 +39,7 @@
 #define KCM_CORE_SNAPSHOT_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace kcm
@@ -58,6 +59,16 @@ Snapshot takeSnapshot(Machine &machine);
 /** Load @p snapshot into @p machine (same MachineConfig as the
  *  source). Fatal on a corrupt or truncated image. */
 void restoreSnapshot(Machine &machine, const Snapshot &snapshot);
+
+/**
+ * Structural validation only: parse the KCMSNAP2 container and verify
+ * every section length and checksum without touching any machine.
+ * Returns false (and fills @p why when non-null) on a truncated or
+ * bit-flipped image. This is the cheap re-validation a snapshot cache
+ * runs before handing a template to a worker: a corrupt entry is
+ * detected here, evicted and recompiled instead of ever being served.
+ */
+bool validateSnapshot(const Snapshot &snapshot, std::string *why = nullptr);
 
 } // namespace kcm
 

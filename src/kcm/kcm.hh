@@ -19,6 +19,7 @@
 #ifndef KCM_KCM_HH
 #define KCM_KCM_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,11 @@ struct QueryResult
     /** True when the program executed halt/0 (the run stopped without
      *  exhausting alternatives). */
     bool halted = false;
+
+    /** True when the interruptible query() overload stopped early
+     *  because its poll callback asked for it (SIGINT/SIGTERM in the
+     *  drivers); the collected solutions are a valid partial result. */
+    bool interrupted = false;
 
     /** True when the run ended in a machine trap instead of a normal
      *  halt/fail; @ref trap then holds the structured report. */
@@ -94,6 +100,19 @@ class KcmSystem
 
     /** Compile and run a query; collects up to maxSolutions. */
     QueryResult query(const std::string &goal);
+
+    /**
+     * Interruptible variant: runs the query in host slices of
+     * @p poll_slice_cycles simulated cycles and calls @p interrupted
+     * between slices (and between solutions); when it returns true the
+     * run stops at that instruction boundary with the solutions
+     * collected so far and QueryResult::interrupted set. Slice stops
+     * are pure host machinery, so all simulated metrics are
+     * bit-identical to the plain overload.
+     */
+    QueryResult query(const std::string &goal,
+                      const std::function<bool()> &interrupted,
+                      uint64_t poll_slice_cycles = 4'000'000);
 
     /** Compile the current program plus @p goal without running. */
     CodeImage compileOnly(const std::string &goal);

@@ -1,0 +1,236 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace kcm::service
+{
+
+namespace
+{
+/** Frame cap for replies; matches the server's request cap. */
+constexpr size_t replyLineCap = 4u << 20;
+} // namespace
+
+std::string
+ClientReply::status() const
+{
+    return str("status");
+}
+
+std::string
+ClientReply::str(const std::string &key) const
+{
+    auto it = fields.find(key);
+    if (it == fields.end() || !it->second.isString())
+        return "";
+    return it->second.str;
+}
+
+int64_t
+ClientReply::num(const std::string &key, int64_t fallback) const
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        return fallback;
+    return it->second.asInt(fallback);
+}
+
+Client::Client() = default;
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &host, uint16_t port,
+                uint64_t timeout_ms)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error_ = cat("socket(): ", strerror(errno));
+        return false;
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        error_ = cat("bad address '", host, "'");
+        close();
+        return false;
+    }
+
+    // Nonblocking connect with a deadline, then back to blocking mode
+    // (all further I/O is poll-bounded anyway).
+    int flags = fcntl(fd_, F_GETFL, 0);
+    fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rv = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    if (rv < 0 && errno != EINPROGRESS) {
+        error_ = cat("connect(): ", strerror(errno));
+        close();
+        return false;
+    }
+    if (rv < 0) {
+        pollfd pfd{fd_, POLLOUT, 0};
+        rv = poll(&pfd, 1, int(timeout_ms));
+        if (rv <= 0) {
+            error_ = rv == 0 ? "connect timeout"
+                             : cat("poll(): ", strerror(errno));
+            close();
+            return false;
+        }
+        int soerr = 0;
+        socklen_t len = sizeof soerr;
+        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr != 0) {
+            error_ = cat("connect(): ", strerror(soerr));
+            close();
+            return false;
+        }
+    }
+    fcntl(fd_, F_SETFL, flags);
+    reader_ = std::make_unique<LineReader>(fd_, replyLineCap);
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_.reset();
+}
+
+void
+Client::abort()
+{
+    if (fd_ >= 0) {
+        // RST instead of FIN: simulate a client that vanished.
+        linger lg{1, 0};
+        setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    }
+    close();
+}
+
+IoStatus
+Client::sendLine(const std::string &line, uint64_t timeout_ms)
+{
+    return sendRaw(line + "\n", timeout_ms);
+}
+
+IoStatus
+Client::sendRaw(const std::string &bytes, uint64_t timeout_ms)
+{
+    if (fd_ < 0) {
+        error_ = "not connected";
+        return IoStatus::Error;
+    }
+    IoStatus st =
+        writeAllDeadline(fd_, bytes.data(), bytes.size(), timeout_ms);
+    if (st != IoStatus::Ok)
+        error_ = cat("send: ", ioStatusName(st));
+    return st;
+}
+
+IoStatus
+Client::sendSlowly(const std::string &bytes, size_t chunk,
+                   uint64_t delay_ms)
+{
+    if (chunk == 0)
+        chunk = 1;
+    for (size_t off = 0; off < bytes.size(); off += chunk) {
+        IoStatus st = sendRaw(bytes.substr(off, chunk), 2'000);
+        if (st != IoStatus::Ok)
+            return st;
+        if (off + chunk < bytes.size())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+    }
+    return IoStatus::Ok;
+}
+
+ClientReply
+Client::readReply(uint64_t timeout_ms)
+{
+    ClientReply reply;
+    if (fd_ < 0 || !reader_) {
+        error_ = "not connected";
+        reply.io = IoStatus::Error;
+        return reply;
+    }
+    reply.io = reader_->next(reply.raw, timeout_ms, timeout_ms);
+    if (reply.io != IoStatus::Ok) {
+        error_ = cat("read: ", ioStatusName(reply.io));
+        return reply;
+    }
+    std::string parse_error;
+    reply.parsed = parseJsonObject(reply.raw, reply.fields, parse_error);
+    if (!reply.parsed)
+        error_ = cat("reply parse: ", parse_error);
+    return reply;
+}
+
+ClientReply
+Client::query(const std::string &id, const std::string &program,
+              const std::string &goal, size_t max_solutions,
+              uint64_t deadline_ms, uint64_t timeout_ms)
+{
+    JsonWriter w;
+    w.field("op", "query")
+        .field("id", id)
+        .field("program", program)
+        .field("goal", goal)
+        .field("max_solutions", uint64_t(max_solutions));
+    if (deadline_ms)
+        w.field("deadline_ms", deadline_ms);
+    IoStatus st = sendLine(w.str());
+    if (st != IoStatus::Ok) {
+        ClientReply reply;
+        reply.io = st;
+        return reply;
+    }
+    return readReply(timeout_ms);
+}
+
+ClientReply
+Client::ping(uint64_t timeout_ms)
+{
+    IoStatus st = sendLine(JsonWriter().field("op", "ping").str());
+    if (st != IoStatus::Ok) {
+        ClientReply reply;
+        reply.io = st;
+        return reply;
+    }
+    return readReply(timeout_ms);
+}
+
+ClientReply
+Client::stats(uint64_t timeout_ms)
+{
+    IoStatus st = sendLine(JsonWriter().field("op", "stats").str());
+    if (st != IoStatus::Ok) {
+        ClientReply reply;
+        reply.io = st;
+        return reply;
+    }
+    return readReply(timeout_ms);
+}
+
+} // namespace kcm::service

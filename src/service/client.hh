@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Client for the always-on KCM query server.
+ *
+ * Speaks the newline-delimited JSON protocol (server.hh) over a
+ * blocking TCP connection with deadline-bounded I/O. Exposes both a
+ * well-behaved path (query/ping/stats: send one request, wait for its
+ * reply) and the raw knobs the network chaos harness needs to be a
+ * *badly*-behaved client: partial writes with delays (slow loris),
+ * arbitrary garbage frames, and mid-query disconnects.
+ */
+
+#ifndef KCM_SERVICE_CLIENT_HH
+#define KCM_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/wire.hh"
+
+namespace kcm::service
+{
+
+/** One decoded server reply plus transport status. */
+struct ClientReply
+{
+    IoStatus io = IoStatus::Ok; ///< transport verdict
+    std::string raw;            ///< reply line as received
+    JsonObject fields;          ///< decoded (valid when parsed)
+    bool parsed = false;
+
+    /** The reply's "status" field ("" when unparsed). */
+    std::string status() const;
+    /** A string field by name ("" when absent). */
+    std::string str(const std::string &key) const;
+    /** An integer field by name. */
+    int64_t num(const std::string &key, int64_t fallback = 0) const;
+};
+
+class Client
+{
+  public:
+    Client();
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the server; false (with error()) on failure. */
+    bool connect(const std::string &host, uint16_t port,
+                 uint64_t timeout_ms = 5'000);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Last transport error diagnostic. */
+    const std::string &error() const { return error_; }
+
+    /** Send one already-framed line (newline appended). */
+    IoStatus sendLine(const std::string &line,
+                      uint64_t timeout_ms = 5'000);
+
+    /** Read the next reply line and decode it. */
+    ClientReply readReply(uint64_t timeout_ms = 30'000);
+
+    /** query op round-trip: send, then wait for the reply. */
+    ClientReply query(const std::string &id, const std::string &program,
+                      const std::string &goal, size_t max_solutions = 0,
+                      uint64_t deadline_ms = 0,
+                      uint64_t timeout_ms = 60'000);
+
+    ClientReply ping(uint64_t timeout_ms = 5'000);
+    ClientReply stats(uint64_t timeout_ms = 5'000);
+
+    // --- chaos knobs -------------------------------------------- //
+
+    /** Write raw bytes verbatim (no framing, no validation). */
+    IoStatus sendRaw(const std::string &bytes,
+                     uint64_t timeout_ms = 5'000);
+
+    /** Slow loris: trickle @p bytes in @p chunk-byte pieces with
+     *  @p delay_ms between pieces. Stops early if the server gives up
+     *  on us (returns the transport status). */
+    IoStatus sendSlowly(const std::string &bytes, size_t chunk,
+                        uint64_t delay_ms);
+
+    /** Abruptly drop the connection (no shutdown handshake). */
+    void abort();
+
+  private:
+    int fd_ = -1;
+    std::unique_ptr<LineReader> reader_;
+    std::string error_;
+};
+
+} // namespace kcm::service
+
+#endif // KCM_SERVICE_CLIENT_HH

@@ -1,0 +1,203 @@
+#include "service/image_cache.hh"
+
+#include "base/logging.hh"
+
+namespace kcm::service
+{
+
+namespace
+{
+
+constexpr uint64_t fnvOffset = 14695981039346656037ull;
+constexpr uint64_t fnvPrime = 1099511628211ull;
+
+void
+fnvMix(uint64_t &h, const void *data, size_t size)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= fnvPrime;
+    }
+}
+
+void
+fnvMixStr(uint64_t &h, const std::string &s)
+{
+    fnvMix(h, s.data(), s.size());
+    // Length separator: distinguishes ("ab","c") from ("a","bc").
+    uint64_t len = s.size();
+    fnvMix(h, &len, sizeof len);
+}
+
+template <typename T>
+void
+fnvMixPod(uint64_t &h, const T &v)
+{
+    fnvMix(h, &v, sizeof v);
+}
+
+} // namespace
+
+uint64_t
+imageCacheKey(const std::string &program, const std::string &goal,
+              const MachineConfig &config)
+{
+    uint64_t h = fnvOffset;
+    fnvMixStr(h, program);
+    fnvMixStr(h, goal);
+
+    // Machine-config fingerprint: every knob that changes what a
+    // restored template computes or reports. (fastDispatch and fusion
+    // participate even though snapshots are portable across them —
+    // conservative, and it keeps per-tenant config isolation simple.)
+    fnvMixPod(h, config.mem.memoryWords);
+    fnvMixPod(h, config.shallowBacktracking);
+    fnvMixPod(h, config.timeMemory);
+    fnvMixPod(h, config.fastDispatch);
+    fnvMixPod(h, config.captureOutput);
+    fnvMixPod(h, config.maxCycles);
+    fnvMixPod(h, config.gcThresholdWords);
+    fnvMixPod(h, config.fastDereference);
+    fnvMixPod(h, config.parallelTrailCheck);
+    fnvMixPod(h, config.racBlockMoves);
+    fnvMixPod(h, config.dualPortRegisterFile);
+    fnvMixPod(h, config.catchUnwindCycles);
+    fnvMixPod(h, config.fusion.mode);
+    for (uint16_t s : config.fusion.sequences)
+        fnvMixPod(h, s);
+    fnvMixPod(h, config.governor.cycleBudget);
+    fnvMixPod(h, config.governor.globalQuotaWords);
+    fnvMixPod(h, config.governor.localQuotaWords);
+    fnvMixPod(h, config.governor.controlQuotaWords);
+    fnvMixPod(h, config.governor.trailQuotaWords);
+    fnvMixPod(h, config.governor.growStacks);
+    fnvMixPod(h, config.governor.growthStepWords);
+    fnvMixPod(h, config.governor.zoneCeilingWords);
+    fnvMixPod(h, config.governor.stackGrowCycles);
+    // Fault plans are chaos-harness configuration; a faulted tenant
+    // must not share templates with a clean one.
+    fnvMixPod(h, config.faultPlan.actions.size());
+    for (const FaultAction &a : config.faultPlan.actions) {
+        fnvMixPod(h, a.cycle);
+        fnvMixPod(h, a.kind);
+        fnvMixPod(h, a.zone);
+        fnvMixPod(h, a.limit);
+        fnvMixPod(h, a.addr);
+        fnvMixPod(h, a.raw);
+    }
+    return h;
+}
+
+ImageCache::ImageCache(uint64_t budget_bytes)
+    : budgetBytes_(budget_bytes)
+{
+}
+
+std::shared_ptr<const Snapshot>
+ImageCache::lookup(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    // Re-validate before serving: a template that rotted in the cache
+    // is evicted and reported as a miss (caller recompiles), never
+    // handed to a worker.
+    if (!validateSnapshot(*it->second->snap)) {
+        stats_.bytes -= it->second->bytes;
+        lru_.erase(it->second);
+        index_.erase(it);
+        ++stats_.corruptEvictions;
+        ++stats_.misses;
+        stats_.entries = index_.size();
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->snap;
+}
+
+std::shared_ptr<const Snapshot>
+ImageCache::insert(uint64_t key, Snapshot snapshot)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (budgetBytes_ == 0)
+        return std::make_shared<const Snapshot>(std::move(snapshot));
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        stats_.bytes -= it->second->bytes;
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    Entry e;
+    e.key = key;
+    e.bytes = snapshot.bytes.size();
+    e.snap = std::make_shared<const Snapshot>(std::move(snapshot));
+    stats_.bytes += e.bytes;
+    ++stats_.insertions;
+    auto stored = e.snap;
+    lru_.push_front(std::move(e));
+    index_[key] = lru_.begin();
+    while (stats_.bytes > budgetBytes_ && lru_.size() > 1)
+        evictLruLocked();
+    stats_.entries = index_.size();
+    return stored;
+}
+
+void
+ImageCache::evictLruLocked()
+{
+    Entry &victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    stats_.entries = index_.size();
+}
+
+bool
+ImageCache::evict(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    stats_.bytes -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.corruptEvictions;
+    stats_.entries = index_.size();
+    return true;
+}
+
+size_t
+ImageCache::corruptOneForTesting()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (lru_.empty())
+        return 0;
+    Entry &mru = lru_.front();
+    // Copy-and-replace: concurrent sessions may be restoring from the
+    // old buffer right now; mutating it in place would be a data race.
+    auto corrupted = std::make_shared<Snapshot>(*mru.snap);
+    if (!corrupted->bytes.empty()) {
+        // Flip a payload bit past the section table so the declared
+        // structure still parses and only the checksum catches it.
+        size_t offset = corrupted->bytes.size() / 2;
+        corrupted->bytes[offset] ^= 0x40;
+    }
+    mru.snap = std::move(corrupted);
+    return 1;
+}
+
+ImageCacheStats
+ImageCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace kcm::service

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Warm snapshot-template cache for the always-on query server.
+ *
+ * The paper's workflow pays a full compile + static link + download
+ * for every query (§3: the compiler links the whole consulted program
+ * with the goal into one image). A serving deployment sees the same
+ * (program, goal) pair over and over; this cache memoises the
+ * *post-download machine state* as a KCMSNAP2 snapshot template keyed
+ * by a content hash of (program text, goal text, machine-config
+ * fingerprint). A hit restores the template into a pooled worker —
+ * zero recompilation, zero re-linking — and, because KCMSNAP2 restore
+ * re-verifies every section checksum before mutating the machine, a
+ * corrupt cache entry can only ever produce a classified
+ * "corrupt_image_template" failure, never a wrong answer.
+ *
+ * Safety/robustness contract:
+ *  - entries are immutable shared buffers (std::shared_ptr<const
+ *    Snapshot>); concurrent sessions restore from the same bytes and
+ *    never write them;
+ *  - lookup() re-validates the container checksums *again* before
+ *    handing the template out (cheap: one FNV-1a pass over the bytes)
+ *    and evicts silently-corrupted entries instead of serving them;
+ *  - the cache is LRU under a byte budget: inserting past the budget
+ *    evicts least-recently-used templates first;
+ *  - corruptOneForTesting() is the chaos hook: it *replaces* an entry
+ *    with a bit-flipped copy under the cache lock (in-place mutation
+ *    of a shared buffer would race concurrent restores).
+ */
+
+#ifndef KCM_SERVICE_IMAGE_CACHE_HH
+#define KCM_SERVICE_IMAGE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/machine_config.hh"
+#include "core/snapshot.hh"
+
+namespace kcm::service
+{
+
+/** Cache-observable counters (monotonic; snapshot under the lock). */
+struct ImageCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;        ///< LRU budget evictions
+    uint64_t corruptEvictions = 0; ///< failed re-validation / explicit
+    uint64_t insertions = 0;
+    uint64_t bytes = 0;            ///< current resident template bytes
+    uint64_t entries = 0;
+};
+
+/**
+ * Content-hash key for one warm template. The machine configuration
+ * participates because predecode layout, fusion mode and memory
+ * geometry are baked into the snapshot's restore target; two tenants
+ * with different configs must never share a template.
+ */
+uint64_t imageCacheKey(const std::string &program,
+                       const std::string &goal,
+                       const MachineConfig &config);
+
+class ImageCache
+{
+  public:
+    /** @p budget_bytes bounds resident template bytes (0 disables
+     *  caching entirely: every lookup misses, inserts are dropped). */
+    explicit ImageCache(uint64_t budget_bytes);
+
+    /**
+     * Fetch the template for @p key, bumping its LRU position. A
+     * checksum-invalid entry is evicted and reported as a miss (the
+     * caller recompiles, exactly as on a cold miss). Returns nullptr
+     * on miss.
+     */
+    std::shared_ptr<const Snapshot> lookup(uint64_t key);
+
+    /**
+     * Insert (or replace) the template for @p key, then evict LRU
+     * entries until the byte budget holds. The snapshot is stored as
+     * an immutable shared buffer, which is also returned so the
+     * inserting query can run from it without a second lookup (and
+     * still can when a zero budget made the insert a no-op).
+     */
+    std::shared_ptr<const Snapshot> insert(uint64_t key,
+                                           Snapshot snapshot);
+
+    /** Drop @p key if present (e.g. after a worker reported
+     *  "corrupt_image_template" for a template that passed the cheap
+     *  pre-check). Returns true if an entry was evicted. */
+    bool evict(uint64_t key);
+
+    /**
+     * Chaos hook: replace the most-recently-used entry with a copy
+     * whose payload has one bit flipped (the container keeps its
+     * declared lengths, so the corruption is only catchable by the
+     * checksums). Returns the number of entries corrupted (0 or 1).
+     */
+    size_t corruptOneForTesting();
+
+    ImageCacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        uint64_t key = 0;
+        std::shared_ptr<const Snapshot> snap;
+        uint64_t bytes = 0;
+    };
+
+    void evictLruLocked();
+
+    const uint64_t budgetBytes_;
+
+    mutable std::mutex mutex_;
+    /** MRU at front. */
+    std::list<Entry> lru_;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    ImageCacheStats stats_;
+};
+
+} // namespace kcm::service
+
+#endif // KCM_SERVICE_IMAGE_CACHE_HH

@@ -1,0 +1,681 @@
+#include "service/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "kcm/kcm.hh"
+
+namespace kcm::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+micros(Clock::time_point since)
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - since)
+                        .count());
+}
+
+} // namespace
+
+/** One accepted client connection. The reader loop runs in its own
+ *  thread; replies are written by whatever thread completes the query
+ *  (worker callback or the reader itself), serialized by writeMutex.
+ *  The fd is closed only after the last in-flight reply for this
+ *  connection has been written. */
+struct Server::Connection
+{
+    int fd = -1;
+    uint64_t id = 0;
+
+    std::mutex writeMutex;
+    std::atomic<bool> dead{false}; ///< write failed; stop servicing
+
+    std::mutex inflightMutex;
+    std::condition_variable inflightCv;
+    unsigned inflight = 0; ///< queries submitted, reply not yet sent
+};
+
+/** Everything a submitted query needs to be answered — and, when its
+ *  warm template turns out corrupt, transparently recompiled and
+ *  resubmitted exactly once. */
+struct Server::QueryCtx
+{
+    std::shared_ptr<Connection> conn;
+    QueryJob job;
+    std::string program;
+    uint64_t key = 0;
+    bool cacheHit = false;
+    bool retriedCorrupt = false;
+    Clock::time_point submitted;
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cacheBudgetBytes)
+{
+    // A drain must be able to reclaim stragglers at slice boundaries.
+    options_.session.abortOnInterrupt = true;
+
+    SupervisorOptions pool;
+    pool.session = options_.session;
+    pool.workers = options_.workers;
+    pool.maxQueueDepth = options_.maxQueueDepth;
+    pool_ = std::make_unique<Supervisor>(std::move(pool));
+}
+
+Server::~Server()
+{
+    requestDrain();
+    waitDrained();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+Server::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("server: socket(): ", strerror(errno));
+    int one = 1;
+    setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (inet_pton(AF_INET, options_.bindAddress.c_str(),
+                  &addr.sin_addr) != 1)
+        fatal("server: bad bind address '", options_.bindAddress, "'");
+    if (bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+             sizeof addr) < 0)
+        fatal("server: bind(", options_.bindAddress, ":", options_.port,
+              "): ", strerror(errno));
+    if (listen(listenFd_, 64) < 0)
+        fatal("server: listen(): ", strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    uint64_t next_id = 0;
+    while (!draining_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int rv = poll(&pfd, 1, 100);
+        if (rv <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+
+        bool refuse = false;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            if (liveConnections_ >= options_.maxConnections)
+                refuse = true;
+            else
+                ++liveConnections_;
+        }
+        if (refuse) {
+            std::string line =
+                JsonWriter()
+                    .field("status", "overloaded")
+                    .field("error", "connection limit reached")
+                    .field("retry_after_ms", uint64_t(1000))
+                    .str() +
+                "\n";
+            writeAllDeadline(fd, line.data(), line.size(),
+                             options_.writeDeadlineMs);
+            ::close(fd);
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.connectionsRefused;
+            continue;
+        }
+
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        conn->id = ++next_id;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.connectionsAccepted;
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connThreads_.emplace_back(
+            [this, conn = std::move(conn)]() mutable {
+                connectionLoop(std::move(conn));
+            });
+    }
+}
+
+void
+Server::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    LineReader reader(conn->fd, options_.maxLineBytes);
+    auto cancel = [this, &conn] {
+        return draining_.load(std::memory_order_relaxed) ||
+               conn->dead.load(std::memory_order_relaxed);
+    };
+
+    for (;;) {
+        std::string line;
+        IoStatus st = reader.next(line, options_.idleTimeoutMs,
+                                  options_.readDeadlineMs, cancel);
+        if (st == IoStatus::Ok) {
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++counters_.requests;
+            }
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            handleRequest(conn, line);
+            continue;
+        }
+        if (st == IoStatus::SlowLoris || st == IoStatus::Oversize ||
+            st == IoStatus::Timeout) {
+            // A frame that never completes (trickled, oversized, or an
+            // idle peer) ends the connection — with a diagnostic when
+            // there was a partial request to diagnose.
+            if (st != IoStatus::Timeout || reader.pendingBytes()) {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++counters_.badRequests;
+            }
+            if (st != IoStatus::Timeout) {
+                writeReply(conn,
+                           JsonWriter()
+                               .field("status", "bad_request")
+                               .field("error",
+                                      cat("request frame ",
+                                          ioStatusName(st)))
+                               .str());
+            }
+        }
+        break; // Closed / Cancelled / Error / the cases above
+    }
+
+    // Drain this connection: every submitted query still gets its
+    // reply written (by the worker callbacks) before the fd closes.
+    {
+        std::unique_lock<std::mutex> lock(conn->inflightMutex);
+        conn->inflightCv.wait(lock,
+                              [&] { return conn->inflight == 0; });
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+    std::lock_guard<std::mutex> lock(connMutex_);
+    --liveConnections_;
+}
+
+void
+Server::writeReply(const std::shared_ptr<Connection> &conn,
+                   const std::string &line)
+{
+    std::string framed = line + "\n";
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (conn->dead.load(std::memory_order_relaxed))
+        return;
+    IoStatus st = writeAllDeadline(conn->fd, framed.data(),
+                                   framed.size(),
+                                   options_.writeDeadlineMs);
+    if (st != IoStatus::Ok) {
+        // The peer stopped reading (or vanished): mark the connection
+        // dead so its reader unblocks; in-flight queries still finish
+        // (their replies are dropped here, but the accounting counts
+        // them as replied — the server did its part).
+        conn->dead.store(true, std::memory_order_relaxed);
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+}
+
+uint64_t
+Server::retryAfterMs() const
+{
+    uint64_t backlog = pool_->queueDepth();
+    uint64_t hint = 25 * (backlog + 1);
+    return hint > 2000 ? 2000 : hint;
+}
+
+void
+Server::replyError(const std::shared_ptr<Connection> &conn,
+                   const std::string &id, const char *status,
+                   const std::string &error)
+{
+    JsonWriter w;
+    if (!id.empty())
+        w.field("id", id);
+    w.field("status", status).field("error", error);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.badRequests;
+    }
+    writeReply(conn, w.str());
+}
+
+void
+Server::replyOverloaded(const std::shared_ptr<Connection> &conn,
+                        const std::string &id,
+                        const std::string &detail)
+{
+    JsonWriter w;
+    if (!id.empty())
+        w.field("id", id);
+    w.field("status", "overloaded")
+        .field("error", detail)
+        .field("retry_after_ms", retryAfterMs());
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.overloaded;
+    }
+    writeReply(conn, w.str());
+}
+
+void
+Server::handleRequest(const std::shared_ptr<Connection> &conn,
+                      const std::string &line)
+{
+    JsonObject request;
+    std::string parse_error;
+    if (!parseJsonObject(line, request, parse_error)) {
+        replyError(conn, "", "bad_request",
+                   cat("malformed request: ", parse_error));
+        return;
+    }
+
+    std::string id;
+    if (auto it = request.find("id");
+        it != request.end() && it->second.isString())
+        id = it->second.str;
+
+    std::string op = "query";
+    if (auto it = request.find("op"); it != request.end()) {
+        if (!it->second.isString()) {
+            replyError(conn, id, "bad_request", "\"op\" must be a string");
+            return;
+        }
+        op = it->second.str;
+    }
+
+    if (op == "ping") {
+        JsonWriter w;
+        if (!id.empty())
+            w.field("id", id);
+        writeReply(conn, w.field("status", "pong").str());
+        return;
+    }
+    if (op == "stats") {
+        ServerCounters c = counters();
+        ImageCacheStats cs = cache_.stats();
+        ServiceStats ps = pool_->stats();
+        JsonWriter w;
+        if (!id.empty())
+            w.field("id", id);
+        w.field("status", "ok")
+            .field("connections", c.connectionsAccepted)
+            .field("requests", c.requests)
+            .field("bad_requests", c.badRequests)
+            .field("overloaded", c.overloaded)
+            .field("queries_accepted", c.queriesAccepted)
+            .field("queries_replied", c.queriesReplied)
+            .field("compiles", c.compiles)
+            .field("compile_micros", c.compileMicros)
+            .field("corrupt_retries", c.corruptRetries)
+            .field("cache_hits", cs.hits)
+            .field("cache_misses", cs.misses)
+            .field("cache_evictions", cs.evictions)
+            .field("cache_corrupt_evictions", cs.corruptEvictions)
+            .field("cache_bytes", cs.bytes)
+            .field("cache_entries", cs.entries)
+            .field("pool_completed", ps.completed)
+            .field("pool_failed", ps.failed)
+            .field("pool_shed", ps.shed)
+            .field("pool_retries", ps.retries)
+            .field("pool_restarts", ps.restarts)
+            .field("pool_checkpoints", ps.checkpoints);
+        writeReply(conn, w.str());
+        return;
+    }
+    if (op == "corrupt_cache") {
+        if (!options_.chaosHooks) {
+            replyError(conn, id, "bad_request",
+                       "chaos hooks are disabled");
+            return;
+        }
+        size_t n = cache_.corruptOneForTesting();
+        JsonWriter w;
+        if (!id.empty())
+            w.field("id", id);
+        writeReply(conn,
+                   w.field("status", "ok")
+                       .field("corrupted", uint64_t(n))
+                       .str());
+        return;
+    }
+    if (op != "query") {
+        replyError(conn, id, "bad_request", cat("unknown op \"", op, "\""));
+        return;
+    }
+    handleQuery(conn, request, id);
+}
+
+void
+Server::handleQuery(const std::shared_ptr<Connection> &conn,
+                    const JsonObject &request, const std::string &id)
+{
+    auto str_field = [&](const char *name,
+                         std::string &out) -> bool {
+        auto it = request.find(name);
+        if (it == request.end() || !it->second.isString())
+            return false;
+        out = it->second.str;
+        return true;
+    };
+
+    std::string program, goal;
+    if (!str_field("program", program)) {
+        replyError(conn, id, "bad_request",
+                   "\"program\" (string) is required");
+        return;
+    }
+    if (!str_field("goal", goal) || goal.empty()) {
+        replyError(conn, id, "bad_request",
+                   "\"goal\" (nonempty string) is required");
+        return;
+    }
+
+    QueryJob job;
+    job.id = id;
+    job.goal = goal;
+    if (auto it = request.find("deadline_ms"); it != request.end()) {
+        int64_t v = it->second.asInt(-1);
+        if (!it->second.isNumber() || v < 0) {
+            replyError(conn, id, "bad_request",
+                       "\"deadline_ms\" must be a nonnegative number");
+            return;
+        }
+        job.deadlineMs = uint64_t(v);
+    }
+    if (auto it = request.find("max_solutions"); it != request.end()) {
+        int64_t v = it->second.asInt(-1);
+        if (!it->second.isNumber() || v < 0) {
+            replyError(conn, id, "bad_request",
+                       "\"max_solutions\" must be a nonnegative number");
+            return;
+        }
+        job.maxSolutions = size_t(v);
+    }
+
+    // Per-client fairness: one slow client cannot monopolize the pool.
+    {
+        std::lock_guard<std::mutex> lock(conn->inflightMutex);
+        if (conn->inflight >= options_.maxInflightPerConn) {
+            replyOverloaded(conn, id,
+                            cat("per-connection in-flight cap (",
+                                options_.maxInflightPerConn,
+                                ") reached"));
+            return;
+        }
+        ++conn->inflight;
+    }
+
+    // Warm-template cache: hit → restore, miss → compile + insert.
+    const uint64_t key =
+        imageCacheKey(program, goal, options_.session.machine);
+    std::shared_ptr<const Snapshot> tmpl = cache_.lookup(key);
+    const bool hit = tmpl != nullptr;
+    if (!tmpl) {
+        std::string compile_error;
+        tmpl = compileTemplate(key, program, goal, compile_error);
+        if (!tmpl) {
+            {
+                std::lock_guard<std::mutex> lock(conn->inflightMutex);
+                --conn->inflight;
+                conn->inflightCv.notify_all();
+            }
+            replyError(conn, id, "bad_request",
+                       cat("compile_error: ", compile_error));
+            return;
+        }
+    }
+
+    auto ctx = std::make_shared<QueryCtx>();
+    ctx->conn = conn;
+    ctx->job = job;
+    ctx->program = program;
+    ctx->key = key;
+    ctx->cacheHit = hit;
+    ctx->submitted = Clock::now();
+
+    inflightQueries_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.queriesAccepted;
+    }
+    pool_->submitAsync(std::move(job), std::move(tmpl),
+                       [this, ctx](QueryOutcome outcome) mutable {
+                           onOutcome(std::move(ctx),
+                                     std::move(outcome));
+                       });
+}
+
+std::shared_ptr<const Snapshot>
+Server::compileTemplate(uint64_t key, const std::string &program,
+                        const std::string &goal, std::string &error)
+{
+    const auto started = Clock::now();
+    try {
+        KcmOptions opt;
+        opt.machine = options_.session.machine;
+        KcmSystem system(opt);
+        if (options_.consultStdlib)
+            system.consultStandardLibrary();
+        system.consult(program);
+        CodeImage image = system.compileOnly(goal);
+
+        Machine machine(options_.session.machine);
+        machine.load(image);
+        Snapshot snap = takeSnapshot(machine);
+        auto tmpl = cache_.insert(key, std::move(snap));
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.compiles;
+        counters_.compileMicros += micros(started);
+        return tmpl;
+    } catch (const FatalError &e) {
+        error = e.what();
+        return nullptr;
+    }
+}
+
+void
+Server::onOutcome(std::shared_ptr<QueryCtx> ctx, QueryOutcome outcome)
+{
+    // A template that passed the cheap checksum pre-check but failed
+    // the full restore validation: evict, recompile, resubmit once.
+    // (Twice corrupt means something is systematically wrong — the
+    // client gets the classified failure.)
+    if (outcome.status == QueryStatus::Failed &&
+        outcome.failure.classification == "corrupt_image_template" &&
+        !ctx->retriedCorrupt) {
+        ctx->retriedCorrupt = true;
+        cache_.evict(ctx->key);
+        std::string compile_error;
+        auto tmpl = compileTemplate(ctx->key, ctx->program,
+                                    ctx->job.goal, compile_error);
+        if (tmpl) {
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++counters_.corruptRetries;
+            }
+            ctx->cacheHit = false;
+            QueryJob job = ctx->job;
+            pool_->submitAsync(
+                std::move(job), std::move(tmpl),
+                [this, ctx](QueryOutcome o) mutable {
+                    onOutcome(std::move(ctx), std::move(o));
+                });
+            return;
+        }
+        // fall through: report the original failure
+    }
+
+    JsonWriter w;
+    if (!ctx->job.id.empty())
+        w.field("id", ctx->job.id);
+
+    switch (outcome.status) {
+      case QueryStatus::Completed: {
+        std::vector<std::string> answers;
+        answers.reserve(outcome.solutions.size());
+        for (const Solution &s : outcome.solutions)
+            answers.push_back(s.toString());
+        w.field("status", "completed")
+            .field("success", outcome.success)
+            .fieldStrings("answers", answers)
+            .field("output", outcome.output)
+            .field("halted", outcome.halted);
+        if (!outcome.error.empty())
+            w.field("error", outcome.error);
+        w.field("cycles", outcome.cycles)
+            .field("instructions", outcome.instructions)
+            .field("inferences", outcome.inferences)
+            .field("cache", ctx->cacheHit ? "hit" : "miss")
+            .field("wall_ms",
+                   uint64_t(outcome.wallSeconds * 1000.0));
+        break;
+      }
+      case QueryStatus::Failed:
+        w.field("status", "failed")
+            .field("error", outcome.failure.classification)
+            .field("detail", outcome.failure.detail)
+            .field("attempts", uint64_t(outcome.failure.attempts))
+            .field("cache", ctx->cacheHit ? "hit" : "miss");
+        if (outcome.failure.classification == "interrupted") {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.interrupted;
+        }
+        break;
+      case QueryStatus::Shed:
+        w.field("status", "overloaded")
+            .field("error", outcome.failure.detail)
+            .field("retry_after_ms", retryAfterMs());
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.overloaded;
+        }
+        break;
+    }
+
+    // Count before the write lands: a reply into a dead socket still
+    // counts as delivered (writeReply absorbs the failure), and a
+    // client that reads its reply then immediately asks for stats
+    // must already see it in queries_replied.
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++counters_.queriesReplied;
+    }
+    writeReply(ctx->conn, w.str());
+    {
+        std::lock_guard<std::mutex> lock(ctx->conn->inflightMutex);
+        --ctx->conn->inflight;
+        ctx->conn->inflightCv.notify_all();
+    }
+    if (inflightQueries_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+        std::lock_guard<std::mutex> lock(drainMutex_);
+        drainCv_.notify_all();
+    }
+}
+
+void
+Server::waitDrained()
+{
+    if (!pool_)
+        return; // already drained
+
+    // Phase 0: wait for the drain request. Polled, because the flag
+    // is set from signal handlers, which cannot notify a condition
+    // variable (only the atomic store is async-signal-safe).
+    while (!draining_.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+
+    // Phase 1: grace — every accepted query runs to completion and
+    // its reply is flushed by the worker callbacks.
+    {
+        std::unique_lock<std::mutex> lock(drainMutex_);
+        bool quiesced = drainCv_.wait_for(
+            lock, std::chrono::milliseconds(options_.drainGraceMs),
+            [this] {
+                return inflightQueries_.load(
+                           std::memory_order_relaxed) == 0;
+            });
+        if (!quiesced) {
+            // Phase 2: out of grace — checkpoint-abort the stragglers.
+            // Their sessions stop at the next slice boundary and the
+            // callbacks still flush classified "interrupted" replies,
+            // so accepted == replied holds even on a hard drain.
+            requestServiceInterrupt();
+            drainCv_.wait(lock, [this] {
+                return inflightQueries_.load(
+                           std::memory_order_relaxed) == 0;
+            });
+        }
+    }
+
+    // Every reader sees draining_ within one poll slice and exits once
+    // its last reply is out.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+
+    // The pool is idle (no in-flight queries); its destructor joins
+    // the workers. Final stats stay readable for the drain report.
+    poolFinal_ = pool_->stats();
+    pool_.reset();
+}
+
+ServerCounters
+Server::counters() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return counters_;
+}
+
+ServiceStats
+Server::poolStats() const
+{
+    return pool_ ? pool_->stats() : poolFinal_;
+}
+
+} // namespace kcm::service

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The always-on KCM query server.
+ *
+ * ROADMAP north star: the KCM as "a Prolog accelerator for millions of
+ * users" — which means the host side of the paper's Fig. 1 picture has
+ * to become a persistent daemon, not a batch driver. This server
+ * listens on localhost TCP, speaks a newline-delimited JSON protocol,
+ * and layers three robustness mechanisms over the existing Supervisor
+ * pool:
+ *
+ *  1. **Warm snapshot-template cache** (ImageCache): the first query
+ *     for a (program, goal, config) triple pays the full compile +
+ *     static link + download and snapshots the post-download machine
+ *     as a KCMSNAP2 template; every later identical query restores the
+ *     template into a pooled worker — zero recompilation. Templates
+ *     are checksum re-validated on every lookup AND on every restore;
+ *     a corrupt entry is evicted and the query transparently
+ *     recompiled (once), so the cache can only ever cost time, never
+ *     correctness.
+ *
+ *  2. **Hardened connection lifecycle**: per-connection read/write
+ *     deadlines (with a separate slow-loris bound for partial
+ *     requests), a per-connection in-flight cap, malformed frames
+ *     answered with a structured "bad_request" (never a crash, never a
+ *     dropped connection state machine), and global overload answered
+ *     with "overloaded" + a retry_after_ms hint that scales with the
+ *     admission backlog (the Supervisor sheds earliest-deadline
+ *     queries when the queue is full).
+ *
+ *  3. **Graceful drain**: requestDrain() (wired to SIGTERM/SIGINT by
+ *     kcm_serverd) stops accepting connections and reading requests,
+ *     but every already-accepted query still completes and its reply
+ *     is flushed; after a grace period stragglers are checkpoint-
+ *     aborted via the process-wide interrupt flag and answered with a
+ *     classified "interrupted" failure. Accounting invariant:
+ *     accepted == replied at exit — a drain loses no accepted query.
+ *
+ * Protocol (one JSON object per line, both directions):
+ *
+ *   request:  {"op": "query", "id": "q1", "program": "p(1).",
+ *              "goal": "p(X)", "max_solutions": 0, "deadline_ms": 0}
+ *             {"op": "ping"} | {"op": "stats"} |
+ *             {"op": "corrupt_cache"}            (chaos hook, gated)
+ *   reply:    {"id": ..., "status": "completed" | "failed" |
+ *              "overloaded" | "bad_request" | "pong" | "ok", ...}
+ *
+ * See DESIGN.md ("The always-on query server") for the full schema.
+ */
+
+#ifndef KCM_SERVICE_SERVER_HH
+#define KCM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/image_cache.hh"
+#include "service/supervisor.hh"
+#include "service/wire.hh"
+
+namespace kcm::service
+{
+
+struct ServerOptions
+{
+    /** Listen address; the server is a localhost daemon by design. */
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (read it back via port()). */
+    uint16_t port = 0;
+
+    /** Per-query supervision policy for the worker pool. The server
+     *  forces abortOnInterrupt on so a drain can reclaim stragglers. */
+    SessionOptions session;
+
+    unsigned workers = 4;
+    size_t maxQueueDepth = 64;
+
+    /** Warm-template cache budget in bytes (0 disables caching). */
+    uint64_t cacheBudgetBytes = 256ull << 20;
+
+    /** Consult the bundled standard library into every compiled
+     *  program (append/3, member/2, ...). */
+    bool consultStdlib = true;
+
+    // Connection lifecycle.
+    uint64_t idleTimeoutMs = 30'000;  ///< between requests
+    uint64_t readDeadlineMs = 5'000;  ///< first byte → full request
+    uint64_t writeDeadlineMs = 5'000; ///< one reply line
+    size_t maxLineBytes = 4u << 20;   ///< request frame cap
+    unsigned maxInflightPerConn = 8;  ///< per-client fairness cap
+    size_t maxConnections = 256;
+
+    /** Drain grace in ms before in-flight queries are checkpoint-
+     *  aborted ("interrupted"). */
+    uint64_t drainGraceMs = 5'000;
+
+    /** Enable the chaos hooks ("corrupt_cache" op). Off in any real
+     *  deployment; the harness turns it on. */
+    bool chaosHooks = false;
+};
+
+/** Server-level counters (cache and supervisor keep their own). */
+struct ServerCounters
+{
+    uint64_t connectionsAccepted = 0;
+    uint64_t connectionsRefused = 0; ///< over maxConnections
+    uint64_t requests = 0;           ///< complete frames read
+    uint64_t badRequests = 0;        ///< malformed / oversize / slow
+    uint64_t overloaded = 0;         ///< per-conn cap or queue shed
+    uint64_t queriesAccepted = 0;    ///< admitted to the pool
+    uint64_t queriesReplied = 0;     ///< replies flushed to the socket
+    uint64_t compiles = 0;
+    uint64_t compileMicros = 0;      ///< total compile+link+snapshot µs
+    uint64_t corruptRetries = 0;     ///< template failed on restore →
+                                     ///< evicted, recompiled, re-run
+    uint64_t interrupted = 0;        ///< aborted past the drain grace
+};
+
+/**
+ * The daemon core: listen socket + accept loop + per-connection
+ * reader threads, queries executed by a Supervisor pool, replies
+ * written by the worker completion callbacks. start() it, then
+ * waitDrained() blocks until someone calls requestDrain() (signal
+ * handlers may: it only stores to an atomic) and every accepted query
+ * has been answered.
+ */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    /** Bind, listen, start the accept loop. Fatal on bind failure. */
+    void start();
+
+    /** The bound port (after start()). */
+    uint16_t port() const { return port_; }
+
+    /** Begin a graceful drain: stop accepting, stop reading, finish
+     *  and flush everything in flight. Async-signal-safe. */
+    void requestDrain() { draining_.store(true, std::memory_order_relaxed); }
+
+    /** Block until the drain completes and all threads are joined. */
+    void waitDrained();
+
+    ServerCounters counters() const;
+    ImageCacheStats cacheStats() const { return cache_.stats(); }
+    ServiceStats poolStats() const;
+
+  private:
+    struct Connection;
+    struct QueryCtx;
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void handleRequest(const std::shared_ptr<Connection> &conn,
+                       const std::string &line);
+    void handleQuery(const std::shared_ptr<Connection> &conn,
+                     const JsonObject &request, const std::string &id);
+    void onOutcome(std::shared_ptr<QueryCtx> ctx, QueryOutcome outcome);
+    void writeReply(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+    void replyError(const std::shared_ptr<Connection> &conn,
+                    const std::string &id, const char *status,
+                    const std::string &error);
+    void replyOverloaded(const std::shared_ptr<Connection> &conn,
+                         const std::string &id,
+                         const std::string &detail);
+
+    /** Compile program+goal, download into a fresh machine, snapshot,
+     *  insert into the cache. Returns nullptr with @p error set on a
+     *  compile failure. */
+    std::shared_ptr<const Snapshot>
+    compileTemplate(uint64_t key, const std::string &program,
+                    const std::string &goal, std::string &error);
+
+    uint64_t retryAfterMs() const;
+
+    ServerOptions options_;
+    ImageCache cache_;
+    std::unique_ptr<Supervisor> pool_;
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> draining_{false};
+    std::thread acceptThread_;
+
+    mutable std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    size_t liveConnections_ = 0;
+
+    mutable std::mutex statsMutex_;
+    ServerCounters counters_;
+    ServiceStats poolFinal_; ///< pool stats captured at drain
+
+    /** accepted-but-unreplied queries; drain waits on this. */
+    std::atomic<uint64_t> inflightQueries_{0};
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
+};
+
+} // namespace kcm::service
+
+#endif // KCM_SERVICE_SERVER_HH

@@ -1,5 +1,6 @@
 #include "service/session.hh"
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -20,11 +21,41 @@ elapsedSeconds(Clock::time_point since)
     return std::chrono::duration<double>(Clock::now() - since).count();
 }
 
+/** Process-wide shutdown flag; written by signal handlers (a lock-free
+ *  atomic store is async-signal-safe), read at slice boundaries. */
+std::atomic<bool> interruptFlag{false};
+
 } // namespace
+
+void
+requestServiceInterrupt()
+{
+    interruptFlag.store(true, std::memory_order_relaxed);
+}
+
+void
+clearServiceInterrupt()
+{
+    interruptFlag.store(false, std::memory_order_relaxed);
+}
+
+bool
+serviceInterruptRequested()
+{
+    return interruptFlag.load(std::memory_order_relaxed);
+}
 
 Session::Session(CodeImage image, SessionOptions options)
     : image_(std::move(image)), options_(std::move(options))
 {
+}
+
+Session::Session(std::shared_ptr<const Snapshot> warm_template,
+                 SessionOptions options)
+    : template_(std::move(warm_template)), options_(std::move(options))
+{
+    if (!template_)
+        fatal("session: null warm-start template");
 }
 
 Session::~Session() = default;
@@ -41,18 +72,40 @@ Session::takeCheckpoint(std::vector<Solution> &solutions,
     counters_.checkpointBytes += checkpoint_.snap.bytes.size();
 }
 
-void
+bool
+Session::coldStart()
+{
+    // Bring the fresh machine to its ready-to-run state: download the
+    // compiled image, or restore the shared post-download KCMSNAP2
+    // template (the warm-cache path; restoreSnapshot re-validates
+    // every section checksum before mutating anything, so a corrupt
+    // template is reported here and never executes).
+    if (template_) {
+        try {
+            restoreSnapshot(*machine_, *template_);
+        } catch (const FatalError &e) {
+            templateError_ = e.what();
+            return false;
+        }
+        return true;
+    }
+    machine_->load(image_);
+    return true;
+}
+
+bool
 Session::restartFresh()
 {
-    // The snapshot itself carries the fault (armed MMU fault,
-    // tightened zone limit, latent corrupt word): throw the machine
-    // away. load() resets everything a fresh Machine has except the
-    // zone hard ends a TightenZone already moved, so escalation needs
-    // a genuinely new machine, not a reload.
+    // The checkpoint snapshot itself carries the fault (armed MMU
+    // fault, tightened zone limit, latent corrupt word): throw the
+    // machine away. load() resets everything a fresh Machine has
+    // except the zone hard ends a TightenZone already moved, so
+    // escalation needs a genuinely new machine, not a reload.
     machine_ = std::make_unique<Machine>(options_.machine);
-    machine_->load(image_);
+    bool ok = coldStart();
     machine_->dismissPendingFaults();
     ++counters_.restarts;
+    return ok;
 }
 
 QueryOutcome
@@ -66,13 +119,26 @@ Session::run()
     const bool recovery = options_.maxRetries > 0 ||
                           checkpoint_cycles > 0;
     // Slice granularity: the checkpoint interval when checkpointing,
-    // else the watchdog tick when a deadline needs polling.
+    // else the watchdog tick when a deadline (or the shutdown flag)
+    // needs polling.
     uint64_t slice = checkpoint_cycles;
-    if (!slice && options_.deadlineMs)
+    if (!slice && (options_.deadlineMs || options_.abortOnInterrupt))
         slice = options_.watchdogSliceCycles;
 
     machine_ = std::make_unique<Machine>(options_.machine);
-    machine_->load(image_);
+    if (!coldStart()) {
+        // The warm-start template failed checksum re-validation: a
+        // corrupt cache entry is never executed. Classified so the
+        // owner evicts the entry and recompiles.
+        out.status = QueryStatus::Failed;
+        out.failure.classification = "corrupt_image_template";
+        out.failure.trapKind = TrapKind::Abort;
+        out.failure.detail = templateError_;
+        out.failure.attempts = 1;
+        out.wallSeconds = elapsedSeconds(started);
+        out.counters = counters_;
+        return out;
+    }
     if (recovery)
         takeCheckpoint(out.solutions, /*resume_after=*/false);
 
@@ -143,7 +209,8 @@ Session::run()
             // cycle: the fault is baked into the snapshot. Restart
             // from scratch on a fresh machine.
             counters_.recoveryCycles += fail_cycle;
-            restartFresh();
+            if (!restartFresh())
+                return false;
             out.solutions.clear();
             takeCheckpoint(out.solutions, /*resume_after=*/false);
             mode = Mode::Run;
@@ -194,8 +261,14 @@ Session::run()
         }
 
         if (machine_->sliceExpired()) {
-            // Host machinery, not a fault: poll the deadline, take
-            // the periodic checkpoint, continue where we stopped.
+            // Host machinery, not a fault: poll the shutdown flag and
+            // the deadline, take the periodic checkpoint, continue
+            // where we stopped.
+            if (options_.abortOnInterrupt && serviceInterruptRequested()) {
+                return fail("interrupted", TrapKind::Abort,
+                            "aborted by shutdown request at an "
+                            "instruction boundary");
+            }
             if (deadlineBlown()) {
                 if (!recover()) {
                     return fail("deadline_exceeded", TrapKind::Abort,
@@ -220,6 +293,10 @@ Session::run()
             return finish(QueryStatus::Completed);
         }
         if (!recover()) {
+            if (!templateError_.empty()) {
+                return fail("corrupt_image_template", TrapKind::Abort,
+                            templateError_);
+            }
             return fail(trapDiagnosis(trap), trap.kind, trap.message);
         }
     }

@@ -73,6 +73,13 @@ struct SessionOptions
     /** Watchdog slice in cycles when no checkpoint interval is set
      *  but a deadline is (how often the wall clock is polled). */
     uint64_t watchdogSliceCycles = 4'000'000;
+
+    /** Poll the process-wide interrupt flag (requestServiceInterrupt,
+     *  set by the drivers' SIGINT/SIGTERM handlers or by a server
+     *  drain that ran out of grace) at slice boundaries and abort the
+     *  query with a clean "interrupted" failure. Arms the watchdog
+     *  slice even without a deadline so the poll actually happens. */
+    bool abortOnInterrupt = false;
 };
 
 /** Why a supervised query could not be served. */
@@ -80,7 +87,10 @@ struct FailureReport
 {
     /** Machine-readable classification, always a re-readable Prolog
      *  term: "resource_error(<kind>)", "machine_trap(<kind>)",
-     *  "deadline_exceeded" or "overloaded". */
+     *  "deadline_exceeded", "overloaded", "interrupted" (aborted by a
+     *  shutdown request at an instruction boundary) or
+     *  "corrupt_image_template" (a warm-start snapshot failed its
+     *  checksum re-validation; the caller evicts and recompiles). */
     std::string classification;
 
     TrapKind trapKind = TrapKind::Abort;
@@ -143,10 +153,34 @@ struct QueryOutcome
  * Construct, call run() once, read the outcome. Not thread-safe;
  * each worker thread owns its sessions exclusively.
  */
+/** Ask every session with abortOnInterrupt set to stop at its next
+ *  slice boundary (async-signal-safe; called from signal handlers). */
+void requestServiceInterrupt();
+
+/** Clear the interrupt flag (tests; a server arming a fresh drain). */
+void clearServiceInterrupt();
+
+/** Whether requestServiceInterrupt() has been called. */
+bool serviceInterruptRequested();
+
 class Session
 {
   public:
     Session(CodeImage image, SessionOptions options);
+
+    /**
+     * Warm start: instead of compiling and load()ing an image, the
+     * session restores a post-download KCMSNAP2 template (the state a
+     * load() of the compiled image produces) into its machine — the
+     * server's snapshot-template cache path. The template buffer is
+     * shared between concurrent sessions and never modified; if its
+     * checksums fail re-validation on restore the session fails
+     * cleanly with classification "corrupt_image_template" so the
+     * owner can evict the entry and recompile.
+     */
+    Session(std::shared_ptr<const Snapshot> warm_template,
+            SessionOptions options);
+
     ~Session();
 
     /** Execute the query to completion under supervision. */
@@ -165,13 +199,16 @@ class Session
 
     void takeCheckpoint(std::vector<Solution> &solutions,
                         bool resume_after);
-    void restartFresh();
+    bool coldStart(); ///< load the image / restore the template
+    bool restartFresh();
 
     CodeImage image_;
+    std::shared_ptr<const Snapshot> template_;
     SessionOptions options_;
     std::unique_ptr<Machine> machine_;
     Checkpoint checkpoint_;
     SessionCounters counters_;
+    std::string templateError_; ///< set when a template restore failed
 };
 
 } // namespace kcm::service

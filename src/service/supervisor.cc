@@ -33,9 +33,28 @@ Supervisor::~Supervisor()
     }
 }
 
-void
-Supervisor::shedLocked(std::deque<Pending>::iterator victim)
+/**
+ * Evict the queued query with the earliest deadline (queue is full).
+ * Ties (and the no-deadline default, key 0 meaning "infinite") fall
+ * back to oldest-submitted-first among equals. A slot-based victim is
+ * completed in the result vector here; an async victim's callback is
+ * returned through @p shed_cb for the caller to invoke outside the
+ * lock (callbacks write to sockets — never under the pool mutex).
+ */
+QueryOutcome
+Supervisor::shedOneLocked(Completion &shed_cb)
 {
+    auto victim = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end();
+         ++it) {
+        uint64_t vk = victim->deadlineKeyMs ? victim->deadlineKeyMs
+                                            : UINT64_MAX;
+        uint64_t ik = it->deadlineKeyMs ? it->deadlineKeyMs
+                                        : UINT64_MAX;
+        if (ik < vk)
+            victim = it;
+    }
+
     QueryOutcome out;
     out.status = QueryStatus::Shed;
     out.failure.classification = "overloaded";
@@ -43,51 +62,83 @@ Supervisor::shedLocked(std::deque<Pending>::iterator victim)
         cat("admission queue full (depth ", options_.maxQueueDepth,
             "); evicted earliest-deadline query");
     ++stats_.shed;
-    size_t slot = victim->slot;
-    results_[slot].outcome = std::move(out);
-    done_[slot] = true;
+    if (victim->slot == asyncSlot) {
+        shed_cb = std::move(victim->done);
+    } else {
+        results_[victim->slot].outcome = out;
+        done_[victim->slot] = true;
+    }
     --outstanding_;
     queue_.erase(victim);
     doneCv_.notify_all();
+    return out;
+}
+
+void
+Supervisor::enqueue(Pending pending)
+{
+    Completion shed_cb;
+    QueryOutcome shed_out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            fatal("submit after drain");
+        ++outstanding_;
+        ++stats_.submitted;
+        if (queue_.size() >= options_.maxQueueDepth)
+            shed_out = shedOneLocked(shed_cb);
+        queue_.push_back(std::move(pending));
+    }
+    workCv_.notify_one();
+    if (shed_cb)
+        shed_cb(std::move(shed_out));
 }
 
 void
 Supervisor::submit(QueryJob job, CodeImage image)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_)
-        fatal("submit after drain");
-    size_t slot = results_.size();
-    results_.push_back(ServiceResult{job, QueryOutcome{}});
-    done_.push_back(false);
-    ++outstanding_;
-    ++stats_.submitted;
-
-    if (queue_.size() >= options_.maxQueueDepth) {
-        // Shed the queued query with the earliest deadline — it is
-        // the least likely to be served in time. Ties (and the
-        // no-deadline default, key 0 meaning "infinite") fall back to
-        // oldest-submitted-first among equals.
-        auto victim = queue_.begin();
-        for (auto it = std::next(queue_.begin()); it != queue_.end();
-             ++it) {
-            uint64_t vk = victim->deadlineKeyMs ? victim->deadlineKeyMs
-                                                : UINT64_MAX;
-            uint64_t ik = it->deadlineKeyMs ? it->deadlineKeyMs
-                                            : UINT64_MAX;
-            if (ik < vk)
-                victim = it;
-        }
-        shedLocked(victim);
-    }
-
     Pending p;
-    p.slot = slot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        p.slot = results_.size();
+        results_.push_back(ServiceResult{job, QueryOutcome{}});
+        done_.push_back(false);
+    }
     p.deadlineKeyMs = job.deadlineMs;
     p.job = std::move(job);
     p.image = std::move(image);
-    queue_.push_back(std::move(p));
-    workCv_.notify_one();
+    enqueue(std::move(p));
+}
+
+void
+Supervisor::submitAsync(QueryJob job, CodeImage image, Completion done)
+{
+    Pending p;
+    p.deadlineKeyMs = job.deadlineMs;
+    p.job = std::move(job);
+    p.image = std::move(image);
+    p.done = std::move(done);
+    enqueue(std::move(p));
+}
+
+void
+Supervisor::submitAsync(QueryJob job,
+                        std::shared_ptr<const Snapshot> warm,
+                        Completion done)
+{
+    Pending p;
+    p.deadlineKeyMs = job.deadlineMs;
+    p.job = std::move(job);
+    p.warm = std::move(warm);
+    p.done = std::move(done);
+    enqueue(std::move(p));
+}
+
+size_t
+Supervisor::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
 }
 
 void
@@ -101,7 +152,7 @@ Supervisor::resume()
 }
 
 void
-Supervisor::finishLocked(size_t slot, QueryOutcome outcome)
+Supervisor::bumpStatsLocked(const QueryOutcome &outcome)
 {
     switch (outcome.status) {
       case QueryStatus::Completed:
@@ -119,6 +170,12 @@ Supervisor::finishLocked(size_t slot, QueryOutcome outcome)
     stats_.checkpoints += outcome.counters.checkpoints;
     stats_.checkpointBytes += outcome.counters.checkpointBytes;
     stats_.recoveryCycles += outcome.counters.recoveryCycles;
+}
+
+void
+Supervisor::finishLocked(size_t slot, QueryOutcome outcome)
+{
+    bumpStatsLocked(outcome);
     results_[slot].outcome = std::move(outcome);
     done_[slot] = true;
     --outstanding_;
@@ -151,12 +208,34 @@ Supervisor::workerMain()
             session_options.deadlineMs = p.job.deadlineMs;
         if (p.job.machine)
             session_options.machine = *p.job.machine;
-        Session session(std::move(p.image),
-                        std::move(session_options));
-        QueryOutcome outcome = session.run();
+        if (p.job.maxSolutions)
+            session_options.maxSolutions = *p.job.maxSolutions;
+        QueryOutcome outcome;
+        if (p.warm) {
+            Session session(std::move(p.warm),
+                            std::move(session_options));
+            outcome = session.run();
+        } else {
+            Session session(std::move(p.image),
+                            std::move(session_options));
+            outcome = session.run();
+        }
 
-        std::lock_guard<std::mutex> lock(mutex_);
-        finishLocked(p.slot, std::move(outcome));
+        if (p.slot == asyncSlot) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                bumpStatsLocked(outcome);
+            }
+            // Deliver before retiring the job so drain() cannot
+            // return while a completion is still writing its reply.
+            p.done(std::move(outcome));
+            std::lock_guard<std::mutex> lock(mutex_);
+            --outstanding_;
+            doneCv_.notify_all();
+        } else {
+            std::lock_guard<std::mutex> lock(mutex_);
+            finishLocked(p.slot, std::move(outcome));
+        }
     }
 }
 

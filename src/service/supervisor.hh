@@ -30,6 +30,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -56,6 +58,10 @@ struct QueryJob
      *  or a fault-injection script in the chaos harness); the pool's
      *  session config when unset. */
     std::optional<MachineConfig> machine;
+
+    /** Per-query solution cap (the server's "max_solutions" request
+     *  field); the pool's session default when unset. */
+    std::optional<size_t> maxSolutions;
 };
 
 /** A finished query, in submission order. */
@@ -103,6 +109,11 @@ struct SupervisorOptions
 class Supervisor
 {
   public:
+    /** Completion callback for submitAsync(): runs on the worker
+     *  thread that executed (or the submitting thread that shed) the
+     *  query. Must not call back into this Supervisor. */
+    using Completion = std::function<void(QueryOutcome)>;
+
     explicit Supervisor(SupervisorOptions options);
     ~Supervisor();
 
@@ -110,6 +121,25 @@ class Supervisor
      *  with an "overloaded" failure) the earliest-deadline queued
      *  query when the admission queue is full. */
     void submit(QueryJob job, CodeImage image);
+
+    /**
+     * Streaming admission (the always-on server path): the outcome is
+     * delivered through @p done instead of drain()'s result vector —
+     * including a shed query, whose callback fires with the
+     * "overloaded" failure before submitAsync returns. Queries run
+     * from the compiled @p image, or warm-start from a shared
+     * post-download KCMSNAP2 @p warm template (Session re-validates
+     * its checksums on restore). Thread-safe against concurrent
+     * submitters.
+     */
+    void submitAsync(QueryJob job, CodeImage image, Completion done);
+    void submitAsync(QueryJob job,
+                     std::shared_ptr<const Snapshot> warm,
+                     Completion done);
+
+    /** Queued-but-not-yet-running queries (admission backlog; the
+     *  server's retry-after hint scales with it). */
+    size_t queueDepth() const;
 
     /** Start the workers (after startPaused). */
     void resume();
@@ -122,16 +152,24 @@ class Supervisor
     ServiceStats stats() const;
 
   private:
+    /** SIZE_MAX slot marks an async submission (callback delivery,
+     *  no result-vector slot). */
+    static constexpr size_t asyncSlot = SIZE_MAX;
+
     struct Pending
     {
-        size_t slot = 0; ///< result slot, in submission order
+        size_t slot = asyncSlot; ///< result slot, in submission order
         QueryJob job;
         CodeImage image;
-        uint64_t deadlineKeyMs = 0; ///< eviction key
+        std::shared_ptr<const Snapshot> warm; ///< warm-start template
+        Completion done;                      ///< async delivery
+        uint64_t deadlineKeyMs = 0;           ///< eviction key
     };
 
     void workerMain();
-    void shedLocked(std::deque<Pending>::iterator victim);
+    void enqueue(Pending pending);
+    QueryOutcome shedOneLocked(Completion &shed_cb);
+    void bumpStatsLocked(const QueryOutcome &outcome);
     void finishLocked(size_t slot, QueryOutcome outcome);
 
     SupervisorOptions options_;

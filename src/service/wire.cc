@@ -1,0 +1,554 @@
+#include "service/wire.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace kcm::service
+{
+
+namespace
+{
+
+/** Poll slice: how often deadlines and the cancel callback are
+ *  re-checked while blocked on the socket. */
+constexpr int pollSliceMs = 50;
+
+uint64_t
+nowMs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return uint64_t(ts.tv_sec) * 1000 + uint64_t(ts.tv_nsec) / 1000000;
+}
+
+// ---------------------------------------------------------------- //
+// JSON parsing: recursive descent over one flat object. The grammar
+// is full JSON for scalars; containers are restricted to one object
+// of scalars / arrays-of-scalars (all the protocol ever sends).
+// ---------------------------------------------------------------- //
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string error;
+
+    bool
+    fail(const std::string &why)
+    {
+        error = why;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\r' ||
+                           *p == '\n'))
+            ++p;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (p >= end || *p != c)
+            return fail(cat("expected '", std::string(1, c), "'"));
+        ++p;
+        return true;
+    }
+
+    bool
+    parseHex4(uint32_t &out)
+    {
+        if (end - p < 4)
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = *p++;
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= uint32_t(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= uint32_t(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= uint32_t(c - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &s, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            s.push_back(char(cp));
+        } else if (cp < 0x800) {
+            s.push_back(char(0xC0 | (cp >> 6)));
+            s.push_back(char(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            s.push_back(char(0xE0 | (cp >> 12)));
+            s.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(char(0x80 | (cp & 0x3F)));
+        } else {
+            s.push_back(char(0xF0 | (cp >> 18)));
+            s.push_back(char(0x80 | ((cp >> 12) & 0x3F)));
+            s.push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(char(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (p < end) {
+            unsigned char c = (unsigned char)*p++;
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (p >= end)
+                    return fail("truncated escape");
+                char e = *p++;
+                switch (e) {
+                  case '"':  out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/':  out.push_back('/'); break;
+                  case 'b':  out.push_back('\b'); break;
+                  case 'f':  out.push_back('\f'); break;
+                  case 'n':  out.push_back('\n'); break;
+                  case 'r':  out.push_back('\r'); break;
+                  case 't':  out.push_back('\t'); break;
+                  case 'u': {
+                      uint32_t cp;
+                      if (!parseHex4(cp))
+                          return false;
+                      // Surrogate pair → one code point.
+                      if (cp >= 0xD800 && cp <= 0xDBFF && end - p >= 6 &&
+                          p[0] == '\\' && p[1] == 'u') {
+                          p += 2;
+                          uint32_t lo;
+                          if (!parseHex4(lo))
+                              return false;
+                          if (lo < 0xDC00 || lo > 0xDFFF)
+                              return fail("bad low surrogate");
+                          cp = 0x10000 + ((cp - 0xD800) << 10) +
+                               (lo - 0xDC00);
+                      }
+                      appendUtf8(out, cp);
+                      break;
+                  }
+                  default:
+                    return fail("bad escape character");
+                }
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            out.push_back(char(c));
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        bool integral = true;
+        while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' ||
+                           *p == 'e' || *p == 'E' || *p == '+' ||
+                           *p == '-')) {
+            if (*p == '.' || *p == 'e' || *p == 'E')
+                integral = false;
+            ++p;
+        }
+        if (p == start || (p == start + 1 && *start == '-'))
+            return fail("bad number");
+        std::string text(start, p);
+        errno = 0;
+        if (integral) {
+            char *parse_end = nullptr;
+            long long v = strtoll(text.c_str(), &parse_end, 10);
+            if (errno == ERANGE)
+                integral = false; // fall through to double
+            else if (!parse_end || *parse_end != '\0')
+                return fail("bad number");
+            else {
+                out.kind = JsonValue::Kind::Int;
+                out.integer = v;
+                return true;
+            }
+        }
+        char *parse_end = nullptr;
+        errno = 0;
+        double d = strtod(text.c_str(), &parse_end);
+        if (!parse_end || *parse_end != '\0')
+            return fail("bad number");
+        out.kind = JsonValue::Kind::Double;
+        out.real = d;
+        return true;
+    }
+
+    bool
+    parseScalar(JsonValue &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("truncated value");
+        char c = *p;
+        if (c == '"') {
+            out.kind = JsonValue::Kind::Str;
+            return parseString(out.str);
+        }
+        if (c == 't') {
+            if (end - p < 4 || memcmp(p, "true", 4) != 0)
+                return fail("bad literal");
+            p += 4;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (end - p < 5 || memcmp(p, "false", 5) != 0)
+                return fail("bad literal");
+            p += 5;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (end - p < 4 || memcmp(p, "null", 4) != 0)
+                return fail("bad literal");
+            p += 4;
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        if (c == '{' || c == '[')
+            return fail("nested containers are not in the protocol");
+        return parseNumber(out);
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (p < end && *p == '[') {
+            ++p;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            for (;;) {
+                JsonValue item;
+                if (!parseScalar(item))
+                    return false;
+                out.items.push_back(std::move(item));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                return expect(']');
+            }
+        }
+        return parseScalar(out);
+    }
+
+    bool
+    parseObject(JsonObject &out)
+    {
+        if (!expect('{'))
+            return false;
+        skipWs();
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        for (;;) {
+            std::string k;
+            if (!parseString(k))
+                return false;
+            if (!expect(':'))
+                return false;
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out[std::move(k)] = std::move(v);
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                skipWs();
+                continue;
+            }
+            return expect('}');
+        }
+    }
+};
+
+} // namespace
+
+bool
+parseJsonObject(const std::string &text, JsonObject &out,
+                std::string &error)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    out.clear();
+    if (!parser.parseObject(out)) {
+        error = parser.error;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        error = "trailing bytes after object";
+        return false;
+    }
+    return true;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(char(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    if (!body_.empty())
+        body_ += ", ";
+    body_ += jsonQuote(k);
+    body_ += ": ";
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const std::string &value)
+{
+    key(k);
+    body_ += jsonQuote(value);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const char *value)
+{
+    return field(k, std::string(value));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, int64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, uint64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, bool value)
+{
+    key(k);
+    body_ += value ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::fieldRaw(const std::string &k, const std::string &raw)
+{
+    key(k);
+    body_ += raw;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::fieldStrings(const std::string &k,
+                         const std::vector<std::string> &values)
+{
+    key(k);
+    body_ += "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            body_ += ", ";
+        body_ += jsonQuote(values[i]);
+    }
+    body_ += "]";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    return "{" + body_ + "}";
+}
+
+const char *
+ioStatusName(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::Ok:        return "ok";
+      case IoStatus::Timeout:   return "timeout";
+      case IoStatus::SlowLoris: return "slow_loris";
+      case IoStatus::Oversize:  return "oversize";
+      case IoStatus::Closed:    return "closed";
+      case IoStatus::Cancelled: return "cancelled";
+      case IoStatus::Error:     return "error";
+    }
+    return "unknown";
+}
+
+IoStatus
+writeAllDeadline(int fd, const void *data, size_t size,
+                 uint64_t deadline_ms,
+                 const std::function<bool()> &cancel)
+{
+    const char *p = static_cast<const char *>(data);
+    const uint64_t start = nowMs();
+    size_t written = 0;
+    while (written < size) {
+        if (cancel && cancel())
+            return IoStatus::Cancelled;
+        if (nowMs() - start >= deadline_ms)
+            return IoStatus::Timeout;
+        pollfd pfd{fd, POLLOUT, 0};
+        int rv = poll(&pfd, 1, pollSliceMs);
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        if (rv == 0)
+            continue;
+        if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL))
+            return IoStatus::Closed;
+        ssize_t n = ::send(fd, p + written, size - written,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            if (errno == EPIPE || errno == ECONNRESET)
+                return IoStatus::Closed;
+            return IoStatus::Error;
+        }
+        written += size_t(n);
+    }
+    return IoStatus::Ok;
+}
+
+LineReader::LineReader(int fd, size_t max_line_bytes)
+    : fd_(fd), maxLineBytes_(max_line_bytes)
+{
+}
+
+IoStatus
+LineReader::next(std::string &line, uint64_t idle_ms,
+                 uint64_t request_ms,
+                 const std::function<bool()> &cancel)
+{
+    const uint64_t start = nowMs();
+    // A partial line carried over from the previous call keeps its
+    // slow-loris clock ticking from *now* — per call is the tightest
+    // bound we can enforce without wall-clock state in the reader,
+    // and it still caps how long a trickling peer holds the thread.
+    for (;;) {
+        // Deliver a buffered complete line first.
+        size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buffer_, 0, nl);
+            buffer_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return IoStatus::Ok;
+        }
+        if (buffer_.size() > maxLineBytes_)
+            return IoStatus::Oversize;
+        if (sawEof_)
+            return IoStatus::Closed;
+
+        if (cancel && cancel())
+            return IoStatus::Cancelled;
+        const uint64_t waited = nowMs() - start;
+        if (buffer_.empty()) {
+            if (waited >= idle_ms)
+                return IoStatus::Timeout;
+        } else {
+            if (waited >= request_ms)
+                return IoStatus::SlowLoris;
+        }
+
+        pollfd pfd{fd_, POLLIN, 0};
+        int rv = poll(&pfd, 1, pollSliceMs);
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        if (rv == 0)
+            continue;
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            if (errno == ECONNRESET)
+                return IoStatus::Closed;
+            return IoStatus::Error;
+        }
+        if (n == 0) {
+            sawEof_ = true;
+            // Trailing unterminated bytes are not a frame.
+            if (!buffer_.empty())
+                buffer_.clear();
+            continue;
+        }
+        buffer_.append(chunk, size_t(n));
+    }
+}
+
+} // namespace kcm::service

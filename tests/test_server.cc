@@ -1,0 +1,394 @@
+/**
+ * @file
+ * The always-on query server, in process: wire codec hardening, warm
+ * image-cache behaviour (hit/evict/corrupt), connection lifecycle
+ * (bad frames, per-connection in-flight caps), and graceful drain
+ * accounting. The network chaos harness (bench/server_chaos) covers
+ * the same contract against a real daemon process; these tests pin
+ * the pieces down deterministically and run in the tier-1 suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "core/machine.hh"
+#include "core/snapshot.hh"
+#include "kcm/kcm.hh"
+#include "service/client.hh"
+#include "service/image_cache.hh"
+#include "service/server.hh"
+#include "service/session.hh"
+#include "service/wire.hh"
+
+using namespace kcm;
+using service::Client;
+using service::ClientReply;
+using service::IoStatus;
+
+namespace
+{
+
+const char *testProgram =
+    "sumto(0, 0).\n"
+    "sumto(N, S) :- N > 0, M is N - 1, sumto(M, T), S is T + N.\n";
+
+/** A running server on an ephemeral port plus a connected client. */
+struct Harness
+{
+    std::unique_ptr<service::Server> server;
+    Client client;
+
+    explicit Harness(service::ServerOptions options = {})
+    {
+        options.consultStdlib = false; // fast template compiles
+        server = std::make_unique<service::Server>(options);
+        server->start();
+        if (!client.connect("127.0.0.1", server->port(), 5'000))
+            fatal("harness cannot connect: ", client.error());
+    }
+};
+
+} // namespace
+
+// ------------------------------------------------------------------ //
+// Wire codec
+// ------------------------------------------------------------------ //
+
+TEST(Wire, ParsesFlatObjectsAndRejectsEverythingElse)
+{
+    service::JsonObject obj;
+    std::string err;
+
+    ASSERT_TRUE(service::parseJsonObject(
+        R"({"op": "query", "n": 42, "x": -1.5, "ok": true,)"
+        R"( "none": null, "answers": ["a", "b"]})",
+        obj, err))
+        << err;
+    EXPECT_EQ(obj["op"].str, "query");
+    EXPECT_EQ(obj["n"].asInt(), 42);
+    EXPECT_TRUE(obj["ok"].boolean);
+    ASSERT_EQ(obj["answers"].items.size(), 2u);
+    EXPECT_EQ(obj["answers"].items[1].str, "b");
+
+    const char *bad[] = {
+        "",                                  // empty
+        "[1, 2]",                            // not an object
+        "{\"a\": 1",                         // truncated
+        "{\"a\": {\"nested\": 1}}",          // nested object
+        "{\"a\": [[1]]}",                    // nested array
+        "{\"a\": 1} trailing",               // trailing bytes
+        "{\"a\": \"unterminated",            // unterminated string
+        "\x01\x02garbage",                   // binary junk
+        "{\"dup\": 1, \"dup\": 1,}",         // trailing comma
+    };
+    for (const char *text : bad) {
+        service::JsonObject out;
+        EXPECT_FALSE(service::parseJsonObject(text, out, err))
+            << "accepted: " << text;
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+TEST(Wire, QuoteRoundTripsControlCharactersAndUnicodeEscapes)
+{
+    const std::string nasty = "a\"b\\c\nd\te\x01f";
+    service::JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(service::parseJsonObject(
+        "{\"s\": " + service::jsonQuote(nasty) + "}", obj, err))
+        << err;
+    EXPECT_EQ(obj["s"].str, nasty);
+
+    ASSERT_TRUE(service::parseJsonObject(
+        R"({"s": "Aé 😀"})", obj, err))
+        << err;
+    EXPECT_EQ(obj["s"].str, "A\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+// ------------------------------------------------------------------ //
+// Image cache
+// ------------------------------------------------------------------ //
+
+TEST(ImageCache, KeyCoversProgramGoalAndConfig)
+{
+    MachineConfig config;
+    uint64_t base = service::imageCacheKey("p.", "g", config);
+    EXPECT_NE(base, service::imageCacheKey("p2.", "g", config));
+    EXPECT_NE(base, service::imageCacheKey("p.", "g2", config));
+    MachineConfig oracle = config;
+    oracle.fastDispatch = !config.fastDispatch;
+    EXPECT_NE(base, service::imageCacheKey("p.", "g", oracle));
+    // Field-boundary separation: moving a byte between program and
+    // goal must change the key.
+    EXPECT_NE(service::imageCacheKey("ab", "c", config),
+              service::imageCacheKey("a", "bc", config));
+}
+
+TEST(ImageCache, EvictsLruUnderBudgetAndRefusesCorruptEntries)
+{
+    CodeImage image = [&] {
+        KcmSystem host;
+        host.consult(testProgram);
+        return host.compileOnly("sumto(5, S)");
+    }();
+    Machine machine;
+    machine.load(image);
+    Snapshot snap = takeSnapshot(machine);
+    const size_t snap_bytes = snap.bytes.size();
+
+    // Budget for exactly two entries: inserting a third evicts the
+    // least recently used.
+    service::ImageCache cache(2 * snap_bytes + snap_bytes / 2);
+    cache.insert(1, snap);
+    cache.insert(2, snap);
+    ASSERT_TRUE(cache.lookup(1)); // touch: 2 is now LRU
+    cache.insert(3, snap);
+    EXPECT_TRUE(cache.lookup(1));
+    EXPECT_FALSE(cache.lookup(2)) << "LRU entry should have evicted";
+    EXPECT_TRUE(cache.lookup(3));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // Corruption: the next lookup of the poisoned entry must detect
+    // it, evict it, and report a miss — never hand out a bad image.
+    ASSERT_EQ(cache.corruptOneForTesting(), 1u);
+    service::ImageCacheStats before = cache.stats();
+    size_t served = 0;
+    for (uint64_t key : {uint64_t(1), uint64_t(3)})
+        if (auto hit = cache.lookup(key)) {
+            std::string why;
+            EXPECT_TRUE(validateSnapshot(*hit, &why)) << why;
+            ++served;
+        }
+    EXPECT_EQ(served, 1u);
+    EXPECT_EQ(cache.stats().corruptEvictions,
+              before.corruptEvictions + 1);
+}
+
+// ------------------------------------------------------------------ //
+// Session: the corrupt-template restore path
+// ------------------------------------------------------------------ //
+
+TEST(Session, CorruptWarmTemplateFailsClassifiedNotFatal)
+{
+    CodeImage image = [&] {
+        KcmSystem host;
+        host.consult(testProgram);
+        return host.compileOnly("sumto(5, S)");
+    }();
+    service::SessionOptions options;
+    Machine machine(options.machine);
+    machine.load(image);
+    Snapshot snap = takeSnapshot(machine);
+    snap.bytes[snap.bytes.size() / 2] ^= 0x40;
+
+    service::Session session(
+        std::make_shared<const Snapshot>(std::move(snap)), options);
+    service::QueryOutcome out = session.run();
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_EQ(out.failure.classification, "corrupt_image_template");
+}
+
+// ------------------------------------------------------------------ //
+// Server: protocol, cache, lifecycle, drain
+// ------------------------------------------------------------------ //
+
+TEST(Server, WarmCacheHitMatchesColdMissBitIdentically)
+{
+    Harness h;
+    ClientReply cold =
+        h.client.query("q0", testProgram, "sumto(50, S)", 1);
+    ASSERT_EQ(cold.io, IoStatus::Ok) << cold.raw;
+    ASSERT_EQ(cold.status(), "completed") << cold.raw;
+    EXPECT_EQ(cold.str("cache"), "miss");
+
+    ClientReply warm =
+        h.client.query("q1", testProgram, "sumto(50, S)", 1);
+    ASSERT_EQ(warm.status(), "completed") << warm.raw;
+    EXPECT_EQ(warm.str("cache"), "hit");
+    ASSERT_EQ(warm.fields["answers"].items.size(), 1u);
+    EXPECT_EQ(warm.fields["answers"].items[0].str,
+              cold.fields["answers"].items[0].str);
+    EXPECT_EQ(warm.num("cycles"), cold.num("cycles"))
+        << "template restore must be invisible to simulated time";
+
+    EXPECT_EQ(h.server->cacheStats().hits, 1u);
+    EXPECT_EQ(h.server->cacheStats().misses, 1u);
+}
+
+TEST(Server, MalformedFramesGetBadRequestAndTheConnectionSurvives)
+{
+    Harness h;
+    const char *frames[] = {
+        "\x02\xff not json at all",
+        "{\"op\": \"query\"",           // truncated
+        "{\"op\": \"query\"}",          // missing program/goal
+        "{\"op\": \"no_such_op\"}",
+        "{\"op\": \"corrupt_cache\"}",  // chaos hook not enabled
+        "{\"op\": \"query\", \"program\": \"p.\", \"goal\": \"g\","
+        " \"max_solutions\": \"ten\"}", // wrong field type
+    };
+    for (const char *frame : frames) {
+        ASSERT_EQ(h.client.sendLine(frame), IoStatus::Ok);
+        ClientReply reply = h.client.readReply(10'000);
+        ASSERT_EQ(reply.io, IoStatus::Ok) << frame;
+        EXPECT_EQ(reply.status(), "bad_request") << reply.raw;
+    }
+    // The connection is still serviceable for a real query.
+    ClientReply good =
+        h.client.query("q", testProgram, "sumto(7, S)", 1);
+    EXPECT_EQ(good.status(), "completed") << good.raw;
+    EXPECT_EQ(h.server->counters().badRequests, 6u);
+}
+
+TEST(Server, CompileErrorsAreBadRequestsNotCrashes)
+{
+    Harness h;
+    ClientReply reply = h.client.query(
+        "q", ":- this is not ) valid prolog", "sumto(1, S)", 1);
+    ASSERT_EQ(reply.io, IoStatus::Ok);
+    EXPECT_EQ(reply.status(), "bad_request") << reply.raw;
+    EXPECT_NE(reply.str("error").find("compile_error"),
+              std::string::npos)
+        << reply.raw;
+    // And the server still answers afterwards.
+    ClientReply good =
+        h.client.query("q2", testProgram, "sumto(3, S)", 1);
+    EXPECT_EQ(good.status(), "completed") << good.raw;
+}
+
+TEST(Server, PerConnectionInflightCapShedsWithRetryAfter)
+{
+    service::ServerOptions options;
+    options.maxInflightPerConn = 1;
+    options.workers = 1;
+    Harness h(options);
+
+    // First query occupies the one in-flight slot; firing a second
+    // down the same connection before reading the first reply must
+    // get the structured overload answer, with a retry hint.
+    service::JsonWriter w;
+    w.field("op", "query")
+        .field("id", "a")
+        .field("program", testProgram)
+        .field("goal", "sumto(2000, S)")
+        .field("max_solutions", uint64_t(1));
+    ASSERT_EQ(h.client.sendLine(w.str()), IoStatus::Ok);
+    service::JsonWriter w2;
+    w2.field("op", "query")
+        .field("id", "b")
+        .field("program", testProgram)
+        .field("goal", "sumto(3, S)")
+        .field("max_solutions", uint64_t(1));
+    ASSERT_EQ(h.client.sendLine(w2.str()), IoStatus::Ok);
+
+    bool saw_overloaded = false, saw_completed = false;
+    for (int i = 0; i < 2; ++i) {
+        ClientReply reply = h.client.readReply(30'000);
+        ASSERT_EQ(reply.io, IoStatus::Ok);
+        if (reply.status() == "overloaded") {
+            saw_overloaded = true;
+            EXPECT_EQ(reply.str("id"), "b");
+            EXPECT_GT(reply.num("retry_after_ms"), 0);
+        } else {
+            saw_completed = true;
+            EXPECT_EQ(reply.status(), "completed") << reply.raw;
+            EXPECT_EQ(reply.str("id"), "a");
+        }
+    }
+    EXPECT_TRUE(saw_overloaded);
+    EXPECT_TRUE(saw_completed);
+    EXPECT_GE(h.server->counters().overloaded, 1u);
+}
+
+TEST(Server, ChaosCorruptionHookForcesRecompileNeverAWrongAnswer)
+{
+    service::ServerOptions options;
+    options.chaosHooks = true;
+    Harness h(options);
+
+    ClientReply first =
+        h.client.query("q0", testProgram, "sumto(30, S)", 1);
+    ASSERT_EQ(first.status(), "completed") << first.raw;
+    const std::string want = first.fields["answers"].items[0].str;
+
+    ASSERT_EQ(h.client.sendLine("{\"op\": \"corrupt_cache\"}"),
+              IoStatus::Ok);
+    ClientReply ack = h.client.readReply(10'000);
+    ASSERT_EQ(ack.status(), "ok") << ack.raw;
+    ASSERT_EQ(ack.num("corrupted"), 1);
+
+    ClientReply after =
+        h.client.query("q1", testProgram, "sumto(30, S)", 1);
+    ASSERT_EQ(after.status(), "completed") << after.raw;
+    EXPECT_EQ(after.str("cache"), "miss")
+        << "corrupt entry must not be served as a hit";
+    EXPECT_EQ(after.fields["answers"].items[0].str, want);
+    EXPECT_GE(h.server->cacheStats().corruptEvictions +
+                  h.server->counters().corruptRetries,
+              1u);
+}
+
+TEST(Server, DrainFinishesAcceptedQueriesAndRefusesNewOnes)
+{
+    service::ServerOptions options;
+    options.workers = 2;
+    Harness h(options);
+
+    // Accept a query, then start draining while it is in flight.
+    service::JsonWriter w;
+    w.field("op", "query")
+        .field("id", "inflight")
+        .field("program", testProgram)
+        .field("goal", "sumto(4000, S)")
+        .field("max_solutions", uint64_t(1));
+    ASSERT_EQ(h.client.sendLine(w.str()), IoStatus::Ok);
+
+    // Drain only applies to *accepted* queries; wait until the server
+    // has admitted this one so the invariant is actually exercised.
+    for (int spin = 0; spin < 1000; ++spin) {
+        if (h.server->counters().queriesAccepted >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(h.server->counters().queriesAccepted, 1u);
+
+    h.server->requestDrain();
+
+    // The accepted query's reply must still arrive, then the
+    // connection closes (reads stop during drain).
+    ClientReply reply = h.client.readReply(30'000);
+    ASSERT_EQ(reply.io, IoStatus::Ok);
+    EXPECT_EQ(reply.status(), "completed") << reply.raw;
+    EXPECT_EQ(reply.str("id"), "inflight");
+
+    h.server->waitDrained();
+    service::ServerCounters c = h.server->counters();
+    EXPECT_EQ(c.queriesAccepted, c.queriesReplied)
+        << "drain lost an accepted query";
+    EXPECT_EQ(c.queriesAccepted, 1u);
+
+    // New connections are refused once draining.
+    Client late;
+    EXPECT_FALSE(late.connect("127.0.0.1", h.server->port(), 1'000));
+}
+
+TEST(Server, StatsOpReportsCountersOverTheWire)
+{
+    Harness h;
+    ClientReply q = h.client.query("q", testProgram, "sumto(9, S)", 1);
+    ASSERT_EQ(q.status(), "completed");
+    ClientReply s = h.client.stats();
+    ASSERT_EQ(s.status(), "ok") << s.raw;
+    EXPECT_EQ(s.num("queries_accepted"), 1);
+    EXPECT_EQ(s.num("queries_replied"), 1);
+    EXPECT_EQ(s.num("cache_misses"), 1);
+    EXPECT_GE(s.num("requests"), 2);
+    ClientReply p = h.client.ping();
+    EXPECT_EQ(p.status(), "pong");
+}

@@ -15,7 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
 #include "base/logging.hh"
+#include "core/snapshot.hh"
 #include "kcm/kcm.hh"
 #include "mem/zone_check.hh"
 #include "service/supervisor.hh"
@@ -379,4 +384,139 @@ TEST(Supervisor, AggregatesRecoveryCountersAcrossSessions)
     EXPECT_GE(stats.retries + stats.restarts, 4u);
     EXPECT_GE(stats.checkpoints, 4u);
     EXPECT_GT(stats.recoveryCycles, 0u);
+}
+
+TEST(Supervisor, AsyncSaturationShedsDeterministicallyUnderLoad)
+{
+    // The always-on server's admission path: submitAsync() a burst
+    // well past the queue bound while the workers are paused. The
+    // shed callbacks must fire synchronously (before resume()) with
+    // the structured "overloaded" classification, earliest deadline
+    // first; every admitted query must still complete with the
+    // deterministic answer once the workers run.
+    service::SupervisorOptions options;
+    options.workers = 2;
+    options.maxQueueDepth = 4;
+    options.startPaused = true;
+    options.session.backoffBaseMs = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+    CodeImage image = host.compileOnly("sumto(100, S)");
+
+    service::Supervisor supervisor(options);
+    std::mutex mutex;
+    std::map<std::string, service::QueryOutcome> outcomes;
+
+    const int burst = 12;
+    for (int i = 0; i < burst; ++i) {
+        service::QueryJob job;
+        job.id = cat("q", i);
+        job.goal = "sumto(100, S)";
+        // Monotonically later deadlines: the earliest-deadline
+        // eviction policy must shed q0..q7 in order and admit the
+        // last maxQueueDepth submissions.
+        job.deadlineMs = 1000 * uint64_t(i + 1);
+        supervisor.submitAsync(
+            job, image, [&, id = job.id](service::QueryOutcome out) {
+                std::lock_guard<std::mutex> lock(mutex);
+                outcomes[id] = std::move(out);
+            });
+    }
+
+    // Workers are paused, so every shed decision has already been
+    // delivered and exactly maxQueueDepth queries are still queued.
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ASSERT_EQ(outcomes.size(), size_t(burst) - 4);
+        for (const auto &[id, out] : outcomes) {
+            EXPECT_EQ(out.status, service::QueryStatus::Shed) << id;
+            EXPECT_EQ(out.failure.classification, "overloaded") << id;
+        }
+        for (int i = 0; i < 8; ++i)
+            EXPECT_TRUE(outcomes.count(cat("q", i)))
+                << "q" << i << " should have been shed";
+    }
+    EXPECT_EQ(supervisor.queueDepth(), 4u);
+
+    supervisor.resume();
+    supervisor.drain();
+
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(outcomes.size(), size_t(burst));
+    for (int i = 8; i < burst; ++i) {
+        const auto &out = outcomes[cat("q", i)];
+        EXPECT_EQ(out.status, service::QueryStatus::Completed);
+        ASSERT_TRUE(out.success);
+        // sumto(100, S) -> S = 5050, deterministic on every worker.
+        EXPECT_NE(out.solutions[0].toString().find("5050"),
+                  std::string::npos);
+    }
+    service::ServiceStats stats = supervisor.stats();
+    EXPECT_EQ(stats.shed, 8u);
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(Supervisor, WarmTemplateAsyncMatchesColdImage)
+{
+    // The warm snapshot-template path the server's image cache uses:
+    // a query warm-started from a post-download KCMSNAP2 template
+    // must produce the same answer and the same simulated cycle count
+    // as one cold-started from the compiled image.
+    service::SupervisorOptions options;
+    options.workers = 2;
+    options.session.backoffBaseMs = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+    CodeImage image = host.compileOnly("revsum(15, S)");
+
+    auto tmpl = std::make_shared<const Snapshot>([&] {
+        Machine machine(options.session.machine);
+        machine.load(image);
+        return takeSnapshot(machine);
+    }());
+
+    service::Supervisor supervisor(options);
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<service::QueryOutcome> warm_outcomes;
+    const int warm_runs = 4;
+    for (int i = 0; i < warm_runs; ++i) {
+        service::QueryJob job;
+        job.id = cat("warm", i);
+        job.goal = "revsum(15, S)";
+        supervisor.submitAsync(
+            job, tmpl, [&](service::QueryOutcome out) {
+                std::lock_guard<std::mutex> lock(mutex);
+                warm_outcomes.push_back(std::move(out));
+                cv.notify_all();
+            });
+    }
+    service::QueryJob cold;
+    cold.id = "cold";
+    cold.goal = "revsum(15, S)";
+    supervisor.submit(cold, image);
+    std::vector<service::ServiceResult> results = supervisor.drain();
+
+    ASSERT_EQ(results.size(), 1u);
+    const service::QueryOutcome &cold_out = results[0].outcome;
+    ASSERT_EQ(cold_out.status, service::QueryStatus::Completed);
+    ASSERT_TRUE(cold_out.success);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(warm_outcomes.size(), size_t(warm_runs));
+    for (const auto &out : warm_outcomes) {
+        ASSERT_EQ(out.status, service::QueryStatus::Completed);
+        ASSERT_TRUE(out.success);
+        EXPECT_EQ(out.solutions[0].toString(),
+                  cold_out.solutions[0].toString());
+        EXPECT_EQ(out.cycles, cold_out.cycles)
+            << "warm restore must be invisible to simulated time";
+    }
 }

@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "base/logging.hh"
 #include "core/machine.hh"
 #include "core/snapshot.hh"
@@ -345,4 +349,82 @@ TEST(Snapshot, CorruptImagesAreRejected)
     Snapshot truncated = snap;
     truncated.bytes.resize(truncated.bytes.size() / 2);
     EXPECT_THROW(restoreSnapshot(victim, truncated), FatalError);
+}
+
+TEST(Snapshot, TemplateRestoresManyTimesAcrossCoresUnmodified)
+{
+    // The server's warm image cache snapshots the post-download
+    // machine ONCE and restores that shared template for every later
+    // query with the same (program, goal, config) key. The contract:
+    // every restore yields the same run, on either dispatch core, and
+    // the template buffer itself is never modified by being used.
+    CodeImage image = compileQuery(mklistProgram, "mklist(40, L)");
+
+    Machine loaded;
+    loaded.load(image);
+    const Snapshot tmpl = takeSnapshot(loaded);
+    const std::vector<uint8_t> pristine = tmpl.bytes;
+
+    // Reference run: straight from load(), no snapshot involved.
+    Machine reference;
+    reference.load(image);
+    ASSERT_EQ(reference.run(), RunStatus::SolutionFound);
+    const Metrics want = metricsOf(reference);
+
+    // Restore-many, alternating the fast and oracle cores.
+    for (int i = 0; i < 6; ++i) {
+        MachineConfig config;
+        config.fastDispatch = (i % 2 == 0);
+        Machine worker(config);
+        restoreSnapshot(worker, tmpl);
+        ASSERT_EQ(worker.run(), RunStatus::SolutionFound)
+            << "restore #" << i;
+        EXPECT_EQ(metricsOf(worker), want)
+            << "restore #" << i << " diverged from the direct load";
+        EXPECT_EQ(tmpl.bytes, pristine)
+            << "restore #" << i << " modified the shared template";
+    }
+
+    // The server restores the same shared buffer from concurrent
+    // worker threads; races would corrupt answers, not just bytes.
+    std::vector<std::thread> workers;
+    std::atomic<int> mismatches{0};
+    for (int i = 0; i < 4; ++i) {
+        workers.emplace_back([&, i] {
+            MachineConfig config;
+            config.fastDispatch = (i % 2 == 0);
+            Machine worker(config);
+            restoreSnapshot(worker, tmpl);
+            if (worker.run() != RunStatus::SolutionFound ||
+                !(metricsOf(worker) == want))
+                ++mismatches;
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(tmpl.bytes, pristine);
+}
+
+TEST(Snapshot, ValidateSnapshotCatchesBitFlipWithoutAMachine)
+{
+    // The cheap pre-restore check the image cache runs on every
+    // lookup: structural validation must accept a healthy template
+    // and reject any single-bit corruption, without needing (or
+    // touching) a machine.
+    CodeImage image = compileQuery(mklistProgram, "mklist(10, L)");
+    Machine loaded;
+    loaded.load(image);
+    Snapshot tmpl = takeSnapshot(loaded);
+
+    std::string why;
+    EXPECT_TRUE(validateSnapshot(tmpl, &why)) << why;
+
+    for (size_t pos : {size_t(16), tmpl.bytes.size() / 2,
+                       tmpl.bytes.size() - 1}) {
+        Snapshot corrupt = tmpl;
+        corrupt.bytes[pos] ^= 0x10;
+        EXPECT_FALSE(validateSnapshot(corrupt, &why))
+            << "flip at byte " << pos << " went undetected";
+    }
 }

@@ -36,11 +36,17 @@
  *                          megacycles
  *   --retries N            recovery attempts after a trap
  *
+ * SIGINT/SIGTERM stop the run at the next instruction-boundary slice:
+ * solutions found so far are still printed (with a trailing
+ * "% interrupted" marker) before the process exits.
+ *
  * Exit codes: 0 = solutions found, 1 = clean "no", 2 = query failed
  * (trap, resource exhaustion, blown deadline, usage error), 3 = shed
- * by an overloaded service (kcm_serve semantics, reserved here).
+ * by an overloaded service (kcm_serve semantics, reserved here),
+ * 4 = interrupted by SIGINT/SIGTERM (partial solutions flushed).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +64,24 @@
 
 namespace
 {
+
+void
+onSignal(int)
+{
+    // Only an atomic store — async-signal-safe. Both the supervised
+    // session and the interruptible query poll it between slices.
+    kcm::service::requestServiceInterrupt();
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
 
 std::string
 readFile(const std::string &path)
@@ -84,7 +108,8 @@ usage()
             "  --retries N           recovery attempts after a trap\n"
             "exit codes: 0 = solutions found, 1 = clean 'no',\n"
             "  2 = failed (trap, resources, deadline, usage),\n"
-            "  3 = shed by an overloaded service\n");
+            "  3 = shed by an overloaded service,\n"
+            "  4 = interrupted (partial solutions flushed)\n");
     exit(2);
 }
 
@@ -180,6 +205,7 @@ main(int argc, char **argv)
         usage();
 
     options.machine.captureOutput = false; // stream I/O to stdout
+    installSignalHandlers();
 
     try {
         if (!load_path.empty()) {
@@ -248,6 +274,7 @@ main(int argc, char **argv)
             supervision.maxSolutions = options.maxSolutions == SIZE_MAX
                                            ? 0
                                            : options.maxSolutions;
+            supervision.abortOnInterrupt = true;
             kcm::service::Session session(system.compileOnly(query),
                                           supervision);
             kcm::service::QueryOutcome outcome = session.run();
@@ -271,6 +298,11 @@ main(int argc, char **argv)
                 return 3;
             }
             if (outcome.status == kcm::service::QueryStatus::Failed) {
+                if (outcome.failure.classification == "interrupted") {
+                    printf("%% interrupted.\n");
+                    fflush(stdout);
+                    return 4;
+                }
                 printf("error: %s.\n",
                        outcome.failure.classification.c_str());
                 fprintf(stderr,
@@ -290,7 +322,17 @@ main(int argc, char **argv)
             return outcome.success ? 0 : 1;
         }
 
-        kcm::QueryResult result = system.query(query);
+        kcm::QueryResult result = system.query(
+            query, [] { return kcm::service::serviceInterruptRequested(); });
+        if (result.interrupted) {
+            // Partial solutions first, so a long all-solutions run
+            // killed from the shell still yields everything found.
+            for (const auto &solution : result.solutions)
+                printf("%s ;\n", solution.toString().c_str());
+            printf("%% interrupted.\n");
+            fflush(stdout);
+            return 4;
+        }
         if (result.trapped) {
             for (const auto &solution : result.solutions)
                 printf("%s ;\n", solution.toString().c_str());

@@ -24,10 +24,18 @@
  *   -n N                  solutions per query (default 1; 0 = all)
  *   --oracle              decode-per-step execution core
  *
+ * SIGINT/SIGTERM start a graceful shutdown: queries already running
+ * abort cleanly at their next supervision slice (classification
+ * "interrupted"), queued queries follow, and the full JSON document —
+ * every completed result plus the classified interruptions — is still
+ * flushed before exit.
+ *
  * Exit codes: 0 = every query completed, 2 = at least one query
- * failed, 3 = at least one query shed (overloaded).
+ * failed, 3 = at least one query shed (overloaded), 4 = interrupted
+ * by SIGINT/SIGTERM (partial results were flushed).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,10 +46,19 @@
 
 #include "base/logging.hh"
 #include "kcm/kcm.hh"
+#include "service/session.hh"
 #include "service/supervisor.hh"
 
 namespace
 {
+
+void
+onSignal(int)
+{
+    // Only an atomic store — async-signal-safe. Sessions poll the
+    // flag at slice boundaries and abort with a classified failure.
+    kcm::service::requestServiceInterrupt();
+}
 
 [[noreturn]] void
 usage()
@@ -52,7 +69,8 @@ usage()
             "  --checkpoint-every K  --retries N  --budget N\n"
             "  -n N  --oracle\n"
             "exit codes: 0 = all completed, 2 = any failed, "
-            "3 = any shed\n");
+            "3 = any shed,\n"
+            "            4 = interrupted (partial results flushed)\n");
     exit(2);
 }
 
@@ -164,7 +182,14 @@ main(int argc, char **argv)
 
         service.session.maxSolutions = max_solutions;
         service.session.machine.captureOutput = true;
+        service.session.abortOnInterrupt = true;
         compile_options.machine = service.session.machine;
+
+        struct sigaction sa{};
+        sa.sa_handler = onSignal;
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGINT, &sa, nullptr);
+        sigaction(SIGTERM, &sa, nullptr);
 
         kcm::KcmSystem system(compile_options);
         system.consult(program);
@@ -230,7 +255,10 @@ main(int argc, char **argv)
                (unsigned long long)stats.checkpointBytes,
                (unsigned long long)stats.recoveryCycles);
         printf("}\n");
+        fflush(stdout);
 
+        if (kcm::service::serviceInterruptRequested())
+            return 4; // partial results above are still valid JSON
         if (stats.shed)
             return 3;
         if (stats.failed)

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * kcm_serverd — the always-on KCM query daemon.
+ *
+ * Binds a localhost TCP port, prints one JSON line with the bound
+ * port to stdout ({"listening": <port>}), then serves the
+ * newline-delimited JSON query protocol (service/server.hh) until
+ * SIGTERM or SIGINT. The signal starts a graceful drain: the listen
+ * socket closes, no further requests are read, every accepted query
+ * finishes (or, past the grace period, is checkpoint-aborted with a
+ * classified "interrupted" failure) and its reply is flushed. The
+ * daemon then prints one final accounting line —
+ *
+ *   {"drain": true, "accepted": N, "replied": N, ...}
+ *
+ * — and exits 0. accepted == replied is the drain invariant the chaos
+ * harness asserts: a shutdown loses no accepted query.
+ *
+ * Usage:
+ *   kcm_serverd [options]
+ *
+ * Options:
+ *   --port N             TCP port (default 0 = ephemeral, reported)
+ *   --workers N          execution worker threads (default 4)
+ *   --queue-depth N      admission-queue bound (default 64)
+ *   --cache-mb N         warm-template cache budget in MiB (default 256)
+ *   --deadline-ms N      default per-attempt query deadline (default 0)
+ *   --checkpoint-every K checkpoint every K simulated Mcycles (default 4)
+ *   --retries N          recovery attempts per query (default 3)
+ *   --idle-timeout-ms N  per-connection idle timeout (default 30000)
+ *   --read-deadline-ms N first byte -> full request bound (default 5000)
+ *   --write-deadline-ms N reply write bound (default 5000)
+ *   --max-inflight N     per-connection in-flight cap (default 8)
+ *   --drain-grace-ms N   drain grace before aborting (default 5000)
+ *   --no-stdlib          do not consult the bundled standard library
+ *   --chaos-hooks        enable the "corrupt_cache" op (testing only)
+ *   --oracle             decode-per-step execution core
+ *
+ * Exit codes: 0 = clean drain after SIGTERM/SIGINT, 2 = startup or
+ * usage error.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/logging.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+kcm::service::Server *activeServer = nullptr;
+
+void
+onSignal(int)
+{
+    // Only an atomic store — async-signal-safe. The server's drain
+    // machinery polls the flag.
+    if (activeServer)
+        activeServer->requestDrain();
+}
+
+[[noreturn]] void
+usage()
+{
+    fprintf(stderr,
+            "usage: kcm_serverd [options]\n"
+            "  --port N  --workers N  --queue-depth N  --cache-mb N\n"
+            "  --deadline-ms N  --checkpoint-every K  --retries N\n"
+            "  --idle-timeout-ms N  --read-deadline-ms N\n"
+            "  --write-deadline-ms N  --max-inflight N\n"
+            "  --drain-grace-ms N  --no-stdlib  --chaos-hooks  --oracle\n"
+            "exit codes: 0 = clean drain on SIGTERM/SIGINT, "
+            "2 = startup error\n");
+    exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    kcm::service::ServerOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--port") {
+            options.port =
+                uint16_t(strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--workers") {
+            options.workers =
+                unsigned(strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--queue-depth") {
+            options.maxQueueDepth =
+                size_t(strtoull(next().c_str(), nullptr, 10));
+        } else if (arg == "--cache-mb") {
+            options.cacheBudgetBytes =
+                strtoull(next().c_str(), nullptr, 10) << 20;
+        } else if (arg == "--deadline-ms") {
+            options.session.deadlineMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--checkpoint-every") {
+            options.session.checkpointEveryMcycles =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--retries") {
+            options.session.maxRetries =
+                unsigned(strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--idle-timeout-ms") {
+            options.idleTimeoutMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--read-deadline-ms") {
+            options.readDeadlineMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--write-deadline-ms") {
+            options.writeDeadlineMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--max-inflight") {
+            options.maxInflightPerConn =
+                unsigned(strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--drain-grace-ms") {
+            options.drainGraceMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--no-stdlib") {
+            options.consultStdlib = false;
+        } else if (arg == "--chaos-hooks") {
+            options.chaosHooks = true;
+        } else if (arg == "--oracle") {
+            options.session.machine.fastDispatch = false;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+        } else {
+            fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+        }
+    }
+
+    try {
+        kcm::service::Server server(options);
+        server.start();
+        activeServer = &server;
+
+        struct sigaction sa{};
+        sa.sa_handler = onSignal;
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGTERM, &sa, nullptr);
+        sigaction(SIGINT, &sa, nullptr);
+        signal(SIGPIPE, SIG_IGN);
+
+        printf("{\"listening\": %u}\n", unsigned(server.port()));
+        fflush(stdout);
+
+        server.waitDrained();
+        activeServer = nullptr;
+
+        auto c = server.counters();
+        auto cache = server.cacheStats();
+        auto pool = server.poolStats();
+        printf("{\"drain\": true, \"accepted\": %llu, "
+               "\"replied\": %llu, \"interrupted\": %llu, "
+               "\"requests\": %llu, \"bad_requests\": %llu, "
+               "\"overloaded\": %llu, \"compiles\": %llu, "
+               "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+               "\"cache_corrupt_evictions\": %llu, "
+               "\"corrupt_retries\": %llu, "
+               "\"pool_completed\": %llu, \"pool_failed\": %llu}\n",
+               (unsigned long long)c.queriesAccepted,
+               (unsigned long long)c.queriesReplied,
+               (unsigned long long)c.interrupted,
+               (unsigned long long)c.requests,
+               (unsigned long long)c.badRequests,
+               (unsigned long long)c.overloaded,
+               (unsigned long long)c.compiles,
+               (unsigned long long)cache.hits,
+               (unsigned long long)cache.misses,
+               (unsigned long long)cache.corruptEvictions,
+               (unsigned long long)c.corruptRetries,
+               (unsigned long long)pool.completed,
+               (unsigned long long)pool.failed);
+        fflush(stdout);
+        return c.queriesAccepted == c.queriesReplied ? 0 : 2;
+    } catch (const std::exception &e) {
+        fprintf(stderr, "kcm_serverd: %s\n", e.what());
+        return 2;
+    }
+}
