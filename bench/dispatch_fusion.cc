@@ -20,9 +20,16 @@
  * fusion may only change host-side dispatch counts.
  *
  * Usage: dispatch_fusion [--min-seconds S] [--timeout SECONDS]
+ *                        [--profile-in FILE] [--profile-out FILE]
  *   Writes BENCH_host.json (label "dispatch_fusion", profiled-mode
  *   steady-state numbers) to the working directory. Exit 1 on any
  *   cross-mode metric disagreement, 2 on trap/compile failure.
+ *
+ * --profile-out persists the union of every per-benchmark profiling
+ * pre-pass as a kcm-seqprofile text file; --profile-in reloads such a
+ * file and seeds the profiled mode's fused-sequence selection from it,
+ * so no pre-pass runs at all — the deployment shape, where profiling
+ * happens once offline and every later run just loads the histogram.
  */
 
 #include <chrono>
@@ -134,6 +141,8 @@ try {
     setLoggingEnabled(false);
     double min_seconds = minSecondsFromArgs(argc, argv);
     double watchdog = benchWatchdogFromArgs(argc, argv);
+    std::string profile_in = benchProfileInFromArgs(argc, argv);
+    std::string profile_out = benchProfileOutFromArgs(argc, argv);
 
     KcmOptions off_options;
     off_options.machine.fastDispatch = true;
@@ -142,6 +151,18 @@ try {
     static_options.machine.fusion.mode = FusionConfig::Mode::Static;
     KcmOptions profiled_options = off_options;
     profiled_options.machine.fusion.mode = FusionConfig::Mode::Profiled;
+
+    if (!profile_in.empty()) {
+        // Seed fusion from the persisted histogram: a non-empty
+        // selection makes every profiled preparation skip its
+        // per-benchmark pre-pass.
+        SequenceProfile seed = loadSequenceProfileFile(profile_in);
+        profiled_options.machine.fusion.sequences =
+            selectFusedSequences(seed, 12);
+        if (profiled_options.machine.fusion.sequences.empty())
+            fatal(profile_in, ": profile selects no fused sequences");
+    }
+    SequenceProfile collected;
 
     TablePrinter table({"Program", "cycles", "disp off", "disp prof",
                         "saved", "Mcyc/s off", "Mcyc/s stat",
@@ -163,7 +184,9 @@ try {
         BenchRun stat = runPlmBenchmark(bench, /*pure=*/true,
                                         static_options, watchdog);
         BenchRun prof = runPlmBenchmark(bench, /*pure=*/true,
-                                        profiled_options, watchdog);
+                                        profiled_options, watchdog,
+                                        profile_out.empty() ? nullptr
+                                                            : &collected);
         if (!off.failure.empty() || !stat.failure.empty() ||
             !prof.failure.empty()) {
             ++failures;
@@ -247,6 +270,15 @@ try {
 
     writeBenchJson("BENCH_host.json", "dispatch_fusion", report, 1,
                    wall_seconds);
+
+    if (!profile_out.empty()) {
+        if (collected.empty())
+            printf("warning: --profile-out with --profile-in (or all "
+                   "benchmarks failed): no pre-pass ran, nothing to "
+                   "persist\n");
+        else
+            saveSequenceProfileFile(profile_out, collected);
+    }
 
     if (!all_identical) {
         printf("ERROR: fusion modes disagree on simulated metrics\n");

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <unordered_map>
 
 #include "base/logging.hh"
+#include "compiler/builtin_defs.hh"
 #include "prolog/writer.hh"
 
 namespace kcm::baseline
@@ -68,6 +70,12 @@ struct Interpreter::Impl
         TermRef body; ///< null for facts
     };
     std::map<Functor, std::vector<StoredClause>> database;
+
+    /** Dynamic (assert/retract) predicates live here, not in
+     *  `database`, sharing index structure and update semantics with
+     *  the machine cores. */
+    std::shared_ptr<db::ClauseStore> dynDb =
+        std::make_shared<db::ClauseStore>();
 
     uint64_t inferences = 0;
     std::string output;
@@ -155,7 +163,10 @@ struct Interpreter::Impl
             auto it = vars.find(c);
             if (it != vars.end())
                 return it->second;
-            TermRef v = Term::makeVar("_B");
+            // Distinct cells get distinct printed names: the clause
+            // store canonicalizes variables by name on insert, so an
+            // asserted p(X, Y) must not export as p(_B, _B).
+            TermRef v = Term::makeVar("_B" + std::to_string(vars.size()));
             vars.emplace(c, v);
             return v;
           }
@@ -360,6 +371,180 @@ struct Interpreter::Impl
             return 0;
           }
         }
+    }
+
+    // --- dynamic clause database (src/db) ---
+
+    /** First-argument index key a dereferenced cell selects,
+     *  mirroring the machine's argKeyOf word for word (integers
+     *  narrowed to the machine's 32-bit int word, floats keyed on the
+     *  32-bit float pattern) so both engines touch the same index
+     *  nodes. */
+    db::ArgKey
+    argKeyOfCell(Cell *c)
+    {
+        db::ArgKey k;
+        switch (c->kind) {
+          case Cell::Kind::Var:
+            break;
+          case Cell::Kind::Int:
+            k.kind = db::ArgKey::Kind::Int;
+            k.a = static_cast<uint64_t>(static_cast<int64_t>(
+                static_cast<int32_t>(c->intValue)));
+            break;
+          case Cell::Kind::Float: {
+            float f = static_cast<float>(c->floatValue);
+            uint32_t bits;
+            std::memcpy(&bits, &f, sizeof bits);
+            k.kind = db::ArgKey::Kind::Float;
+            k.a = bits;
+            break;
+          }
+          case Cell::Kind::Atom:
+            k.kind = db::ArgKey::Kind::Atom;
+            k.a = c->functor;
+            break;
+          case Cell::Kind::Struct:
+            k.kind = db::ArgKey::Kind::Functor;
+            k.a = c->functor;
+            k.b = c->args.size();
+            break;
+        }
+        return k;
+    }
+
+    /** True when assert/retract on @p f must raise
+     *  permission_error(modify, static_procedure, _): consulted
+     *  static predicates, escape builtins, and the control constructs
+     *  this solver realizes inline (the compiler realizes the same
+     *  set as a static support library). */
+    bool
+    isStaticProcedure(const Functor &f) const
+    {
+        if (database.count(f))
+            return true;
+        if (findBuiltin(f).has_value())
+            return true;
+        const std::string &name = atomText(f.name);
+        if (f.arity == 2 && (name == "," || name == ";" || name == "->"))
+            return true;
+        if (f.arity == 1 && name == "\\+")
+            return true;
+        return false;
+    }
+
+    [[noreturn]] void
+    throwStaticProcedure(const Functor &f)
+    {
+        throw PrologThrow{Term::makeStruct(
+            "permission_error",
+            {Term::makeAtom("modify"), Term::makeAtom("static_procedure"),
+             Term::makeStruct("/", {Term::makeAtom(f.name),
+                                    Term::makeInt(f.arity)})})};
+    }
+
+    /** asserta/1, assertz/1, assert/1: validate like the machine's
+     *  execAssert (identical error balls), then insert. */
+    void
+    assertCell(Cell *goal_arg, bool at_front)
+    {
+        Cell *c = deref(goal_arg);
+        if (c->kind == Cell::Kind::Var)
+            throw PrologThrow{Term::makeAtom("instantiation_error")};
+        std::unordered_map<Cell *, TermRef> vars;
+        TermRef term = exportCell(c, vars);
+        TermRef head = term;
+        TermRef body = nullptr;
+        if (term->isStruct() && term->arity() == 2 &&
+            atomText(term->functorName()) == ":-") {
+            head = term->arg(0);
+            body = term->arg(1);
+        }
+        if (head->isVar())
+            throw PrologThrow{Term::makeAtom("instantiation_error")};
+        if (!head->isAtom() && !head->isStruct()) {
+            throw PrologThrow{Term::makeStruct(
+                "type_error", {Term::makeAtom("callable"), head})};
+        }
+        Functor f = head->functor();
+        if (f.arity > db::maxDynamicArity) {
+            throw PrologThrow{Term::makeStruct(
+                "representation_error", {Term::makeAtom("max_arity")})};
+        }
+        if (isStaticProcedure(f))
+            throwStaticProcedure(f);
+        dynDb->assertClause(f, head, body, at_front);
+    }
+
+    /**
+     * retract/1: semidet, like the machine — the first clause whose
+     * head and body unify with the pattern is erased and the bindings
+     * stand; no choice point is left behind (a deliberate deviation
+     * from ISO re-satisfaction, shared by both engines; DESIGN.md).
+     */
+    bool
+    retractCell(Cell *goal_arg)
+    {
+        Cell *c = deref(goal_arg);
+        if (c->kind == Cell::Kind::Var)
+            throw PrologThrow{Term::makeAtom("instantiation_error")};
+        Cell *head = c;
+        Cell *body = trueCell(); // bodyless pattern matches facts and
+                                 // true-bodied clauses
+        if (c->kind == Cell::Kind::Struct && c->args.size() == 2 &&
+            atomText(c->functor) == ":-") {
+            head = deref(c->args[0]);
+            body = c->args[1];
+        }
+        if (head->kind == Cell::Kind::Var)
+            throw PrologThrow{Term::makeAtom("instantiation_error")};
+        if (head->kind != Cell::Kind::Atom &&
+            head->kind != Cell::Kind::Struct) {
+            std::unordered_map<Cell *, TermRef> vars;
+            throw PrologThrow{Term::makeStruct(
+                "type_error",
+                {Term::makeAtom("callable"), exportCell(head, vars)})};
+        }
+        Functor f{head->functor, uint32_t(head->args.size())};
+        if (isStaticProcedure(f))
+            throwStaticProcedure(f);
+        if (!dynDb->isKnown(f))
+            return false;
+        uint64_t gen = dynDb->generation();
+        db::ArgKey key =
+            f.arity ? argKeyOfCell(deref(head->args[0])) : db::ArgKey{};
+        int64_t cursor = 0;
+        bool have_cursor = false;
+        for (;;) {
+            db::ClauseStore::LookupResult res =
+                have_cursor ? dynDb->next(f, key, gen, cursor)
+                            : dynDb->first(f, key, gen);
+            if (!res.clause)
+                return false;
+            cursor = res.clause->seq;
+            have_cursor = true;
+            size_t mark = trailMark();
+            std::unordered_map<const Term *, Cell *> vars;
+            Cell *cand_head = instantiate(res.clause->head, vars);
+            Cell *cand_body = res.clause->body
+                                  ? instantiate(res.clause->body, vars)
+                                  : trueCell();
+            bool ok = unify(head, cand_head) && unify(body, cand_body);
+            if (ok) {
+                dynDb->eraseClause(f, res.clause->seq);
+                return true;
+            }
+            undoTrail(mark);
+        }
+    }
+
+    Cell *
+    trueCell()
+    {
+        Cell *c = newCell();
+        c->kind = Cell::Kind::Atom;
+        c->functor = internAtom("true");
+        return c;
     }
 
     // --- the solver ---
@@ -658,6 +843,22 @@ struct Interpreter::Impl
             undoTrail(mark);
             return false;
         }
+        if ((name == "asserta" || name == "assertz" || name == "assert") &&
+            arity == 1) {
+            assertCell(arg(0), name == "asserta");
+            return k();
+        }
+        if (name == "retract" && arity == 1) {
+            size_t mark = trailMark();
+            if (retractCell(arg(0))) {
+                if (k())
+                    return true;
+                // Semidet: the bindings are undone on backtracking
+                // but the erasure stands (a side effect).
+                undoTrail(mark);
+            }
+            return false;
+        }
         if (name == "arg" && arity == 3) {
             Cell *n = deref(arg(0));
             Cell *t = deref(arg(1));
@@ -680,6 +881,8 @@ struct Interpreter::Impl
         Functor f{goal->functor, uint32_t(arity)};
         auto it = database.find(f);
         if (it == database.end()) {
+            if (dynDb->isKnown(f))
+                return solveDynamic(goal, f, k);
             warn("baseline: undefined predicate ", name, "/", arity);
             return false;
         }
@@ -711,19 +914,122 @@ struct Interpreter::Impl
         }
         return false;
     }
+
+    /**
+     * Solve a dynamic-predicate goal against the clause store under
+     * the ISO logical update view: the generation captured here fixes
+     * the visible clause set for the whole iteration, so asserts and
+     * retracts performed by the clause bodies (or by backtracked-into
+     * siblings) do not disturb it.
+     */
+    bool
+    solveDynamic(Cell *goal, const Functor &f, const Cont &k)
+    {
+        uint64_t my_id = nextCallId++;
+        uint64_t gen = dynDb->generation();
+        db::ArgKey key =
+            f.arity ? argKeyOfCell(deref(goal->args[0])) : db::ArgKey{};
+        int64_t cursor = 0;
+        bool have_cursor = false;
+        for (;;) {
+            db::ClauseStore::LookupResult res =
+                have_cursor ? dynDb->next(f, key, gen, cursor)
+                            : dynDb->first(f, key, gen);
+            if (!res.clause)
+                return false;
+            cursor = res.clause->seq;
+            have_cursor = true;
+            size_t mark = trailMark();
+            std::unordered_map<const Term *, Cell *> vars;
+            Cell *head = instantiate(res.clause->head, vars);
+            bool heads_match = true;
+            for (size_t i = 0; i < f.arity && heads_match; ++i)
+                heads_match = unify(goal->args[i], head->args[i]);
+            if (heads_match) {
+                bool stop;
+                if (res.clause->body) {
+                    Cell *body = instantiate(res.clause->body, vars);
+                    stop = solve(body, my_id, k);
+                } else {
+                    stop = k();
+                }
+                if (stop)
+                    return true;
+            }
+            undoTrail(mark);
+            if (cutPrunes(my_id))
+                return false;
+        }
+    }
 };
 
 Interpreter::Interpreter() : impl_(std::make_unique<Impl>()) {}
 
 Interpreter::~Interpreter() = default;
 
+namespace
+{
+
+/** Collect F/N functors from a dynamic/1 specification: one
+ *  indicator, a comma chain, or a list (mirrors the compiler's
+ *  normalize pass). */
+void
+collectDynamicSpec(const TermRef &spec, std::vector<Functor> &out)
+{
+    TermRef t = spec;
+    if (!t)
+        return;
+    if (t->isStruct() && t->arity() == 2) {
+        const std::string &name = atomText(t->functorName());
+        if (name == ",") {
+            collectDynamicSpec(t->arg(0), out);
+            collectDynamicSpec(t->arg(1), out);
+            return;
+        }
+        if (name == ".") {
+            collectDynamicSpec(t->arg(0), out);
+            collectDynamicSpec(t->arg(1), out);
+            return;
+        }
+        if (name == "/" && t->arg(0)->isAtom() && t->arg(1)->isInt()) {
+            out.push_back(Functor{t->arg(0)->atom(),
+                                  uint32_t(t->arg(1)->intValue())});
+            return;
+        }
+    }
+}
+
+} // namespace
+
 void
 Interpreter::consult(const std::string &source)
 {
     Parser parser(source, impl_->ops);
     ReadClause read;
-    while (parser.readClause(read)) {
-        const TermRef &term = read.term;
+    std::vector<TermRef> terms;
+    while (parser.readClause(read))
+        terms.push_back(read.term);
+
+    // First pass: dynamic/1 declarations, so clauses of a dynamic
+    // predicate route to the store regardless of their position
+    // relative to the directive (mirrors the compiler's two-pass
+    // normalize).
+    for (const TermRef &term : terms) {
+        if (term->isStruct() && term->arity() == 1 &&
+            (atomText(term->functorName()) == ":-" ||
+             atomText(term->functorName()) == "?-")) {
+            const TermRef &dir = term->arg(0);
+            if (dir->isStruct() && dir->arity() == 1 &&
+                atomText(dir->functorName()) == "dynamic") {
+                std::vector<Functor> specs;
+                collectDynamicSpec(dir->arg(0), specs);
+                for (const Functor &f : specs)
+                    impl_->dynDb->declareDynamic(f);
+            }
+        }
+    }
+
+    for (const TermRef &term : terms) {
         if (term->isStruct() && term->arity() == 1 &&
             (atomText(term->functorName()) == ":-" ||
              atomText(term->functorName()) == "?-")) {
@@ -737,8 +1043,29 @@ Interpreter::consult(const std::string &source)
         } else {
             clause.head = term;
         }
-        impl_->database[clause.head->functor()].push_back(clause);
+        Functor f = clause.head->functor();
+        if (impl_->dynDb->isKnown(f)) {
+            // Source clauses of dynamic predicates seed the store in
+            // source order, exactly like the machine's image
+            // `dynamicInit` section.
+            impl_->dynDb->assertClause(f, clause.head, clause.body,
+                                       false);
+            continue;
+        }
+        impl_->database[f].push_back(clause);
     }
+}
+
+void
+Interpreter::attachDynamicDb(std::shared_ptr<db::ClauseStore> store)
+{
+    impl_->dynDb = std::move(store);
+}
+
+const std::shared_ptr<db::ClauseStore> &
+Interpreter::dynamicDb() const
+{
+    return impl_->dynDb;
 }
 
 InterpResult

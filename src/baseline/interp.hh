@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "db/clause_store.hh"
 #include "prolog/operators.hh"
 #include "prolog/parser.hh"
 #include "prolog/term.hh"
@@ -90,6 +91,14 @@ class Interpreter
 
     /** Run @p goal; collect up to @p max_solutions. */
     InterpResult query(const std::string &goal, size_t max_solutions = 1);
+
+    /** Replace the dynamic clause store (e.g. to share a preloaded or
+     *  snapshot-restored store with a Machine under differential
+     *  test). The interpreter owns one of its own by default. */
+    void attachDynamicDb(std::shared_ptr<db::ClauseStore> store);
+
+    /** The store backing dynamic/1 predicates for this interpreter. */
+    const std::shared_ptr<db::ClauseStore> &dynamicDb() const;
 
   private:
     struct Impl;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -17,7 +18,8 @@ namespace kcm
 
 PreparedBenchmark
 preparePlmBenchmark(const PlmBenchmark &bench, bool pure,
-                    const KcmOptions &base_options)
+                    const KcmOptions &base_options,
+                    SequenceProfile *profile_out)
 {
     KcmOptions options = base_options;
     // Table 2 convention: write/1 and nl/0 compiled as unit clauses so
@@ -48,6 +50,8 @@ preparePlmBenchmark(const PlmBenchmark &bench, bool pure,
         machine.run();
         prep.machine.fusion.sequences =
             selectFusedSequences(machine.profiler(), 12);
+        if (profile_out)
+            profile_out->merge(sequenceProfileOf(machine.profiler()));
     }
     return prep;
 }
@@ -266,10 +270,12 @@ benchExitCode(const std::vector<BenchRun> &runs)
 
 BenchRun
 runPlmBenchmark(const PlmBenchmark &bench, bool pure,
-                const KcmOptions &base_options, double watchdog_seconds)
+                const KcmOptions &base_options, double watchdog_seconds,
+                SequenceProfile *profile_out)
 {
     try {
-        return runPrepared(preparePlmBenchmark(bench, pure, base_options),
+        return runPrepared(preparePlmBenchmark(bench, pure, base_options,
+                                               profile_out),
                            watchdog_seconds);
     } catch (const std::exception &err) {
         BenchRun run;
@@ -371,6 +377,60 @@ benchWatchdogFromArgs(int argc, char **argv)
             return std::max(0.0, std::strtod(argv[i + 1], nullptr));
     }
     return 0;
+}
+
+namespace
+{
+
+std::string
+stringArg(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+benchProfileInFromArgs(int argc, char **argv)
+{
+    return stringArg(argc, argv, "--profile-in");
+}
+
+std::string
+benchProfileOutFromArgs(int argc, char **argv)
+{
+    return stringArg(argc, argv, "--profile-out");
+}
+
+SequenceProfile
+loadSequenceProfileFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open sequence profile ", path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    try {
+        return loadSequenceProfile(os.str());
+    } catch (const std::exception &err) {
+        fatal(path, ": ", err.what());
+    }
+}
+
+void
+saveSequenceProfileFile(const std::string &path,
+                        const SequenceProfile &profile)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write sequence profile ", path);
+    out << saveSequenceProfile(profile);
+    if (!out)
+        fatal("write failed for sequence profile ", path);
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

@@ -47,6 +47,12 @@ builtinTable()
         {"catch", 3, BuiltinId::CatchB, 4},
         {"throw", 1, BuiltinId::ThrowB, 4},
         {"$catch_fail", 0, BuiltinId::CatchFail, 1},
+        {"asserta", 1, BuiltinId::AssertA, 10},
+        {"assertz", 1, BuiltinId::AssertZ, 10},
+        {"assert", 1, BuiltinId::AssertZ, 10},
+        {"retract", 1, BuiltinId::Retract, 10},
+        {"$dynamic_call", 0, BuiltinId::DynamicCall, 4},
+        {"$dynamic_retry", 0, BuiltinId::DynamicRetry, 2},
     };
     return table;
 }

@@ -60,6 +60,11 @@ enum class BuiltinId : uint32_t
     CatchB,         ///< catch/3 (push marker choice point, call Goal)
     ThrowB,         ///< throw/1 (unwind to the innermost marker)
     CatchFail,      ///< internal: backtracked into a catch marker
+    AssertA,        ///< asserta/1 (dynamic clause store, front)
+    AssertZ,        ///< assertz/1 and assert/1 (back)
+    Retract,        ///< retract/1 (first matching clause, semidet)
+    DynamicCall,    ///< internal: dynamic-predicate dispatch stub
+    DynamicRetry,   ///< internal: next dynamic clause on backtracking
     NumBuiltins,
 };
 

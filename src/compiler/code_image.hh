@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,40 @@ struct CodeImage
 
     /** Named query variables: (name, Y slot) pairs for solutions. */
     std::vector<std::pair<std::string, int>> querySolutionSlots;
+
+    /** Address of the shared dynamic-retry stub: a choice point whose
+     *  alt field equals this address is a dynamic-predicate clause
+     *  iterator (its saved X slots carry the cursor; see
+     *  Machine::execDynamicRetry). 0 when the image has no dynamic
+     *  dispatch. */
+    Addr dynRetryEntry = 0;
+
+    /** Dynamic-dispatch stubs: address of each `Escape $dynamic_call`
+     *  instruction → the predicate it traps into the clause store
+     *  for. Both cores hold the current instruction address in p_
+     *  while executing an escape, so this doubles as the stub's
+     *  self-identification. */
+    std::map<Addr, Functor> dynStubs;
+
+    /** Predicates declared `:- dynamic(F/N)` (calls trap to the
+     *  store; asserting to anything else is a permission error). */
+    std::set<Functor> dynamicDecls;
+
+    /**
+     * Source clauses of dynamic predicates, in canonical quoted
+     * ignore-ops text, in source order. The loader asserts these into
+     * the machine's clause store after download (assertz order), so a
+     * KCMSNAP2 template taken post-download already contains them.
+     * `--db-facts` preloads append here after compilation.
+     */
+    std::vector<std::string> dynamicInit;
+
+    /** True when calls to @p f dispatch through the clause store. */
+    bool
+    isDynamic(const Functor &f) const
+    {
+        return dynamicDecls.count(f) != 0;
+    }
 
     Addr
     endAddr() const

@@ -1,5 +1,6 @@
 #include "compiler/compiler.hh"
 
+#include <functional>
 #include <set>
 
 #include "base/logging.hh"
@@ -140,6 +141,75 @@ Compiler::compile()
     for (const auto &goal : query_goals)
         note_goal(goal);
 
+    // Dynamic clause bodies run through the runtime meta-call, which
+    // resolves builtins through the image's escape stubs — note their
+    // leaf goals so the stubs exist. (Goals first constructed at run
+    // time resolve against the same stub set; see DESIGN.md.)
+    {
+        AtomId comma = AtomTable::instance().comma;
+        std::function<void(const TermRef &)> note_dynamic_body =
+            [&](const TermRef &goal) {
+                if (goal->isStruct() && goal->arity() == 2 &&
+                    goal->functorName() == comma) {
+                    note_dynamic_body(goal->arg(0));
+                    note_dynamic_body(goal->arg(1));
+                    return;
+                }
+                if (goal->isAtom() || goal->isStruct())
+                    note_goal(goal);
+            };
+        AtomId neck_atom = AtomTable::instance().neck;
+        for (const auto &[functor, term] : program.dynamicClauses) {
+            if (term->isStruct() && term->arity() == 2 &&
+                term->functorName() == neck_atom)
+                note_dynamic_body(term->arg(1));
+        }
+    }
+
+    // Does this image need the dynamic-dispatch machinery (retry stub
+    // + per-predicate trap stubs)? Only then does any of it get
+    // emitted, so purely static programs stay bit-identical.
+    std::set<Functor> dynamic_preds(program.dynamicDecls.begin(),
+                                    program.dynamicDecls.end());
+    bool wants_dynamic = !dynamic_preds.empty();
+    for (const auto &functor : called) {
+        if (program.preds.count(functor) || dynamic_preds.count(functor))
+            continue;
+        auto builtin = findBuiltin(functor);
+        if (!builtin) {
+            wants_dynamic = true; // undefined → dynamic-capable stub
+        } else if (builtin->id == BuiltinId::AssertA ||
+                   builtin->id == BuiltinId::AssertZ ||
+                   builtin->id == BuiltinId::Retract) {
+            wants_dynamic = true; // runtime asserts need the retry stub
+        }
+    }
+
+    // Dynamic clause bodies run through the meta-call, which resolves
+    // control constructs as ordinary predicates — compile the support
+    // library for them. Gated on wants_dynamic so purely static images
+    // stay bit-identical. (A cut inside these is local to the
+    // construct, like call/1; see DESIGN.md.)
+    if (wants_dynamic) {
+        const char *dyn_support =
+            "','(G1, G2) :- call(G1), call(G2). "
+            "';'(G1, G2) :- call(G1) ; call(G2). "
+            "'->'(C, T) :- call(C) -> call(T). "
+            "'\\\\+'(G) :- \\+ call(G).";
+        Parser parser(dyn_support, ops_);
+        size_t order_before = program.order.size();
+        normalizeProgram(parser.readAll(), program);
+        for (size_t i = order_before; i < program.order.size(); ++i) {
+            const Functor &functor = program.order[i];
+            is_library[functor] = true;
+            // The support clauses were added after the called-set
+            // scan: note their goals so call/1's stub gets emitted.
+            for (const auto &clause : program.preds.at(functor))
+                for (const auto &goal : clause.goals)
+                    note_goal(goal);
+        }
+    }
+
     // --- Emit ---
 
     Assembler assembler;
@@ -162,26 +232,63 @@ Compiler::compile()
     image.failEntry = fail_stub;
     image.catchFailEntry = catch_fail;
 
+    // Shared dynamic-retry stub: the alternative address of every
+    // dynamic-dispatch choice point. Only emitted when the image uses
+    // dynamic dispatch at all.
+    if (wants_dynamic) {
+        image.dynRetryEntry = assembler.emit(Instr::makeValue(
+            Opcode::Escape, static_cast<uint32_t>(BuiltinId::DynamicRetry),
+            0));
+        assembler.emit(Instr::make(Opcode::Proceed));
+    }
+
+    // Indexed-dispatch stub of one dynamic-capable predicate: trap
+    // into the clause store, fall through to Proceed for facts.
+    auto emit_dyn_stub = [&](const Functor &functor, bool from_library) {
+        PredicateInfo info;
+        info.functor = functor;
+        info.fromLibrary = from_library;
+        info.entry = assembler.here();
+        size_t instr_before = assembler.instructionCount();
+        Addr escape_addr = assembler.emit(Instr::makeValue(
+            Opcode::Escape, static_cast<uint32_t>(BuiltinId::DynamicCall),
+            static_cast<Reg>(functor.arity)));
+        assembler.emit(Instr::make(Opcode::Proceed));
+        image.dynStubs[escape_addr] = functor;
+        image.dynamicDecls.insert(functor);
+        info.instructions = assembler.instructionCount() - instr_before;
+        info.words = info.instructions;
+        image.predicates[functor] = info;
+    };
+    for (const auto &functor : program.dynamicDecls)
+        emit_dyn_stub(functor, false);
+
     // Escape stubs for referenced builtins not defined as predicates.
+    // Referenced-but-undefined predicates get a dynamic-dispatch stub
+    // instead of a plain FailOp: a call still fails while the store
+    // has no matching clauses, but assert/1 (or --db-facts) can give
+    // the predicate clauses at run time.
     for (const auto &functor : called) {
-        if (program.preds.count(functor))
+        if (program.preds.count(functor) ||
+            image.predicates.count(functor)) {
             continue;
+        }
         auto builtin = findBuiltin(functor);
+        if (!builtin) {
+            warn("predicate ", atomText(functor.name), "/", functor.arity,
+                 " is undefined; calls to it fail");
+            emit_dyn_stub(functor, true);
+            continue;
+        }
         PredicateInfo info;
         info.functor = functor;
         info.fromLibrary = true;
         info.entry = assembler.here();
         size_t instr_before = assembler.instructionCount();
-        if (builtin) {
-            assembler.emit(Instr::makeValue(
-                Opcode::Escape, static_cast<uint32_t>(builtin->id),
-                static_cast<Reg>(functor.arity)));
-            assembler.emit(Instr::make(Opcode::Proceed));
-        } else {
-            warn("predicate ", atomText(functor.name), "/", functor.arity,
-                 " is undefined; calls to it fail");
-            assembler.emit(Instr::make(Opcode::FailOp));
-        }
+        assembler.emit(Instr::makeValue(
+            Opcode::Escape, static_cast<uint32_t>(builtin->id),
+            static_cast<Reg>(functor.arity)));
+        assembler.emit(Instr::make(Opcode::Proceed));
         info.instructions = assembler.instructionCount() - instr_before;
         info.words = info.instructions;
         image.predicates[functor] = info;
@@ -234,6 +341,19 @@ Compiler::compile()
         } else {
             image.words[fixup.index] =
                 Instr(image.words[fixup.index]).withValue(target).raw();
+        }
+    }
+
+    // Canonical text of the dynamic predicates' source clauses; the
+    // loader asserts these into the clause store after download, in
+    // this (assertz) order.
+    if (!program.dynamicClauses.empty()) {
+        WriteOptions canonical;
+        canonical.quoted = true;
+        canonical.ignoreOps = true;
+        for (const auto &[functor, term] : program.dynamicClauses) {
+            (void)functor;
+            image.dynamicInit.push_back(writeTerm(term, ops_, canonical));
         }
     }
 

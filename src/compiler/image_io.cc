@@ -16,7 +16,7 @@ namespace kcm
 namespace
 {
 
-constexpr const char *magic = "KCMIMAGE 1";
+constexpr const char *magic = "KCMIMAGE 2";
 
 /**
  * Visit every atom-id reference inside the code words (constants with
@@ -85,6 +85,7 @@ saveImage(const CodeImage &image, std::ostream &out)
     out << "fail " << image.failEntry << "\n";
     out << "haltfail " << image.haltFailEntry << "\n";
     out << "catchfail " << image.catchFailEntry << "\n";
+    out << "dynretry " << image.dynRetryEntry << "\n";
 
     // Collect the referenced atoms by remapping through an identity
     // that records ids.
@@ -98,6 +99,12 @@ saveImage(const CodeImage &image, std::ostream &out)
         used.insert(functor.name);
         (void)info;
     }
+    for (const auto &[addr, functor] : image.dynStubs) {
+        used.insert(functor.name);
+        (void)addr;
+    }
+    for (const auto &functor : image.dynamicDecls)
+        used.insert(functor.name);
 
     out << "atoms " << used.size() << "\n";
     for (AtomId id : used) {
@@ -111,6 +118,18 @@ saveImage(const CodeImage &image, std::ostream &out)
             << " " << info.words << " " << info.instructions << " "
             << (info.fromLibrary ? 1 : 0) << "\n";
     }
+
+    out << "dynstubs " << image.dynStubs.size() << "\n";
+    for (const auto &[addr, functor] : image.dynStubs)
+        out << addr << " " << functor.name << " " << functor.arity << "\n";
+
+    out << "dyndecls " << image.dynamicDecls.size() << "\n";
+    for (const auto &functor : image.dynamicDecls)
+        out << functor.name << " " << functor.arity << "\n";
+
+    out << "dyninit " << image.dynamicInit.size() << "\n";
+    for (const auto &clause : image.dynamicInit)
+        out << clause.size() << " " << clause << "\n";
 
     out << "slots " << image.querySolutionSlots.size() << "\n";
     for (const auto &[name, slot] : image.querySolutionSlots)
@@ -176,6 +195,8 @@ loadImage(std::istream &in)
     in >> image.haltFailEntry;
     expectKeyword(in, "catchfail");
     in >> image.catchFailEntry;
+    expectKeyword(in, "dynretry");
+    in >> image.dynRetryEntry;
 
     expectKeyword(in, "atoms");
     size_t atom_count = 0;
@@ -204,6 +225,40 @@ loadImage(std::istream &in)
         info.fromLibrary = from_library != 0;
         image.predicates[info.functor] = info;
     }
+
+    auto mapped_atom = [&atom_map](AtomId old_id) {
+        auto it = atom_map.find(old_id);
+        if (it == atom_map.end())
+            fatal("image references unknown atom id ", old_id);
+        return it->second;
+    };
+
+    expectKeyword(in, "dynstubs");
+    size_t stub_count = 0;
+    in >> stub_count;
+    for (size_t i = 0; i < stub_count; ++i) {
+        Addr addr = 0;
+        AtomId name = 0;
+        uint32_t arity = 0;
+        in >> addr >> name >> arity;
+        image.dynStubs[addr] = Functor{mapped_atom(name), arity};
+    }
+
+    expectKeyword(in, "dyndecls");
+    size_t decl_count = 0;
+    in >> decl_count;
+    for (size_t i = 0; i < decl_count; ++i) {
+        AtomId name = 0;
+        uint32_t arity = 0;
+        in >> name >> arity;
+        image.dynamicDecls.insert(Functor{mapped_atom(name), arity});
+    }
+
+    expectKeyword(in, "dyninit");
+    size_t init_count = 0;
+    in >> init_count;
+    for (size_t i = 0; i < init_count; ++i)
+        image.dynamicInit.push_back(readSizedString(in));
 
     expectKeyword(in, "slots");
     size_t slot_count = 0;

@@ -1,5 +1,7 @@
 #include "compiler/normalize.hh"
 
+#include <set>
+
 #include "base/logging.hh"
 #include "prolog/writer.hh"
 
@@ -170,11 +172,77 @@ NormProgram::add(const Functor &f, NormClause clause)
     }
 }
 
+namespace
+{
+
+/** Parse one dynamic/1 spec: F/N, a ','-chain of specs, or a list of
+ *  specs. Appends the functors to @p out. */
+void
+collectDynamicSpec(const TermRef &spec, std::vector<Functor> &out)
+{
+    AtomId slash = internAtom("/");
+    AtomId comma = AtomTable::instance().comma;
+    if (spec->isStruct() && spec->arity() == 2 &&
+        spec->functorName() == comma) {
+        collectDynamicSpec(spec->arg(0), out);
+        collectDynamicSpec(spec->arg(1), out);
+        return;
+    }
+    if (spec->isCons()) {
+        TermRef t = spec;
+        while (t->isCons()) {
+            collectDynamicSpec(t->arg(0), out);
+            t = t->arg(1);
+        }
+        if (!t->isNil())
+            fatal("dynamic/1: improper predicate indicator list");
+        return;
+    }
+    if (spec->isStruct() && spec->arity() == 2 &&
+        spec->functorName() == slash && spec->arg(0)->isAtom() &&
+        spec->arg(1)->isInt() && spec->arg(1)->intValue() >= 0 &&
+        spec->arg(1)->intValue() <= 0xFF) {
+        out.push_back(Functor{spec->arg(0)->atom(),
+                              static_cast<uint32_t>(spec->arg(1)->intValue())});
+        return;
+    }
+    fatal("dynamic/1: bad predicate indicator: ", writeTerm(spec));
+}
+
+bool
+isDynamicDirective(const TermRef &goal)
+{
+    return goal->isStruct() && goal->arity() == 1 &&
+           goal->functorName() == internAtom("dynamic");
+}
+
+} // namespace
+
 void
 normalizeProgram(const std::vector<ReadClause> &clauses, NormProgram &out)
 {
     Normalizer normalizer(out);
     AtomId neck = AtomTable::instance().neck;
+    AtomId query_neck = internAtom("?-");
+
+    // Pass 1: collect every dynamic/1 declaration, so the directive
+    // is honoured wherever it appears relative to the clauses.
+    std::set<Functor> dynamic_set(out.dynamicDecls.begin(),
+                                  out.dynamicDecls.end());
+    for (const auto &read : clauses) {
+        const TermRef &term = read.term;
+        if (term->isStruct() && term->arity() == 1 &&
+            (term->functorName() == neck ||
+             term->functorName() == query_neck) &&
+            isDynamicDirective(term->arg(0))) {
+            std::vector<Functor> decls;
+            collectDynamicSpec(term->arg(0)->arg(0), decls);
+            for (const Functor &f : decls) {
+                if (dynamic_set.insert(f).second)
+                    out.dynamicDecls.push_back(f);
+            }
+        }
+    }
 
     for (const auto &read : clauses) {
         const TermRef &term = read.term;
@@ -182,14 +250,28 @@ normalizeProgram(const std::vector<ReadClause> &clauses, NormProgram &out)
         // Directives.
         if (term->isStruct() && term->arity() == 1 &&
             (term->functorName() == neck ||
-             term->functorName() == internAtom("?-"))) {
+             term->functorName() == query_neck)) {
             const TermRef &goal = term->arg(0);
             bool is_op = goal->isStruct() && goal->arity() == 3 &&
                          goal->functorName() == internAtom("op");
-            if (!is_op) {
+            if (!is_op && !isDynamicDirective(goal)) {
                 warn("ignoring directive: ", writeTerm(term));
             }
             continue;
+        }
+
+        // Clauses of dynamic predicates skip static compilation; the
+        // loader asserts them into the clause store instead.
+        {
+            TermRef head = term;
+            if (term->isStruct() && term->arity() == 2 &&
+                term->functorName() == neck)
+                head = term->arg(0);
+            if ((head->isAtom() || head->isStruct()) &&
+                dynamic_set.count(head->functor())) {
+                out.dynamicClauses.emplace_back(head->functor(), term);
+                continue;
+            }
         }
 
         NormClause clause;

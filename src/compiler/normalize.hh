@@ -39,6 +39,15 @@ struct NormProgram
      *  normalization (they are implementation details). */
     std::vector<Functor> auxiliaries;
 
+    /** Predicates declared `:- dynamic(F/N)`, declaration order.
+     *  Their clauses are excluded from static compilation and land in
+     *  @ref dynamicClauses instead. */
+    std::vector<Functor> dynamicDecls;
+
+    /** Source clauses of dynamic predicates (original clause term,
+     *  source order) for the loader to assert into the clause store. */
+    std::vector<std::pair<Functor, TermRef>> dynamicClauses;
+
     /** Add a clause, registering the predicate on first sight. */
     void add(const Functor &f, NormClause clause);
 };

@@ -602,6 +602,28 @@ Machine::execEscape(const DecodedInstr &instr)
         break;
       }
 
+      case BuiltinId::DynamicCall: {
+        // Indexed-dispatch stub of a dynamic predicate: the escape's
+        // own address keys the functor (P still holds it here).
+        auto it = image_.dynStubs.find(p_);
+        if (it == image_.dynStubs.end())
+            panic("DynamicCall escape at unregistered address ", p_);
+        execDynamicCall(it->second);
+        break;
+      }
+      case BuiltinId::DynamicRetry:
+        execDynamicRetry();
+        break;
+      case BuiltinId::AssertA:
+        execAssert(true);
+        break;
+      case BuiltinId::AssertZ:
+        execAssert(false);
+        break;
+      case BuiltinId::Retract:
+        execRetract();
+        break;
+
       case BuiltinId::AtomLength: {
         Word w = deref(x_[0]);
         if (!w.isAtom() && !w.isNil()) {

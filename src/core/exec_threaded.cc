@@ -49,7 +49,12 @@ static_assert(static_cast<int>(Opcode::NumOpcodes) == 67);
 RunStatus
 Machine::runFast()
 {
-#if defined(__GNUC__) || defined(__clang__)
+    // -DKCM_FORCE_SWITCH_DISPATCH builds the portable switch loop
+    // even under GCC/Clang, so CI can exercise the fallback that
+    // non-computed-goto toolchains get. Both loops must produce
+    // bit-identical simulated metrics; only host dispatch differs.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(KCM_FORCE_SWITCH_DISPATCH)
 
     // Token-threaded dispatch. One table entry per opcode plus the
     // invalid-word token plus one per superinstruction; grouped

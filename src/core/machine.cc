@@ -1,11 +1,13 @@
 #include "core/machine.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "base/logging.hh"
 #include "core/predecode.hh"
 #include "isa/disasm.hh"
+#include "prolog/parser.hh"
 #include "prolog/writer.hh"
 
 namespace kcm
@@ -213,8 +215,45 @@ Machine::load(const CodeImage &image, bool cold_caches)
     stepStartCycles_ = 0;
     budgetWaived_ = false;
     sliceStop_ = 0; // host slices are per-run; re-arm via setSliceStop
+
+    // Per-load dynamic clause store, seeded from the image's dynamic
+    // declarations and source clauses — unless the host attached one.
+    if (!dbAttached_)
+        seedDynamicDb();
+
     applyQuotas();
     armGovernor();
+}
+
+void
+Machine::seedDynamicDb()
+{
+    db_ = std::make_shared<db::ClauseStore>(config_.dyndb);
+    for (const Functor &f : image_.dynamicDecls)
+        db_->declareDynamic(f);
+    if (image_.dynamicInit.empty())
+        return;
+    // dynamicInit holds canonical (quoted, ignore-ops) clause texts;
+    // they parse against any operator table.
+    OperatorTable ops;
+    AtomId neck = AtomTable::instance().neck;
+    for (const std::string &text : image_.dynamicInit) {
+        Parser parser(text + " .", ops);
+        ReadClause read;
+        if (!parser.readClause(read))
+            fatal("dynamic init: unreadable clause: ", text);
+        TermRef term = read.term;
+        TermRef head = term;
+        TermRef body = nullptr;
+        if (term->isStruct() && term->arity() == 2 &&
+            term->functorName() == neck) {
+            head = term->arg(0);
+            body = term->arg(1);
+        }
+        if (!head->isAtom() && !head->isStruct())
+            fatal("dynamic init: bad clause head in: ", text);
+        db_->assertClause(head->functor(), head, body, false);
+    }
 }
 
 std::vector<uint64_t>
@@ -489,9 +528,29 @@ Machine::doCall(Addr target, bool is_execute)
 void
 Machine::metaCall(Word goal_word)
 {
+    metaCallWithBarrier(goal_word, b_);
+}
+
+void
+Machine::metaCallWithBarrier(Word goal_word, Addr barrier)
+{
     Word goal = deref(goal_word);
     Functor f;
     if (goal.isAtom()) {
+        // Control atoms are served inline: every meta-call site is an
+        // escape followed by Proceed, so plain return means success.
+        AtomTable &atoms = AtomTable::instance();
+        if (goal.atom() == atoms.trueAtom)
+            return;
+        if (goal.atom() == atoms.failAtom ||
+            goal.atom() == internAtom("false")) {
+            fail();
+            return;
+        }
+        if (goal.atom() == atoms.cutAtom) {
+            cutTo(barrier);
+            return;
+        }
         f = Functor{goal.atom(), 0};
     } else if (goal.isStruct()) {
         Word fw = readData(Word::makeDataPtr(goal.zone(), goal.addr()));
@@ -514,6 +573,15 @@ Machine::metaCall(Word goal_word)
     }
     const PredicateInfo *info = image_.find(f);
     if (!info) {
+        if (db_ && db_->isKnown(f) && image_.dynRetryEntry) {
+            // Runtime-asserted predicate without a compiled stub: the
+            // arguments are already in X, dispatch through the store.
+            shallowFlag_ = false;
+            cpFlag_ = false;
+            b0_ = barrier;
+            execDynamicCall(f);
+            return;
+        }
         warn("call/1: undefined predicate ", atomText(f.name), "/",
              f.arity);
         fail();
@@ -521,7 +589,7 @@ Machine::metaCall(Word goal_word)
     }
     // Tail-jump into the predicate; the callee's proceed returns to
     // our caller.
-    b0_ = b_;
+    b0_ = barrier;
     shallowFlag_ = false;
     cpFlag_ = false;
     nextP_ = info->entry;
@@ -572,6 +640,352 @@ Machine::importTerm(const TermRef &term)
         panic("importTerm: unreachable term kind");
     };
     return imp(term);
+}
+
+// ------------------------------------------- dynamic clause database
+
+db::ArgKey
+Machine::argKeyOf(Word w)
+{
+    using K = db::ArgKey;
+    K key;
+    if (w.isRef())
+        return key; // unbound: Any (every clause is a candidate)
+    switch (w.tag()) {
+      case Tag::Int:
+        key.kind = K::Kind::Int;
+        key.a = static_cast<uint64_t>(
+            static_cast<int64_t>(w.intValue()));
+        break;
+      case Tag::Float: {
+        float f = w.floatValue();
+        uint32_t bits;
+        memcpy(&bits, &f, sizeof bits);
+        key.kind = K::Kind::Float;
+        key.a = bits;
+        break;
+      }
+      case Tag::Atom:
+        key.kind = K::Kind::Atom;
+        key.a = w.atom();
+        break;
+      case Tag::Nil:
+        key.kind = K::Kind::Atom;
+        key.a = AtomTable::instance().nil;
+        break;
+      case Tag::List:
+        key.kind = K::Kind::Functor;
+        key.a = AtomTable::instance().dot;
+        key.b = 2;
+        break;
+      case Tag::Struct: {
+        Word f = readData(Word::makeDataPtr(w.zone(), w.addr()));
+        key.kind = K::Kind::Functor;
+        key.a = f.functorName();
+        key.b = f.functorArity();
+        break;
+      }
+      default:
+        break; // non-indexable word: fall back to Any
+    }
+    return key;
+}
+
+void
+Machine::execDynamicCall(const Functor &f)
+{
+    if (!db_) {
+        fail();
+        return;
+    }
+    uint32_t n = f.arity;
+    uint64_t gen = db_->generation();
+    db::ArgKey key = n ? argKeyOf(deref(x_[0])) : db::ArgKey{};
+    db::ClauseStore::LookupResult res = db_->first(f, key, gen);
+    cycles_ += config_.dyndb.scanCycles * res.scanned;
+    if (!res.clause) {
+        fail();
+        return;
+    }
+    // Cut barrier of the clause bodies: the B current before any
+    // iterator choice point — `!` in an asserted body prunes the
+    // remaining clauses of this predicate (ISO 7.8.9.1).
+    Addr barrier = b_;
+    // Look ahead: an iterator choice point is pushed only when a
+    // further candidate exists (the WAM try/trust distinction).
+    db::ClauseStore::LookupResult ahead =
+        db_->next(f, key, gen, res.clause->seq);
+    cycles_ += config_.dyndb.scanCycles * ahead.scanned;
+    if (ahead.clause) {
+        // Iterator state rides in the X registers after the
+        // arguments, saved and revived by the ordinary choice-point
+        // RAC block moves: captured generation, cursor sequence
+        // number, and the predicate's functor word.
+        x_[n] = Word::makeInt(static_cast<int32_t>(gen));
+        x_[n + 1] = Word::makeInt(static_cast<int32_t>(res.clause->seq));
+        x_[n + 2] = Word::makeFunctor(f.name, f.arity);
+        pushChoicePoint(image_.dynRetryEntry, n + 3, h_, tr_, cpCont_);
+        cpFlag_ = true;
+        shallowFlag_ = false;
+    }
+    runDynamicClause(*res.clause, n, barrier);
+}
+
+void
+Machine::execDynamicRetry()
+{
+    // Entered through a deep fail: B is the iterator choice point and
+    // the X registers (arguments + iterator slots) are restored.
+    uint32_t total = static_cast<uint32_t>(
+        readData(Word::makeDataPtr(Zone::Control, b_ + cpfield::arity))
+            .intValue());
+    uint32_t n = total - 3;
+    uint64_t gen = static_cast<uint64_t>(x_[n].intValue());
+    int64_t after = x_[n + 1].intValue();
+    Word fw = x_[n + 2];
+    Functor f{fw.functorName(), fw.functorArity()};
+    db::ArgKey key = n ? argKeyOf(deref(x_[0])) : db::ArgKey{};
+    db::ClauseStore::LookupResult res = db_->next(f, key, gen, after);
+    cycles_ += config_.dyndb.scanCycles * res.scanned;
+    if (!res.clause) {
+        // Only reachable when the image was reloaded around a
+        // snapshot boundary; the lookahead otherwise guarantees a
+        // candidate. Drop the iterator and keep failing.
+        popChoicePoint();
+        fail();
+        return;
+    }
+    db::ClauseStore::LookupResult ahead =
+        db_->next(f, key, gen, res.clause->seq);
+    cycles_ += config_.dyndb.scanCycles * ahead.scanned;
+    Addr barrier;
+    if (ahead.clause) {
+        // Advance the cursor in place (register and saved CP slot);
+        // the iterator choice point stays for the next retry.
+        Word cursor = Word::makeInt(static_cast<int32_t>(res.clause->seq));
+        x_[n + 1] = cursor;
+        writeData(Word::makeDataPtr(Zone::Control,
+                                    b_ + cpfield::args + n + 1),
+                  cursor);
+        barrier =
+            readData(
+                Word::makeDataPtr(Zone::Control, b_ + cpfield::prevB))
+                .addr();
+    } else {
+        popChoicePoint(); // last candidate: trust — drop the iterator
+        barrier = b_;
+    }
+    runDynamicClause(*res.clause, n, barrier);
+}
+
+void
+Machine::runDynamicClause(const db::StoredClause &clause, uint32_t arity,
+                          Addr barrier)
+{
+    bool is_rule = clause.body != nullptr;
+    Word head_w;
+    Word body_w;
+    if (is_rule) {
+        // Import head and body as one term so the variables they
+        // share (by printed name, per importTerm's contract) land in
+        // shared heap cells.
+        TermRef whole = Term::makeStruct(AtomTable::instance().neck,
+                                         {clause.head, clause.body});
+        Word w = importTerm(whole);
+        head_w = readData(Word::makeDataPtr(w.zone(), w.addr() + 1));
+        body_w = readData(Word::makeDataPtr(w.zone(), w.addr() + 2));
+    } else if (arity > 0) {
+        head_w = importTerm(clause.head);
+    } else {
+        return; // arity-0 fact: trivially true
+    }
+    if (arity > 0) {
+        Word hd = deref(head_w);
+        for (uint32_t i = 0; i < arity; ++i) {
+            Word a =
+                readData(Word::makeDataPtr(hd.zone(), hd.addr() + 1 + i));
+            ++cycles_; // head-argument fetch
+            if (!unify(x_[i], a)) {
+                fail();
+                return;
+            }
+        }
+    }
+    if (is_rule)
+        metaCallWithBarrier(body_w, barrier);
+    // Facts fall through to the stub's Proceed.
+}
+
+void
+Machine::execAssert(bool at_front)
+{
+    Word w = deref(x_[0]);
+    if (w.isRef()) {
+        raiseBall(Term::makeAtom("instantiation_error"));
+        return;
+    }
+    TermRef term = exportTerm(w);
+    AtomId neck = AtomTable::instance().neck;
+    TermRef head = term;
+    TermRef body = nullptr;
+    if (term->isStruct() && term->arity() == 2 &&
+        term->functorName() == neck) {
+        head = term->arg(0);
+        body = term->arg(1);
+    }
+    if (head->isVar()) {
+        raiseBall(Term::makeAtom("instantiation_error"));
+        return;
+    }
+    if (!head->isAtom() && !head->isStruct()) {
+        raiseBall(Term::makeStruct(
+            "type_error", {Term::makeAtom("callable"), head}));
+        return;
+    }
+    Functor f = head->functor();
+    if (f.arity > db::maxDynamicArity) {
+        raiseBall(Term::makeStruct("representation_error",
+                                   {Term::makeAtom("max_arity")}));
+        return;
+    }
+    const PredicateInfo *info = image_.find(f);
+    bool is_static =
+        (info && !image_.isDynamic(f)) || findBuiltin(f).has_value();
+    if (is_static) {
+        raiseBall(Term::makeStruct(
+            "permission_error",
+            {Term::makeAtom("modify"), Term::makeAtom("static_procedure"),
+             Term::makeStruct("/",
+                              {Term::makeAtom(f.name),
+                               Term::makeInt(f.arity)})}));
+        return;
+    }
+    if (!db_) {
+        fail();
+        return;
+    }
+    db_->assertClause(f, head, body, at_front);
+    cycles_ += config_.dyndb.updateCycles;
+}
+
+void
+Machine::execRetract()
+{
+    Word w = deref(x_[0]);
+    if (w.isRef()) {
+        raiseBall(Term::makeAtom("instantiation_error"));
+        return;
+    }
+    AtomId neck = AtomTable::instance().neck;
+    Word head_w = w;
+    Word body_w = Word::makeAtom(AtomTable::instance().trueAtom);
+    if (w.isStruct()) {
+        Word fw = readData(Word::makeDataPtr(w.zone(), w.addr()));
+        if (fw.functorName() == neck && fw.functorArity() == 2) {
+            head_w = deref(
+                readData(Word::makeDataPtr(w.zone(), w.addr() + 1)));
+            body_w = readData(Word::makeDataPtr(w.zone(), w.addr() + 2));
+        }
+    }
+    Functor f;
+    if (head_w.isRef()) {
+        raiseBall(Term::makeAtom("instantiation_error"));
+        return;
+    } else if (head_w.isAtom()) {
+        f = Functor{head_w.atom(), 0};
+    } else if (head_w.isStruct()) {
+        Word fw =
+            readData(Word::makeDataPtr(head_w.zone(), head_w.addr()));
+        f = Functor{fw.functorName(), fw.functorArity()};
+    } else if (head_w.isList()) {
+        f = Functor{AtomTable::instance().dot, 2};
+    } else {
+        raiseBall(Term::makeStruct(
+            "type_error",
+            {Term::makeAtom("callable"), exportTerm(head_w)}));
+        return;
+    }
+    const PredicateInfo *info = image_.find(f);
+    bool is_static =
+        (info && !image_.isDynamic(f)) || findBuiltin(f).has_value();
+    if (is_static) {
+        raiseBall(Term::makeStruct(
+            "permission_error",
+            {Term::makeAtom("modify"), Term::makeAtom("static_procedure"),
+             Term::makeStruct("/",
+                              {Term::makeAtom(f.name),
+                               Term::makeInt(f.arity)})}));
+        return;
+    }
+    if (!db_ || !db_->isKnown(f)) {
+        fail();
+        return;
+    }
+    uint64_t gen = db_->generation();
+    db::ArgKey key;
+    if (f.arity) {
+        Word first =
+            head_w.isList()
+                ? readData(
+                      Word::makeDataPtr(head_w.zone(), head_w.addr()))
+                : readData(Word::makeDataPtr(head_w.zone(),
+                                             head_w.addr() + 1));
+        key = argKeyOf(deref(first));
+    }
+    Word true_w = Word::makeAtom(AtomTable::instance().trueAtom);
+    int64_t cursor = 0;
+    bool have_cursor = false;
+    for (;;) {
+        db::ClauseStore::LookupResult res =
+            have_cursor ? db_->next(f, key, gen, cursor)
+                        : db_->first(f, key, gen);
+        cycles_ += config_.dyndb.scanCycles * res.scanned;
+        if (!res.clause) {
+            fail();
+            return;
+        }
+        cursor = res.clause->seq;
+        have_cursor = true;
+        // Trial unification against the candidate. Force the trail
+        // boundaries so every binding into a pre-existing cell is
+        // recorded, letting a mismatch be undone precisely; the
+        // shallow-backtracking shortcut must not bypass that.
+        Addr h0 = h_;
+        Addr tr0 = tr_;
+        Addr hb0 = hb_;
+        Addr lb0 = lb_;
+        bool shallow0 = shallowFlag_;
+        shallowFlag_ = false;
+        hb_ = h0;
+        lb_ = lt_;
+        Word cand_head;
+        Word cand_body = true_w;
+        if (res.clause->body) {
+            TermRef whole =
+                Term::makeStruct(AtomTable::instance().neck,
+                                 {res.clause->head, res.clause->body});
+            Word cw = importTerm(whole);
+            cand_head =
+                readData(Word::makeDataPtr(cw.zone(), cw.addr() + 1));
+            cand_body =
+                readData(Word::makeDataPtr(cw.zone(), cw.addr() + 2));
+        } else {
+            cand_head = importTerm(res.clause->head);
+        }
+        bool ok = unify(head_w, cand_head) && unify(body_w, cand_body);
+        hb_ = hb0;
+        lb_ = lb0;
+        shallowFlag_ = shallow0;
+        if (ok) {
+            // The pattern stays unified with the removed clause (ISO);
+            // the imported cells above h0 are part of the bindings.
+            db_->eraseClause(f, res.clause->seq);
+            cycles_ += config_.dyndb.updateCycles;
+            return;
+        }
+        unwindTrail(tr0);
+        h_ = h0;
+    }
 }
 
 bool

@@ -144,6 +144,25 @@ class Machine
     /** Convenience: run and collect up to @p max solutions. */
     std::vector<Solution> solutions(size_t max = SIZE_MAX);
 
+    /**
+     * Attach an externally built dynamic clause store. load() then
+     * leaves it untouched instead of creating a fresh store seeded
+     * from the image's dynamic declarations/clauses — the bench
+     * harness uses this to share one pre-loaded million-fact store
+     * across queries. The store's own DynDbConfig governs index
+     * behaviour; pass a store built with the same config as this
+     * machine for reproducible cycle counts.
+     */
+    void
+    attachDynamicDb(std::shared_ptr<db::ClauseStore> store)
+    {
+        db_ = std::move(store);
+        dbAttached_ = true;
+    }
+
+    /** The dynamic clause store (created by load(), or attached). */
+    const std::shared_ptr<db::ClauseStore> &dynamicDb() const { return db_; }
+
     /** Bindings recorded by the most recent SolutionFound. */
     const Solution &lastSolution() const { return solution_; }
 
@@ -309,6 +328,11 @@ class Machine
      *  type_error(callable, Culprit) as Prolog balls; an undefined
      *  predicate warns and fails (consistent with static calls). */
     void metaCall(Word goal);
+    /** metaCall with an explicit cut barrier: `!` inside @p goal cuts
+     *  alternatives back to @p barrier instead of the B current at
+     *  dispatch. Used for dynamic clause bodies, whose cut must prune
+     *  the clause-iteration choice point (ISO 7.8.9.1). */
+    void metaCallWithBarrier(Word goal, Addr barrier);
     /**
      * Unwind to the innermost catch/3 marker choice point (alt ==
      * image_.catchFailEntry), unify @p ball with the revived Catcher
@@ -338,6 +362,27 @@ class Machine
     // --- heap building ---
     Word pushHeapCell(Word value);
     Word newHeapVar();
+
+    // --- dynamic clause database (src/db) ---
+    /** load()-time store setup: fresh store seeded from the image's
+     *  dynamic declarations and clauses, unless one is attached. */
+    void seedDynamicDb();
+    /** First-argument index key of the (dereferenced) word @p w. */
+    db::ArgKey argKeyOf(Word w);
+    /** DynamicCall escape / meta-call fallback: dispatch @p f through
+     *  the clause store (choice-point-based clause iteration). */
+    void execDynamicCall(const Functor &f);
+    /** DynamicRetry escape: resume clause iteration after a fail. */
+    void execDynamicRetry();
+    /** Run one store candidate: import it, unify the head arguments
+     *  with X0..Xn-1, meta-call a rule body with @p barrier as the
+     *  cut barrier. Facts fall through to the stub's Proceed. */
+    void runDynamicClause(const db::StoredClause &clause, uint32_t arity,
+                          Addr barrier);
+    /** asserta/1 (at_front) and assertz/1. */
+    void execAssert(bool at_front);
+    /** retract/1 (semidet; see DESIGN.md for the ISO deviation). */
+    void execRetract();
 
     // --- instruction execution ---
     void step();
@@ -427,6 +472,13 @@ class Machine
     MachineConfig config_;
     std::unique_ptr<MemSystem> mem_;
     CodeImage image_;
+
+    /** Dynamic clause store (logical update view; src/db). Host-side
+     *  state: lookups charge simulated scan cycles, but the store
+     *  itself lives outside the simulated memory map. */
+    std::shared_ptr<db::ClauseStore> db_;
+    /** An external store was attached; load() leaves it alone. */
+    bool dbAttached_ = false;
 
     // Register file: X registers (argument/temporary).
     Word x_[numXRegs];

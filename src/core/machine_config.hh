@@ -12,6 +12,7 @@
 #include <cstring>
 #include <vector>
 
+#include "db/clause_store.hh"
 #include "mem/fault_plan.hh"
 #include "mem/mem_system.hh"
 
@@ -129,6 +130,11 @@ struct MachineConfig
 
     /** Per-query resource limits (all off by default). */
     ResourceGovernor governor;
+
+    /** Dynamic clause database: first-argument index ablations plus
+     *  the simulated lookup/update cost model (db/clause_store.hh).
+     *  Part of the config so the warm-image cache keys on it. */
+    db::DynDbConfig dyndb;
 
     /** Deterministic fault-injection script (empty by default);
      *  applied at instruction boundaries by both execution cores. */

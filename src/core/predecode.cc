@@ -1,6 +1,9 @@
 #include "core/predecode.hh"
 
 #include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
 
 #include "core/profiler.hh"
 
@@ -106,17 +109,20 @@ fusedHeadCounts(const std::vector<DecodedInstr> &decoded)
     return counts;
 }
 
+namespace
+{
+
+/** Shared ranking core: @p count_of yields the dynamic count of one
+ *  catalog sequence; the rest is scoring, ordering and truncation. */
+template <typename CountOf>
 std::vector<uint16_t>
-selectFusedSequences(const Profiler &profiler, size_t top_k)
+selectFromCounts(CountOf &&count_of, size_t top_k)
 {
     const auto &catalog = fusionCatalog();
     std::vector<std::pair<uint64_t, uint16_t>> scored;
     for (unsigned s = 0; s < numFusedSeqs; ++s) {
         const FusedSeq &seq = catalog[s];
-        uint64_t count =
-            seq.length == 3
-                ? profiler.tripleCount(seq.ops[0], seq.ops[1], seq.ops[2])
-                : profiler.pairCount(seq.ops[0], seq.ops[1]);
+        uint64_t count = count_of(seq);
         // Score by dispatches saved, so a triple outranks the pair it
         // contains (same dynamic count, twice the saving) and the
         // predecode peephole — which matches in selection order —
@@ -136,6 +142,196 @@ selectFusedSequences(const Profiler &profiler, size_t top_k)
     for (const auto &[score, index] : scored)
         out.push_back(index);
     return out;
+}
+
+uint64_t
+saturatingAdd(uint64_t a, uint64_t b)
+{
+    uint64_t s = a + b;
+    return s < a ? std::numeric_limits<uint64_t>::max() : s;
+}
+
+} // namespace
+
+std::vector<uint16_t>
+selectFusedSequences(const Profiler &profiler, size_t top_k)
+{
+    return selectFromCounts(
+        [&](const FusedSeq &seq) {
+            return seq.length == 3
+                       ? profiler.tripleCount(seq.ops[0], seq.ops[1],
+                                              seq.ops[2])
+                       : profiler.pairCount(seq.ops[0], seq.ops[1]);
+        },
+        top_k);
+}
+
+std::vector<uint16_t>
+selectFusedSequences(const SequenceProfile &profile, size_t top_k)
+{
+    return selectFromCounts(
+        [&](const FusedSeq &seq) {
+            return seq.length == 3
+                       ? profile.tripleCount(seq.ops[0], seq.ops[1],
+                                             seq.ops[2])
+                       : profile.pairCount(seq.ops[0], seq.ops[1]);
+        },
+        top_k);
+}
+
+bool
+SequenceProfile::empty() const
+{
+    auto allZero = [](const std::vector<uint64_t> &v) {
+        return std::all_of(v.begin(), v.end(),
+                           [](uint64_t c) { return c == 0; });
+    };
+    return allZero(pairs) && allZero(triples);
+}
+
+uint64_t
+SequenceProfile::pairCount(Opcode a, Opcode b) const
+{
+    if (pairs.empty())
+        return 0;
+    return pairs[size_t(a) * numOpcodeTokens + size_t(b)];
+}
+
+uint64_t
+SequenceProfile::tripleCount(Opcode a, Opcode b, Opcode c) const
+{
+    if (triples.empty())
+        return 0;
+    return triples[(size_t(a) * numOpcodeTokens + size_t(b)) *
+                       numOpcodeTokens +
+                   size_t(c)];
+}
+
+void
+SequenceProfile::merge(const SequenceProfile &other)
+{
+    auto mergeInto = [](std::vector<uint64_t> &dst,
+                        const std::vector<uint64_t> &src, size_t full) {
+        if (src.empty())
+            return;
+        if (dst.empty())
+            dst.assign(full, 0);
+        for (size_t i = 0; i < full; ++i)
+            dst[i] = saturatingAdd(dst[i], src[i]);
+    };
+    constexpr size_t n = numOpcodeTokens;
+    mergeInto(pairs, other.pairs, n * n);
+    mergeInto(triples, other.triples, n * n * n);
+}
+
+SequenceProfile
+sequenceProfileOf(const Profiler &profiler)
+{
+    SequenceProfile p;
+    if (!profiler.sequencesEnabled())
+        return p;
+    constexpr size_t n = numOpcodeTokens;
+    p.pairs.assign(n * n, 0);
+    p.triples.assign(n * n * n, 0);
+    for (size_t a = 0; a < n; ++a) {
+        for (size_t b = 0; b < n; ++b) {
+            p.pairs[a * n + b] =
+                profiler.pairCount(Opcode(a), Opcode(b));
+            for (size_t c = 0; c < n; ++c) {
+                p.triples[(a * n + b) * n + c] =
+                    profiler.tripleCount(Opcode(a), Opcode(b),
+                                         Opcode(c));
+            }
+        }
+    }
+    return p;
+}
+
+std::string
+saveSequenceProfile(const SequenceProfile &profile)
+{
+    constexpr size_t n = numOpcodeTokens;
+    std::ostringstream os;
+    os << "kcm-seqprofile 1 " << n << "\n";
+    for (size_t i = 0; i < profile.pairs.size(); ++i) {
+        if (!profile.pairs[i])
+            continue;
+        os << "pair " << i / n << " " << i % n << " "
+           << profile.pairs[i] << "\n";
+    }
+    for (size_t i = 0; i < profile.triples.size(); ++i) {
+        if (!profile.triples[i])
+            continue;
+        os << "triple " << i / (n * n) << " " << (i / n) % n << " "
+           << i % n << " " << profile.triples[i] << "\n";
+    }
+    return os.str();
+}
+
+SequenceProfile
+loadSequenceProfile(const std::string &text)
+{
+    constexpr size_t n = numOpcodeTokens;
+    std::istringstream is(text);
+    std::string magic;
+    unsigned version = 0;
+    size_t tokens = 0;
+    if (!(is >> magic >> version >> tokens) ||
+        magic != "kcm-seqprofile")
+        throw std::runtime_error(
+            "sequence profile: bad header (expected "
+            "\"kcm-seqprofile <version> <tokens>\")");
+    if (version != 1)
+        throw std::runtime_error(
+            "sequence profile: unsupported version " +
+            std::to_string(version));
+    if (tokens != n)
+        throw std::runtime_error(
+            "sequence profile: opcode token count mismatch (file " +
+            std::to_string(tokens) + ", build " + std::to_string(n) +
+            ") — re-profile with this build");
+
+    SequenceProfile p;
+    p.pairs.assign(n * n, 0);
+    p.triples.assign(n * n * n, 0);
+    auto token = [&](uint64_t v, const char *what) -> size_t {
+        if (v >= n)
+            throw std::runtime_error(
+                std::string("sequence profile: ") + what +
+                " token out of range: " + std::to_string(v));
+        return size_t(v);
+    };
+    std::string kind;
+    size_t line = 1;
+    while (is >> kind) {
+        ++line;
+        uint64_t a = 0, b = 0, c = 0, count = 0;
+        if (kind == "pair") {
+            if (!(is >> a >> b >> count))
+                throw std::runtime_error(
+                    "sequence profile: malformed pair record at line " +
+                    std::to_string(line));
+            p.pairs[token(a, "pair") * n + token(b, "pair")] =
+                saturatingAdd(
+                    p.pairs[token(a, "pair") * n + token(b, "pair")],
+                    count);
+        } else if (kind == "triple") {
+            if (!(is >> a >> b >> c >> count))
+                throw std::runtime_error(
+                    "sequence profile: malformed triple record at "
+                    "line " +
+                    std::to_string(line));
+            size_t idx = (token(a, "triple") * n + token(b, "triple")) *
+                             n +
+                         token(c, "triple");
+            p.triples[idx] = saturatingAdd(p.triples[idx], count);
+        } else {
+            throw std::runtime_error(
+                "sequence profile: unknown record \"" + kind +
+                "\" at line " + std::to_string(line));
+        }
+    }
+    return p;
 }
 
 } // namespace kcm

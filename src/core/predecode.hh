@@ -17,6 +17,7 @@
 #define KCM_CORE_PREDECODE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/machine_config.hh"
@@ -42,12 +43,61 @@ std::vector<uint64_t>
 fusedHeadCounts(const std::vector<DecodedInstr> &decoded);
 
 /**
+ * A persistable dynamic opcode pair/triple histogram — the input of
+ * profile-guided selection, decoupled from a live Profiler so one
+ * profiling run can seed fusion for many later runs (the bench
+ * harness persists it via --profile-out and reloads it with
+ * --profile-in instead of repeating the per-benchmark pre-pass).
+ */
+struct SequenceProfile
+{
+    /** Dense histograms: pairs[a * numOpcodeTokens + b] and
+     *  triples[(a * numOpcodeTokens + b) * numOpcodeTokens + c].
+     *  Empty vectors mean "nothing observed yet". */
+    std::vector<uint64_t> pairs;
+    std::vector<uint64_t> triples;
+
+    bool empty() const;
+    uint64_t pairCount(Opcode a, Opcode b) const;
+    uint64_t tripleCount(Opcode a, Opcode b, Opcode c) const;
+
+    /** Accumulate @p other into this profile (saturating add). */
+    void merge(const SequenceProfile &other);
+};
+
+/** Snapshot a profiler's sequence-monitor histograms. Returns an
+ *  empty profile if the monitor was never enabled. */
+SequenceProfile sequenceProfileOf(const Profiler &profiler);
+
+/**
  * Profile-guided selection: rank the catalog by the profiler's
  * dynamic pair/triple histogram and return the indices of the top
  * @p top_k entries that were actually observed.
  */
 std::vector<uint16_t> selectFusedSequences(const Profiler &profiler,
                                            size_t top_k);
+
+/** Same selection over a persisted profile. */
+std::vector<uint16_t> selectFusedSequences(const SequenceProfile &profile,
+                                           size_t top_k);
+
+/**
+ * Render @p profile in the sparse "kcm-seqprofile" text format:
+ *
+ *   kcm-seqprofile 1 <numOpcodeTokens>
+ *   pair <a> <b> <count>
+ *   triple <a> <b> <c> <count>
+ *
+ * Zero counts are omitted; tokens are numeric (enum values), so the
+ * format is stable as long as the opcode enumeration is.
+ */
+std::string saveSequenceProfile(const SequenceProfile &profile);
+
+/** Parse the text format. Throws std::runtime_error on a malformed
+ *  header or record, an out-of-range token, or a token-count mismatch
+ *  (a profile from a different opcode enumeration must not silently
+ *  mis-seed the selector). */
+SequenceProfile loadSequenceProfile(const std::string &text);
 
 } // namespace kcm
 

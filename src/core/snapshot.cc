@@ -24,8 +24,10 @@ namespace
  *                payload bytes
  *
  * Sections, in order: the code image (its textual container), the
- * processor state (registers, counters, prefetch pipeline), and the
- * memory system (main memory, MMU, caches, zones). The memory payload
+ * processor state (registers, counters, prefetch pipeline), the
+ * memory system (main memory, MMU, caches, zones), and the dynamic
+ * clause store (assert/retract database; absent in pre-dynamic
+ * snapshots, which restore with three sections). The memory payload
  * leads with a geometry header (memory size, page-table size, cache
  * cell counts) so a snapshot taken on a differently configured
  * machine is rejected up front. restoreSnapshot() validates the whole
@@ -40,10 +42,14 @@ enum : uint32_t
     secImage = 1,
     secCpu = 2,
     secMem = 3,
+    secDb = 4,
 };
 
-constexpr uint32_t sectionOrder[] = {secImage, secCpu, secMem};
-constexpr size_t numSections = 3;
+constexpr uint32_t sectionOrder[] = {secImage, secCpu, secMem, secDb};
+constexpr size_t numSections = 4;
+/** Snapshots written before the dynamic clause store existed carry
+ *  three sections; they restore with an empty store. */
+constexpr size_t numLegacySections = 3;
 
 uint64_t
 fnv1a64(const uint8_t *data, size_t size)
@@ -184,7 +190,7 @@ struct SectionView
  * every length, verify every checksum. Throws FatalError with a
  * diagnostic on the first problem; nothing has been mutated yet.
  */
-std::array<SectionView, numSections>
+std::vector<SectionView>
 parseAndVerify(const std::vector<uint8_t> &bytes)
 {
     if (bytes.size() < 8 ||
@@ -212,11 +218,11 @@ parseAndVerify(const std::vector<uint8_t> &bytes)
 
     need(4, "section count");
     uint32_t count = read_u32();
-    if (count != numSections)
+    if (count != numSections && count != numLegacySections)
         fatal("snapshot: unexpected section count ", count);
 
-    std::array<SectionView, numSections> sections;
-    for (size_t s = 0; s < numSections; ++s) {
+    std::vector<SectionView> sections(count);
+    for (size_t s = 0; s < count; ++s) {
         need(4 + 8 + 8, "section header");
         uint32_t id = read_u32();
         uint64_t length = read_u64();
@@ -659,6 +665,42 @@ struct SnapshotAccess
         r.counter(pf.untakenBranches);
     }
 
+    /** The dynamic clause store, via its own byte-stable payload
+     *  (ClauseStore::saveTo). The deterministic skiplist heights make
+     *  a restored store index-identical to the original, so scanned
+     *  counts — and simulated cycles — replay exactly. */
+    static void
+    saveDb(Machine &m, ByteWriter &w)
+    {
+        w.boolean(m.db_ != nullptr);
+        if (!m.db_)
+            return;
+        std::vector<uint8_t> blob;
+        m.db_->saveTo(blob);
+        w.str(std::string(blob.begin(), blob.end()));
+    }
+
+    static void
+    restoreDb(Machine &m, ByteReader &r)
+    {
+        bool present = r.boolean();
+        if (!present) {
+            // The snapshotted machine had no store (never loaded an
+            // image). Mirror that; an attached store is shared with
+            // the session, so clear it rather than detach.
+            if (m.dbAttached_)
+                m.db_->clear();
+            else
+                m.db_ = nullptr;
+            return;
+        }
+        std::string blob = r.str();
+        if (!m.db_)
+            m.db_ = std::make_shared<db::ClauseStore>(m.config_.dyndb);
+        m.db_->loadFrom(reinterpret_cast<const uint8_t *>(blob.data()),
+                        blob.size());
+    }
+
     static MemSystem &mem(Machine &m) { return *m.mem_; }
 };
 
@@ -680,6 +722,10 @@ takeSnapshot(Machine &machine)
         payloads[2].reserve(64 * 1024);
         ByteWriter w(payloads[2]);
         SnapshotAccess::saveMem(SnapshotAccess::mem(machine), w);
+    }
+    {
+        ByteWriter w(payloads[3]);
+        SnapshotAccess::saveDb(machine, w);
     }
 
     Snapshot snap;
@@ -747,6 +793,16 @@ restoreSnapshot(Machine &machine, const Snapshot &snapshot)
         SnapshotAccess::restoreMem(SnapshotAccess::mem(machine), r);
         if (!r.atEnd())
             fatal("snapshot: trailing bytes in memory section");
+    }
+    if (sections.size() > 3) {
+        ByteReader r = sections[3].reader();
+        SnapshotAccess::restoreDb(machine, r);
+        if (!r.atEnd())
+            fatal("snapshot: trailing bytes in clause-store section");
+    } else if (machine.dynamicDb()) {
+        // Legacy three-section snapshot: the dynamic store did not
+        // exist when it was taken, so restore to empty.
+        machine.dynamicDb()->clear();
     }
 }
 

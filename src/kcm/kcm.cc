@@ -1,7 +1,12 @@
 #include "kcm/kcm.hh"
 
+#include <set>
+
 #include "base/logging.hh"
+#include "db/clause_store.hh"
 #include "kcm/stdlib.hh"
+#include "prolog/parser.hh"
+#include "prolog/writer.hh"
 
 namespace kcm
 {
@@ -26,6 +31,76 @@ void
 KcmSystem::consultStandardLibrary()
 {
     consultLibrary(standardLibrarySource());
+}
+
+void
+KcmSystem::preloadFacts(const std::string &source,
+                        const std::string &origin)
+{
+    // Validate the whole file before injecting anything, so a
+    // malformed clause can never leave a partial preload behind.
+    OperatorTable ops;
+    Parser parser(source, ops);
+    ReadClause read;
+    std::set<Functor> preds;
+    std::vector<TermRef> facts;
+    size_t clause_no = 0;
+    auto readNext = [&]() {
+        // A raw tokenizer/parser error names only its line; re-throw
+        // with the file so "--db-facts foo.pl" failures always read
+        // "foo.pl: <parser diagnostic>".
+        try {
+            return parser.readClause(read);
+        } catch (const FatalError &err) {
+            std::string why = err.what();
+            if (why.rfind("fatal: ", 0) == 0)
+                why.erase(0, 7);
+            fatal(origin, ": ", why);
+        }
+    };
+    while (readNext()) {
+        ++clause_no;
+        const TermRef &term = read.term;
+        auto reject = [&](const char *why) {
+            fatal(origin, ": clause ", clause_no, " ", why, ": ",
+                  writeTermQuoted(term));
+        };
+        if (term->isVar())
+            reject("is unbound");
+        if (term->isStruct() && term->arity() <= 2) {
+            const std::string &name = atomText(term->functorName());
+            if (name == ":-" || name == "?-")
+                reject("is a rule or directive, not a fact");
+        }
+        if (!term->isAtom() && !term->isStruct())
+            reject("is not a callable fact");
+        Functor f = term->functor();
+        if (f.arity > db::maxDynamicArity)
+            reject("exceeds the dynamic-predicate arity limit");
+        preds.insert(f);
+        facts.push_back(term);
+    }
+
+    // Re-render canonically (quoted, ignore-ops) and route through
+    // consult(): the compiler declares the predicates dynamic and
+    // carries the facts in the image's dynamic-init section, so every
+    // query's machine — and any baseline under differential test fed
+    // the same text — seeds an identical store.
+    WriteOptions canonical;
+    canonical.quoted = true;
+    canonical.ignoreOps = true;
+    std::string text;
+    for (const Functor &f : preds) {
+        text += ":- dynamic(" +
+                writeTerm(Term::makeStruct(
+                              "/", {Term::makeAtom(f.name),
+                                    Term::makeInt(int64_t(f.arity))}),
+                          ops, canonical) +
+                ").\n";
+    }
+    for (const TermRef &fact : facts)
+        text += writeTerm(fact, ops, canonical) + ".\n";
+    consult(text);
 }
 
 CodeImage

@@ -98,6 +98,20 @@ class KcmSystem
      *  length/2, between/3, once/1, ... — see kcm/stdlib.hh). */
     void consultStandardLibrary();
 
+    /**
+     * Preload a fact file into the dynamic clause store (the
+     * `--db-facts` path of kcm_run/kcm_serverd). Every clause must be
+     * a plain fact — an atom or a compound of arity ≤
+     * db::maxDynamicArity, no `:-` rules, no directives; the facts'
+     * predicates are implicitly declared dynamic and the store is
+     * seeded in file order when a query's machine loads. A malformed
+     * clause (unreadable syntax, a rule, a non-callable term, or an
+     * over-arity head) aborts with a fatal diagnostic naming @p origin
+     * and the offending clause — nothing is partially loaded.
+     */
+    void preloadFacts(const std::string &source,
+                      const std::string &origin = "db-facts");
+
     /** Compile and run a query; collects up to maxSolutions. */
     QueryResult query(const std::string &goal);
 

@@ -66,6 +66,12 @@ imageCacheKey(const std::string &program, const std::string &goal,
     fnvMixPod(h, config.fusion.mode);
     for (uint16_t s : config.fusion.sequences)
         fnvMixPod(h, s);
+    // Dynamic clause store: index ablation changes scanned counts
+    // (and therefore cycles), the cost knobs change them directly.
+    fnvMixPod(h, config.dyndb.hashIndex);
+    fnvMixPod(h, config.dyndb.skiplist);
+    fnvMixPod(h, config.dyndb.scanCycles);
+    fnvMixPod(h, config.dyndb.updateCycles);
     fnvMixPod(h, config.governor.cycleBudget);
     fnvMixPod(h, config.governor.globalQuotaWords);
     fnvMixPod(h, config.governor.localQuotaWords);

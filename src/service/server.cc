@@ -490,6 +490,9 @@ Server::compileTemplate(uint64_t key, const std::string &program,
         if (options_.consultStdlib)
             system.consultStandardLibrary();
         system.consult(program);
+        if (!options_.dbFactsSource.empty())
+            system.preloadFacts(options_.dbFactsSource,
+                                options_.dbFactsOrigin);
         CodeImage image = system.compileOnly(goal);
 
         Machine machine(options_.session.machine);

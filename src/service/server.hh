@@ -89,6 +89,16 @@ struct ServerOptions
      *  program (append/3, member/2, ...). */
     bool consultStdlib = true;
 
+    /** Fact-file text preloaded into every query's dynamic clause
+     *  store (kcm_serverd --db-facts). The facts ride the compiled
+     *  image's dynamic-init section, so they are part of the warm
+     *  snapshot template and restore deterministically into every
+     *  pooled worker. Validate with KcmSystem::preloadFacts before
+     *  the server starts; a malformed clause in here fails each query
+     *  with a compile_error otherwise. */
+    std::string dbFactsSource;
+    std::string dbFactsOrigin = "db-facts";
+
     // Connection lifecycle.
     uint64_t idleTimeoutMs = 30'000;  ///< between requests
     uint64_t readDeadlineMs = 5'000;  ///< first byte → full request

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "base/logging.hh"
+#include "compiler/builtin_defs.hh"
 #include "compiler/compiler.hh"
 #include "isa/disasm.hh"
 
@@ -280,8 +281,11 @@ TEST(Compiler, LibraryExcludedFromProgramSize)
     EXPECT_EQ(instr, p->instructions);
 }
 
-TEST(Compiler, UndefinedPredicateGetsFailStub)
+TEST(Compiler, UndefinedPredicateGetsDynamicStub)
 {
+    // An undefined predicate compiles to a dynamic-dispatch trap: a
+    // call still fails while the clause store has no clauses for it,
+    // but assert/1 (or --db-facts) can define it at run time.
     setLoggingEnabled(false);
     CodeImage image = compileProgram("p :- missing_thing.");
     setLoggingEnabled(true);
@@ -289,7 +293,47 @@ TEST(Compiler, UndefinedPredicateGetsFailStub)
         image.find({internAtom("missing_thing"), 0});
     ASSERT_NE(stub, nullptr);
     Instr first(image.words[stub->entry - image.base]);
-    EXPECT_EQ(first.opcode(), Opcode::FailOp);
+    EXPECT_EQ(first.opcode(), Opcode::Escape);
+    EXPECT_EQ(first.value(),
+              static_cast<uint32_t>(BuiltinId::DynamicCall));
+    EXPECT_TRUE(image.isDynamic({internAtom("missing_thing"), 0}));
+    EXPECT_NE(image.dynRetryEntry, 0u);
+}
+
+TEST(Compiler, StaticProgramEmitsNoDynamicMachinery)
+{
+    // No dynamic/1, no asserts, nothing undefined: the image must be
+    // free of dynamic-dispatch machinery (bit-identical guarantee for
+    // static programs).
+    CodeImage image = compileProgram("p :- q.\nq.\n");
+    EXPECT_EQ(image.dynRetryEntry, 0u);
+    EXPECT_TRUE(image.dynStubs.empty());
+    EXPECT_TRUE(image.dynamicDecls.empty());
+    EXPECT_TRUE(image.dynamicInit.empty());
+}
+
+TEST(Compiler, DynamicDeclarationCompilesToStubAndInit)
+{
+    Compiler compiler;
+    compiler.addProgram(":- dynamic(fact/2).\n"
+                        "fact(a, 1).\n"
+                        "fact(b, 2).\n"
+                        "use(X, Y) :- fact(X, Y).\n");
+    CodeImage image = compiler.compile();
+    Functor f{internAtom("fact"), 2};
+    ASSERT_TRUE(image.isDynamic(f));
+    const PredicateInfo *stub = image.find(f);
+    ASSERT_NE(stub, nullptr);
+    Instr first(image.words[stub->entry - image.base]);
+    EXPECT_EQ(first.opcode(), Opcode::Escape);
+    EXPECT_EQ(first.value(),
+              static_cast<uint32_t>(BuiltinId::DynamicCall));
+    // The clauses skipped static compilation and ride along as
+    // canonical init text in source order.
+    ASSERT_EQ(image.dynamicInit.size(), 2u);
+    EXPECT_EQ(image.dynamicInit[0], "fact(a,1)");
+    EXPECT_EQ(image.dynamicInit[1], "fact(b,2)");
+    EXPECT_NE(image.dynRetryEntry, 0u);
 }
 
 TEST(Compiler, CallsAreMarkedAsInferences)

@@ -550,3 +550,57 @@ TEST_P(FuzzSnapshot, CorruptedSnapshotsRejectedWithoutPartialMutation)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSnapshot, ::testing::Range(1u, 7u));
+
+class FuzzDynamicDb : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzDynamicDb, RandomAssertRetractChainsAgreeEverywhere)
+{
+    TermGen gen(GetParam() * 52368761);
+    // Random update/query chains over two dynamic predicates. Heads
+    // stay on the fixed names d/2 and e/1 so every step compiles to
+    // the dynamic-dispatch firmware; failing steps are wrapped in
+    // (G ; true) so a chain never dies at its first miss and later
+    // steps still run against the mutated store.
+    const char *database = ":- dynamic(d/2).\n:- dynamic(e/1).\n";
+    for (int i = 0; i < 6; ++i) {
+        std::ostringstream goal;
+        int steps = 3 + gen.pick(5);
+        for (int s = 0; s < steps; ++s) {
+            if (s > 0)
+                goal << ", ";
+            switch (gen.pick(7)) {
+              case 0:
+                goal << "assertz(d(" << gen.term(2, 0) << ", "
+                     << gen.term(2, 0) << "))";
+                break;
+              case 1:
+                goal << "asserta(d(" << gen.term(2, 0) << ", "
+                     << gen.term(2, 0) << "))";
+                break;
+              case 2:
+                goal << "( retract(d(" << gen.term(2, 1) << ", _))"
+                     << " ; true )";
+                break;
+              case 3:
+                goal << "( d(" << gen.term(2, 1) << ", V0) ; true )";
+                break;
+              case 4:
+                goal << "assertz(e(" << gen.term(2, 0) << "))";
+                break;
+              case 5:
+                goal << "( retract(e(" << gen.term(1, 1) << ")) ; true )";
+                break;
+              default:
+                goal << "( e(" << gen.term(1, 1) << ") ; true )";
+                break;
+            }
+        }
+        // A final open query backtracks through whatever survived.
+        goal << ", ( d(V1, V2) ; e(V1) ; true )";
+        compareOnce(database, goal.str());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDynamicDb, ::testing::Range(1u, 7u));

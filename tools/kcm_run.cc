@@ -28,6 +28,12 @@
  *   --fast         predecoded threaded execution core (the default)
  *   --oracle       decode-per-step execution core (the differential
  *                  reference; simulated results are identical)
+ *   --db-facts FILE  preload FILE (plain facts only) into the dynamic
+ *                  clause store; the facts' predicates are implicitly
+ *                  declared dynamic. A malformed clause — bad syntax,
+ *                  a rule, a non-callable term, an over-arity head —
+ *                  aborts before anything is loaded, with a
+ *                  diagnostic naming the file and clause.
  *
  * Supervision (any of these routes the query through a supervised
  * service::Session — checkpoints, restore-and-retry, clean failure):
@@ -102,6 +108,9 @@ usage()
             "  -q GOAL   -n N   -e TEXT   --stats   --profile\n"
             "  --disasm  --no-shallow  --generic  --max-cycles N\n"
             "  --fast    --oracle\n"
+            "  --db-facts FILE  preload a fact file into the dynamic\n"
+            "                   clause store (facts only; a malformed\n"
+            "                   clause aborts with a diagnostic)\n"
             "supervision (runs the query in a supervised session):\n"
             "  --deadline-ms N       wall-clock deadline per attempt\n"
             "  --checkpoint-every K  checkpoint every K megacycles\n"
@@ -126,6 +135,7 @@ main(int argc, char **argv)
     std::string save_path;
     std::string load_path;
     std::vector<std::string> sources;
+    std::vector<std::string> fact_files;
     bool supervised = false;
     kcm::service::SessionOptions supervision;
 
@@ -174,6 +184,8 @@ main(int argc, char **argv)
             options.machine.shallowBacktracking = false;
         } else if (arg == "--generic") {
             options.compiler.integerArithmetic = false;
+        } else if (arg == "--db-facts") {
+            fact_files.push_back(next());
         } else if (arg == "--max-cycles") {
             options.machine.maxCycles = strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--deadline-ms") {
@@ -246,6 +258,8 @@ main(int argc, char **argv)
             kcm::KcmSystem profSystem(prof);
             for (const auto &source : sources)
                 profSystem.consult(source);
+            for (const auto &path : fact_files)
+                profSystem.preloadFacts(readFile(path), path);
             profSystem.query(query);
             options.machine.fusion.sequences = kcm::selectFusedSequences(
                 profSystem.machine().profiler(), 12);
@@ -254,6 +268,8 @@ main(int argc, char **argv)
         kcm::KcmSystem system(options);
         for (const auto &source : sources)
             system.consult(source);
+        for (const auto &path : fact_files)
+            system.preloadFacts(readFile(path), path);
 
         if (!save_path.empty()) {
             kcm::saveImageFile(system.compileOnly(query), save_path);

@@ -32,6 +32,11 @@
  *   --write-deadline-ms N reply write bound (default 5000)
  *   --max-inflight N     per-connection in-flight cap (default 8)
  *   --drain-grace-ms N   drain grace before aborting (default 5000)
+ *   --db-facts FILE      preload FILE (plain facts only) into every
+ *                        query's dynamic clause store; validated at
+ *                        startup — a malformed clause (bad syntax, a
+ *                        rule, a non-callable term, an over-arity
+ *                        head) refuses to start with a diagnostic
  *   --no-stdlib          do not consult the bundled standard library
  *   --chaos-hooks        enable the "corrupt_cache" op (testing only)
  *   --oracle             decode-per-step execution core
@@ -44,9 +49,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "base/logging.hh"
+#include "kcm/kcm.hh"
 #include "service/server.hh"
 
 namespace
@@ -72,7 +80,8 @@ usage()
             "  --deadline-ms N  --checkpoint-every K  --retries N\n"
             "  --idle-timeout-ms N  --read-deadline-ms N\n"
             "  --write-deadline-ms N  --max-inflight N\n"
-            "  --drain-grace-ms N  --no-stdlib  --chaos-hooks  --oracle\n"
+            "  --drain-grace-ms N  --db-facts FILE  --no-stdlib\n"
+            "  --chaos-hooks  --oracle\n"
             "exit codes: 0 = clean drain on SIGTERM/SIGINT, "
             "2 = startup error\n");
     exit(2);
@@ -84,6 +93,7 @@ int
 main(int argc, char **argv)
 {
     kcm::service::ServerOptions options;
+    std::string db_facts_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -128,6 +138,8 @@ main(int argc, char **argv)
         } else if (arg == "--drain-grace-ms") {
             options.drainGraceMs =
                 strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--db-facts") {
+            db_facts_path = next();
         } else if (arg == "--no-stdlib") {
             options.consultStdlib = false;
         } else if (arg == "--chaos-hooks") {
@@ -143,6 +155,21 @@ main(int argc, char **argv)
     }
 
     try {
+        if (!db_facts_path.empty()) {
+            std::ifstream in(db_facts_path);
+            if (!in)
+                kcm::fatal("cannot open ", db_facts_path);
+            std::ostringstream os;
+            os << in.rdbuf();
+            options.dbFactsSource = os.str();
+            options.dbFactsOrigin = db_facts_path;
+            // Validate up front: a malformed clause must refuse to
+            // start the daemon, not fail every later query.
+            kcm::KcmSystem probe;
+            probe.preloadFacts(options.dbFactsSource,
+                               options.dbFactsOrigin);
+        }
+
         kcm::service::Server server(options);
         server.start();
         activeServer = &server;
