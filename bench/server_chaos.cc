@@ -22,6 +22,14 @@
  *                warm snapshot-template cache right before a query
  *                that would hit it; the checksum layers must eat the
  *                corruption (evict + recompile) — never a wrong answer
+ *   journal_corrupt  a sequential pre-phase with its own durable
+ *                daemon (--db-journal): commit a few mutations, drain
+ *                cleanly, flip one payload byte in a mid-file journal
+ *                record, restart — the daemon must classify the scan
+ *                as corrupt_record, truncate the suspect suffix, and
+ *                serve exactly the surviving-prefix database (verified
+ *                against an offline Journal::scanFile replay); never a
+ *                silent swallow, never a half-applied batch
  *
  * plus a kill-and-restart event: mid-run the daemon is SIGKILLed and
  * a fresh one spawned; every in-flight query classifies as a
@@ -75,6 +83,8 @@
 #include "baseline/interp.hh"
 #include "bench_support/json_report.hh"
 #include "core/snapshot.hh"
+#include "db/clause_store.hh"
+#include "db/journal.hh"
 #include "kcm/kcm.hh"
 #include "service/client.hh"
 
@@ -236,7 +246,8 @@ readLineFd(int fd)
 }
 
 Daemon
-spawnDaemon(const std::string &path)
+spawnDaemon(const std::string &path,
+            const std::vector<std::string> &extra = {})
 {
     int pipefd[2];
     if (pipe(pipefd) < 0)
@@ -250,11 +261,19 @@ spawnDaemon(const std::string &path)
         dup2(pipefd[1], STDOUT_FILENO);
         ::close(pipefd[0]);
         ::close(pipefd[1]);
-        execl(path.c_str(), path.c_str(), "--chaos-hooks", "--workers",
-              "4", "--queue-depth", "256", "--deadline-ms", "20000",
-              "--checkpoint-every", "1", "--read-deadline-ms", "800",
-              "--idle-timeout-ms", "30000", "--drain-grace-ms", "8000",
-              (char *)nullptr);
+        std::vector<std::string> args = {
+            path,        "--chaos-hooks",     "--workers",
+            "4",         "--queue-depth",     "256",
+            "--deadline-ms", "20000",         "--checkpoint-every",
+            "1",         "--read-deadline-ms", "800",
+            "--idle-timeout-ms", "30000",     "--drain-grace-ms",
+            "8000"};
+        args.insert(args.end(), extra.begin(), extra.end());
+        std::vector<char *> argv;
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        execv(path.c_str(), argv.data());
         fprintf(stderr, "exec %s: %s\n", path.c_str(), strerror(errno));
         _exit(127);
     }
@@ -578,12 +597,175 @@ clientMain(SweepShared &shared, int client_id, int queries)
     }
 }
 
+// ------------------------------------------------------------------ //
+// journal_corrupt: bit rot in the durable database's journal. A
+// sequential phase with its own daemon — commit, drain, flip one
+// payload byte mid-file, restart, and hold the daemon to the
+// corrupt_record contract: report it, truncate the suffix, serve
+// exactly the surviving prefix.
+// ------------------------------------------------------------------ //
+
+void
+journalCorruptPhase(const std::string &serverd, SweepShared &shared)
+{
+    const char *family = "journal_corrupt";
+    const char *db_program = ":- dynamic(g/1).\nadd(K) :- assertz(g(K)).\n";
+    const int commits = 6;
+
+    auto diverge = [&](const std::string &why) {
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        ++shared.tallies[family].diverged;
+        fprintf(stderr, "journal_corrupt: %s\n", why.c_str());
+    };
+
+    char dir_tmpl[] = "/tmp/kcm_chaos_journal_XXXXXX";
+    if (!mkdtemp(dir_tmpl))
+        fatal("mkdtemp(): ", strerror(errno));
+    std::string dir = dir_tmpl;
+    std::string jpath = db::Journal::journalFilePath(dir);
+    std::vector<std::string> jflags = {"--db-journal", dir,
+                                       "--journal-sync", "always",
+                                       "--journal-snapshot-every", "0"};
+
+    // Build a small committed history, then drain cleanly.
+    {
+        Daemon daemon = spawnDaemon(serverd, jflags);
+        Client client;
+        if (!client.connect("127.0.0.1", daemon.port, 2'000)) {
+            diverge("cannot connect to the durable daemon");
+            return;
+        }
+        for (int i = 0; i < commits; ++i) {
+            ClientReply r = client.query(cat("jc", i), db_program,
+                                         cat("add(", i, ")"), 1, 0,
+                                         30'000);
+            if (r.io != IoStatus::Ok || r.status() != "completed" ||
+                r.num("db_commit") != i + 1) {
+                diverge(cat("mutation ", i, " not acked as commit ",
+                            i + 1, ": ", r.raw));
+                return;
+            }
+        }
+        client.close();
+        kill(daemon.pid, SIGTERM);
+        int status = 0;
+        waitpid(daemon.pid, &status, 0);
+        std::string drain = readLineFd(daemon.outFd);
+        daemon.closeFd();
+        service::JsonObject obj;
+        std::string err;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
+            !service::parseJsonObject(drain, obj, err) ||
+            obj["journal_commits"].asInt() != commits) {
+            diverge(cat("clean drain did not report ", commits,
+                        " journal commits: ", drain));
+            return;
+        }
+        bump(shared, family, "history_committed");
+    }
+
+    // Flip one payload byte in a mid-file commit record. The record
+    // header is 24 bytes (type, reserved, length, checksum); +24 is
+    // the first payload byte.
+    db::JournalScan before = db::Journal::scanFile(jpath, nullptr);
+    if (!before.clean() || before.commits != commits ||
+        before.recordOffsets.size() != size_t(commits)) {
+        diverge("pre-corruption journal is not the committed history");
+        return;
+    }
+    const int cut = commits / 2; // records [cut..) must be dropped
+    {
+        std::FILE *f = std::fopen(jpath.c_str(), "r+b");
+        if (!f)
+            fatal("cannot reopen ", jpath);
+        long off = long(before.recordOffsets[size_t(cut)]) + 24;
+        std::fseek(f, off, SEEK_SET);
+        int c = std::fgetc(f);
+        std::fseek(f, off, SEEK_SET);
+        std::fputc(c ^ 0x40, f);
+        std::fclose(f);
+    }
+
+    // The offline oracle: the corrupted file must classify as
+    // corrupt_record and replay exactly the pre-corruption prefix.
+    db::ClauseStore replayed{db::DynDbConfig{}};
+    db::JournalScan after = db::Journal::scanFile(jpath, &replayed);
+    Functor g{AtomTable::instance().intern("g"), 1};
+    if (std::string(after.classification()) != "corrupt_record" ||
+        after.lastCommitId != uint64_t(cut) ||
+        replayed.liveClauseCount(g) != uint64_t(cut)) {
+        diverge(cat("offline scan: tail=", after.classification(),
+                    " lastCommit=", after.lastCommitId, " live=",
+                    replayed.liveClauseCount(g), ", expected "
+                    "corrupt_record/", cut, "/", cut));
+        return;
+    }
+    bump(shared, family, "corruption_classified");
+
+    // Restart on the damaged journal: startup recovery must report
+    // the corruption, truncate the suffix, and serve the surviving
+    // prefix — bit rot is loud, never a wrong answer.
+    {
+        Daemon daemon = spawnDaemon(serverd, jflags);
+        Client client;
+        if (!client.connect("127.0.0.1", daemon.port, 2'000)) {
+            diverge("cannot reconnect after corruption");
+            return;
+        }
+        ClientReply s = client.stats();
+        if (s.io != IoStatus::Ok ||
+            s.str("journal_recovery") != "corrupt_record" ||
+            s.num("journal_recovered_commits") != cut ||
+            s.num("journal_truncated_bytes") <= 0) {
+            diverge(cat("stats hide the corruption: ", s.raw));
+            return;
+        }
+        bump(shared, family, "recovery_reported");
+        for (int i = 0; i < commits; ++i) {
+            ClientReply r = client.query(cat("jp", i), db_program,
+                                         cat("g(", i, ")"), 0, 0,
+                                         30'000);
+            bool want_live = i < cut;
+            bool got_live = false;
+            auto it = r.fields.find("answers");
+            if (it != r.fields.end())
+                got_live = !it->second.items.empty();
+            if (r.io != IoStatus::Ok || r.status() != "completed" ||
+                got_live != want_live) {
+                diverge(cat("probe g(", i, "): live=", got_live,
+                            " want=", want_live, ": ", r.raw));
+                return;
+            }
+            std::lock_guard<std::mutex> lock(shared.tallyMutex);
+            ++shared.tallies[family].matched;
+        }
+        client.close();
+        kill(daemon.pid, SIGTERM);
+        int status = 0;
+        waitpid(daemon.pid, &status, 0);
+        daemon.closeFd();
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            diverge("post-corruption drain did not exit 0");
+            return;
+        }
+        bump(shared, family, "drain_clean");
+    }
+    std::string rm = cat("rm -rf '", dir, "'");
+    if (std::system(rm.c_str()) != 0)
+        fprintf(stderr, "journal_corrupt: cleanup failed: %s\n",
+                dir.c_str());
+}
+
 int
 chaosSweep(int clients, int queries_per_client,
            const std::string &serverd, const std::string &json_path,
            bool kill_restart)
 {
     SweepShared shared;
+
+    // The durable-journal bit-rot family runs sequentially first; its
+    // failures count as divergences in the shared tally.
+    journalCorruptPhase(serverd, shared);
 
     Daemon daemon = spawnDaemon(serverd);
     shared.endpoint.port.store(daemon.port);

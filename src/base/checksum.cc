@@ -1,0 +1,33 @@
+#include "base/checksum.hh"
+
+namespace kcm
+{
+
+uint64_t
+fnv1a64(const void *data, size_t size, uint64_t basis)
+{
+    uint64_t hash = basis;
+    fnvMix(hash, data, size);
+    return hash;
+}
+
+void
+fnvMix(uint64_t &h, const void *data, size_t size)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= fnvPrime;
+    }
+}
+
+void
+fnvMixStr(uint64_t &h, const std::string &s)
+{
+    fnvMix(h, s.data(), s.size());
+    // Length separator: distinguishes ("ab","c") from ("a","bc").
+    uint64_t len = s.size();
+    fnvMix(h, &len, sizeof len);
+}
+
+} // namespace kcm

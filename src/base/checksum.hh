@@ -1,0 +1,52 @@
+#ifndef KCM_BASE_CHECKSUM_HH
+#define KCM_BASE_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/**
+ * FNV-1a-64 checksum helpers shared by every on-disk container and
+ * content-hash key in the tree (KCMSNAP2 snapshot sections, the
+ * image-template cache key, the clause-store journal).
+ *
+ * Two offset bases are exposed:
+ *
+ *  - fnvOffsetBasis: the standard FNV-1a-64 offset basis. New formats
+ *    and keys use this.
+ *  - fnvLegacyBasis: the basis the KCMSNAP2 container and the clause
+ *    store's ArgKey hash shipped with (a historical truncation of the
+ *    standard constant). It is load-bearing: changing it would
+ *    invalidate every existing snapshot checksum, so it is preserved
+ *    verbatim and documented here instead of silently duplicated.
+ */
+
+namespace kcm
+{
+
+constexpr uint64_t fnvOffsetBasis = 14695981039346656037ull;
+constexpr uint64_t fnvLegacyBasis = 1469598103934665603ull;
+constexpr uint64_t fnvPrime = 1099511628211ull;
+
+/** One-shot FNV-1a-64 over a byte range, from the given basis. */
+uint64_t fnv1a64(const void *data, size_t size,
+                 uint64_t basis = fnvOffsetBasis);
+
+/** Incremental mix of raw bytes into a running hash. */
+void fnvMix(uint64_t &h, const void *data, size_t size);
+
+/** Mix a string plus a length separator (distinguishes ("ab","c")
+ *  from ("a","bc") in multi-field keys). */
+void fnvMixStr(uint64_t &h, const std::string &s);
+
+/** Mix a trivially copyable value by its object representation. */
+template <typename T>
+void
+fnvMixPod(uint64_t &h, const T &v)
+{
+    fnvMix(h, &v, sizeof v);
+}
+
+} // namespace kcm
+
+#endif // KCM_BASE_CHECKSUM_HH

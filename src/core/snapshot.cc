@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "base/checksum.hh"
 #include "base/logging.hh"
 #include "compiler/image_io.hh"
 #include "core/machine.hh"
@@ -51,15 +52,12 @@ constexpr size_t numSections = 4;
  *  three sections; they restore with an empty store. */
 constexpr size_t numLegacySections = 3;
 
+/** KCMSNAP2 section checksum: FNV-1a-64 from the container's
+ *  historical (legacy) offset basis — see base/checksum.hh. */
 uint64_t
 fnv1a64(const uint8_t *data, size_t size)
 {
-    uint64_t hash = 1469598103934665603ull;
-    for (size_t i = 0; i < size; ++i) {
-        hash ^= data[i];
-        hash *= 1099511628211ull;
-    }
-    return hash;
+    return kcm::fnv1a64(data, size, fnvLegacyBasis);
 }
 
 /** Little-endian byte-stream writer. */

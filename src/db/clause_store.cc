@@ -220,6 +220,28 @@ struct ClauseStore::SeqList
         }
         return n ? n->clause : nullptr;
     }
+
+    /** Unlink the most recently inserted node, which must be @p c's.
+     *  Transaction rollback only: ops are undone newest-first and
+     *  per-list insertion order is chronological, so the node to
+     *  remove is always nodes.back() — making removal O(log n) with
+     *  no tombstone or reindex. */
+    void
+    removeLast(const StoredClause *c)
+    {
+        if (nodes.empty() || nodes.back().clause != c)
+            panic("skiplist removeLast: node is not the newest insert");
+        Node *target = &nodes.back();
+        Node *x = &head;
+        for (int i = kMaxLevel - 1; i >= 0; --i) {
+            while (x->next[i] && x->next[i] != target &&
+                   x->next[i]->seq < target->seq)
+                x = x->next[i];
+            if (x->next[i] == target)
+                x->next[i] = target->next[i];
+        }
+        nodes.pop_back();
+    }
 };
 
 struct ClauseStore::Pred
@@ -273,6 +295,7 @@ const StoredClause &
 ClauseStore::assertClause(const Functor &f, const TermRef &head,
                           const TermRef &body, bool at_front)
 {
+    const bool created = txnActive_ && preds_.find(f) == preds_.end();
     Pred &p = internPred(f);
     VarCanon canon;
     StoredClause c;
@@ -303,6 +326,16 @@ ClauseStore::assertClause(const Functor &f, const TermRef &head,
             bucket = std::make_unique<SeqList>();
         bucket->insert(stored);
     }
+    if (txnActive_) {
+        TxnOp op;
+        op.kind = at_front ? TxnOp::Kind::AssertA : TxnOp::Kind::AssertZ;
+        op.f = f;
+        op.head = stored->head;
+        op.body = stored->body;
+        op.seq = stored->seq;
+        op.createdPred = created;
+        txn_.push_back(std::move(op));
+    }
     return *stored;
 }
 
@@ -320,6 +353,13 @@ ClauseStore::eraseClause(const Functor &f, int64_t seq)
         return; // already a tombstone
     c->death = ++generation_;
     ++updates_;
+    if (txnActive_) {
+        TxnOp op;
+        op.kind = TxnOp::Kind::Erase;
+        op.f = f;
+        op.seq = seq;
+        txn_.push_back(std::move(op));
+    }
 }
 
 ClauseStore::LookupResult
@@ -386,6 +426,86 @@ ClauseStore::clear()
     preds_.clear();
     generation_ = 0;
     updates_ = 0;
+    txnActive_ = false;
+    txn_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Transactions. Every mutation between beginTxn() and commit/rollback
+// is recorded as a TxnOp; rollback replays the record newest-first and
+// restores the exact pre-transaction state. The exactness argument:
+// per-predicate containers (clauses deque, each SeqList's nodes deque)
+// append in chronological order, so undoing the globally newest op
+// always pops the newest element of every container it touched, and
+// the sequence/generation/update counters — each bumped exactly once
+// per op — are restored by one decrement per op.
+
+void
+ClauseStore::beginTxn()
+{
+    if (txnActive_)
+        fatal("clause store: beginTxn with a transaction already active");
+    txn_.clear();
+    txnActive_ = true;
+}
+
+std::vector<TxnOp>
+ClauseStore::commitTxn()
+{
+    if (!txnActive_)
+        fatal("clause store: commitTxn without beginTxn");
+    std::vector<TxnOp> ops = std::move(txn_);
+    txn_.clear();
+    txnActive_ = false;
+    return ops;
+}
+
+void
+ClauseStore::rollbackTxn()
+{
+    if (!txnActive_)
+        fatal("clause store: rollbackTxn without beginTxn");
+    for (auto it = txn_.rbegin(); it != txn_.rend(); ++it) {
+        const TxnOp &op = *it;
+        auto pit = preds_.find(op.f);
+        if (pit == preds_.end())
+            panic("transaction rollback: predicate vanished");
+        Pred &p = *pit->second;
+        if (op.kind == TxnOp::Kind::Erase) {
+            auto cit = p.bySeq.find(op.seq);
+            if (cit == p.bySeq.end())
+                panic("transaction rollback: erased clause vanished");
+            cit->second->death = ~0ull;
+        } else {
+            if (p.clauses.empty() || p.clauses.back().seq != op.seq)
+                panic("transaction rollback: out-of-order assert undo");
+            StoredClause *c = &p.clauses.back();
+            ArgKey key = ArgKey::forHead(c->head);
+            if (key.isAny()) {
+                p.varList.removeLast(c);
+            } else {
+                auto bit = p.buckets.find(key);
+                if (bit == p.buckets.end())
+                    panic("transaction rollback: missing index bucket");
+                bit->second->removeLast(c);
+                if (bit->second->nodes.empty())
+                    p.buckets.erase(bit);
+            }
+            p.master.removeLast(c);
+            p.bySeq.erase(op.seq);
+            if (op.kind == TxnOp::Kind::AssertA)
+                ++p.minSeq;
+            else
+                --p.maxSeq;
+            p.clauses.pop_back();
+            if (op.createdPred)
+                preds_.erase(pit);
+        }
+        --generation_;
+        --updates_;
+    }
+    txn_.clear();
+    txnActive_ = false;
 }
 
 // ---------------------------------------------------------------------
@@ -721,6 +841,107 @@ ClauseStore::loadFrom(const uint8_t *data, size_t size)
     }
     if (r.p != r.end)
         fatal("clause store payload: trailing bytes");
+}
+
+// ---------------------------------------------------------------------
+// Op-batch codec: the payload of one journal commit record. Reuses the
+// structural term encoding above with a per-batch atom pool, so the
+// bytes are stable across processes (atoms travel as text, floats by
+// bit pattern) and a batch re-encoded from a decode is byte-identical.
+
+void
+ClauseStore::encodeOps(const std::vector<TxnOp> &ops,
+                       std::vector<uint8_t> &out)
+{
+    // Pass 1: atom pool in first-appearance order of the encoder walk.
+    AtomPool pool;
+    for (const TxnOp &op : ops) {
+        pool.intern(op.f.name);
+        if (op.kind != TxnOp::Kind::Erase) {
+            pool.collect(op.head);
+            pool.collect(op.body);
+        }
+    }
+    putU32(out, static_cast<uint32_t>(pool.atoms.size()));
+    for (AtomId a : pool.atoms)
+        putStr(out, atomText(a));
+    putU32(out, static_cast<uint32_t>(ops.size()));
+    for (const TxnOp &op : ops) {
+        putU8(out, static_cast<uint8_t>(op.kind));
+        putU32(out, pool.index.at(op.f.name));
+        putU32(out, op.f.arity);
+        putI64(out, op.seq);
+        if (op.kind == TxnOp::Kind::Erase)
+            continue;
+        putU8(out, op.body ? 1 : 0);
+        std::unordered_map<const Term *, uint32_t> var_ids;
+        encodeTerm(out, op.head, pool, var_ids);
+        if (op.body)
+            encodeTerm(out, op.body, pool, var_ids);
+    }
+}
+
+std::vector<TxnOp>
+ClauseStore::decodeOps(const uint8_t *data, size_t size)
+{
+    PayloadReader r{data, data + size};
+    uint32_t natoms = r.u32();
+    if (natoms > size)
+        fatal("op batch payload: atom count ", natoms, " exceeds payload");
+    std::vector<AtomId> atoms;
+    atoms.reserve(natoms);
+    for (uint32_t i = 0; i < natoms; ++i)
+        atoms.push_back(internAtom(r.str()));
+    uint32_t nops = r.u32();
+    if (nops > size)
+        fatal("op batch payload: op count ", nops, " exceeds payload");
+    std::vector<TxnOp> ops;
+    ops.reserve(nops);
+    for (uint32_t i = 0; i < nops; ++i) {
+        TxnOp op;
+        uint8_t kind = r.u8();
+        if (kind > static_cast<uint8_t>(TxnOp::Kind::Erase))
+            fatal("op batch payload: bad op kind ", unsigned(kind));
+        op.kind = static_cast<TxnOp::Kind>(kind);
+        uint32_t name_idx = r.u32();
+        if (name_idx >= atoms.size())
+            fatal("op batch payload: atom index out of range");
+        op.f = Functor{atoms[name_idx], r.u32()};
+        op.seq = r.i64();
+        if (op.kind != TxnOp::Kind::Erase) {
+            bool has_body = r.u8() != 0;
+            std::vector<TermRef> vars;
+            op.head = decodeTerm(r, atoms, vars);
+            if (has_body)
+                op.body = decodeTerm(r, atoms, vars);
+        }
+        ops.push_back(std::move(op));
+    }
+    if (r.p != r.end)
+        fatal("op batch payload: trailing bytes");
+    return ops;
+}
+
+void
+ClauseStore::applyOp(const TxnOp &op)
+{
+    if (op.kind == TxnOp::Kind::Erase) {
+        const uint64_t before = updates_;
+        eraseClause(op.f, op.seq);
+        if (updates_ == before) {
+            fatal("journal replay diverged: retract of ",
+                  atomText(op.f.name), "/", op.f.arity, " seq ", op.seq,
+                  " found no live clause");
+        }
+        return;
+    }
+    const StoredClause &c = assertClause(op.f, op.head, op.body,
+                                         op.kind == TxnOp::Kind::AssertA);
+    if (c.seq != op.seq) {
+        fatal("journal replay diverged: assert to ", atomText(op.f.name),
+              "/", op.f.arity, " landed on seq ", c.seq,
+              " but the record says ", op.seq);
+    }
 }
 
 } // namespace kcm::db

@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/checksum.hh"
 #include "prolog/atom_table.hh"
 #include "prolog/term.hh"
 
@@ -122,10 +123,10 @@ struct ArgKeyHash
     size_t
     operator()(const ArgKey &k) const
     {
-        uint64_t h = 1469598103934665603ull;
+        uint64_t h = fnvLegacyBasis;
         auto mix = [&h](uint64_t v) {
             h ^= v;
-            h *= 1099511628211ull;
+            h *= fnvPrime;
         };
         mix(static_cast<uint64_t>(k.kind));
         mix(k.a);
@@ -151,6 +152,35 @@ struct StoredClause
     {
         return birth <= gen && gen < death;
     }
+};
+
+/**
+ * One recorded mutation. Produced by the transaction machinery below
+ * (and by the journal's record decoder): replaying a TxnOp sequence
+ * against an empty store via assertClause()/eraseClause() rebuilds
+ * the exact original — same sequence numbers, same generation
+ * counters, same skiplist heights, same scanned counts.
+ */
+struct TxnOp
+{
+    enum class Kind : uint8_t
+    {
+        AssertZ = 0,
+        AssertA = 1,
+        Erase = 2,
+    };
+
+    Kind kind = Kind::AssertZ;
+    Functor f{};
+    TermRef head;  ///< asserts only (store-canonicalized)
+    TermRef body;  ///< asserts only; null = fact
+    /** Sequence number the op touched — allocated by assert, target
+     *  of erase. Replay verifies asserts land on the same seq. */
+    int64_t seq = 0;
+    /** Txn-internal: this assert interned the predicate, so rollback
+     *  must drop the Pred entirely (isKnown() and the serialized
+     *  payload would otherwise diverge). Not serialized. */
+    bool createdPred = false;
 };
 
 class ClauseStore
@@ -239,6 +269,46 @@ class ClauseStore
     /** Drop everything (predicates, clauses, generation). */
     void clear();
 
+    // -- transactions (journal support) -----------------------------
+    //
+    // A transaction records every assert/erase between beginTxn() and
+    // commitTxn()/rollbackTxn() as a TxnOp. Rollback undoes the ops
+    // in reverse order *exactly*: sequence counters, generation and
+    // update counters, skiplist links and predicate interning all
+    // return to their pre-transaction state bit for bit (verified by
+    // saveTo() byte comparison in the tests). declareDynamic() is not
+    // covered — durable flows never declare mid-transaction.
+
+    /** Start recording. It is a fatal error if one is active. */
+    void beginTxn();
+
+    bool inTxn() const { return txnActive_; }
+
+    /** Ops recorded so far (empty when no mutation ran). */
+    const std::vector<TxnOp> &txnOps() const { return txn_; }
+
+    /** Keep the mutations: stop recording and return the op list
+     *  (for the journal). */
+    std::vector<TxnOp> commitTxn();
+
+    /** Undo every recorded op in reverse order and stop recording. */
+    void rollbackTxn();
+
+    // -- op-batch codec (journal record payloads) -------------------
+    //
+    // Same structural term encoding as saveTo()/loadFrom(), with a
+    // per-batch atom pool: byte-stable across processes, floats by
+    // bit pattern. decodeOps() throws FatalError on malformed input.
+
+    static void encodeOps(const std::vector<TxnOp> &ops,
+                          std::vector<uint8_t> &out);
+    static std::vector<TxnOp> decodeOps(const uint8_t *data, size_t size);
+
+    /** Apply a decoded op. Asserts must land on the recorded sequence
+     *  number — a divergence throws FatalError (the journal does not
+     *  match the store it is being replayed into). */
+    void applyOp(const TxnOp &op);
+
   private:
     struct Pred;
     struct SeqList;
@@ -250,6 +320,8 @@ class ClauseStore
     uint64_t generation_ = 0;
     uint64_t updates_ = 0;
     std::map<Functor, std::unique_ptr<Pred>> preds_;
+    bool txnActive_ = false;
+    std::vector<TxnOp> txn_;
 };
 
 } // namespace kcm::db

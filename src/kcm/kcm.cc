@@ -33,16 +33,15 @@ KcmSystem::consultStandardLibrary()
     consultLibrary(standardLibrarySource());
 }
 
-void
-KcmSystem::preloadFacts(const std::string &source,
-                        const std::string &origin)
+std::vector<TermRef>
+KcmSystem::parseFactFile(const std::string &source,
+                         const std::string &origin)
 {
-    // Validate the whole file before injecting anything, so a
-    // malformed clause can never leave a partial preload behind.
+    // Validate the whole file before anything is used, so a malformed
+    // clause can never leave a partial preload behind.
     OperatorTable ops;
     Parser parser(source, ops);
     ReadClause read;
-    std::set<Functor> preds;
     std::vector<TermRef> facts;
     size_t clause_no = 0;
     auto readNext = [&]() {
@@ -77,18 +76,21 @@ KcmSystem::preloadFacts(const std::string &source,
         Functor f = term->functor();
         if (f.arity > db::maxDynamicArity)
             reject("exceeds the dynamic-predicate arity limit");
-        preds.insert(f);
         facts.push_back(term);
     }
+    return facts;
+}
 
-    // Re-render canonically (quoted, ignore-ops) and route through
-    // consult(): the compiler declares the predicates dynamic and
-    // carries the facts in the image's dynamic-init section, so every
-    // query's machine — and any baseline under differential test fed
-    // the same text — seeds an identical store.
+std::string
+KcmSystem::factDeclarations(const std::vector<TermRef> &facts)
+{
+    OperatorTable ops;
     WriteOptions canonical;
     canonical.quoted = true;
     canonical.ignoreOps = true;
+    std::set<Functor> preds;
+    for (const TermRef &fact : facts)
+        preds.insert(fact->functor());
     std::string text;
     for (const Functor &f : preds) {
         text += ":- dynamic(" +
@@ -98,6 +100,25 @@ KcmSystem::preloadFacts(const std::string &source,
                           ops, canonical) +
                 ").\n";
     }
+    return text;
+}
+
+void
+KcmSystem::preloadFacts(const std::string &source,
+                        const std::string &origin)
+{
+    std::vector<TermRef> facts = parseFactFile(source, origin);
+
+    // Re-render canonically (quoted, ignore-ops) and route through
+    // consult(): the compiler declares the predicates dynamic and
+    // carries the facts in the image's dynamic-init section, so every
+    // query's machine — and any baseline under differential test fed
+    // the same text — seeds an identical store.
+    OperatorTable ops;
+    WriteOptions canonical;
+    canonical.quoted = true;
+    canonical.ignoreOps = true;
+    std::string text = factDeclarations(facts);
     for (const TermRef &fact : facts)
         text += writeTerm(fact, ops, canonical) + ".\n";
     consult(text);

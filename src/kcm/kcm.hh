@@ -112,6 +112,26 @@ class KcmSystem
     void preloadFacts(const std::string &source,
                       const std::string &origin = "db-facts");
 
+    /**
+     * The validation half of preloadFacts(): parse @p source and
+     * return the validated facts in file order, enforcing the same
+     * facts-only rules (and the same all-or-nothing fatal diagnostics
+     * naming @p origin). Used directly by the durable-database server
+     * path, which seeds a journaled store once instead of carrying the
+     * facts in every compiled image.
+     */
+    static std::vector<TermRef> parseFactFile(const std::string &source,
+                                              const std::string &origin);
+
+    /**
+     * Canonical `:- dynamic(name/arity).` declaration text for the
+     * predicate set of @p facts (sorted, deduplicated). In durable
+     * mode the server consults only these declarations — the compiled
+     * image keeps its dynamic-dispatch stubs while the facts
+     * themselves live in the journaled store.
+     */
+    static std::string factDeclarations(const std::vector<TermRef> &facts);
+
     /** Compile and run a query; collects up to maxSolutions. */
     QueryResult query(const std::string &goal);
 

@@ -1,49 +1,16 @@
 #include "service/image_cache.hh"
 
+#include "base/checksum.hh"
 #include "base/logging.hh"
 
 namespace kcm::service
 {
 
-namespace
-{
-
-constexpr uint64_t fnvOffset = 14695981039346656037ull;
-constexpr uint64_t fnvPrime = 1099511628211ull;
-
-void
-fnvMix(uint64_t &h, const void *data, size_t size)
-{
-    const unsigned char *p = static_cast<const unsigned char *>(data);
-    for (size_t i = 0; i < size; ++i) {
-        h ^= p[i];
-        h *= fnvPrime;
-    }
-}
-
-void
-fnvMixStr(uint64_t &h, const std::string &s)
-{
-    fnvMix(h, s.data(), s.size());
-    // Length separator: distinguishes ("ab","c") from ("a","bc").
-    uint64_t len = s.size();
-    fnvMix(h, &len, sizeof len);
-}
-
-template <typename T>
-void
-fnvMixPod(uint64_t &h, const T &v)
-{
-    fnvMix(h, &v, sizeof v);
-}
-
-} // namespace
-
 uint64_t
 imageCacheKey(const std::string &program, const std::string &goal,
               const MachineConfig &config)
 {
-    uint64_t h = fnvOffset;
+    uint64_t h = fnvOffsetBasis;
     fnvMixStr(h, program);
     fnvMixStr(h, goal);
 

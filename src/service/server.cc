@@ -70,11 +70,50 @@ Server::Server(ServerOptions options)
     // A drain must be able to reclaim stragglers at slice boundaries.
     options_.session.abortOnInterrupt = true;
 
+    // Recover/open the journal before the pool copies the session
+    // options: every worker session shares the durable store pointer.
+    if (!options_.dbJournalDir.empty())
+        openDurableDb();
+
     SupervisorOptions pool;
     pool.session = options_.session;
     pool.workers = options_.workers;
     pool.maxQueueDepth = options_.maxQueueDepth;
     pool_ = std::make_unique<Supervisor>(std::move(pool));
+}
+
+void
+Server::openDurableDb()
+{
+    durable_ = std::make_shared<db::JournaledStore>(
+        options_.dbJournalDir, options_.journal,
+        options_.session.machine.dyndb);
+    options_.session.durableDb = durable_;
+
+    if (!options_.dbFactsSource.empty()) {
+        // Durable mode decouples the fact file from the compiled
+        // images: images consult only the predicates' dynamic
+        // declarations (stable text — cache keys don't churn as the
+        // store mutates) while the facts themselves seed the store
+        // once, as journal commit #1. A recovered journal wins over
+        // the file: re-seeding would duplicate every fact.
+        std::vector<TermRef> facts = KcmSystem::parseFactFile(
+            options_.dbFactsSource, options_.dbFactsOrigin);
+        durableDecls_ = KcmSystem::factDeclarations(facts);
+        if (durable_->recoveryReport().records == 0 && !facts.empty()) {
+            {
+                std::lock_guard<std::mutex> lock(durable_->mutex());
+                db::ClauseStore &store = durable_->store();
+                store.beginTxn();
+                for (const TermRef &fact : facts)
+                    store.assertClause(fact->functor(), fact, nullptr,
+                                       /*at_front=*/false);
+                durable_->commit(store.txnOps());
+                store.commitTxn();
+            }
+            durable_->flush(); // flush() takes the mutex itself
+        }
+    }
 }
 
 Server::~Server()
@@ -352,6 +391,21 @@ Server::handleRequest(const std::shared_ptr<Connection> &conn,
             .field("pool_retries", ps.retries)
             .field("pool_restarts", ps.restarts)
             .field("pool_checkpoints", ps.checkpoints);
+        if (durable_) {
+            const db::JournalScan &rec = durable_->recoveryReport();
+            w.field("db_commits", ps.dbCommits)
+                .field("db_ops", ps.dbOps)
+                .field("journal_commits", durable_->commitsWritten())
+                .field("journal_ops", durable_->opsWritten())
+                .field("journal_snapshots",
+                       durable_->snapshotsWritten())
+                .field("journal_bytes", durable_->bytesWritten())
+                .field("journal_recovered_commits", rec.commits)
+                .field("journal_recovered_ops", rec.ops)
+                .field("journal_recovery", rec.classification())
+                .field("journal_truncated_bytes",
+                       rec.fileBytes - rec.goodBytes);
+        }
         writeReply(conn, w.str());
         return;
     }
@@ -490,9 +544,17 @@ Server::compileTemplate(uint64_t key, const std::string &program,
         if (options_.consultStdlib)
             system.consultStandardLibrary();
         system.consult(program);
-        if (!options_.dbFactsSource.empty())
+        if (durable_) {
+            // Durable mode: the store carries the facts; the image
+            // only needs the dynamic declarations so it keeps its
+            // dynamic-dispatch stubs (dynRetryEntry) for store-only
+            // predicates.
+            if (!durableDecls_.empty())
+                system.consult(durableDecls_);
+        } else if (!options_.dbFactsSource.empty()) {
             system.preloadFacts(options_.dbFactsSource,
                                 options_.dbFactsOrigin);
+        }
         CodeImage image = system.compileOnly(goal);
 
         Machine machine(options_.session.machine);
@@ -558,6 +620,13 @@ Server::onOutcome(std::shared_ptr<QueryCtx> ctx, QueryOutcome outcome)
             .field("halted", outcome.halted);
         if (!outcome.error.empty())
             w.field("error", outcome.error);
+        if (outcome.dbCommitId) {
+            // The durable ack: this reply's mutations are journaled
+            // under this commit id (the torture harness replays acked
+            // commits against the recovered store).
+            w.field("db_ops", outcome.dbOps)
+                .field("db_commit", outcome.dbCommitId);
+        }
         w.field("cycles", outcome.cycles)
             .field("instructions", outcome.instructions)
             .field("inferences", outcome.inferences)
@@ -666,6 +735,12 @@ Server::waitDrained()
     // the workers. Final stats stay readable for the drain report.
     poolFinal_ = pool_->stats();
     pool_.reset();
+
+    // Every acked commit is already write()n (commit-before-ack); the
+    // drain flush pushes the tail through fsync so even a subsequent
+    // kernel crash keeps the journal and the drain report in agreement.
+    if (durable_)
+        durable_->flush();
 }
 
 ServerCounters

@@ -99,6 +99,20 @@ struct ServerOptions
     std::string dbFactsSource;
     std::string dbFactsOrigin = "db-facts";
 
+    /**
+     * Durable dynamic database (kcm_serverd --db-journal). When
+     * nonempty, the server opens (or recovers) a write-ahead journal
+     * in this directory *before accepting connections* and attaches
+     * the journaled store to every session: queries run inside store
+     * transactions and their mutation batches are journaled before the
+     * reply is written (commit-before-ack). In this mode --db-facts
+     * seeds the store once, on first boot only (journal commit #1) —
+     * compiled images carry the fact predicates' dynamic declarations
+     * but not the facts, which live in the recovered store.
+     */
+    std::string dbJournalDir;
+    db::JournalOptions journal;
+
     // Connection lifecycle.
     uint64_t idleTimeoutMs = 30'000;  ///< between requests
     uint64_t readDeadlineMs = 5'000;  ///< first byte → full request
@@ -164,6 +178,9 @@ class Server
     ImageCacheStats cacheStats() const { return cache_.stats(); }
     ServiceStats poolStats() const;
 
+    /** The journaled store (null unless dbJournalDir was set). */
+    const db::JournaledStore *durableDb() const { return durable_.get(); }
+
   private:
     struct Connection;
     struct QueryCtx;
@@ -193,8 +210,17 @@ class Server
 
     uint64_t retryAfterMs() const;
 
+    /** Open/recover the journal and seed --db-facts on first boot
+     *  (constructor helper; runs before the pool copies the session
+     *  options). */
+    void openDurableDb();
+
     ServerOptions options_;
     ImageCache cache_;
+    std::shared_ptr<db::JournaledStore> durable_;
+    /** Durable mode: `:- dynamic(f/n).` text consulted instead of the
+     *  facts themselves, so compiled images keep dynamic dispatch. */
+    std::string durableDecls_;
     std::unique_ptr<Supervisor> pool_;
 
     int listenFd_ = -1;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "base/logging.hh"
@@ -114,6 +115,18 @@ Session::run()
     const auto started = Clock::now();
     QueryOutcome out;
 
+    db::JournaledStore *durable = options_.durableDb.get();
+    std::unique_lock<std::mutex> durable_lock;
+    if (durable) {
+        // Durable queries serialize on the shared store's mutex for
+        // the whole run and disable checkpoint recovery/retries: a
+        // snapshot restore would replace the attached store contents
+        // mid-transaction.
+        durable_lock = std::unique_lock<std::mutex>(durable->mutex());
+        options_.checkpointEveryMcycles = 0;
+        options_.maxRetries = 0;
+    }
+
     const uint64_t checkpoint_cycles =
         options_.checkpointEveryMcycles * 1'000'000;
     const bool recovery = options_.maxRetries > 0 ||
@@ -139,6 +152,12 @@ Session::run()
         out.counters = counters_;
         return out;
     }
+    if (durable) {
+        // Attach after coldStart: both load() and a warm-template
+        // restore install their own store; the durable store must win.
+        machine_->attachDynamicDb(durable->storePtr());
+        durable->store().beginTxn();
+    }
     if (recovery)
         takeCheckpoint(out.solutions, /*resume_after=*/false);
 
@@ -153,6 +172,35 @@ Session::run()
     bool failed_before = false;
 
     auto finish = [&](QueryStatus status) {
+        if (durable && durable->store().inTxn()) {
+            // Commit-before-ack: the journal record is on disk (or the
+            // transaction is fully rolled back) before run() returns,
+            // so a reply can never acknowledge an unjournaled
+            // mutation. Completed covers program-level errors too —
+            // ISO semantics: side effects before an unhandled
+            // exception persist. Failed/interrupted queries roll back
+            // exactly, never leaving a half-applied burst.
+            if (status == QueryStatus::Completed &&
+                !durable->store().txnOps().empty()) {
+                try {
+                    out.dbCommitId =
+                        durable->commit(durable->store().txnOps());
+                    out.dbOps = durable->store().commitTxn().size();
+                } catch (const FatalError &e) {
+                    durable->store().rollbackTxn();
+                    status = QueryStatus::Failed;
+                    out.solutions.clear();
+                    out.failure.classification = "journal_io_error";
+                    out.failure.trapKind = TrapKind::Abort;
+                    out.failure.detail = e.what();
+                    out.failure.attempts = attempts;
+                }
+            } else if (status == QueryStatus::Completed) {
+                durable->store().commitTxn(); // no mutations to journal
+            } else {
+                durable->store().rollbackTxn();
+            }
+        }
         out.status = status;
         out.success = !out.solutions.empty();
         out.halted = machine_->halted();

@@ -40,6 +40,7 @@
 #include "compiler/code_image.hh"
 #include "core/machine.hh"
 #include "core/snapshot.hh"
+#include "db/journal.hh"
 
 namespace kcm::service
 {
@@ -48,6 +49,18 @@ namespace kcm::service
 struct SessionOptions
 {
     MachineConfig machine;
+
+    /**
+     * Durable dynamic database (null = per-session in-memory store).
+     * When set, the session attaches the shared journaled store to
+     * its machine, serializes on its mutex, runs the query inside a
+     * store transaction, and — before run() returns, i.e. before any
+     * reply is written — journals the op batch on completion or rolls
+     * it back on failure. Checkpoint recovery and retries are forced
+     * off in this mode: a snapshot restore would replace the attached
+     * store contents mid-transaction.
+     */
+    std::shared_ptr<db::JournaledStore> durableDb;
 
     /** Checkpoint interval in simulated megacycles (0 = no periodic
      *  checkpoints; the post-load checkpoint is still taken when
@@ -144,6 +157,10 @@ struct QueryOutcome
     uint64_t instructions = 0;
     uint64_t inferences = 0;
     double wallSeconds = 0;
+
+    // Durable-database accounting (durableDb sessions only).
+    uint64_t dbOps = 0;      ///< mutations committed by this query
+    uint64_t dbCommitId = 0; ///< journal commit id (0 = no mutations)
 
     SessionCounters counters;
 };

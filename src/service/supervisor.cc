@@ -170,6 +170,8 @@ Supervisor::bumpStatsLocked(const QueryOutcome &outcome)
     stats_.checkpoints += outcome.counters.checkpoints;
     stats_.checkpointBytes += outcome.counters.checkpointBytes;
     stats_.recoveryCycles += outcome.counters.recoveryCycles;
+    stats_.dbCommits += outcome.dbCommitId ? 1 : 0;
+    stats_.dbOps += outcome.dbOps;
 }
 
 void

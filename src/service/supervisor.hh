@@ -83,6 +83,8 @@ struct ServiceStats
     uint64_t checkpoints = 0;
     uint64_t checkpointBytes = 0;
     uint64_t recoveryCycles = 0;
+    uint64_t dbCommits = 0; ///< journaled durable-db commits
+    uint64_t dbOps = 0;     ///< mutations across those commits
 };
 
 struct SupervisorOptions

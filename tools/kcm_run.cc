@@ -47,9 +47,11 @@
  * "% interrupted" marker) before the process exits.
  *
  * Exit codes: 0 = solutions found, 1 = clean "no", 2 = query failed
- * (trap, resource exhaustion, blown deadline, usage error), 3 = shed
- * by an overloaded service (kcm_serve semantics, reserved here),
- * 4 = interrupted by SIGINT/SIGTERM (partial solutions flushed).
+ * (trap, resource exhaustion, blown deadline, usage error, or a
+ * missing/unreadable program or --db-facts file — always a one-line
+ * diagnostic, never an uncaught exception), 3 = shed by an overloaded
+ * service (kcm_serve semantics, reserved here), 4 = interrupted by
+ * SIGINT/SIGTERM (partial solutions flushed).
  */
 
 #include <csignal>
@@ -100,6 +102,16 @@ readFile(const std::string &path)
     return os.str();
 }
 
+/** One consulted source, in command-line order: a file path (read
+ *  inside main's try block, so a missing file is a one-line
+ *  diagnostic + exit 2, not an uncaught exception) or inline -e
+ *  text. */
+struct SourceArg
+{
+    std::string value;
+    bool isFile = false;
+};
+
 [[noreturn]] void
 usage()
 {
@@ -134,7 +146,7 @@ main(int argc, char **argv)
     bool want_disasm = false;
     std::string save_path;
     std::string load_path;
-    std::vector<std::string> sources;
+    std::vector<SourceArg> source_args;
     std::vector<std::string> fact_files;
     bool supervised = false;
     kcm::service::SessionOptions supervision;
@@ -152,7 +164,7 @@ main(int argc, char **argv)
             long n = atol(next().c_str());
             options.maxSolutions = n <= 0 ? SIZE_MAX : size_t(n);
         } else if (arg == "-e") {
-            sources.push_back(next());
+            source_args.push_back({next(), false});
         } else if (arg == "--stats") {
             want_stats = true;
         } else if (arg == "--profile") {
@@ -210,7 +222,7 @@ main(int argc, char **argv)
             fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage();
         } else {
-            sources.push_back(readFile(arg));
+            source_args.push_back({arg, true});
         }
     }
     if (query.empty() && load_path.empty())
@@ -220,6 +232,14 @@ main(int argc, char **argv)
     installSignalHandlers();
 
     try {
+        // Read consulted files here, inside the try: a missing or
+        // unreadable file is a one-line "kcm_run: fatal: cannot open
+        // ..." + exit 2, never an uncaught exception.
+        std::vector<std::string> sources;
+        sources.reserve(source_args.size());
+        for (const SourceArg &sa : source_args)
+            sources.push_back(sa.isFile ? readFile(sa.value) : sa.value);
+
         if (!load_path.empty()) {
             // Run a downloaded image directly on the machine.
             kcm::CodeImage image = kcm::loadImageFile(load_path);

@@ -22,6 +22,10 @@
  *   --retries N           recovery attempts per query (default 3)
  *   --budget N            governor cycle budget per query (default 0)
  *   -n N                  solutions per query (default 1; 0 = all)
+ *   --db-facts FILE       preload FILE (plain facts only) into every
+ *                         query's dynamic clause store; a missing file
+ *                         or malformed clause is a one-line diagnostic
+ *                         + exit 2, before any query runs
  *   --oracle              decode-per-step execution core
  *
  * SIGINT/SIGTERM start a graceful shutdown: queries already running
@@ -67,7 +71,7 @@ usage()
             "usage: kcm_serve [options] program.pl queries.txt\n"
             "  --workers N  --queue-depth N  --deadline-ms N\n"
             "  --checkpoint-every K  --retries N  --budget N\n"
-            "  -n N  --oracle\n"
+            "  -n N  --db-facts FILE  --oracle\n"
             "exit codes: 0 = all completed, 2 = any failed, "
             "3 = any shed,\n"
             "            4 = interrupted (partial results flushed)\n");
@@ -120,6 +124,7 @@ main(int argc, char **argv)
     kcm::service::SupervisorOptions service;
     kcm::KcmOptions compile_options;
     size_t max_solutions = 1;
+    std::string db_facts_path;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -150,6 +155,8 @@ main(int argc, char **argv)
         } else if (arg == "-n") {
             long n = atol(next().c_str());
             max_solutions = n <= 0 ? 0 : size_t(n);
+        } else if (arg == "--db-facts") {
+            db_facts_path = next();
         } else if (arg == "--oracle") {
             service.session.machine.fastDispatch = false;
         } else if (arg == "-h" || arg == "--help") {
@@ -193,6 +200,15 @@ main(int argc, char **argv)
 
         kcm::KcmSystem system(compile_options);
         system.consult(program);
+        if (!db_facts_path.empty()) {
+            std::ifstream in(db_facts_path);
+            if (!in)
+                kcm::fatal("--db-facts ", db_facts_path,
+                           ": cannot open file");
+            std::ostringstream os;
+            os << in.rdbuf();
+            system.preloadFacts(os.str(), db_facts_path);
+        }
 
         kcm::service::Supervisor supervisor(service);
         for (size_t i = 0; i < goals.size(); ++i) {

@@ -37,6 +37,20 @@
  *                        startup — a malformed clause (bad syntax, a
  *                        rule, a non-callable term, an over-arity
  *                        head) refuses to start with a diagnostic
+ *   --db-journal DIR     durable dynamic database: open (or recover)
+ *                        the write-ahead journal in DIR before
+ *                        accepting connections; every query's
+ *                        mutations are journaled before its reply is
+ *                        written, and SIGTERM drain flushes the tail.
+ *                        With --db-facts the file seeds the store on
+ *                        first boot only (journal commit #1).
+ *   --journal-sync MODE  fsync policy: always | group | none
+ *                        (default group; see db/journal.hh for the
+ *                        durability model of each)
+ *   --journal-group-ms N group-commit window in ms (default 5)
+ *   --journal-snapshot-every N
+ *                        write a compacting snapshot record every N
+ *                        commits (default 1024)
  *   --no-stdlib          do not consult the bundled standard library
  *   --chaos-hooks        enable the "corrupt_cache" op (testing only)
  *   --oracle             decode-per-step execution core
@@ -81,6 +95,8 @@ usage()
             "  --idle-timeout-ms N  --read-deadline-ms N\n"
             "  --write-deadline-ms N  --max-inflight N\n"
             "  --drain-grace-ms N  --db-facts FILE  --no-stdlib\n"
+            "  --db-journal DIR  --journal-sync always|group|none\n"
+            "  --journal-group-ms N  --journal-snapshot-every N\n"
             "  --chaos-hooks  --oracle\n"
             "exit codes: 0 = clean drain on SIGTERM/SIGINT, "
             "2 = startup error\n");
@@ -140,6 +156,24 @@ main(int argc, char **argv)
                 strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--db-facts") {
             db_facts_path = next();
+        } else if (arg == "--db-journal") {
+            options.dbJournalDir = next();
+        } else if (arg == "--journal-sync") {
+            std::string mode = next();
+            if (mode == "always")
+                options.journal.sync = kcm::db::JournalSync::Always;
+            else if (mode == "group")
+                options.journal.sync = kcm::db::JournalSync::Group;
+            else if (mode == "none")
+                options.journal.sync = kcm::db::JournalSync::None;
+            else
+                usage();
+        } else if (arg == "--journal-group-ms") {
+            options.journal.groupWindowMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--journal-snapshot-every") {
+            options.journal.snapshotEvery =
+                strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--no-stdlib") {
             options.consultStdlib = false;
         } else if (arg == "--chaos-hooks") {
@@ -158,7 +192,8 @@ main(int argc, char **argv)
         if (!db_facts_path.empty()) {
             std::ifstream in(db_facts_path);
             if (!in)
-                kcm::fatal("cannot open ", db_facts_path);
+                kcm::fatal("--db-facts ", db_facts_path,
+                           ": cannot open file");
             std::ostringstream os;
             os << in.rdbuf();
             options.dbFactsSource = os.str();
@@ -197,7 +232,7 @@ main(int argc, char **argv)
                "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                "\"cache_corrupt_evictions\": %llu, "
                "\"corrupt_retries\": %llu, "
-               "\"pool_completed\": %llu, \"pool_failed\": %llu}\n",
+               "\"pool_completed\": %llu, \"pool_failed\": %llu",
                (unsigned long long)c.queriesAccepted,
                (unsigned long long)c.queriesReplied,
                (unsigned long long)c.interrupted,
@@ -211,6 +246,18 @@ main(int argc, char **argv)
                (unsigned long long)c.corruptRetries,
                (unsigned long long)pool.completed,
                (unsigned long long)pool.failed);
+        if (const kcm::db::JournaledStore *db = server.durableDb()) {
+            printf(", \"db_commits\": %llu, \"db_ops\": %llu, "
+                   "\"journal_commits\": %llu, "
+                   "\"journal_snapshots\": %llu, "
+                   "\"journal_bytes\": %llu",
+                   (unsigned long long)pool.dbCommits,
+                   (unsigned long long)pool.dbOps,
+                   (unsigned long long)db->commitsWritten(),
+                   (unsigned long long)db->snapshotsWritten(),
+                   (unsigned long long)db->bytesWritten());
+        }
+        printf("}\n");
         fflush(stdout);
         return c.queriesAccepted == c.queriesReplied ? 0 : 2;
     } catch (const std::exception &e) {
