@@ -22,6 +22,16 @@
  *                warm snapshot-template cache right before a query
  *                that would hit it; the checksum layers must eat the
  *                corruption (evict + recompile) — never a wrong answer
+ *   straggler    real queries carrying "chaos_slice_delay_us": the
+ *                executing worker sleeps at every governor slice
+ *                boundary, simulating a degraded host. The reply must
+ *                still be bit-identical (the delay is host-side only);
+ *                when the supervisor hedges, the clean duplicate's
+ *                answer is the same answer
+ *   mem_hog      real queries carrying a 1 MiB "memory_budget_bytes"
+ *                with heap-hungry work: every one must fail *classified*
+ *                — resource_error(memory), or circuit_open once the
+ *                shape's breaker trips — never complete, never hang
  *   journal_corrupt  a sequential pre-phase with its own durable
  *                daemon (--db-journal): commit a few mutations, drain
  *                cleanly, flip one payload byte in a mid-file journal
@@ -34,6 +44,20 @@
  * plus a kill-and-restart event: mid-run the daemon is SIGKILLed and
  * a fresh one spawned; every in-flight query classifies as a
  * connection failure and every client reconnects and carries on.
+ *
+ * Two deterministic sequential phases run before the sweep, each
+ * against its own daemon:
+ *
+ *   hedge        a single straggler query under aggressive hedging
+ *                (--hedge-min-ms 10): the monitor must launch a clean
+ *                duplicate, the duplicate must win, and the delivered
+ *                answer must match the oracle — asserted via the
+ *                hedges / hedge_wins stats counters
+ *   breaker      a query shape driven through the full circuit-breaker
+ *                lifecycle: two classified failures open it, the next
+ *                arrival fast-fails "circuit_open" with a retry hint,
+ *                and after the cooldown the half-open probe completes
+ *                and closes it — asserted via the breaker_* counters
  *
  * Every completed reply is checked bit-identical against the baseline
  * interpreter (the differential oracle); everything else must be a
@@ -113,6 +137,13 @@ suml([], A, A).
 suml([H|T], A, S) :- B is A + H, suml(T, B, S).
 
 revsum(N, S) :- mklist(N, L), rev(L, R), suml(R, 0, S).
+
+sumc(0, 0).
+sumc(N, S) :- N > 0, !, M is N - 1, sumc(M, T), S is T + N.
+
+itc(0, A, A).
+itc(N, A, S) :- N > 0, !, sumc(200, T), B is A + T, M is N - 1,
+                itc(M, B, S).
 )PROLOG";
 
 /** Normalize fresh-variable numbering (_NNN differs per process). */
@@ -367,16 +398,29 @@ connectCurrent(Client &client, Endpoint &endpoint)
 }
 
 /** Issue one real query and verify it against the oracle. Returns
- *  false when the connection needs to be re-established. */
+ *  false when the connection needs to be re-established. A nonzero
+ *  @p slice_delay_us rides along as "chaos_slice_delay_us" (the
+ *  straggler family) — host-side only, so the answer contract is
+ *  unchanged. */
 bool
 verifiedQuery(Client &client, SweepShared &shared,
               const std::string &family, const std::string &id,
-              const std::string &goal)
+              const std::string &goal, uint64_t slice_delay_us = 0)
 {
     uint32_t gen = shared.endpoint.generation.load();
-    ClientReply reply =
-        client.query(id, chaosProgram, goal, /*max_solutions=*/1,
-                     /*deadline_ms=*/0, /*timeout_ms=*/60'000);
+    service::JsonWriter w;
+    w.field("op", "query")
+        .field("id", id)
+        .field("program", chaosProgram)
+        .field("goal", goal)
+        .field("max_solutions", uint64_t(1));
+    if (slice_delay_us)
+        w.field("chaos_slice_delay_us", slice_delay_us);
+    ClientReply reply;
+    if (client.sendLine(w.str()) != IoStatus::Ok)
+        reply.io = IoStatus::Closed;
+    else
+        reply = client.readReply(60'000);
     ++shared.issued;
 
     if (reply.io != IoStatus::Ok || !reply.parsed) {
@@ -438,11 +482,13 @@ clientMain(SweepShared &shared, int client_id, int queries)
         return;
     }
 
-    static const char *families[] = {"clean", "garbage", "slow_loris",
-                                     "drop", "corrupt"};
+    static const char *families[] = {"clean",   "garbage",
+                                     "slow_loris", "drop",
+                                     "corrupt", "straggler",
+                                     "mem_hog"};
     for (int i = 0; i < queries; ++i) {
         uint32_t seed = uint32_t(client_id) * 10'000 + uint32_t(i);
-        const std::string family = families[(client_id + i) % 5];
+        const std::string family = families[(client_id + i) % 7];
         const std::string goal = goalFor(seed);
         const std::string id = cat("c", client_id, "/q", i);
 
@@ -572,7 +618,7 @@ clientMain(SweepShared &shared, int client_id, int queries)
             }
             client.abort();
             ok = false; // reconnect
-        } else { // corrupt
+        } else if (family == "corrupt") {
             // Flip a bit in the hottest cache template, then query:
             // the checksum layers must turn the corruption into a
             // recompile, never into a wrong answer.
@@ -589,6 +635,55 @@ clientMain(SweepShared &shared, int client_id, int queries)
             } else {
                 bump(shared, family, "transport_send");
                 ok = false;
+            }
+        } else if (family == "straggler") {
+            // A degraded worker: multi-slice work with a per-slice
+            // host delay. The answer contract is untouched — if the
+            // supervisor hedges it onto a clean worker, the duplicate
+            // is bit-identical by construction and the oracle check
+            // below holds for whichever attempt wins.
+            ok = verifiedQuery(client, shared, family, id,
+                               "itc(200, 0, S)",
+                               /*slice_delay_us=*/20'000);
+        } else { // mem_hog
+            // A 1 MiB budget against multi-MiB work: the reply must
+            // be a *classified* failure — resource_error(memory), or
+            // circuit_open once this shape's breaker trips — never a
+            // completion, never a hang.
+            service::JsonWriter w;
+            w.field("op", "query")
+                .field("id", id)
+                .field("program", chaosProgram)
+                .field("goal", "mklist(200000, L)")
+                .field("max_solutions", uint64_t(1))
+                .field("memory_budget_bytes", uint64_t(1) << 20);
+            if (client.sendLine(w.str()) != IoStatus::Ok) {
+                bump(shared, family, "transport_send");
+                ok = false;
+            } else {
+                ClientReply r = client.readReply(60'000);
+                ++shared.issued;
+                if (r.io != IoStatus::Ok) {
+                    bool killed = shared.endpoint.restarting.load();
+                    bump(shared, family,
+                         killed ? "daemon_killed"
+                                : cat("transport_",
+                                      service::ioStatusName(r.io)));
+                    ok = false;
+                } else if (r.status() == "completed") {
+                    // The budget was ignored: that is the bug class.
+                    std::lock_guard<std::mutex> lock(
+                        shared.tallyMutex);
+                    ++shared.tallies[family].diverged;
+                    fprintf(stderr,
+                            "DIVERGENCE %s: mem_hog completed past "
+                            "its budget\n", id.c_str());
+                } else {
+                    std::string klass = r.str("error");
+                    bump(shared, family,
+                         klass.empty() ? r.status()
+                                       : cat(r.status(), ":", klass));
+                }
             }
         }
 
@@ -756,6 +851,179 @@ journalCorruptPhase(const std::string &serverd, SweepShared &shared)
                 dir.c_str());
 }
 
+// ------------------------------------------------------------------ //
+// hedge: a single straggler under aggressive hedging. Deterministic:
+// the primary sleeps 40 ms at every 1-Mcycle slice boundary, the
+// monitor's threshold is 10 ms, and two workers sit idle — the clean
+// duplicate must launch, win, and deliver the oracle's answer.
+// ------------------------------------------------------------------ //
+
+void
+hedgePhase(const std::string &serverd, SweepShared &shared)
+{
+    const char *family = "hedge";
+    auto diverge = [&](const std::string &why) {
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        ++shared.tallies[family].diverged;
+        fprintf(stderr, "hedge: %s\n", why.c_str());
+    };
+
+    Daemon daemon = spawnDaemon(
+        serverd, {"--workers", "2", "--hedge-min-ms", "10",
+                  "--hedge-poll-ms", "1"});
+    Client client;
+    if (!client.connect("127.0.0.1", daemon.port, 2'000)) {
+        diverge("cannot connect to the hedging daemon");
+        return;
+    }
+
+    const std::string goal = "itc(300, 0, S)";
+    service::JsonWriter w;
+    w.field("op", "query")
+        .field("id", "hedge0")
+        .field("program", chaosProgram)
+        .field("goal", goal)
+        .field("max_solutions", uint64_t(1))
+        .field("chaos_slice_delay_us", uint64_t(40'000));
+    if (client.sendLine(w.str()) != IoStatus::Ok) {
+        diverge("cannot send the straggler query");
+        return;
+    }
+    ClientReply reply = client.readReply(120'000);
+    if (reply.io != IoStatus::Ok || reply.status() != "completed") {
+        diverge(cat("straggler did not complete: ", reply.raw));
+        return;
+    }
+    auto [want, want_err] = shared.oracle.answer(goal);
+    std::string got;
+    if (auto it = reply.fields.find("answers"); it != reply.fields.end())
+        for (const auto &a : it->second.items)
+            got += stripVarNumbers(a.str) + ";";
+    if (got != want || reply.str("error") != want_err) {
+        diverge(cat("hedged answer diverges: got '", got, "' want '",
+                    want, "'"));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        ++shared.tallies[family].matched;
+    }
+
+    ClientReply s = client.stats();
+    if (s.io != IoStatus::Ok || s.num("hedges") < 1 ||
+        s.num("hedge_wins") < 1) {
+        diverge(cat("no hedge win observed: ", s.raw));
+        return;
+    }
+    bump(shared, family, "hedge_win_observed");
+
+    client.close();
+    kill(daemon.pid, SIGTERM);
+    int status = 0;
+    waitpid(daemon.pid, &status, 0);
+    daemon.closeFd();
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        diverge("hedging daemon drain did not exit 0");
+        return;
+    }
+    bump(shared, family, "drain_clean");
+}
+
+// ------------------------------------------------------------------ //
+// breaker: one query shape driven around the full breaker lifecycle
+// — open on repeated classified failures, fast-fail while open,
+// half-open probe after the cooldown, closed on the probe's success.
+// ------------------------------------------------------------------ //
+
+void
+breakerPhase(const std::string &serverd, SweepShared &shared)
+{
+    const char *family = "breaker";
+    auto diverge = [&](const std::string &why) {
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        ++shared.tallies[family].diverged;
+        fprintf(stderr, "breaker: %s\n", why.c_str());
+    };
+
+    Daemon daemon = spawnDaemon(
+        serverd, {"--retries", "0", "--breaker-threshold", "2",
+                  "--breaker-open-ms", "300"});
+    Client client;
+    if (!client.connect("127.0.0.1", daemon.port, 2'000)) {
+        diverge("cannot connect to the breaker daemon");
+        return;
+    }
+    const std::string goal = "itc(500, 0, S)";
+
+    // Two killer-deadline failures open the shape's breaker (the
+    // shape hash ignores deadlines, so the later deadline-free
+    // queries are the *same* shape).
+    for (int i = 0; i < 2; ++i) {
+        ClientReply r = client.query(cat("bk", i), chaosProgram, goal,
+                                     1, /*deadline_ms=*/1, 60'000);
+        if (r.io != IoStatus::Ok || r.status() != "failed" ||
+            r.str("error") != "deadline_exceeded") {
+            diverge(cat("failure ", i, " not classified: ", r.raw));
+            return;
+        }
+    }
+    bump(shared, family, "opened_on_failures");
+
+    // While open: fast-fail with a retry hint, zero machine cycles.
+    ClientReply fast = client.query("bkfast", chaosProgram, goal, 1,
+                                    0, 60'000);
+    if (fast.io != IoStatus::Ok || fast.str("error") != "circuit_open" ||
+        fast.num("retry_after_ms") <= 0) {
+        diverge(cat("open breaker did not fast-fail: ", fast.raw));
+        return;
+    }
+    bump(shared, family, "fast_failed_while_open");
+
+    // After the cooldown the half-open probe is admitted; without the
+    // killer deadline it completes — and must match the oracle.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    ClientReply probe = client.query("bkprobe", chaosProgram, goal, 1,
+                                     0, 120'000);
+    if (probe.io != IoStatus::Ok || probe.status() != "completed") {
+        diverge(cat("probe did not complete: ", probe.raw));
+        return;
+    }
+    auto [want, want_err] = shared.oracle.answer(goal);
+    std::string got;
+    if (auto it = probe.fields.find("answers"); it != probe.fields.end())
+        for (const auto &a : it->second.items)
+            got += stripVarNumbers(a.str) + ";";
+    if (got != want || probe.str("error") != want_err) {
+        diverge(cat("probe answer diverges: got '", got, "'"));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(shared.tallyMutex);
+        ++shared.tallies[family].matched;
+    }
+
+    ClientReply s = client.stats();
+    if (s.io != IoStatus::Ok || s.num("breaker_open") != 1 ||
+        s.num("breaker_closed") != 1 || s.num("breaker_probes") != 1 ||
+        s.num("breaker_fast_fails") < 1 ||
+        s.num("breaker_open_shapes") != 0) {
+        diverge(cat("breaker lifecycle counters wrong: ", s.raw));
+        return;
+    }
+    bump(shared, family, "closed_via_probe");
+
+    client.close();
+    kill(daemon.pid, SIGTERM);
+    int status = 0;
+    waitpid(daemon.pid, &status, 0);
+    daemon.closeFd();
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        diverge("breaker daemon drain did not exit 0");
+        return;
+    }
+    bump(shared, family, "drain_clean");
+}
+
 int
 chaosSweep(int clients, int queries_per_client,
            const std::string &serverd, const std::string &json_path,
@@ -763,9 +1031,12 @@ chaosSweep(int clients, int queries_per_client,
 {
     SweepShared shared;
 
-    // The durable-journal bit-rot family runs sequentially first; its
-    // failures count as divergences in the shared tally.
+    // The deterministic sequential phases run first, each against its
+    // own daemon; their failures count as divergences in the shared
+    // tally.
     journalCorruptPhase(serverd, shared);
+    hedgePhase(serverd, shared);
+    breakerPhase(serverd, shared);
 
     Daemon daemon = spawnDaemon(serverd);
     shared.endpoint.port.store(daemon.port);
@@ -816,6 +1087,7 @@ chaosSweep(int clients, int queries_per_client,
         return 1;
     }
     uint64_t cache_hits = 0, cache_corrupt = 0;
+    std::string stats_raw;
     {
         Client probe;
         if (!probe.connect("127.0.0.1", daemon.port, 2'000)) {
@@ -828,6 +1100,7 @@ chaosSweep(int clients, int queries_per_client,
             fprintf(stderr, "server_chaos: stats probe failed\n");
             return 1;
         }
+        stats_raw = s.raw;
         cache_hits = uint64_t(s.num("cache_hits"));
         cache_corrupt = uint64_t(s.num("cache_corrupt_evictions") +
                                  s.num("corrupt_retries"));
@@ -874,6 +1147,20 @@ chaosSweep(int clients, int queries_per_client,
            (unsigned long long)accepted, (unsigned long long)replied,
            (unsigned long long)cache_hits,
            (unsigned long long)cache_corrupt, restarts);
+
+    // Post-mortem dump: the final daemon stats snapshot and drain
+    // summary, written unconditionally so a failing CI run can attach
+    // them as artifacts.
+    {
+        std::string dump = benchOutputPath("server_chaos_stats_dump.json");
+        if (std::FILE *f = std::fopen(dump.c_str(), "w")) {
+            fprintf(f, "{\"stats\": %s,\n \"drain\": %s}\n",
+                    stats_raw.empty() ? "null" : stats_raw.c_str(),
+                    drain_line.empty() ? "null" : drain_line.c_str());
+            std::fclose(f);
+            printf("wrote %s\n", dump.c_str());
+        }
+    }
 
     bool lost = accepted != replied;
     bool no_hits = cache_hits == 0;

@@ -79,6 +79,16 @@ struct Interpreter::Impl
 
     uint64_t inferences = 0;
     std::string output;
+
+    /** Arena-byte ceiling (0 = unlimited), the interpreter's mirror
+     *  of ResourceGovernor::memoryBudgetBytes: crossing it throws a
+     *  catchable resource_error(memory) ball from the allocation
+     *  point. Once tripped the budget is waived for the rest of the
+     *  query (the arena never shrinks, so the catch/3 recovery goal
+     *  must still be able to allocate — the machine analog frees
+     *  memory by unwinding instead). */
+    uint64_t memoryBudgetBytes = 0;
+    bool memBudgetTripped = false;
     /** Monotone id per call-like region (predicate invocation,
      *  disjunction, negation); used to scope cuts. */
     uint64_t nextCallId = 1;
@@ -94,6 +104,12 @@ struct Interpreter::Impl
     Cell *
     newCell()
     {
+        if (memoryBudgetBytes && !memBudgetTripped &&
+            arena.size() * sizeof(Cell) >= memoryBudgetBytes) {
+            memBudgetTripped = true;
+            throw PrologThrow{Term::makeStruct(
+                "resource_error", {Term::makeAtom("memory")})};
+        }
         arena.emplace_back();
         return &arena.back();
     }
@@ -1062,6 +1078,12 @@ Interpreter::attachDynamicDb(std::shared_ptr<db::ClauseStore> store)
     impl_->dynDb = std::move(store);
 }
 
+void
+Interpreter::setMemoryBudgetBytes(uint64_t bytes)
+{
+    impl_->memoryBudgetBytes = bytes;
+}
+
 const std::shared_ptr<db::ClauseStore> &
 Interpreter::dynamicDb() const
 {
@@ -1080,6 +1102,7 @@ Interpreter::query(const std::string &goal, size_t max_solutions)
     impl_->output.clear();
     impl_->solutions.clear();
     impl_->maxSolutions = max_solutions;
+    impl_->memBudgetTripped = false;
 
     std::unordered_map<const Term *, Cell *> vars;
     Cell *body = impl_->instantiate(read.term, vars);

@@ -97,6 +97,17 @@ class Interpreter
      *  test). The interpreter owns one of its own by default. */
     void attachDynamicDb(std::shared_ptr<db::ClauseStore> store);
 
+    /**
+     * Arena-byte ceiling (0 = unlimited), mirroring the machine
+     * governor's memoryBudgetBytes: exceeding it throws a catchable
+     * resource_error(memory) ball, the same term all three engines
+     * raise for memory exhaustion. The scale differs from the
+     * machine's zone accounting (interpreter cells vs simulated
+     * words); the contract is the identical ball, not an identical
+     * byte count.
+     */
+    void setMemoryBudgetBytes(uint64_t bytes);
+
     /** The store backing dynamic/1 predicates for this interpreter. */
     const std::shared_ptr<db::ClauseStore> &dynamicDb() const;
 

@@ -1222,7 +1222,15 @@ Machine::applyQuotas()
     const ResourceGovernor &gov = config_.governor;
     const DataLayout &layout = mem_->layout();
     ZoneChecker &checker = mem_->zoneChecker();
+    // Under a byte budget every zone needs a growth boundary: a zone
+    // with no explicit quota starts at one growth step and is grown by
+    // firmware on demand, with the aggregate footprint checked at each
+    // growth (growStackZone).
+    uint64_t default_words =
+        gov.memoryBudgetBytes ? gov.growthStepWords : 0;
     auto quota = [&](Zone zone, Addr start, Addr end, uint64_t words) {
+        if (!words)
+            words = default_words;
         if (!words)
             return;
         Addr span = static_cast<Addr>(
@@ -1237,6 +1245,24 @@ Machine::applyQuotas()
           gov.controlQuotaWords);
     quota(Zone::TrailZ, layout.trailStart, layout.trailEnd,
           gov.trailQuotaWords);
+}
+
+uint64_t
+Machine::residentZoneBytes() const
+{
+    // The governed footprint: words between each data zone's start and
+    // its current soft limit. Zones without a quota (not growable)
+    // count their full span — they are committed address space either
+    // way.
+    const ZoneChecker &checker = mem_->zoneChecker();
+    uint64_t words = 0;
+    for (Zone zone : {Zone::Global, Zone::Local, Zone::Control,
+                      Zone::TrailZ}) {
+        const ZoneInfo &zi = checker.info(zone);
+        Addr limit = zi.growable ? zi.softLimit : zi.end;
+        words += limit - zi.start;
+    }
+    return words * sizeof(Word);
 }
 
 bool
@@ -1254,6 +1280,20 @@ Machine::growStackZone(Zone zone)
         Addr span = static_cast<Addr>(std::min<uint64_t>(
             gov.zoneCeilingWords, zi.end - zi.start));
         ceiling = zi.start + span;
+    }
+    if (gov.memoryBudgetBytes) {
+        // Aggregate resident-byte ceiling, checked at the growth
+        // boundary: a step that would push the summed zone footprint
+        // past the budget is refused as a resource condition of its
+        // own, catchable as resource_error(memory).
+        uint64_t resident = residentZoneBytes();
+        uint64_t step = gov.growthStepWords * sizeof(Word);
+        if (resident + step > gov.memoryBudgetBytes)
+            throw MachineTrap(
+                TrapKind::MemoryBudget,
+                cat("memory budget exhausted (", resident,
+                    " resident + ", step, " growth > budget ",
+                    gov.memoryBudgetBytes, " bytes)"));
     }
     if (!checker.growSoftLimit(zone,
                                static_cast<Addr>(gov.growthStepWords),

@@ -197,6 +197,20 @@ class Machine
         return h_ - mem_->layout().globalStart;
     }
 
+    /** Governed data-zone footprint in bytes: words from each data
+     *  zone's start to its current soft limit (full span for zones
+     *  without a quota). The quantity the governor's
+     *  memoryBudgetBytes ceiling bounds at growth boundaries. */
+    uint64_t residentZoneBytes() const;
+
+    /** Re-impose the governor's zone quotas. A snapshot restore
+     *  overwrites the zone table with the snapshotted limits; a
+     *  warm-template restore under a *different* governor (per-query
+     *  memory budget) calls this to put the session's quotas back —
+     *  the resulting state matches a fresh load() under that config.
+     *  No-op when the governor sets none. */
+    void reapplyQuotas() { applyQuotas(); }
+
     /** The profiler (meaningful when config().profile is set). */
     const Profiler &profiler() const { return profiler_; }
 
@@ -401,7 +415,8 @@ class Machine
     /** Recompute the effective cycle stop and fault arming from the
      *  configuration (run()-entry). */
     void armGovernor();
-    /** Impose the governor's zone quotas (load()-time). */
+    /** Impose the governor's zone quotas (load()-time; also public
+     *  via reapplyQuotas() for warm-template restores). */
     void applyQuotas();
     /** Serve a StackOverflow on @p zone by firmware growth; charges
      *  the documented cycle cost. @return false if not growable or

@@ -68,12 +68,24 @@ struct ResourceGovernor
      *  zone-register update, return — documented in DESIGN.md). */
     unsigned stackGrowCycles = 50;
 
+    /**
+     * Aggregate resident-byte ceiling across the four data zones
+     * (global, local, control, trail), accounted at zone-growth
+     * boundaries (0 = unlimited). When set, every zone without an
+     * explicit quota starts at a small initial quota so growth
+     * boundaries exist, and a firmware growth that would push the
+     * summed zone footprint past the ceiling raises
+     * TrapKind::MemoryBudget — a catchable resource_error(memory).
+     */
+    uint64_t memoryBudgetBytes = 0;
+
     /** Whether any quota or budget is configured. */
     bool
     active() const
     {
         return cycleBudget || globalQuotaWords || localQuotaWords ||
-               controlQuotaWords || trailQuotaWords;
+               controlQuotaWords || trailQuotaWords ||
+               memoryBudgetBytes;
     }
 };
 

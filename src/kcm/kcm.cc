@@ -165,6 +165,7 @@ KcmSystem::query(const std::string &goal)
     result.inferences = machine_->inferences();
     result.seconds = machine_->seconds();
     result.klips = machine_->klips();
+    result.residentBytes = machine_->residentZoneBytes();
     return result;
 }
 
@@ -230,6 +231,7 @@ KcmSystem::query(const std::string &goal,
     result.inferences = machine_->inferences();
     result.seconds = machine_->seconds();
     result.klips = machine_->klips();
+    result.residentBytes = machine_->residentZoneBytes();
     return result;
 }
 

@@ -65,6 +65,9 @@ struct QueryResult
     uint64_t inferences = 0;
     double seconds = 0;
     double klips = 0;
+    /** Governed data-zone footprint at the end of the run (the
+     *  quantity ResourceGovernor::memoryBudgetBytes bounds). */
+    uint64_t residentBytes = 0;
 };
 
 struct KcmOptions

@@ -17,6 +17,7 @@ trapKindName(TrapKind kind)
       case TrapKind::StackOverflow:   return "stack_overflow";
       case TrapKind::Abort:           return "abort";
       case TrapKind::UnhandledException: return "unhandled_exception";
+      case TrapKind::MemoryBudget:    return "memory";
     }
     return "unknown_trap";
 }

@@ -33,6 +33,7 @@ enum class TrapKind
     StackOverflow,     ///< stack pointer crossed its zone limit
     Abort,             ///< execution aborted (cycle budget, user stop)
     UnhandledException, ///< thrown Prolog ball with no catch/3 marker
+    MemoryBudget,      ///< per-query resident-byte ceiling exceeded
 };
 
 /** Human-readable trap kind name. */
@@ -46,7 +47,8 @@ const char *trapKindName(TrapKind kind);
 constexpr bool
 trapIsResource(TrapKind kind)
 {
-    return kind == TrapKind::StackOverflow || kind == TrapKind::Abort;
+    return kind == TrapKind::StackOverflow || kind == TrapKind::Abort ||
+           kind == TrapKind::MemoryBudget;
 }
 
 /**

@@ -48,6 +48,7 @@ imageCacheKey(const std::string &program, const std::string &goal,
     fnvMixPod(h, config.governor.growthStepWords);
     fnvMixPod(h, config.governor.zoneCeilingWords);
     fnvMixPod(h, config.governor.stackGrowCycles);
+    fnvMixPod(h, config.governor.memoryBudgetBytes);
     // Fault plans are chaos-harness configuration; a faulted tenant
     // must not share templates with a clean one.
     fnvMixPod(h, config.faultPlan.actions.size());

@@ -30,6 +30,25 @@ micros(Clock::time_point since)
                         .count());
 }
 
+uint64_t
+steadyNowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now().time_since_epoch())
+                        .count());
+}
+
+/** Wall-clock now in milliseconds since the Unix epoch — the clock
+ *  the wire protocol's "deadline_abs_ms" is expressed in. */
+int64_t
+wallNowMs()
+{
+    return int64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
 
 /** One accepted client connection. The reader loop runs in its own
@@ -61,11 +80,15 @@ struct Server::QueryCtx
     uint64_t key = 0;
     bool cacheHit = false;
     bool retriedCorrupt = false;
+    bool breakerProbe = false; ///< this query is a half-open probe
     Clock::time_point submitted;
 };
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cacheBudgetBytes)
+    : options_(std::move(options)), cache_(options_.cacheBudgetBytes),
+      breakers_(options_.breaker),
+      jitterState_(options_.retryJitterSeed ? options_.retryJitterSeed
+                                            : 0x9e3779b97f4a7c15ull)
 {
     // A drain must be able to reclaim stragglers at slice boundaries.
     options_.session.abortOnInterrupt = true;
@@ -79,6 +102,12 @@ Server::Server(ServerOptions options)
     pool.session = options_.session;
     pool.workers = options_.workers;
     pool.maxQueueDepth = options_.maxQueueDepth;
+    pool.globalMemoryBudgetBytes = options_.globalMemoryBudgetBytes;
+    pool.defaultMemoryChargeBytes = options_.defaultMemoryChargeBytes;
+    pool.hedging = options_.hedging;
+    pool.hedgeLatencyFactor = options_.hedgeLatencyFactor;
+    pool.hedgeMinMs = options_.hedgeMinMs;
+    pool.hedgePollMs = options_.hedgePollMs;
     pool_ = std::make_unique<Supervisor>(std::move(pool));
 }
 
@@ -182,7 +211,7 @@ Server::acceptLoop()
                 JsonWriter()
                     .field("status", "overloaded")
                     .field("error", "connection limit reached")
-                    .field("retry_after_ms", uint64_t(1000))
+                    .field("retry_after_ms", jitteredRetryAfter(1000))
                     .str() +
                 "\n";
             writeAllDeadline(fd, line.data(), line.size(),
@@ -239,14 +268,22 @@ Server::connectionLoop(std::shared_ptr<Connection> conn)
             if (st != IoStatus::Timeout || reader.pendingBytes()) {
                 std::lock_guard<std::mutex> lock(statsMutex_);
                 ++counters_.badRequests;
+                if (st == IoStatus::Oversize)
+                    ++counters_.frameTooLarge;
             }
             if (st != IoStatus::Timeout) {
+                // Oversize gets its own classification: the reader
+                // stopped buffering at the cap (it never reads past
+                // it), and the client should know the frame itself —
+                // not its pacing — was the problem.
                 writeReply(conn,
                            JsonWriter()
                                .field("status", "bad_request")
                                .field("error",
-                                      cat("request frame ",
-                                          ioStatusName(st)))
+                                      st == IoStatus::Oversize
+                                          ? std::string("frame_too_large")
+                                          : cat("request frame ",
+                                                ioStatusName(st)))
                                .str());
             }
         }
@@ -288,11 +325,29 @@ Server::writeReply(const std::shared_ptr<Connection> &conn,
 }
 
 uint64_t
+Server::jitteredRetryAfter(uint64_t base) const
+{
+    uint64_t x;
+    {
+        std::lock_guard<std::mutex> lock(jitterMutex_);
+        // xorshift64*: cheap, full-period, and — seeded — fully
+        // reproducible, so tests can assert the exact hint sequence.
+        jitterState_ ^= jitterState_ >> 12;
+        jitterState_ ^= jitterState_ << 25;
+        jitterState_ ^= jitterState_ >> 27;
+        x = jitterState_ * 0x2545f4914f6cdd1dull;
+    }
+    // Up to +50% de-synchronizes a retry storm without materially
+    // delaying any one client.
+    return base + x % (base / 2 + 1);
+}
+
+uint64_t
 Server::retryAfterMs() const
 {
     uint64_t backlog = pool_->queueDepth();
     uint64_t hint = 25 * (backlog + 1);
-    return hint > 2000 ? 2000 : hint;
+    return jitteredRetryAfter(hint > 2000 ? 2000 : hint);
 }
 
 void
@@ -366,6 +421,7 @@ Server::handleRequest(const std::shared_ptr<Connection> &conn,
         ServerCounters c = counters();
         ImageCacheStats cs = cache_.stats();
         ServiceStats ps = pool_->stats();
+        BreakerStats bs = breakers_.stats();
         JsonWriter w;
         if (!id.empty())
             w.field("id", id);
@@ -379,6 +435,7 @@ Server::handleRequest(const std::shared_ptr<Connection> &conn,
             .field("compiles", c.compiles)
             .field("compile_micros", c.compileMicros)
             .field("corrupt_retries", c.corruptRetries)
+            .field("frame_too_large", c.frameTooLarge)
             .field("cache_hits", cs.hits)
             .field("cache_misses", cs.misses)
             .field("cache_evictions", cs.evictions)
@@ -390,7 +447,20 @@ Server::handleRequest(const std::shared_ptr<Connection> &conn,
             .field("pool_shed", ps.shed)
             .field("pool_retries", ps.retries)
             .field("pool_restarts", ps.restarts)
-            .field("pool_checkpoints", ps.checkpoints);
+            .field("pool_checkpoints", ps.checkpoints)
+            .field("hedges", ps.hedges)
+            .field("hedge_wins", ps.hedgeWins)
+            .field("deadline_propagated_sheds",
+                   ps.deadlinePropagatedSheds)
+            .field("mem_aborts", ps.memAborts)
+            .field("mem_admission_refusals", ps.memAdmissionRefusals)
+            .field("mem_charged_bytes", ps.memChargedBytes)
+            .field("breaker_open", bs.opened)
+            .field("breaker_reopened", bs.reopened)
+            .field("breaker_closed", bs.closed)
+            .field("breaker_fast_fails", bs.fastFails)
+            .field("breaker_probes", bs.probes)
+            .field("breaker_open_shapes", bs.openShapes);
         if (durable_) {
             const db::JournalScan &rec = durable_->recoveryReport();
             w.field("db_commits", ps.dbCommits)
@@ -478,11 +548,95 @@ Server::handleQuery(const std::shared_ptr<Connection> &conn,
         }
         job.maxSolutions = size_t(v);
     }
+    if (auto it = request.find("deadline_abs_ms"); it != request.end()) {
+        // End-to-end deadline: absolute wall-clock milliseconds since
+        // the Unix epoch, converted here — once — to the steady clock
+        // the whole propagation chain (supervisor shedding, session
+        // cycle slices) runs on. An already-expired deadline still
+        // propagates: the supervisor sheds it with a classified
+        // "deadline_exceeded" and zero cycles spent.
+        int64_t v = it->second.asInt(-1);
+        if (!it->second.isNumber() || v < 0) {
+            replyError(
+                conn, id, "bad_request",
+                "\"deadline_abs_ms\" must be a nonnegative number "
+                "(wall-clock ms since the epoch)");
+            return;
+        }
+        int64_t delta_ms = v - wallNowMs();
+        uint64_t now_ns = steadyNowNs();
+        job.deadlineAbsNs =
+            delta_ms > 0 ? now_ns + uint64_t(delta_ms) * 1'000'000u
+                         : 1; // nonzero-but-past: sheds at admission
+    }
+    if (auto it = request.find("memory_budget_bytes");
+        it != request.end()) {
+        // Per-query memory governance: byte ceiling over the four
+        // governed data zones, enforced at zone-growth boundaries and
+        // raised as a catchable resource_error(memory). Part of the
+        // query shape (cache key): different budgets are different
+        // shapes.
+        int64_t v = it->second.asInt(-1);
+        if (!it->second.isNumber() || v < 0) {
+            replyError(
+                conn, id, "bad_request",
+                "\"memory_budget_bytes\" must be a nonnegative number");
+            return;
+        }
+        if (v > 0) {
+            MachineConfig mc = options_.session.machine;
+            mc.governor.memoryBudgetBytes = uint64_t(v);
+            job.machine = mc;
+        }
+    }
+    if (auto it = request.find("chaos_slice_delay_us");
+        it != request.end()) {
+        if (!options_.chaosHooks) {
+            replyError(conn, id, "bad_request",
+                       "chaos hooks are disabled");
+            return;
+        }
+        job.chaosSliceDelayUs = uint64_t(it->second.asInt(0));
+    }
+
+    // The query shape: image-cache hash over program, goal and the
+    // effective machine config (per-query memory budgets are part of
+    // the shape; deadlines are not — a shape opened by tight-deadline
+    // failures can close via a probe with a generous one).
+    const uint64_t key = imageCacheKey(
+        program, goal,
+        job.machine ? *job.machine : options_.session.machine);
+    job.shapeKey = key;
+
+    // Circuit breaker: a shape that keeps failing fast-fails here —
+    // structured reply, zero machine cycles — until its cooldown
+    // admits a half-open probe.
+    bool breaker_probe = false;
+    if (uint64_t retry_ms = 0;
+        breakers_.shouldReject(key, retry_ms, &breaker_probe)) {
+        JsonWriter w;
+        if (!id.empty())
+            w.field("id", id);
+        w.field("status", "failed")
+            .field("error", "circuit_open")
+            .field("detail",
+                   cat("circuit breaker open for this query shape (",
+                       "repeated classified failures); retry later"))
+            .field("retry_after_ms", jitteredRetryAfter(retry_ms));
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++counters_.breakerFastFails;
+        }
+        writeReply(conn, w.str());
+        return;
+    }
 
     // Per-client fairness: one slow client cannot monopolize the pool.
     {
         std::lock_guard<std::mutex> lock(conn->inflightMutex);
         if (conn->inflight >= options_.maxInflightPerConn) {
+            if (breaker_probe)
+                breakers_.abandonProbe(key);
             replyOverloaded(conn, id,
                             cat("per-connection in-flight cap (",
                                 options_.maxInflightPerConn,
@@ -493,8 +647,6 @@ Server::handleQuery(const std::shared_ptr<Connection> &conn,
     }
 
     // Warm-template cache: hit → restore, miss → compile + insert.
-    const uint64_t key =
-        imageCacheKey(program, goal, options_.session.machine);
     std::shared_ptr<const Snapshot> tmpl = cache_.lookup(key);
     const bool hit = tmpl != nullptr;
     if (!tmpl) {
@@ -506,6 +658,9 @@ Server::handleQuery(const std::shared_ptr<Connection> &conn,
                 --conn->inflight;
                 conn->inflightCv.notify_all();
             }
+            // A compile error is intrinsic to the shape — it counts
+            // toward opening its breaker like any classified failure.
+            breakers_.recordFailure(key);
             replyError(conn, id, "bad_request",
                        cat("compile_error: ", compile_error));
             return;
@@ -518,6 +673,7 @@ Server::handleQuery(const std::shared_ptr<Connection> &conn,
     ctx->program = program;
     ctx->key = key;
     ctx->cacheHit = hit;
+    ctx->breakerProbe = breaker_probe;
     ctx->submitted = Clock::now();
 
     inflightQueries_.fetch_add(1, std::memory_order_relaxed);
@@ -603,6 +759,31 @@ Server::onOutcome(std::shared_ptr<QueryCtx> ctx, QueryOutcome outcome)
         // fall through: report the original failure
     }
 
+    // Feed the shape's circuit breaker. Completing — even with a
+    // program-level error term — proves the shape servable; a
+    // classified failure counts against it, except server-initiated
+    // stops ("interrupted", "cancelled") and sheds, which say nothing
+    // about the shape itself.
+    switch (outcome.status) {
+      case QueryStatus::Completed:
+        breakers_.recordSuccess(ctx->key);
+        break;
+      case QueryStatus::Failed: {
+        const std::string &cls = outcome.failure.classification;
+        if (cls == "interrupted" || cls == "cancelled") {
+            if (ctx->breakerProbe)
+                breakers_.abandonProbe(ctx->key);
+        } else {
+            breakers_.recordFailure(ctx->key);
+        }
+        break;
+      }
+      case QueryStatus::Shed:
+        if (ctx->breakerProbe)
+            breakers_.abandonProbe(ctx->key);
+        break;
+    }
+
     JsonWriter w;
     if (!ctx->job.id.empty())
         w.field("id", ctx->job.id);
@@ -636,10 +817,15 @@ Server::onOutcome(std::shared_ptr<QueryCtx> ctx, QueryOutcome outcome)
         break;
       }
       case QueryStatus::Failed:
+        // "cycles" makes the failure's cost inspectable: a propagated
+        // deadline shed reports 0 (never ran), a mid-run expiry
+        // reports the simulated cycles burned before the session
+        // stopped itself.
         w.field("status", "failed")
             .field("error", outcome.failure.classification)
             .field("detail", outcome.failure.detail)
             .field("attempts", uint64_t(outcome.failure.attempts))
+            .field("cycles", outcome.cycles)
             .field("cache", ctx->cacheHit ? "hit" : "miss");
         if (outcome.failure.classification == "interrupted") {
             std::lock_guard<std::mutex> lock(statsMutex_);

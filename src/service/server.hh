@@ -60,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/breaker.hh"
 #include "service/image_cache.hh"
 #include "service/supervisor.hh"
 #include "service/wire.hh"
@@ -125,9 +126,28 @@ struct ServerOptions
      *  aborted ("interrupted"). */
     uint64_t drainGraceMs = 5'000;
 
-    /** Enable the chaos hooks ("corrupt_cache" op). Off in any real
-     *  deployment; the harness turns it on. */
+    /** Enable the chaos hooks ("corrupt_cache" op, the
+     *  "chaos_slice_delay_us" straggler request field). Off in any
+     *  real deployment; the harness turns it on. */
     bool chaosHooks = false;
+
+    /** Per-query-shape circuit breakers (see breaker.hh). */
+    BreakerOptions breaker;
+
+    /** Seed for the deterministic jitter applied to every
+     *  retry_after_ms hint (overloaded, shed, breaker fast-fail,
+     *  connection-refused). Jitter de-synchronizes client retry
+     *  storms; seeding keeps test runs reproducible. */
+    uint64_t retryJitterSeed = 0x9e3779b97f4a7c15ull;
+
+    // Supervisor self-defense knobs (forwarded to SupervisorOptions;
+    // see supervisor.hh for semantics).
+    uint64_t globalMemoryBudgetBytes = 0;
+    uint64_t defaultMemoryChargeBytes = 32ull << 20;
+    bool hedging = true;
+    double hedgeLatencyFactor = 3.0;
+    uint64_t hedgeMinMs = 50;
+    uint64_t hedgePollMs = 2;
 };
 
 /** Server-level counters (cache and supervisor keep their own). */
@@ -145,6 +165,8 @@ struct ServerCounters
     uint64_t corruptRetries = 0;     ///< template failed on restore →
                                      ///< evicted, recompiled, re-run
     uint64_t interrupted = 0;        ///< aborted past the drain grace
+    uint64_t frameTooLarge = 0;      ///< request frames over the cap
+    uint64_t breakerFastFails = 0;   ///< queries refused circuit_open
 };
 
 /**
@@ -177,6 +199,7 @@ class Server
     ServerCounters counters() const;
     ImageCacheStats cacheStats() const { return cache_.stats(); }
     ServiceStats poolStats() const;
+    BreakerStats breakerStats() const { return breakers_.stats(); }
 
     /** The journaled store (null unless dbJournalDir was set). */
     const db::JournaledStore *durableDb() const { return durable_.get(); }
@@ -210,6 +233,10 @@ class Server
 
     uint64_t retryAfterMs() const;
 
+    /** @p base plus a deterministic pseudo-random jitter in
+     *  [0, base/2] (seeded xorshift64*; see retryJitterSeed). */
+    uint64_t jitteredRetryAfter(uint64_t base) const;
+
     /** Open/recover the journal and seed --db-facts on first boot
      *  (constructor helper; runs before the pool copies the session
      *  options). */
@@ -217,6 +244,9 @@ class Server
 
     ServerOptions options_;
     ImageCache cache_;
+    BreakerRegistry breakers_;
+    mutable std::mutex jitterMutex_;
+    mutable uint64_t jitterState_;
     std::shared_ptr<db::JournaledStore> durable_;
     /** Durable mode: `:- dynamic(f/n).` text consulted instead of the
      *  facts themselves, so compiled images keep dynamic dispatch. */

@@ -1,5 +1,6 @@
 #include "service/session.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -20,6 +21,14 @@ double
 elapsedSeconds(Clock::time_point since)
 {
     return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+uint64_t
+steadyNowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now().time_since_epoch())
+                        .count());
 }
 
 /** Process-wide shutdown flag; written by signal handlers (a lock-free
@@ -88,6 +97,11 @@ Session::coldStart()
             templateError_ = e.what();
             return false;
         }
+        // The template's zone table was snapped under the compiling
+        // machine's config; re-impose this session's governor quotas
+        // (per-query memory budgets) so the restored state matches a
+        // fresh load() under options_.machine.
+        machine_->reapplyQuotas();
         return true;
     }
     machine_->load(image_);
@@ -135,7 +149,9 @@ Session::run()
     // else the watchdog tick when a deadline (or the shutdown flag)
     // needs polling.
     uint64_t slice = checkpoint_cycles;
-    if (!slice && (options_.deadlineMs || options_.abortOnInterrupt))
+    if (!slice &&
+        (options_.deadlineMs || options_.deadlineAbsNs ||
+         options_.abortOnInterrupt || options_.cancel))
         slice = options_.watchdogSliceCycles;
 
     machine_ = std::make_unique<Machine>(options_.machine);
@@ -230,6 +246,38 @@ Session::run()
                elapsedSeconds(started) * 1000.0 >
                    double(options_.deadlineMs) * double(attempts);
     };
+    auto cancelled = [&]() {
+        return options_.cancel &&
+               options_.cancel->load(std::memory_order_relaxed);
+    };
+    // End-to-end deadline → governor cycle slices: size each slice so
+    // the machine stops itself at (or just past) the propagated
+    // boundary instead of overshooting by a full watchdog tick. The
+    // simulation rate is observed as the run progresses; the initial
+    // estimate is deliberately low so the first slice under a tight
+    // deadline is short.
+    double est_cycles_per_sec = 20e6;
+    auto deadlineSliceCycles = [&]() -> uint64_t {
+        if (!options_.deadlineAbsNs)
+            return 0;
+        uint64_t now_ns = steadyNowNs();
+        if (now_ns >= options_.deadlineAbsNs)
+            return 1; // expired: surface at the next boundary
+        double elapsed = elapsedSeconds(started);
+        if (elapsed > 1e-3 && machine_->cycles() > 0) {
+            est_cycles_per_sec =
+                std::min(1e10, std::max(1e6, double(machine_->cycles()) /
+                                                 elapsed));
+        }
+        double remaining_sec =
+            double(options_.deadlineAbsNs - now_ns) * 1e-9;
+        double budget = remaining_sec * est_cycles_per_sec;
+        return uint64_t(std::max(10e3, std::min(budget, 4e15)));
+    };
+    auto absDeadlineExpired = [&]() {
+        return options_.deadlineAbsNs &&
+               steadyNowNs() >= options_.deadlineAbsNs;
+    };
     // Recover from a trap (or blown deadline slice): restore the last
     // checkpoint, or escalate to a fresh machine when the checkpoint
     // re-traps without progress. Returns false when the retry budget
@@ -271,9 +319,22 @@ Session::run()
         return true;
     };
 
+    if (absDeadlineExpired()) {
+        // Already past the propagated deadline: spend no cycles at
+        // all (the supervisor sheds these before a worker is burned;
+        // this is the last line of defense).
+        return fail("deadline_exceeded", TrapKind::Abort,
+                    "propagated absolute deadline expired before "
+                    "execution started (0 simulated cycles)");
+    }
+
     for (;;) {
-        if (slice)
-            machine_->setSliceStop(machine_->cycles() + slice);
+        uint64_t eff_slice = slice;
+        if (uint64_t budget = deadlineSliceCycles())
+            eff_slice = eff_slice ? std::min(eff_slice, budget)
+                                  : budget;
+        if (eff_slice)
+            machine_->setSliceStop(machine_->cycles() + eff_slice);
         RunStatus status;
         switch (mode) {
           case Mode::Run:
@@ -309,13 +370,34 @@ Session::run()
         }
 
         if (machine_->sliceExpired()) {
-            // Host machinery, not a fault: poll the shutdown flag and
-            // the deadline, take the periodic checkpoint, continue
-            // where we stopped.
+            // Host machinery, not a fault: poll the cancellation
+            // token, the shutdown flag and the deadlines, take the
+            // periodic checkpoint, continue where we stopped.
+            if (options_.chaosSliceDelayUs) {
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    options_.chaosSliceDelayUs));
+            }
+            if (cancelled()) {
+                return fail("cancelled", TrapKind::Abort,
+                            cat("cancelled at an instruction boundary "
+                                "after ",
+                                machine_->cycles(),
+                                " simulated cycles"));
+            }
             if (options_.abortOnInterrupt && serviceInterruptRequested()) {
                 return fail("interrupted", TrapKind::Abort,
                             "aborted by shutdown request at an "
                             "instruction boundary");
+            }
+            if (absDeadlineExpired()) {
+                // The propagated end-to-end deadline is terminal: a
+                // retry cannot finish any sooner, so the budget is
+                // never extended per attempt.
+                return fail("deadline_exceeded", TrapKind::Abort,
+                            cat("propagated absolute deadline "
+                                "exceeded after ",
+                                machine_->cycles(),
+                                " simulated cycles"));
             }
             if (deadlineBlown()) {
                 if (!recover()) {

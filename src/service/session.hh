@@ -32,6 +32,7 @@
 #ifndef KCM_SERVICE_SESSION_HH
 #define KCM_SERVICE_SESSION_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -72,6 +73,36 @@ struct SessionOptions
      *  clean "deadline_exceeded" failure. */
     uint64_t deadlineMs = 0;
 
+    /**
+     * End-to-end absolute deadline: steady-clock nanoseconds since
+     * the clock's epoch (0 = none) — the propagated form of a
+     * client's wire deadline. Unlike deadlineMs this budget is never
+     * extended by retries: the session converts the remaining wall
+     * budget into governor cycle slices (using the observed
+     * simulation rate) so the query stops *itself* at the boundary,
+     * and expiry is a terminal "deadline_exceeded" failure carrying
+     * the simulated cycles spent.
+     */
+    uint64_t deadlineAbsNs = 0;
+
+    /**
+     * Cooperative cancellation token (null = none), polled at slice
+     * boundaries like the interrupt flag: when set the query stops at
+     * the next instruction boundary with a clean "cancelled" failure.
+     * The supervisor's hedging machinery uses it to stop the losing
+     * attempt of a hedged pair.
+     */
+    std::shared_ptr<std::atomic<bool>> cancel;
+
+    /**
+     * Testing-only straggler injection: sleep this many host
+     * microseconds at every slice boundary, simulating a degraded
+     * worker. Purely host-side — simulated cycles and answers are
+     * unchanged — so a hedged attempt without the delay is
+     * bit-identical and merely faster.
+     */
+    uint64_t chaosSliceDelayUs = 0;
+
     /** Recovery attempts after the first (0 = fail on first trap). */
     unsigned maxRetries = 3;
 
@@ -100,10 +131,13 @@ struct FailureReport
 {
     /** Machine-readable classification, always a re-readable Prolog
      *  term: "resource_error(<kind>)", "machine_trap(<kind>)",
-     *  "deadline_exceeded", "overloaded", "interrupted" (aborted by a
-     *  shutdown request at an instruction boundary) or
-     *  "corrupt_image_template" (a warm-start snapshot failed its
-     *  checksum re-validation; the caller evicts and recompiles). */
+     *  "deadline_exceeded" (per-attempt or propagated absolute
+     *  deadline), "overloaded", "interrupted" (aborted by a shutdown
+     *  request at an instruction boundary), "cancelled" (stopped via
+     *  the session's cancellation token — e.g. the losing attempt of
+     *  a hedged pair) or "corrupt_image_template" (a warm-start
+     *  snapshot failed its checksum re-validation; the caller evicts
+     *  and recompiles). */
     std::string classification;
 
     TrapKind trapKind = TrapKind::Abort;

@@ -530,8 +530,17 @@ LineReader::next(std::string &line, uint64_t idle_ms,
         }
         if (rv == 0)
             continue;
+        // Bound total buffered bytes *before* reading: never pull more
+        // than one byte past the frame cap into memory, so a peer
+        // blasting an unterminated frame costs at most maxLineBytes_+1
+        // bytes of buffer, not an unbounded stream. (One byte past the
+        // cap is what distinguishes "exactly cap-sized frame" from
+        // "oversized".)
         char chunk[4096];
-        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        size_t room = maxLineBytes_ + 1 - buffer_.size();
+        ssize_t n =
+            ::recv(fd_, chunk, room < sizeof chunk ? room : sizeof chunk,
+                   0);
         if (n < 0) {
             if (errno == EINTR || errno == EAGAIN ||
                 errno == EWOULDBLOCK)

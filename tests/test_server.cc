@@ -392,3 +392,256 @@ TEST(Server, StatsOpReportsCountersOverTheWire)
     ClientReply p = h.client.ping();
     EXPECT_EQ(p.status(), "pong");
 }
+
+// ------------------------------------------------------------------ //
+// Self-defense: frame bounds, jitter, deadlines, memory, breakers
+// ------------------------------------------------------------------ //
+
+namespace
+{
+
+/** The wall clock "deadline_abs_ms" is expressed in (ms since the
+ *  system_clock epoch), mirroring the server's conversion point. */
+uint64_t
+wallNowMs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count());
+}
+
+/** Deterministic multi-megacycle work for deadline/breaker tests. */
+const char *slowProgram =
+    "sumc(0, 0).\n"
+    "sumc(N, S) :- N > 0, !, M is N - 1, sumc(M, T), S is T + N.\n"
+    "itc(0, A, A).\n"
+    "itc(N, A, S) :- N > 0, !, sumc(200, T), B is A + T, M is N - 1,\n"
+    "                itc(M, B, S).\n"
+    "loop :- loop.\n";
+
+/** Heap-hungry work for the memory-governance tests. */
+const char *hungryProgram =
+    "mklist(0, []).\n"
+    "mklist(N, [N|T]) :- N > 0, M is N - 1, mklist(M, T).\n";
+
+} // namespace
+
+TEST(Server, OversizeFramesAreClassifiedFrameTooLarge)
+{
+    // The per-connection buffered-byte bound: a frame past
+    // maxLineBytes must be answered with a structured
+    // "frame_too_large" — the reader never buffers unboundedly.
+    service::ServerOptions options;
+    options.maxLineBytes = 1024;
+    Harness h(options);
+
+    std::string huge(4096, 'x');
+    ASSERT_EQ(h.client.sendLine(huge), IoStatus::Ok);
+    ClientReply reply = h.client.readReply(10'000);
+    ASSERT_EQ(reply.io, IoStatus::Ok);
+    EXPECT_EQ(reply.status(), "bad_request") << reply.raw;
+    EXPECT_EQ(reply.str("error"), "frame_too_large") << reply.raw;
+    EXPECT_EQ(h.server->counters().frameTooLarge, 1u);
+    EXPECT_EQ(h.server->counters().badRequests, 1u);
+
+    // A fresh connection is fully serviceable afterwards.
+    Client again;
+    ASSERT_TRUE(again.connect("127.0.0.1", h.server->port(), 5'000));
+    ClientReply good = again.query("q", testProgram, "sumto(5, S)", 1);
+    EXPECT_EQ(good.status(), "completed") << good.raw;
+}
+
+TEST(Server, RetryAfterJitterIsDeterministicUnderTheSeed)
+{
+    // Every retry_after_ms hint carries +0..50% jitter from a seeded
+    // generator: two servers with the same seed must emit the same
+    // first hint, and the hint must stay inside [base, 1.5*base].
+    //
+    // The hint's base scales with queue depth, so the overload has to
+    // happen against a deterministic queue: query "a" straggles on a
+    // chaos slice delay — long enough that it is dequeued and still
+    // running when "b" arrives — leaving the queue itself empty.
+    auto overload_hint = [](service::Server &server, Client &client) {
+        service::JsonWriter slow;
+        slow.field("op", "query")
+            .field("id", "a")
+            .field("program", slowProgram)
+            .field("goal", "itc(500, 0, S)")
+            .field("max_solutions", uint64_t(1))
+            .field("chaos_slice_delay_us", uint64_t(400'000));
+        EXPECT_EQ(client.sendLine(slow.str()), IoStatus::Ok);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        service::JsonWriter quick;
+        quick.field("op", "query")
+            .field("id", "b")
+            .field("program", testProgram)
+            .field("goal", "sumto(3, S)")
+            .field("max_solutions", uint64_t(1));
+        EXPECT_EQ(client.sendLine(quick.str()), IoStatus::Ok);
+        int64_t hint = -1;
+        for (int i = 0; i < 2; ++i) {
+            ClientReply reply = client.readReply(30'000);
+            EXPECT_EQ(reply.io, IoStatus::Ok);
+            if (reply.status() == "overloaded")
+                hint = reply.num("retry_after_ms");
+        }
+        return hint;
+    };
+
+    service::ServerOptions options;
+    options.maxInflightPerConn = 1;
+    options.workers = 1;
+    options.chaosHooks = true;
+    options.retryJitterSeed = 0xfeedfacecafebeefull;
+    Harness first(options);
+    Harness second(options);
+    int64_t a = overload_hint(*first.server, first.client);
+    int64_t b = overload_hint(*second.server, second.client);
+
+    // Empty queue: base hint 25ms, jitter adds at most 12ms.
+    ASSERT_GE(a, 25);
+    ASSERT_LE(a, 37);
+    EXPECT_EQ(a, b)
+        << "same seed, same draw sequence, same hint";
+}
+
+TEST(Server, AbsoluteDeadlinePropagatesOverTheWire)
+{
+    Harness h;
+
+    // Already expired at arrival: shed before execution, zero cycles.
+    service::JsonWriter expired;
+    expired.field("op", "query")
+        .field("id", "late")
+        .field("program", slowProgram)
+        .field("goal", "itc(2000, 0, S)")
+        .field("max_solutions", uint64_t(1))
+        .field("deadline_abs_ms", wallNowMs() - 10'000);
+    ASSERT_EQ(h.client.sendLine(expired.str()), IoStatus::Ok);
+    ClientReply shed = h.client.readReply(30'000);
+    ASSERT_EQ(shed.io, IoStatus::Ok);
+    EXPECT_EQ(shed.status(), "failed") << shed.raw;
+    EXPECT_EQ(shed.str("error"), "deadline_exceeded") << shed.raw;
+    EXPECT_EQ(shed.num("cycles"), 0) << shed.raw;
+
+    // Tight but live: the session must stop itself mid-run and
+    // report the simulated cycles it burned.
+    service::JsonWriter tight;
+    tight.field("op", "query")
+        .field("id", "tight")
+        .field("program", slowProgram)
+        .field("goal", "loop")
+        .field("max_solutions", uint64_t(1))
+        // Generous enough that the deadline cannot expire in transit
+        // on a loaded host — the goal never terminates, so only the
+        // propagated deadline can produce this reply.
+        .field("deadline_abs_ms", wallNowMs() + 400);
+    ASSERT_EQ(h.client.sendLine(tight.str()), IoStatus::Ok);
+    ClientReply cut = h.client.readReply(30'000);
+    ASSERT_EQ(cut.io, IoStatus::Ok);
+    EXPECT_EQ(cut.status(), "failed") << cut.raw;
+    EXPECT_EQ(cut.str("error"), "deadline_exceeded") << cut.raw;
+    EXPECT_GT(cut.num("cycles"), 0) << cut.raw;
+    EXPECT_EQ(cut.num("attempts"), 1)
+        << "an absolute deadline must never be extended by retries";
+
+    ClientReply s = h.client.stats();
+    ASSERT_EQ(s.status(), "ok");
+    EXPECT_GE(s.num("deadline_propagated_sheds"), 1);
+}
+
+TEST(Server, MemoryBudgetOverTheWireIsClassifiedAndCatchable)
+{
+    service::ServerOptions options;
+    options.session.maxRetries = 0; // the budget re-traps determinis-
+                                    // tically; fail fast
+    Harness h(options);
+
+    service::JsonWriter hog;
+    hog.field("op", "query")
+        .field("id", "hog")
+        .field("program", hungryProgram)
+        .field("goal", "mklist(200000, L)")
+        .field("max_solutions", uint64_t(1))
+        .field("memory_budget_bytes", uint64_t(1) << 20);
+    ASSERT_EQ(h.client.sendLine(hog.str()), IoStatus::Ok);
+    ClientReply blown = h.client.readReply(60'000);
+    ASSERT_EQ(blown.io, IoStatus::Ok);
+    EXPECT_EQ(blown.status(), "failed") << blown.raw;
+    EXPECT_EQ(blown.str("error"), "resource_error(memory)")
+        << blown.raw;
+
+    // The same ceiling is an ordinary catchable ball: a guarded
+    // variant of the same work completes.
+    service::JsonWriter guarded;
+    guarded.field("op", "query")
+        .field("id", "guarded")
+        .field("program", hungryProgram)
+        .field("goal", "catch(mklist(200000, _), resource_error(E), true)")
+        .field("max_solutions", uint64_t(1))
+        .field("memory_budget_bytes", uint64_t(1) << 20);
+    ASSERT_EQ(h.client.sendLine(guarded.str()), IoStatus::Ok);
+    ClientReply caught = h.client.readReply(60'000);
+    ASSERT_EQ(caught.io, IoStatus::Ok);
+    ASSERT_EQ(caught.status(), "completed") << caught.raw;
+    ASSERT_EQ(caught.fields["answers"].items.size(), 1u);
+    EXPECT_NE(caught.fields["answers"].items[0].str.find("E = memory"),
+              std::string::npos)
+        << caught.raw;
+
+    ClientReply s = h.client.stats();
+    ASSERT_EQ(s.status(), "ok");
+    EXPECT_GE(s.num("mem_aborts"), 1);
+}
+
+TEST(Server, BreakerOpensFastFailsAndClosesViaHalfOpenProbe)
+{
+    // Full breaker lifecycle over the wire, on one query shape (the
+    // shape hash ignores deadlines, so a shape opened by tight-
+    // deadline failures can be probed closed by a generous one).
+    service::ServerOptions options;
+    options.session.maxRetries = 0;
+    options.breaker.failureThreshold = 2;
+    options.breaker.openMs = 200;
+    Harness h(options);
+    const char *goal = "itc(500, 0, S)";
+
+    // Two classified failures open the breaker...
+    for (int i = 0; i < 2; ++i) {
+        ClientReply r = h.client.query(cat("f", i), slowProgram, goal,
+                                       1, /*deadline_ms=*/1);
+        ASSERT_EQ(r.status(), "failed") << r.raw;
+        ASSERT_EQ(r.str("error"), "deadline_exceeded") << r.raw;
+    }
+    EXPECT_EQ(h.server->breakerStats().opened, 1u);
+
+    // ...after which the same shape fast-fails with a retry hint,
+    // spending zero machine cycles.
+    ClientReply fast = h.client.query("fast", slowProgram, goal, 1);
+    ASSERT_EQ(fast.status(), "failed") << fast.raw;
+    EXPECT_EQ(fast.str("error"), "circuit_open") << fast.raw;
+    EXPECT_GT(fast.num("retry_after_ms"), 0) << fast.raw;
+    EXPECT_EQ(h.server->breakerStats().fastFails, 1u);
+    EXPECT_EQ(h.server->counters().breakerFastFails, 1u);
+
+    // After the cooldown one probe is admitted; without the killer
+    // deadline it completes, closing the breaker for good.
+    std::this_thread::sleep_for(std::chrono::milliseconds(350));
+    ClientReply probe = h.client.query("probe", slowProgram, goal, 1);
+    ASSERT_EQ(probe.status(), "completed") << probe.raw;
+    service::BreakerStats bs = h.server->breakerStats();
+    EXPECT_EQ(bs.probes, 1u);
+    EXPECT_EQ(bs.closed, 1u);
+    EXPECT_EQ(bs.openShapes, 0u);
+
+    // Closed means closed: the next query runs normally.
+    ClientReply after = h.client.query("after", slowProgram, goal, 1);
+    EXPECT_EQ(after.status(), "completed") << after.raw;
+
+    ClientReply s = h.client.stats();
+    ASSERT_EQ(s.status(), "ok");
+    EXPECT_EQ(s.num("breaker_open"), 1);
+    EXPECT_EQ(s.num("breaker_closed"), 1);
+    EXPECT_EQ(s.num("breaker_fast_fails"), 1);
+    EXPECT_EQ(s.num("breaker_probes"), 1);
+}

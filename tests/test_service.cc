@@ -15,11 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "base/logging.hh"
+#include "baseline/interp.hh"
 #include "core/snapshot.hh"
 #include "kcm/kcm.hh"
 #include "mem/zone_check.hh"
@@ -73,6 +77,15 @@ runSession(const std::string &goal, service::SessionOptions options)
     CodeImage image = compileQuery(goal, options.machine);
     service::Session session(std::move(image), std::move(options));
     return session.run();
+}
+
+/** The session's absolute-deadline clock: steady ns since epoch. */
+uint64_t
+steadyNowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count());
 }
 
 /** Premise check: the same goal + config traps without supervision. */
@@ -518,5 +531,439 @@ TEST(Supervisor, WarmTemplateAsyncMatchesColdImage)
                   cold_out.solutions[0].toString());
         EXPECT_EQ(out.cycles, cold_out.cycles)
             << "warm restore must be invisible to simulated time";
+    }
+}
+
+// ------------------------------------- absolute deadline propagation
+
+TEST(Session, AbsoluteDeadlineTerminatesRunawayWithCyclesSpent)
+{
+    // The propagated client deadline: "loop" never finishes, so the
+    // session must stop *itself* at the boundary — terminally (no
+    // retries, unlike the per-attempt deadlineMs) and reporting the
+    // simulated cycles it burned before giving up.
+    service::SessionOptions options;
+    options.checkpointEveryMcycles = 1;
+    options.watchdogSliceCycles = 100'000;
+    // Wide enough that compile + setup on a loaded (sanitized) host
+    // cannot burn the whole budget before the first slice runs.
+    options.deadlineAbsNs = steadyNowNs() + 300'000'000ull; // +300ms
+    service::QueryOutcome out = runSession("loop", options);
+
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_EQ(out.failure.classification, "deadline_exceeded");
+    EXPECT_EQ(out.failure.attempts, 1u)
+        << "an absolute deadline is terminal: no retry may extend it";
+    EXPECT_GT(out.cycles, 0u)
+        << "the reply must carry the cycles spent before expiry";
+}
+
+TEST(Session, AbsoluteDeadlineShorterThanOneGovernorSlice)
+{
+    // With checkpoints off and a 2-Gcycle watchdog slice, the governor
+    // would run "loop" for minutes before the first slice boundary.
+    // The deadline-to-cycle-slice conversion must cut the slice down
+    // to the remaining wall budget so the query still stops in a
+    // fraction of a second, far short of one configured slice. The
+    // budget is generous enough that it cannot fully elapse between
+    // here and session start on a loaded host (which would legally
+    // yield the zero-cycle pre-execution shed instead).
+    service::SessionOptions options;
+    options.checkpointEveryMcycles = 0;
+    options.watchdogSliceCycles = 2'000'000'000;
+    options.deadlineAbsNs = steadyNowNs() + 300'000'000ull; // +300ms
+    service::QueryOutcome out = runSession("loop", options);
+
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_EQ(out.failure.classification, "deadline_exceeded");
+    EXPECT_GT(out.cycles, 0u);
+    EXPECT_LT(out.cycles, 2'000'000'000u)
+        << "the session must never run a full configured slice past "
+           "its deadline";
+}
+
+TEST(Session, ExpiredAbsoluteDeadlineFailsBeforeExecution)
+{
+    // A deadline already in the past (the server maps those to the
+    // sentinel 1ns) must shed before the machine runs at all.
+    service::SessionOptions options;
+    options.deadlineAbsNs = 1;
+    service::QueryOutcome out = runSession("sumto(10, S)", options);
+
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_EQ(out.failure.classification, "deadline_exceeded");
+    EXPECT_EQ(out.cycles, 0u);
+}
+
+TEST(Session, GenerousAbsoluteDeadlineIsInvisibleToSimulatedMetrics)
+{
+    // Deadline slices interleave with checkpoint boundaries; when the
+    // deadline is not hit, neither may perturb the simulated answer.
+    const char *goal = "itc(300, 0, S)";
+    service::SessionOptions plain;
+    plain.checkpointEveryMcycles = 1;
+    service::QueryOutcome base = runSession(goal, plain);
+    ASSERT_EQ(base.status, service::QueryStatus::Completed);
+
+    service::SessionOptions guarded;
+    guarded.checkpointEveryMcycles = 1;
+    guarded.deadlineAbsNs = steadyNowNs() + 60'000'000'000ull; // +60s
+    service::QueryOutcome out = runSession(goal, guarded);
+
+    ASSERT_EQ(out.status, service::QueryStatus::Completed);
+    ASSERT_TRUE(out.success);
+    EXPECT_EQ(out.solutions[0].toString(),
+              base.solutions[0].toString());
+    EXPECT_EQ(out.cycles, base.cycles);
+    EXPECT_GT(out.counters.checkpoints, 0u);
+}
+
+TEST(Session, CancelTokenStopsAtInstructionBoundary)
+{
+    // The hedging loser path: an external cancel must stop a runaway
+    // query cleanly, classified "cancelled", without a hang.
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::thread canceller([cancel] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        cancel->store(true, std::memory_order_relaxed);
+    });
+
+    service::SessionOptions options;
+    options.watchdogSliceCycles = 100'000;
+    options.cancel = cancel;
+    service::QueryOutcome out = runSession("loop", options);
+    canceller.join();
+
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_EQ(out.failure.classification, "cancelled");
+}
+
+// --------------------------------------- per-query memory governance
+
+TEST(Service, MemoryBudgetTrapsIdenticallyOnBothCores)
+{
+    // A 1 MiB per-query byte ceiling: building a 200k-element list
+    // needs several MiB of global zone, so growth crosses the budget.
+    // Both simulator cores must classify it resource_error(memory)
+    // with bit-identical simulated metrics.
+    auto run = [](bool fast) {
+        KcmOptions options;
+        options.machine.fastDispatch = fast;
+        options.machine.governor.memoryBudgetBytes = 1u << 20;
+        KcmSystem system(options);
+        system.consult(serviceProgram);
+        return system.query("mklist(200000, L)");
+    };
+    QueryResult fast = run(true);
+    QueryResult oracle = run(false);
+
+    EXPECT_FALSE(fast.success);
+    ASSERT_TRUE(fast.trapped);
+    EXPECT_NE(fast.error.find("resource_error(memory)"),
+              std::string::npos)
+        << fast.error;
+    EXPECT_EQ(fast.trapped, oracle.trapped);
+    EXPECT_EQ(fast.error, oracle.error);
+    EXPECT_EQ(fast.cycles, oracle.cycles);
+    EXPECT_EQ(fast.instructions, oracle.instructions);
+}
+
+TEST(Service, MemoryBudgetBallIsCatchable)
+{
+    // resource_error(memory) is an ordinary catchable ball, like the
+    // cycle-budget abort: a guarded program recovers and completes.
+    auto run = [](bool fast) {
+        KcmOptions options;
+        options.machine.fastDispatch = fast;
+        options.machine.governor.memoryBudgetBytes = 1u << 20;
+        KcmSystem system(options);
+        system.consult(serviceProgram);
+        return system.query(
+            "catch(mklist(200000, _), resource_error(E), true)");
+    };
+    QueryResult fast = run(true);
+    QueryResult oracle = run(false);
+
+    ASSERT_TRUE(fast.success) << fast.error;
+    EXPECT_FALSE(fast.trapped);
+    ASSERT_EQ(fast.solutions.size(), 1u);
+    EXPECT_NE(fast.solutions[0].toString().find("E = memory"),
+              std::string::npos)
+        << fast.solutions[0].toString();
+    ASSERT_TRUE(oracle.success);
+    EXPECT_EQ(fast.solutions[0].toString(),
+              oracle.solutions[0].toString());
+    EXPECT_EQ(fast.cycles, oracle.cycles);
+}
+
+TEST(Service, BaselineInterpreterAgreesOnMemoryBudget)
+{
+    // The differential oracle honours the same ceiling with the same
+    // ball, both uncaught and caught.
+    baseline::Interpreter doomed;
+    doomed.setMemoryBudgetBytes(1u << 20);
+    doomed.consult(serviceProgram);
+    baseline::InterpResult blown = doomed.query("mklist(200000, L)", 1);
+    EXPECT_FALSE(blown.success);
+    EXPECT_NE(blown.error.find("resource_error(memory)"),
+              std::string::npos)
+        << blown.error;
+
+    baseline::Interpreter guarded;
+    guarded.setMemoryBudgetBytes(1u << 20);
+    guarded.consult(serviceProgram);
+    baseline::InterpResult caught = guarded.query(
+        "catch(mklist(200000, _), resource_error(E), true)", 1);
+    ASSERT_TRUE(caught.success) << caught.error;
+    ASSERT_EQ(caught.solutions.size(), 1u);
+    EXPECT_NE(caught.solutions[0].toString().find("E = memory"),
+              std::string::npos);
+}
+
+TEST(Session, MemoryBudgetFailureIsClassified)
+{
+    service::SessionOptions options;
+    options.maxRetries = 0;
+    options.machine.governor.memoryBudgetBytes = 1u << 20;
+    service::QueryOutcome out =
+        runSession("mklist(200000, L)", options);
+
+    EXPECT_EQ(out.status, service::QueryStatus::Failed);
+    EXPECT_EQ(out.failure.classification, "resource_error(memory)")
+        << out.failure.classification;
+}
+
+// ------------------------------- supervisor self-defense: admission
+
+TEST(Supervisor, UnmeetableDeadlineShedsAtAdmission)
+{
+    // A deadline already expired at submit time must be refused at
+    // the door — classified deadline_exceeded with zero cycles spent,
+    // counted as a propagated shed — while a healthy sibling runs.
+    service::SupervisorOptions options;
+    options.workers = 1;
+    options.startPaused = true;
+    options.session.backoffBaseMs = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+    CodeImage image = host.compileOnly("sumto(100, S)");
+
+    service::Supervisor supervisor(options);
+    service::QueryJob dead;
+    dead.id = "dead";
+    dead.goal = "sumto(100, S)";
+    dead.deadlineAbsNs = 1;
+    supervisor.submit(dead, image);
+    service::QueryJob live;
+    live.id = "live";
+    live.goal = "sumto(100, S)";
+    supervisor.submit(live, image);
+    supervisor.resume();
+    std::vector<service::ServiceResult> results = supervisor.drain();
+    service::ServiceStats stats = supervisor.stats();
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].outcome.status, service::QueryStatus::Failed);
+    EXPECT_EQ(results[0].outcome.failure.classification,
+              "deadline_exceeded");
+    EXPECT_EQ(results[0].outcome.cycles, 0u);
+    EXPECT_EQ(results[1].outcome.status,
+              service::QueryStatus::Completed);
+    EXPECT_EQ(stats.deadlinePropagatedSheds, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(Supervisor, GlobalMemoryBudgetRefusesAdmission)
+{
+    // Aggregate admission control: with a 64 MiB global budget and
+    // the default 32 MiB per-query charge, the third concurrent
+    // admission must be refused ("overloaded"), and the charge gauge
+    // must drain back to zero once the admitted queries retire.
+    service::SupervisorOptions options;
+    options.workers = 1;
+    options.startPaused = true;
+    options.globalMemoryBudgetBytes = 64ull << 20;
+    options.session.backoffBaseMs = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+    CodeImage image = host.compileOnly("sumto(100, S)");
+
+    service::Supervisor supervisor(options);
+    for (int i = 0; i < 3; ++i) {
+        service::QueryJob job;
+        job.id = cat("q", i);
+        job.goal = "sumto(100, S)";
+        supervisor.submit(job, image);
+    }
+    EXPECT_EQ(supervisor.stats().memAdmissionRefusals, 1u);
+    EXPECT_EQ(supervisor.stats().memChargedBytes, 64ull << 20);
+
+    supervisor.resume();
+    std::vector<service::ServiceResult> results = supervisor.drain();
+    service::ServiceStats stats = supervisor.stats();
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].outcome.status,
+              service::QueryStatus::Completed);
+    EXPECT_EQ(results[1].outcome.status,
+              service::QueryStatus::Completed);
+    EXPECT_EQ(results[2].outcome.status, service::QueryStatus::Shed);
+    EXPECT_EQ(results[2].outcome.failure.classification, "overloaded");
+    EXPECT_EQ(stats.memChargedBytes, 0u)
+        << "charges must be released as queries retire";
+}
+
+TEST(Supervisor, PerJobMemoryBudgetAbortIsCounted)
+{
+    service::SupervisorOptions options;
+    options.workers = 1;
+    options.session.backoffBaseMs = 0;
+    options.session.maxRetries = 0;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+
+    service::Supervisor supervisor(options);
+    service::QueryJob job;
+    job.id = "hog";
+    job.goal = "mklist(200000, L)";
+    MachineConfig machine = options.session.machine;
+    machine.governor.memoryBudgetBytes = 1u << 20;
+    job.machine = machine;
+    supervisor.submit(job, host.compileOnly(job.goal));
+    std::vector<service::ServiceResult> results = supervisor.drain();
+    service::ServiceStats stats = supervisor.stats();
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].outcome.status, service::QueryStatus::Failed);
+    EXPECT_EQ(results[0].outcome.failure.classification,
+              "resource_error(memory)");
+    EXPECT_EQ(stats.memAborts, 1u);
+}
+
+// --------------------------------------------------- hedged retries
+
+TEST(Supervisor, HedgedStragglerLosesToBitIdenticalDuplicate)
+{
+    // A worker degraded by the chaos slice delay straggles; past the
+    // hedge threshold the monitor launches a clean duplicate, which
+    // finishes first and must deliver the *same* answer and simulated
+    // cycle count a plain run produces — hedging is a latency tool,
+    // never a semantics tool.
+    const char *goal = "itc(300, 0, S)";
+    service::SessionOptions plain;
+    plain.checkpointEveryMcycles = 1;
+    service::QueryOutcome base = runSession(goal, plain);
+    ASSERT_EQ(base.status, service::QueryStatus::Completed);
+
+    service::SupervisorOptions options;
+    options.workers = 2;
+    options.hedgeMinMs = 20;
+    options.hedgePollMs = 1;
+    options.session.backoffBaseMs = 0;
+    options.session.checkpointEveryMcycles = 1;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+    CodeImage image = host.compileOnly(goal);
+
+    service::Supervisor supervisor(options);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool have_outcome = false;
+    service::QueryOutcome hedged;
+
+    service::QueryJob job;
+    job.id = "straggler";
+    job.goal = goal;
+    job.shapeKey = 42;
+    job.chaosSliceDelayUs = 40'000; // 40ms per governor slice
+    supervisor.submitAsync(job, image,
+                           [&](service::QueryOutcome out) {
+                               std::lock_guard<std::mutex> lock(mutex);
+                               hedged = std::move(out);
+                               have_outcome = true;
+                               cv.notify_all();
+                           });
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return have_outcome; });
+    }
+    supervisor.drain();
+    service::ServiceStats stats = supervisor.stats();
+
+    ASSERT_EQ(hedged.status, service::QueryStatus::Completed);
+    ASSERT_TRUE(hedged.success);
+    EXPECT_EQ(hedged.solutions[0].toString(),
+              base.solutions[0].toString());
+    EXPECT_EQ(hedged.cycles, base.cycles)
+        << "a hedged attempt must be bit-identical to the primary";
+    EXPECT_GE(stats.hedges, 1u);
+    EXPECT_GE(stats.hedgeWins, 1u)
+        << "the clean duplicate must beat a 40ms-per-slice straggler";
+    EXPECT_EQ(stats.completed, 1u)
+        << "only the winning attempt may be delivered or counted";
+}
+
+TEST(Supervisor, HedgeCancellationRacesCompletionCleanly)
+{
+    // Primary and hedge finishing near-simultaneously: whichever wins
+    // the delivery race, exactly one outcome per job arrives, with
+    // the deterministic answer — and the loser's cancellation must
+    // never deadlock or double-deliver (run under TSan in CI).
+    const char *goal = "itc(120, 0, S)";
+    service::SupervisorOptions options;
+    options.workers = 6;
+    options.hedgeMinMs = 3;
+    options.hedgePollMs = 1;
+    options.session.backoffBaseMs = 0;
+    options.session.checkpointEveryMcycles = 1;
+
+    KcmOptions compile_options;
+    compile_options.machine = options.session.machine;
+    KcmSystem host(compile_options);
+    host.consult(serviceProgram);
+    CodeImage image = host.compileOnly(goal);
+
+    service::Supervisor supervisor(options);
+    std::mutex mutex;
+    std::map<std::string, int> deliveries;
+    std::map<std::string, service::QueryOutcome> outcomes;
+    const int jobs = 2;
+    for (int i = 0; i < jobs; ++i) {
+        service::QueryJob job;
+        job.id = cat("q", i);
+        job.goal = goal;
+        job.shapeKey = 7;
+        job.chaosSliceDelayUs = 4'000; // mild straggle: a close race
+        supervisor.submitAsync(
+            job, image, [&, id = job.id](service::QueryOutcome out) {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++deliveries[id];
+                outcomes[id] = std::move(out);
+            });
+    }
+    supervisor.drain();
+
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(outcomes.size(), size_t(jobs));
+    for (const auto &[id, count] : deliveries)
+        EXPECT_EQ(count, 1) << id << " must be delivered exactly once";
+    for (const auto &[id, out] : outcomes) {
+        ASSERT_EQ(out.status, service::QueryStatus::Completed) << id;
+        ASSERT_TRUE(out.success);
+        EXPECT_NE(out.solutions[0].toString().find("2412000"),
+                  std::string::npos)
+            << id << ": " << out.solutions[0].toString();
     }
 }

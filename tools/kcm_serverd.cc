@@ -51,8 +51,32 @@
  *   --journal-snapshot-every N
  *                        write a compacting snapshot record every N
  *                        commits (default 1024)
+ *   --mem-budget-mb N    per-query data-zone memory budget in MiB
+ *                        (default 0 = ungoverned); exceeding it fails
+ *                        the query with catchable resource_error(memory)
+ *   --global-mem-mb N    aggregate resident-memory budget across all
+ *                        admitted queries in MiB (default 0 = off);
+ *                        admissions beyond it are refused "overloaded"
+ *   --mem-charge-mb N    memory charge assumed for an ungoverned query
+ *                        (default 32)
+ *   --no-hedging         disable hedged retries for stragglers
+ *   --hedge-factor F     hedge a query past F x its shape's latency
+ *                        EWMA (default 3.0)
+ *   --hedge-min-ms N     never hedge before N ms elapsed (default 50)
+ *   --hedge-poll-ms N    straggler-monitor poll period (default 2)
+ *   --no-breakers        disable per-shape circuit breakers
+ *   --breaker-threshold N consecutive classified failures that open a
+ *                        shape's breaker (default 5)
+ *   --breaker-open-ms N  breaker cooldown before a half-open probe
+ *                        (default 250)
+ *   --jitter-seed N      seed for the deterministic retry_after_ms
+ *                        jitter (tests; default fixed)
+ *   --max-line-bytes N   request frame cap in bytes (default 4 MiB);
+ *                        oversized frames are classified
+ *                        "frame_too_large"
  *   --no-stdlib          do not consult the bundled standard library
- *   --chaos-hooks        enable the "corrupt_cache" op (testing only)
+ *   --chaos-hooks        enable the chaos ops ("corrupt_cache", the
+ *                        "chaos_slice_delay_us" request field)
  *   --oracle             decode-per-step execution core
  *
  * Exit codes: 0 = clean drain after SIGTERM/SIGINT, 2 = startup or
@@ -97,6 +121,10 @@ usage()
             "  --drain-grace-ms N  --db-facts FILE  --no-stdlib\n"
             "  --db-journal DIR  --journal-sync always|group|none\n"
             "  --journal-group-ms N  --journal-snapshot-every N\n"
+            "  --mem-budget-mb N  --global-mem-mb N  --mem-charge-mb N\n"
+            "  --no-hedging  --hedge-factor F  --hedge-min-ms N\n"
+            "  --hedge-poll-ms N  --no-breakers  --breaker-threshold N\n"
+            "  --breaker-open-ms N  --jitter-seed N  --max-line-bytes N\n"
             "  --chaos-hooks  --oracle\n"
             "exit codes: 0 = clean drain on SIGTERM/SIGINT, "
             "2 = startup error\n");
@@ -174,6 +202,39 @@ main(int argc, char **argv)
         } else if (arg == "--journal-snapshot-every") {
             options.journal.snapshotEvery =
                 strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--mem-budget-mb") {
+            options.session.machine.governor.memoryBudgetBytes =
+                strtoull(next().c_str(), nullptr, 10) << 20;
+        } else if (arg == "--global-mem-mb") {
+            options.globalMemoryBudgetBytes =
+                strtoull(next().c_str(), nullptr, 10) << 20;
+        } else if (arg == "--mem-charge-mb") {
+            options.defaultMemoryChargeBytes =
+                strtoull(next().c_str(), nullptr, 10) << 20;
+        } else if (arg == "--no-hedging") {
+            options.hedging = false;
+        } else if (arg == "--hedge-factor") {
+            options.hedgeLatencyFactor =
+                strtod(next().c_str(), nullptr);
+        } else if (arg == "--hedge-min-ms") {
+            options.hedgeMinMs = strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--hedge-poll-ms") {
+            options.hedgePollMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--no-breakers") {
+            options.breaker.enabled = false;
+        } else if (arg == "--breaker-threshold") {
+            options.breaker.failureThreshold =
+                unsigned(strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--breaker-open-ms") {
+            options.breaker.openMs =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--jitter-seed") {
+            options.retryJitterSeed =
+                strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--max-line-bytes") {
+            options.maxLineBytes =
+                size_t(strtoull(next().c_str(), nullptr, 10));
         } else if (arg == "--no-stdlib") {
             options.consultStdlib = false;
         } else if (arg == "--chaos-hooks") {
@@ -225,6 +286,7 @@ main(int argc, char **argv)
         auto c = server.counters();
         auto cache = server.cacheStats();
         auto pool = server.poolStats();
+        auto brk = server.breakerStats();
         printf("{\"drain\": true, \"accepted\": %llu, "
                "\"replied\": %llu, \"interrupted\": %llu, "
                "\"requests\": %llu, \"bad_requests\": %llu, "
@@ -232,7 +294,16 @@ main(int argc, char **argv)
                "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                "\"cache_corrupt_evictions\": %llu, "
                "\"corrupt_retries\": %llu, "
-               "\"pool_completed\": %llu, \"pool_failed\": %llu",
+               "\"pool_completed\": %llu, \"pool_failed\": %llu, "
+               "\"frame_too_large\": %llu, "
+               "\"hedges\": %llu, \"hedge_wins\": %llu, "
+               "\"deadline_propagated_sheds\": %llu, "
+               "\"mem_aborts\": %llu, "
+               "\"mem_admission_refusals\": %llu, "
+               "\"breaker_open\": %llu, \"breaker_reopened\": %llu, "
+               "\"breaker_closed\": %llu, "
+               "\"breaker_fast_fails\": %llu, "
+               "\"breaker_probes\": %llu",
                (unsigned long long)c.queriesAccepted,
                (unsigned long long)c.queriesReplied,
                (unsigned long long)c.interrupted,
@@ -245,7 +316,18 @@ main(int argc, char **argv)
                (unsigned long long)cache.corruptEvictions,
                (unsigned long long)c.corruptRetries,
                (unsigned long long)pool.completed,
-               (unsigned long long)pool.failed);
+               (unsigned long long)pool.failed,
+               (unsigned long long)c.frameTooLarge,
+               (unsigned long long)pool.hedges,
+               (unsigned long long)pool.hedgeWins,
+               (unsigned long long)pool.deadlinePropagatedSheds,
+               (unsigned long long)pool.memAborts,
+               (unsigned long long)pool.memAdmissionRefusals,
+               (unsigned long long)brk.opened,
+               (unsigned long long)brk.reopened,
+               (unsigned long long)brk.closed,
+               (unsigned long long)brk.fastFails,
+               (unsigned long long)brk.probes);
         if (const kcm::db::JournaledStore *db = server.durableDb()) {
             printf(", \"db_commits\": %llu, \"db_ops\": %llu, "
                    "\"journal_commits\": %llu, "
